@@ -1,0 +1,206 @@
+//! Generic bulk-synchronous workload for parameter sweeps.
+//!
+//! The simplest model of a tightly coupled application: every rank computes
+//! for a granularity `g`, then synchronizes (allreduce or barrier), `steps`
+//! times. Varying `g` against a fixed noise signature maps out the
+//! absorption/amplification boundary — the analytic heart of the paper's
+//! explanation for why POP suffers and SAGE does not.
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::Work;
+use ghost_mpi::types::{Env, MpiCall, ReduceOp};
+use ghost_mpi::Program;
+
+use crate::imbalance::LoadImbalance;
+use crate::workload::{StepDriver, StepGen, Workload, IMBALANCE_STREAM};
+
+/// How a BSP step synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncKind {
+    /// 8-byte sum allreduce.
+    Allreduce {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Dissemination barrier.
+    Barrier,
+    /// No synchronization (embarrassingly parallel control).
+    None,
+}
+
+/// Configuration for the synthetic BSP workload.
+#[derive(Debug, Clone, Copy)]
+pub struct BspSynthetic {
+    /// Timesteps to run.
+    pub steps: usize,
+    /// Nominal compute work per step (ns).
+    pub compute: Work,
+    /// Synchronization per step.
+    pub sync: SyncKind,
+    /// Load-imbalance model.
+    pub imbalance: LoadImbalance,
+}
+
+impl BspSynthetic {
+    /// A balanced compute+allreduce workload with the given granularity.
+    pub fn new(steps: usize, compute: Work) -> Self {
+        Self {
+            steps,
+            compute,
+            sync: SyncKind::Allreduce { bytes: 8 },
+            imbalance: LoadImbalance::None,
+        }
+    }
+
+    /// Replace the synchronization kind.
+    pub fn with_sync(mut self, sync: SyncKind) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Replace the imbalance model.
+    pub fn with_imbalance(mut self, imbalance: LoadImbalance) -> Self {
+        self.imbalance = imbalance;
+        self
+    }
+}
+
+struct BspGen {
+    cfg: BspSynthetic,
+    rng: ghost_engine::rng::Xoshiro256,
+}
+
+impl StepGen for BspGen {
+    fn calls(&mut self, env: &Env, _step: usize, out: &mut Vec<MpiCall>) {
+        let work = self.cfg.imbalance.apply(self.cfg.compute, &mut self.rng);
+        out.push(MpiCall::Compute(work));
+        match self.cfg.sync {
+            SyncKind::Allreduce { bytes } => out.push(MpiCall::Allreduce {
+                bytes,
+                value: env.rank as f64 + 1.0,
+                op: ReduceOp::Sum,
+            }),
+            SyncKind::Barrier => out.push(MpiCall::Barrier),
+            SyncKind::None => {}
+        }
+    }
+}
+
+impl Workload for BspSynthetic {
+    fn name(&self) -> String {
+        format!(
+            "BSP(g={}, {:?})",
+            ghost_engine::time::format_time(self.compute),
+            self.sync
+        )
+    }
+
+    fn programs(&self, size: usize, seed: u64) -> Vec<Box<dyn Program>> {
+        let streams = NodeStream::new(seed);
+        (0..size)
+            .map(|rank| {
+                let rng = streams.for_node(rank, IMBALANCE_STREAM);
+                StepDriver::new(
+                    BspGen {
+                        cfg: *self,
+                        rng,
+                    },
+                    self.steps,
+                )
+                .boxed()
+            })
+            .collect()
+    }
+
+    fn nominal_compute_per_rank(&self) -> u64 {
+        self.steps as u64 * self.compute
+    }
+
+    fn collectives_per_rank(&self) -> u64 {
+        match self.sync {
+            SyncKind::None => 0,
+            _ => self.steps as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::MS;
+    use ghost_mpi::Machine;
+    use ghost_net::{Flat, LogGP, Network};
+    use ghost_noise::NoNoise;
+
+    fn run(cfg: BspSynthetic, p: usize) -> ghost_mpi::RunResult {
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
+        Machine::new(net, &NoNoise, 7)
+            .run(cfg.programs(p, 7))
+            .unwrap()
+    }
+
+    #[test]
+    fn balanced_bsp_time_is_steps_times_granularity_plus_sync() {
+        let cfg = BspSynthetic::new(10, MS);
+        let r = run(cfg, 4);
+        assert!(r.makespan >= 10 * MS);
+        // Synchronization adds, but far less than a step per step.
+        assert!(r.makespan < 11 * MS, "{}", r.makespan);
+    }
+
+    #[test]
+    fn allreduce_values_correct_every_step() {
+        let cfg = BspSynthetic::new(3, MS);
+        let p = 5;
+        let r = run(cfg, p);
+        let expect = (p * (p + 1)) as f64 / 2.0;
+        assert!(r.final_values.iter().all(|v| *v == Some(expect)));
+    }
+
+    #[test]
+    fn no_sync_ranks_run_independently() {
+        let cfg = BspSynthetic::new(5, MS).with_sync(SyncKind::None);
+        let r = run(cfg, 4);
+        assert_eq!(r.makespan, 5 * MS);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn imbalance_stretches_makespan() {
+        let balanced = run(BspSynthetic::new(20, MS), 16);
+        let imbalanced = run(
+            BspSynthetic::new(20, MS).with_imbalance(LoadImbalance::Uniform { frac: 0.3 }),
+            16,
+        );
+        // Max-of-16 uniform draws per step is well above the mean.
+        assert!(imbalanced.makespan > balanced.makespan);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = BspSynthetic::new(5, MS).with_imbalance(LoadImbalance::Gaussian { sigma: 0.1 });
+        let p = 8;
+        let net = || Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
+        let a = Machine::new(net(), &NoNoise, 9)
+            .run(cfg.programs(p, 9))
+            .unwrap();
+        let b = Machine::new(net(), &NoNoise, 9)
+            .run(cfg.programs(p, 9))
+            .unwrap();
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn workload_metadata() {
+        let cfg = BspSynthetic::new(10, MS);
+        assert_eq!(cfg.nominal_compute_per_rank(), 10 * MS);
+        assert_eq!(cfg.collectives_per_rank(), 10);
+        assert_eq!(
+            BspSynthetic::new(10, MS)
+                .with_sync(SyncKind::None)
+                .collectives_per_rank(),
+            0
+        );
+        assert!(cfg.name().contains("BSP"));
+    }
+}

@@ -1,0 +1,185 @@
+//! CTH-like workload: shock physics.
+//!
+//! CTH (Sandia's shock-physics code) synchronizes more often than SAGE:
+//! ~100 ms compute per cycle, halo exchange, a timestep allreduce every
+//! cycle, and an occasional broadcast of updated material-table data. Its
+//! intermediate granularity makes it the paper's middle case: it absorbs
+//! high-frequency noise but is visibly hurt by low-frequency, long-pulse
+//! noise at scale.
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Work, MS};
+use ghost_mpi::types::{Env, MpiCall, ReduceOp};
+use ghost_mpi::Program;
+
+use crate::halo::LogicalTorus;
+use crate::imbalance::LoadImbalance;
+use crate::workload::{StepDriver, StepGen, Workload, IMBALANCE_STREAM};
+
+/// CTH-like configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CthLike {
+    /// Timesteps.
+    pub steps: usize,
+    /// Nominal compute per cycle (ns). Default 100 ms.
+    pub compute: Work,
+    /// Halo payload per direction (bytes). Default 32 KiB.
+    pub halo_bytes: u64,
+    /// Broadcast table data every `bcast_every` steps (0 disables).
+    pub bcast_every: usize,
+    /// Broadcast payload (bytes).
+    pub bcast_bytes: u64,
+    /// Load imbalance.
+    pub imbalance: LoadImbalance,
+    /// Use the nonblocking (Isend/Irecv/WaitAll) halo exchange.
+    pub halo_nonblocking: bool,
+}
+
+impl Default for CthLike {
+    fn default() -> Self {
+        Self {
+            steps: 50,
+            compute: 100 * MS,
+            halo_bytes: 32 * 1024,
+            bcast_every: 10,
+            bcast_bytes: 256 * 1024,
+            imbalance: LoadImbalance::Gaussian { sigma: 0.03 },
+            halo_nonblocking: false,
+        }
+    }
+}
+
+impl CthLike {
+    /// Default configuration with the given number of cycles.
+    pub fn with_steps(steps: usize) -> Self {
+        Self {
+            steps,
+            ..Self::default()
+        }
+    }
+}
+
+struct CthGen {
+    cfg: CthLike,
+    torus: LogicalTorus,
+    rng: ghost_engine::rng::Xoshiro256,
+}
+
+impl StepGen for CthGen {
+    fn calls(&mut self, env: &Env, step: usize, out: &mut Vec<MpiCall>) {
+        let work = self.cfg.imbalance.apply(self.cfg.compute, &mut self.rng);
+        out.push(MpiCall::Compute(work));
+        self.torus.exchange(
+            env.rank,
+            step as u64,
+            self.cfg.halo_bytes,
+            self.cfg.halo_nonblocking,
+            out,
+        );
+        // Global stable-timestep reduction.
+        out.push(MpiCall::Allreduce {
+            bytes: 8,
+            value: 2.0 + env.rank as f64 / env.size as f64,
+            op: ReduceOp::Min,
+        });
+        // Periodic material-table broadcast from rank 0.
+        if self.cfg.bcast_every > 0 && step % self.cfg.bcast_every == self.cfg.bcast_every - 1 {
+            out.push(MpiCall::Bcast {
+                root: 0,
+                bytes: self.cfg.bcast_bytes,
+                value: 4.25,
+            });
+        }
+    }
+}
+
+impl Workload for CthLike {
+    fn name(&self) -> String {
+        "CTH-like".to_owned()
+    }
+
+    fn programs(&self, size: usize, seed: u64) -> Vec<Box<dyn Program>> {
+        let streams = NodeStream::new(seed);
+        let torus = LogicalTorus::new(size);
+        (0..size)
+            .map(|rank| {
+                let rng = streams.for_node(rank, IMBALANCE_STREAM);
+                StepDriver::new(
+                    CthGen {
+                        cfg: *self,
+                        torus,
+                        rng,
+                    },
+                    self.steps,
+                )
+                .boxed()
+            })
+            .collect()
+    }
+
+    fn nominal_compute_per_rank(&self) -> u64 {
+        self.steps as u64 * self.compute
+    }
+
+    fn collectives_per_rank(&self) -> u64 {
+        let bcasts = self
+            .steps
+            .checked_div(self.bcast_every)
+            .unwrap_or(0) as u64;
+        self.steps as u64 + bcasts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_mpi::Machine;
+    use ghost_net::{Flat, LogGP, Network};
+    use ghost_noise::NoNoise;
+
+    fn tiny() -> CthLike {
+        CthLike {
+            steps: 10,
+            compute: MS,
+            halo_bytes: 512,
+            bcast_every: 5,
+            bcast_bytes: 4096,
+            imbalance: LoadImbalance::None,
+            halo_nonblocking: false,
+        }
+    }
+
+    #[test]
+    fn cth_completes_with_bcast_value_last_on_bcast_steps() {
+        let cfg = tiny();
+        let p = 6;
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
+        let r = Machine::new(net, &NoNoise, 3)
+            .run(cfg.programs(p, 3))
+            .unwrap();
+        // steps=10, bcast_every=5: last step (9) ends with a bcast.
+        assert!(r.final_values.iter().all(|v| *v == Some(4.25)));
+    }
+
+    #[test]
+    fn cth_granularity_between_sage_and_pop() {
+        let cth = CthLike::default();
+        let per_coll = cth.nominal_compute_per_rank() / cth.collectives_per_rank();
+        assert!(per_coll > 10 * MS);
+        assert!(per_coll < 500 * MS);
+    }
+
+    #[test]
+    fn disabling_bcast_removes_it() {
+        let mut cfg = tiny();
+        cfg.bcast_every = 0;
+        assert_eq!(cfg.collectives_per_rank(), 10);
+        let p = 4;
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
+        let r = Machine::new(net, &NoNoise, 3)
+            .run(cfg.programs(p, 3))
+            .unwrap();
+        // Final call is the dt allreduce: min over ranks of 2 + r/p = 2.0.
+        assert!(r.final_values.iter().all(|v| *v == Some(2.0)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Logical-torus halo exchange.
+//!
+//! Domain-decomposed codes exchange boundary data with spatial neighbors.
+//! We map the rank space onto a logical 3-D torus (independent of the
+//! physical network topology): neighbors at ±1, ±nx, ±nx·ny in rank space,
+//! wrapped modulo P. This works for any rank count and produces the
+//! 6-neighbor pattern of a 3-D domain decomposition.
+
+use ghost_mpi::types::{MpiCall, Rank, Tag};
+
+/// A logical 3-D torus over the rank space.
+#[derive(Debug, Clone, Copy)]
+pub struct LogicalTorus {
+    size: usize,
+    strides: [usize; 3],
+}
+
+impl LogicalTorus {
+    /// Build a near-cubic logical torus over `size` ranks.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0);
+        let nx = (size as f64).cbrt().round().max(1.0) as usize;
+        let nxy = (nx * nx).max(1);
+        Self {
+            size,
+            strides: [1, nx.min(size.max(1)), nxy.min(size.max(1))],
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The six signed neighbor strides (x±, y±, z±) as `(send_to, recv_from)`
+    /// rank pairs for direction index `dir` in `0..6`.
+    ///
+    /// Direction `2d` sends "up" along axis `d` (stride `+s`) and receives
+    /// from "down" (`-s`); direction `2d+1` is the mirror. A full halo
+    /// exchange issues all six.
+    pub fn partners(&self, rank: Rank, dir: usize) -> (Rank, Rank) {
+        assert!(dir < 6, "direction {dir} out of range");
+        let s = self.strides[dir / 2] % self.size;
+        let up = (rank + s) % self.size;
+        let down = (rank + self.size - s) % self.size;
+        if dir.is_multiple_of(2) {
+            (up, down)
+        } else {
+            (down, up)
+        }
+    }
+
+    /// The halo-exchange `Sendrecv` call for `(step, dir)` with the given
+    /// payload size. Tags encode `(step, dir)` so different steps never
+    /// cross-match.
+    pub fn exchange_call(&self, rank: Rank, step: u64, dir: usize, bytes: u64) -> MpiCall {
+        let (to, from) = self.partners(rank, dir);
+        let tag = halo_tag(step, dir);
+        MpiCall::Sendrecv {
+            dst: to,
+            stag: tag,
+            sbytes: bytes,
+            svalue: rank as f64,
+            src: from,
+            rtag: tag,
+        }
+    }
+
+    /// Emit a full 6-direction halo exchange.
+    ///
+    /// * `nonblocking = false` — six sequential `Sendrecv`s (the classic
+    ///   blocking exchange; each direction completes before the next
+    ///   starts).
+    /// * `nonblocking = true` — six `Irecv`s, six `Isend`s, one `WaitAll`:
+    ///   all transfers overlap on the wire, so the exchange costs roughly
+    ///   one wire time instead of six — and exposes a smaller
+    ///   noise-vulnerable window.
+    pub fn exchange(
+        &self,
+        rank: Rank,
+        step: u64,
+        bytes: u64,
+        nonblocking: bool,
+        out: &mut Vec<MpiCall>,
+    ) {
+        if nonblocking {
+            for dir in 0..6 {
+                let (_to, from) = self.partners(rank, dir);
+                out.push(MpiCall::Irecv {
+                    src: from,
+                    tag: halo_tag(step, dir),
+                });
+            }
+            for dir in 0..6 {
+                let (to, _from) = self.partners(rank, dir);
+                out.push(MpiCall::Isend {
+                    dst: to,
+                    tag: halo_tag(step, dir),
+                    bytes,
+                    value: rank as f64,
+                });
+            }
+            out.push(MpiCall::WaitAll);
+        } else {
+            for dir in 0..6 {
+                out.push(self.exchange_call(rank, step, dir, bytes));
+            }
+        }
+    }
+}
+
+/// User-space tag for halo traffic at `(step, dir)`.
+#[inline]
+pub fn halo_tag(step: u64, dir: usize) -> Tag {
+    debug_assert!(dir < 8);
+    (step << 3) | dir as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_symmetry() {
+        // If rank r sends up to u in direction 0, then u receives from r in
+        // direction 0 — i.e. u's recv partner is r.
+        let t = LogicalTorus::new(27);
+        for r in 0..27 {
+            for dir in 0..6 {
+                let (to, _from) = t.partners(r, dir);
+                let (_to2, from2) = t.partners(to, dir);
+                assert_eq!(from2, r, "rank {r} dir {dir}");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_directions_swap_partners() {
+        let t = LogicalTorus::new(64);
+        for r in [0, 5, 63] {
+            for d in 0..3 {
+                let (to_up, from_up) = t.partners(r, 2 * d);
+                let (to_dn, from_dn) = t.partners(r, 2 * d + 1);
+                assert_eq!(to_up, from_dn);
+                assert_eq!(from_up, to_dn);
+            }
+        }
+    }
+
+    #[test]
+    fn small_sizes_are_safe() {
+        for p in 1..10 {
+            let t = LogicalTorus::new(p);
+            for r in 0..p {
+                for dir in 0..6 {
+                    let (to, from) = t.partners(r, dir);
+                    assert!(to < p && from < p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tags_unique_per_step_dir() {
+        let mut seen = std::collections::HashSet::new();
+        for step in 0..100 {
+            for dir in 0..6 {
+                assert!(seen.insert(halo_tag(step, dir)));
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_call_structure() {
+        let t = LogicalTorus::new(27);
+        match t.exchange_call(13, 7, 0, 4096) {
+            MpiCall::Sendrecv {
+                dst,
+                stag,
+                sbytes,
+                src,
+                rtag,
+                ..
+            } => {
+                assert_eq!(sbytes, 4096);
+                assert_eq!(stag, rtag);
+                assert_eq!(stag, halo_tag(7, 0));
+                let (to, from) = t.partners(13, 0);
+                assert_eq!(dst, to);
+                assert_eq!(src, from);
+            }
+            other => panic!("unexpected call {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_direction_panics() {
+        LogicalTorus::new(8).partners(0, 6);
+    }
+}

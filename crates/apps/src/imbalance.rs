@@ -1,0 +1,158 @@
+//! Load-imbalance models.
+//!
+//! Real applications never divide work perfectly; the per-step spread of
+//! compute times interacts with noise (imbalance provides slack into which
+//! noise can be absorbed). Each rank draws an independent multiplicative
+//! factor per timestep from one of these distributions.
+
+use ghost_engine::rng::Xoshiro256;
+use ghost_engine::time::Work;
+
+/// A multiplicative load-imbalance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadImbalance {
+    /// Perfect balance: every rank does exactly the nominal work.
+    None,
+    /// Uniform jitter: factor in `[1-frac, 1+frac]`.
+    Uniform {
+        /// Half-width of the jitter interval (e.g. 0.05 = ±5%).
+        frac: f64,
+    },
+    /// Gaussian jitter: factor `~ N(1, sigma)`, clamped to `[0.1, 10]`.
+    Gaussian {
+        /// Standard deviation (e.g. 0.03).
+        sigma: f64,
+    },
+    /// Pareto stragglers: factor `1 + frac * (Pareto(alpha) - 1)`; rare
+    /// ranks take much longer (heavy tail).
+    Pareto {
+        /// Tail index (smaller = heavier tail; must be > 1).
+        alpha: f64,
+        /// Scale of the straggler excess (e.g. 0.1).
+        frac: f64,
+    },
+}
+
+impl LoadImbalance {
+    /// Draw this step's factor for one rank.
+    pub fn factor(&self, rng: &mut Xoshiro256) -> f64 {
+        match *self {
+            LoadImbalance::None => 1.0,
+            LoadImbalance::Uniform { frac } => 1.0 + frac * (2.0 * rng.next_f64() - 1.0),
+            LoadImbalance::Gaussian { sigma } => (1.0 + sigma * rng.normal()).clamp(0.1, 10.0),
+            LoadImbalance::Pareto { alpha, frac } => 1.0 + frac * (rng.pareto(alpha) - 1.0),
+        }
+    }
+
+    /// Apply a drawn factor to a nominal work amount.
+    pub fn apply(&self, nominal: Work, rng: &mut Xoshiro256) -> Work {
+        match self {
+            LoadImbalance::None => nominal,
+            _ => {
+                let f = self.factor(rng);
+                (nominal as f64 * f).round().max(0.0) as Work
+            }
+        }
+    }
+
+    /// Expected factor (1.0 for all supported models; Pareto's mean exists
+    /// only for `alpha > 1`, where it exceeds 1 by `frac/(alpha-1)`).
+    pub fn mean_factor(&self) -> f64 {
+        match *self {
+            LoadImbalance::None | LoadImbalance::Uniform { .. } | LoadImbalance::Gaussian { .. } => {
+                1.0
+            }
+            LoadImbalance::Pareto { alpha, frac } => {
+                if alpha > 1.0 {
+                    1.0 + frac / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(77)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut g = rng();
+        assert_eq!(LoadImbalance::None.factor(&mut g), 1.0);
+        assert_eq!(LoadImbalance::None.apply(12345, &mut g), 12345);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut g = rng();
+        let m = LoadImbalance::Uniform { frac: 0.1 };
+        for _ in 0..10_000 {
+            let f = m.factor(&mut g);
+            assert!((0.9..=1.1).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_one() {
+        let mut g = rng();
+        let m = LoadImbalance::Uniform { frac: 0.2 };
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| m.factor(&mut g)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.002, "{mean}");
+    }
+
+    #[test]
+    fn gaussian_is_clamped() {
+        let mut g = rng();
+        let m = LoadImbalance::Gaussian { sigma: 3.0 }; // extreme on purpose
+        for _ in 0..10_000 {
+            let f = m.factor(&mut g);
+            assert!((0.1..=10.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn pareto_has_heavy_tail() {
+        let mut g = rng();
+        let m = LoadImbalance::Pareto {
+            alpha: 1.5,
+            frac: 0.2,
+        };
+        let samples: Vec<f64> = (0..50_000).map(|_| m.factor(&mut g)).collect();
+        assert!(samples.iter().all(|&f| f >= 1.0));
+        let big = samples.iter().filter(|&&f| f > 1.5).count();
+        assert!(big > 100, "tail too light: {big}");
+    }
+
+    #[test]
+    fn mean_factor_formulas() {
+        assert_eq!(LoadImbalance::None.mean_factor(), 1.0);
+        let p = LoadImbalance::Pareto {
+            alpha: 3.0,
+            frac: 0.2,
+        };
+        assert!((p.mean_factor() - 1.1).abs() < 1e-12);
+        let degenerate = LoadImbalance::Pareto {
+            alpha: 1.0,
+            frac: 0.2,
+        };
+        assert!(degenerate.mean_factor().is_infinite());
+    }
+
+    #[test]
+    fn apply_never_negative() {
+        let mut g = rng();
+        let m = LoadImbalance::Gaussian { sigma: 0.5 };
+        for _ in 0..1000 {
+            let w = m.apply(1000, &mut g);
+            // Clamped factor >= 0.1 -> work >= 100.
+            assert!(w >= 100);
+        }
+    }
+}

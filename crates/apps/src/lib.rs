@@ -1,0 +1,41 @@
+//! # ghost-apps — application skeletons with the paper's communication signatures
+//!
+//! The SC'07 study measures three production codes:
+//!
+//! * **SAGE** — adaptive-mesh hydrodynamics: long compute phases (~1 s
+//!   cycles), neighbor halo exchange, one small allreduce per cycle.
+//! * **CTH** — shock physics: similar structure at finer granularity
+//!   (~100 ms cycles).
+//! * **POP** — ocean circulation: a baroclinic phase plus a *barotropic*
+//!   conjugate-gradient solver performing hundreds of tiny iterations per
+//!   step, each ending in an 8-byte allreduce.
+//!
+//! Those codes are export-controlled or proprietary; what determines their
+//! noise sensitivity, as the paper itself argues, is their *communication
+//! signature*: compute granularity, halo pattern, and collective frequency.
+//! This crate provides parameterized skeletons reproducing exactly those
+//! signatures ([`SageLike`], [`CthLike`], [`PopLike`]), a generic
+//! bulk-synchronous generator ([`BspSynthetic`]) for parameter sweeps, and
+//! load-imbalance models.
+//!
+//! All skeletons implement [`Workload`]: a named factory of per-rank
+//! [`ghost_mpi::Program`]s, deterministic in `(size, seed)`.
+
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod cth;
+pub mod halo;
+pub mod imbalance;
+pub mod pop;
+pub mod sage;
+pub mod spectral;
+pub mod workload;
+
+pub use bsp::BspSynthetic;
+pub use cth::CthLike;
+pub use imbalance::LoadImbalance;
+pub use pop::PopLike;
+pub use sage::SageLike;
+pub use spectral::SpectralLike;
+pub use workload::Workload;

@@ -1,0 +1,203 @@
+//! POP-like workload: ocean circulation.
+//!
+//! POP (the Parallel Ocean Program) is the paper's dramatic case. Each
+//! timestep has two phases:
+//!
+//! * **baroclinic** — 3-D physics: tens of milliseconds of compute plus a
+//!   halo exchange; noise-tolerant.
+//! * **barotropic** — a 2-D implicit solve by conjugate gradient: dozens to
+//!   hundreds of iterations, each a *sub-millisecond* smidgen of compute
+//!   followed by one or two 8-byte allreduces (the dot products).
+//!
+//! The barotropic solver's granularity (~100 µs–1 ms between global
+//! synchronizations) sits right at the scale of the injected noise pulses,
+//! so a 2.5% noise signature delivered as 2500 µs pulses stalls the CG
+//! chain constantly: slowdowns reach integer multiples of the injected
+//! noise — the paper's headline amplification result.
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Work, MS, US};
+use ghost_mpi::types::{Env, MpiCall, ReduceOp};
+use ghost_mpi::Program;
+
+use crate::halo::LogicalTorus;
+use crate::imbalance::LoadImbalance;
+use crate::workload::{StepDriver, StepGen, Workload, IMBALANCE_STREAM};
+
+/// POP-like configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PopLike {
+    /// Timesteps.
+    pub steps: usize,
+    /// Baroclinic compute per step (ns). Default 50 ms.
+    pub baroclinic: Work,
+    /// Halo payload per direction (bytes). Default 16 KiB.
+    pub halo_bytes: u64,
+    /// Conjugate-gradient iterations per step. Default 60.
+    pub cg_iters: usize,
+    /// Compute per CG iteration (ns). Default 300 µs.
+    pub cg_work: Work,
+    /// Dot products (allreduces) per CG iteration. Default 2.
+    pub dots_per_iter: usize,
+    /// Load imbalance of the baroclinic phase.
+    pub imbalance: LoadImbalance,
+    /// Use the nonblocking (Isend/Irecv/WaitAll) halo exchange.
+    pub halo_nonblocking: bool,
+}
+
+impl Default for PopLike {
+    fn default() -> Self {
+        Self {
+            steps: 10,
+            baroclinic: 50 * MS,
+            halo_bytes: 16 * 1024,
+            cg_iters: 60,
+            cg_work: 300 * US,
+            dots_per_iter: 2,
+            imbalance: LoadImbalance::Gaussian { sigma: 0.02 },
+            halo_nonblocking: false,
+        }
+    }
+}
+
+impl PopLike {
+    /// Default configuration with the given number of timesteps.
+    pub fn with_steps(steps: usize) -> Self {
+        Self {
+            steps,
+            ..Self::default()
+        }
+    }
+
+    /// Mean compute between consecutive global synchronizations during the
+    /// barotropic phase (the app's effective granularity).
+    pub fn barotropic_granularity(&self) -> Work {
+        self.cg_work / self.dots_per_iter.max(1) as u64
+    }
+}
+
+struct PopGen {
+    cfg: PopLike,
+    torus: LogicalTorus,
+    rng: ghost_engine::rng::Xoshiro256,
+}
+
+impl StepGen for PopGen {
+    fn calls(&mut self, env: &Env, step: usize, out: &mut Vec<MpiCall>) {
+        // Baroclinic: physics compute + halo.
+        let work = self.cfg.imbalance.apply(self.cfg.baroclinic, &mut self.rng);
+        out.push(MpiCall::Compute(work));
+        self.torus.exchange(
+            env.rank,
+            step as u64,
+            self.cfg.halo_bytes,
+            self.cfg.halo_nonblocking,
+            out,
+        );
+        // Barotropic: CG iterations, each = slivers of compute separated by
+        // 8-byte dot-product allreduces.
+        let dots = self.cfg.dots_per_iter.max(1);
+        let slice = self.cfg.cg_work / dots as u64;
+        for _ in 0..self.cfg.cg_iters {
+            for _ in 0..dots {
+                out.push(MpiCall::Compute(slice));
+                out.push(MpiCall::Allreduce {
+                    bytes: 8,
+                    value: 1.0, // residual contribution; sum = P everywhere
+                    op: ReduceOp::Sum,
+                });
+            }
+        }
+    }
+}
+
+impl Workload for PopLike {
+    fn name(&self) -> String {
+        "POP-like".to_owned()
+    }
+
+    fn programs(&self, size: usize, seed: u64) -> Vec<Box<dyn Program>> {
+        let streams = NodeStream::new(seed);
+        let torus = LogicalTorus::new(size);
+        (0..size)
+            .map(|rank| {
+                let rng = streams.for_node(rank, IMBALANCE_STREAM);
+                StepDriver::new(
+                    PopGen {
+                        cfg: *self,
+                        torus,
+                        rng,
+                    },
+                    self.steps,
+                )
+                .boxed()
+            })
+            .collect()
+    }
+
+    fn nominal_compute_per_rank(&self) -> u64 {
+        self.steps as u64 * (self.baroclinic + self.cg_iters as u64 * self.cg_work)
+    }
+
+    fn collectives_per_rank(&self) -> u64 {
+        (self.steps * self.cg_iters * self.dots_per_iter.max(1)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_mpi::Machine;
+    use ghost_net::{Flat, LogGP, Network};
+    use ghost_noise::NoNoise;
+
+    fn tiny() -> PopLike {
+        PopLike {
+            steps: 2,
+            baroclinic: MS,
+            halo_bytes: 256,
+            cg_iters: 5,
+            cg_work: 10 * US,
+            dots_per_iter: 2,
+            imbalance: LoadImbalance::None,
+            halo_nonblocking: false,
+        }
+    }
+
+    #[test]
+    fn pop_completes_with_global_residual() {
+        let cfg = tiny();
+        let p = 6;
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
+        let r = Machine::new(net, &NoNoise, 11)
+            .run(cfg.programs(p, 11))
+            .unwrap();
+        // Final call is a sum-allreduce of 1.0 per rank.
+        assert!(r.final_values.iter().all(|v| *v == Some(p as f64)));
+    }
+
+    #[test]
+    fn pop_granularity_is_fine() {
+        let pop = PopLike::default();
+        assert!(pop.barotropic_granularity() <= MS);
+        // Far more collectives per unit compute than SAGE.
+        let per_coll = pop.nominal_compute_per_rank() / pop.collectives_per_rank();
+        assert!(per_coll < 2 * MS, "granularity {per_coll}");
+    }
+
+    #[test]
+    fn collective_count_formula() {
+        let cfg = tiny();
+        assert_eq!(cfg.collectives_per_rank(), 2 * 5 * 2);
+    }
+
+    #[test]
+    fn cg_slice_divides_work() {
+        let cfg = PopLike {
+            cg_work: 100,
+            dots_per_iter: 3,
+            ..tiny()
+        };
+        assert_eq!(cfg.barotropic_granularity(), 33);
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`Workload`] trait: a named, deterministic factory of rank programs.
+
+use ghost_mpi::Program;
+
+/// A complete application workload: builds one program per rank.
+///
+/// Implementations must be deterministic in `(size, seed)` — the experiment
+/// harness relies on re-creating identical workloads for baseline and noisy
+/// runs.
+pub trait Workload: Send + Sync {
+    /// Short name for tables ("SAGE-like", "POP-like", ...).
+    fn name(&self) -> String;
+
+    /// Build the per-rank programs for a `size`-rank run.
+    fn programs(&self, size: usize, seed: u64) -> Vec<Box<dyn Program>>;
+
+    /// Total *useful* compute work one rank performs (ns), if constant
+    /// across ranks modulo imbalance; used for reporting compute/comm ratios.
+    fn nominal_compute_per_rank(&self) -> u64;
+
+    /// Number of collective operations issued per rank over the run (used
+    /// to report synchronization granularity).
+    fn collectives_per_rank(&self) -> u64;
+}
+
+/// RNG stream tag for application load-imbalance draws (shared convention
+/// with `ghost_noise::model::streams`).
+pub const IMBALANCE_STREAM: u64 = 0x03;
+
+/// A per-timestep call generator: the building block for step-structured
+/// applications. [`StepDriver`] turns one into a [`Program`].
+pub trait StepGen: Send {
+    /// Emit the calls for `step` (0-based) into `out`.
+    fn calls(&mut self, env: &ghost_mpi::Env, step: usize, out: &mut Vec<ghost_mpi::MpiCall>);
+}
+
+/// Drives a [`StepGen`] through a fixed number of timesteps, yielding each
+/// step's calls in order.
+pub struct StepDriver<G> {
+    gen: G,
+    steps: usize,
+    step: usize,
+    buf: Vec<ghost_mpi::MpiCall>,
+    idx: usize,
+}
+
+impl<G: StepGen> StepDriver<G> {
+    /// Run `gen` for `steps` timesteps.
+    pub fn new(gen: G, steps: usize) -> Self {
+        Self {
+            gen,
+            steps,
+            step: 0,
+            buf: Vec::new(),
+            idx: 0,
+        }
+    }
+
+    /// Box as a program.
+    pub fn boxed(self) -> Box<dyn Program>
+    where
+        G: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<G: StepGen> Program for StepDriver<G> {
+    fn next(
+        &mut self,
+        env: &ghost_mpi::Env,
+        _now: ghost_engine::time::Time,
+        _prev: Option<f64>,
+    ) -> Option<ghost_mpi::MpiCall> {
+        loop {
+            if self.idx < self.buf.len() {
+                let call = self.buf[self.idx];
+                self.idx += 1;
+                return Some(call);
+            }
+            if self.step == self.steps {
+                return None;
+            }
+            self.buf.clear();
+            self.idx = 0;
+            let s = self.step;
+            self.step += 1;
+            self.gen.calls(env, s, &mut self.buf);
+        }
+    }
+}
+
+/// GOAL scripts are workloads: the script fixes the rank count, so
+/// `programs(size, _)` requires `size == script.size()`; scripts are fully
+/// deterministic, so the seed is unused.
+impl Workload for ghost_mpi::GoalWorkload {
+    fn name(&self) -> String {
+        format!("goal-script({} ranks)", self.size())
+    }
+
+    fn programs(&self, size: usize, _seed: u64) -> Vec<Box<dyn Program>> {
+        assert_eq!(
+            size,
+            self.size(),
+            "GOAL script defines {} ranks, experiment asked for {size}",
+            self.size()
+        );
+        self.programs()
+    }
+
+    fn nominal_compute_per_rank(&self) -> u64 {
+        let total: u64 = (0..self.size())
+            .flat_map(|r| self.calls(r).iter())
+            .map(|c| match c {
+                ghost_mpi::MpiCall::Compute(w) => *w,
+                _ => 0,
+            })
+            .sum();
+        total / self.size().max(1) as u64
+    }
+
+    fn collectives_per_rank(&self) -> u64 {
+        let total: u64 = (0..self.size())
+            .flat_map(|r| self.calls(r).iter())
+            .map(|c| match c {
+                ghost_mpi::MpiCall::Compute(_)
+                | ghost_mpi::MpiCall::Send { .. }
+                | ghost_mpi::MpiCall::Recv { .. }
+                | ghost_mpi::MpiCall::Sendrecv { .. }
+                | ghost_mpi::MpiCall::Isend { .. }
+                | ghost_mpi::MpiCall::Irecv { .. }
+                | ghost_mpi::MpiCall::WaitAll => 0,
+                _ => 1,
+            })
+            .sum();
+        total / self.size().max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_mpi::{Env, MpiCall};
+
+    struct TwoCalls;
+    impl StepGen for TwoCalls {
+        fn calls(&mut self, _env: &Env, step: usize, out: &mut Vec<MpiCall>) {
+            out.push(MpiCall::Compute(step as u64 + 1));
+            out.push(MpiCall::Barrier);
+        }
+    }
+
+    #[test]
+    fn step_driver_sequences_steps() {
+        let env = Env { rank: 0, size: 1 };
+        let mut d = StepDriver::new(TwoCalls, 2);
+        assert_eq!(d.next(&env, 0, None), Some(MpiCall::Compute(1)));
+        assert_eq!(d.next(&env, 1, None), Some(MpiCall::Barrier));
+        assert_eq!(d.next(&env, 2, None), Some(MpiCall::Compute(2)));
+        assert_eq!(d.next(&env, 3, None), Some(MpiCall::Barrier));
+        assert_eq!(d.next(&env, 4, None), None);
+    }
+
+    struct EmptyGen;
+    impl StepGen for EmptyGen {
+        fn calls(&mut self, _env: &Env, _step: usize, _out: &mut Vec<MpiCall>) {}
+    }
+
+    #[test]
+    fn empty_steps_terminate() {
+        let env = Env { rank: 0, size: 1 };
+        let mut d = StepDriver::new(EmptyGen, 100);
+        assert_eq!(d.next(&env, 0, None), None);
+    }
+
+    #[test]
+    fn goal_workload_implements_workload() {
+        let goal = ghost_mpi::GoalWorkload::parse(
+            "ranks 4\nall:\n  compute 1000\n  allreduce 8 sum\n  barrier\n",
+        )
+        .unwrap();
+        assert_eq!(goal.name(), "goal-script(4 ranks)");
+        assert_eq!(Workload::programs(&goal, 4, 0).len(), 4);
+        assert_eq!(goal.nominal_compute_per_rank(), 1000);
+        assert_eq!(Workload::collectives_per_rank(&goal), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "defines 4 ranks")]
+    fn goal_workload_size_mismatch_panics() {
+        let goal =
+            ghost_mpi::GoalWorkload::parse("ranks 4\nall:\n  barrier\n").unwrap();
+        let _ = Workload::programs(&goal, 8, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Ablation A2 — collective algorithm choice under noise.
+//!
+//! Recursive doubling vs Rabenseifner allreduce across payload sizes, with
+//! and without the harshest 2.5% signature. Algorithm choice shifts the
+//! baseline (latency- vs bandwidth-optimal) but noise punishes both through
+//! their round structure.
+
+use ghost_apps::bsp::{BspSynthetic, SyncKind};
+use ghost_bench::{prologue, quick, seed};
+use ghost_core::experiment::{run_workload, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+use ghost_mpi::{AllreduceAlgo, CollectiveConfig};
+use ghost_noise::Signature;
+use ghost_engine::time::US;
+
+const REPS: usize = 50;
+
+fn mean_ns(p: usize, bytes: u64, algo: AllreduceAlgo, inj: &NoiseInjection, seed: u64) -> f64 {
+    let w = BspSynthetic::new(REPS, 0).with_sync(SyncKind::Allreduce { bytes });
+    let mut spec = ExperimentSpec::flat(p, seed);
+    spec.coll = CollectiveConfig {
+        allreduce: algo,
+        ..CollectiveConfig::default()
+    };
+    let r = run_workload(&spec, &w, inj);
+    r.makespan as f64 / REPS as f64
+}
+
+fn main() {
+    prologue("ablation_algorithms");
+    let p = if quick() { 64 } else { 256 };
+    let sig = Signature::new(10.0, 2500 * US);
+    let noisy = NoiseInjection::uncoordinated(sig);
+    let clean = NoiseInjection::none();
+
+    let mut tab = Table::new(
+        format!("A2: allreduce algorithm vs payload at P={p}"),
+        &[
+            "payload",
+            "recdbl base (us)",
+            "raben base (us)",
+            "recdbl noisy (us)",
+            "raben noisy (us)",
+        ],
+    );
+    for bytes in [8u64, 1024, 16 * 1024, 256 * 1024, 1 << 20] {
+        let rb = mean_ns(p, bytes, AllreduceAlgo::RecursiveDoubling, &clean, seed());
+        let bb = mean_ns(p, bytes, AllreduceAlgo::Rabenseifner, &clean, seed());
+        let rn = mean_ns(p, bytes, AllreduceAlgo::RecursiveDoubling, &noisy, seed());
+        let bn = mean_ns(p, bytes, AllreduceAlgo::Rabenseifner, &noisy, seed());
+        tab.row(&[
+            format!("{bytes} B"),
+            f(rb / 1000.0),
+            f(bb / 1000.0),
+            f(rn / 1000.0),
+            f(bn / 1000.0),
+        ]);
+    }
+    println!("{}", tab.render());
+}

@@ -1,0 +1,41 @@
+//! Ablation A1 — coordinated vs uncoordinated noise.
+//!
+//! The paper's discussion (and the co-scheduling literature it cites)
+//! predicts that *when* noise strikes matters as much as how much: if every
+//! node loses the same instants (phase-aligned, as under gang-scheduled
+//! kernel activity), synchronized applications barely notice; independent
+//! phases maximize the max-of-P penalty. Staggered phases are the
+//! adversarial worst case: some node is always down.
+
+use ghost_apps::bsp::BspSynthetic;
+use ghost_bench::{prologue, quick, seed};
+use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+use ghost_engine::time::US;
+use ghost_noise::model::PhasePolicy;
+use ghost_noise::Signature;
+
+fn main() {
+    prologue("ablation_coordination");
+    let p = if quick() { 64 } else { 512 };
+    let spec = ExperimentSpec::flat(p, seed());
+    let w = BspSynthetic::new(if quick() { 50 } else { 200 }, 500 * US);
+    let sig = Signature::new(10.0, 2500 * US);
+
+    let mut tab = Table::new(
+        format!("A1: phase policy at P={p}, 10Hz x 2.5ms (2.5% net), BSP g=500us"),
+        &["phase policy", "slowdown %", "amplification"],
+    );
+    let policies: Vec<(&str, PhasePolicy)> = vec![
+        ("aligned (co-scheduled)", PhasePolicy::Aligned),
+        ("random (uncoordinated)", PhasePolicy::Random),
+        ("staggered (worst case)", PhasePolicy::Staggered { nodes: p }),
+    ];
+    for (name, policy) in policies {
+        let inj = NoiseInjection::with_policy(sig, policy);
+        let m = compare(&spec, &w, &inj);
+        tab.row(&[name.to_string(), f(m.slowdown_pct()), f(m.amplification())]);
+    }
+    println!("{}", tab.render());
+}

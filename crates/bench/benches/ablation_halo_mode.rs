@@ -1,0 +1,59 @@
+//! Ablation A5 — blocking vs nonblocking halo exchange under noise.
+//!
+//! The classic six-sequential-Sendrecv halo serializes six wire times and
+//! exposes six noise-vulnerable windows per step; the Isend/Irecv/WaitAll
+//! variant overlaps the transfers. Measures both the baseline gain and how
+//! each variant weathers the canonical 2.5% signatures.
+
+use ghost_apps::CthLike;
+use ghost_bench::{canonical_injections, prologue, quick, seed};
+use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, t, Table};
+use ghost_engine::time::MS;
+
+fn main() {
+    prologue("ablation_halo_mode");
+    let p = if quick() { 64 } else { 512 };
+    let spec = ExperimentSpec::flat(p, seed());
+    // Communication-heavy CTH so the halo matters: short compute, big halo.
+    let base_cfg = CthLike {
+        steps: if quick() { 5 } else { 20 },
+        compute: 10 * MS,
+        halo_bytes: 1024 * 1024,
+        ..CthLike::with_steps(20)
+    };
+
+    let mut tab = Table::new(
+        format!("A5: halo exchange mode at P={p} (1 MiB halos, 10 ms compute)"),
+        &["halo mode", "injection", "T_base", "slowdown %"],
+    );
+    for nonblocking in [false, true] {
+        let cfg = CthLike {
+            halo_nonblocking: nonblocking,
+            ..base_cfg
+        };
+        let name = if nonblocking {
+            "nonblocking (Isend/Irecv/WaitAll)"
+        } else {
+            "blocking (6x Sendrecv)"
+        };
+        let none = compare(&spec, &cfg, &NoiseInjection::none());
+        tab.row(&[
+            name.to_owned(),
+            "none".to_owned(),
+            t(none.base),
+            "0".to_owned(),
+        ]);
+        for inj in canonical_injections() {
+            let m = compare(&spec, &cfg, &inj);
+            tab.row(&[
+                name.to_owned(),
+                inj.label().to_owned(),
+                t(m.base),
+                f(m.slowdown_pct()),
+            ]);
+        }
+    }
+    println!("{}", tab.render());
+}

@@ -1,0 +1,38 @@
+//! Ablation A3 — intensity sweep at fixed 10 Hz.
+//!
+//! Scaling the net intensity at the most harmful frequency: slowdown is
+//! strongly super-linear in intensity for a fine-grained application
+//! (longer pulses at the same frequency), another way the "x% noise costs
+//! x%" intuition fails.
+
+use ghost_apps::bsp::BspSynthetic;
+use ghost_bench::{prologue, quick, seed};
+use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+use ghost_engine::time::US;
+use ghost_noise::Signature;
+
+fn main() {
+    prologue("ablation_intensity");
+    let p = if quick() { 64 } else { 512 };
+    let spec = ExperimentSpec::flat(p, seed());
+    let w = BspSynthetic::new(if quick() { 50 } else { 200 }, 500 * US);
+
+    let mut tab = Table::new(
+        format!("A3: 10 Hz intensity sweep at P={p}, BSP g=500us"),
+        &["net intensity %", "pulse duration", "slowdown %", "amplification"],
+    );
+    for net in [0.005, 0.01, 0.025, 0.05, 0.10] {
+        let sig = Signature::from_net(10.0, net);
+        let inj = NoiseInjection::uncoordinated(sig);
+        let m = compare(&spec, &w, &inj);
+        tab.row(&[
+            f(net * 100.0),
+            ghost_engine::time::format_time(sig.duration()),
+            f(m.slowdown_pct()),
+            f(m.amplification()),
+        ]);
+    }
+    println!("{}", tab.render());
+}

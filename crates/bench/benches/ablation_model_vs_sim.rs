@@ -1,0 +1,47 @@
+//! Ablation A4 — analytic max-of-P model vs simulation.
+//!
+//! Validates the closed-form model in `ghost_core::analytic` against the
+//! simulator across granularities and scales for the 10 Hz signature.
+
+use ghost_apps::bsp::BspSynthetic;
+use ghost_bench::{prologue, quick, seed};
+use ghost_core::analytic::expected_bsp_slowdown_pct;
+use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+use ghost_engine::time::{MS, US};
+use ghost_noise::Signature;
+
+fn main() {
+    prologue("ablation_model_vs_sim");
+    let sig = Signature::new(10.0, 2500 * US);
+    let inj = NoiseInjection::uncoordinated(sig);
+    // The run must span many noise periods or the estimate is dominated by
+    // whether any pulse happened to land at all: size step counts so each
+    // run covers >= ~20 pulse periods, within an event budget.
+    let steps_for = |g: u64| -> usize {
+        let span = if quick() { 2_000 * MS / 10 } else { 2_000 * MS };
+        ((span / g.max(1)) as usize).clamp(200, 5_000)
+    };
+
+    let mut tab = Table::new(
+        "A4: analytic model vs simulation, 10Hz x 2.5ms (2.5% net)",
+        &["granularity", "nodes", "sim slowdown %", "model slowdown %"],
+    );
+    let scales: &[usize] = if quick() { &[16, 64] } else { &[16, 64, 256, 1024] };
+    for &g in &[100 * US, 500 * US, 2 * MS, 20 * MS] {
+        for &p in scales {
+            let spec = ExperimentSpec::flat(p, seed());
+            let w = BspSynthetic::new(steps_for(g), g);
+            let m = compare(&spec, &w, &inj);
+            let model = expected_bsp_slowdown_pct(g, sig, p);
+            tab.row(&[
+                ghost_engine::time::format_time(g),
+                p.to_string(),
+                f(m.slowdown_pct()),
+                f(model),
+            ]);
+        }
+    }
+    println!("{}", tab.render());
+}

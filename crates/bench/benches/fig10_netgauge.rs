@@ -1,0 +1,56 @@
+//! Figure 10 — netgauge-style noise measurement through the network.
+//!
+//! An RTT-jitter view of the injected signatures: a client rank ping-pongs
+//! 8-byte messages with a server while both are subject to injection.
+//! Low-frequency signatures appear as rare multi-millisecond RTT spikes;
+//! high-frequency signatures thicken the whole distribution — the
+//! complementary measurement methodology to FTQ/FWQ (cf. netgauge's noise
+//! benchmark).
+
+use ghost_bench::{prologue, quick, seed};
+use ghost_core::experiment::ExperimentSpec;
+use ghost_core::injection::NoiseInjection;
+use ghost_core::netgauge::pingpong;
+use ghost_core::report::{f, Table};
+use ghost_noise::signature::canonical_2_5pct;
+
+fn main() {
+    prologue("fig10_netgauge");
+    let rounds = if quick() { 20_000 } else { 100_000 };
+    let spec = ExperimentSpec::flat(2, seed());
+
+    let mut tab = Table::new(
+        format!("Fig 10: ping-pong RTT jitter under injection ({rounds} pings, 8 B)"),
+        &[
+            "injection",
+            "min RTT (us)",
+            "p50 (us)",
+            "p99 (us)",
+            "max (us)",
+            "outliers >1.2x min %",
+            "overhead %",
+        ],
+    );
+
+    let mut rows = vec![NoiseInjection::none()];
+    rows.extend(canonical_2_5pct().into_iter().map(NoiseInjection::uncoordinated));
+    for inj in rows {
+        let run = pingpong(&spec, &inj, 1, rounds);
+        let s = run.summary();
+        let total: u64 = run.rtts.iter().sum();
+        tab.row(&[
+            inj.label().to_owned(),
+            f(s.min / 1000.0),
+            f(s.p50 / 1000.0),
+            f(s.p99 / 1000.0),
+            f(s.max / 1000.0),
+            f(run.outlier_fraction(1.2) * 100.0),
+            f(run.total_overhead() as f64 / total as f64 * 100.0),
+        ]);
+    }
+    println!("{}", tab.render());
+    println!(
+        "note: both endpoints carry the injection, so the expected overhead is ~2x the\n\
+         per-node 2.5% net intensity minus what falls into wire time."
+    );
+}

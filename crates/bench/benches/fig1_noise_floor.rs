@@ -1,0 +1,66 @@
+//! Figure 1 — the noise floor: lightweight kernel vs commodity OS.
+//!
+//! FTQ characterization of the two kernel archetypes the paper contrasts:
+//! a Catamount-like lightweight kernel (no noise at all) and a commodity
+//! general-purpose kernel (timer tick + scheduler + daemons). Prints the
+//! per-quantum lost-work summary and the dominant spectral lines of the
+//! commodity profile.
+
+use ghost_bench::{prologue, seed};
+use ghost_core::report::{f, Table};
+use ghost_engine::time::MS;
+use ghost_noise::composite::commodity_os;
+use ghost_noise::ftq::ftq;
+use ghost_noise::model::NoNoise;
+use ghost_noise::spectrum::dominant_frequency;
+
+fn main() {
+    prologue("fig1_noise_floor");
+    let quanta = 10_000; // 10 s at 1 ms quanta
+
+    let mut tab = Table::new(
+        "Fig 1: FTQ noise floor (1 ms quanta, 10 s)",
+        &[
+            "kernel",
+            "net noise %",
+            "mean lost/quantum (ns)",
+            "p99 lost (ns)",
+            "max lost (ns)",
+            "dominant freq (Hz)",
+        ],
+    );
+
+    let lwk = ftq(&NoNoise, 0, seed(), MS, quanta);
+    let lost = lwk.lost();
+    let s = ghost_noise::stats::Summary::of_u64(&lost);
+    tab.row(&[
+        "lightweight (Catamount-like)".into(),
+        f(lwk.measured_noise_fraction() * 100.0),
+        f(s.mean),
+        f(s.p99),
+        f(s.max),
+        "-".into(),
+    ]);
+
+    let commodity = commodity_os();
+    let run = ftq(&commodity, 0, seed(), MS, quanta);
+    let lost = run.lost();
+    let s = ghost_noise::stats::Summary::of_u64(&lost);
+    let series: Vec<f64> = lost.iter().map(|&x| x as f64).collect();
+    let peak = dominant_frequency(&series, run.sample_rate_hz());
+    tab.row(&[
+        "commodity (tick+sched+daemons)".into(),
+        f(run.measured_noise_fraction() * 100.0),
+        f(s.mean),
+        f(s.p99),
+        f(s.max),
+        peak.map(|p| format!("{p:.1}")).unwrap_or_else(|| "-".into()),
+    ]);
+
+    println!("{}", tab.render());
+    println!(
+        "note: the commodity profile steals only ~{:.1}% net, yet its rare multi-ms daemon\n\
+         pulses are exactly the signature shown most harmful in Figs 5-9.",
+        run.measured_noise_fraction() * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 2 — injection verification by FTQ.
+//!
+//! For each canonical 2.5% signature: run FTQ against the injected node and
+//! confirm (a) the measured net intensity matches the nominal 2.5%, and
+//! (b) the power spectrum of the lost-work series peaks at the injection
+//! frequency — the simulated counterpart of the paper's verification plots.
+
+use ghost_bench::{prologue, seed};
+use ghost_core::report::{f, Table};
+use ghost_engine::time::MS;
+use ghost_noise::ftq::ftq;
+use ghost_noise::model::PhasePolicy;
+use ghost_noise::signature::canonical_2_5pct;
+use ghost_noise::spectrum::fundamental_frequency;
+
+fn main() {
+    prologue("fig2_injection_ftq");
+    let mut tab = Table::new(
+        "Fig 2: FTQ verification of injected signatures (1 ms quanta, 16.4 s)",
+        &[
+            "signature",
+            "nominal net %",
+            "FTQ net %",
+            "nominal freq (Hz)",
+            "spectral peak (Hz)",
+            "quanta hit %",
+        ],
+    );
+    for sig in canonical_2_5pct() {
+        let model = sig.periodic_model(PhasePolicy::Random);
+        let run = ftq(&model, 0, seed(), MS, 16_384);
+        let lost = run.lost();
+        let hit = lost.iter().filter(|&&l| l > 0).count() as f64 / lost.len() as f64;
+        let series: Vec<f64> = lost.iter().map(|&x| x as f64).collect();
+        let peak = fundamental_frequency(&series, run.sample_rate_hz());
+        tab.row(&[
+            sig.label(),
+            f(sig.net_fraction() * 100.0),
+            f(run.measured_noise_fraction() * 100.0),
+            format!("{:.0}", sig.hz()),
+            peak.map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "(aliased)".into()),
+            f(hit * 100.0),
+        ]);
+    }
+    println!("{}", tab.render());
+    println!(
+        "note: the 1 kHz signature aliases at the 1 kHz FTQ sampling rate (every quantum is\n\
+         hit, so the lost-work series is nearly flat) — the same measurement limit the\n\
+         FTQ literature reports on real hardware."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 4 — which collectives suffer most?
+//!
+//! At a fixed machine size, slowdown of different collective operations and
+//! payload sizes under each canonical 2.5% signature. Latency-bound
+//! operations (barrier, small allreduce) amplify noise the most; a
+//! bandwidth-bound large allreduce hides pulses inside long transfers.
+
+use ghost_apps::bsp::{BspSynthetic, SyncKind};
+use ghost_bench::{canonical_injections, prologue, quick, seed};
+use ghost_core::experiment::{run_workload, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+
+const REPS: usize = 100;
+
+fn mean_op_ns(p: usize, sync: SyncKind, inj: &NoiseInjection) -> f64 {
+    let w = BspSynthetic::new(REPS, 0).with_sync(sync);
+    let spec = ExperimentSpec::flat(p, seed());
+    let r = run_workload(&spec, &w, inj);
+    r.makespan as f64 / REPS as f64
+}
+
+fn main() {
+    prologue("fig4_collective_sensitivity");
+    let p = if quick() { 64 } else { 1024 };
+    let ops: Vec<(&str, SyncKind)> = vec![
+        ("barrier", SyncKind::Barrier),
+        ("allreduce 8 B", SyncKind::Allreduce { bytes: 8 }),
+        ("allreduce 1 KiB", SyncKind::Allreduce { bytes: 1024 }),
+        ("allreduce 64 KiB", SyncKind::Allreduce { bytes: 64 * 1024 }),
+        ("allreduce 1 MiB", SyncKind::Allreduce { bytes: 1 << 20 }),
+    ];
+    // Alltoall is measured separately (not a SyncKind) via a tiny script.
+    let injections = canonical_injections();
+
+    let mut header = vec!["operation".to_string(), "baseline (us)".to_string()];
+    for inj in &injections {
+        header.push(format!("{} slow%", inj.label()));
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut tab = Table::new(
+        format!("Fig 4: collective sensitivity at P={p} (2.5% net noise)"),
+        &hdr,
+    );
+
+    for (name, sync) in ops {
+        let base = mean_op_ns(p, sync, &NoiseInjection::none());
+        let mut row = vec![name.to_string(), f(base / 1000.0)];
+        for inj in &injections {
+            let noisy = mean_op_ns(p, sync, inj);
+            row.push(f((noisy - base) / base * 100.0));
+        }
+        tab.row(&row);
+    }
+    println!("{}", tab.render());
+}

@@ -1,0 +1,10 @@
+//! Figure 5 — SAGE-like slowdown vs node count (2.5% net noise).
+//!
+//! The paper's benign case: coarse granularity absorbs injected noise, so
+//! slowdown stays near the injected 2.5% at every scale and signature.
+
+fn main() {
+    ghost_bench::prologue("fig5_sage");
+    let w = ghost_bench::sage_workload();
+    ghost_bench::app_scaling_figure("Fig 5", "slowdown vs scale, 2.5% net noise", &w);
+}

@@ -1,0 +1,10 @@
+//! Figure 6 — CTH-like slowdown vs node count (2.5% net noise).
+//!
+//! The intermediate case: visible amplification of the 10 Hz signature at
+//! scale, while the fine-grained 1 kHz signature is still largely absorbed.
+
+fn main() {
+    ghost_bench::prologue("fig6_cth");
+    let w = ghost_bench::cth_workload();
+    ghost_bench::app_scaling_figure("Fig 6", "slowdown vs scale, 2.5% net noise", &w);
+}

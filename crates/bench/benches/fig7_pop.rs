@@ -1,0 +1,12 @@
+//! Figure 7 — POP-like slowdown vs node count (2.5% net noise).
+//!
+//! The paper's headline: POP's barotropic conjugate-gradient solver
+//! synchronizes every few hundred microseconds, so 2.5% of noise delivered
+//! as 2500 us pulses produces slowdowns of hundreds to thousands of percent
+//! at scale — orders of magnitude beyond the injected intensity.
+
+fn main() {
+    ghost_bench::prologue("fig7_pop");
+    let w = ghost_bench::pop_workload();
+    ghost_bench::app_scaling_figure("Fig 7", "slowdown vs scale, 2.5% net noise", &w);
+}

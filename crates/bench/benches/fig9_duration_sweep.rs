@@ -1,0 +1,46 @@
+//! Figure 9 — pulse-duration sweep at fixed 2.5% net intensity.
+//!
+//! The cleanest statement of the paper's thesis: hold the stolen CPU share
+//! constant and vary only the *shape*. As pulses lengthen (and rarify),
+//! slowdown of a fine-grained application rises by orders of magnitude —
+//! net noise percentage alone predicts nothing.
+
+use ghost_apps::bsp::BspSynthetic;
+use ghost_bench::{prologue, quick, seed};
+use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+use ghost_engine::time::US;
+use ghost_noise::signature::duration_sweep;
+
+fn main() {
+    prologue("fig9_duration_sweep");
+    let p = if quick() { 64 } else { 1024 };
+    let spec = ExperimentSpec::flat(p, seed());
+    // A POP-granularity synthetic: 500 us compute + 8-byte allreduce.
+    let w = BspSynthetic::new(if quick() { 100 } else { 400 }, 500 * US);
+
+    let mut tab = Table::new(
+        format!("Fig 9: BSP (g=500us) slowdown vs pulse duration at fixed 2.5% net, P={p}"),
+        &[
+            "pulse duration",
+            "frequency (Hz)",
+            "slowdown %",
+            "amplification",
+            "model slowdown %",
+        ],
+    );
+    for sig in duration_sweep(0.025, 25 * US, 6400 * US) {
+        let inj = NoiseInjection::uncoordinated(sig);
+        let m = compare(&spec, &w, &inj);
+        let model = ghost_core::analytic::expected_bsp_slowdown_pct(500 * US, sig, p);
+        tab.row(&[
+            ghost_engine::time::format_time(sig.duration()),
+            format!("{:.0}", sig.hz()),
+            f(m.slowdown_pct()),
+            f(m.amplification()),
+            f(model),
+        ]);
+    }
+    println!("{}", tab.render());
+}

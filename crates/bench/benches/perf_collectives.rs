@@ -1,0 +1,44 @@
+//! Criterion: full-machine simulation throughput for collectives and POP.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ghost_apps::{PopLike, Workload};
+use ghost_apps::bsp::{BspSynthetic, SyncKind};
+use ghost_core::experiment::{run_workload, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_engine::time::US;
+use ghost_noise::Signature;
+
+fn bench_allreduce_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_allreduce");
+    g.sample_size(10);
+    for p in [64usize, 512] {
+        let w = BspSynthetic::new(50, 0).with_sync(SyncKind::Allreduce { bytes: 8 });
+        let spec = ExperimentSpec::flat(p, 1);
+        g.throughput(Throughput::Elements(50));
+        g.bench_function(format!("p{p}_50ops_noiseless"), |b| {
+            b.iter(|| run_workload(&spec, &w, &NoiseInjection::none()).makespan)
+        });
+        let inj = NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US));
+        g.bench_function(format!("p{p}_50ops_noisy"), |b| {
+            b.iter(|| run_workload(&spec, &w, &inj).makespan)
+        });
+    }
+    g.finish();
+}
+
+fn bench_pop_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_pop");
+    g.sample_size(10);
+    let w = PopLike { steps: 1, ..Default::default() };
+    for p in [64usize, 256] {
+        let spec = ExperimentSpec::flat(p, 1);
+        g.throughput(Throughput::Elements(w.collectives_per_rank()));
+        g.bench_function(format!("p{p}_1step"), |b| {
+            b.iter(|| run_workload(&spec, &w, &NoiseInjection::none()).events)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allreduce_sim, bench_pop_sim);
+criterion_main!(benches);

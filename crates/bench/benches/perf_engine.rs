@@ -1,0 +1,103 @@
+//! Criterion: engine primitives — event queue throughput, RNG streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ghost_engine::rng::{NodeStream, Xoshiro256};
+use ghost_engine::{CalendarQueue, EventQueue};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut state = 0x1234u64;
+                    let times: Vec<u64> = (0..n)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            state >> 33
+                        })
+                        .collect();
+                    times
+                },
+                |times| {
+                    let mut q = EventQueue::with_capacity(times.len());
+                    for &t in &times {
+                        q.push(t, t);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((t, _)) = q.pop() {
+                        acc = acc.wrapping_add(t);
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_calendar_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar_queue");
+    for n in [1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut state = 0x1234u64;
+                    let times: Vec<u64> = (0..n)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            state >> 33
+                        })
+                        .collect();
+                    times
+                },
+                |times| {
+                    let mut q = CalendarQueue::with_params(1 << 20, 1024);
+                    for &t in &times {
+                        q.push(t, t);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((t, _)) = q.pop() {
+                        acc = acc.wrapping_add(t);
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("xoshiro_1M_u64", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("node_stream_instantiation_10k", |b| {
+        let s = NodeStream::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for node in 0..10_000 {
+                acc = acc.wrapping_add(s.for_node(node, 1).next_u64());
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_calendar_queue, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion: noise model advance throughput (the simulator's hottest path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{MS, US};
+use ghost_noise::composite::commodity_os;
+use ghost_noise::model::{NoiseModel, PhasePolicy};
+use ghost_noise::stochastic::{DurationDist, PoissonNoise};
+use ghost_noise::Signature;
+
+const CALLS: usize = 100_000;
+
+fn advance_loop(model: &dyn NoiseModel) -> u64 {
+    let s = NodeStream::new(1);
+    let mut n = model.instantiate(0, &s);
+    let mut t = 0u64;
+    for _ in 0..CALLS {
+        t = n.advance(t, 100 * US);
+    }
+    t
+}
+
+fn bench_noise_advance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise_advance");
+    g.throughput(Throughput::Elements(CALLS as u64));
+    let periodic = Signature::new(100.0, 250 * US).periodic_model(PhasePolicy::Random);
+    g.bench_function("periodic_100k", |b| b.iter(|| advance_loop(&periodic)));
+    let poisson = PoissonNoise::new(100.0, DurationDist::Exponential(250 * US));
+    g.bench_function("poisson_100k", |b| b.iter(|| advance_loop(&poisson)));
+    let composite = commodity_os();
+    g.bench_function("commodity_composite_100k", |b| b.iter(|| advance_loop(&composite)));
+    g.finish();
+}
+
+fn bench_ftq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("microbenchmarks");
+    let model = Signature::new(1000.0, 25 * US).periodic_model(PhasePolicy::Aligned);
+    g.bench_function("ftq_10k_quanta", |b| {
+        b.iter(|| ghost_noise::ftq::ftq(&model, 0, 1, MS, 10_000))
+    });
+    g.bench_function("fwq_10k_quanta", |b| {
+        b.iter(|| ghost_noise::ftq::fwq(&model, 0, 1, MS, 10_000))
+    });
+    g.finish();
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spectrum");
+    let series: Vec<f64> = (0..16_384)
+        .map(|i| if i % 100 < 3 { 1.0 } else { 0.0 })
+        .collect();
+    g.bench_function("power_spectrum_16k", |b| {
+        b.iter(|| ghost_noise::spectrum::power_spectrum(&series, 1000.0))
+    });
+    g.bench_function("welch_16k_seg512", |b| {
+        b.iter(|| ghost_noise::spectrum::welch_spectrum(&series, 1000.0, 512))
+    });
+    g.bench_function("fundamental_16k", |b| {
+        b.iter(|| ghost_noise::spectrum::fundamental_frequency(&series, 1000.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_noise_advance, bench_ftq, bench_spectrum);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 2 — the evaluation summary.
+//!
+//! For every application × canonical 2.5% signature at the largest default
+//! scale: baseline time, noisy time, slowdown, amplification, and absorbed
+//! noise — the numbers the paper's conclusions rest on.
+
+use ghost_apps::Workload;
+use ghost_bench::{canonical_injections, prologue, quick, seed};
+use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::report::{f, t, Table};
+
+fn main() {
+    prologue("table2_summary");
+    let p = if quick() { 64 } else { 1024 };
+    let spec = ExperimentSpec::flat(p, seed());
+    let sage = ghost_bench::sage_workload();
+    let cth = ghost_bench::cth_workload();
+    let pop = ghost_bench::pop_workload();
+    let apps: Vec<&dyn Workload> = vec![&sage, &cth, &pop];
+
+    let mut tab = Table::new(
+        format!("Table 2: summary at P={p}, 2.5% net injected noise"),
+        &[
+            "application",
+            "signature",
+            "T_base",
+            "T_noisy",
+            "slowdown %",
+            "amplification",
+            "absorbed %",
+        ],
+    );
+    for w in apps {
+        for inj in canonical_injections() {
+            let m = compare(&spec, w, &inj);
+            tab.row(&[
+                w.name(),
+                inj.label().to_owned(),
+                t(m.base),
+                t(m.noisy),
+                f(m.slowdown_pct()),
+                f(m.amplification()),
+                f(m.absorbed_pct()),
+            ]);
+        }
+    }
+    println!("{}", tab.render());
+    println!("{}", tab.to_csv());
+}

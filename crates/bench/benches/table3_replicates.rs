@@ -1,0 +1,50 @@
+//! Table 3 — replicated trials with confidence intervals.
+//!
+//! The headline comparisons with error bars: each (application, signature)
+//! cell is re-run under independent seeds; the table reports mean ± 95% CI
+//! of the slowdown, plus the min/max spread. Demonstrates that the
+//! signature ordering is statistically unambiguous, not a lucky seed.
+
+use ghost_apps::Workload;
+use ghost_bench::{canonical_injections, prologue, quick, seed};
+use ghost_core::experiment::ExperimentSpec;
+use ghost_core::replicate::replicate;
+use ghost_core::report::{f, Table};
+
+fn main() {
+    prologue("table3_replicates");
+    let p = if quick() { 32 } else { 256 };
+    let n = if quick() { 3 } else { 5 };
+    let spec = ExperimentSpec::flat(p, seed());
+    let sage = ghost_bench::sage_workload();
+    let pop = ghost_bench::pop_workload();
+    let apps: Vec<&dyn Workload> = vec![&sage, &pop];
+
+    let mut tab = Table::new(
+        format!("Table 3: slowdown distributions over {n} seeds at P={p} (2.5% net)"),
+        &[
+            "application",
+            "signature",
+            "mean slowdown %",
+            "95% CI +/-",
+            "min %",
+            "max %",
+            "mean amplification",
+        ],
+    );
+    for w in apps {
+        for inj in canonical_injections() {
+            let r = replicate(&spec, w, &inj, n);
+            tab.row(&[
+                w.name(),
+                inj.label().to_owned(),
+                f(r.mean_slowdown_pct),
+                f(r.ci95_half_width),
+                f(r.min_slowdown_pct()),
+                f(r.max_slowdown_pct()),
+                f(r.mean_amplification()),
+            ]);
+        }
+    }
+    println!("{}", tab.render());
+}

@@ -1,0 +1,209 @@
+//! # ghost-bench — the figure/table regeneration harness
+//!
+//! Every artifact of the SC'07 evaluation (as reconstructed in DESIGN.md)
+//! has a `harness = false` bench target in this crate; `cargo bench
+//! --workspace` regenerates all of them. Criterion targets (`perf_*`)
+//! benchmark the simulator itself.
+//!
+//! ## Environment knobs
+//!
+//! * `GHOSTSIM_MAX_NODES` — cap on the scale ladder (default 1024). Set to
+//!   4096 to push the sweeps to the paper's larger scales (slower).
+//! * `GHOSTSIM_QUICK=1` — shrink workloads for smoke runs.
+//! * `GHOSTSIM_SEED` — experiment seed (default 42).
+//!
+//! The workload sizes here are reduced relative to the paper's hour-long
+//! production runs (fewer timesteps); slowdown percentages are
+//! time-normalized, so the reduction affects noise in the estimates, not
+//! their expected values.
+
+#![warn(missing_docs)]
+
+use ghost_apps::{CthLike, PopLike, SageLike, Workload};
+use ghost_core::experiment::{scaling_sweep, ExperimentSpec};
+use ghost_core::injection::NoiseInjection;
+use ghost_core::report::{f, Table};
+use ghost_noise::signature::canonical_2_5pct;
+
+/// Experiment seed (env `GHOSTSIM_SEED`, default 42).
+pub fn seed() -> u64 {
+    std::env::var("GHOSTSIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Whether quick (smoke) mode is requested.
+pub fn quick() -> bool {
+    std::env::var("GHOSTSIM_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The node-count ladder: powers of 4 from 4 up to `GHOSTSIM_MAX_NODES`
+/// (default 1024), always including the cap itself.
+pub fn scale_ladder() -> Vec<usize> {
+    let max: usize = std::env::var("GHOSTSIM_MAX_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let max = max.max(4);
+    let mut v = Vec::new();
+    let mut p = 4;
+    while p < max {
+        v.push(p);
+        p *= 4;
+    }
+    v.push(max);
+    if quick() {
+        v.truncate(3);
+    }
+    v
+}
+
+/// The three canonical 2.5% injections, uncoordinated (paper default).
+pub fn canonical_injections() -> Vec<NoiseInjection> {
+    canonical_2_5pct()
+        .into_iter()
+        .map(NoiseInjection::uncoordinated)
+        .collect()
+}
+
+/// Steps scaling: quick mode shrinks workloads.
+fn steps(full: usize) -> usize {
+    if quick() {
+        (full / 5).max(1)
+    } else {
+        full
+    }
+}
+
+/// The SAGE-like configuration used by the figures.
+pub fn sage_workload() -> SageLike {
+    SageLike::with_steps(steps(10))
+}
+
+/// The CTH-like configuration used by the figures.
+pub fn cth_workload() -> CthLike {
+    CthLike::with_steps(steps(20))
+}
+
+/// The POP-like configuration used by the figures.
+pub fn pop_workload() -> PopLike {
+    PopLike::with_steps(steps(3))
+}
+
+/// Run the standard application-scaling figure: slowdown (%) vs node count,
+/// one series per canonical 2.5% signature, and print it as a table (rows =
+/// scale, columns = signature).
+pub fn app_scaling_figure(id: &str, caption: &str, workload: &dyn Workload) {
+    let scales = scale_ladder();
+    let injections = canonical_injections();
+    let spec = ExperimentSpec::flat(1, seed());
+    let recs = scaling_sweep(&spec, workload, &scales, &injections);
+
+    let mut header: Vec<String> = vec!["nodes".into()];
+    for inj in &injections {
+        header.push(format!("{} slow%", inj.label()));
+        header.push(format!("{} amp", inj.label()));
+    }
+    let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut tab = Table::new(format!("{id}: {caption} [{}]", workload.name()), &hdr_refs);
+    for &p in &scales {
+        let mut row = vec![p.to_string()];
+        for inj in &injections {
+            let rec = recs
+                .iter()
+                .find(|r| r.nodes == p && r.injection == inj.label())
+                .expect("record");
+            row.push(f(rec.metrics.slowdown_pct()));
+            row.push(f(rec.metrics.amplification()));
+        }
+        tab.row(&row);
+    }
+    println!("{}", tab.render());
+    maybe_write_csv(&id.replace(' ', "_").to_lowercase(), &tab);
+
+    // Render the same data as a log-log chart (the actual "figure").
+    let glyphs = ['o', '+', 'x', '*', '#'];
+    let mut chart = ghost_core::plot::Chart::new(
+        format!("{id} (chart): slowdown % vs nodes [{}]", workload.name()),
+        60,
+        14,
+    )
+    .scales(ghost_core::plot::Scale::Log, ghost_core::plot::Scale::Log)
+    .labels("nodes", "slowdown %");
+    for (i, inj) in injections.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = recs
+            .iter()
+            .filter(|r| r.injection == inj.label())
+            .map(|r| (r.nodes as f64, r.metrics.slowdown_pct().max(0.0)))
+            .collect();
+        chart = chart.series(ghost_core::plot::Series::new(
+            inj.label(),
+            glyphs[i % glyphs.len()],
+            pts,
+        ));
+    }
+    println!("{}", chart.render());
+}
+
+/// Standard bench prologue: print the run configuration.
+pub fn prologue(id: &str) {
+    println!(
+        "[ghostsim] {id}: seed={} scales={:?} quick={}",
+        seed(),
+        scale_ladder(),
+        quick()
+    );
+}
+
+/// If `GHOSTSIM_OUT_DIR` is set, write the table's CSV there as
+/// `<name>.csv` (creating the directory), so figure data can be consumed by
+/// external plotting without scraping stdout.
+pub fn maybe_write_csv(name: &str, table: &Table) {
+    let Ok(dir) = std::env::var("GHOSTSIM_OUT_DIR") else {
+        return;
+    };
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[ghostsim] cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, table.to_csv()) {
+        Ok(()) => println!("[ghostsim] wrote {}", path.display()),
+        Err(e) => eprintln!("[ghostsim] cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_ladder_is_monotone_and_capped() {
+        let v = scale_ladder();
+        assert!(!v.is_empty());
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn canonical_injections_are_three_at_2_5pct() {
+        let inj = canonical_injections();
+        assert_eq!(inj.len(), 3);
+        for i in &inj {
+            assert!((i.net_fraction() - 0.025).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workloads_have_expected_granularity_ordering() {
+        let sage = sage_workload();
+        let cth = cth_workload();
+        let pop = pop_workload();
+        let g = |w: &dyn Workload| w.nominal_compute_per_rank() / w.collectives_per_rank().max(1);
+        assert!(g(&sage) > g(&cth));
+        assert!(g(&cth) > g(&pop));
+    }
+}

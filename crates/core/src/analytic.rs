@@ -1,0 +1,264 @@
+//! Closed-form max-of-P model of noise amplification.
+//!
+//! Consider a bulk-synchronous application: every rank computes for
+//! granularity `g`, then all ranks synchronize. Under periodic noise with
+//! period `T`, pulse duration `D`, and uncoordinated (uniform random)
+//! phases, each rank's compute interval is delayed by the noise that lands
+//! in it — and the *step* is delayed by the **maximum** over all `P` ranks.
+//!
+//! For `g + D <= T` (at most one pulse can land in a window):
+//!
+//! * One rank's window is hit with probability `q = (g + D) / T` (a pulse
+//!   overlaps the interval if its start falls in a `g + D` band).
+//! * If hit, the delay is ~`D` (a full pulse falls inside for `g >> D`).
+//! * The step delay is `D * (1 - (1 - q)^P)` in expectation — rising from
+//!   `D*q*P` (small P) to saturation at `D` (some rank is always hit).
+//!
+//! For larger `g` the law of large numbers takes over and every rank loses
+//! `f*g` plus an O(D) max-effect. The model interpolates the two regimes:
+//!
+//! ```text
+//! E[step time] ~ g + f*max(0, g - T + D) + D * (1 - (1 - q)^P)
+//! ```
+//!
+//! where the middle term accounts for deterministic multi-pulse overlap and
+//! `q = min(1, (g mod multi-pulse band + D)/T)` the residual single-pulse
+//! hit probability. Exact for `g + D <= T`; a few-percent approximation
+//! elsewhere — the model-validation ablation (`ablation_model_vs_sim`)
+//! quantifies the error against the simulator.
+//!
+//! The qualitative content is the paper's core insight: at fixed `f = D/T`,
+//! **the damage scales with `D` (pulse size), not with `f`**, as soon as
+//! `P` is large enough that `(1-q)^P` is small — low-frequency/long-pulse
+//! noise is maximally amplified by synchronization, high-frequency/short-
+//! pulse noise is absorbed.
+
+use ghost_engine::time::{Time, Work};
+use ghost_noise::Signature;
+
+/// Expected single-step wall-clock time of a `P`-rank BSP step of
+/// granularity `g` under `sig` with uncoordinated phases (ignoring network
+/// cost, which the caller adds separately).
+pub fn expected_bsp_step(g: Work, sig: Signature, p: usize) -> f64 {
+    let t = sig.period() as f64;
+    let d = sig.duration() as f64;
+    let f = sig.net_fraction();
+    let g = g as f64;
+    if d == 0.0 || p == 0 {
+        return g;
+    }
+    // Window regime (valid for g >= D): per-step delay = deterministic
+    // multi-pulse loss + the single-pulse max-of-P lottery.
+    let deterministic = f * (g - (t - d)).max(0.0);
+    let resid = g.min(t - d);
+    let q = ((resid + d) / t).min(1.0);
+    let max_term = d * (1.0 - (1.0 - q).powi(p as i32));
+    let window = g + deterministic + max_term;
+    // Chain regime (valid for g << D): back-to-back fine steps progress
+    // only while *no* node is inside a pulse, so the chain's effective
+    // speed is (1-f)^P and the step takes g / (1-f)^P.
+    let chain = if f < 1.0 {
+        g / (1.0 - f).powi(p as i32)
+    } else {
+        f64::INFINITY
+    };
+    // Each regime over-counts outside its domain; the minimum is the
+    // tighter (and empirically accurate) estimate, with a known upward bias
+    // in the crossover zone g ~ D (see ablation_model_vs_sim).
+    window.min(chain)
+}
+
+/// Expected relative slowdown (%) of the BSP step.
+pub fn expected_bsp_slowdown_pct(g: Work, sig: Signature, p: usize) -> f64 {
+    let base = g as f64;
+    if base == 0.0 {
+        return 0.0;
+    }
+    (expected_bsp_step(g, sig, p) - base) / base * 100.0
+}
+
+/// Expected amplification factor of the BSP step (slowdown / injected).
+pub fn expected_amplification(g: Work, sig: Signature, p: usize) -> f64 {
+    let f = sig.net_fraction();
+    if f <= 0.0 {
+        return 0.0;
+    }
+    expected_bsp_slowdown_pct(g, sig, p) / (f * 100.0)
+}
+
+/// The granularity below which a signature's amplification exceeds
+/// `threshold` at scale `p` (found by bisection over `[1 ns, 10 s]`); the
+/// "danger zone" boundary for an application's synchronization granularity.
+pub fn amplification_boundary(sig: Signature, p: usize, threshold: f64) -> Option<Time> {
+    let lo_amp = expected_amplification(1, sig, p);
+    if lo_amp < threshold {
+        return None; // never amplified beyond threshold
+    }
+    let (mut lo, mut hi) = (1u64, 10_000_000_000u64);
+    if expected_amplification(hi, sig, p) >= threshold {
+        return Some(hi); // amplified everywhere in range
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if expected_amplification(mid, sig, p) >= threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::{MS, SEC, US};
+
+    fn sig_10hz() -> Signature {
+        Signature::new(10.0, 2500 * US)
+    }
+
+    fn sig_1khz() -> Signature {
+        Signature::new(1000.0, 25 * US)
+    }
+
+    #[test]
+    fn no_noise_is_identity() {
+        let sig = Signature::new(10.0, 0);
+        assert_eq!(expected_bsp_step(MS, sig, 1024), MS as f64);
+    }
+
+    #[test]
+    fn window_regime_matches_expectation_at_coarse_granularity() {
+        // g > T: every window sees the deterministic whole-period loss plus
+        // one guaranteed partial pulse (q = 1).
+        let sig = sig_10hz();
+        let g = SEC; // 10 periods
+        let t = sig.period() as f64;
+        let d = sig.duration() as f64;
+        let f = sig.net_fraction();
+        let expect = g as f64 + f * (g as f64 - (t - d)) + d;
+        let got = expected_bsp_step(g, sig, 4);
+        assert!(
+            (got - expect).abs() < 1.0,
+            "{got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn single_rank_chain_regime_is_pure_stretch() {
+        // g << D with P=1: steps back-to-back simply stretch by 1/(1-f).
+        let sig = sig_10hz();
+        let g = MS;
+        let expect = g as f64 / 0.975;
+        let got = expected_bsp_step(g, sig, 1);
+        assert!((got - expect).abs() < 1.0, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn saturation_at_scale() {
+        // At huge P, some rank is always hit: delay -> D.
+        let sig = sig_10hz();
+        let g = MS;
+        let got = expected_bsp_step(g, sig, 100_000);
+        let expect = g as f64 + sig.duration() as f64;
+        assert!((got - expect).abs() / expect < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn amplification_ordering_matches_paper() {
+        // At the same 2.5% net and fine granularity, 10 Hz noise amplifies
+        // far more than 1 kHz noise at scale.
+        let g = 500 * US;
+        let p = 1024;
+        let low = expected_amplification(g, sig_10hz(), p);
+        let high = expected_amplification(g, sig_1khz(), p);
+        assert!(
+            low > 10.0 * high,
+            "10Hz amp {low} should dwarf 1kHz amp {high}"
+        );
+    }
+
+    #[test]
+    fn coarse_granularity_absorbs() {
+        // g >> T: slowdown approaches the injected fraction (amplification
+        // approaches ~1 from above).
+        let sig = sig_10hz();
+        let amp = expected_amplification(10 * SEC, sig, 1024);
+        assert!(amp < 1.2, "amplification {amp}");
+        assert!(amp >= 0.99, "amplification {amp}");
+    }
+
+    #[test]
+    fn slowdown_monotone_in_p() {
+        let sig = sig_10hz();
+        let mut last = 0.0;
+        for p in [1, 4, 16, 64, 256, 1024, 4096] {
+            let s = expected_bsp_slowdown_pct(MS, sig, p);
+            assert!(s >= last, "p={p}: {s} < {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn boundary_is_meaningful() {
+        let sig = sig_10hz();
+        let b = amplification_boundary(sig, 1024, 5.0).expect("boundary exists");
+        // Amplified at/below the boundary, not above it.
+        assert!(expected_amplification(b, sig, 1024) >= 5.0);
+        assert!(expected_amplification(b + b / 2 + 10_000_000, sig, 1024) < 5.0);
+    }
+
+    #[test]
+    fn boundary_none_when_threshold_unreachable() {
+        // Amplification is finite even at 1 ns granularity; an absurd
+        // threshold is never reached.
+        assert_eq!(amplification_boundary(sig_1khz(), 1, 1e9), None);
+    }
+
+    #[test]
+    fn zero_granularity_slowdown_is_zero() {
+        assert_eq!(expected_bsp_slowdown_pct(0, sig_10hz(), 64), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn slowdown_nonincreasing_in_granularity(
+                p in 1usize..2048,
+                g1 in 1u64..100_000_000,
+                factor in 2u64..10,
+            ) {
+                // Coarser granularity can only absorb more noise.
+                let sig = Signature::new(10.0, 2_500_000);
+                let s1 = expected_bsp_slowdown_pct(g1, sig, p);
+                let s2 = expected_bsp_slowdown_pct(g1 * factor, sig, p);
+                prop_assert!(s2 <= s1 + 1e-6, "g={g1}: {s1} -> x{factor}: {s2}");
+            }
+
+            #[test]
+            fn slowdown_nondecreasing_in_p(
+                g in 1u64..10_000_000,
+                p in 1usize..1024,
+            ) {
+                let sig = Signature::new(100.0, 250_000);
+                let s1 = expected_bsp_slowdown_pct(g, sig, p);
+                let s2 = expected_bsp_slowdown_pct(g, sig, p * 2);
+                prop_assert!(s2 + 1e-9 >= s1);
+            }
+
+            #[test]
+            fn step_always_at_least_granularity(
+                g in 0u64..100_000_000,
+                p in 0usize..4096,
+                hz_i in 1u64..1000,
+            ) {
+                let sig = Signature::from_net(hz_i as f64, 0.025);
+                prop_assert!(expected_bsp_step(g, sig, p) >= g as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Experiment runner: baseline/noisy pairs and scaling sweeps.
+
+use ghost_apps::Workload;
+use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunResult};
+use ghost_net::{FatTree, Flat, LogGP, Network, Torus3D};
+use parking_lot::Mutex;
+
+use crate::injection::NoiseInjection;
+use crate::metrics::Metrics;
+
+/// Network/topology preset for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPreset {
+    /// Red-Storm-like MPP parameters.
+    Mpp,
+    /// Commodity-cluster parameters.
+    Commodity,
+    /// Idealized zero-cost network.
+    Ideal,
+}
+
+/// Topology preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoPreset {
+    /// Single-hop crossbar.
+    Flat,
+    /// Near-cubic 3-D torus of at least the requested node count.
+    Torus3D,
+    /// Three-level fat tree with the given switch arity.
+    FatTree {
+        /// Ports per leaf switch.
+        arity: usize,
+    },
+}
+
+/// A machine + methodology configuration, independent of workload and noise.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Number of ranks (= nodes used).
+    pub nodes: usize,
+    /// Network parameters.
+    pub net: NetPreset,
+    /// Topology.
+    pub topo: TopoPreset,
+    /// Experiment seed (drives noise phases and load imbalance).
+    pub seed: u64,
+    /// Collective algorithm configuration.
+    pub coll: CollectiveConfig,
+    /// How ranks notice message arrivals (polling LWK vs interrupt kernel).
+    pub recv_mode: RecvMode,
+}
+
+impl ExperimentSpec {
+    /// MPP network, flat topology — the default for scale sweeps that
+    /// should not confound topology with noise.
+    pub fn flat(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            net: NetPreset::Mpp,
+            topo: TopoPreset::Flat,
+            seed,
+            coll: CollectiveConfig::default(),
+            recv_mode: RecvMode::Polling,
+        }
+    }
+
+    /// MPP network on a 3-D torus — the Red-Storm-like configuration.
+    pub fn torus(nodes: usize, seed: u64) -> Self {
+        Self {
+            topo: TopoPreset::Torus3D,
+            ..Self::flat(nodes, seed)
+        }
+    }
+
+    /// Replace the node count (used by scaling sweeps).
+    pub fn at_scale(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Build the network for this spec.
+    pub fn build_network(&self) -> Network {
+        let params = match self.net {
+            NetPreset::Mpp => LogGP::mpp(),
+            NetPreset::Commodity => LogGP::commodity(),
+            NetPreset::Ideal => LogGP::ideal(),
+        };
+        let topo: Box<dyn ghost_net::Topology> = match self.topo {
+            TopoPreset::Flat => Box::new(Flat::new(self.nodes)),
+            TopoPreset::Torus3D => Box::new(Torus3D::at_least(self.nodes)),
+            TopoPreset::FatTree { arity } => Box::new(FatTree::new(self.nodes, arity)),
+        };
+        Network::new(params, topo)
+    }
+}
+
+/// Run `workload` once under `injection`.
+///
+/// # Panics
+///
+/// Panics if the simulated machine deadlocks (a workload bug, not a noise
+/// effect — noise can never cause deadlock in this model).
+pub fn run_workload(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+) -> RunResult {
+    let net = spec.build_network();
+    let model = injection.build();
+    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
+    Machine::new(net, model.as_ref(), spec.seed)
+        .with_config(spec.coll)
+        .with_recv_mode(spec.recv_mode)
+        .run(programs)
+        .unwrap_or_else(|e| {
+            panic!(
+                "workload '{}' deadlocked at {} nodes: {e}",
+                workload.name(),
+                spec.nodes
+            )
+        })
+}
+
+/// Run the noiseless baseline and the injected configuration, producing
+/// [`Metrics`]. Both runs use the same seed (identical workload draws).
+pub fn compare(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+) -> Metrics {
+    let base = run_workload(spec, workload, &NoiseInjection::none());
+    let noisy = run_workload(spec, workload, injection);
+    Metrics::new(base.makespan, noisy.makespan, injection.net_fraction())
+}
+
+/// Time-budget profile of one run: where the ranks' wall-clock time went.
+///
+/// The blocked fraction is the application's *absorption capacity*: noise
+/// pulses landing while a rank waits for messages cost nothing. Comparing
+/// profiles across injections shows absorption in action (the blocked
+/// share shrinks as noise converts wait time into lost time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Run makespan.
+    pub makespan: ghost_engine::time::Time,
+    /// Mean across ranks of compute work / finish time.
+    pub compute_fraction: f64,
+    /// Mean across ranks of blocked (message-wait) time / finish time.
+    pub blocked_fraction: f64,
+}
+
+/// Profile a workload under an injection: run once and decompose each
+/// rank's time into compute, blocked, and other (overheads + noise).
+pub fn profile(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+) -> Profile {
+    let r = run_workload(spec, workload, injection);
+    let n = r.finish_times.len().max(1) as f64;
+    let frac = |parts: &[u64]| -> f64 {
+        parts
+            .iter()
+            .zip(&r.finish_times)
+            .map(|(&p, &f)| if f == 0 { 0.0 } else { p as f64 / f as f64 })
+            .sum::<f64>()
+            / n
+    };
+    Profile {
+        makespan: r.makespan,
+        compute_fraction: frac(&r.compute_work),
+        blocked_fraction: frac(&r.blocked_time),
+    }
+}
+
+/// One row of a scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Injection label (e.g. `"10Hz x 2.500ms"`).
+    pub injection: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Baseline and noisy times + derived metrics.
+    pub metrics: Metrics,
+}
+
+/// Sweep `workload` over `scales x injections`, reusing one baseline run per
+/// scale. Runs configurations in parallel across available cores.
+pub fn scaling_sweep(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    scales: &[usize],
+    injections: &[NoiseInjection],
+) -> Vec<ScalingRecord> {
+    // Work items: (scale index, injection index or baseline).
+    let baselines: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None; scales.len()]);
+    let results: Mutex<Vec<ScalingRecord>> = Mutex::new(Vec::new());
+
+    let tasks: Vec<(usize, Option<usize>)> = {
+        let mut v = Vec::new();
+        for si in 0..scales.len() {
+            v.push((si, None));
+            for ii in 0..injections.len() {
+                v.push((si, Some(ii)));
+            }
+        }
+        v
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let (si, inj) = tasks[i];
+                let spec_here = spec.at_scale(scales[si]);
+                match inj {
+                    None => {
+                        let r = run_workload(&spec_here, workload, &NoiseInjection::none());
+                        baselines.lock()[si] = Some(r.makespan);
+                    }
+                    Some(ii) => {
+                        let r = run_workload(&spec_here, workload, &injections[ii]);
+                        results.lock().push(ScalingRecord {
+                            workload: workload.name(),
+                            injection: injections[ii].label().to_owned(),
+                            nodes: scales[si],
+                            metrics: Metrics::new(0, r.makespan, injections[ii].net_fraction()),
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    // Patch in baselines and order rows deterministically.
+    let baselines = baselines.into_inner();
+    let mut out = results.into_inner();
+    for rec in &mut out {
+        let si = scales.iter().position(|&p| p == rec.nodes).expect("scale");
+        rec.metrics.base = baselines[si].expect("baseline missing");
+    }
+    out.sort_by(|a, b| {
+        (a.nodes, &a.injection)
+            .partial_cmp(&(b.nodes, &b.injection))
+            .unwrap()
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_apps::BspSynthetic;
+    use ghost_engine::time::{MS, US};
+    use ghost_noise::Signature;
+
+    #[test]
+    fn spec_builds_each_topology() {
+        for topo in [
+            TopoPreset::Flat,
+            TopoPreset::Torus3D,
+            TopoPreset::FatTree { arity: 4 },
+        ] {
+            let spec = ExperimentSpec {
+                topo,
+                ..ExperimentSpec::flat(17, 1)
+            };
+            let net = spec.build_network();
+            assert!(net.nodes() >= 17, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn compare_yields_nonnegative_slowdown_for_bsp() {
+        let spec = ExperimentSpec::flat(8, 3);
+        let w = BspSynthetic::new(5, 2 * MS);
+        let inj = NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US));
+        let m = compare(&spec, &w, &inj);
+        assert!(m.noisy > m.base);
+        assert!(m.slowdown_pct() > 0.0);
+    }
+
+    #[test]
+    fn baseline_equals_rerun() {
+        // compare() must reuse identical seeds: a second compare gives the
+        // same numbers.
+        let spec = ExperimentSpec::flat(6, 11);
+        let w = BspSynthetic::new(4, MS);
+        let inj = NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US));
+        let a = compare(&spec, &w, &inj);
+        let b = compare(&spec, &w, &inj);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_sweep_covers_grid_and_sorts() {
+        let spec = ExperimentSpec::flat(1, 5);
+        let w = BspSynthetic::new(3, MS);
+        let injections = vec![
+            NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US)),
+            NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US)),
+        ];
+        let scales = [2usize, 4, 8];
+        let recs = scaling_sweep(&spec, &w, &scales, &injections);
+        assert_eq!(recs.len(), scales.len() * injections.len());
+        for rec in &recs {
+            assert!(rec.metrics.base > 0, "baseline patched in");
+            assert!(rec.metrics.noisy >= rec.metrics.base / 2);
+        }
+        // Sorted by (nodes, injection label).
+        for w2 in recs.windows(2) {
+            assert!(w2[0].nodes <= w2[1].nodes);
+        }
+    }
+
+    #[test]
+    fn profile_decomposes_time() {
+        use ghost_apps::CthLike;
+        let spec = ExperimentSpec::flat(8, 3);
+        // Communication-heavy CTH on a commodity network: large blocked
+        // share.
+        let heavy = CthLike {
+            steps: 3,
+            compute: 2 * MS,
+            halo_bytes: 1024 * 1024,
+            ..CthLike::with_steps(3)
+        };
+        let commodity = ExperimentSpec {
+            net: NetPreset::Commodity,
+            ..spec
+        };
+        let p = profile(&commodity, &heavy, &NoiseInjection::none());
+        assert!(p.compute_fraction > 0.0 && p.compute_fraction < 1.0);
+        assert!(
+            p.blocked_fraction > 0.3,
+            "comm-heavy run should block a lot: {}",
+            p.blocked_fraction
+        );
+        assert!(p.compute_fraction + p.blocked_fraction <= 1.0 + 1e-9);
+
+        // A pure-compute workload blocks never.
+        let w = BspSynthetic::new(3, MS).with_sync(ghost_apps::bsp::SyncKind::None);
+        let p = profile(&spec, &w, &NoiseInjection::none());
+        assert_eq!(p.blocked_fraction, 0.0);
+        assert!((p.compute_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_erodes_blocked_fraction() {
+        // Under injection, what was wait time becomes lost time: the
+        // blocked share of the (longer) run shrinks or stays equal.
+        use ghost_apps::CthLike;
+        let heavy = CthLike {
+            steps: 3,
+            compute: 2 * MS,
+            halo_bytes: 1024 * 1024,
+            ..CthLike::with_steps(3)
+        };
+        let spec = ExperimentSpec {
+            net: NetPreset::Commodity,
+            ..ExperimentSpec::flat(8, 3)
+        };
+        let clean = profile(&spec, &heavy, &NoiseInjection::none());
+        let inj = NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US));
+        let noisy = profile(&spec, &heavy, &inj);
+        assert!(noisy.blocked_fraction <= clean.blocked_fraction + 0.01);
+    }
+
+    #[test]
+    fn ideal_network_baseline_is_pure_compute() {
+        let spec = ExperimentSpec {
+            net: NetPreset::Ideal,
+            ..ExperimentSpec::flat(4, 1)
+        };
+        let w = BspSynthetic::new(10, MS).with_sync(ghost_apps::bsp::SyncKind::None);
+        let r = run_workload(&spec, &w, &NoiseInjection::none());
+        assert_eq!(r.makespan, 10 * MS);
+    }
+}

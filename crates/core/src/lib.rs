@@ -1,0 +1,52 @@
+//! # ghost-core — the noise-injection framework and experiment harness
+//!
+//! This crate is GhostSim's reproduction of the SC'07 paper's *contribution*:
+//! a controlled kernel-noise-injection framework plus the experimental
+//! methodology built on it. It ties the substrate crates together:
+//!
+//! * [`injection`] — configure *what noise* is injected *where*: a
+//!   [`ghost_noise::Signature`] (frequency × duration at fixed net
+//!   intensity), a placement (all nodes or a subset), and a phase policy
+//!   (uncoordinated, as in the paper, or co-scheduled).
+//! * [`experiment`] — run a workload on a simulated machine twice (noiseless
+//!   baseline, then with injection) and across node-count sweeps, in
+//!   parallel across configurations.
+//! * [`metrics`] — the paper's figures of merit: slowdown %, noise
+//!   amplification factor, and absorbed-noise %.
+//! * [`analytic`] — a closed-form max-of-P model of expected BSP slowdown
+//!   under periodic noise, validated against the simulator.
+//! * [`report`] — fixed-width tables and CSV for regenerating every table
+//!   and figure in EXPERIMENTS.md.
+//!
+//! ## Example: one experiment
+//!
+//! ```
+//! use ghost_core::experiment::{ExperimentSpec, compare};
+//! use ghost_core::injection::NoiseInjection;
+//! use ghost_apps::BspSynthetic;
+//! use ghost_noise::Signature;
+//! use ghost_engine::time::{MS, US};
+//!
+//! let spec = ExperimentSpec::flat(32, 1);
+//! let workload = BspSynthetic::new(10, 5 * MS);
+//! let injection = NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US));
+//! let m = compare(&spec, &workload, &injection);
+//! assert!(m.noisy >= m.base);
+//! assert!(m.slowdown_pct() >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod experiment;
+pub mod injection;
+pub mod metrics;
+pub mod netgauge;
+pub mod plot;
+pub mod replicate;
+pub mod report;
+
+pub use experiment::{compare, run_workload, scaling_sweep, ExperimentSpec, ScalingRecord};
+pub use replicate::{replicate, Replicates};
+pub use injection::{NoiseInjection, Placement};
+pub use metrics::Metrics;

@@ -1,0 +1,140 @@
+//! Figures of merit: slowdown, amplification, absorption.
+//!
+//! The paper's key analytical move is comparing the *measured* slowdown to
+//! the *injected* noise intensity. Injecting 2.5% of every node's CPU can
+//! cost anywhere from ~0% (fully absorbed) to many times 2.5% (amplified by
+//! synchronization). [`Metrics`] captures one baseline/noisy pair and
+//! derives those quantities.
+
+use ghost_engine::time::Time;
+
+/// Result of one baseline-vs-noisy comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Noiseless application time.
+    pub base: Time,
+    /// Application time under injection.
+    pub noisy: Time,
+    /// Net injected noise intensity on noisy nodes (0.025 = 2.5%).
+    pub injected_fraction: f64,
+}
+
+impl Metrics {
+    /// Construct from a pair of makespans and the injected intensity.
+    pub fn new(base: Time, noisy: Time, injected_fraction: f64) -> Self {
+        Self {
+            base,
+            noisy,
+            injected_fraction,
+        }
+    }
+
+    /// Percent slowdown: `(noisy - base) / base * 100`.
+    ///
+    /// Negative values are possible in principle (noise perturbing a
+    /// fortunate schedule) and reported as-is.
+    pub fn slowdown_pct(&self) -> f64 {
+        if self.base == 0 {
+            return 0.0;
+        }
+        (self.noisy as f64 - self.base as f64) / self.base as f64 * 100.0
+    }
+
+    /// Amplification factor: slowdown relative to injected intensity.
+    ///
+    /// `1.0` means the application lost exactly the injected share of time;
+    /// `> 1` means synchronization amplified the noise; `< 1` means some was
+    /// absorbed. Returns 0 when nothing was injected.
+    pub fn amplification(&self) -> f64 {
+        if self.injected_fraction <= 0.0 {
+            return 0.0;
+        }
+        self.slowdown_pct() / (self.injected_fraction * 100.0)
+    }
+
+    /// Percent of the injected noise absorbed: `max(0, 1 - amplification)`.
+    ///
+    /// The paper reports this as "noise absorbed"; 100% means injection was
+    /// free, 0% means every injected cycle (or more) appeared as slowdown.
+    pub fn absorbed_pct(&self) -> f64 {
+        if self.injected_fraction <= 0.0 {
+            return 100.0;
+        }
+        (1.0 - self.amplification()).clamp(0.0, 1.0) * 100.0
+    }
+
+    /// Absolute time lost to noise.
+    pub fn overhead(&self) -> Time {
+        self.noisy.saturating_sub(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_proportional_slowdown() {
+        // 2.5% injected, 2.5% slowdown: amplification exactly 1.
+        let m = Metrics::new(1_000_000, 1_025_000, 0.025);
+        assert!((m.slowdown_pct() - 2.5).abs() < 1e-9);
+        assert!((m.amplification() - 1.0).abs() < 1e-9);
+        assert!(m.absorbed_pct().abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_absorption() {
+        let m = Metrics::new(1_000_000, 1_000_000, 0.025);
+        assert_eq!(m.slowdown_pct(), 0.0);
+        assert_eq!(m.amplification(), 0.0);
+        assert_eq!(m.absorbed_pct(), 100.0);
+        assert_eq!(m.overhead(), 0);
+    }
+
+    #[test]
+    fn tenfold_amplification() {
+        // 2.5% injected, 25% slowdown.
+        let m = Metrics::new(1_000_000, 1_250_000, 0.025);
+        assert!((m.amplification() - 10.0).abs() < 1e-9);
+        assert_eq!(m.absorbed_pct(), 0.0);
+    }
+
+    #[test]
+    fn zero_injection_edge_cases() {
+        let m = Metrics::new(100, 150, 0.0);
+        assert_eq!(m.amplification(), 0.0);
+        assert_eq!(m.absorbed_pct(), 100.0);
+    }
+
+    #[test]
+    fn zero_base_is_safe() {
+        let m = Metrics::new(0, 100, 0.025);
+        assert_eq!(m.slowdown_pct(), 0.0);
+    }
+
+    #[test]
+    fn speedup_reports_negative_slowdown() {
+        let m = Metrics::new(1000, 990, 0.025);
+        assert!(m.slowdown_pct() < 0.0);
+        assert_eq!(m.overhead(), 0);
+        assert_eq!(m.absorbed_pct(), 100.0);
+    }
+
+    proptest! {
+        #[test]
+        fn invariants(base in 1u64..1_000_000, extra in 0u64..1_000_000, f in 0.001f64..0.5) {
+            let m = Metrics::new(base, base + extra, f);
+            prop_assert!(m.slowdown_pct() >= 0.0);
+            prop_assert!(m.amplification() >= 0.0);
+            prop_assert!((0.0..=100.0).contains(&m.absorbed_pct()));
+            prop_assert_eq!(m.overhead(), extra);
+            // absorbed + amplification*100*f accounts for the slowdown when
+            // amplification <= 1.
+            if m.amplification() <= 1.0 {
+                let recon = (1.0 - m.absorbed_pct() / 100.0) * f * 100.0;
+                prop_assert!((recon - m.slowdown_pct()).abs() < 1e-6);
+            }
+        }
+    }
+}

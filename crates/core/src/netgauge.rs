@@ -1,0 +1,262 @@
+//! Netgauge-style noise measurement: per-ping RTT jitter.
+//!
+//! Where FTQ/FWQ observe noise *locally* (on the node running the
+//! benchmark), the netgauge noise benchmark observes it *through the
+//! network*: a client rank ping-pongs small messages with a server rank and
+//! records every round-trip time in virtual time. Noise on either endpoint
+//! (or, on a real machine, in the network stack) appears as outliers in the
+//! RTT distribution; the shape of the outlier tail identifies the noise
+//! signature — rare multi-millisecond spikes for low-frequency injection,
+//! a uniformly thickened distribution for high-frequency injection.
+
+use std::sync::Arc;
+
+use ghost_engine::time::Time;
+use ghost_mpi::types::{Env, MpiCall, Rank};
+use ghost_mpi::{Machine, Program};
+use ghost_noise::stats::Summary;
+use parking_lot::Mutex;
+
+use crate::experiment::ExperimentSpec;
+use crate::injection::NoiseInjection;
+
+/// Result of a ping-pong netgauge run.
+#[derive(Debug, Clone)]
+pub struct NetgaugeRun {
+    /// The measured per-ping round-trip times, in order.
+    pub rtts: Vec<Time>,
+    /// The peer rank measured against.
+    pub peer: Rank,
+}
+
+impl NetgaugeRun {
+    /// Summary statistics of the RTT samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of_u64(&self.rtts)
+    }
+
+    /// Fraction of pings slower than `threshold_factor` × the minimum RTT —
+    /// the "noise event" rate a netgauge user would report.
+    pub fn outlier_fraction(&self, threshold_factor: f64) -> f64 {
+        if self.rtts.is_empty() {
+            return 0.0;
+        }
+        let min = *self.rtts.iter().min().expect("nonempty") as f64;
+        let hit = self
+            .rtts
+            .iter()
+            .filter(|&&r| r as f64 > min * threshold_factor)
+            .count();
+        hit as f64 / self.rtts.len() as f64
+    }
+
+    /// Total noise overhead across the run: sum of (RTT − min RTT).
+    pub fn total_overhead(&self) -> Time {
+        let min = self.rtts.iter().copied().min().unwrap_or(0);
+        self.rtts.iter().map(|&r| r - min).sum()
+    }
+}
+
+/// Client state machine: Send ping → Recv pong → record RTT → repeat.
+struct PingClient {
+    peer: Rank,
+    rounds: usize,
+    round: usize,
+    awaiting_pong: bool,
+    t_start: Time,
+    sink: Arc<Mutex<Vec<Time>>>,
+}
+
+impl Program for PingClient {
+    fn next(&mut self, _env: &Env, now: Time, _prev: Option<f64>) -> Option<MpiCall> {
+        if self.awaiting_pong {
+            // The pong's processing just completed at `now`.
+            self.sink.lock().push(now - self.t_start);
+            self.awaiting_pong = false;
+            self.round += 1;
+        }
+        if self.round == self.rounds {
+            return None;
+        }
+        let tag = (self.round as u64) << 1;
+        if self.t_start == Time::MAX {
+            unreachable!();
+        }
+        // Issue ping + immediately wait for pong via Sendrecv.
+        self.t_start = now;
+        self.awaiting_pong = true;
+        Some(MpiCall::Sendrecv {
+            dst: self.peer,
+            stag: tag,
+            sbytes: 8,
+            svalue: 0.0,
+            src: self.peer,
+            rtag: tag | 1,
+        })
+    }
+}
+
+/// Server state machine: Recv ping → Send pong, `rounds` times.
+struct PongServer {
+    client: Rank,
+    rounds: usize,
+    round: usize,
+    need_reply: bool,
+}
+
+impl Program for PongServer {
+    fn next(&mut self, _env: &Env, _now: Time, _prev: Option<f64>) -> Option<MpiCall> {
+        if self.round == self.rounds {
+            return None;
+        }
+        let tag = (self.round as u64) << 1;
+        if self.need_reply {
+            self.need_reply = false;
+            self.round += 1;
+            Some(MpiCall::Send {
+                dst: self.client,
+                tag: tag | 1,
+                bytes: 8,
+                value: 0.0,
+            })
+        } else {
+            self.need_reply = true;
+            Some(MpiCall::Recv {
+                src: self.client,
+                tag,
+            })
+        }
+    }
+}
+
+/// Run the netgauge ping-pong between rank 0 and `peer` under `injection`.
+///
+/// # Panics
+///
+/// Panics if `peer == 0` or `peer >= spec.nodes`.
+pub fn pingpong(
+    spec: &ExperimentSpec,
+    injection: &NoiseInjection,
+    peer: Rank,
+    rounds: usize,
+) -> NetgaugeRun {
+    assert!(peer != 0, "peer must differ from the client rank 0");
+    assert!(peer < spec.nodes, "peer {peer} out of range");
+    let sink = Arc::new(Mutex::new(Vec::with_capacity(rounds)));
+    let mut programs: Vec<Box<dyn Program>> = Vec::with_capacity(spec.nodes);
+    for rank in 0..spec.nodes {
+        if rank == 0 {
+            programs.push(Box::new(PingClient {
+                peer,
+                rounds,
+                round: 0,
+                awaiting_pong: false,
+                t_start: 0,
+                sink: sink.clone(),
+            }));
+        } else if rank == peer {
+            programs.push(Box::new(PongServer {
+                client: 0,
+                rounds,
+                round: 0,
+                need_reply: false,
+            }));
+        } else {
+            programs.push(ghost_mpi::ScriptProgram::new(vec![]).boxed());
+        }
+    }
+    let net = spec.build_network();
+    let model = injection.build();
+    Machine::new(net, model.as_ref(), spec.seed)
+        .with_config(spec.coll)
+        .with_recv_mode(spec.recv_mode)
+        .run(programs)
+        .expect("netgauge deadlocked");
+    let rtts = Arc::try_unwrap(sink)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    NetgaugeRun { rtts, peer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::US;
+    use ghost_noise::Signature;
+
+    #[test]
+    fn noiseless_rtts_are_constant() {
+        let spec = ExperimentSpec::flat(4, 1);
+        let run = pingpong(&spec, &NoiseInjection::none(), 2, 200);
+        assert_eq!(run.rtts.len(), 200);
+        let s = run.summary();
+        assert_eq!(s.min, s.max, "noiseless RTTs must not vary");
+        assert_eq!(run.outlier_fraction(1.01), 0.0);
+        assert_eq!(run.total_overhead(), 0);
+    }
+
+    #[test]
+    fn rtt_matches_loggp_prediction() {
+        let spec = ExperimentSpec::flat(2, 1);
+        let run = pingpong(&spec, &NoiseInjection::none(), 1, 10);
+        let net = spec.build_network();
+        // Round trip: client send o + wire + server recv o + server send o +
+        // wire + client recv o.
+        let o = net.send_overhead();
+        let wire = net.delivery(0, 1, 8);
+        let expect = 4 * o + 2 * wire;
+        assert_eq!(run.rtts[0], expect);
+    }
+
+    #[test]
+    fn injected_noise_appears_as_outliers() {
+        let spec = ExperimentSpec::flat(2, 3);
+        let sig = Signature::new(100.0, 250 * US);
+        let run = pingpong(&spec, &NoiseInjection::uncoordinated(sig), 1, 5_000);
+        let f = run.outlier_fraction(1.5);
+        assert!(f > 0.0005, "expected noise outliers, got {f}");
+        let s = run.summary();
+        assert!(
+            s.max >= s.min + 200_000.0,
+            "a full pulse should appear in the tail: max {} min {}",
+            s.max,
+            s.min
+        );
+    }
+
+    #[test]
+    fn outlier_rate_tracks_injection_frequency() {
+        // 30k pings ~ 240 ms of virtual time: several 10 Hz periods, so the
+        // rare-long-pulse signature is guaranteed to strike.
+        let spec = ExperimentSpec::flat(2, 3);
+        let slow = pingpong(
+            &spec,
+            &NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US)),
+            1,
+            30_000,
+        );
+        let fast = pingpong(
+            &spec,
+            &NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US)),
+            1,
+            30_000,
+        );
+        assert!(
+            fast.outlier_fraction(1.2) > slow.outlier_fraction(1.2),
+            "1 kHz should hit more pings than 10 Hz"
+        );
+        let smax = slow.summary().max - slow.summary().min;
+        let fmax = fast.summary().max - fast.summary().min;
+        assert!(
+            smax > 5.0 * fmax,
+            "10 Hz outliers should be much larger: {smax} vs {fmax}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "peer must differ")]
+    fn self_ping_rejected() {
+        let spec = ExperimentSpec::flat(2, 1);
+        pingpong(&spec, &NoiseInjection::none(), 0, 1);
+    }
+}

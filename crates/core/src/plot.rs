@@ -1,0 +1,465 @@
+//! Terminal figure rendering: multi-series line/scatter charts in ASCII.
+//!
+//! The bench targets regenerate the paper's *figures*, so they should look
+//! like figures: each generator can render its series as an ASCII chart
+//! next to the numeric table. Log-scale axes are supported because every
+//! interesting plot here (slowdown vs node count) spans decades.
+
+/// One data series: `(x, y)` points and a single-character glyph.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Plot marker.
+    pub glyph: char,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new series.
+    pub fn new(name: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            glyph,
+            points,
+        }
+    }
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear mapping.
+    Linear,
+    /// Base-10 logarithmic (non-positive values are clamped to the axis
+    /// minimum).
+    Log,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    x_scale: Scale,
+    y_scale: Scale,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// A chart with the given title and plot-area size in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plot area is smaller than 8×4.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "chart too small: {width}x{height}");
+        Self {
+            title: title.into(),
+            width,
+            height,
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Set axis scales.
+    pub fn scales(mut self, x: Scale, y: Scale) -> Self {
+        self.x_scale = x;
+        self.y_scale = y;
+        self
+    }
+
+    /// Set axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Add a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    fn transform(scale: Scale, v: f64, min: f64) -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log => v.max(min.max(1e-300)).log10(),
+        }
+    }
+
+    /// Render the chart to a string.
+    ///
+    /// Returns a placeholder line when no series has any finite point.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("== {} ==\n(no data)\n", self.title);
+        }
+        // For log axes ignore non-positive values when ranging.
+        let pos_min = |vals: Vec<f64>| {
+            vals.iter()
+                .copied()
+                .filter(|&v| v > 0.0)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let (xmin_raw, xmax_raw) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+                (lo.min(x), hi.max(x))
+            });
+        let (ymin_raw, ymax_raw) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            });
+        let x_floor = if self.x_scale == Scale::Log {
+            pos_min(pts.iter().map(|&(x, _)| x).collect())
+        } else {
+            xmin_raw
+        };
+        let y_floor = if self.y_scale == Scale::Log {
+            pos_min(pts.iter().map(|&(_, y)| y).collect())
+        } else {
+            ymin_raw
+        };
+        let tx = |v: f64| Self::transform(self.x_scale, v, x_floor);
+        let ty = |v: f64| Self::transform(self.y_scale, v, y_floor);
+        let (xmin, xmax) = (tx(x_floor.min(xmin_raw).max(x_floor)), tx(xmax_raw));
+        let (ymin, ymax) = (ty(y_floor.min(ymin_raw).max(y_floor)), ty(ymax_raw));
+        let xspan = (xmax - xmin).max(1e-12);
+        let yspan = (ymax - ymin).max(1e-12);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((tx(x) - xmin) / xspan * (self.width - 1) as f64).round() as usize;
+                let cy = ((ty(y) - ymin) / yspan * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                let col = cx.min(self.width - 1);
+                grid[row][col] = s.glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_tick = |v: f64, scale: Scale| -> String {
+            let raw = match scale {
+                Scale::Linear => v,
+                Scale::Log => 10f64.powf(v),
+            };
+            if raw.abs() >= 1000.0 {
+                format!("{raw:.0}")
+            } else if raw.abs() >= 1.0 {
+                format!("{raw:.1}")
+            } else {
+                format!("{raw:.3}")
+            }
+        };
+        let y_hi = fmt_tick(ymax, self.y_scale);
+        let y_lo = fmt_tick(ymin, self.y_scale);
+        let gutter = y_hi.len().max(y_lo.len());
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_hi:>gutter$}")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>gutter$}")
+            } else {
+                " ".repeat(gutter)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(gutter));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let x_lo = fmt_tick(xmin, self.x_scale);
+        let x_hi = fmt_tick(xmax, self.x_scale);
+        let pad = self
+            .width
+            .saturating_sub(x_lo.len() + x_hi.len())
+            .max(1);
+        out.push_str(&" ".repeat(gutter + 1));
+        out.push_str(&x_lo);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(&x_hi);
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("  ({})", self.x_label));
+        }
+        out.push('\n');
+        // Legend.
+        for s in &self.series {
+            out.push_str(&format!("{}{} = {}\n", " ".repeat(gutter + 1), s.glyph, s.name));
+        }
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{}y: {}\n", " ".repeat(gutter + 1), self.y_label));
+        }
+        out
+    }
+}
+
+/// Render a per-rank execution timeline (Gantt strip) from an executor
+/// trace: one row per rank over `[t0, t1)`, one character per time bucket.
+///
+/// Legend: `C` compute, `s` send overhead, `r` receive processing,
+/// `.` blocked waiting, space = idle/untraced. When several span kinds
+/// touch one bucket, the kind covering the most time wins.
+pub fn timeline(
+    spans: &[ghost_mpi::exec::OpSpan],
+    ranks: usize,
+    t0: ghost_engine::time::Time,
+    t1: ghost_engine::time::Time,
+    width: usize,
+) -> String {
+    use ghost_mpi::exec::SpanKind;
+    assert!(t1 > t0, "empty timeline window");
+    assert!(width >= 10, "timeline too narrow");
+    let span_ns = (t1 - t0) as f64;
+    let glyph = |k: SpanKind| match k {
+        SpanKind::Compute => 'C',
+        SpanKind::SendOverhead => 's',
+        SpanKind::RecvProcess => 'r',
+        SpanKind::Blocked => '.',
+    };
+    // coverage[rank][cell][kind index]
+    let mut coverage = vec![vec![[0f64; 4]; width]; ranks];
+    let kind_index = |k: SpanKind| match k {
+        SpanKind::Compute => 0,
+        SpanKind::SendOverhead => 1,
+        SpanKind::RecvProcess => 2,
+        SpanKind::Blocked => 3,
+    };
+    for sp in spans {
+        if sp.rank >= ranks || sp.end <= t0 || sp.start >= t1 {
+            continue;
+        }
+        let s = sp.start.max(t0);
+        let e = sp.end.min(t1);
+        let c0 = ((s - t0) as f64 / span_ns * width as f64).floor() as usize;
+        let c1 = (((e - t0) as f64 / span_ns * width as f64).ceil() as usize).min(width);
+        let ki = kind_index(sp.kind);
+        for (cell, slot) in coverage[sp.rank]
+            .iter_mut()
+            .enumerate()
+            .take(c1)
+            .skip(c0)
+        {
+            let cell_start = t0 + (cell as f64 / width as f64 * span_ns) as u64;
+            let cell_end = t0 + ((cell + 1) as f64 / width as f64 * span_ns) as u64;
+            let ov = e.min(cell_end).saturating_sub(s.max(cell_start)) as f64;
+            slot[ki] += ov;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline {} .. {} ({} per column)\n",
+        ghost_engine::time::format_time(t0),
+        ghost_engine::time::format_time(t1),
+        ghost_engine::time::format_time(((t1 - t0) / width as u64).max(1)),
+    ));
+    for (rank, row) in coverage.iter().enumerate() {
+        out.push_str(&format!("r{rank:<3}|"));
+        for cell in row {
+            let (mut best, mut best_cov) = (' ', 0.0);
+            for (ki, &cov) in cell.iter().enumerate() {
+                if cov > best_cov {
+                    best_cov = cov;
+                    best = glyph(match ki {
+                        0 => SpanKind::Compute,
+                        1 => SpanKind::SendOverhead,
+                        2 => SpanKind::RecvProcess,
+                        _ => SpanKind::Blocked,
+                    });
+                }
+            }
+            out.push(best);
+        }
+        out.push('\n');
+    }
+    out.push_str("    legend: C compute, s send, r recv-process, . blocked, ' ' idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_chart() -> Chart {
+        Chart::new("demo", 40, 10)
+            .scales(Scale::Log, Scale::Log)
+            .labels("nodes", "slowdown %")
+            .series(Series::new(
+                "10Hz",
+                'o',
+                vec![(4.0, 5.0), (64.0, 90.0), (1024.0, 650.0)],
+            ))
+            .series(Series::new(
+                "1kHz",
+                'x',
+                vec![(4.0, 3.8), (64.0, 6.1), (1024.0, 9.5)],
+            ))
+    }
+
+    #[test]
+    fn renders_title_glyphs_and_legend() {
+        let s = demo_chart().render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains('o'));
+        assert!(s.contains('x'));
+        assert!(s.contains("o = 10Hz"));
+        assert!(s.contains("x = 1kHz"));
+        assert!(s.contains("(nodes)"));
+        assert!(s.contains("y: slowdown %"));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone_columns() {
+        // In a log-log plot of a growing series, higher x => row index must
+        // not increase (higher on screen).
+        let chart = Chart::new("m", 40, 12)
+            .scales(Scale::Log, Scale::Log)
+            .series(Series::new(
+                "s",
+                '*',
+                vec![(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)],
+            ));
+        let s = chart.render();
+        // Scan only the plot grid (lines containing the axis '|'), not the
+        // legend.
+        let rows: Vec<(usize, usize)> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, line)| line.contains('|'))
+            .flat_map(|(r, line)| {
+                line.char_indices()
+                    .filter(|&(_, c)| c == '*')
+                    .map(move |(c, _)| (r, c))
+            })
+            .collect();
+        assert_eq!(rows.len(), 3);
+        let mut sorted = rows.clone();
+        sorted.sort_by_key(|&(_, c)| c);
+        for w in sorted.windows(2) {
+            assert!(w[1].0 < w[0].0, "rows must rise with x: {sorted:?}");
+        }
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = Chart::new("empty", 20, 5);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let c = Chart::new("nan", 20, 5).series(Series::new(
+            "s",
+            '*',
+            vec![(f64::NAN, 1.0), (1.0, f64::INFINITY), (2.0, 3.0)],
+        ));
+        let s = c.render();
+        assert_eq!(s.matches('*').count() - s.matches("* = ").count(), 1);
+    }
+
+    #[test]
+    fn log_scale_clamps_nonpositive() {
+        let c = Chart::new("log", 20, 5)
+            .scales(Scale::Linear, Scale::Log)
+            .series(Series::new("s", '*', vec![(0.0, 0.0), (1.0, 10.0)]));
+        // Must not panic; zero y clamps to the positive floor.
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_panics() {
+        Chart::new("t", 4, 2);
+    }
+
+    #[test]
+    fn single_point_renders() {
+        let c = Chart::new("one", 20, 5).series(Series::new("s", '#', vec![(5.0, 5.0)]));
+        assert!(c.render().contains('#'));
+    }
+
+    #[test]
+    fn timeline_renders_rank_rows() {
+        use ghost_mpi::exec::{OpSpan, SpanKind};
+        let spans = vec![
+            OpSpan {
+                rank: 0,
+                kind: SpanKind::Compute,
+                start: 0,
+                end: 500,
+            },
+            OpSpan {
+                rank: 1,
+                kind: SpanKind::Blocked,
+                start: 0,
+                end: 900,
+            },
+            OpSpan {
+                rank: 1,
+                kind: SpanKind::RecvProcess,
+                start: 900,
+                end: 1000,
+            },
+        ];
+        let s = timeline(&spans, 2, 0, 1000, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("r0  |"));
+        assert!(lines[2].starts_with("r1  |"));
+        // Rank 0: first half compute, second half idle.
+        assert!(lines[1].contains('C'));
+        assert!(!lines[1].contains('.'));
+        // Rank 1: mostly blocked, recv at the end.
+        assert!(lines[2].contains('.'));
+        assert!(lines[2].trim_end().ends_with('r'));
+    }
+
+    #[test]
+    fn timeline_clips_to_window() {
+        use ghost_mpi::exec::{OpSpan, SpanKind};
+        let spans = vec![OpSpan {
+            rank: 0,
+            kind: SpanKind::Compute,
+            start: 0,
+            end: 10_000,
+        }];
+        // Window entirely inside the span: all compute.
+        let s = timeline(&spans, 1, 2_000, 3_000, 10);
+        let row = s.lines().nth(1).unwrap();
+        assert_eq!(row.matches('C').count(), 10, "{row}");
+        // Window entirely after the span: idle.
+        let s = timeline(&spans, 1, 20_000, 30_000, 10);
+        let row = s.lines().nth(1).unwrap();
+        assert_eq!(row.matches('C').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty timeline window")]
+    fn timeline_rejects_empty_window() {
+        timeline(&[], 1, 5, 5, 20);
+    }
+}

@@ -1,0 +1,209 @@
+//! Replicated experiments: mean, spread, and confidence intervals over
+//! independent seeds.
+//!
+//! A single simulated run is deterministic, but the quantities the paper
+//! reports are *distributional*: noise phases and load-imbalance draws vary
+//! across trials. [`replicate`] runs the same (workload, injection,
+//! machine) under `n` independent seeds in parallel and summarizes the
+//! slowdown distribution, giving the error bars a production harness needs
+//! before claiming one signature beats another.
+
+use ghost_apps::Workload;
+use parking_lot::Mutex;
+
+use crate::experiment::{compare, ExperimentSpec};
+use crate::injection::NoiseInjection;
+use crate::metrics::Metrics;
+
+/// Summary of a replicated experiment.
+#[derive(Debug, Clone)]
+pub struct Replicates {
+    /// Per-seed metrics, in seed order.
+    pub runs: Vec<Metrics>,
+    /// Mean slowdown %.
+    pub mean_slowdown_pct: f64,
+    /// Sample standard deviation of slowdown % (n-1 denominator).
+    pub std_slowdown_pct: f64,
+    /// Half-width of the ~95% confidence interval on the mean slowdown
+    /// (normal approximation, `1.96 * std / sqrt(n)`).
+    pub ci95_half_width: f64,
+}
+
+impl Replicates {
+    /// Minimum observed slowdown %.
+    pub fn min_slowdown_pct(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|m| m.slowdown_pct())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum observed slowdown %.
+    pub fn max_slowdown_pct(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|m| m.slowdown_pct())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean amplification factor.
+    pub fn mean_amplification(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|m| m.amplification()).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Whether this experiment's mean slowdown is distinguishable from
+    /// `other`'s at the ~95% level (non-overlapping confidence intervals —
+    /// conservative).
+    pub fn distinguishable_from(&self, other: &Replicates) -> bool {
+        let (a_lo, a_hi) = (
+            self.mean_slowdown_pct - self.ci95_half_width,
+            self.mean_slowdown_pct + self.ci95_half_width,
+        );
+        let (b_lo, b_hi) = (
+            other.mean_slowdown_pct - other.ci95_half_width,
+            other.mean_slowdown_pct + other.ci95_half_width,
+        );
+        a_hi < b_lo || b_hi < a_lo
+    }
+}
+
+/// Run `compare` under `n` seeds derived from `spec.seed` (seed, seed+1,
+/// ...), in parallel across available cores.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn replicate(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    n: usize,
+) -> Replicates {
+    assert!(n > 0, "need at least one replicate");
+    let results: Mutex<Vec<(usize, Metrics)>> = Mutex::new(Vec::with_capacity(n));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .min(n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let seeded = ExperimentSpec {
+                    seed: spec.seed.wrapping_add(i as u64),
+                    ..*spec
+                };
+                let m = compare(&seeded, workload, injection);
+                results.lock().push((i, m));
+            });
+        }
+    });
+    let mut runs = results.into_inner();
+    runs.sort_by_key(|&(i, _)| i);
+    let runs: Vec<Metrics> = runs.into_iter().map(|(_, m)| m).collect();
+
+    let slows: Vec<f64> = runs.iter().map(|m| m.slowdown_pct()).collect();
+    let mean = slows.iter().sum::<f64>() / slows.len() as f64;
+    let std = if slows.len() < 2 {
+        0.0
+    } else {
+        (slows.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (slows.len() - 1) as f64)
+            .sqrt()
+    };
+    let ci = 1.96 * std / (slows.len() as f64).sqrt();
+    Replicates {
+        runs,
+        mean_slowdown_pct: mean,
+        std_slowdown_pct: std,
+        ci95_half_width: ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_apps::BspSynthetic;
+    use ghost_engine::time::{MS, US};
+    use ghost_noise::Signature;
+
+    fn quick_setup() -> (ExperimentSpec, BspSynthetic, NoiseInjection) {
+        (
+            ExperimentSpec::flat(8, 100),
+            BspSynthetic::new(20, MS),
+            NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US)),
+        )
+    }
+
+    #[test]
+    fn replicates_are_seed_ordered_and_deterministic() {
+        let (spec, w, inj) = quick_setup();
+        let a = replicate(&spec, &w, &inj, 6);
+        let b = replicate(&spec, &w, &inj, 6);
+        assert_eq!(a.runs, b.runs, "replication must be deterministic");
+        assert_eq!(a.runs.len(), 6);
+    }
+
+    #[test]
+    fn seeds_actually_vary() {
+        let (spec, w, inj) = quick_setup();
+        let r = replicate(&spec, &w, &inj, 6);
+        let distinct: std::collections::HashSet<u64> =
+            r.runs.iter().map(|m| m.noisy).collect();
+        assert!(distinct.len() > 1, "seeds should produce different runs");
+    }
+
+    #[test]
+    fn summary_statistics_are_consistent() {
+        let (spec, w, inj) = quick_setup();
+        let r = replicate(&spec, &w, &inj, 8);
+        assert!(r.min_slowdown_pct() <= r.mean_slowdown_pct);
+        assert!(r.mean_slowdown_pct <= r.max_slowdown_pct());
+        assert!(r.std_slowdown_pct >= 0.0);
+        assert!(r.ci95_half_width >= 0.0);
+        assert!(r.mean_amplification() > 0.0);
+    }
+
+    #[test]
+    fn single_replicate_has_zero_spread() {
+        let (spec, w, inj) = quick_setup();
+        let r = replicate(&spec, &w, &inj, 1);
+        assert_eq!(r.std_slowdown_pct, 0.0);
+        assert_eq!(r.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn distinguishable_signatures() {
+        // 10 Hz vs 1 kHz on a fine-grained workload: distributions far
+        // apart; 1 kHz vs itself: indistinguishable.
+        let spec = ExperimentSpec::flat(16, 7);
+        let w = BspSynthetic::new(100, 500 * US);
+        let slow = replicate(
+            &spec,
+            &w,
+            &NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US)),
+            5,
+        );
+        let fast = replicate(
+            &spec,
+            &w,
+            &NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US)),
+            5,
+        );
+        assert!(slow.distinguishable_from(&fast));
+        assert!(!fast.distinguishable_from(&fast.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_panics() {
+        let (spec, w, inj) = quick_setup();
+        replicate(&spec, &w, &inj, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Report rendering: fixed-width tables and CSV.
+//!
+//! Every figure/table generator in `ghost-bench` prints through this module
+//! so the regenerated artifacts have a uniform, diffable format that
+//! EXPERIMENTS.md records.
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str("== ");
+            out.push_str(&self.title);
+            out.push_str(" ==\n");
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align labels.
+                let pad = width[i].saturating_sub(c.len());
+                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-') {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                } else {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing commas or
+    /// quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with a sensible number of digits for tables.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format a time in ns as engineering notation (µs/ms/s).
+pub fn t(ns: u64) -> String {
+    ghost_engine::time::format_time(ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut tab = Table::new("demo", &["name", "value"]);
+        tab.row(&["alpha".into(), "1".into()]);
+        tab.row(&["b".into(), "12345".into()]);
+        let s = tab.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        // Numbers right-aligned in a 5-wide column.
+        assert!(lines[3].ends_with("    1"), "{:?}", lines[3]);
+        assert!(lines[4].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new("x", &["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut tab = Table::new("", &["a", "b"]);
+        tab.row(&["x,y".into(), "say \"hi\"".into()]);
+        let csv = tab.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.02513), "0.0251");
+        assert_eq!(f(2.5), "2.50");
+        assert_eq!(f(250.4), "250");
+        assert_eq!(f(-3.25), "-3.25");
+    }
+
+    #[test]
+    fn time_formatting_delegates() {
+        assert_eq!(t(2_500_000), "2.500ms");
+    }
+
+    #[test]
+    fn empty_table() {
+        let tab = Table::new("empty", &["a"]);
+        assert!(tab.is_empty());
+        assert_eq!(tab.len(), 0);
+        assert!(tab.render().contains("empty"));
+    }
+}

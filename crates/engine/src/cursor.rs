@@ -1,0 +1,134 @@
+//! Per-node CPU cursors.
+//!
+//! In GhostSim each simulated node runs exactly one application rank (the
+//! Red Storm / Catamount configuration the SC'07 study used), so every
+//! node's CPU executes a strictly sequential series of intervals: compute
+//! blocks, message-send overheads, message-receive processing. The
+//! [`CpuCursor`] tracks the time up to which a node's CPU is committed and
+//! enforces the monotonicity invariant that the noise models rely on (their
+//! per-node state advances with a forward-only sweep).
+
+use crate::time::Time;
+
+/// Tracks how far a node's CPU timeline has been committed.
+///
+/// `busy_until` is the earliest instant at which new work may begin. All
+/// reservations must begin at or after the current `busy_until`; this is a
+/// structural invariant of the one-rank-per-node execution model, and
+/// violating it indicates an executor bug, so [`CpuCursor::reserve`] panics
+/// on it even in release builds.
+#[derive(Debug, Clone, Default)]
+pub struct CpuCursor {
+    busy_until: Time,
+    busy_total: Time,
+}
+
+impl CpuCursor {
+    /// A fresh cursor: CPU free from time zero, no usage accumulated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Earliest time new work may start on this CPU.
+    #[inline]
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Total busy time accumulated (compute + overheads + noise stolen while
+    /// work was pending); used for utilization accounting.
+    #[inline]
+    pub fn busy_total(&self) -> Time {
+        self.busy_total
+    }
+
+    /// Reserve the CPU for the interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start < busy_until` (overlapping a prior reservation) or
+    /// `end < start`.
+    #[inline]
+    pub fn reserve(&mut self, start: Time, end: Time) {
+        assert!(
+            start >= self.busy_until,
+            "CPU reservation overlaps: start {} < busy_until {}",
+            start,
+            self.busy_until
+        );
+        assert!(end >= start, "reservation ends before it starts");
+        self.busy_total += end - start;
+        self.busy_until = end;
+    }
+
+    /// The start time a new reservation would get if requested at `t`:
+    /// `max(t, busy_until)`.
+    #[inline]
+    pub fn start_at(&self, t: Time) -> Time {
+        t.max(self.busy_until)
+    }
+
+    /// Fraction of `[0, horizon)` this CPU spent busy.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.busy_total as f64 / horizon as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_accumulate() {
+        let mut c = CpuCursor::new();
+        c.reserve(0, 10);
+        c.reserve(10, 15);
+        c.reserve(20, 30);
+        assert_eq!(c.busy_until(), 30);
+        assert_eq!(c.busy_total(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_reservation_panics() {
+        let mut c = CpuCursor::new();
+        c.reserve(0, 10);
+        c.reserve(5, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_interval_panics() {
+        let mut c = CpuCursor::new();
+        c.reserve(10, 5);
+    }
+
+    #[test]
+    fn empty_reservation_is_legal() {
+        let mut c = CpuCursor::new();
+        c.reserve(5, 5);
+        assert_eq!(c.busy_until(), 5);
+        assert_eq!(c.busy_total(), 0);
+    }
+
+    #[test]
+    fn start_at_respects_busy_until() {
+        let mut c = CpuCursor::new();
+        c.reserve(0, 100);
+        assert_eq!(c.start_at(50), 100);
+        assert_eq!(c.start_at(150), 150);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut c = CpuCursor::new();
+        c.reserve(0, 25);
+        c.reserve(50, 75);
+        assert_eq!(c.utilization(100), 0.5);
+        assert_eq!(c.utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # ghost-engine — deterministic discrete-event simulation core
+//!
+//! This crate is the foundation of GhostSim, the reproduction of the SC'07
+//! OS-noise study ("The Ghost in the Machine: Observing the Effects of Kernel
+//! Operation on Parallel Application Performance"). Everything above it —
+//! noise processes, the network model, the simulated MPI layer, and the
+//! application skeletons — is driven by the three primitives defined here:
+//!
+//! * [`Time`]/[`Work`] — simulated wall-clock time and CPU work, both in
+//!   integer nanoseconds, so simulations are exactly reproducible across
+//!   platforms (no floating-point time accumulation).
+//! * [`EventQueue`] — a binary-heap discrete-event queue with deterministic
+//!   FIFO tie-breaking for simultaneous events.
+//! * [`rng`] — a self-contained SplitMix64/xoshiro256++ implementation with
+//!   per-node independent streams, so per-node randomness (noise phases,
+//!   stochastic noise arrivals, load imbalance) is reproducible regardless of
+//!   the order in which nodes are simulated.
+//!
+//! The engine deliberately knows nothing about MPI, noise, or networks; it is
+//! a small, heavily tested kernel that the rest of the workspace builds on.
+//!
+//! ## Example
+//!
+//! ```
+//! use ghost_engine::{EventQueue, time::MS};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(2 * MS, "second");
+//! q.push(1 * MS, "first");
+//! q.push(2 * MS, "third"); // same time as "second": FIFO order preserved
+//!
+//! assert_eq!(q.pop(), Some((1 * MS, "first")));
+//! assert_eq!(q.pop(), Some((2 * MS, "second")));
+//! assert_eq!(q.pop(), Some((2 * MS, "third")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod cursor;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use calendar::CalendarQueue;
+pub use cursor::CpuCursor;
+pub use queue::EventQueue;
+pub use rng::{splitmix64, NodeStream, Xoshiro256};
+pub use time::{Time, Work};

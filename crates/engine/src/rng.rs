@@ -1,0 +1,280 @@
+//! Self-contained deterministic random number generation.
+//!
+//! GhostSim needs randomness in several places — per-node noise phases,
+//! stochastic noise arrival processes, load-imbalance draws — and the whole
+//! simulation must be reproducible from a single `u64` seed, independent of
+//! the order in which nodes happen to be simulated. We therefore give every
+//! node its own *stream*: an independent [`Xoshiro256`] generator seeded by
+//! mixing the experiment seed with the node id through SplitMix64.
+//!
+//! The generators are implemented here rather than pulled from the `rand`
+//! crate so that the exact output sequence is pinned by this crate's own
+//! tests (the `rand` crate reserves the right to change algorithm details
+//! between versions, which would silently change every experiment).
+//! `rand` remains available for test-only use elsewhere in the workspace.
+
+/// Advance a SplitMix64 state and return the next output.
+///
+/// SplitMix64 is the canonical seeding function for the xoshiro family: it
+/// decorrelates arbitrary (even sequential) seed inputs.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator (Blackman & Vigna), 256-bit state, period 2^256−1.
+///
+/// Fast, high quality, and trivially seedable per node. Not cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed the generator from a single `u64` via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // An all-zero state is the one invalid xoshiro state; SplitMix64 of
+        // any seed cannot produce four zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift with rejection for exact uniformity.
+    #[inline]
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0)");
+        // Lemire's method: rejection zone keeps the result exactly uniform.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Exponentially distributed sample with the given rate (events per unit).
+    ///
+    /// Returns `ln(1/u)/rate` where `u ~ U(0,1]`; mean is `1/rate`.
+    #[inline]
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // 1 - next_f64() is in (0, 1]; avoids ln(0).
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Standard normal sample via Box–Muller (no caching: simplicity over
+    /// the ~2x speed of caching the second variate; this is not a hot path).
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Pareto(scale=1, shape=alpha) sample; heavy-tailed for straggler models.
+    #[inline]
+    pub fn pareto(&mut self, alpha: f64) -> f64 {
+        debug_assert!(alpha > 0.0);
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        u.powf(-1.0 / alpha)
+    }
+}
+
+/// Factory for per-node independent random streams.
+///
+/// Two streams with different node ids (or different experiment seeds) are
+/// statistically independent; the same `(seed, node)` pair always yields the
+/// identical sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeStream {
+    seed: u64,
+}
+
+impl NodeStream {
+    /// Create a stream factory for an experiment-level seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The experiment-level seed this factory mixes from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generator for node `node`, purpose-tagged by `stream` so independent
+    /// consumers on the same node (noise phase vs. load imbalance, say) do
+    /// not share a sequence.
+    pub fn for_node(&self, node: usize, stream: u64) -> Xoshiro256 {
+        let mut sm = self.seed ^ 0xA076_1D64_78BD_642F;
+        let a = splitmix64(&mut sm);
+        let mut mixed = a ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream.rotate_left(32);
+        let s = splitmix64(&mut mixed);
+        Xoshiro256::seed_from_u64(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 0 (from the public-domain reference
+        // implementation by Sebastiano Vigna).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams nearly identical: {same}/64 collisions");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut g = Xoshiro256::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut g = Xoshiro256::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = g.gen_range(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "not all values in [0,10) hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "gen_range(0)")]
+    fn gen_range_zero_panics() {
+        Xoshiro256::seed_from_u64(1).gen_range(0);
+    }
+
+    #[test]
+    fn gen_range_one_is_always_zero() {
+        let mut g = Xoshiro256::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(g.gen_range(1), 0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut g = Xoshiro256::seed_from_u64(21);
+        let rate = 4.0;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| g.exp(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut g = Xoshiro256::seed_from_u64(23);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn pareto_is_at_least_scale() {
+        let mut g = Xoshiro256::seed_from_u64(29);
+        for _ in 0..10_000 {
+            assert!(g.pareto(2.5) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn node_streams_are_reproducible_and_distinct() {
+        let f = NodeStream::new(1234);
+        let mut a1 = f.for_node(5, 0);
+        let mut a2 = f.for_node(5, 0);
+        let mut b = f.for_node(6, 0);
+        let mut c = f.for_node(5, 1);
+        let va1: Vec<u64> = (0..16).map(|_| a1.next_u64()).collect();
+        let va2: Vec<u64> = (0..16).map(|_| a2.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va1, va2, "same (seed,node,stream) must repeat exactly");
+        assert_ne!(va1, vb, "different nodes must differ");
+        assert_ne!(va1, vc, "different stream tags must differ");
+    }
+
+    #[test]
+    fn node_stream_seed_accessor() {
+        assert_eq!(NodeStream::new(99).seed(), 99);
+    }
+}

@@ -1,0 +1,155 @@
+//! Simulated time and CPU work, in integer nanoseconds.
+//!
+//! GhostSim uses `u64` nanoseconds for both wall-clock simulation time and
+//! CPU work amounts. Integer time keeps simulations bit-for-bit reproducible
+//! and free of floating-point drift over long runs (a 10-second POP run at
+//! 4096 ranks executes tens of millions of timing additions). At u64
+//! resolution the simulator can represent ~584 years of nanoseconds, far more
+//! than any experiment needs.
+
+/// Simulated wall-clock time, in nanoseconds since simulation start.
+pub type Time = u64;
+
+/// An amount of CPU work, in nanoseconds of uninterrupted execution.
+///
+/// Work is what an application *needs*; time is what it *takes*. A noise
+/// process maps `(start: Time, work: Work) -> completion: Time` with
+/// `completion - start >= work`.
+pub type Work = u64;
+
+/// One nanosecond.
+pub const NS: Time = 1;
+/// One microsecond in nanoseconds.
+pub const US: Time = 1_000;
+/// One millisecond in nanoseconds.
+pub const MS: Time = 1_000_000;
+/// One second in nanoseconds.
+pub const SEC: Time = 1_000_000_000;
+
+/// Convert a time in seconds (floating point) to integer nanoseconds.
+///
+/// Rounds to the nearest nanosecond. Panics in debug builds on negative or
+/// non-finite input.
+#[inline]
+pub fn from_secs_f64(secs: f64) -> Time {
+    debug_assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
+    (secs * SEC as f64).round() as Time
+}
+
+/// Convert integer nanoseconds to floating-point seconds (for reporting).
+#[inline]
+pub fn to_secs_f64(t: Time) -> f64 {
+    t as f64 / SEC as f64
+}
+
+/// Convert integer nanoseconds to floating-point microseconds (for reporting).
+#[inline]
+pub fn to_micros_f64(t: Time) -> f64 {
+    t as f64 / US as f64
+}
+
+/// Convert integer nanoseconds to floating-point milliseconds (for reporting).
+#[inline]
+pub fn to_millis_f64(t: Time) -> f64 {
+    t as f64 / MS as f64
+}
+
+/// Render a time as a short human-readable string with an adaptive unit.
+///
+/// ```
+/// use ghost_engine::time::{format_time, US, MS, SEC};
+/// assert_eq!(format_time(500), "500ns");
+/// assert_eq!(format_time(25 * US), "25.000us");
+/// assert_eq!(format_time(2500 * US), "2.500ms");
+/// assert_eq!(format_time(3 * SEC), "3.000s");
+/// assert_eq!(format_time(1500 * MS), "1.500s");
+/// ```
+pub fn format_time(t: Time) -> String {
+    if t < US {
+        format!("{t}ns")
+    } else if t < MS {
+        format!("{:.3}us", to_micros_f64(t))
+    } else if t < SEC {
+        format!("{:.3}ms", to_millis_f64(t))
+    } else {
+        format!("{:.3}s", to_secs_f64(t))
+    }
+}
+
+/// The frequency, in Hz, corresponding to a period of `t` nanoseconds.
+///
+/// Returns `f64::INFINITY` for a zero period.
+#[inline]
+pub fn period_to_hz(t: Time) -> f64 {
+    if t == 0 {
+        f64::INFINITY
+    } else {
+        SEC as f64 / t as f64
+    }
+}
+
+/// The period, in nanoseconds, of a frequency in Hz (rounded to nearest ns).
+///
+/// Panics in debug builds on non-positive frequency.
+#[inline]
+pub fn hz_to_period(hz: f64) -> Time {
+    debug_assert!(hz.is_finite() && hz > 0.0, "invalid frequency: {hz}");
+    (SEC as f64 / hz).round() as Time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(US, 1_000 * NS);
+        assert_eq!(MS, 1_000 * US);
+        assert_eq!(SEC, 1_000 * MS);
+    }
+
+    #[test]
+    fn secs_roundtrip() {
+        for &s in &[0.0, 1.0, 0.5, 2.25e-6, 1234.567] {
+            let t = from_secs_f64(s);
+            let back = to_secs_f64(t);
+            assert!((back - s).abs() < 1e-9, "{s} -> {t} -> {back}");
+        }
+    }
+
+    #[test]
+    fn sub_nanosecond_rounds_to_nearest() {
+        assert_eq!(from_secs_f64(0.4e-9), 0);
+        assert_eq!(from_secs_f64(0.6e-9), 1);
+    }
+
+    #[test]
+    fn period_frequency_inverse() {
+        for &hz in &[1.0, 10.0, 100.0, 1_000.0, 10_000.0] {
+            let p = hz_to_period(hz);
+            let back = period_to_hz(p);
+            assert!((back - hz).abs() / hz < 1e-9, "{hz} -> {p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn zero_period_is_infinite_frequency() {
+        assert!(period_to_hz(0).is_infinite());
+    }
+
+    #[test]
+    fn formatting_boundaries() {
+        assert_eq!(format_time(0), "0ns");
+        assert_eq!(format_time(999), "999ns");
+        assert_eq!(format_time(1_000), "1.000us");
+        assert_eq!(format_time(999_999), "999.999us");
+        assert_eq!(format_time(1_000_000), "1.000ms");
+        assert_eq!(format_time(SEC), "1.000s");
+    }
+
+    #[test]
+    fn conversion_helpers() {
+        assert_eq!(to_micros_f64(1500), 1.5);
+        assert_eq!(to_millis_f64(2_500_000), 2.5);
+    }
+}

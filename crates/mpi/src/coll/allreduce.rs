@@ -1,0 +1,569 @@
+//! Allreduce algorithms: recursive doubling and Rabenseifner.
+//!
+//! Non-power-of-two rank counts use the standard MPICH fold-in: with
+//! `rem = P - 2^floor(log2 P)` extra ranks, the first `2*rem` ranks pair up
+//! (even sends its contribution to odd), the resulting `2^k` participants
+//! run the power-of-two algorithm, and the result is folded back out.
+
+use ghost_engine::time::Work;
+
+use crate::coll::{ceil_log2, floor_pow2, CollStep, Collective, PrimOp};
+use crate::types::{coll_tag, Env, Rank, ReduceOp};
+
+/// Tag phase for the pre-fold (even -> odd) message.
+const PH_PRE: u32 = 1;
+/// Tag phase for the post-fold (odd -> even) message.
+const PH_POST: u32 = 2;
+/// Tag phase for main algorithm rounds.
+const PH_MAIN: u32 = 0;
+
+/// Shared non-power-of-two bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Fold {
+    pof2: usize,
+    rem: usize,
+    /// This rank's index within the power-of-two group, if it participates.
+    newrank: Option<usize>,
+}
+
+impl Fold {
+    fn new(env: Env) -> Self {
+        let pof2 = floor_pow2(env.size);
+        let rem = env.size - pof2;
+        let r = env.rank;
+        let newrank = if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                None // folded into rank+1
+            } else {
+                Some(r / 2)
+            }
+        } else {
+            Some(r - rem)
+        };
+        Self { pof2, rem, newrank }
+    }
+
+    /// Real rank of a participant index.
+    fn real(&self, newrank: usize) -> Rank {
+        if newrank < self.rem {
+            newrank * 2 + 1
+        } else {
+            newrank + self.rem
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Start,
+    /// Odd rank < 2*rem: waiting for the even partner's contribution.
+    PreRecved,
+    /// Beginning of a main-phase round.
+    Round,
+    /// Main-phase exchange received; fold it in.
+    RoundRecved,
+    /// Non-participant waiting for the final result.
+    AwaitPost,
+    Finish,
+    Terminated,
+}
+
+/// Recursive-doubling allreduce: `log2(P)` rounds, each a full-payload
+/// exchange with partner `newrank XOR 2^k`. Latency-optimal for small
+/// payloads — and the algorithm behind the fine-grained allreduces that make
+/// POP so noise-sensitive in the paper.
+#[derive(Debug)]
+pub struct AllreduceRecDbl {
+    env: Env,
+    seq: u64,
+    bytes: u64,
+    op: ReduceOp,
+    reduce_work: Work,
+    fold: Fold,
+    val: f64,
+    round: u32,
+    rounds: u32,
+    state: State,
+}
+
+impl AllreduceRecDbl {
+    /// Create the machine for `env.rank` contributing `value`.
+    pub fn new(env: Env, seq: u64, bytes: u64, value: f64, op: ReduceOp, reduce_work: Work) -> Self {
+        let fold = Fold::new(env);
+        Self {
+            env,
+            seq,
+            bytes,
+            op,
+            reduce_work,
+            fold,
+            val: value,
+            round: 0,
+            rounds: if fold.pof2 > 1 {
+                ceil_log2(fold.pof2)
+            } else {
+                0
+            },
+            state: State::Start,
+        }
+    }
+}
+
+impl Collective for AllreduceRecDbl {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            match self.state {
+                State::Start => {
+                    if self.env.size == 1 {
+                        self.state = State::Terminated;
+                        return CollStep::Done(self.val);
+                    }
+                    let r = self.env.rank;
+                    if self.fold.rem > 0 && r < 2 * self.fold.rem {
+                        if r.is_multiple_of(2) {
+                            // Fold our contribution into rank+1, then wait
+                            // for the final result.
+                            self.state = State::AwaitPost;
+                            return CollStep::Prim(PrimOp::Send {
+                                peer: r + 1,
+                                tag: coll_tag(self.seq, 0, PH_PRE),
+                                bytes: self.bytes,
+                                value: self.val,
+                            });
+                        }
+                        self.state = State::PreRecved;
+                        return CollStep::Prim(PrimOp::Recv {
+                            peer: r - 1,
+                            tag: coll_tag(self.seq, 0, PH_PRE),
+                        });
+                    }
+                    self.state = State::Round;
+                }
+                State::PreRecved => {
+                    let v = prev.take().expect("pre-fold value missing");
+                    self.val = self.op.apply(self.val, v);
+                    self.state = State::Round;
+                    if self.reduce_work > 0 {
+                        return CollStep::Prim(PrimOp::Compute(self.reduce_work));
+                    }
+                }
+                State::Round => {
+                    if self.round == self.rounds {
+                        self.state = State::Finish;
+                        continue;
+                    }
+                    let nr = self.fold.newrank.expect("non-participant in rounds");
+                    let partner = self.fold.real(nr ^ (1 << self.round));
+                    let tag = coll_tag(self.seq, 1 + self.round, PH_MAIN);
+                    self.round += 1;
+                    self.state = State::RoundRecved;
+                    return CollStep::Prim(PrimOp::Sendrecv {
+                        peer_send: partner,
+                        stag: tag,
+                        sbytes: self.bytes,
+                        svalue: self.val,
+                        peer_recv: partner,
+                        rtag: tag,
+                    });
+                }
+                State::RoundRecved => {
+                    let v = prev.take().expect("round value missing");
+                    self.val = self.op.apply(self.val, v);
+                    self.state = State::Round;
+                    if self.reduce_work > 0 {
+                        return CollStep::Prim(PrimOp::Compute(self.reduce_work));
+                    }
+                }
+                State::AwaitPost => {
+                    match prev.take() {
+                        None => {
+                            // Our pre-fold send completed; now wait for the
+                            // folded-out result.
+                            return CollStep::Prim(PrimOp::Recv {
+                                peer: self.env.rank + 1,
+                                tag: coll_tag(self.seq, 0, PH_POST),
+                            });
+                        }
+                        Some(v) => {
+                            self.val = v;
+                            self.state = State::Terminated;
+                            return CollStep::Done(self.val);
+                        }
+                    }
+                }
+                State::Finish => {
+                    let r = self.env.rank;
+                    if self.fold.rem > 0 && r < 2 * self.fold.rem && r % 2 == 1 {
+                        self.state = State::Terminated;
+                        // Ship the final result back to the folded partner;
+                        // our own result is ready, so finish right after the
+                        // send is issued (the executor completes the send
+                        // before stepping us again).
+                        return CollStep::Prim(PrimOp::Send {
+                            peer: r - 1,
+                            tag: coll_tag(self.seq, 0, PH_POST),
+                            bytes: self.bytes,
+                            value: self.val,
+                        });
+                    }
+                    self.state = State::Terminated;
+                    return CollStep::Done(self.val);
+                }
+                State::Terminated => return CollStep::Done(self.val),
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RState {
+    Start,
+    PreRecved,
+    /// Reduce-scatter (recursive halving) round boundary.
+    RsRound,
+    RsRecved,
+    /// Allgather (recursive doubling) round boundary.
+    AgRound,
+    AgRecved,
+    AwaitPost,
+    Finish,
+    Terminated,
+}
+
+/// Rabenseifner allreduce: reduce-scatter by recursive halving, then
+/// allgather by recursive doubling. Moves `2(P-1)/P · n` bytes per rank
+/// instead of `n·log2(P)` — the bandwidth-optimal choice for large payloads.
+///
+/// The scalar payload stands in for the full vector: partials are combined
+/// during reduce-scatter (after which each rank's scalar already equals the
+/// full reduction of the vector segment it owns) and carried unchanged
+/// through the allgather.
+#[derive(Debug)]
+pub struct AllreduceRabenseifner {
+    env: Env,
+    seq: u64,
+    bytes: u64,
+    op: ReduceOp,
+    cost_ps_per_byte: u64,
+    fold: Fold,
+    val: f64,
+    round: u32,
+    rounds: u32,
+    state: RState,
+}
+
+impl AllreduceRabenseifner {
+    /// Create the machine for `env.rank` contributing `value`.
+    pub fn new(
+        env: Env,
+        seq: u64,
+        bytes: u64,
+        value: f64,
+        op: ReduceOp,
+        cost_ps_per_byte: u64,
+    ) -> Self {
+        let fold = Fold::new(env);
+        Self {
+            env,
+            seq,
+            bytes,
+            op,
+            cost_ps_per_byte,
+            fold,
+            val: value,
+            round: 0,
+            rounds: if fold.pof2 > 1 {
+                ceil_log2(fold.pof2)
+            } else {
+                0
+            },
+            state: RState::Start,
+        }
+    }
+
+    /// Bytes exchanged in reduce-scatter round `k`: half, quarter, ...
+    fn rs_bytes(&self, k: u32) -> u64 {
+        self.bytes >> (k + 1)
+    }
+
+    /// Bytes exchanged in allgather round `k` (growing back up).
+    fn ag_bytes(&self, k: u32) -> u64 {
+        self.bytes >> (self.rounds - k)
+    }
+
+    fn combine_work(&self, bytes: u64) -> Work {
+        (bytes as u128 * self.cost_ps_per_byte as u128 / 1000) as Work
+    }
+}
+
+impl Collective for AllreduceRabenseifner {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            match self.state {
+                RState::Start => {
+                    if self.env.size == 1 {
+                        self.state = RState::Terminated;
+                        return CollStep::Done(self.val);
+                    }
+                    let r = self.env.rank;
+                    if self.fold.rem > 0 && r < 2 * self.fold.rem {
+                        if r.is_multiple_of(2) {
+                            self.state = RState::AwaitPost;
+                            return CollStep::Prim(PrimOp::Send {
+                                peer: r + 1,
+                                tag: coll_tag(self.seq, 0, PH_PRE),
+                                bytes: self.bytes,
+                                value: self.val,
+                            });
+                        }
+                        self.state = RState::PreRecved;
+                        return CollStep::Prim(PrimOp::Recv {
+                            peer: r - 1,
+                            tag: coll_tag(self.seq, 0, PH_PRE),
+                        });
+                    }
+                    self.state = RState::RsRound;
+                }
+                RState::PreRecved => {
+                    let v = prev.take().expect("pre-fold value missing");
+                    self.val = self.op.apply(self.val, v);
+                    self.state = RState::RsRound;
+                    let w = self.combine_work(self.bytes);
+                    if w > 0 {
+                        return CollStep::Prim(PrimOp::Compute(w));
+                    }
+                }
+                RState::RsRound => {
+                    if self.round == self.rounds {
+                        self.round = 0;
+                        self.state = RState::AgRound;
+                        continue;
+                    }
+                    let nr = self.fold.newrank.expect("non-participant in rounds");
+                    // Recursive halving: distance pof2/2, pof2/4, ..., 1.
+                    let dist = self.fold.pof2 >> (self.round + 1);
+                    let partner = self.fold.real(nr ^ dist);
+                    let tag = coll_tag(self.seq, 1 + self.round, PH_MAIN);
+                    let b = self.rs_bytes(self.round);
+                    self.round += 1;
+                    self.state = RState::RsRecved;
+                    return CollStep::Prim(PrimOp::Sendrecv {
+                        peer_send: partner,
+                        stag: tag,
+                        sbytes: b,
+                        svalue: self.val,
+                        peer_recv: partner,
+                        rtag: tag,
+                    });
+                }
+                RState::RsRecved => {
+                    let v = prev.take().expect("reduce-scatter value missing");
+                    self.val = self.op.apply(self.val, v);
+                    self.state = RState::RsRound;
+                    let w = self.combine_work(self.rs_bytes(self.round - 1));
+                    if w > 0 {
+                        return CollStep::Prim(PrimOp::Compute(w));
+                    }
+                }
+                RState::AgRound => {
+                    if self.round == self.rounds {
+                        self.state = RState::Finish;
+                        continue;
+                    }
+                    let nr = self.fold.newrank.expect("non-participant in rounds");
+                    // Recursive doubling back up: distance 1, 2, ..., pof2/2.
+                    let dist = 1usize << self.round;
+                    let partner = self.fold.real(nr ^ dist);
+                    let tag = coll_tag(self.seq, 1 + self.rounds + self.round, PH_MAIN);
+                    let b = self.ag_bytes(self.round);
+                    self.round += 1;
+                    self.state = RState::AgRecved;
+                    return CollStep::Prim(PrimOp::Sendrecv {
+                        peer_send: partner,
+                        stag: tag,
+                        sbytes: b,
+                        svalue: self.val,
+                        peer_recv: partner,
+                        rtag: tag,
+                    });
+                }
+                RState::AgRecved => {
+                    // Allgather moves already-reduced segments; the scalar
+                    // is unchanged (both sides hold the global reduction).
+                    let _ = prev.take().expect("allgather value missing");
+                    self.state = RState::AgRound;
+                }
+                RState::AwaitPost => match prev.take() {
+                    None => {
+                        return CollStep::Prim(PrimOp::Recv {
+                            peer: self.env.rank + 1,
+                            tag: coll_tag(self.seq, 0, PH_POST),
+                        });
+                    }
+                    Some(v) => {
+                        self.val = v;
+                        self.state = RState::Terminated;
+                        return CollStep::Done(self.val);
+                    }
+                },
+                RState::Finish => {
+                    let r = self.env.rank;
+                    if self.fold.rem > 0 && r < 2 * self.fold.rem && r % 2 == 1 {
+                        self.state = RState::Terminated;
+                        return CollStep::Prim(PrimOp::Send {
+                            peer: r - 1,
+                            tag: coll_tag(self.seq, 0, PH_POST),
+                            bytes: self.bytes,
+                            value: self.val,
+                        });
+                    }
+                    self.state = RState::Terminated;
+                    return CollStep::Done(self.val);
+                }
+                RState::Terminated => return CollStep::Done(self.val),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::harness;
+    use proptest::prelude::*;
+
+    fn run_recdbl(p: usize) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(AllreduceRecDbl::new(
+                    Env { rank: r, size: p },
+                    0,
+                    8,
+                    r as f64 + 1.0,
+                    ReduceOp::Sum,
+                    100,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    fn run_raben(p: usize, bytes: u64) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(AllreduceRabenseifner::new(
+                    Env { rank: r, size: p },
+                    0,
+                    bytes,
+                    r as f64 + 1.0,
+                    ReduceOp::Sum,
+                    250,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    #[test]
+    fn recdbl_sum_power_of_two() {
+        for p in [1, 2, 4, 8, 16, 64] {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_recdbl(p);
+            assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn recdbl_sum_non_power_of_two() {
+        for p in [3, 5, 6, 7, 9, 12, 13, 31, 33, 100] {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_recdbl(p);
+            assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn recdbl_max_and_min() {
+        for op in [ReduceOp::Max, ReduceOp::Min] {
+            let p = 13;
+            let machines: Vec<Box<dyn Collective>> = (0..p)
+                .map(|r| {
+                    Box::new(AllreduceRecDbl::new(
+                        Env { rank: r, size: p },
+                        0,
+                        8,
+                        ((r * 7919) % 23) as f64,
+                        op,
+                        0,
+                    )) as Box<dyn Collective>
+                })
+                .collect();
+            let expect = (0..p)
+                .map(|r| ((r * 7919) % 23) as f64)
+                .fold(op.identity(), |a, b| op.apply(a, b));
+            let out = harness::run(machines);
+            assert!(out.iter().all(|&v| v == expect), "{op:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn rabenseifner_sum_many_sizes() {
+        for p in [1, 2, 3, 4, 5, 7, 8, 9, 16, 21, 32, 50] {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_raben(p, 1 << 16);
+            assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn rabenseifner_tiny_payload_still_correct() {
+        // Byte counts degenerate to zero per round; values must still flow.
+        let out = run_raben(8, 1);
+        assert!(out.iter().all(|&v| v == 36.0), "{out:?}");
+    }
+
+    #[test]
+    fn rs_ag_byte_ladders() {
+        let env = Env { rank: 0, size: 8 };
+        let m = AllreduceRabenseifner::new(env, 0, 1024, 0.0, ReduceOp::Sum, 0);
+        assert_eq!(m.rs_bytes(0), 512);
+        assert_eq!(m.rs_bytes(1), 256);
+        assert_eq!(m.rs_bytes(2), 128);
+        assert_eq!(m.ag_bytes(0), 128);
+        assert_eq!(m.ag_bytes(1), 256);
+        assert_eq!(m.ag_bytes(2), 512);
+    }
+
+    #[test]
+    fn fold_mapping_is_consistent() {
+        // P=6: pof2=4, rem=2. Participants: odd ranks 1,3 (new 0,1) and
+        // ranks 4,5 (new 2,3).
+        let f = Fold::new(Env { rank: 1, size: 6 });
+        assert_eq!(f.pof2, 4);
+        assert_eq!(f.rem, 2);
+        assert_eq!(f.newrank, Some(0));
+        assert_eq!(f.real(0), 1);
+        assert_eq!(f.real(1), 3);
+        assert_eq!(f.real(2), 4);
+        assert_eq!(f.real(3), 5);
+        assert_eq!(Fold::new(Env { rank: 0, size: 6 }).newrank, None);
+        assert_eq!(Fold::new(Env { rank: 5, size: 6 }).newrank, Some(3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn recdbl_sum_arbitrary_sizes(p in 1usize..40) {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_recdbl(p);
+            prop_assert!(out.iter().all(|&v| v == expect));
+        }
+
+        #[test]
+        fn rabenseifner_matches_recdbl(p in 1usize..40) {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_raben(p, 4096);
+            prop_assert!(out.iter().all(|&v| v == expect));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Pairwise-exchange all-to-all.
+
+use crate::coll::{CollStep, Collective, PrimOp};
+use crate::types::{coll_tag, Env};
+
+/// Pairwise-exchange alltoall: `P-1` rounds; in round `k`, rank `r` sends its
+/// block to `(r + k) mod P` and receives from `(r - k) mod P`. Every pair of
+/// ranks exchanges exactly once. Yields the sum of all ranks' values
+/// (including this rank's own).
+#[derive(Debug)]
+pub struct AlltoallPairwise {
+    env: Env,
+    seq: u64,
+    bytes: u64,
+    own: f64,
+    sum: f64,
+    round: u32,
+}
+
+impl AlltoallPairwise {
+    /// Create the machine for `env.rank` contributing `value` per peer.
+    pub fn new(env: Env, seq: u64, bytes: u64, value: f64) -> Self {
+        Self {
+            env,
+            seq,
+            bytes,
+            own: value,
+            sum: value,
+            round: 1,
+        }
+    }
+}
+
+impl Collective for AlltoallPairwise {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        if let Some(v) = prev.take() {
+            self.sum += v;
+        }
+        let p = self.env.size;
+        if self.round as usize >= p {
+            return CollStep::Done(self.sum);
+        }
+        let k = self.round as usize;
+        let to = (self.env.rank + k) % p;
+        let from = (self.env.rank + p - k) % p;
+        // The incoming message was sent in the same round (distance k), so
+        // both sides tag by round only.
+        let tag = coll_tag(self.seq, self.round, 0);
+        self.round += 1;
+        CollStep::Prim(PrimOp::Sendrecv {
+            peer_send: to,
+            stag: tag,
+            sbytes: self.bytes,
+            svalue: self.own,
+            peer_recv: from,
+            rtag: tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::harness;
+    use proptest::prelude::*;
+
+    fn run(p: usize) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(AlltoallPairwise::new(
+                    Env { rank: r, size: p },
+                    0,
+                    64,
+                    (r + 1) as f64,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    #[test]
+    fn alltoall_sums_all_contributions() {
+        for p in [1, 2, 3, 4, 5, 8, 13, 16, 32] {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run(p);
+            assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_is_immediate() {
+        let mut m = AlltoallPairwise::new(Env { rank: 0, size: 1 }, 0, 8, 5.0);
+        assert_eq!(m.step(None), CollStep::Done(5.0));
+    }
+
+    #[test]
+    fn round_count_is_p_minus_one() {
+        let p = 7;
+        let mut m = AlltoallPairwise::new(Env { rank: 2, size: p }, 0, 8, 1.0);
+        let mut rounds = 0;
+        let mut prev = None;
+        loop {
+            match m.step(prev.take()) {
+                CollStep::Prim(PrimOp::Sendrecv { .. }) => {
+                    rounds += 1;
+                    prev = Some(0.0);
+                }
+                CollStep::Done(_) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(rounds, p - 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn alltoall_arbitrary(p in 1usize..40) {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run(p);
+            prop_assert!(out.iter().all(|&v| v == expect));
+        }
+    }
+}

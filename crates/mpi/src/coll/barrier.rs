@@ -1,0 +1,115 @@
+//! Dissemination barrier.
+//!
+//! `ceil(log2(P))` rounds; in round `k`, rank `r` sends a zero-byte token to
+//! `(r + 2^k) mod P` and waits for the token from `(r + P - 2^k) mod P`.
+//! After the last round every rank has (transitively) heard from every other
+//! rank. This is the classic barrier for machines without hardware support
+//! and the most latency-sensitive collective — a favorite victim of OS noise.
+
+use crate::coll::{ceil_log2, CollStep, Collective, PrimOp};
+use crate::types::{coll_tag, Env};
+
+/// Per-rank dissemination-barrier machine.
+#[derive(Debug)]
+pub struct BarrierDissemination {
+    env: Env,
+    seq: u64,
+    round: u32,
+    rounds: u32,
+}
+
+impl BarrierDissemination {
+    /// Create the machine for `env.rank`.
+    pub fn new(env: Env, seq: u64) -> Self {
+        Self {
+            env,
+            seq,
+            round: 0,
+            rounds: ceil_log2(env.size),
+        }
+    }
+}
+
+impl Collective for BarrierDissemination {
+    fn step(&mut self, _prev: Option<f64>) -> CollStep {
+        if self.round == self.rounds {
+            return CollStep::Done(0.0);
+        }
+        let p = self.env.size;
+        let dist = 1usize << self.round;
+        let to = (self.env.rank + dist) % p;
+        let from = (self.env.rank + p - dist) % p;
+        let tag = coll_tag(self.seq, self.round, 0);
+        self.round += 1;
+        CollStep::Prim(PrimOp::Sendrecv {
+            peer_send: to,
+            stag: tag,
+            sbytes: 0,
+            svalue: 0.0,
+            peer_recv: from,
+            rtag: tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::harness;
+
+    fn run_barrier(p: usize) {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(BarrierDissemination::new(Env { rank: r, size: p }, 3))
+                    as Box<dyn Collective>
+            })
+            .collect();
+        let out = harness::run(machines);
+        assert_eq!(out.len(), p);
+    }
+
+    #[test]
+    fn barrier_completes_at_many_sizes() {
+        for p in [1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 64, 100] {
+            run_barrier(p);
+        }
+    }
+
+    #[test]
+    fn single_rank_barrier_is_immediate() {
+        let mut m = BarrierDissemination::new(Env { rank: 0, size: 1 }, 0);
+        assert_eq!(m.step(None), CollStep::Done(0.0));
+    }
+
+    #[test]
+    fn round_count_is_ceil_log2() {
+        let env = Env { rank: 0, size: 5 };
+        let mut m = BarrierDissemination::new(env, 0);
+        let mut rounds = 0;
+        loop {
+            match m.step(None) {
+                CollStep::Prim(PrimOp::Sendrecv { .. }) => rounds += 1,
+                CollStep::Done(_) => break,
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+        assert_eq!(rounds, 3); // ceil(log2(5))
+    }
+
+    #[test]
+    fn partners_wrap_correctly() {
+        let env = Env { rank: 4, size: 5 };
+        let mut m = BarrierDissemination::new(env, 0);
+        match m.step(None) {
+            CollStep::Prim(PrimOp::Sendrecv {
+                peer_send,
+                peer_recv,
+                ..
+            }) => {
+                assert_eq!(peer_send, 0); // (4+1) % 5
+                assert_eq!(peer_recv, 3); // (4-1) % 5
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Binomial-tree broadcast and reduce.
+
+use ghost_engine::time::Work;
+
+use crate::coll::gather::{AllgatherRing, ScatterBinomial};
+use crate::coll::{ceil_log2, CollStep, Collective, PrimOp};
+use crate::types::{coll_tag, Env, Rank, ReduceOp};
+
+/// Binomial broadcast: in round `k`, every rank whose relative rank is below
+/// `2^k` and already holds the data sends to relative rank `+2^k`. Any rank
+/// count is supported (sends beyond `P-1` are skipped). `log2(P)` rounds of
+/// critical-path latency.
+#[derive(Debug)]
+pub struct BcastBinomial {
+    env: Env,
+    seq: u64,
+    root: Rank,
+    bytes: u64,
+    val: f64,
+    /// Relative rank: `(rank - root) mod P`.
+    rel: usize,
+    /// Round at which this rank receives (rounds for the root start at 0).
+    recv_round: u32,
+    /// Next round to act in.
+    round: u32,
+    rounds: u32,
+    received: bool,
+}
+
+impl BcastBinomial {
+    /// Create the machine for `env.rank`; `value` is meaningful at the root.
+    pub fn new(env: Env, seq: u64, root: Rank, bytes: u64, value: f64) -> Self {
+        assert!(root < env.size, "bcast root {root} out of range");
+        let rel = (env.rank + env.size - root) % env.size;
+        let rounds = ceil_log2(env.size);
+        // Non-root ranks receive in the round of their highest set bit.
+        let recv_round = if rel == 0 {
+            0
+        } else {
+            usize::BITS - 1 - rel.leading_zeros()
+        };
+        Self {
+            env,
+            seq,
+            root,
+            bytes,
+            val: value,
+            rel,
+            recv_round,
+            round: if rel == 0 { 0 } else { recv_round },
+            rounds,
+            received: rel == 0,
+        }
+    }
+
+    fn abs(&self, rel: usize) -> Rank {
+        (rel + self.root) % self.env.size
+    }
+}
+
+impl Collective for BcastBinomial {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if let Some(v) = prev.take() {
+                self.val = v;
+                self.received = true;
+                self.round += 1; // the receive consumed our recv round
+                continue;
+            }
+            if self.env.size == 1 {
+                return CollStep::Done(self.val);
+            }
+            if !self.received {
+                // Wait for the parent's message in our receive round.
+                return CollStep::Prim(PrimOp::Recv {
+                    peer: self.abs(self.rel - (1 << self.recv_round)),
+                    tag: coll_tag(self.seq, self.recv_round, 0),
+                });
+            }
+            // Send phase: rounds from `round` upward where we own a child.
+            while self.round < self.rounds {
+                let k = self.round;
+                self.round += 1;
+                let child = self.rel + (1 << k);
+                if self.rel < (1 << k) && child < self.env.size {
+                    return CollStep::Prim(PrimOp::Send {
+                        peer: self.abs(child),
+                        tag: coll_tag(self.seq, k, 0),
+                        bytes: self.bytes,
+                        value: self.val,
+                    });
+                }
+            }
+            return CollStep::Done(self.val);
+        }
+    }
+}
+
+/// Binomial reduce: the mirror of broadcast. In round `k`, a rank whose
+/// relative rank has bit `k` set sends its partial to relative rank `-2^k`
+/// and finishes; otherwise it receives from `+2^k` (if that child exists)
+/// and folds the value in. The root yields the full reduction; other ranks
+/// yield the partial they forwarded.
+#[derive(Debug)]
+pub struct ReduceBinomial {
+    env: Env,
+    seq: u64,
+    root: Rank,
+    bytes: u64,
+    op: ReduceOp,
+    reduce_work: Work,
+    val: f64,
+    rel: usize,
+    round: u32,
+    rounds: u32,
+    /// Set once this rank has shipped its partial up the tree.
+    sent: bool,
+}
+
+impl ReduceBinomial {
+    /// Create the machine for `env.rank` contributing `value`.
+    pub fn new(
+        env: Env,
+        seq: u64,
+        root: Rank,
+        bytes: u64,
+        value: f64,
+        op: ReduceOp,
+        reduce_work: Work,
+    ) -> Self {
+        assert!(root < env.size, "reduce root {root} out of range");
+        let rel = (env.rank + env.size - root) % env.size;
+        Self {
+            env,
+            seq,
+            root,
+            bytes,
+            op,
+            reduce_work,
+            val: value,
+            rel,
+            round: 0,
+            rounds: ceil_log2(env.size),
+            sent: false,
+        }
+    }
+
+    fn abs(&self, rel: usize) -> Rank {
+        (rel + self.root) % self.env.size
+    }
+}
+
+impl Collective for ReduceBinomial {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if let Some(v) = prev.take() {
+                self.val = self.op.apply(self.val, v);
+                self.round += 1;
+                if self.reduce_work > 0 {
+                    return CollStep::Prim(PrimOp::Compute(self.reduce_work));
+                }
+                continue;
+            }
+            if self.sent || self.env.size == 1 {
+                return CollStep::Done(self.val);
+            }
+            while self.round < self.rounds {
+                let k = self.round;
+                if self.rel & (1 << k) != 0 {
+                    // Ship the partial to the parent and finish.
+                    self.sent = true;
+                    return CollStep::Prim(PrimOp::Send {
+                        peer: self.abs(self.rel - (1 << k)),
+                        tag: coll_tag(self.seq, k, 0),
+                        bytes: self.bytes,
+                        value: self.val,
+                    });
+                }
+                let child = self.rel + (1 << k);
+                if child < self.env.size {
+                    // Receive the child subtree's partial this round.
+                    return CollStep::Prim(PrimOp::Recv {
+                        peer: self.abs(child),
+                        tag: coll_tag(self.seq, k, 0),
+                    });
+                }
+                self.round += 1;
+            }
+            return CollStep::Done(self.val);
+        }
+    }
+}
+
+/// Van de Geijn large-message broadcast: scatter the payload from the root
+/// (binomial tree over `bytes / P` slices), then ring-allgather the slices.
+/// Moves ~`2 * bytes * (P-1)/P` per rank instead of `bytes * log2(P)` —
+/// bandwidth-optimal for large payloads, exactly as production MPI does
+/// above its bcast threshold.
+#[derive(Debug)]
+pub struct BcastVanDeGeijn {
+    scatter: ScatterBinomial,
+    allgather: AllgatherRing,
+    in_allgather: bool,
+    val: f64,
+}
+
+/// Tag-round offset for the allgather stage (scatter uses rounds below
+/// `ceil_log2(P) <= 64`; ring rounds start here to stay disjoint).
+const AG_ROUND_OFFSET: u32 = 1 << 18;
+
+impl BcastVanDeGeijn {
+    /// Create the machine for `env.rank`; `value` is meaningful at the root.
+    pub fn new(env: Env, seq: u64, root: Rank, bytes: u64, value: f64) -> Self {
+        let slice = (bytes / env.size.max(1) as u64).max(1);
+        Self {
+            scatter: ScatterBinomial::new(env, seq, root, slice, value),
+            allgather: AllgatherRing::with_tag_round_offset(
+                env,
+                seq,
+                slice,
+                0.0,
+                AG_ROUND_OFFSET,
+            ),
+            in_allgather: false,
+            val: 0.0,
+        }
+    }
+}
+
+impl Collective for BcastVanDeGeijn {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if !self.in_allgather {
+                match self.scatter.step(prev.take()) {
+                    CollStep::Prim(op) => return CollStep::Prim(op),
+                    CollStep::Done(v) => {
+                        // Every rank now holds its slice (scalar stand-in:
+                        // the root's value). The allgather circulates the
+                        // slices; its own sum result is discarded.
+                        self.val = v;
+                        self.in_allgather = true;
+                    }
+                }
+            } else {
+                match self.allgather.step(prev.take()) {
+                    CollStep::Prim(op) => return CollStep::Prim(op),
+                    CollStep::Done(_) => return CollStep::Done(self.val),
+                }
+            }
+        }
+    }
+}
+
+/// Pipelined chain broadcast: ranks form a chain in relative-rank order;
+/// the payload is cut into `segments` pieces that flow down the chain in a
+/// pipeline. Completion latency ~ `(P - 2 + segments) * (o + seg_wire)` —
+/// for medium/large payloads with enough segments this beats the binomial
+/// tree because every link carries only `bytes / segments` at a time, and
+/// it is the classic algorithm for exposing *pipeline* noise sensitivity
+/// (one pulse anywhere stalls every downstream rank).
+#[derive(Debug)]
+pub struct BcastPipelined {
+    env: Env,
+    seq: u64,
+    root: Rank,
+    seg_bytes: u64,
+    segments: u32,
+    val: f64,
+    rel: usize,
+    /// Next segment to receive (non-root) / send (root).
+    recv_seg: u32,
+    send_seg: u32,
+    received_any: bool,
+}
+
+impl BcastPipelined {
+    /// Broadcast `bytes` from `root` in `segments` pipeline segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or the root is out of range.
+    pub fn new(env: Env, seq: u64, root: Rank, bytes: u64, value: f64, segments: u32) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        assert!(root < env.size, "bcast root {root} out of range");
+        let rel = (env.rank + env.size - root) % env.size;
+        Self {
+            env,
+            seq,
+            root,
+            seg_bytes: bytes / segments as u64,
+            segments,
+            val: value,
+            rel,
+            recv_seg: 0,
+            send_seg: 0,
+            received_any: rel == 0,
+        }
+    }
+
+    fn abs(&self, rel: usize) -> Rank {
+        (rel + self.root) % self.env.size
+    }
+}
+
+impl Collective for BcastPipelined {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if let Some(v) = prev.take() {
+                self.val = v;
+                self.received_any = true;
+                self.recv_seg += 1;
+            }
+            if self.env.size == 1 {
+                return CollStep::Done(self.val);
+            }
+            let is_root = self.rel == 0;
+            let is_tail = self.rel == self.env.size - 1;
+            // Forward any segment we hold that the successor still needs.
+            if !is_tail && self.send_seg < self.segments {
+                let have = if is_root { self.segments } else { self.recv_seg };
+                if self.send_seg < have {
+                    let k = self.send_seg;
+                    self.send_seg += 1;
+                    return CollStep::Prim(PrimOp::Send {
+                        peer: self.abs(self.rel + 1),
+                        tag: coll_tag(self.seq, k, 0),
+                        bytes: self.seg_bytes,
+                        value: self.val,
+                    });
+                }
+            }
+            // Receive the next segment if any remain.
+            if !is_root && self.recv_seg < self.segments {
+                return CollStep::Prim(PrimOp::Recv {
+                    peer: self.abs(self.rel - 1),
+                    tag: coll_tag(self.seq, self.recv_seg, 0),
+                });
+            }
+            return CollStep::Done(self.val);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::harness;
+    use proptest::prelude::*;
+
+    fn run_bcast(p: usize, root: usize) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                let v = if r == root { 42.5 } else { -1.0 };
+                Box::new(BcastBinomial::new(Env { rank: r, size: p }, 0, root, 64, v))
+                    as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    fn run_reduce(p: usize, root: usize) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(ReduceBinomial::new(
+                    Env { rank: r, size: p },
+                    0,
+                    root,
+                    8,
+                    (r + 1) as f64,
+                    ReduceOp::Sum,
+                    50,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    #[test]
+    fn bcast_delivers_root_value_everywhere() {
+        for p in [1, 2, 3, 4, 5, 8, 11, 16, 27, 64] {
+            let out = run_bcast(p, 0);
+            assert!(out.iter().all(|&v| v == 42.5), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn bcast_with_nonzero_root() {
+        for p in [2, 5, 9, 16] {
+            for root in [1, p / 2, p - 1] {
+                let out = run_bcast(p, root);
+                assert!(out.iter().all(|&v| v == 42.5), "p={p} root={root}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_at_root() {
+        for p in [1, 2, 3, 4, 7, 8, 13, 16, 30] {
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_reduce(p, 0);
+            assert_eq!(out[0], expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_with_nonzero_root() {
+        for p in [2, 6, 9, 17] {
+            for root in [1, p - 1] {
+                let expect = (p * (p + 1)) as f64 / 2.0;
+                let out = run_reduce(p, root);
+                assert_eq!(out[root], expect, "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_at_root() {
+        let p = 11;
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(ReduceBinomial::new(
+                    Env { rank: r, size: p },
+                    0,
+                    3,
+                    8,
+                    ((r * 31) % 17) as f64,
+                    ReduceOp::Max,
+                    0,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        let expect = (0..p).map(|r| ((r * 31) % 17) as f64).fold(f64::NEG_INFINITY, f64::max);
+        let out = harness::run(machines);
+        assert_eq!(out[3], expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bcast_bad_root_panics() {
+        BcastBinomial::new(Env { rank: 0, size: 4 }, 0, 4, 8, 0.0);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_immediate() {
+        let mut b = BcastBinomial::new(Env { rank: 0, size: 1 }, 0, 0, 8, 7.0);
+        assert_eq!(b.step(None), CollStep::Done(7.0));
+        let mut r = ReduceBinomial::new(Env { rank: 0, size: 1 }, 0, 0, 8, 7.0, ReduceOp::Sum, 0);
+        assert_eq!(r.step(None), CollStep::Done(7.0));
+    }
+
+    fn run_vdg(p: usize, root: usize) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                let v = if r == root { 6.5 } else { -1.0 };
+                Box::new(BcastVanDeGeijn::new(
+                    Env { rank: r, size: p },
+                    0,
+                    root,
+                    1 << 20,
+                    v,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    fn run_pipelined(p: usize, root: usize, segments: u32) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                let v = if r == root { 8.75 } else { -1.0 };
+                Box::new(BcastPipelined::new(
+                    Env { rank: r, size: p },
+                    0,
+                    root,
+                    1 << 16,
+                    v,
+                    segments,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    #[test]
+    fn pipelined_bcast_delivers_root_value() {
+        for p in [1, 2, 3, 5, 8, 16] {
+            for root in [0, p / 2, p - 1] {
+                for segments in [1, 2, 8] {
+                    let out = run_pipelined(p, root, segments);
+                    assert!(
+                        out.iter().all(|&v| v == 8.75),
+                        "p={p} root={root} segs={segments}: {out:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn pipelined_zero_segments_panics() {
+        BcastPipelined::new(Env { rank: 0, size: 4 }, 0, 0, 64, 0.0, 0);
+    }
+
+    #[test]
+    fn van_de_geijn_delivers_root_value() {
+        for p in [1, 2, 3, 5, 8, 13, 16, 32] {
+            for root in [0, p / 2, p - 1] {
+                let out = run_vdg(p, root);
+                assert!(
+                    out.iter().all(|&v| v == 6.5),
+                    "p={p} root={root}: {out:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn pipelined_arbitrary(p in 1usize..30, root_sel in 0usize..30, segs in 1u32..12) {
+            let root = root_sel % p;
+            let out = run_pipelined(p, root, segs);
+            prop_assert!(out.iter().all(|&v| v == 8.75));
+        }
+
+        #[test]
+        fn van_de_geijn_arbitrary(p in 1usize..40, root_sel in 0usize..40) {
+            let root = root_sel % p;
+            let out = run_vdg(p, root);
+            prop_assert!(out.iter().all(|&v| v == 6.5));
+        }
+
+        #[test]
+        fn bcast_arbitrary(p in 1usize..40, root_sel in 0usize..40) {
+            let root = root_sel % p;
+            let out = run_bcast(p, root);
+            prop_assert!(out.iter().all(|&v| v == 42.5));
+        }
+
+        #[test]
+        fn reduce_arbitrary(p in 1usize..40, root_sel in 0usize..40) {
+            let root = root_sel % p;
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            let out = run_reduce(p, root);
+            prop_assert_eq!(out[root], expect);
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Allgather (ring, recursive doubling), binomial gather, binomial scatter.
+//!
+//! Value semantics: the scalar payload stands in for each rank's
+//! contribution vector. Gather-style collectives yield the *sum* of all
+//! contributions (so tests can verify that every contribution arrived
+//! exactly once); scatter yields the root's value on every rank.
+
+use crate::coll::{ceil_log2, CollStep, Collective, PrimOp};
+use crate::types::{coll_tag, Env, Rank};
+
+/// Ring allgather: `P-1` rounds; each round forwards the previously received
+/// block to the right neighbor while receiving a new block from the left.
+/// Bandwidth-optimal, latency `O(P)`.
+#[derive(Debug)]
+pub struct AllgatherRing {
+    env: Env,
+    seq: u64,
+    bytes: u64,
+    /// Block being forwarded this round.
+    carry: f64,
+    /// Accumulated sum of all blocks seen (own + received).
+    sum: f64,
+    round: u32,
+    rounds: u32,
+    /// Offset added to the round index in tags (lets composite collectives
+    /// such as the van de Geijn broadcast reuse this machine under the same
+    /// sequence number without tag collisions).
+    tag_round_offset: u32,
+}
+
+impl AllgatherRing {
+    /// Create the machine for `env.rank` contributing `value`.
+    pub fn new(env: Env, seq: u64, bytes: u64, value: f64) -> Self {
+        Self::with_tag_round_offset(env, seq, bytes, value, 0)
+    }
+
+    /// As [`AllgatherRing::new`] with a tag-round offset for composite use.
+    pub fn with_tag_round_offset(
+        env: Env,
+        seq: u64,
+        bytes: u64,
+        value: f64,
+        tag_round_offset: u32,
+    ) -> Self {
+        Self {
+            env,
+            seq,
+            bytes,
+            carry: value,
+            sum: value,
+            round: 0,
+            rounds: env.size.saturating_sub(1) as u32,
+            tag_round_offset,
+        }
+    }
+}
+
+impl Collective for AllgatherRing {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        if let Some(v) = prev.take() {
+            self.carry = v;
+            self.sum += v;
+        }
+        if self.round == self.rounds {
+            return CollStep::Done(self.sum);
+        }
+        let p = self.env.size;
+        let right = (self.env.rank + 1) % p;
+        let left = (self.env.rank + p - 1) % p;
+        let tag = coll_tag(self.seq, self.tag_round_offset + self.round, 0);
+        self.round += 1;
+        CollStep::Prim(PrimOp::Sendrecv {
+            peer_send: right,
+            stag: tag,
+            sbytes: self.bytes,
+            svalue: self.carry,
+            peer_recv: left,
+            rtag: tag,
+        })
+    }
+}
+
+/// Recursive-doubling allgather: `log2(P)` rounds; round `k` exchanges the
+/// accumulated `2^k`-block with partner `rank XOR 2^k`. Power-of-two rank
+/// counts only (the dispatcher falls back to the ring otherwise).
+#[derive(Debug)]
+pub struct AllgatherRecDbl {
+    env: Env,
+    seq: u64,
+    bytes: u64,
+    sum: f64,
+    round: u32,
+    rounds: u32,
+}
+
+impl AllgatherRecDbl {
+    /// Create the machine for `env.rank` contributing `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env.size` is not a power of two.
+    pub fn new(env: Env, seq: u64, bytes: u64, value: f64) -> Self {
+        assert!(
+            env.size.is_power_of_two(),
+            "recursive-doubling allgather needs a power-of-two rank count"
+        );
+        Self {
+            env,
+            seq,
+            bytes,
+            sum: value,
+            round: 0,
+            rounds: ceil_log2(env.size),
+        }
+    }
+}
+
+impl Collective for AllgatherRecDbl {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        if let Some(v) = prev.take() {
+            self.sum += v;
+        }
+        if self.round == self.rounds {
+            return CollStep::Done(self.sum);
+        }
+        let k = self.round;
+        let partner = self.env.rank ^ (1 << k);
+        let tag = coll_tag(self.seq, k, 0);
+        self.round += 1;
+        CollStep::Prim(PrimOp::Sendrecv {
+            peer_send: partner,
+            stag: tag,
+            // Each round ships the doubling accumulated block.
+            sbytes: self.bytes << k,
+            svalue: self.sum,
+            peer_recv: partner,
+            rtag: tag,
+        })
+    }
+}
+
+/// Binomial gather: the reduce tree, but message sizes grow with the subtree
+/// being forwarded. The root yields the sum of all contributions.
+#[derive(Debug)]
+pub struct GatherBinomial {
+    env: Env,
+    seq: u64,
+    root: Rank,
+    bytes: u64,
+    val: f64,
+    rel: usize,
+    round: u32,
+    rounds: u32,
+    sent: bool,
+}
+
+impl GatherBinomial {
+    /// Create the machine for `env.rank` contributing `value`.
+    pub fn new(env: Env, seq: u64, root: Rank, bytes: u64, value: f64) -> Self {
+        assert!(root < env.size, "gather root {root} out of range");
+        let rel = (env.rank + env.size - root) % env.size;
+        Self {
+            env,
+            seq,
+            root,
+            bytes,
+            val: value,
+            rel,
+            round: 0,
+            rounds: ceil_log2(env.size),
+            sent: false,
+        }
+    }
+
+    fn abs(&self, rel: usize) -> Rank {
+        (rel + self.root) % self.env.size
+    }
+
+    /// Number of ranks in the subtree rooted at relative rank `rel` after
+    /// `k` completed rounds.
+    fn subtree(&self, rel: usize, k: u32) -> u64 {
+        ((1usize << k).min(self.env.size - rel)) as u64
+    }
+}
+
+impl Collective for GatherBinomial {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if let Some(v) = prev.take() {
+                self.val += v;
+                self.round += 1;
+                continue;
+            }
+            if self.sent || self.env.size == 1 {
+                return CollStep::Done(self.val);
+            }
+            while self.round < self.rounds {
+                let k = self.round;
+                if self.rel & (1 << k) != 0 {
+                    self.sent = true;
+                    let parent = self.rel - (1 << k);
+                    return CollStep::Prim(PrimOp::Send {
+                        peer: self.abs(parent),
+                        tag: coll_tag(self.seq, k, 0),
+                        bytes: self.subtree(self.rel, k) * self.bytes,
+                        value: self.val,
+                    });
+                }
+                let child = self.rel + (1 << k);
+                if child < self.env.size {
+                    return CollStep::Prim(PrimOp::Recv {
+                        peer: self.abs(child),
+                        tag: coll_tag(self.seq, k, 0),
+                    });
+                }
+                self.round += 1;
+            }
+            return CollStep::Done(self.val);
+        }
+    }
+}
+
+/// Binomial scatter: the mirror of gather. The root starts with all `P`
+/// slices; each round splits the holder's range and ships the upper half
+/// down. Every rank yields the root's value (scalar stand-in for its slice).
+#[derive(Debug)]
+pub struct ScatterBinomial {
+    env: Env,
+    seq: u64,
+    root: Rank,
+    bytes: u64,
+    val: f64,
+    rel: usize,
+    /// Next round to send in (counts down).
+    round: i32,
+    received: bool,
+}
+
+impl ScatterBinomial {
+    /// Create the machine for `env.rank`; `value` is meaningful at the root.
+    pub fn new(env: Env, seq: u64, root: Rank, bytes: u64, value: f64) -> Self {
+        assert!(root < env.size, "scatter root {root} out of range");
+        let rel = (env.rank + env.size - root) % env.size;
+        let rounds = ceil_log2(env.size) as i32;
+        // Non-root ranks receive in the round of their lowest set bit and
+        // then send in all lower rounds; the root sends in every round.
+        let recv_round = if rel == 0 { rounds } else { rel.trailing_zeros() as i32 };
+        Self {
+            env,
+            seq,
+            root,
+            bytes,
+            val: value,
+            rel,
+            round: recv_round - 1,
+            received: rel == 0,
+        }
+    }
+
+    fn abs(&self, rel: usize) -> Rank {
+        (rel + self.root) % self.env.size
+    }
+
+    /// Bytes of the segment shipped from `rel` to `rel + 2^k` at round `k`:
+    /// the slice range `[rel + 2^k, min(rel + 2^{k+1}, P))`.
+    fn seg_bytes(&self, rel: usize, k: i32) -> u64 {
+        let lo = rel + (1 << k);
+        let hi = (rel + (1 << (k + 1))).min(self.env.size);
+        (hi.saturating_sub(lo)) as u64 * self.bytes
+    }
+}
+
+impl Collective for ScatterBinomial {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if let Some(v) = prev.take() {
+                self.val = v;
+                self.received = true;
+                continue;
+            }
+            if !self.received {
+                let k = self.rel.trailing_zeros();
+                return CollStep::Prim(PrimOp::Recv {
+                    peer: self.abs(self.rel - (1 << k)),
+                    tag: coll_tag(self.seq, k, 0),
+                });
+            }
+            while self.round >= 0 {
+                let k = self.round;
+                self.round -= 1;
+                let child = self.rel + (1usize << k);
+                if child < self.env.size {
+                    return CollStep::Prim(PrimOp::Send {
+                        peer: self.abs(child),
+                        tag: coll_tag(self.seq, k as u32, 0),
+                        bytes: self.seg_bytes(self.rel, k),
+                        value: self.val,
+                    });
+                }
+            }
+            return CollStep::Done(self.val);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::harness;
+    use proptest::prelude::*;
+
+    fn contributions(p: usize) -> Vec<f64> {
+        (0..p).map(|r| (r + 1) as f64).collect()
+    }
+
+    fn expect_sum(p: usize) -> f64 {
+        (p * (p + 1)) as f64 / 2.0
+    }
+
+    fn run_ring(p: usize) -> Vec<f64> {
+        let vals = contributions(p);
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(AllgatherRing::new(Env { rank: r, size: p }, 0, 32, vals[r]))
+                    as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    #[test]
+    fn ring_allgather_sums_everywhere() {
+        for p in [1, 2, 3, 4, 5, 8, 13, 16, 40] {
+            let out = run_ring(p);
+            assert!(out.iter().all(|&v| v == expect_sum(p)), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn recdbl_allgather_matches_ring() {
+        for p in [1, 2, 4, 8, 16, 32] {
+            let vals = contributions(p);
+            let machines: Vec<Box<dyn Collective>> = (0..p)
+                .map(|r| {
+                    Box::new(AllgatherRecDbl::new(Env { rank: r, size: p }, 0, 32, vals[r]))
+                        as Box<dyn Collective>
+                })
+                .collect();
+            let out = harness::run(machines);
+            assert!(out.iter().all(|&v| v == expect_sum(p)), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recdbl_allgather_rejects_non_pow2() {
+        AllgatherRecDbl::new(Env { rank: 0, size: 6 }, 0, 8, 0.0);
+    }
+
+    #[test]
+    fn gather_sums_at_root() {
+        for p in [1, 2, 3, 5, 8, 12, 16, 29] {
+            for root in [0, p - 1] {
+                let vals = contributions(p);
+                let machines: Vec<Box<dyn Collective>> = (0..p)
+                    .map(|r| {
+                        Box::new(GatherBinomial::new(
+                            Env { rank: r, size: p },
+                            0,
+                            root,
+                            16,
+                            vals[r],
+                        )) as Box<dyn Collective>
+                    })
+                    .collect();
+                let out = harness::run(machines);
+                assert_eq!(out[root], expect_sum(p), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_message_sizes_grow_with_subtree() {
+        let g = GatherBinomial::new(Env { rank: 0, size: 8 }, 0, 0, 10, 0.0);
+        assert_eq!(g.subtree(4, 2), 4); // full subtree
+        assert_eq!(g.subtree(6, 2), 2); // clipped at P
+    }
+
+    #[test]
+    fn scatter_delivers_root_value() {
+        for p in [1, 2, 3, 5, 8, 11, 16, 33] {
+            for root in [0, p / 2] {
+                let machines: Vec<Box<dyn Collective>> = (0..p)
+                    .map(|r| {
+                        let v = if r == root { 9.25 } else { -1.0 };
+                        Box::new(ScatterBinomial::new(
+                            Env { rank: r, size: p },
+                            0,
+                            root,
+                            16,
+                            v,
+                        )) as Box<dyn Collective>
+                    })
+                    .collect();
+                let out = harness::run(machines);
+                assert!(out.iter().all(|&v| v == 9.25), "p={p} root={root}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_segment_sizes() {
+        let s = ScatterBinomial::new(Env { rank: 0, size: 8 }, 0, 0, 10, 0.0);
+        // Root at round 2 ships slices [4,8): 4 slices.
+        assert_eq!(s.seg_bytes(0, 2), 40);
+        // At round 0 ships slice [1,2): 1 slice.
+        assert_eq!(s.seg_bytes(0, 0), 10);
+        // Clipped range for a tree overhanging P.
+        let s = ScatterBinomial::new(Env { rank: 0, size: 6 }, 0, 0, 10, 0.0);
+        assert_eq!(s.seg_bytes(0, 2), 20); // [4, min(8,6)) = 2 slices
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn ring_allgather_arbitrary(p in 1usize..40) {
+            let out = run_ring(p);
+            prop_assert!(out.iter().all(|&v| v == expect_sum(p)));
+        }
+
+        #[test]
+        fn gather_scatter_arbitrary(p in 1usize..40, root_sel in 0usize..40) {
+            let root = root_sel % p;
+            let vals = contributions(p);
+            let g: Vec<Box<dyn Collective>> = (0..p)
+                .map(|r| Box::new(GatherBinomial::new(Env { rank: r, size: p }, 0, root, 8, vals[r])) as Box<dyn Collective>)
+                .collect();
+            prop_assert_eq!(harness::run(g)[root], expect_sum(p));
+            let s: Vec<Box<dyn Collective>> = (0..p)
+                .map(|r| {
+                    let v = if r == root { 3.5 } else { 0.0 };
+                    Box::new(ScatterBinomial::new(Env { rank: r, size: p }, 0, root, 8, v)) as Box<dyn Collective>
+                })
+                .collect();
+            prop_assert!(harness::run(s).iter().all(|&v| v == 3.5));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Prefix reductions (scan, exscan) and reduce-scatter.
+
+use ghost_engine::time::Work;
+
+use crate::coll::{ceil_log2, CollStep, Collective, PrimOp};
+use crate::types::{coll_tag, Env, ReduceOp};
+
+/// Inclusive or exclusive prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKind {
+    /// Rank `r` yields the reduction over ranks `0..=r`.
+    Inclusive,
+    /// Rank `r` yields the reduction over ranks `0..r` (rank 0 yields the
+    /// operator identity).
+    Exclusive,
+}
+
+/// Recursive-doubling scan: in round `k`, rank `r` sends its running total
+/// to `r + 2^k` and receives from `r - 2^k`. Received values fold into both
+/// the total and the prefix (the prefix skips the own contribution for
+/// [`ScanKind::Exclusive`]). `ceil(log2 P)` rounds.
+#[derive(Debug)]
+pub struct ScanRecDbl {
+    env: Env,
+    seq: u64,
+    bytes: u64,
+    op: ReduceOp,
+    reduce_work: Work,
+    kind: ScanKind,
+    /// Reduction over every contribution seen from lower ranks + own.
+    total: f64,
+    /// The prefix result being built.
+    prefix: f64,
+    round: u32,
+    rounds: u32,
+    /// Set while a receive for the current round is outstanding.
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Issue this round's exchange (send up / receive from below).
+    Send,
+    /// Fold in the received value (pay combine cost), advance the round.
+    Combine,
+    Done,
+}
+
+impl ScanRecDbl {
+    /// Create the machine for `env.rank` contributing `value`.
+    pub fn new(
+        env: Env,
+        seq: u64,
+        bytes: u64,
+        value: f64,
+        op: ReduceOp,
+        reduce_work: Work,
+        kind: ScanKind,
+    ) -> Self {
+        let prefix = match kind {
+            ScanKind::Inclusive => value,
+            ScanKind::Exclusive => op.identity(),
+        };
+        Self {
+            env,
+            seq,
+            bytes,
+            op,
+            reduce_work,
+            kind,
+            total: value,
+            prefix,
+            round: 0,
+            rounds: ceil_log2(env.size),
+            phase: Phase::Send,
+        }
+    }
+}
+
+impl Collective for ScanRecDbl {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        let _ = self.kind; // kind is folded into the prefix initialisation
+        loop {
+            match self.phase {
+                Phase::Send => {
+                    if self.round == self.rounds {
+                        self.phase = Phase::Done;
+                        continue;
+                    }
+                    let dist = 1usize << self.round;
+                    let tag = coll_tag(self.seq, self.round, 0);
+                    let has_dst = self.env.rank + dist < self.env.size;
+                    let has_src = self.env.rank >= dist;
+                    self.phase = Phase::Combine;
+                    if has_dst && has_src {
+                        // Combined exchange: send up, receive from below.
+                        return CollStep::Prim(PrimOp::Sendrecv {
+                            peer_send: self.env.rank + dist,
+                            stag: tag,
+                            sbytes: self.bytes,
+                            svalue: self.total,
+                            peer_recv: self.env.rank - dist,
+                            rtag: tag,
+                        });
+                    }
+                    if has_dst {
+                        // Top ranks only send.
+                        return CollStep::Prim(PrimOp::Send {
+                            peer: self.env.rank + dist,
+                            tag,
+                            bytes: self.bytes,
+                            value: self.total,
+                        });
+                    }
+                    if has_src {
+                        return CollStep::Prim(PrimOp::Recv {
+                            peer: self.env.rank - dist,
+                            tag,
+                        });
+                    }
+                    // Neither partner (P == 1): fall through to Combine.
+                }
+                Phase::Combine => {
+                    if let Some(v) = prev.take() {
+                        // v is the running total of rank - 2^round: the
+                        // reduction over a contiguous block of lower ranks.
+                        self.total = self.op.apply(v, self.total);
+                        self.prefix = self.op.apply(v, self.prefix);
+                        self.round += 1;
+                        self.phase = Phase::Send;
+                        if self.reduce_work > 0 {
+                            return CollStep::Prim(PrimOp::Compute(self.reduce_work));
+                        }
+                    } else {
+                        self.round += 1;
+                        self.phase = Phase::Send;
+                    }
+                }
+                Phase::Done => return CollStep::Done(self.prefix),
+            }
+        }
+    }
+}
+
+/// Reduce-scatter by recursive halving (power-of-two only; the dispatcher
+/// pairs it with the fold-in used by allreduce for other sizes is not
+/// needed because `build` falls back to reduce+scatter semantics via
+/// [`crate::coll::AllreduceRecDbl`] when `P` is not a power of two — see
+/// `build_reduce_scatter`).
+///
+/// Every rank ends with its block of the fully reduced vector; the scalar
+/// stand-in therefore yields the *global reduction* on every rank, with the
+/// byte ladder `total/2, total/4, ..., total/P` charged per round.
+#[derive(Debug)]
+pub struct ReduceScatterHalving {
+    env: Env,
+    seq: u64,
+    /// Total vector size (P * block bytes).
+    total_bytes: u64,
+    op: ReduceOp,
+    cost_ps_per_byte: u64,
+    val: f64,
+    round: u32,
+    rounds: u32,
+    combining: bool,
+}
+
+impl ReduceScatterHalving {
+    /// Create the machine for `env.rank` contributing `value`;
+    /// `block_bytes` is the per-rank result block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env.size` is not a power of two.
+    pub fn new(
+        env: Env,
+        seq: u64,
+        block_bytes: u64,
+        value: f64,
+        op: ReduceOp,
+        cost_ps_per_byte: u64,
+    ) -> Self {
+        assert!(
+            env.size.is_power_of_two(),
+            "recursive-halving reduce-scatter needs a power-of-two rank count"
+        );
+        Self {
+            env,
+            seq,
+            total_bytes: block_bytes * env.size as u64,
+            op,
+            cost_ps_per_byte,
+            val: value,
+            round: 0,
+            rounds: ceil_log2(env.size),
+            combining: false,
+        }
+    }
+
+    fn round_bytes(&self, k: u32) -> u64 {
+        self.total_bytes >> (k + 1)
+    }
+}
+
+impl Collective for ReduceScatterHalving {
+    fn step(&mut self, mut prev: Option<f64>) -> CollStep {
+        loop {
+            if self.combining {
+                let v = prev.take().expect("reduce-scatter value missing");
+                self.val = self.op.apply(self.val, v);
+                self.combining = false;
+                let w = (self.round_bytes(self.round - 1) as u128 * self.cost_ps_per_byte as u128
+                    / 1000) as Work;
+                if w > 0 {
+                    return CollStep::Prim(PrimOp::Compute(w));
+                }
+                continue;
+            }
+            if self.round == self.rounds {
+                return CollStep::Done(self.val);
+            }
+            let dist = self.env.size >> (self.round + 1);
+            let partner = self.env.rank ^ dist;
+            let tag = coll_tag(self.seq, self.round, 0);
+            let bytes = self.round_bytes(self.round);
+            self.round += 1;
+            self.combining = true;
+            return CollStep::Prim(PrimOp::Sendrecv {
+                peer_send: partner,
+                stag: tag,
+                sbytes: bytes,
+                svalue: self.val,
+                peer_recv: partner,
+                rtag: tag,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::harness;
+    use proptest::prelude::*;
+
+    fn run_scan(p: usize, kind: ScanKind) -> Vec<f64> {
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(ScanRecDbl::new(
+                    Env { rank: r, size: p },
+                    0,
+                    8,
+                    (r + 1) as f64,
+                    ReduceOp::Sum,
+                    25,
+                    kind,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        harness::run(machines)
+    }
+
+    #[test]
+    fn inclusive_scan_is_prefix_sum() {
+        for p in [1, 2, 3, 4, 5, 8, 13, 16, 31, 32] {
+            let out = run_scan(p, ScanKind::Inclusive);
+            for (r, &v) in out.iter().enumerate() {
+                let expect = ((r + 1) * (r + 2)) as f64 / 2.0;
+                assert_eq!(v, expect, "p={p} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_by_one() {
+        for p in [1, 2, 5, 8, 17] {
+            let out = run_scan(p, ScanKind::Exclusive);
+            assert_eq!(out[0], 0.0, "p={p}: rank 0 yields the identity");
+            for (r, &v) in out.iter().enumerate().skip(1) {
+                let expect = (r * (r + 1)) as f64 / 2.0;
+                assert_eq!(v, expect, "p={p} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let p = 9;
+        let vals: Vec<f64> = (0..p).map(|r| ((r * 37) % 11) as f64).collect();
+        let machines: Vec<Box<dyn Collective>> = (0..p)
+            .map(|r| {
+                Box::new(ScanRecDbl::new(
+                    Env { rank: r, size: p },
+                    0,
+                    8,
+                    vals[r],
+                    ReduceOp::Max,
+                    0,
+                    ScanKind::Inclusive,
+                )) as Box<dyn Collective>
+            })
+            .collect();
+        let out = harness::run(machines);
+        let mut running = f64::NEG_INFINITY;
+        for (r, &v) in out.iter().enumerate() {
+            running = running.max(vals[r]);
+            assert_eq!(v, running, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_yields_global_reduction() {
+        for p in [1, 2, 4, 8, 16, 32] {
+            let machines: Vec<Box<dyn Collective>> = (0..p)
+                .map(|r| {
+                    Box::new(ReduceScatterHalving::new(
+                        Env { rank: r, size: p },
+                        0,
+                        64,
+                        (r + 1) as f64,
+                        ReduceOp::Sum,
+                        250,
+                    )) as Box<dyn Collective>
+                })
+                .collect();
+            let out = harness::run(machines);
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn reduce_scatter_rejects_non_pow2() {
+        ReduceScatterHalving::new(Env { rank: 0, size: 6 }, 0, 8, 0.0, ReduceOp::Sum, 0);
+    }
+
+    #[test]
+    fn reduce_scatter_byte_ladder() {
+        let m = ReduceScatterHalving::new(
+            Env { rank: 0, size: 8 },
+            0,
+            128,
+            0.0,
+            ReduceOp::Sum,
+            0,
+        );
+        // total = 1024 bytes: rounds move 512, 256, 128.
+        assert_eq!(m.round_bytes(0), 512);
+        assert_eq!(m.round_bytes(1), 256);
+        assert_eq!(m.round_bytes(2), 128);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn scan_arbitrary_sizes(p in 1usize..40) {
+            let out = run_scan(p, ScanKind::Inclusive);
+            for (r, &v) in out.iter().enumerate() {
+                prop_assert_eq!(v, ((r + 1) * (r + 2)) as f64 / 2.0);
+            }
+        }
+    }
+}

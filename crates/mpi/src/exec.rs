@@ -1,0 +1,1526 @@
+//! The machine executor: drives all ranks through the discrete-event engine.
+//!
+//! Execution semantics (one rank per node, as on the paper's testbed):
+//!
+//! * `Compute(w)` — the node's noise process maps `w` ns of work starting at
+//!   the current time to a completion instant.
+//! * `Send` — charges the LogGP per-message CPU overhead `o` (noise-
+//!   stretched), then the message travels `delivery(src, dst, bytes)` of
+//!   wire time and is queued at the destination.
+//! * `Recv` — blocks until a matching message is present, then charges the
+//!   receive overhead `o` (noise-stretched: a noise pulse at arrival time
+//!   delays message processing — the mechanism by which noise on one node
+//!   stalls its neighbors).
+//! * `Sendrecv` — send overhead first, then behaves as `Recv`.
+//! * Collectives — expanded into the above via their algorithm machines.
+//!
+//! Matching is exact `(source, tag)`; collective-internal traffic is
+//! namespaced by sequence number so concurrent collectives cannot interfere.
+
+use std::collections::{HashMap, VecDeque};
+
+use ghost_engine::queue::EventQueue;
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Time, Work};
+use ghost_net::Network;
+use ghost_noise::model::{NodeNoise, NoiseModel};
+
+use crate::coll::{self, CollStep, Collective, PrimOp};
+use crate::program::Program;
+use crate::types::{CollectiveConfig, Env, MpiCall, Rank, Tag};
+
+/// What a traced CPU/wait interval was doing (see [`OpSpan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Application compute (noise-stretched).
+    Compute,
+    /// Per-message send overhead.
+    SendOverhead,
+    /// Per-message receive processing.
+    RecvProcess,
+    /// Blocked waiting for a message.
+    Blocked,
+}
+
+/// One traced interval of a rank's timeline (produced when tracing is
+/// enabled via [`Machine::with_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpan {
+    /// The rank whose timeline this is.
+    pub rank: Rank,
+    /// What the rank was doing.
+    pub kind: SpanKind,
+    /// Interval start.
+    pub start: Time,
+    /// Interval end.
+    pub end: Time,
+}
+
+/// Result of a completed machine run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Time the last rank finished (the application's wall-clock time).
+    pub makespan: Time,
+    /// Per-rank finish times.
+    pub finish_times: Vec<Time>,
+    /// Per-rank value returned by the final call (e.g. the last collective's
+    /// result), if any.
+    pub final_values: Vec<Option<f64>>,
+    /// Per-rank total requested compute work (ns).
+    pub compute_work: Vec<Work>,
+    /// Per-rank total time spent blocked waiting for messages (ns). Noise
+    /// landing inside blocked time is *absorbed* (costs nothing); the
+    /// blocked fraction is therefore an application's absorption capacity.
+    pub blocked_time: Vec<Time>,
+    /// Total messages transmitted.
+    pub messages: u64,
+    /// Total events processed by the engine.
+    pub events: u64,
+    /// Per-op spans (only when tracing was enabled; empty otherwise).
+    pub trace: Vec<OpSpan>,
+}
+
+impl RunResult {
+    /// Mean per-rank compute work.
+    pub fn mean_compute_work(&self) -> f64 {
+        if self.compute_work.is_empty() {
+            return 0.0;
+        }
+        self.compute_work.iter().map(|&w| w as f64).sum::<f64>() / self.compute_work.len() as f64
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// No events remain but some ranks are still blocked in a receive.
+    Deadlock {
+        /// `(rank, awaited source, awaited tag)` for each blocked rank.
+        blocked: Vec<(Rank, Rank, Tag)>,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} rank(s) blocked", blocked.len())?;
+                for (r, src, tag) in blocked.iter().take(8) {
+                    write!(f, "; rank {r} awaits (src {src}, tag {tag:#x})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How a rank notices an arrived message.
+///
+/// Lightweight kernels (Catamount) *poll*: the waiting CPU spins on the
+/// NIC, so an arrival is noticed immediately — unless the node's noise has
+/// stolen the CPU, in which case pickup waits for the pulse to end (this is
+/// the default, and the model used throughout the paper reproduction).
+/// Commodity kernels block the process and take an interrupt: pickup costs
+/// a fixed wakeup latency (scheduler + context switch) on every message,
+/// but the wakeup path itself is kernel code that runs even while
+/// application-level noise is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvMode {
+    /// Busy-poll (lightweight kernel): zero wakeup cost; pickup is delayed
+    /// by any active noise pulse.
+    Polling,
+    /// Interrupt + scheduler wakeup: a fixed `wakeup` latency on every
+    /// message pickup, paid regardless of noise.
+    Interrupt {
+        /// Wakeup latency in ns (context switch + scheduling).
+        wakeup: Time,
+    },
+}
+
+/// A configured simulated machine: network + noise + collective config.
+pub struct Machine<'a> {
+    net: Network,
+    noise: &'a dyn NoiseModel,
+    seed: u64,
+    cfg: CollectiveConfig,
+    trace: bool,
+    recv_mode: RecvMode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RState {
+    /// A `Resume` event is scheduled for this rank.
+    WaitResume,
+    /// Blocked in a receive.
+    WaitRecv { src: Rank, tag: Tag },
+    /// Send overhead in flight; on resume, post the receive half.
+    SendThenRecv { src: Rank, tag: Tag },
+    /// Blocked in `WaitAll` for outstanding nonblocking receives.
+    WaitAll,
+    Done,
+}
+
+enum Event {
+    Resume { rank: Rank, value: Option<f64> },
+    Deliver { dst: Rank, src: Rank, tag: Tag, value: f64 },
+}
+
+struct RankCtx {
+    program: Box<dyn Program>,
+    coll: Option<Box<dyn Collective>>,
+    state: RState,
+    mailbox: HashMap<(Rank, Tag), VecDeque<f64>>,
+    noise: Box<dyn NodeNoise>,
+    coll_seq: u64,
+    finish: Option<Time>,
+    last_value: Option<f64>,
+    compute_work: Work,
+    /// Total time spent blocked in `WaitRecv`/`WaitAll`.
+    blocked: Time,
+    /// Instant the current blocked period began.
+    block_start: Time,
+    /// Outstanding nonblocking receives, in posting order (consumed
+    /// in-order at `WaitAll` for determinism).
+    posted: Vec<(Rank, Tag)>,
+    /// Next posted receive to consume during an active `WaitAll`.
+    wait_cursor: usize,
+    /// Sum of values received by the active `WaitAll`.
+    wait_accum: f64,
+    /// CPU time cursor for sequential message processing in `WaitAll`.
+    wait_t: Time,
+}
+
+impl RankCtx {
+    /// Consume posted receives (in posting order) from the mailbox,
+    /// charging the per-message processing overhead against this node's
+    /// noise process starting no earlier than `now`. Returns `true` when
+    /// every posted receive has completed.
+    fn waitall_progress(&mut self, now: Time, recv_overhead: Time) -> bool {
+        let mut t = self.wait_t.max(now);
+        let done = loop {
+            if self.wait_cursor == self.posted.len() {
+                break true;
+            }
+            let (src, tag) = self.posted[self.wait_cursor];
+            match mailbox_pop(&mut self.mailbox, src, tag) {
+                Some(v) => {
+                    t = self.noise.advance(t, recv_overhead);
+                    self.wait_accum += v;
+                    self.wait_cursor += 1;
+                }
+                None => break false,
+            }
+        };
+        self.wait_t = t;
+        done
+    }
+
+    /// Reset the `WaitAll` bookkeeping and return the accumulated value.
+    fn waitall_finish(&mut self) -> f64 {
+        let v = self.wait_accum;
+        self.posted.clear();
+        self.wait_cursor = 0;
+        self.wait_accum = 0.0;
+        v
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// A machine over `net`, with per-node noise from `noise`, seeded
+    /// deterministically by `seed`.
+    pub fn new(net: Network, noise: &'a dyn NoiseModel, seed: u64) -> Self {
+        Self {
+            net,
+            noise,
+            seed,
+            cfg: CollectiveConfig::default(),
+            trace: false,
+            recv_mode: RecvMode::Polling,
+        }
+    }
+
+    /// Select how ranks notice message arrivals (default:
+    /// [`RecvMode::Polling`], the lightweight-kernel behaviour).
+    pub fn with_recv_mode(mut self, mode: RecvMode) -> Self {
+        self.recv_mode = mode;
+        self
+    }
+
+    /// Start-of-processing instant for a message arriving at `t` on a rank
+    /// that is waiting for it.
+    #[inline]
+    fn pickup(&self, t: Time) -> Time {
+        match self.recv_mode {
+            RecvMode::Polling => t,
+            RecvMode::Interrupt { wakeup } => t + wakeup,
+        }
+    }
+
+    /// Enable per-op span tracing (adds memory proportional to the op
+    /// count; intended for small machines and visualization).
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Override the collective configuration.
+    pub fn with_config(mut self, cfg: CollectiveConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Run one program per rank to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than nodes are supplied.
+    pub fn run(&self, programs: Vec<Box<dyn Program>>) -> Result<RunResult, RunError> {
+        let size = programs.len();
+        assert!(
+            size <= self.net.nodes(),
+            "{} programs but only {} nodes",
+            size,
+            self.net.nodes()
+        );
+        assert!(size > 0, "no programs to run");
+        let streams = NodeStream::new(self.seed);
+        let mut ranks: Vec<RankCtx> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(node, program)| RankCtx {
+                program,
+                coll: None,
+                state: RState::WaitResume,
+                mailbox: HashMap::new(),
+                noise: self.noise.instantiate(node, &streams),
+                coll_seq: 0,
+                finish: None,
+                last_value: None,
+                compute_work: 0,
+                blocked: 0,
+                block_start: 0,
+                posted: Vec::new(),
+                wait_cursor: 0,
+                wait_accum: 0.0,
+                wait_t: 0,
+            })
+            .collect();
+
+        let mut q: EventQueue<Event> = EventQueue::with_capacity(size * 4);
+        let mut messages: u64 = 0;
+        let mut spans: Vec<OpSpan> = Vec::new();
+        let tracing = self.trace;
+        for rank in 0..size {
+            q.push(0, Event::Resume { rank, value: None });
+        }
+
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                Event::Resume { rank, value } => match ranks[rank].state {
+                    RState::WaitResume => {
+                        self.drive(
+                            &mut ranks,
+                            rank,
+                            size,
+                            t,
+                            value,
+                            &mut q,
+                            &mut messages,
+                            if tracing { Some(&mut spans) } else { None },
+                        );
+                    }
+                    RState::SendThenRecv { src, tag } => {
+                        debug_assert!(value.is_none());
+                        let ctx = &mut ranks[rank];
+                        if let Some(v) = mailbox_pop(&mut ctx.mailbox, src, tag) {
+                            let done = ctx.noise.advance(t, self.net.recv_overhead());
+                            if tracing {
+                                spans.push(OpSpan {
+                                    rank,
+                                    kind: SpanKind::RecvProcess,
+                                    start: t,
+                                    end: done,
+                                });
+                            }
+                            ctx.state = RState::WaitResume;
+                            q.push(done, Event::Resume { rank, value: Some(v) });
+                        } else {
+                            ctx.state = RState::WaitRecv { src, tag };
+                            ctx.block_start = t;
+                        }
+                    }
+                    RState::WaitRecv { .. } | RState::WaitAll | RState::Done => {
+                        unreachable!("resume for rank {rank} in invalid state")
+                    }
+                },
+                Event::Deliver {
+                    dst,
+                    src,
+                    tag,
+                    value,
+                } => {
+                    let ctx = &mut ranks[dst];
+                    match ctx.state {
+                        RState::WaitRecv { src: s, tag: tg } if s == src && tg == tag => {
+                            ctx.blocked += t.saturating_sub(ctx.block_start);
+                            let start = self.pickup(t);
+                            let done = ctx.noise.advance(start, self.net.recv_overhead());
+                            if tracing {
+                                spans.push(OpSpan {
+                                    rank: dst,
+                                    kind: SpanKind::Blocked,
+                                    start: ctx.block_start,
+                                    end: t,
+                                });
+                                spans.push(OpSpan {
+                                    rank: dst,
+                                    kind: SpanKind::RecvProcess,
+                                    start,
+                                    end: done,
+                                });
+                            }
+                            ctx.state = RState::WaitResume;
+                            q.push(
+                                done,
+                                Event::Resume {
+                                    rank: dst,
+                                    value: Some(value),
+                                },
+                            );
+                        }
+                        RState::WaitAll => {
+                            ctx.blocked += t.saturating_sub(ctx.block_start);
+                            if tracing && t > ctx.block_start {
+                                spans.push(OpSpan {
+                                    rank: dst,
+                                    kind: SpanKind::Blocked,
+                                    start: ctx.block_start,
+                                    end: t,
+                                });
+                            }
+                            let pickup = self.pickup(t);
+                            let before = ctx.wait_t.max(pickup);
+                            ctx.mailbox.entry((src, tag)).or_default().push_back(value);
+                            let progressed =
+                                ctx.waitall_progress(pickup, self.net.recv_overhead());
+                            if tracing && ctx.wait_t > before {
+                                spans.push(OpSpan {
+                                    rank: dst,
+                                    kind: SpanKind::RecvProcess,
+                                    start: before,
+                                    end: ctx.wait_t,
+                                });
+                            }
+                            if progressed {
+                                let done = ctx.wait_t;
+                                let v = ctx.waitall_finish();
+                                ctx.state = RState::WaitResume;
+                                q.push(
+                                    done,
+                                    Event::Resume {
+                                        rank: dst,
+                                        value: Some(v),
+                                    },
+                                );
+                            } else {
+                                // Still waiting: the next blocked period
+                                // begins once this message's processing ends.
+                                ctx.block_start = ctx.wait_t.max(t);
+                            }
+                        }
+                        _ => {
+                            ctx.mailbox.entry((src, tag)).or_default().push_back(value);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Queue drained: every rank must have finished.
+        let blocked: Vec<(Rank, Rank, Tag)> = ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, ctx)| match ctx.state {
+                RState::WaitRecv { src, tag } => Some((r, src, tag)),
+                RState::WaitAll => {
+                    let (src, tag) = ctx.posted[ctx.wait_cursor];
+                    Some((r, src, tag))
+                }
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            return Err(RunError::Deadlock { blocked });
+        }
+        debug_assert!(ranks.iter().all(|c| matches!(c.state, RState::Done)));
+
+        let finish_times: Vec<Time> = ranks.iter().map(|c| c.finish.unwrap_or(0)).collect();
+        let makespan = finish_times.iter().copied().max().unwrap_or(0);
+        Ok(RunResult {
+            makespan,
+            finish_times,
+            final_values: ranks.iter().map(|c| c.last_value).collect(),
+            compute_work: ranks.iter().map(|c| c.compute_work).collect(),
+            blocked_time: ranks.iter().map(|c| c.blocked).collect(),
+            messages,
+            events: q.total_popped(),
+            trace: spans,
+        })
+    }
+
+    /// Drive one rank forward from time `now` until it blocks, schedules a
+    /// future resume, or finishes.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        ranks: &mut [RankCtx],
+        rank: Rank,
+        size: usize,
+        now: Time,
+        mut prev: Option<f64>,
+        q: &mut EventQueue<Event>,
+        messages: &mut u64,
+        mut spans: Option<&mut Vec<OpSpan>>,
+    ) {
+        let env = Env { rank, size };
+        loop {
+            // Obtain the next primitive operation: from the active
+            // collective if any, otherwise from the user program (which may
+            // start a new collective).
+            let prim: PrimOp = {
+                let ctx = &mut ranks[rank];
+                if let Some(c) = ctx.coll.as_mut() {
+                    match c.step(prev.take()) {
+                        CollStep::Done(v) => {
+                            ctx.coll = None;
+                            prev = Some(v);
+                            continue;
+                        }
+                        CollStep::Prim(op) => op,
+                    }
+                } else {
+                    let last = prev;
+                    match ctx.program.next(&env, now, prev.take()) {
+                        None => {
+                            ctx.state = RState::Done;
+                            ctx.finish = Some(now);
+                            ctx.last_value = last;
+                            return;
+                        }
+        Some(call) => {
+                            if let Some(machine) =
+                                coll::build(&call, env, ctx.coll_seq, &self.cfg)
+                            {
+                                ctx.coll_seq += 1;
+                                ctx.coll = Some(machine);
+                                continue;
+                            }
+                            match call {
+                                MpiCall::Irecv { src, tag } => {
+                                    assert!(
+                                        tag < crate::types::COLL_TAG_BASE,
+                                        "user tag {tag:#x} collides with collective tag space"
+                                    );
+                                    ctx.posted.push((src, tag));
+                                    prev = None;
+                                    continue;
+                                }
+                                MpiCall::WaitAll => {
+                                    ctx.wait_t = now;
+                                    if ctx.waitall_progress(now, self.net.recv_overhead()) {
+                                        let done = ctx.wait_t;
+                                        let v = ctx.waitall_finish();
+                                        if done == now {
+                                            prev = Some(v);
+                                            continue;
+                                        }
+                                        ctx.state = RState::WaitResume;
+                                        q.push(done, Event::Resume { rank, value: Some(v) });
+                                    } else {
+                                        ctx.state = RState::WaitAll;
+                                        ctx.block_start = ctx.wait_t;
+                                    }
+                                    return;
+                                }
+                                other => lower_primitive(&other),
+                            }
+                        }
+                    }
+                }
+            };
+
+            match prim {
+                PrimOp::Compute(w) => {
+                    let ctx = &mut ranks[rank];
+                    ctx.compute_work += w;
+                    let end = ctx.noise.advance(now, w);
+                    if let Some(spans) = spans.as_deref_mut() {
+                        if end > now {
+                            spans.push(OpSpan {
+                                rank,
+                                kind: SpanKind::Compute,
+                                start: now,
+                                end,
+                            });
+                        }
+                    }
+                    if end == now {
+                        continue;
+                    }
+                    ctx.state = RState::WaitResume;
+                    q.push(end, Event::Resume { rank, value: None });
+                    return;
+                }
+                PrimOp::Send {
+                    peer,
+                    tag,
+                    bytes,
+                    value,
+                } => {
+                    let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
+                    if let Some(spans) = spans.as_deref_mut() {
+                        if t1 > now {
+                            spans.push(OpSpan {
+                                rank,
+                                kind: SpanKind::SendOverhead,
+                                start: now,
+                                end: t1,
+                            });
+                        }
+                    }
+                    let arrive = t1 + self.net.delivery(rank, peer, bytes);
+                    *messages += 1;
+                    q.push(
+                        arrive,
+                        Event::Deliver {
+                            dst: peer,
+                            src: rank,
+                            tag,
+                            value,
+                        },
+                    );
+                    if t1 == now {
+                        continue;
+                    }
+                    ranks[rank].state = RState::WaitResume;
+                    q.push(t1, Event::Resume { rank, value: None });
+                    return;
+                }
+                PrimOp::Recv { peer, tag } => {
+                    let ctx = &mut ranks[rank];
+                    if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer, tag) {
+                        let done = ctx.noise.advance(now, self.net.recv_overhead());
+                        if let Some(spans) = spans.as_deref_mut() {
+                            if done > now {
+                                spans.push(OpSpan {
+                                    rank,
+                                    kind: SpanKind::RecvProcess,
+                                    start: now,
+                                    end: done,
+                                });
+                            }
+                        }
+                        if done == now {
+                            prev = Some(v);
+                            continue;
+                        }
+                        ctx.state = RState::WaitResume;
+                        q.push(done, Event::Resume { rank, value: Some(v) });
+                    } else {
+                        ctx.state = RState::WaitRecv { src: peer, tag };
+                        ctx.block_start = now;
+                    }
+                    return;
+                }
+                PrimOp::Sendrecv {
+                    peer_send,
+                    stag,
+                    sbytes,
+                    svalue,
+                    peer_recv,
+                    rtag,
+                } => {
+                    let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
+                    if let Some(spans) = spans.as_deref_mut() {
+                        if t1 > now {
+                            spans.push(OpSpan {
+                                rank,
+                                kind: SpanKind::SendOverhead,
+                                start: now,
+                                end: t1,
+                            });
+                        }
+                    }
+                    let arrive = t1 + self.net.delivery(rank, peer_send, sbytes);
+                    *messages += 1;
+                    q.push(
+                        arrive,
+                        Event::Deliver {
+                            dst: peer_send,
+                            src: rank,
+                            tag: stag,
+                            value: svalue,
+                        },
+                    );
+                    let ctx = &mut ranks[rank];
+                    if t1 == now {
+                        // Send overhead absorbed instantly; fall through to
+                        // the receive half.
+                        if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer_recv, rtag) {
+                            let done = ctx.noise.advance(now, self.net.recv_overhead());
+                            if let Some(spans) = spans.as_deref_mut() {
+                                if done > now {
+                                    spans.push(OpSpan {
+                                        rank,
+                                        kind: SpanKind::RecvProcess,
+                                        start: now,
+                                        end: done,
+                                    });
+                                }
+                            }
+                            if done == now {
+                                prev = Some(v);
+                                continue;
+                            }
+                            ctx.state = RState::WaitResume;
+                            q.push(done, Event::Resume { rank, value: Some(v) });
+                        } else {
+                            ctx.state = RState::WaitRecv {
+                                src: peer_recv,
+                                tag: rtag,
+                            };
+                            ctx.block_start = now;
+                        }
+                    } else {
+                        ctx.state = RState::SendThenRecv {
+                            src: peer_recv,
+                            tag: rtag,
+                        };
+                        q.push(t1, Event::Resume { rank, value: None });
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Translate a primitive [`MpiCall`] to a [`PrimOp`].
+fn lower_primitive(call: &MpiCall) -> PrimOp {
+    match *call {
+        MpiCall::Compute(w) => PrimOp::Compute(w),
+        MpiCall::Send {
+            dst,
+            tag,
+            bytes,
+            value,
+        }
+        | MpiCall::Isend {
+            dst,
+            tag,
+            bytes,
+            value,
+        } => {
+            // An Isend pays the same local overhead as a blocking send and
+            // completes locally; the distinction matters only on the
+            // receive side, where Irecv/WaitAll defer blocking.
+            assert!(
+                tag < crate::types::COLL_TAG_BASE,
+                "user tag {tag:#x} collides with collective tag space"
+            );
+            PrimOp::Send {
+                peer: dst,
+                tag,
+                bytes,
+                value,
+            }
+        }
+        MpiCall::Recv { src, tag } => PrimOp::Recv { peer: src, tag },
+        MpiCall::Sendrecv {
+            dst,
+            stag,
+            sbytes,
+            svalue,
+            src,
+            rtag,
+        } => PrimOp::Sendrecv {
+            peer_send: dst,
+            stag,
+            sbytes,
+            svalue,
+            peer_recv: src,
+            rtag,
+        },
+        _ => unreachable!("collective call reached lower_primitive"),
+    }
+}
+
+#[inline]
+fn mailbox_pop(
+    mailbox: &mut HashMap<(Rank, Tag), VecDeque<f64>>,
+    src: Rank,
+    tag: Tag,
+) -> Option<f64> {
+    let q = mailbox.get_mut(&(src, tag))?;
+    let v = q.pop_front();
+    if q.is_empty() {
+        mailbox.remove(&(src, tag));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ScriptProgram;
+    use crate::types::ReduceOp;
+    use ghost_engine::time::{MS, US};
+    use ghost_net::{Flat, LogGP, Torus3D};
+    use ghost_noise::model::{NoNoise, PhasePolicy};
+    use ghost_noise::Signature;
+
+    fn flat_machine(p: usize) -> Network {
+        Network::new(LogGP::mpp(), Box::new(Flat::new(p)))
+    }
+
+    fn run_scripts(
+        net: Network,
+        noise: &dyn NoiseModel,
+        scripts: Vec<Vec<MpiCall>>,
+    ) -> RunResult {
+        let programs = scripts
+            .into_iter()
+            .map(|s| ScriptProgram::new(s).boxed())
+            .collect();
+        Machine::new(net, noise, 42).run(programs).unwrap()
+    }
+
+    #[test]
+    fn single_rank_compute_time() {
+        let r = run_scripts(
+            flat_machine(1),
+            &NoNoise,
+            vec![vec![MpiCall::Compute(5 * MS)]],
+        );
+        assert_eq!(r.makespan, 5 * MS);
+        assert_eq!(r.compute_work, vec![5 * MS]);
+    }
+
+    #[test]
+    fn compute_under_noise_is_stretched() {
+        // 2.5% periodic noise, aligned phase: 1 s of work takes ~1/(1-f).
+        let sig = Signature::new(100.0, 250 * US);
+        let m = sig.periodic_model(PhasePolicy::Aligned);
+        let r = run_scripts(
+            flat_machine(1),
+            &m,
+            vec![vec![MpiCall::Compute(ghost_engine::time::SEC)]],
+        );
+        let slowdown = r.makespan as f64 / ghost_engine::time::SEC as f64;
+        assert!(
+            (slowdown - 1.0 / 0.975).abs() < 1e-3,
+            "slowdown {slowdown}"
+        );
+    }
+
+    #[test]
+    fn ping_pong_timing_and_value() {
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let wire = net.delivery(0, 1, 8);
+        let scripts = vec![
+            vec![MpiCall::Send {
+                dst: 1,
+                tag: 7,
+                bytes: 8,
+                value: 3.25,
+            }],
+            vec![MpiCall::Recv { src: 0, tag: 7 }],
+        ];
+        let r = run_scripts(net, &NoNoise, scripts);
+        // Receiver: send overhead (on rank 0) + wire + recv overhead.
+        assert_eq!(r.finish_times[1], o + wire + o);
+        assert_eq!(r.final_values[1], Some(3.25));
+    }
+
+    #[test]
+    fn recv_before_send_blocks_correctly() {
+        // Rank 1 posts recv long before the message exists.
+        let scripts = vec![
+            vec![
+                MpiCall::Compute(10 * MS),
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 0,
+                    value: 1.0,
+                },
+            ],
+            vec![MpiCall::Recv { src: 0, tag: 1 }],
+        ];
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let wire = net.delivery(0, 1, 0);
+        let r = run_scripts(net, &NoNoise, scripts);
+        assert_eq!(r.finish_times[1], 10 * MS + o + wire + o);
+    }
+
+    #[test]
+    fn unexpected_message_queues_until_recv() {
+        // Sender fires immediately; receiver computes first, then receives.
+        let scripts = vec![
+            vec![MpiCall::Send {
+                dst: 1,
+                tag: 1,
+                bytes: 0,
+                value: 2.0,
+            }],
+            vec![MpiCall::Compute(50 * MS), MpiCall::Recv { src: 0, tag: 1 }],
+        ];
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let r = run_scripts(net, &NoNoise, scripts);
+        assert_eq!(r.finish_times[1], 50 * MS + o);
+        assert_eq!(r.final_values[1], Some(2.0));
+    }
+
+    #[test]
+    fn messages_match_by_tag() {
+        // Two messages, different tags, received out of arrival order.
+        let scripts = vec![
+            vec![
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 0,
+                    value: 1.0,
+                },
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 2,
+                    bytes: 0,
+                    value: 2.0,
+                },
+            ],
+            vec![
+                MpiCall::Recv { src: 0, tag: 2 },
+                MpiCall::Recv { src: 0, tag: 1 },
+            ],
+        ];
+        let programs: Vec<Box<dyn Program>> = scripts
+            .into_iter()
+            .map(|s| ScriptProgram::new(s).boxed())
+            .collect();
+        let machine = Machine::new(flat_machine(2), &NoNoise, 1);
+        let r = machine.run(programs).unwrap();
+        assert_eq!(r.final_values[1], Some(1.0)); // last recv was tag 1
+    }
+
+    #[test]
+    fn same_tag_messages_match_fifo() {
+        let scripts = vec![
+            vec![
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 0,
+                    value: 10.0,
+                },
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 0,
+                    value: 20.0,
+                },
+            ],
+            vec![
+                MpiCall::Recv { src: 0, tag: 1 },
+                MpiCall::Recv { src: 0, tag: 1 },
+            ],
+        ];
+        let r = run_scripts(flat_machine(2), &NoNoise, scripts);
+        assert_eq!(r.final_values[1], Some(20.0));
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let scripts = [vec![MpiCall::Recv { src: 0, tag: 9 }]];
+        let programs = vec![ScriptProgram::new(scripts[0].clone()).boxed()];
+        let machine = Machine::new(flat_machine(1), &NoNoise, 1);
+        match machine.run(programs) {
+            Err(RunError::Deadlock { blocked }) => {
+                assert_eq!(blocked, vec![(0, 0, 9)]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allreduce_values_all_sizes() {
+        for p in [1, 2, 3, 5, 8, 13, 16] {
+            let programs: Vec<Box<dyn Program>> = (0..p)
+                .map(|r| {
+                    ScriptProgram::new(vec![MpiCall::Allreduce {
+                        bytes: 8,
+                        value: (r + 1) as f64,
+                        op: ReduceOp::Sum,
+                    }])
+                    .boxed()
+                })
+                .collect();
+            let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+            let r = machine.run(programs).unwrap();
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            assert!(
+                r.final_values.iter().all(|v| *v == Some(expect)),
+                "p={p}: {:?}",
+                r.final_values
+            );
+        }
+    }
+
+    #[test]
+    fn collectives_in_sequence_do_not_interfere() {
+        let p = 6;
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|r| {
+                ScriptProgram::new(vec![
+                    MpiCall::Allreduce {
+                        bytes: 8,
+                        value: 1.0,
+                        op: ReduceOp::Sum,
+                    },
+                    MpiCall::Barrier,
+                    MpiCall::Allreduce {
+                        bytes: 8,
+                        value: (r + 1) as f64,
+                        op: ReduceOp::Max,
+                    },
+                ])
+                .boxed()
+            })
+            .collect();
+        let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+        let r = machine.run(programs).unwrap();
+        assert!(r.final_values.iter().all(|v| *v == Some(p as f64)));
+    }
+
+    #[test]
+    fn barrier_synchronizes_finish_times() {
+        // One slow rank holds everyone at the barrier.
+        let p = 4;
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|r| {
+                let work = if r == 2 { 100 * MS } else { MS };
+                ScriptProgram::new(vec![MpiCall::Compute(work), MpiCall::Barrier]).boxed()
+            })
+            .collect();
+        let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+        let r = machine.run(programs).unwrap();
+        for f in &r.finish_times {
+            assert!(*f >= 100 * MS, "finish {f} before slowest rank");
+        }
+    }
+
+    #[test]
+    fn allreduce_latency_grows_with_scale() {
+        let mut last = 0;
+        for p in [2, 4, 8, 16, 32] {
+            let programs: Vec<Box<dyn Program>> = (0..p)
+                .map(|_| {
+                    ScriptProgram::new(vec![MpiCall::Allreduce {
+                        bytes: 8,
+                        value: 1.0,
+                        op: ReduceOp::Sum,
+                    }])
+                    .boxed()
+                })
+                .collect();
+            let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+            let r = machine.run(programs).unwrap();
+            assert!(
+                r.makespan > last,
+                "p={p}: {} not > {last}",
+                r.makespan
+            );
+            last = r.makespan;
+        }
+    }
+
+    #[test]
+    fn torus_is_slower_than_flat_for_distant_ranks() {
+        let flat = Network::new(LogGP::mpp(), Box::new(Flat::new(64)));
+        let torus = Network::new(LogGP::mpp(), Box::new(Torus3D::new(4, 4, 4)));
+        let mk = |net: Network| {
+            let scripts = [vec![MpiCall::Send {
+                    dst: 42,
+                    tag: 0,
+                    bytes: 8,
+                    value: 0.0,
+                }],
+                vec![]];
+            let mut programs: Vec<Box<dyn Program>> = Vec::new();
+            for r in 0..64 {
+                let s = if r == 0 {
+                    scripts[0].clone()
+                } else if r == 42 {
+                    vec![MpiCall::Recv { src: 0, tag: 0 }]
+                } else {
+                    vec![]
+                };
+                programs.push(ScriptProgram::new(s).boxed());
+            }
+            Machine::new(net, &NoNoise, 1).run(programs).unwrap()
+        };
+        let rf = mk(flat);
+        let rt = mk(torus);
+        assert!(rt.finish_times[42] > rf.finish_times[42]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let sig = Signature::new(100.0, 250 * US);
+        let model = sig.periodic_model(PhasePolicy::Random);
+        let mk = || {
+            let p = 8;
+            let programs: Vec<Box<dyn Program>> = (0..p)
+                .map(|r| {
+                    ScriptProgram::new(vec![
+                        MpiCall::Compute(3 * MS),
+                        MpiCall::Allreduce {
+                            bytes: 8,
+                            value: r as f64,
+                            op: ReduceOp::Sum,
+                        },
+                        MpiCall::Compute(2 * MS),
+                        MpiCall::Barrier,
+                    ])
+                    .boxed()
+                })
+                .collect();
+            Machine::new(flat_machine(p), &model, 777).run(programs).unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.finish_times, b.finish_times);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with collective tag space")]
+    fn user_tag_in_collective_space_panics() {
+        let scripts = vec![vec![MpiCall::Send {
+            dst: 0,
+            tag: crate::types::COLL_TAG_BASE + 1,
+            bytes: 0,
+            value: 0.0,
+        }]];
+        run_scripts(flat_machine(1), &NoNoise, scripts);
+    }
+
+    #[test]
+    #[should_panic(expected = "programs but only")]
+    fn too_many_programs_panics() {
+        let programs: Vec<Box<dyn Program>> = (0..3)
+            .map(|_| ScriptProgram::new(vec![]).boxed())
+            .collect();
+        let _ = Machine::new(flat_machine(2), &NoNoise, 1).run(programs);
+    }
+
+    #[test]
+    fn empty_programs_finish_at_zero() {
+        let programs: Vec<Box<dyn Program>> =
+            (0..4).map(|_| ScriptProgram::new(vec![]).boxed()).collect();
+        let r = Machine::new(flat_machine(4), &NoNoise, 1).run(programs).unwrap();
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn interrupt_mode_adds_wakeup_to_blocked_recv() {
+        let mk = |mode: RecvMode| {
+            let net = flat_machine(2);
+            let scripts = vec![
+                vec![
+                    MpiCall::Compute(MS),
+                    MpiCall::Send {
+                        dst: 1,
+                        tag: 1,
+                        bytes: 0,
+                        value: 1.0,
+                    },
+                ],
+                vec![MpiCall::Recv { src: 0, tag: 1 }],
+            ];
+            let programs: Vec<Box<dyn Program>> = scripts
+                .into_iter()
+                .map(|s| ScriptProgram::new(s).boxed())
+                .collect();
+            Machine::new(net, &NoNoise, 1)
+                .with_recv_mode(mode)
+                .run(programs)
+                .unwrap()
+        };
+        let poll = mk(RecvMode::Polling);
+        let intr = mk(RecvMode::Interrupt { wakeup: 5_000 });
+        assert_eq!(intr.finish_times[1], poll.finish_times[1] + 5_000);
+    }
+
+    #[test]
+    fn interrupt_mode_costs_nothing_for_unexpected_messages() {
+        // Message already queued when the recv posts: no wakeup involved.
+        let mk = |mode: RecvMode| {
+            let scripts = vec![
+                vec![MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 0,
+                    value: 1.0,
+                }],
+                vec![MpiCall::Compute(50 * MS), MpiCall::Recv { src: 0, tag: 1 }],
+            ];
+            let programs: Vec<Box<dyn Program>> = scripts
+                .into_iter()
+                .map(|s| ScriptProgram::new(s).boxed())
+                .collect();
+            Machine::new(flat_machine(2), &NoNoise, 1)
+                .with_recv_mode(mode)
+                .run(programs)
+                .unwrap()
+        };
+        let poll = mk(RecvMode::Polling);
+        let intr = mk(RecvMode::Interrupt { wakeup: 5_000 });
+        assert_eq!(intr.finish_times[1], poll.finish_times[1]);
+    }
+
+    #[test]
+    fn interrupt_wakeup_slows_collective_chains() {
+        let mk = |mode: RecvMode| {
+            let p = 8;
+            let programs: Vec<Box<dyn Program>> = (0..p)
+                .map(|_| {
+                    ScriptProgram::new(vec![MpiCall::Barrier, MpiCall::Barrier]).boxed()
+                })
+                .collect();
+            Machine::new(flat_machine(p), &NoNoise, 1)
+                .with_recv_mode(mode)
+                .run(programs)
+                .unwrap()
+        };
+        let poll = mk(RecvMode::Polling);
+        let intr = mk(RecvMode::Interrupt { wakeup: 10_000 });
+        assert!(
+            intr.makespan > poll.makespan + 10_000,
+            "{} vs {}",
+            intr.makespan,
+            poll.makespan
+        );
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let r = run_scripts(
+            flat_machine(1),
+            &NoNoise,
+            vec![vec![MpiCall::Compute(MS)]],
+        );
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_spans_cover_the_timeline() {
+        let net = flat_machine(2);
+        let programs: Vec<Box<dyn Program>> = vec![
+            ScriptProgram::new(vec![
+                MpiCall::Compute(MS),
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 64,
+                    value: 1.0,
+                },
+            ])
+            .boxed(),
+            ScriptProgram::new(vec![MpiCall::Recv { src: 0, tag: 1 }]).boxed(),
+        ];
+        let r = Machine::new(net, &NoNoise, 1)
+            .with_trace(true)
+            .run(programs)
+            .unwrap();
+        use SpanKind::*;
+        let kinds: Vec<(Rank, SpanKind)> =
+            r.trace.iter().map(|s| (s.rank, s.kind)).collect();
+        assert!(kinds.contains(&(0, Compute)));
+        assert!(kinds.contains(&(0, SendOverhead)));
+        assert!(kinds.contains(&(1, Blocked)));
+        assert!(kinds.contains(&(1, RecvProcess)));
+        // Spans are well-formed and within the makespan.
+        for sp in &r.trace {
+            assert!(sp.start < sp.end, "{sp:?}");
+            assert!(sp.end <= r.makespan, "{sp:?}");
+        }
+        // Per-rank spans are non-overlapping (CPU is sequential; a rank's
+        // Blocked span may not overlap its processing spans).
+        for rank in 0..2 {
+            let mut mine: Vec<&OpSpan> =
+                r.trace.iter().filter(|s| s.rank == rank).collect();
+            mine.sort_by_key(|s| s.start);
+            for w in mine.windows(2) {
+                assert!(w[0].end <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_compute_includes_noise_stretch() {
+        let sig = Signature::new(100.0, 250 * US);
+        let model = sig.periodic_model(PhasePolicy::Aligned);
+        let programs = vec![ScriptProgram::new(vec![MpiCall::Compute(50 * MS)]).boxed()];
+        let r = Machine::new(flat_machine(1), &model, 1)
+            .with_trace(true)
+            .run(programs)
+            .unwrap();
+        assert_eq!(r.trace.len(), 1);
+        let sp = r.trace[0];
+        assert_eq!(sp.kind, SpanKind::Compute);
+        assert_eq!(sp.start, 0);
+        assert!(sp.end > 50 * MS, "stretched end {}", sp.end);
+    }
+
+    #[test]
+    fn blocked_time_accounts_recv_waits() {
+        // Rank 1 blocks in Recv while rank 0 computes for 10 ms.
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let wire = net.delivery(0, 1, 0);
+        let scripts = vec![
+            vec![
+                MpiCall::Compute(10 * MS),
+                MpiCall::Send {
+                    dst: 1,
+                    tag: 1,
+                    bytes: 0,
+                    value: 1.0,
+                },
+            ],
+            vec![MpiCall::Recv { src: 0, tag: 1 }],
+        ];
+        let r = run_scripts(net, &NoNoise, scripts);
+        // Rank 1 blocked from t=0 until arrival at 10ms + o + wire.
+        assert_eq!(r.blocked_time[1], 10 * MS + o + wire);
+        // Rank 0 never blocked.
+        assert_eq!(r.blocked_time[0], 0);
+    }
+
+    #[test]
+    fn blocked_time_in_waitall() {
+        let scripts = vec![
+            vec![
+                MpiCall::Irecv { src: 1, tag: 2 },
+                MpiCall::WaitAll,
+            ],
+            vec![
+                MpiCall::Compute(5 * MS),
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 2,
+                    bytes: 0,
+                    value: 1.0,
+                },
+            ],
+        ];
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let wire = net.delivery(1, 0, 0);
+        let r = run_scripts(net, &NoNoise, scripts);
+        assert_eq!(r.blocked_time[0], 5 * MS + o + wire);
+    }
+
+    #[test]
+    fn balanced_bsp_has_negligible_blocking() {
+        // Perfectly balanced ranks wait only for collective skew.
+        let p = 4;
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|_| {
+                ScriptProgram::new(vec![
+                    MpiCall::Compute(10 * MS),
+                    MpiCall::Barrier,
+                ])
+                .boxed()
+            })
+            .collect();
+        let r = Machine::new(flat_machine(p), &NoNoise, 1).run(programs).unwrap();
+        for &b in &r.blocked_time {
+            assert!(b < MS, "blocked {b} should be tiny for balanced ranks");
+        }
+    }
+
+    #[test]
+    fn nonblocking_exchange_overlaps_wire_time() {
+        // Two ranks exchange with Isend/Irecv/WaitAll: both finish after
+        // one overhead + wire + processing, not two (the transfers overlap).
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let wire = net.delivery(0, 1, 1024);
+        let mk = |rank: usize| {
+            vec![
+                MpiCall::Irecv {
+                    src: 1 - rank,
+                    tag: 5,
+                },
+                MpiCall::Isend {
+                    dst: 1 - rank,
+                    tag: 5,
+                    bytes: 1024,
+                    value: rank as f64 + 1.0,
+                },
+                MpiCall::WaitAll,
+            ]
+        };
+        let r = run_scripts(net, &NoNoise, vec![mk(0), mk(1)]);
+        // Finish: own send overhead o, peer's message arrives at o + wire,
+        // processed for o more.
+        assert_eq!(r.finish_times[0], o + wire + o);
+        assert_eq!(r.finish_times[1], o + wire + o);
+        // WaitAll yields the sum of received values.
+        assert_eq!(r.final_values[0], Some(2.0));
+        assert_eq!(r.final_values[1], Some(1.0));
+    }
+
+    #[test]
+    fn waitall_sums_multiple_receives() {
+        // Rank 0 posts three Irecvs from distinct peers and WaitAlls.
+        let p = 4;
+        let mut scripts: Vec<Vec<MpiCall>> = vec![vec![
+            MpiCall::Irecv { src: 1, tag: 9 },
+            MpiCall::Irecv { src: 2, tag: 9 },
+            MpiCall::Irecv { src: 3, tag: 9 },
+            MpiCall::WaitAll,
+        ]];
+        for r in 1..p {
+            scripts.push(vec![
+                MpiCall::Compute((r as u64) * MS),
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 9,
+                    bytes: 8,
+                    value: 10.0 * r as f64,
+                },
+            ]);
+        }
+        let r = run_scripts(flat_machine(p), &NoNoise, scripts);
+        assert_eq!(r.final_values[0], Some(60.0));
+        // Rank 0 finishes only after the slowest sender (rank 3).
+        assert!(r.finish_times[0] > 3 * MS);
+    }
+
+    #[test]
+    fn waitall_with_nothing_posted_is_instant() {
+        let scripts = vec![vec![MpiCall::Compute(MS), MpiCall::WaitAll]];
+        let r = run_scripts(flat_machine(1), &NoNoise, scripts);
+        assert_eq!(r.makespan, MS);
+        assert_eq!(r.final_values[0], Some(0.0));
+    }
+
+    #[test]
+    fn waitall_consumes_already_arrived_messages() {
+        // Messages arrive while the receiver computes; WaitAll pays the
+        // processing costs afterwards, sequentially.
+        let net = flat_machine(2);
+        let o = net.send_overhead();
+        let scripts = vec![
+            vec![
+                MpiCall::Irecv { src: 1, tag: 1 },
+                MpiCall::Irecv { src: 1, tag: 2 },
+                MpiCall::Compute(100 * MS),
+                MpiCall::WaitAll,
+            ],
+            vec![
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 1,
+                    bytes: 0,
+                    value: 1.0,
+                },
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 2,
+                    bytes: 0,
+                    value: 2.0,
+                },
+            ],
+        ];
+        let r = run_scripts(net, &NoNoise, scripts);
+        assert_eq!(r.final_values[0], Some(3.0));
+        assert_eq!(r.finish_times[0], 100 * MS + 2 * o);
+    }
+
+    #[test]
+    fn waitall_deadlock_reports_awaited_source() {
+        let scripts = [vec![
+            MpiCall::Irecv { src: 0, tag: 77 },
+            MpiCall::WaitAll,
+        ]];
+        let programs = vec![ScriptProgram::new(scripts[0].clone()).boxed()];
+        match Machine::new(flat_machine(1), &NoNoise, 1).run(programs) {
+            Err(RunError::Deadlock { blocked }) => assert_eq!(blocked, vec![(0, 0, 77)]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_irecv_keys_consume_fifo() {
+        let scripts = vec![
+            vec![
+                MpiCall::Irecv { src: 1, tag: 4 },
+                MpiCall::Irecv { src: 1, tag: 4 },
+                MpiCall::WaitAll,
+            ],
+            vec![
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 4,
+                    bytes: 0,
+                    value: 5.0,
+                },
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 4,
+                    bytes: 0,
+                    value: 7.0,
+                },
+            ],
+        ];
+        let r = run_scripts(flat_machine(2), &NoNoise, scripts);
+        assert_eq!(r.final_values[0], Some(12.0));
+    }
+
+    #[test]
+    fn ideal_network_allreduce_is_reduce_cost_only() {
+        // With a free network and no noise, an 8-byte allreduce costs only
+        // the per-round combine work.
+        let p = 4;
+        let net = Network::new(LogGP::ideal(), Box::new(Flat::new(p)));
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|r| {
+                ScriptProgram::new(vec![MpiCall::Allreduce {
+                    bytes: 8,
+                    value: r as f64,
+                    op: ReduceOp::Sum,
+                }])
+                .boxed()
+            })
+            .collect();
+        let r = Machine::new(net, &NoNoise, 1).run(programs).unwrap();
+        assert!(r.final_values.iter().all(|v| *v == Some(6.0)));
+        let per_round = CollectiveConfig::default().reduce_work(8);
+        assert_eq!(r.makespan, 2 * per_round); // log2(4) combines on the critical path
+    }
+}

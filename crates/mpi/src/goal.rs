@@ -1,0 +1,564 @@
+//! GOAL-style workload scripts: text-defined rank programs.
+//!
+//! Trace-driven simulation (cf. LogGOPSim's GOAL files) decouples workload
+//! definition from the simulator: a communication trace captured from a
+//! real application — or written by hand — is parsed into per-rank
+//! programs. This module implements a compact dialect:
+//!
+//! ```text
+//! # ping-pong with a barrier
+//! ranks 2
+//! all:
+//!   barrier
+//! rank 0:
+//!   send 1 5 64 3.5        # dst tag bytes [value]
+//!   recv 1 6
+//! rank 1:
+//!   recv 0 5
+//!   send 0 6 8
+//! all:
+//!   repeat 3
+//!     compute 1000000
+//!     allreduce 8 sum rank # value `rank` = this rank's index
+//!   end
+//! ```
+//!
+//! Grammar (one op per line, `#` comments):
+//!
+//! * `ranks <n>` — required header, declares the machine size.
+//! * `rank <i>:` / `all:` — select which rank(s) subsequent ops apply to.
+//! * `repeat <n>` ... `end` — repeat a block (not nestable).
+//! * Ops: `compute <ns>`, `send <dst> <tag> <bytes> [<v>]`,
+//!   `recv <src> <tag>`, `isend <dst> <tag> <bytes> [<v>]`,
+//!   `irecv <src> <tag>`, `waitall`, `barrier`,
+//!   `sendrecv <dst> <stag> <sbytes> <src> <rtag> [<v>]`,
+//!   `allreduce <bytes> <op> [<v>]`, `reduce <root> <bytes> <op> [<v>]`,
+//!   `bcast <root> <bytes> [<v>]`, `allgather <bytes> [<v>]`,
+//!   `alltoall <bytes> [<v>]`, `scan <bytes> <op> [<v>]`,
+//!   `exscan <bytes> <op> [<v>]`, `gather <root> <bytes> [<v>]`,
+//!   `scatter <root> <bytes> [<v>]`.
+//! * `<op>` is `sum|max|min|prod`; `[<v>]` is a float or the word `rank`
+//!   (this rank's index); it defaults to `rank`.
+
+use crate::program::{Program, ScriptProgram};
+use crate::types::{MpiCall, ReduceOp};
+
+/// A parsed GOAL-style workload: one call list per rank.
+#[derive(Debug, Clone)]
+pub struct GoalWorkload {
+    ranks: Vec<Vec<MpiCall>>,
+}
+
+impl GoalWorkload {
+    /// Parse a script. Returns a line-numbered error message on malformed
+    /// input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Parser::new(text).parse()
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The parsed calls for one rank.
+    pub fn calls(&self, rank: usize) -> &[MpiCall] {
+        &self.ranks[rank]
+    }
+
+    /// Materialize boxed programs for [`crate::Machine::run`].
+    pub fn programs(&self) -> Vec<Box<dyn Program>> {
+        self.ranks
+            .iter()
+            .map(|calls| ScriptProgram::new(calls.clone()).boxed())
+            .collect()
+    }
+}
+
+/// Value operand: literal or the executing rank's index.
+#[derive(Debug, Clone, Copy)]
+enum Val {
+    Lit(f64),
+    Rank,
+}
+
+impl Val {
+    fn resolve(&self, rank: usize) -> f64 {
+        match *self {
+            Val::Lit(v) => v,
+            Val::Rank => rank as f64,
+        }
+    }
+}
+
+/// Target of the current section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Target {
+    One(usize),
+    All,
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    size: Option<usize>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split('#').next().unwrap_or("").trim();
+                (i + 1, l)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Self { lines, size: None }
+    }
+
+    fn parse(mut self) -> Result<GoalWorkload, String> {
+        let mut idx = 0;
+        // Header.
+        let (ln, first) = *self
+            .lines
+            .first()
+            .ok_or_else(|| "empty script".to_string())?;
+        let mut toks = first.split_whitespace();
+        if toks.next() != Some("ranks") {
+            return Err(format!("line {ln}: script must start with `ranks <n>`"));
+        }
+        let size: usize = toks
+            .next()
+            .ok_or_else(|| format!("line {ln}: missing rank count"))?
+            .parse()
+            .map_err(|e| format!("line {ln}: bad rank count: {e}"))?;
+        if size == 0 {
+            return Err(format!("line {ln}: rank count must be positive"));
+        }
+        self.size = Some(size);
+        idx += 1;
+
+        let mut ranks: Vec<Vec<MpiCall>> = vec![Vec::new(); size];
+        let mut target = Target::All;
+        while idx < self.lines.len() {
+            let (ln, line) = self.lines[idx];
+            idx += 1;
+            if let Some(rest) = line.strip_prefix("rank ") {
+                let rest = rest
+                    .strip_suffix(':')
+                    .ok_or_else(|| format!("line {ln}: rank section must end with ':'"))?;
+                let r: usize = rest
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {ln}: bad rank: {e}"))?;
+                if r >= size {
+                    return Err(format!("line {ln}: rank {r} out of range (ranks {size})"));
+                }
+                target = Target::One(r);
+                continue;
+            }
+            if line == "all:" {
+                target = Target::All;
+                continue;
+            }
+            if let Some(count) = line.strip_prefix("repeat ") {
+                let n: usize = count
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {ln}: bad repeat count: {e}"))?;
+                // Collect the block up to `end`.
+                let mut block: Vec<(usize, &str)> = Vec::new();
+                loop {
+                    let Some(&(bln, bline)) = self.lines.get(idx) else {
+                        return Err(format!("line {ln}: repeat without matching `end`"));
+                    };
+                    idx += 1;
+                    if bline == "end" {
+                        break;
+                    }
+                    if bline.starts_with("repeat ") {
+                        return Err(format!("line {bln}: nested repeat is not supported"));
+                    }
+                    if bline.starts_with("rank ") || bline == "all:" {
+                        return Err(format!(
+                            "line {bln}: section change inside repeat block"
+                        ));
+                    }
+                    block.push((bln, bline));
+                }
+                for _ in 0..n {
+                    for &(bln, bline) in &block {
+                        Self::emit(bline, bln, size, target, &mut ranks)?;
+                    }
+                }
+                continue;
+            }
+            if line == "end" {
+                return Err(format!("line {ln}: `end` without `repeat`"));
+            }
+            Self::emit(line, ln, size, target, &mut ranks)?;
+        }
+        Ok(GoalWorkload { ranks })
+    }
+
+    /// Parse one op line and append it to the targeted ranks.
+    fn emit(
+        line: &str,
+        ln: usize,
+        size: usize,
+        target: Target,
+        ranks: &mut [Vec<MpiCall>],
+    ) -> Result<(), String> {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let op = toks[0];
+        let int = |i: usize, what: &str| -> Result<u64, String> {
+            toks.get(i)
+                .ok_or_else(|| format!("line {ln}: {op}: missing {what}"))?
+                .parse()
+                .map_err(|e| format!("line {ln}: {op}: bad {what}: {e}"))
+        };
+        let rank_arg = |i: usize, what: &str| -> Result<usize, String> {
+            let r = int(i, what)? as usize;
+            if r >= size {
+                return Err(format!("line {ln}: {op}: {what} {r} out of range"));
+            }
+            Ok(r)
+        };
+        let val = |i: usize| -> Result<Val, String> {
+            match toks.get(i) {
+                None => Ok(Val::Rank),
+                Some(&"rank") => Ok(Val::Rank),
+                Some(s) => s
+                    .parse()
+                    .map(Val::Lit)
+                    .map_err(|e| format!("line {ln}: {op}: bad value: {e}")),
+            }
+        };
+        let red = |i: usize| -> Result<ReduceOp, String> {
+            match toks.get(i) {
+                Some(&"sum") => Ok(ReduceOp::Sum),
+                Some(&"max") => Ok(ReduceOp::Max),
+                Some(&"min") => Ok(ReduceOp::Min),
+                Some(&"prod") => Ok(ReduceOp::Prod),
+                other => Err(format!(
+                    "line {ln}: {op}: expected sum|max|min|prod, got {other:?}"
+                )),
+            }
+        };
+        let exact = |n: usize| -> Result<(), String> {
+            if toks.len() > n {
+                return Err(format!(
+                    "line {ln}: {op}: unexpected trailing tokens {:?}",
+                    &toks[n..]
+                ));
+            }
+            Ok(())
+        };
+
+        // Build per-rank (the value operand may depend on the rank).
+        let build: Box<dyn Fn(usize) -> MpiCall> = match op {
+            "compute" => {
+                let w = int(1, "nanoseconds")?;
+                exact(2)?;
+                Box::new(move |_| MpiCall::Compute(w))
+            }
+            "send" | "isend" => {
+                let dst = rank_arg(1, "destination")?;
+                let tag = int(2, "tag")?;
+                let bytes = int(3, "bytes")?;
+                let v = val(4)?;
+                exact(5)?;
+                let nb = op == "isend";
+                Box::new(move |r| {
+                    if nb {
+                        MpiCall::Isend {
+                            dst,
+                            tag,
+                            bytes,
+                            value: v.resolve(r),
+                        }
+                    } else {
+                        MpiCall::Send {
+                            dst,
+                            tag,
+                            bytes,
+                            value: v.resolve(r),
+                        }
+                    }
+                })
+            }
+            "recv" | "irecv" => {
+                let src = rank_arg(1, "source")?;
+                let tag = int(2, "tag")?;
+                exact(3)?;
+                let nb = op == "irecv";
+                Box::new(move |_| {
+                    if nb {
+                        MpiCall::Irecv { src, tag }
+                    } else {
+                        MpiCall::Recv { src, tag }
+                    }
+                })
+            }
+            "sendrecv" => {
+                let dst = rank_arg(1, "destination")?;
+                let stag = int(2, "send tag")?;
+                let sbytes = int(3, "send bytes")?;
+                let src = rank_arg(4, "source")?;
+                let rtag = int(5, "recv tag")?;
+                let v = val(6)?;
+                exact(7)?;
+                Box::new(move |r| MpiCall::Sendrecv {
+                    dst,
+                    stag,
+                    sbytes,
+                    svalue: v.resolve(r),
+                    src,
+                    rtag,
+                })
+            }
+            "waitall" => {
+                exact(1)?;
+                Box::new(|_| MpiCall::WaitAll)
+            }
+            "barrier" => {
+                exact(1)?;
+                Box::new(|_| MpiCall::Barrier)
+            }
+            "allreduce" => {
+                let bytes = int(1, "bytes")?;
+                let o = red(2)?;
+                let v = val(3)?;
+                exact(4)?;
+                Box::new(move |r| MpiCall::Allreduce {
+                    bytes,
+                    value: v.resolve(r),
+                    op: o,
+                })
+            }
+            "reduce" => {
+                let root = rank_arg(1, "root")?;
+                let bytes = int(2, "bytes")?;
+                let o = red(3)?;
+                let v = val(4)?;
+                exact(5)?;
+                Box::new(move |r| MpiCall::Reduce {
+                    root,
+                    bytes,
+                    value: v.resolve(r),
+                    op: o,
+                })
+            }
+            "bcast" => {
+                let root = rank_arg(1, "root")?;
+                let bytes = int(2, "bytes")?;
+                let v = val(3)?;
+                exact(4)?;
+                Box::new(move |r| MpiCall::Bcast {
+                    root,
+                    bytes,
+                    value: v.resolve(r),
+                })
+            }
+            "allgather" => {
+                let bytes = int(1, "bytes")?;
+                let v = val(2)?;
+                exact(3)?;
+                Box::new(move |r| MpiCall::Allgather {
+                    bytes,
+                    value: v.resolve(r),
+                })
+            }
+            "alltoall" => {
+                let bytes = int(1, "bytes")?;
+                let v = val(2)?;
+                exact(3)?;
+                Box::new(move |r| MpiCall::Alltoall {
+                    bytes,
+                    value: v.resolve(r),
+                })
+            }
+            "scan" | "exscan" => {
+                let bytes = int(1, "bytes")?;
+                let o = red(2)?;
+                let v = val(3)?;
+                exact(4)?;
+                let ex = op == "exscan";
+                Box::new(move |r| {
+                    if ex {
+                        MpiCall::Exscan {
+                            bytes,
+                            value: v.resolve(r),
+                            op: o,
+                        }
+                    } else {
+                        MpiCall::Scan {
+                            bytes,
+                            value: v.resolve(r),
+                            op: o,
+                        }
+                    }
+                })
+            }
+            "gather" => {
+                let root = rank_arg(1, "root")?;
+                let bytes = int(2, "bytes")?;
+                let v = val(3)?;
+                exact(4)?;
+                Box::new(move |r| MpiCall::Gather {
+                    root,
+                    bytes,
+                    value: v.resolve(r),
+                })
+            }
+            "scatter" => {
+                let root = rank_arg(1, "root")?;
+                let bytes = int(2, "bytes")?;
+                let v = val(3)?;
+                exact(4)?;
+                Box::new(move |r| MpiCall::Scatter {
+                    root,
+                    bytes,
+                    value: v.resolve(r),
+                })
+            }
+            other => return Err(format!("line {ln}: unknown op '{other}'")),
+        };
+
+        match target {
+            Target::One(r) => ranks[r].push(build(r)),
+            Target::All => {
+                for (r, calls) in ranks.iter_mut().enumerate() {
+                    calls.push(build(r));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use ghost_net::{Flat, LogGP, Network};
+    use ghost_noise::NoNoise;
+
+    fn run(script: &str) -> crate::RunResult {
+        let goal = GoalWorkload::parse(script).expect("parse");
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(goal.size())));
+        Machine::new(net, &NoNoise, 1)
+            .run(goal.programs())
+            .expect("run")
+    }
+
+    #[test]
+    fn pingpong_script_executes() {
+        let r = run("ranks 2\n\
+                     rank 0:\n  send 1 5 64 3.5\n  recv 1 6\n\
+                     rank 1:\n  recv 0 5\n  send 0 6 8 7.25\n");
+        // Rank 0's last call is a recv: it observes rank 1's reply.
+        assert_eq!(r.final_values[0], Some(7.25));
+        // Rank 1 ends with a send, which yields no value.
+        assert_eq!(r.final_values[1], None);
+    }
+
+    #[test]
+    fn all_section_and_rank_value() {
+        let r = run("ranks 4\nall:\n  allreduce 8 sum rank\n");
+        // sum of ranks 0..4 = 6.
+        assert!(r.final_values.iter().all(|v| *v == Some(6.0)));
+    }
+
+    #[test]
+    fn default_value_is_rank() {
+        let r = run("ranks 3\nall:\n  allreduce 8 max\n");
+        assert!(r.final_values.iter().all(|v| *v == Some(2.0)));
+    }
+
+    #[test]
+    fn repeat_block_expands() {
+        let goal = GoalWorkload::parse(
+            "ranks 2\nall:\nrepeat 3\n  compute 100\n  barrier\nend\n",
+        )
+        .unwrap();
+        assert_eq!(goal.calls(0).len(), 6);
+        assert_eq!(goal.calls(1).len(), 6);
+        let r = run("ranks 2\nall:\nrepeat 3\n  compute 100\n  barrier\nend\n");
+        assert!(r.makespan >= 300);
+    }
+
+    #[test]
+    fn nonblocking_ops_parse_and_run() {
+        let r = run("ranks 2\n\
+                     all:\n  irecv 0 1\n\
+                     rank 0:\n  isend 0 1 8 5.0\n  isend 1 1 8 6.0\n\
+                     rank 1:\n\
+                     all:\n  waitall\n");
+        assert_eq!(r.final_values[0], Some(5.0));
+        assert_eq!(r.final_values[1], Some(6.0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let goal = GoalWorkload::parse(
+            "# header\nranks 2\n\n# section\nall:\n  compute 5 # inline\n",
+        )
+        .unwrap();
+        assert_eq!(goal.calls(0), &[MpiCall::Compute(5)]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("", "empty script"),
+            ("compute 5\n", "must start with"),
+            ("ranks 0\n", "must be positive"),
+            ("ranks 2\nrank 5:\n", "out of range"),
+            ("ranks 2\nall:\nfrobnicate 1\n", "unknown op"),
+            ("ranks 2\nall:\nsend 9 1 8\n", "out of range"),
+            ("ranks 2\nall:\nrepeat 2\ncompute 1\n", "without matching"),
+            ("ranks 2\nall:\nend\n", "`end` without `repeat`"),
+            ("ranks 2\nall:\nallreduce 8 avg\n", "expected sum|max|min|prod"),
+            ("ranks 2\nall:\ncompute 1 2\n", "trailing tokens"),
+            ("ranks 2\nrank 1\n", "must end with ':'"),
+        ];
+        for (script, expect) in cases {
+            let err = GoalWorkload::parse(script).unwrap_err();
+            assert!(
+                err.contains(expect),
+                "script {script:?}: error {err:?} should mention {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_rejects_section_changes_and_nesting() {
+        let err = GoalWorkload::parse("ranks 2\nall:\nrepeat 2\nrank 0:\nend\n").unwrap_err();
+        assert!(err.contains("section change"));
+        let err =
+            GoalWorkload::parse("ranks 2\nall:\nrepeat 2\nrepeat 2\nend\nend\n").unwrap_err();
+        assert!(err.contains("nested repeat"));
+    }
+
+    #[test]
+    fn full_op_coverage_parses() {
+        let script = "ranks 4\nall:\n\
+            compute 1000\n\
+            barrier\n\
+            allreduce 8 sum\n\
+            reduce 0 8 max\n\
+            bcast 1 64 2.0\n\
+            allgather 16\n\
+            alltoall 8\n\
+            scan 8 sum\n\
+            exscan 8 sum\n\
+            gather 0 8\n\
+            scatter 2 8 1.5\n\
+            sendrecv 1 3 8 3 3 9.0\n";
+        // sendrecv: every rank sends to 1... that would deadlock; parse only.
+        let goal = GoalWorkload::parse(script).unwrap();
+        assert_eq!(goal.calls(0).len(), 12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Rank programs: what each simulated rank executes.
+
+use ghost_engine::time::Time;
+
+use crate::types::{Env, MpiCall};
+
+/// A per-rank program: a state machine yielding MPI calls.
+///
+/// The executor calls `next` with the current simulation time (`now` = the
+/// completion instant of the previous call) and the result of the previous
+/// call (`Some` for value-producing calls — `Recv`, `Sendrecv`, `WaitAll`,
+/// and collectives — `None` otherwise, and `None` on the first call).
+/// Returning `None` terminates the rank. Access to `now` lets programs
+/// self-instrument, e.g. the netgauge-style noise benchmark records
+/// per-ping RTTs in virtual time.
+pub trait Program: Send {
+    /// Produce the next call, or `None` when the rank is finished.
+    fn next(&mut self, env: &Env, now: Time, prev: Option<f64>) -> Option<MpiCall>;
+}
+
+/// A fixed list of calls, executed in order. Results of value-producing
+/// calls are recorded for inspection by tests.
+#[derive(Debug, Clone)]
+pub struct ScriptProgram {
+    calls: Vec<MpiCall>,
+    idx: usize,
+    results: Vec<Option<f64>>,
+}
+
+impl ScriptProgram {
+    /// A program executing `calls` in order.
+    pub fn new(calls: Vec<MpiCall>) -> Self {
+        Self {
+            calls,
+            idx: 0,
+            results: Vec::new(),
+        }
+    }
+
+    /// Box the program for [`crate::Machine::run`].
+    pub fn boxed(self) -> Box<dyn Program> {
+        Box::new(self)
+    }
+
+    /// Results observed so far (one per completed call, in order).
+    pub fn results(&self) -> &[Option<f64>] {
+        &self.results
+    }
+}
+
+impl Program for ScriptProgram {
+    fn next(&mut self, _env: &Env, _now: Time, prev: Option<f64>) -> Option<MpiCall> {
+        if self.idx > 0 {
+            self.results.push(prev);
+        }
+        let call = self.calls.get(self.idx).copied();
+        self.idx += 1;
+        call
+    }
+}
+
+/// A program driven by a closure — convenient for loop-structured workloads.
+pub struct FnProgram<F> {
+    f: F,
+}
+
+impl<F> FnProgram<F>
+where
+    F: FnMut(&Env, Time, Option<f64>) -> Option<MpiCall> + Send,
+{
+    /// Wrap a closure as a program.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+
+    /// Box the program for [`crate::Machine::run`].
+    pub fn boxed(self) -> Box<dyn Program>
+    where
+        F: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<F> Program for FnProgram<F>
+where
+    F: FnMut(&Env, Time, Option<f64>) -> Option<MpiCall> + Send,
+{
+    fn next(&mut self, env: &Env, now: Time, prev: Option<f64>) -> Option<MpiCall> {
+        (self.f)(env, now, prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_yields_in_order_then_none() {
+        let env = Env { rank: 0, size: 1 };
+        let mut p = ScriptProgram::new(vec![MpiCall::Compute(5), MpiCall::Barrier]);
+        assert_eq!(p.next(&env, 0, None), Some(MpiCall::Compute(5)));
+        assert_eq!(p.next(&env, 5, None), Some(MpiCall::Barrier));
+        assert_eq!(p.next(&env, 9, Some(0.0)), None);
+        assert_eq!(p.next(&env, 9, None), None);
+    }
+
+    #[test]
+    fn script_records_results() {
+        let env = Env { rank: 0, size: 1 };
+        let mut p = ScriptProgram::new(vec![MpiCall::Compute(5), MpiCall::Compute(6)]);
+        p.next(&env, 0, None);
+        p.next(&env, 5, None);
+        p.next(&env, 11, Some(3.5));
+        assert_eq!(p.results(), &[None, Some(3.5)]);
+    }
+
+    #[test]
+    fn fn_program_counts_down() {
+        let env = Env { rank: 0, size: 1 };
+        let mut left = 3;
+        let mut p = FnProgram::new(move |_env, _now, _prev| {
+            if left == 0 {
+                None
+            } else {
+                left -= 1;
+                Some(MpiCall::Compute(1))
+            }
+        });
+        let mut n = 0;
+        while p.next(&env, 0, None).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

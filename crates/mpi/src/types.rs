@@ -1,0 +1,370 @@
+//! Common types: calls, tags, reduction operators, configuration.
+
+use ghost_engine::time::Work;
+
+/// A rank index (equal to its node index: one rank per node).
+pub type Rank = usize;
+
+/// A message tag. User programs may use tags below [`COLL_TAG_BASE`];
+/// collective-internal traffic is namespaced above it.
+pub type Tag = u64;
+
+/// Base of the collective-internal tag space (bit 63 set).
+pub const COLL_TAG_BASE: Tag = 1 << 63;
+
+/// Build a collective-internal tag from the per-rank collective sequence
+/// number, the algorithm round, and a phase discriminator.
+///
+/// All ranks execute collectives in the same order (SPMD), so `seq` values
+/// agree across ranks and traffic from different collective instances can
+/// never be confused.
+#[inline]
+pub fn coll_tag(seq: u64, round: u32, phase: u32) -> Tag {
+    debug_assert!(round < 1 << 20, "round {round} too large for tag space");
+    debug_assert!(phase < 1 << 4, "phase {phase} too large for tag space");
+    COLL_TAG_BASE | (seq << 24) | ((round as u64) << 4) | phase as u64
+}
+
+/// Reduction operators over the `f64` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Arithmetic sum.
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    /// The operator's identity element.
+    #[inline]
+    pub fn identity(&self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Prod => 1.0,
+        }
+    }
+}
+
+/// One MPI call issued by a rank's [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MpiCall {
+    /// Execute `Work` nanoseconds of local computation.
+    Compute(Work),
+    /// Send `bytes` with `value` to `dst` under `tag` (locally blocking:
+    /// completes when the send overhead has been paid).
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message tag (must be below [`COLL_TAG_BASE`]).
+        tag: Tag,
+        /// Payload size in bytes (for timing).
+        bytes: u64,
+        /// Payload value (for correctness checks).
+        value: f64,
+    },
+    /// Block until a message from `src` with `tag` arrives; yields its value.
+    Recv {
+        /// Source rank.
+        src: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Simultaneously send to `dst` and receive from `src`; yields the
+    /// received value.
+    Sendrecv {
+        /// Destination of the outgoing message.
+        dst: Rank,
+        /// Outgoing tag.
+        stag: Tag,
+        /// Outgoing payload size.
+        sbytes: u64,
+        /// Outgoing payload value.
+        svalue: f64,
+        /// Source of the incoming message.
+        src: Rank,
+        /// Incoming tag.
+        rtag: Tag,
+    },
+    /// Dissemination barrier across all ranks.
+    Barrier,
+    /// Broadcast `value` (significant at `root`) of `bytes` to all ranks;
+    /// yields the root's value everywhere.
+    Bcast {
+        /// Broadcast root.
+        root: Rank,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Payload (only the root's is meaningful).
+        value: f64,
+    },
+    /// Reduce `value` across ranks to `root`; yields the reduction at the
+    /// root (other ranks yield their partial).
+    Reduce {
+        /// Reduction root.
+        root: Rank,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// This rank's contribution.
+        value: f64,
+        /// Operator.
+        op: ReduceOp,
+    },
+    /// Allreduce `value` across all ranks; yields the global reduction on
+    /// every rank.
+    Allreduce {
+        /// Payload size in bytes.
+        bytes: u64,
+        /// This rank's contribution.
+        value: f64,
+        /// Operator.
+        op: ReduceOp,
+    },
+    /// Allgather: every rank contributes `bytes`; yields the *sum* of all
+    /// contributions (scalar stand-in for the gathered vector).
+    Allgather {
+        /// Per-rank contribution size in bytes.
+        bytes: u64,
+        /// This rank's contribution value.
+        value: f64,
+    },
+    /// Gather all contributions at `root`; yields the sum at the root.
+    Gather {
+        /// Gather root.
+        root: Rank,
+        /// Per-rank contribution size in bytes.
+        bytes: u64,
+        /// This rank's contribution value.
+        value: f64,
+    },
+    /// Scatter from `root`: every rank yields the root's value (scalar
+    /// stand-in for its slice), paying the tree's transfer costs.
+    Scatter {
+        /// Scatter root.
+        root: Rank,
+        /// Per-rank slice size in bytes.
+        bytes: u64,
+        /// Payload (only the root's is meaningful).
+        value: f64,
+    },
+    /// Pairwise-exchange all-to-all with per-pair `bytes`; yields the sum of
+    /// all ranks' values.
+    Alltoall {
+        /// Per-destination message size in bytes.
+        bytes: u64,
+        /// This rank's contribution value.
+        value: f64,
+    },
+    /// Nonblocking send: pays the send CPU overhead and continues (the wire
+    /// transfer proceeds in the background). Completion is local — there is
+    /// no matching wait, mirroring an `MPI_Isend` whose request is freed at
+    /// the next `WaitAll`.
+    Isend {
+        /// Destination rank.
+        dst: Rank,
+        /// Message tag (must be below [`COLL_TAG_BASE`]).
+        tag: Tag,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Payload value.
+        value: f64,
+    },
+    /// Post a nonblocking receive; completion (and its CPU processing cost)
+    /// is deferred to the next [`MpiCall::WaitAll`].
+    Irecv {
+        /// Source rank.
+        src: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Block until every outstanding [`MpiCall::Irecv`] has been matched and
+    /// processed; yields the **sum** of the received values.
+    WaitAll,
+    /// Inclusive prefix reduction: rank `r` yields the reduction over ranks
+    /// `0..=r`.
+    Scan {
+        /// Payload size in bytes.
+        bytes: u64,
+        /// This rank's contribution.
+        value: f64,
+        /// Operator.
+        op: ReduceOp,
+    },
+    /// Exclusive prefix reduction: rank `r` yields the reduction over ranks
+    /// `0..r` (rank 0 yields the operator identity).
+    Exscan {
+        /// Payload size in bytes.
+        bytes: u64,
+        /// This rank's contribution.
+        value: f64,
+        /// Operator.
+        op: ReduceOp,
+    },
+    /// Reduce-scatter: reduce `P` blocks of `block_bytes` across all ranks,
+    /// leaving block `r` on rank `r`; yields the global reduction (scalar
+    /// stand-in for the owned block).
+    ReduceScatter {
+        /// Per-rank result block size in bytes.
+        block_bytes: u64,
+        /// This rank's contribution.
+        value: f64,
+        /// Operator.
+        op: ReduceOp,
+    },
+}
+
+/// Per-rank environment visible to programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Env {
+    /// This rank's index.
+    pub rank: Rank,
+    /// Total number of ranks.
+    pub size: usize,
+}
+
+/// Allreduce algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllreduceAlgo {
+    /// Recursive doubling: log2(P) rounds of full-size exchanges. Best for
+    /// small payloads (latency-bound).
+    RecursiveDoubling,
+    /// Rabenseifner: reduce-scatter (recursive halving) then allgather
+    /// (recursive doubling). Best for large payloads (bandwidth-bound).
+    Rabenseifner,
+    /// Choose by payload size: recursive doubling below the threshold.
+    Auto {
+        /// Payload-size threshold in bytes.
+        threshold: u64,
+    },
+}
+
+/// Broadcast algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BcastAlgo {
+    /// Binomial tree: log2(P) rounds of full-payload sends. Best for small
+    /// payloads.
+    Binomial,
+    /// Van de Geijn: scatter + ring allgather; bandwidth-optimal for large
+    /// payloads.
+    ScatterAllgather,
+    /// Choose by payload size: binomial below the threshold.
+    Auto {
+        /// Payload-size threshold in bytes.
+        threshold: u64,
+    },
+}
+
+/// Allgather algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllgatherAlgo {
+    /// Ring: P-1 rounds of neighbor exchange.
+    Ring,
+    /// Recursive doubling (power-of-two rank counts; falls back to ring
+    /// otherwise).
+    RecursiveDoubling,
+}
+
+/// Collective-layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveConfig {
+    /// Allreduce algorithm.
+    pub allreduce: AllreduceAlgo,
+    /// Broadcast algorithm.
+    pub bcast: BcastAlgo,
+    /// Allgather algorithm.
+    pub allgather: AllgatherAlgo,
+    /// Local reduction cost in picoseconds per byte (charged as compute
+    /// during reduction rounds).
+    pub reduce_cost_ps_per_byte: u64,
+}
+
+impl Default for CollectiveConfig {
+    fn default() -> Self {
+        Self {
+            // MPICH-like switchovers: ~2 KiB for allreduce, ~512 KiB for
+            // bcast.
+            allreduce: AllreduceAlgo::Auto { threshold: 2048 },
+            bcast: BcastAlgo::Auto {
+                threshold: 512 * 1024,
+            },
+            allgather: AllgatherAlgo::Ring,
+            reduce_cost_ps_per_byte: 250, // ~4 GB/s local combine
+        }
+    }
+}
+
+impl CollectiveConfig {
+    /// Local combine cost for a payload of `bytes`, in ns of CPU work.
+    #[inline]
+    pub fn reduce_work(&self, bytes: u64) -> Work {
+        (bytes as u128 * self.reduce_cost_ps_per_byte as u128 / 1000) as Work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Prod.apply(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            assert_eq!(op.apply(op.identity(), 7.5), 7.5);
+        }
+    }
+
+    #[test]
+    fn coll_tags_are_distinct_across_seq_round_phase() {
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..8 {
+            for round in 0..8 {
+                for phase in 0..4 {
+                    assert!(seen.insert(coll_tag(seq, round, phase)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coll_tags_are_above_user_space() {
+        assert!(coll_tag(0, 0, 0) >= COLL_TAG_BASE);
+        assert!(coll_tag(1 << 30, 4095, 15) >= COLL_TAG_BASE);
+    }
+
+    #[test]
+    fn reduce_work_scales_with_bytes() {
+        let cfg = CollectiveConfig::default();
+        assert_eq!(cfg.reduce_work(0), 0);
+        assert_eq!(cfg.reduce_work(4000), 1000); // 4000 B * 250 ps = 1 us
+    }
+
+    #[test]
+    fn default_config_is_auto() {
+        let cfg = CollectiveConfig::default();
+        assert_eq!(cfg.allreduce, AllreduceAlgo::Auto { threshold: 2048 });
+        assert_eq!(cfg.allgather, AllgatherAlgo::Ring);
+    }
+}

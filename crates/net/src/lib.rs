@@ -1,0 +1,28 @@
+//! # ghost-net — the simulated interconnect
+//!
+//! GhostSim's stand-in for the SC'07 testbed's custom interconnect (Red
+//! Storm's 3-D mesh). The model is LogGP — the standard parametrization of
+//! message cost in parallel-computing analysis:
+//!
+//! * `L` — end-to-end wire latency of a minimal message,
+//! * `o` — CPU overhead paid by sender and receiver per message (this is the
+//!   part OS noise can delay!),
+//! * `g` — minimum gap between consecutive message injections,
+//! * `G` — additional wire time per byte (inverse bandwidth).
+//!
+//! A [`topology::Topology`] adds per-hop latency on top of `L`, so machine
+//! shape (3-D torus vs. fat tree vs. idealized flat network) affects
+//! collective timing the way it does on real machines.
+//!
+//! Messages traverse the network contention-free: the paper's effects are
+//! CPU-interference effects, and its experiments were run on a network
+//! provisioned well below saturation, so contention modeling is deliberately
+//! out of scope (documented in DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod loggp;
+pub mod topology;
+
+pub use loggp::{LogGP, Network};
+pub use topology::{Dragonfly, FatTree, Flat, Topology, Torus3D};

@@ -1,0 +1,241 @@
+//! LogGP message-cost model and machine presets.
+
+use ghost_engine::time::{Time, US};
+
+use crate::topology::Topology;
+
+/// LogGP parameters, all times in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogGP {
+    /// End-to-end latency of a minimal message (excluding per-hop cost).
+    pub l: Time,
+    /// Per-message CPU overhead on each side (send and receive).
+    pub o: Time,
+    /// Minimum gap between consecutive message injections from one node.
+    pub g: Time,
+    /// Per-byte wire time in picoseconds (1000/G_ps = GB/s). Stored in
+    /// picoseconds so single-digit-ns/byte networks are representable
+    /// without losing sub-ns precision on large messages.
+    pub big_g_ps: u64,
+    /// Additional latency per network hop.
+    pub per_hop: Time,
+}
+
+impl LogGP {
+    /// Wire time for a `bytes`-byte payload over `hops` hops: `L + hops*per_hop + bytes*G`.
+    #[inline]
+    pub fn wire_time(&self, bytes: u64, hops: u32) -> Time {
+        let byte_time = (bytes as u128 * self.big_g_ps as u128 / 1000) as Time;
+        self.l + self.per_hop * hops as Time + byte_time
+    }
+
+    /// CPU overhead to send one message (subject to noise).
+    #[inline]
+    pub fn send_overhead(&self) -> Time {
+        self.o
+    }
+
+    /// CPU overhead to receive/process one message (subject to noise).
+    #[inline]
+    pub fn recv_overhead(&self) -> Time {
+        self.o
+    }
+
+    /// Effective bandwidth in GB/s implied by `big_g_ps`.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        if self.big_g_ps == 0 {
+            f64::INFINITY
+        } else {
+            1000.0 / self.big_g_ps as f64
+        }
+    }
+
+    /// A Red-Storm-like MPP interconnect: ~4 µs zero-byte latency, ~2 GB/s,
+    /// low per-message overhead, 50 ns per hop.
+    pub fn mpp() -> Self {
+        Self {
+            l: 3 * US,
+            o: 500,
+            g: 300,
+            big_g_ps: 500, // 2 GB/s
+            per_hop: 50,
+        }
+    }
+
+    /// A commodity GigE-class cluster: tens of µs latency, ~0.1 GB/s, heavy
+    /// per-message overhead.
+    pub fn commodity() -> Self {
+        Self {
+            l: 30 * US,
+            o: 5 * US,
+            g: 2 * US,
+            big_g_ps: 10_000, // 0.1 GB/s
+            per_hop: 200,
+        }
+    }
+
+    /// An idealized zero-cost network, useful for isolating pure noise
+    /// effects in unit tests and model-validation benches.
+    pub fn ideal() -> Self {
+        Self {
+            l: 0,
+            o: 0,
+            g: 0,
+            big_g_ps: 0,
+            per_hop: 0,
+        }
+    }
+}
+
+/// A complete network: LogGP cost model plus topology.
+#[derive(Debug, Clone)]
+pub struct Network {
+    params: LogGP,
+    topology: Box<dyn Topology>,
+}
+
+impl Network {
+    /// Combine a cost model and a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology reports zero nodes.
+    pub fn new(params: LogGP, topology: Box<dyn Topology>) -> Self {
+        assert!(topology.nodes() > 0, "topology has no nodes");
+        Self { params, topology }
+    }
+
+    /// The LogGP parameters.
+    pub fn params(&self) -> &LogGP {
+        &self.params
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology.as_ref()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.topology.nodes()
+    }
+
+    /// Wire delivery time from `src` to `dst` for `bytes` (excludes the
+    /// sender/receiver CPU overheads, which the executor charges against
+    /// each node's noise process).
+    ///
+    /// A self-message costs no wire time.
+    pub fn delivery(&self, src: usize, dst: usize, bytes: u64) -> Time {
+        if src == dst {
+            return 0;
+        }
+        let hops = self.topology.hops(src, dst);
+        self.params.wire_time(bytes, hops)
+    }
+
+    /// Per-message send CPU overhead.
+    pub fn send_overhead(&self) -> Time {
+        self.params.send_overhead()
+    }
+
+    /// Per-message receive CPU overhead.
+    pub fn recv_overhead(&self) -> Time {
+        self.params.recv_overhead()
+    }
+
+    /// Minimum injection gap.
+    pub fn gap(&self) -> Time {
+        self.params.g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Flat, Torus3D};
+
+    #[test]
+    fn wire_time_components() {
+        let p = LogGP {
+            l: 1000,
+            o: 100,
+            g: 50,
+            big_g_ps: 500,
+            per_hop: 10,
+        };
+        // 8 bytes over 3 hops: 1000 + 30 + 8*0.5 = 1034.
+        assert_eq!(p.wire_time(8, 3), 1034);
+        // Zero bytes, zero hops: just L.
+        assert_eq!(p.wire_time(0, 0), 1000);
+    }
+
+    #[test]
+    fn byte_time_rounds_down_in_picoseconds() {
+        let p = LogGP {
+            l: 0,
+            o: 0,
+            g: 0,
+            big_g_ps: 300,
+            per_hop: 0,
+        };
+        // 10 bytes * 300ps = 3000ps = 3ns.
+        assert_eq!(p.wire_time(10, 0), 3);
+        // 1 byte * 300ps = 0.3ns -> truncates to 0.
+        assert_eq!(p.wire_time(1, 0), 0);
+    }
+
+    #[test]
+    fn large_message_does_not_overflow() {
+        let p = LogGP::commodity();
+        // 1 GiB at 10ns/byte ~= 10.7s; must not overflow.
+        let t = p.wire_time(1 << 30, 6);
+        assert!(t > 10 * ghost_engine::time::SEC);
+    }
+
+    #[test]
+    fn bandwidth_accessor() {
+        assert!((LogGP::mpp().bandwidth_gbps() - 2.0).abs() < 1e-9);
+        assert!(LogGP::ideal().bandwidth_gbps().is_infinite());
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let mpp = LogGP::mpp();
+        let com = LogGP::commodity();
+        assert!(mpp.l < com.l);
+        assert!(mpp.o < com.o);
+        assert!(mpp.big_g_ps < com.big_g_ps);
+    }
+
+    #[test]
+    fn network_delivery_uses_hops() {
+        let net = Network::new(
+            LogGP {
+                l: 1000,
+                o: 0,
+                g: 0,
+                big_g_ps: 0,
+                per_hop: 100,
+            },
+            Box::new(Torus3D::new(4, 4, 4)),
+        );
+        // Nodes 0 and 1 are one hop apart in x.
+        assert_eq!(net.delivery(0, 1, 0), 1100);
+        // Self-message is free.
+        assert_eq!(net.delivery(5, 5, 1 << 20), 0);
+    }
+
+    #[test]
+    fn flat_network_is_uniform() {
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(64)));
+        let d1 = net.delivery(0, 1, 8);
+        let d2 = net.delivery(3, 60, 8);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_topology_panics() {
+        Network::new(LogGP::ideal(), Box::new(Flat::new(0)));
+    }
+}

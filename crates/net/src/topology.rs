@@ -1,0 +1,452 @@
+//! Machine topologies: node layout and hop distances.
+
+/// A network topology: how many nodes exist and how many switch/router hops
+/// separate any pair.
+pub trait Topology: std::fmt::Debug + Send + Sync {
+    /// Total node count.
+    fn nodes(&self) -> usize;
+
+    /// Hop count between two nodes (0 for `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if a node id is out of range.
+    fn hops(&self, a: usize, b: usize) -> u32;
+
+    /// Clone into a box (object-safe clone).
+    fn clone_box(&self) -> Box<dyn Topology>;
+
+    /// Short name for reports.
+    fn name(&self) -> String;
+}
+
+impl Clone for Box<dyn Topology> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Idealized flat topology: every distinct pair is exactly one hop apart
+/// (a single giant crossbar). The default for experiments that should not
+/// depend on machine shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Flat {
+    nodes: usize,
+}
+
+impl Flat {
+    /// A flat network of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self { nodes }
+    }
+}
+
+impl Topology for Flat {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.nodes && b < self.nodes, "node id out of range");
+        u32::from(a != b)
+    }
+
+    fn clone_box(&self) -> Box<dyn Topology> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> String {
+        format!("flat({})", self.nodes)
+    }
+}
+
+/// A 3-D torus (Red Storm's mesh, with wraparound): node `i` sits at
+/// coordinates `(i % x, (i / x) % y, i / (x*y))`; hop distance is the sum of
+/// per-dimension wraparound distances (dimension-ordered routing).
+#[derive(Debug, Clone, Copy)]
+pub struct Torus3D {
+    x: usize,
+    y: usize,
+    z: usize,
+}
+
+impl Torus3D {
+    /// An `x * y * z` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "torus dimensions must be positive");
+        Self { x, y, z }
+    }
+
+    /// The smallest torus of at least `n` nodes with near-cubic dimensions
+    /// (used by scale sweeps so topology grows realistically with P).
+    pub fn at_least(n: usize) -> Self {
+        assert!(n > 0);
+        let mut x = (n as f64).cbrt().floor() as usize;
+        x = x.max(1);
+        loop {
+            let mut y = x;
+            let mut z;
+            loop {
+                z = n.div_ceil(x * y);
+                if z <= y {
+                    break;
+                }
+                y += 1;
+            }
+            let t = Self::new(x, y.max(1), z.max(1));
+            if t.nodes() >= n {
+                return t;
+            }
+            x += 1;
+        }
+    }
+
+    /// Coordinates of node `i`.
+    pub fn coords(&self, i: usize) -> (usize, usize, usize) {
+        assert!(i < self.nodes(), "node id out of range");
+        (i % self.x, (i / self.x) % self.y, i / (self.x * self.y))
+    }
+
+    /// Node id at coordinates.
+    pub fn index(&self, c: (usize, usize, usize)) -> usize {
+        assert!(c.0 < self.x && c.1 < self.y && c.2 < self.z);
+        c.0 + c.1 * self.x + c.2 * self.x * self.y
+    }
+
+    fn dim_dist(a: usize, b: usize, extent: usize) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(extent - d) as u32
+    }
+
+    /// The six nearest neighbors of node `i` (±1 in each dimension, with
+    /// wraparound), in x−, x+, y−, y+, z−, z+ order. Neighbors coinciding
+    /// with `i` (extent-1 dimensions) are included as returned by the torus
+    /// arithmetic.
+    pub fn neighbors(&self, i: usize) -> [usize; 6] {
+        let (cx, cy, cz) = self.coords(i);
+        [
+            self.index(((cx + self.x - 1) % self.x, cy, cz)),
+            self.index(((cx + 1) % self.x, cy, cz)),
+            self.index((cx, (cy + self.y - 1) % self.y, cz)),
+            self.index((cx, (cy + 1) % self.y, cz)),
+            self.index((cx, cy, (cz + self.z - 1) % self.z)),
+            self.index((cx, cy, (cz + 1) % self.z)),
+        ]
+    }
+}
+
+impl Topology for Torus3D {
+    fn nodes(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        Self::dim_dist(ca.0, cb.0, self.x)
+            + Self::dim_dist(ca.1, cb.1, self.y)
+            + Self::dim_dist(ca.2, cb.2, self.z)
+    }
+
+    fn clone_box(&self) -> Box<dyn Topology> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> String {
+        format!("torus3d({}x{}x{})", self.x, self.y, self.z)
+    }
+}
+
+/// A three-level fat tree: nodes are grouped into leaf switches of `arity`
+/// ports; leaf switches into pods of `arity` switches; pods under a core
+/// layer. Hop counts: same node 0, same leaf 2, same pod 4, otherwise 6.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTree {
+    nodes: usize,
+    arity: usize,
+}
+
+impl FatTree {
+    /// A fat tree over `nodes` nodes with switch `arity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(nodes: usize, arity: usize) -> Self {
+        assert!(arity > 0, "fat-tree arity must be positive");
+        Self { nodes, arity }
+    }
+
+    fn leaf(&self, i: usize) -> usize {
+        i / self.arity
+    }
+
+    fn pod(&self, i: usize) -> usize {
+        self.leaf(i) / self.arity
+    }
+}
+
+impl Topology for FatTree {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.nodes && b < self.nodes, "node id out of range");
+        if a == b {
+            0
+        } else if self.leaf(a) == self.leaf(b) {
+            2
+        } else if self.pod(a) == self.pod(b) {
+            4
+        } else {
+            6
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Topology> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> String {
+        format!("fattree({}, arity {})", self.nodes, self.arity)
+    }
+}
+
+/// A dragonfly topology: `groups` of `routers_per_group` routers, each
+/// hosting `nodes_per_router` nodes. Minimal routing hop model: same router
+/// 1 hop; same group 2 hops (one local link); different groups 4 hops
+/// (local, global, local, injection).
+#[derive(Debug, Clone, Copy)]
+pub struct Dragonfly {
+    groups: usize,
+    routers_per_group: usize,
+    nodes_per_router: usize,
+}
+
+impl Dragonfly {
+    /// A dragonfly with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(groups: usize, routers_per_group: usize, nodes_per_router: usize) -> Self {
+        assert!(
+            groups > 0 && routers_per_group > 0 && nodes_per_router > 0,
+            "dragonfly dimensions must be positive"
+        );
+        Self {
+            groups,
+            routers_per_group,
+            nodes_per_router,
+        }
+    }
+
+    /// A balanced dragonfly (a = 2p, g = a*h heuristic simplified to a
+    /// near-square shape) of at least `n` nodes.
+    pub fn at_least(n: usize) -> Self {
+        assert!(n > 0);
+        let mut p = 1;
+        loop {
+            let a = 2 * p;
+            let g = a + 1;
+            let d = Self::new(g, a, p);
+            if d.nodes() >= n {
+                return d;
+            }
+            p += 1;
+        }
+    }
+
+    fn router(&self, node: usize) -> usize {
+        node / self.nodes_per_router
+    }
+
+    fn group(&self, node: usize) -> usize {
+        self.router(node) / self.routers_per_group
+    }
+}
+
+impl Topology for Dragonfly {
+    fn nodes(&self) -> usize {
+        self.groups * self.routers_per_group * self.nodes_per_router
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        assert!(
+            a < self.nodes() && b < self.nodes(),
+            "node id out of range"
+        );
+        if a == b {
+            0
+        } else if self.router(a) == self.router(b) {
+            1
+        } else if self.group(a) == self.group(b) {
+            2
+        } else {
+            4
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Topology> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "dragonfly({}g x {}r x {}n)",
+            self.groups, self.routers_per_group, self.nodes_per_router
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn flat_hops() {
+        let t = Flat::new(8);
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.hops(3, 3), 0);
+        assert_eq!(t.hops(0, 7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_rejects_bad_id() {
+        Flat::new(4).hops(0, 4);
+    }
+
+    #[test]
+    fn torus_coords_roundtrip() {
+        let t = Torus3D::new(4, 3, 2);
+        for i in 0..t.nodes() {
+            assert_eq!(t.index(t.coords(i)), i);
+        }
+    }
+
+    #[test]
+    fn torus_hops_known_values() {
+        let t = Torus3D::new(4, 4, 4);
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1); // +x
+        assert_eq!(t.hops(0, 3), 1); // wraparound x: distance min(3, 1)
+        assert_eq!(t.hops(0, 2), 2); // halfway around x
+        assert_eq!(t.hops(0, t.index((2, 2, 2))), 6);
+    }
+
+    #[test]
+    fn torus_neighbors_are_one_hop() {
+        let t = Torus3D::new(4, 4, 4);
+        for i in [0, 13, 63] {
+            for n in t.neighbors(i) {
+                assert_eq!(t.hops(i, n), 1, "{i} -> {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_at_least_covers_request() {
+        for n in [1, 2, 7, 8, 64, 100, 1000, 4096] {
+            let t = Torus3D::at_least(n);
+            assert!(t.nodes() >= n, "{n} -> {:?} ({})", t, t.nodes());
+            // Not wasteful: at most ~3x overshoot for awkward sizes.
+            assert!(t.nodes() <= 3 * n + 8, "{n} -> {} nodes", t.nodes());
+        }
+    }
+
+    #[test]
+    fn fat_tree_hop_ladder() {
+        let t = FatTree::new(64, 4);
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 3), 2); // same leaf (nodes 0..4)
+        assert_eq!(t.hops(0, 15), 4); // same pod (nodes 0..16)
+        assert_eq!(t.hops(0, 63), 6); // across pods
+    }
+
+    #[test]
+    fn dragonfly_hop_ladder() {
+        let d = Dragonfly::new(3, 4, 2); // 24 nodes
+        assert_eq!(d.nodes(), 24);
+        assert_eq!(d.hops(0, 0), 0);
+        assert_eq!(d.hops(0, 1), 1); // same router
+        assert_eq!(d.hops(0, 2), 2); // same group, next router
+        assert_eq!(d.hops(0, 8), 4); // next group
+    }
+
+    #[test]
+    fn dragonfly_at_least_covers() {
+        for n in [1, 10, 64, 500, 2048] {
+            let d = Dragonfly::at_least(n);
+            assert!(d.nodes() >= n, "{n} -> {}", d.nodes());
+        }
+    }
+
+    #[test]
+    fn dragonfly_symmetric_hops() {
+        let d = Dragonfly::new(4, 4, 4);
+        for a in [0, 17, 43, 63] {
+            for b in [0, 17, 43, 63] {
+                assert_eq!(d.hops(a, b), d.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_topology_clones() {
+        let b: Box<dyn Topology> = Box::new(Torus3D::new(2, 2, 2));
+        let c = b.clone();
+        assert_eq!(c.nodes(), 8);
+        assert_eq!(c.name(), "torus3d(2x2x2)");
+    }
+
+    proptest! {
+        #[test]
+        fn torus_hops_symmetric(
+            x in 1usize..6, y in 1usize..6, z in 1usize..6,
+            a in 0usize..200, b in 0usize..200,
+        ) {
+            let t = Torus3D::new(x, y, z);
+            let n = t.nodes();
+            let (a, b) = (a % n, b % n);
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        }
+
+        #[test]
+        fn torus_triangle_inequality(
+            x in 1usize..5, y in 1usize..5, z in 1usize..5,
+            a in 0usize..200, b in 0usize..200, c in 0usize..200,
+        ) {
+            let t = Torus3D::new(x, y, z);
+            let n = t.nodes();
+            let (a, b, c) = (a % n, b % n, c % n);
+            prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        }
+
+        #[test]
+        fn torus_identity_of_indiscernibles(
+            x in 1usize..5, y in 1usize..5, z in 1usize..5,
+            a in 0usize..200,
+        ) {
+            let t = Torus3D::new(x, y, z);
+            let a = a % t.nodes();
+            prop_assert_eq!(t.hops(a, a), 0);
+        }
+
+        #[test]
+        fn fat_tree_symmetric(
+            n in 1usize..500, arity in 1usize..16,
+            a in 0usize..500, b in 0usize..500,
+        ) {
+            let t = FatTree::new(n, arity);
+            let (a, b) = (a % n, b % n);
+            prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        }
+    }
+}

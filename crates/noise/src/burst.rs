@@ -1,0 +1,207 @@
+//! Bursty (Markov on/off) noise: interrupt storms.
+//!
+//! Some real noise sources are neither periodic nor memoryless: a NIC
+//! interrupt storm, a paging flurry, or a logging daemon flushes arrive in
+//! *episodes* — long quiet stretches, then a dense burst of short pulses.
+//! [`BurstNoise`] models this as a two-state continuous-time Markov process:
+//! exponential quiet sojourns, exponential burst lengths, and within a burst
+//! a dense pulse train. Its net intensity can match a canonical signature
+//! while concentrating the damage even more than 10 Hz periodic pulses do.
+
+use ghost_engine::rng::{NodeStream, Xoshiro256};
+use ghost_engine::time::Time;
+
+use crate::intervals::{Interval, IntervalNoise, IntervalSource};
+use crate::model::{streams, NodeNoise, NoiseModel};
+
+/// Two-state bursty noise configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstNoise {
+    /// Mean quiet-period length (ns).
+    pub mean_quiet: Time,
+    /// Mean burst-episode length (ns).
+    pub mean_burst: Time,
+    /// Pulse length within a burst (ns).
+    pub pulse: Time,
+    /// Pulse period within a burst (ns); duty inside a burst is
+    /// `pulse / pulse_period`.
+    pub pulse_period: Time,
+}
+
+impl BurstNoise {
+    /// Create a burst process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero parameters or `pulse > pulse_period`.
+    pub fn new(mean_quiet: Time, mean_burst: Time, pulse: Time, pulse_period: Time) -> Self {
+        assert!(mean_quiet > 0 && mean_burst > 0, "sojourns must be positive");
+        assert!(
+            pulse > 0 && pulse <= pulse_period,
+            "pulse {pulse} must be in (0, period {pulse_period}]"
+        );
+        Self {
+            mean_quiet,
+            mean_burst,
+            pulse,
+            pulse_period,
+        }
+    }
+
+    /// Long-run stolen fraction:
+    /// `burst_share * in-burst duty` with
+    /// `burst_share = mean_burst / (mean_quiet + mean_burst)`.
+    pub fn nominal_fraction(&self) -> f64 {
+        let share = self.mean_burst as f64 / (self.mean_quiet + self.mean_burst) as f64;
+        share * self.pulse as f64 / self.pulse_period as f64
+    }
+}
+
+/// Interval stream of one node's burst process.
+pub struct BurstSource {
+    cfg: BurstNoise,
+    rng: Xoshiro256,
+    /// End of the current burst episode (pulses are emitted while inside).
+    burst_end: Time,
+    /// Next pulse start.
+    next_pulse: Time,
+}
+
+impl BurstSource {
+    fn advance_to_next_burst(&mut self) {
+        // Quiet sojourn, then a new burst window.
+        let quiet = self.rng.exp(1.0 / self.cfg.mean_quiet as f64).round() as Time;
+        let start = self.burst_end + quiet.max(1);
+        let len = self.rng.exp(1.0 / self.cfg.mean_burst as f64).round() as Time;
+        self.burst_end = start + len.max(self.cfg.pulse);
+        self.next_pulse = start;
+    }
+}
+
+impl IntervalSource for BurstSource {
+    fn next_interval(&mut self) -> Option<Interval> {
+        // Emit pulses until the burst window closes, then jump to the next
+        // burst.
+        while self.next_pulse + self.cfg.pulse > self.burst_end {
+            self.advance_to_next_burst();
+        }
+        let start = self.next_pulse;
+        self.next_pulse = start + self.cfg.pulse_period;
+        Some(Interval::new(start, start + self.cfg.pulse))
+    }
+}
+
+impl NoiseModel for BurstNoise {
+    fn instantiate(&self, node: usize, s: &NodeStream) -> Box<dyn NodeNoise> {
+        let mut rng = s.for_node(node, streams::ARRIVALS ^ 0xB0B0);
+        // Random initial phase: start mid-quiet on average.
+        let first_quiet = rng.exp(1.0 / self.mean_quiet as f64).round() as Time;
+        let burst_end = first_quiet.max(1);
+        let src = BurstSource {
+            cfg: *self,
+            rng,
+            burst_end,
+            // Equal to burst_end: the first pull immediately advances to the
+            // first real burst episode.
+            next_pulse: burst_end,
+        };
+        Box::new(IntervalNoise::new(src))
+    }
+
+    fn net_fraction(&self) -> f64 {
+        self.nominal_fraction()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "burst (quiet ~{}, burst ~{}, {} / {} pulses, {:.2}% net)",
+            ghost_engine::time::format_time(self.mean_quiet),
+            ghost_engine::time::format_time(self.mean_burst),
+            ghost_engine::time::format_time(self.pulse),
+            ghost_engine::time::format_time(self.pulse_period),
+            self.nominal_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stochastic::realized_fraction;
+    use ghost_engine::time::{MS, SEC, US};
+
+    fn storm() -> BurstNoise {
+        // Quiet ~190 ms, bursts ~10 ms at 50% duty: 2.5% net.
+        BurstNoise::new(190 * MS, 10 * MS, 50 * US, 100 * US)
+    }
+
+    #[test]
+    fn nominal_fraction_formula() {
+        let b = storm();
+        assert!((b.nominal_fraction() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realized_fraction_near_nominal() {
+        let b = storm();
+        // Long horizon: episode process needs many cycles to converge.
+        let f = realized_fraction(&b, 0, 3, 200 * SEC);
+        assert!(
+            (f - 0.025).abs() < 0.012,
+            "realized {f} vs nominal {}",
+            b.nominal_fraction()
+        );
+    }
+
+    #[test]
+    fn bursts_are_clustered() {
+        // Within one episode pulses are pulse_period apart; across episodes
+        // gaps are ~mean_quiet. Verify both gap populations exist.
+        let b = storm();
+        let s = NodeStream::new(5);
+        let mut n = b.instantiate(0, &s);
+        let mut frees = Vec::new();
+        let mut t = 0;
+        // Probe every 50 us over ~3 s: covers many quiet/burst episodes.
+        for _ in 0..60_000 {
+            let f = n.next_free(t);
+            frees.push(f);
+            t = f + 50 * US;
+        }
+        // Pulse onsets: instants where next_free jumped.
+        let mut gaps = Vec::new();
+        let mut last_hit = None;
+        for (i, w) in frees.windows(2).enumerate() {
+            if w[1] > w[0] + 50 * US {
+                if let Some(l) = last_hit {
+                    gaps.push(i - l);
+                }
+                last_hit = Some(i);
+            }
+        }
+        assert!(!gaps.is_empty(), "no noise encountered");
+        let small = gaps.iter().filter(|&&g| g < 20).count();
+        let large = gaps.iter().filter(|&&g| g > 500).count();
+        assert!(small > 0, "no intra-burst clustering: {gaps:?}");
+        assert!(large > 0, "no quiet periods: gaps max {:?}", gaps.iter().max());
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let b = storm();
+        let f1 = realized_fraction(&b, 2, 9, 20 * SEC);
+        let f2 = realized_fraction(&b, 2, 9, 20 * SEC);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, period")]
+    fn oversized_pulse_panics() {
+        BurstNoise::new(MS, MS, 200, 100);
+    }
+
+    #[test]
+    fn describe_mentions_burst() {
+        assert!(storm().describe().contains("burst"));
+    }
+}

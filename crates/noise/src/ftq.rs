@@ -1,0 +1,236 @@
+//! FTQ and FWQ: the noise microbenchmarks.
+//!
+//! The paper verifies its injected noise with the standard OS-noise
+//! measurement pair:
+//!
+//! * **FWQ (Fixed Work Quanta)** — repeatedly execute a fixed amount of work
+//!   and record how long each repetition took. Repetitions hit by noise take
+//!   longer; the per-sample *overhead* distribution characterizes the noise.
+//! * **FTQ (Fixed Time Quanta)** — divide time into fixed quanta and record
+//!   how much work completed in each. Quanta hit by noise complete less
+//!   work; the sample series' power spectrum reveals noise periodicity.
+//!
+//! In GhostSim the benchmarks run against a node's simulated noise process,
+//! which is exactly how they behave on real hardware (they observe whatever
+//! steals the CPU).
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Time, Work};
+
+use crate::model::{NodeNoise, NoiseModel};
+use crate::stats::Summary;
+
+/// Result of an FWQ run: per-repetition elapsed times for a fixed work
+/// quantum.
+#[derive(Debug, Clone)]
+pub struct FwqRun {
+    /// The fixed work per repetition, in ns of CPU.
+    pub work: Work,
+    /// Elapsed wall-clock time of each repetition, in ns.
+    pub samples: Vec<Time>,
+}
+
+impl FwqRun {
+    /// Per-sample noise overhead: `elapsed - work` for each repetition.
+    pub fn overheads(&self) -> Vec<Time> {
+        self.samples.iter().map(|&s| s - self.work).collect()
+    }
+
+    /// Measured net noise fraction: total overhead / total elapsed.
+    pub fn measured_noise_fraction(&self) -> f64 {
+        let total: Time = self.samples.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let overhead: Time = self.overheads().iter().sum();
+        overhead as f64 / total as f64
+    }
+
+    /// Summary statistics of the elapsed-time samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of_u64(&self.samples)
+    }
+
+    /// Fraction of repetitions hit by any noise at all.
+    pub fn hit_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let hit = self.samples.iter().filter(|&&s| s > self.work).count();
+        hit as f64 / self.samples.len() as f64
+    }
+}
+
+/// Run FWQ against `model` on `node`: `samples` repetitions of `work` ns.
+pub fn fwq(model: &dyn NoiseModel, node: usize, seed: u64, work: Work, samples: usize) -> FwqRun {
+    let streams = NodeStream::new(seed);
+    let mut noise = model.instantiate(node, &streams);
+    fwq_on(noise.as_mut(), work, samples)
+}
+
+/// Run FWQ against an already instantiated per-node process.
+pub fn fwq_on(noise: &mut dyn NodeNoise, work: Work, samples: usize) -> FwqRun {
+    assert!(work > 0, "FWQ work quantum must be positive");
+    let mut out = Vec::with_capacity(samples);
+    let mut t = 0;
+    for _ in 0..samples {
+        let end = noise.advance(t, work);
+        out.push(end - t);
+        t = end;
+    }
+    FwqRun {
+        work,
+        samples: out,
+    }
+}
+
+/// Result of an FTQ run: work completed in each fixed time quantum.
+#[derive(Debug, Clone)]
+pub struct FtqRun {
+    /// The quantum length in ns.
+    pub quantum: Time,
+    /// Work completed (ns of CPU) within each quantum.
+    pub samples: Vec<Work>,
+}
+
+impl FtqRun {
+    /// Measured net noise fraction: 1 − total work / total time.
+    pub fn measured_noise_fraction(&self) -> f64 {
+        let total_time = self.quantum as u128 * self.samples.len() as u128;
+        if total_time == 0 {
+            return 0.0;
+        }
+        let total_work: u128 = self.samples.iter().map(|&w| w as u128).sum();
+        1.0 - total_work as f64 / total_time as f64
+    }
+
+    /// Summary statistics of per-quantum completed work.
+    pub fn summary(&self) -> Summary {
+        Summary::of_u64(&self.samples)
+    }
+
+    /// The sampling rate in Hz (quanta per second).
+    pub fn sample_rate_hz(&self) -> f64 {
+        ghost_engine::time::period_to_hz(self.quantum)
+    }
+
+    /// Per-quantum *lost* work (`quantum - completed`), the series whose
+    /// spectrum exposes injection frequency.
+    pub fn lost(&self) -> Vec<Work> {
+        self.samples.iter().map(|&w| self.quantum - w).collect()
+    }
+}
+
+/// Run FTQ against `model` on `node`: `samples` quanta of `quantum` ns each.
+pub fn ftq(model: &dyn NoiseModel, node: usize, seed: u64, quantum: Time, samples: usize) -> FtqRun {
+    let streams = NodeStream::new(seed);
+    let mut noise = model.instantiate(node, &streams);
+    ftq_on(noise.as_mut(), quantum, samples)
+}
+
+/// Run FTQ against an already instantiated per-node process.
+pub fn ftq_on(noise: &mut dyn NodeNoise, quantum: Time, samples: usize) -> FtqRun {
+    assert!(quantum > 0, "FTQ quantum must be positive");
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples as u64 {
+        let t0 = i * quantum;
+        let t1 = t0 + quantum;
+        out.push(noise.work_in(t0, t1));
+    }
+    FtqRun {
+        quantum,
+        samples: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NoNoise, PhasePolicy};
+    use crate::signature::Signature;
+    use ghost_engine::time::{MS, US};
+
+    #[test]
+    fn fwq_noiseless_is_flat() {
+        let run = fwq(&NoNoise, 0, 1, MS, 100);
+        assert!(run.samples.iter().all(|&s| s == MS));
+        assert_eq!(run.measured_noise_fraction(), 0.0);
+        assert_eq!(run.hit_fraction(), 0.0);
+        assert!(run.overheads().iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn ftq_noiseless_is_full() {
+        let run = ftq(&NoNoise, 0, 1, MS, 100);
+        assert!(run.samples.iter().all(|&w| w == MS));
+        assert_eq!(run.measured_noise_fraction(), 0.0);
+        assert!(run.lost().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn fwq_measures_injected_net_fraction() {
+        for sig in crate::signature::canonical_2_5pct() {
+            let m = sig.periodic_model(PhasePolicy::Aligned);
+            let run = fwq(&m, 0, 1, MS, 5_000);
+            let f = run.measured_noise_fraction();
+            assert!(
+                (f - 0.025).abs() < 0.002,
+                "{}: measured {f}",
+                sig.label()
+            );
+        }
+    }
+
+    #[test]
+    fn ftq_measures_injected_net_fraction() {
+        for sig in crate::signature::canonical_2_5pct() {
+            let m = sig.periodic_model(PhasePolicy::Random);
+            let run = ftq(&m, 3, 7, MS, 5_000);
+            let f = run.measured_noise_fraction();
+            assert!(
+                (f - 0.025).abs() < 0.002,
+                "{}: measured {f}",
+                sig.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fwq_hit_fraction_scales_with_frequency() {
+        // At 1 ms work quanta: 10 Hz noise hits ~1% of samples, 1000 Hz
+        // noise hits essentially every sample.
+        let low = Signature::new(10.0, 2500 * US).periodic_model(PhasePolicy::Aligned);
+        let high = Signature::new(1000.0, 25 * US).periodic_model(PhasePolicy::Aligned);
+        let run_low = fwq(&low, 0, 1, MS, 4_000);
+        let run_high = fwq(&high, 0, 1, MS, 4_000);
+        assert!(run_low.hit_fraction() < 0.05, "{}", run_low.hit_fraction());
+        assert!(run_high.hit_fraction() > 0.9, "{}", run_high.hit_fraction());
+    }
+
+    #[test]
+    fn fwq_overhead_magnitude_reflects_duration() {
+        // Low-frequency long noise: rare but large overheads.
+        let m = Signature::new(10.0, 2500 * US).periodic_model(PhasePolicy::Aligned);
+        let run = fwq(&m, 0, 1, MS, 4_000);
+        let max = *run.overheads().iter().max().unwrap();
+        assert!(max >= 2500 * US, "max overhead {max}");
+    }
+
+    #[test]
+    fn ftq_sample_rate() {
+        let run = ftq(&NoNoise, 0, 1, MS, 10);
+        assert!((run.sample_rate_hz() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fwq_zero_work_panics() {
+        fwq(&NoNoise, 0, 1, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn ftq_zero_quantum_panics() {
+        ftq(&NoNoise, 0, 1, 0, 10);
+    }
+}

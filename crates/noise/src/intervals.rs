@@ -1,0 +1,454 @@
+//! Interval-stream noise: a generic adapter from "a stream of stolen CPU
+//! intervals" to the [`NodeNoise`] trait.
+//!
+//! Periodic noise has a closed form, but stochastic processes (Poisson
+//! arrivals, Bernoulli time slices), trace replay, and compositions of
+//! several sources are most naturally expressed as a lazily generated,
+//! time-ordered stream of `[start, end)` intervals. [`IntervalNoise`] sweeps
+//! such a stream with a forward-only cursor, which is sufficient because the
+//! executor queries each node monotonically in time.
+
+use ghost_engine::time::{Time, Work};
+
+use crate::model::NodeNoise;
+
+/// A stolen-CPU interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First stolen nanosecond.
+    pub start: Time,
+    /// One past the last stolen nanosecond.
+    pub end: Time,
+}
+
+impl Interval {
+    /// Construct an interval; panics in debug builds if inverted.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        debug_assert!(end >= start, "inverted interval {start}..{end}");
+        Self { start, end }
+    }
+
+    /// Interval length in nanoseconds.
+    #[inline]
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// An infinite (or effectively infinite) generator of noise intervals.
+///
+/// Implementations must yield intervals with non-decreasing `start`;
+/// overlaps between successive intervals are tolerated (the consumer
+/// merges), which simplifies stochastic sources whose pulses can collide.
+pub trait IntervalSource: Send {
+    /// Produce the next interval, or `None` if the source is exhausted
+    /// (finite traces).
+    fn next_interval(&mut self) -> Option<Interval>;
+}
+
+/// Blanket adapter: any boxed source is a source.
+impl IntervalSource for Box<dyn IntervalSource> {
+    fn next_interval(&mut self) -> Option<Interval> {
+        (**self).next_interval()
+    }
+}
+
+/// [`NodeNoise`] implementation over any [`IntervalSource`].
+///
+/// Maintains the current not-yet-passed interval and merges overlapping
+/// pulses on the fly.
+pub struct IntervalNoise<S> {
+    source: S,
+    /// Next noise interval whose `end` is beyond the cursor, if any.
+    cur: Option<Interval>,
+    /// Last query time, to enforce (in debug builds) the monotonicity
+    /// contract.
+    watermark: Time,
+    exhausted: bool,
+}
+
+impl<S: IntervalSource> IntervalNoise<S> {
+    /// Wrap an interval source.
+    pub fn new(source: S) -> Self {
+        Self {
+            source,
+            cur: None,
+            watermark: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Pull intervals until `cur` ends after `t` (merging overlaps), or the
+    /// source is exhausted.
+    fn refill(&mut self, t: Time) {
+        loop {
+            match self.cur {
+                Some(iv) if iv.end > t => {
+                    // Merge any pulses that begin before `iv` ends.
+                    // We peek by pulling; an interval that starts after the
+                    // current end becomes the new pending head only after
+                    // `cur` is consumed, so we only merge true overlaps here.
+                    break;
+                }
+                _ => {
+                    if self.exhausted {
+                        self.cur = None;
+                        break;
+                    }
+                    match self.source.next_interval() {
+                        Some(mut next) => {
+                            // Merge chains of overlapping pulses into one.
+                            if let Some(prev) = self.cur {
+                                if next.start < prev.end {
+                                    next =
+                                        Interval::new(prev.start.min(next.start), prev.end.max(next.end));
+                                }
+                            }
+                            self.cur = Some(next);
+                        }
+                        None => {
+                            self.exhausted = true;
+                            self.cur = None;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_query(&mut self, t: Time) {
+        debug_assert!(
+            t >= self.watermark,
+            "non-monotone noise query: {t} < {}",
+            self.watermark
+        );
+        self.watermark = t;
+    }
+}
+
+impl<S: IntervalSource> NodeNoise for IntervalNoise<S> {
+    fn advance(&mut self, t: Time, work: Work) -> Time {
+        self.note_query(t);
+        let mut now = t;
+        let mut left = work;
+        loop {
+            self.refill(now);
+            match self.cur {
+                None => return now + left, // no more noise ever
+                Some(iv) => {
+                    if now >= iv.start {
+                        // Inside (or at the start of) a pulse: skip it.
+                        now = iv.end;
+                        continue;
+                    }
+                    let gap = iv.start - now;
+                    if left <= gap {
+                        return now + left;
+                    }
+                    left -= gap;
+                    now = iv.end;
+                }
+            }
+        }
+    }
+
+    fn work_in(&mut self, t0: Time, t1: Time) -> Work {
+        self.note_query(t0);
+        debug_assert!(t1 >= t0);
+        let mut free = 0;
+        let mut now = t0;
+        while now < t1 {
+            self.refill(now);
+            match self.cur {
+                None => {
+                    free += t1 - now;
+                    break;
+                }
+                Some(iv) => {
+                    if now < iv.start {
+                        free += iv.start.min(t1) - now;
+                    }
+                    if iv.end >= t1 {
+                        break;
+                    }
+                    now = iv.end;
+                }
+            }
+        }
+        self.watermark = self.watermark.max(t1);
+        free
+    }
+}
+
+/// A source over an explicit, pre-sorted list of intervals (used by trace
+/// replay and tests).
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    intervals: std::vec::IntoIter<Interval>,
+}
+
+impl VecSource {
+    /// Build from a list of intervals, sorting by start.
+    pub fn new(mut intervals: Vec<Interval>) -> Self {
+        intervals.sort_by_key(|iv| iv.start);
+        Self {
+            intervals: intervals.into_iter(),
+        }
+    }
+}
+
+impl IntervalSource for VecSource {
+    fn next_interval(&mut self) -> Option<Interval> {
+        self.intervals.next()
+    }
+}
+
+/// Merge several interval sources into one time-ordered stream.
+///
+/// Pulls lazily: keeps one pending interval per upstream source and yields
+/// the earliest-starting one. Overlap *across* sources is resolved by the
+/// consumer ([`IntervalNoise`] merges overlapping successive intervals).
+pub struct MergeSource<S> {
+    sources: Vec<S>,
+    pending: Vec<Option<Interval>>,
+}
+
+impl<S: IntervalSource> MergeSource<S> {
+    /// Merge the given sources.
+    pub fn new(mut sources: Vec<S>) -> Self {
+        let pending = sources
+            .iter_mut()
+            .map(|s| s.next_interval())
+            .collect();
+        Self { sources, pending }
+    }
+}
+
+impl<S: IntervalSource> IntervalSource for MergeSource<S> {
+    fn next_interval(&mut self) -> Option<Interval> {
+        let mut best: Option<(usize, Interval)> = None;
+        for (i, p) in self.pending.iter().enumerate() {
+            if let Some(iv) = p {
+                match best {
+                    Some((_, b)) if b.start <= iv.start => {}
+                    _ => best = Some((i, *iv)),
+                }
+            }
+        }
+        let (i, iv) = best?;
+        self.pending[i] = self.sources[i].next_interval();
+        Some(iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(ivs: &[(Time, Time)]) -> IntervalNoise<VecSource> {
+        IntervalNoise::new(VecSource::new(
+            ivs.iter().map(|&(s, e)| Interval::new(s, e)).collect(),
+        ))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(5, 9);
+        assert_eq!(iv.len(), 4);
+        assert!(!iv.is_empty());
+        assert!(Interval::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn advance_with_no_intervals() {
+        let mut n = noise(&[]);
+        assert_eq!(n.advance(10, 100), 110);
+    }
+
+    #[test]
+    fn advance_skips_intervals() {
+        let mut n = noise(&[(10, 20), (50, 60)]);
+        // 30 units of work from 0: free [0,10)=10, skip to 20, free
+        // [20,50)=30 -> 10+20=30 done at 40.
+        assert_eq!(n.advance(0, 30), 40);
+    }
+
+    #[test]
+    fn advance_starting_inside_interval() {
+        let mut n = noise(&[(10, 20)]);
+        assert_eq!(n.advance(15, 5), 25);
+    }
+
+    #[test]
+    fn advance_exactly_filling_gap_ends_at_pulse_start() {
+        let mut n = noise(&[(10, 20)]);
+        assert_eq!(n.advance(0, 10), 10);
+    }
+
+    #[test]
+    fn zero_work_returns_next_free() {
+        let mut n = noise(&[(10, 20)]);
+        assert_eq!(n.next_free(12), 20);
+        let mut n = noise(&[(10, 20)]);
+        assert_eq!(n.next_free(5), 5);
+    }
+
+    #[test]
+    fn overlapping_pulses_merge() {
+        let mut n = noise(&[(10, 30), (20, 40), (35, 50)]);
+        // Effective noise [10, 50).
+        assert_eq!(n.advance(0, 15), 55);
+    }
+
+    #[test]
+    fn adjacent_pulses_do_not_merge_but_behave_identically() {
+        let mut n = noise(&[(10, 20), (20, 30)]);
+        assert_eq!(n.advance(0, 11), 31);
+    }
+
+    #[test]
+    fn work_in_accounts_noise() {
+        let mut n = noise(&[(10, 20), (50, 60)]);
+        assert_eq!(n.work_in(0, 100), 80);
+        let mut n = noise(&[(10, 20), (50, 60)]);
+        assert_eq!(n.work_in(0, 15), 10);
+        let mut n = noise(&[(10, 20), (50, 60)]);
+        assert_eq!(n.work_in(12, 18), 0);
+    }
+
+    #[test]
+    fn work_in_window_entirely_after_noise() {
+        let mut n = noise(&[(10, 20)]);
+        assert_eq!(n.work_in(30, 40), 10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-monotone")]
+    fn non_monotone_queries_panic_in_debug() {
+        let mut n = noise(&[(10, 20)]);
+        n.advance(100, 1);
+        n.advance(50, 1);
+    }
+
+    #[test]
+    fn merge_source_interleaves() {
+        let a = VecSource::new(vec![Interval::new(0, 1), Interval::new(10, 11)]);
+        let b = VecSource::new(vec![Interval::new(5, 6), Interval::new(20, 21)]);
+        let mut m = MergeSource::new(vec![a, b]);
+        let starts: Vec<Time> = std::iter::from_fn(|| m.next_interval()).map(|iv| iv.start).collect();
+        assert_eq!(starts, vec![0, 5, 10, 20]);
+    }
+
+    #[test]
+    fn merge_source_empty_inputs() {
+        let mut m = MergeSource::new(vec![VecSource::new(vec![]), VecSource::new(vec![])]);
+        assert_eq!(m.next_interval(), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Brute-force reference: noise as a sorted, merged interval list;
+        /// advance by walking gaps.
+        fn reference_advance(ivs: &[(Time, Time)], t: Time, work: Time) -> Time {
+            // Merge.
+            let mut sorted: Vec<(Time, Time)> = ivs.to_vec();
+            sorted.sort_unstable();
+            let mut merged: Vec<(Time, Time)> = Vec::new();
+            for (s, e) in sorted {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            let mut now = t;
+            let mut left = work;
+            for (s, e) in merged {
+                if e <= now {
+                    continue;
+                }
+                if now >= s {
+                    now = e;
+                    continue;
+                }
+                let gap = s - now;
+                if left <= gap {
+                    return now + left;
+                }
+                left -= gap;
+                now = e;
+            }
+            now + left
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn advance_matches_reference(
+                raw in proptest::collection::vec((0u64..10_000, 0u64..500), 0..20),
+                queries in proptest::collection::vec((0u64..2_000, 0u64..2_000), 1..10),
+            ) {
+                let ivs: Vec<(Time, Time)> =
+                    raw.iter().map(|&(s, l)| (s, s + l)).collect();
+                let mut n = IntervalNoise::new(VecSource::new(
+                    ivs.iter().map(|&(s, e)| Interval::new(s, e)).collect(),
+                ));
+                // Monotone query stream.
+                let mut t = 0;
+                for &(dt, work) in &queries {
+                    t += dt;
+                    let got = n.advance(t, work);
+                    let expect = reference_advance(&ivs, t, work);
+                    prop_assert_eq!(got, expect, "t={} work={}", t, work);
+                    t = got; // keep the cursor monotone
+                }
+            }
+
+            #[test]
+            fn work_in_complements_noise(
+                raw in proptest::collection::vec((0u64..5_000, 1u64..300), 0..15),
+                cut in 0u64..8_000,
+            ) {
+                let ivs: Vec<Interval> = raw
+                    .iter()
+                    .map(|&(s, l)| Interval::new(s, s + l))
+                    .collect();
+                let mut n = IntervalNoise::new(VecSource::new(ivs.clone()));
+                let free = n.work_in(0, cut);
+                // Reference: total minus merged overlap with [0, cut).
+                let mut sorted: Vec<(Time, Time)> =
+                    raw.iter().map(|&(s, l)| (s, s + l)).collect();
+                sorted.sort_unstable();
+                let mut merged: Vec<(Time, Time)> = Vec::new();
+                for (s, e) in sorted {
+                    match merged.last_mut() {
+                        Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                        _ => merged.push((s, e)),
+                    }
+                }
+                let noise: Time = merged
+                    .iter()
+                    .map(|&(s, e)| e.min(cut).saturating_sub(s))
+                    .sum();
+                prop_assert_eq!(free, cut - noise);
+            }
+        }
+    }
+
+    #[test]
+    fn vec_source_sorts_input() {
+        let mut s = VecSource::new(vec![Interval::new(30, 31), Interval::new(10, 11)]);
+        assert_eq!(s.next_interval().unwrap().start, 10);
+        assert_eq!(s.next_interval().unwrap().start, 30);
+    }
+}

@@ -1,0 +1,193 @@
+//! Jittered periodic noise: a timer with imperfect period.
+//!
+//! Real kernel timers do not fire with crystal precision: interrupt
+//! coalescing, cache effects, and lock contention jitter both the firing
+//! instant and the handler duration. [`JitteredPeriodic`] perturbs each
+//! pulse of a nominal signature with Gaussian jitter on its start and a
+//! multiplicative spread on its duration. The experiments use it to confirm
+//! that the paper's findings do not depend on injection being perfectly
+//! periodic (they don't — net intensity and pulse scale dominate).
+
+use ghost_engine::rng::{NodeStream, Xoshiro256};
+use ghost_engine::time::Time;
+
+use crate::intervals::{Interval, IntervalNoise, IntervalSource};
+use crate::model::{streams, NodeNoise, NoiseModel, PhasePolicy};
+use crate::Signature;
+
+/// Periodic noise with per-pulse start jitter and duration spread.
+#[derive(Debug, Clone, Copy)]
+pub struct JitteredPeriodic {
+    signature: Signature,
+    /// Standard deviation of the pulse-start jitter, in ns.
+    start_jitter: Time,
+    /// Relative standard deviation of the pulse duration (0.1 = ±10%).
+    duration_spread: f64,
+    policy: PhasePolicy,
+}
+
+impl JitteredPeriodic {
+    /// Jitter `signature` with the given start-time sigma and relative
+    /// duration spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the jitter could plausibly reorder pulses (sigma larger
+    /// than a quarter period) or the spread is not in `[0, 1)`.
+    pub fn new(
+        signature: Signature,
+        start_jitter: Time,
+        duration_spread: f64,
+        policy: PhasePolicy,
+    ) -> Self {
+        assert!(
+            start_jitter <= signature.period() / 4,
+            "start jitter {start_jitter} too large for period {}",
+            signature.period()
+        );
+        assert!(
+            (0.0..1.0).contains(&duration_spread),
+            "duration spread out of range: {duration_spread}"
+        );
+        Self {
+            signature,
+            start_jitter,
+            duration_spread,
+            policy,
+        }
+    }
+
+    /// The underlying nominal signature.
+    pub fn signature(&self) -> Signature {
+        self.signature
+    }
+}
+
+/// Interval stream of one node's jittered pulse train.
+pub struct JitterSource {
+    rng: Xoshiro256,
+    period: Time,
+    duration: Time,
+    phase: Time,
+    start_jitter: f64,
+    duration_spread: f64,
+    k: u64,
+}
+
+impl IntervalSource for JitterSource {
+    fn next_interval(&mut self) -> Option<Interval> {
+        let nominal = self.phase as i128 + self.k as i128 * self.period as i128;
+        self.k += 1;
+        // Clamp to a third of the period: consecutive jittered starts can
+        // then never reorder (max |j_k - j_{k+1}| = 2/3 period < period),
+        // preserving the IntervalSource monotonicity contract.
+        let bound = self.period as f64 / 3.0;
+        let jitter = (self.rng.normal() * self.start_jitter).clamp(-bound, bound) as i128;
+        let start = (nominal + jitter).max(0) as Time;
+        let dur = ((self.duration as f64) * (1.0 + self.duration_spread * self.rng.normal()))
+            .max(0.0)
+            .round() as Time;
+        Some(Interval::new(start, start + dur))
+    }
+}
+
+impl NoiseModel for JitteredPeriodic {
+    fn instantiate(&self, node: usize, s: &NodeStream) -> Box<dyn NodeNoise> {
+        let period = self.signature.period();
+        let phase = self.policy.phase_for(node, period, s);
+        let rng = s.for_node(node, streams::ARRIVALS ^ 0xBEEF);
+        Box::new(IntervalNoise::new(JitterSource {
+            rng,
+            period,
+            duration: self.signature.duration(),
+            phase,
+            start_jitter: self.start_jitter as f64,
+            duration_spread: self.duration_spread,
+            k: 0,
+        }))
+    }
+
+    fn net_fraction(&self) -> f64 {
+        self.signature.net_fraction()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "jittered {} (start sigma {}, duration spread {:.0}%)",
+            self.signature.label(),
+            ghost_engine::time::format_time(self.start_jitter),
+            self.duration_spread * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stochastic::realized_fraction;
+    use ghost_engine::time::{MS, SEC, US};
+
+    fn sig() -> Signature {
+        Signature::new(100.0, 250 * US)
+    }
+
+    #[test]
+    fn zero_jitter_matches_periodic() {
+        let j = JitteredPeriodic::new(sig(), 0, 0.0, PhasePolicy::Aligned);
+        let f = realized_fraction(&j, 0, 5, 10 * SEC);
+        assert!((f - 0.025).abs() < 1e-6, "{f}");
+        let streams = NodeStream::new(5);
+        let mut a = j.instantiate(0, &streams);
+        let mut b = sig().periodic_model(PhasePolicy::Aligned).instantiate(0, &streams);
+        for i in 0..100 {
+            let t = i * 3 * MS;
+            assert_eq!(a.next_free(t), b.next_free(t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn jittered_fraction_stays_at_nominal() {
+        let j = JitteredPeriodic::new(sig(), 500 * US, 0.2, PhasePolicy::Random);
+        let f = realized_fraction(&j, 0, 5, 30 * SEC);
+        assert!((f - 0.025).abs() < 0.003, "realized {f}");
+    }
+
+    #[test]
+    fn jitter_decorrelates_pulse_times() {
+        let j = JitteredPeriodic::new(sig(), 500 * US, 0.0, PhasePolicy::Aligned);
+        let streams = NodeStream::new(5);
+        let mut a = j.instantiate(0, &streams);
+        let mut b = j.instantiate(1, &streams);
+        // Aligned phases but independent jitter: pulse boundaries differ.
+        let fa: Vec<Time> = (0..200).map(|i| a.next_free(i * MS)).collect();
+        let fb: Vec<Time> = (0..200).map(|i| b.next_free(i * MS)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn jitter_is_reproducible() {
+        let j = JitteredPeriodic::new(sig(), 200 * US, 0.1, PhasePolicy::Random);
+        let f1 = realized_fraction(&j, 3, 9, 5 * SEC);
+        let f2 = realized_fraction(&j, 3, 9, 5 * SEC);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large for period")]
+    fn oversized_jitter_panics() {
+        JitteredPeriodic::new(sig(), 5 * MS, 0.0, PhasePolicy::Aligned);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread out of range")]
+    fn bad_spread_panics() {
+        JitteredPeriodic::new(sig(), 0, 1.5, PhasePolicy::Aligned);
+    }
+
+    #[test]
+    fn describe_mentions_jitter() {
+        let j = JitteredPeriodic::new(sig(), 200 * US, 0.1, PhasePolicy::Random);
+        assert!(j.describe().contains("jittered"));
+        assert_eq!(j.signature().hz(), 100.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! The noise abstraction: per-node processes and experiment-level models.
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Time, Work};
+
+/// A per-node noise process.
+///
+/// The simulator executes each node's CPU as a strictly sequential timeline,
+/// so implementations may keep a forward-moving cursor: **all calls on one
+/// instance must use non-decreasing `t`** (the executor guarantees this).
+///
+/// Semantics: the noise process steals the CPU during its "noise intervals".
+/// Application work only progresses outside them.
+pub trait NodeNoise: Send {
+    /// Completion time of `work` nanoseconds of CPU started at (or after)
+    /// `t`. If `t` falls inside a noise interval, work begins when the
+    /// interval ends. Always `>= t + work`.
+    fn advance(&mut self, t: Time, work: Work) -> Time;
+
+    /// Earliest instant `>= t` at which the CPU is free of noise.
+    ///
+    /// Equivalent to `advance(t, 0)`, provided for readability at call
+    /// sites that model message-processing start times.
+    fn next_free(&mut self, t: Time) -> Time {
+        self.advance(t, 0)
+    }
+
+    /// Useful CPU work available in the window `[t0, t1)`, i.e. the window
+    /// length minus noise overlap. Must be called with monotone windows.
+    fn work_in(&mut self, t0: Time, t1: Time) -> Work;
+}
+
+/// An experiment-level noise configuration: instantiates one [`NodeNoise`]
+/// per node, with per-node phase/randomness drawn from the experiment's
+/// [`NodeStream`].
+pub trait NoiseModel: Send + Sync {
+    /// Build the process for `node`.
+    fn instantiate(&self, node: usize, streams: &NodeStream) -> Box<dyn NodeNoise>;
+
+    /// Long-run fraction of CPU stolen (0.0 for the noiseless baseline).
+    fn net_fraction(&self) -> f64;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// How per-node noise phases relate across the machine.
+///
+/// The paper's injected noise is *uncoordinated*: each node's kernel ticks
+/// independently, so phases are effectively random. Gang-scheduling research
+/// (which the paper's discussion touches) aligns phases so all nodes lose
+/// the same instants — that case is reproduced by [`PhasePolicy::Aligned`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhasePolicy {
+    /// Every node uses phase 0: noise hits all nodes simultaneously
+    /// (co-scheduled kernel activity).
+    Aligned,
+    /// Each node draws a uniform phase in `[0, period)` — independent kernel
+    /// timers, the paper's configuration.
+    Random,
+    /// Node `i` of `n` uses phase `i * period / n` (worst-case staggering:
+    /// some node is always in noise).
+    Staggered {
+        /// Total number of nodes used to compute the stagger stride.
+        nodes: usize,
+    },
+    /// Every node uses the given fixed phase in nanoseconds.
+    Fixed(Time),
+}
+
+impl PhasePolicy {
+    /// Resolve the phase for `node` under a process with the given `period`.
+    ///
+    /// `Random` consumes one draw from the node's phase stream (stream tag
+    /// [`streams::PHASE`]).
+    pub fn phase_for(&self, node: usize, period: Time, streams: &NodeStream) -> Time {
+        if period == 0 {
+            return 0;
+        }
+        match *self {
+            PhasePolicy::Aligned => 0,
+            PhasePolicy::Random => streams.for_node(node, streams::PHASE).gen_range(period),
+            PhasePolicy::Staggered { nodes } => {
+                let n = nodes.max(1) as u128;
+                ((node as u128 % n) * period as u128 / n) as Time
+            }
+            PhasePolicy::Fixed(phi) => phi % period,
+        }
+    }
+}
+
+/// Well-known per-node RNG stream tags, so independent consumers on the same
+/// node never share a sequence.
+pub mod streams {
+    /// Phase draws for periodic noise.
+    pub const PHASE: u64 = 0x01;
+    /// Stochastic noise arrival processes.
+    pub const ARRIVALS: u64 = 0x02;
+    /// Application load-imbalance draws.
+    pub const IMBALANCE: u64 = 0x03;
+}
+
+/// The noiseless baseline: a lightweight kernel that never steals the CPU
+/// (Catamount on Red Storm, in the paper's setup).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNoise;
+
+impl NodeNoise for NoNoise {
+    #[inline]
+    fn advance(&mut self, t: Time, work: Work) -> Time {
+        t + work
+    }
+
+    #[inline]
+    fn work_in(&mut self, t0: Time, t1: Time) -> Work {
+        debug_assert!(t1 >= t0);
+        t1 - t0
+    }
+}
+
+impl NoiseModel for NoNoise {
+    fn instantiate(&self, _node: usize, _streams: &NodeStream) -> Box<dyn NodeNoise> {
+        Box::new(NoNoise)
+    }
+
+    fn net_fraction(&self) -> f64 {
+        0.0
+    }
+
+    fn describe(&self) -> String {
+        "noiseless (lightweight kernel)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::{MS, US};
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut n = NoNoise;
+        assert_eq!(n.advance(0, MS), MS);
+        assert_eq!(n.advance(MS, 5 * US), MS + 5 * US);
+        assert_eq!(n.next_free(123), 123);
+        assert_eq!(n.work_in(10, 100), 90);
+    }
+
+    #[test]
+    fn no_noise_model_properties() {
+        let m = NoNoise;
+        assert_eq!(m.net_fraction(), 0.0);
+        assert!(m.describe().contains("noiseless"));
+        let streams = NodeStream::new(1);
+        let mut inst = m.instantiate(3, &streams);
+        assert_eq!(inst.advance(0, 77), 77);
+    }
+
+    #[test]
+    fn aligned_phase_is_zero() {
+        let s = NodeStream::new(9);
+        for node in 0..8 {
+            assert_eq!(PhasePolicy::Aligned.phase_for(node, MS, &s), 0);
+        }
+    }
+
+    #[test]
+    fn random_phase_in_range_and_reproducible() {
+        let s = NodeStream::new(9);
+        let p = 100 * MS;
+        for node in 0..64 {
+            let a = PhasePolicy::Random.phase_for(node, p, &s);
+            let b = PhasePolicy::Random.phase_for(node, p, &s);
+            assert!(a < p);
+            assert_eq!(a, b, "phase must be a pure function of (seed, node)");
+        }
+    }
+
+    #[test]
+    fn random_phases_vary_across_nodes() {
+        let s = NodeStream::new(9);
+        let p = 100 * MS;
+        let phases: Vec<Time> = (0..32)
+            .map(|n| PhasePolicy::Random.phase_for(n, p, &s))
+            .collect();
+        let distinct = {
+            let mut v = phases.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct > 28, "phases suspiciously clustered: {distinct}/32");
+    }
+
+    #[test]
+    fn staggered_phases_cover_period_evenly() {
+        let s = NodeStream::new(1);
+        let p = 1000;
+        let pol = PhasePolicy::Staggered { nodes: 4 };
+        let phases: Vec<Time> = (0..4).map(|n| pol.phase_for(n, p, &s)).collect();
+        assert_eq!(phases, vec![0, 250, 500, 750]);
+        // wraps for node >= nodes
+        assert_eq!(pol.phase_for(5, p, &s), 250);
+    }
+
+    #[test]
+    fn fixed_phase_wraps_modulo_period() {
+        let s = NodeStream::new(1);
+        assert_eq!(PhasePolicy::Fixed(1234).phase_for(0, 1000, &s), 234);
+    }
+
+    #[test]
+    fn zero_period_yields_zero_phase() {
+        let s = NodeStream::new(1);
+        assert_eq!(PhasePolicy::Random.phase_for(7, 0, &s), 0);
+    }
+}

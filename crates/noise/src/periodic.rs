@@ -1,0 +1,423 @@
+//! Periodic noise: the paper's injected signatures.
+//!
+//! The SC'07 injection framework steals the CPU for a fixed `duration` once
+//! per `period` (i.e. at a fixed frequency). [`PeriodicNoise`] models exactly
+//! that: noise occupies `[k*period + phase, k*period + phase + duration)` for
+//! every integer `k >= 0`. `advance` is closed-form (O(1)), which is what
+//! lets GhostSim run thousands of simulated nodes for thousands of simulated
+//! seconds cheaply.
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Time, Work};
+
+use crate::model::{NodeNoise, NoiseModel, PhasePolicy};
+
+/// Per-node periodic noise process (one instance per node; `phase` differs
+/// across nodes according to the experiment's [`PhasePolicy`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicNoise {
+    period: Time,
+    duration: Time,
+    phase: Time,
+}
+
+impl PeriodicNoise {
+    /// Create a process with noise pulses of `duration` every `period`
+    /// nanoseconds, offset by `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration >= period` (the CPU would never be free) unless
+    /// `duration == 0` (degenerate noiseless process, any period accepted).
+    pub fn new(period: Time, duration: Time, phase: Time) -> Self {
+        if duration > 0 {
+            assert!(
+                duration < period,
+                "noise duration {duration} must be < period {period}"
+            );
+        }
+        let phase = if period == 0 { 0 } else { phase % period };
+        Self {
+            period,
+            duration,
+            phase,
+        }
+    }
+
+    /// The pulse period in nanoseconds.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The pulse duration in nanoseconds.
+    pub fn duration(&self) -> Time {
+        self.duration
+    }
+
+    /// This node's phase offset in nanoseconds.
+    pub fn phase(&self) -> Time {
+        self.phase
+    }
+
+    /// Long-run stolen fraction `duration / period`.
+    pub fn net_fraction(&self) -> f64 {
+        if self.duration == 0 || self.period == 0 {
+            0.0
+        } else {
+            self.duration as f64 / self.period as f64
+        }
+    }
+
+    /// Position of `t` within the pulse cycle: `(t - phase) mod period`.
+    ///
+    /// The pulse train is bi-infinite (steady state): a pulse whose start
+    /// wraps below zero still covers the beginning of the timeline, so the
+    /// process has no start-up transient and `phase` is a pure modular
+    /// offset.
+    #[inline]
+    fn cycle_pos(&self, t: Time) -> Time {
+        debug_assert!(self.period > 0);
+        // t + period - phase avoids underflow since phase < period.
+        (t + (self.period - self.phase)) % self.period
+    }
+
+    /// Noise mass of the bi-infinite train in `(-inf, x)`, up to a constant
+    /// (differences are well-defined).
+    fn noise_mass(&self, x: Time) -> i128 {
+        let p = self.period as i128;
+        let d = self.duration as i128;
+        let xx = x as i128 - self.phase as i128;
+        let c = xx.div_euclid(p);
+        let r = xx.rem_euclid(p);
+        c * d + r.min(d)
+    }
+
+    /// Total noise overlap with `[0, t)`.
+    fn noise_before(&self, t: Time) -> Time {
+        if self.duration == 0 || self.period == 0 {
+            return 0;
+        }
+        (self.noise_mass(t) - self.noise_mass(0)) as Time
+    }
+}
+
+impl NodeNoise for PeriodicNoise {
+    fn advance(&mut self, t: Time, work: Work) -> Time {
+        if self.duration == 0 {
+            return t + work;
+        }
+        let p = self.period;
+        let d = self.duration;
+        // Move to the first noise-free instant at or after t.
+        let r = self.cycle_pos(t);
+        let (t0, r0) = if r < d { (t + (d - r), d) } else { (t, r) };
+        // Free time remaining in the current cycle.
+        let free_now = p - r0;
+        if work <= free_now {
+            return t0 + work;
+        }
+        let rest = work - free_now;
+        let free_per_cycle = p - d;
+        let full = rest / free_per_cycle;
+        let rem = rest % free_per_cycle;
+        if rem == 0 {
+            // Finishes exactly at the end of the `full`-th subsequent cycle.
+            t0 + free_now + full * p
+        } else {
+            t0 + free_now + full * p + d + rem
+        }
+    }
+
+    fn work_in(&mut self, t0: Time, t1: Time) -> Work {
+        debug_assert!(t1 >= t0);
+        (t1 - t0) - (self.noise_before(t1) - self.noise_before(t0))
+    }
+}
+
+/// Experiment-level periodic model: a [`crate::Signature`] plus a phase
+/// policy, instantiating one [`PeriodicNoise`] per node.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicModel {
+    period: Time,
+    duration: Time,
+    policy: PhasePolicy,
+}
+
+impl PeriodicModel {
+    /// Create a model with the given pulse period/duration and phase policy.
+    pub fn new(period: Time, duration: Time, policy: PhasePolicy) -> Self {
+        // Validate the (period, duration) pair eagerly.
+        let _ = PeriodicNoise::new(period, duration, 0);
+        Self {
+            period,
+            duration,
+            policy,
+        }
+    }
+
+    /// The pulse period in nanoseconds.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The pulse duration in nanoseconds.
+    pub fn duration(&self) -> Time {
+        self.duration
+    }
+}
+
+impl NoiseModel for PeriodicModel {
+    fn instantiate(&self, node: usize, streams: &NodeStream) -> Box<dyn NodeNoise> {
+        let phase = self.policy.phase_for(node, self.period, streams);
+        Box::new(PeriodicNoise::new(self.period, self.duration, phase))
+    }
+
+    fn net_fraction(&self) -> f64 {
+        PeriodicNoise::new(self.period, self.duration, 0).net_fraction()
+    }
+
+    fn describe(&self) -> String {
+        let hz = ghost_engine::time::period_to_hz(self.period);
+        format!(
+            "periodic {:.0} Hz x {} ({:.2}% net, {:?} phase)",
+            hz,
+            ghost_engine::time::format_time(self.duration),
+            self.net_fraction() * 100.0,
+            self.policy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::{MS, SEC, US};
+    use proptest::prelude::*;
+
+    /// Reference implementation: walk pulses one by one (independent of the
+    /// closed form under test). The closed form models a bi-infinite pulse
+    /// train; shifting the query by one period makes the k>=0 train below
+    /// equivalent (the train is P-periodic), so callers use
+    /// `reference_advance(p, d, phi, t + p, w) - p`.
+    fn reference_advance_shifted(p: Time, d: Time, phi: Time, t: Time, work: Work) -> Time {
+        reference_advance(p, d, phi, t + p, work) - p
+    }
+
+    fn reference_advance(p: Time, d: Time, phi: Time, t: Time, work: Work) -> Time {
+        if d == 0 {
+            return t + work;
+        }
+        let mut now = t;
+        let mut left = work;
+        let mut k = if now <= phi { 0 } else { (now - phi) / p };
+        loop {
+            let start = phi + k * p;
+            let end = start + d;
+            if now >= start && now < end {
+                now = end; // inside this pulse
+            } else if now < start {
+                let gap = start - now;
+                if left <= gap {
+                    return now + left;
+                }
+                left -= gap;
+                now = end;
+            }
+            // now >= end: pulse fully in the past, move to the next.
+            k += 1;
+        }
+    }
+
+    #[test]
+    fn no_noise_when_duration_zero() {
+        let mut n = PeriodicNoise::new(MS, 0, 0);
+        assert_eq!(n.advance(5, 100), 105);
+        assert_eq!(n.net_fraction(), 0.0);
+        assert_eq!(n.work_in(0, SEC), SEC);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < period")]
+    fn duration_ge_period_panics() {
+        PeriodicNoise::new(MS, MS, 0);
+    }
+
+    #[test]
+    fn advance_within_free_region() {
+        // 100 Hz x 250us, phase 0: noise [0, 250us), free [250us, 10ms).
+        let mut n = PeriodicNoise::new(10 * MS, 250 * US, 0);
+        // Start at t=0 -> inside noise, work starts at 250us.
+        assert_eq!(n.advance(0, US), 250 * US + US);
+        // Start in the free region with room to spare.
+        assert_eq!(n.advance(MS, US), MS + US);
+    }
+
+    #[test]
+    fn advance_spanning_pulses() {
+        // 1 kHz x 250us: period 1ms, free 750us per cycle, phase 0.
+        let mut n = PeriodicNoise::new(MS, 250 * US, 0);
+        // 1.5ms of work starting at 250us: consumes 750us (to 1ms), pulse to
+        // 1.25ms, 750us more (to 2ms) -> 1.5ms done exactly at 2ms.
+        assert_eq!(n.advance(250 * US, 1500 * US), 2 * MS);
+        // One extra ns lands after the next pulse.
+        assert_eq!(n.advance(250 * US, 1500 * US + 1), 2 * MS + 250 * US + 1);
+    }
+
+    #[test]
+    fn next_free_semantics() {
+        let mut n = PeriodicNoise::new(MS, 100 * US, 0);
+        assert_eq!(n.next_free(0), 100 * US); // inside the first pulse
+        assert_eq!(n.next_free(500 * US), 500 * US); // already free
+        assert_eq!(n.next_free(MS + 50 * US), MS + 100 * US); // second pulse
+    }
+
+    #[test]
+    fn phase_shifts_pulses() {
+        let mut n = PeriodicNoise::new(MS, 100 * US, 300 * US);
+        // Noise at [300us, 400us).
+        assert_eq!(n.next_free(0), 0);
+        assert_eq!(n.next_free(350 * US), 400 * US);
+    }
+
+    #[test]
+    fn work_in_full_cycles() {
+        let mut n = PeriodicNoise::new(MS, 250 * US, 0);
+        assert_eq!(n.work_in(0, 10 * MS), 10 * (MS - 250 * US));
+        // Window aligned to a pulse only.
+        assert_eq!(n.work_in(0, 250 * US), 0);
+        // Free stretch only.
+        assert_eq!(n.work_in(250 * US, MS), 750 * US);
+    }
+
+    #[test]
+    fn work_in_with_phase_before_first_pulse() {
+        let mut n = PeriodicNoise::new(MS, 100 * US, 600 * US);
+        assert_eq!(n.work_in(0, 600 * US), 600 * US);
+        assert_eq!(n.work_in(0, 700 * US), 600 * US);
+        assert_eq!(n.work_in(0, MS), 900 * US);
+    }
+
+    #[test]
+    fn net_fraction_matches_signature() {
+        let n = PeriodicNoise::new(100 * MS, 2500 * US, 0);
+        assert!((n.net_fraction() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_elapsed_matches_net_fraction() {
+        // Executing work continuously: elapsed/work -> 1/(1-f).
+        let mut n = PeriodicNoise::new(10 * MS, 250 * US, 7 * MS);
+        let work = 10 * SEC;
+        let end = n.advance(0, work);
+        let ratio = end as f64 / work as f64;
+        let expect = 1.0 / (1.0 - 0.025);
+        assert!((ratio - expect).abs() < 1e-3, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn model_instantiates_with_policy_phases() {
+        let streams = NodeStream::new(77);
+        let m = PeriodicModel::new(MS, 100 * US, PhasePolicy::Aligned);
+        let mut a = m.instantiate(0, &streams);
+        let mut b = m.instantiate(123, &streams);
+        assert_eq!(a.next_free(0), 100 * US);
+        assert_eq!(b.next_free(0), 100 * US);
+
+        let m = PeriodicModel::new(MS, 100 * US, PhasePolicy::Staggered { nodes: 2 });
+        let mut b = m.instantiate(1, &streams);
+        assert_eq!(b.next_free(0), 0); // phase 500us: t=0 free
+        assert_eq!(b.next_free(550 * US), 600 * US);
+    }
+
+    #[test]
+    fn describe_mentions_frequency_and_net() {
+        let m = PeriodicModel::new(100 * MS, 2500 * US, PhasePolicy::Random);
+        let d = m.describe();
+        assert!(d.contains("10 Hz"), "{d}");
+        assert!(d.contains("2.50%"), "{d}");
+    }
+
+    proptest! {
+        #[test]
+        fn advance_matches_reference(
+            p in 2u64..5_000,
+            dfrac in 1u64..100,
+            phi in 0u64..5_000,
+            t in 0u64..50_000,
+            work in 0u64..50_000,
+        ) {
+            let d = (p * dfrac / 100).min(p - 1);
+            let mut n = PeriodicNoise::new(p, d, phi % p);
+            let got = n.advance(t, work);
+            let expect = reference_advance_shifted(p, d, phi % p, t, work);
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn advance_at_least_work(
+            p in 2u64..10_000,
+            d in 0u64..9_999,
+            phi in 0u64..10_000,
+            t in 0u64..1_000_000,
+            work in 0u64..1_000_000,
+        ) {
+            prop_assume!(d < p);
+            let mut n = PeriodicNoise::new(p, d, phi % p);
+            let end = n.advance(t, work);
+            prop_assert!(end >= t + work);
+        }
+
+        #[test]
+        fn work_conservation(
+            p in 2u64..5_000,
+            dfrac in 0u64..100,
+            phi in 0u64..5_000,
+            t in 0u64..100_000,
+            work in 1u64..100_000,
+        ) {
+            // The window [start_of_work, completion) must contain exactly
+            // `work` free nanoseconds when work starts immediately at the
+            // first free instant >= t.
+            let d = (p * dfrac / 100).min(p - 1);
+            let mut n = PeriodicNoise::new(p, d, phi % p);
+            let start = n.next_free(t);
+            let end = n.advance(t, work);
+            let mut n2 = PeriodicNoise::new(p, d, phi % p);
+            prop_assert_eq!(n2.work_in(start, end), work);
+        }
+
+        #[test]
+        fn advance_is_monotone_in_t(
+            p in 2u64..5_000,
+            dfrac in 0u64..100,
+            t1 in 0u64..50_000,
+            dt in 0u64..50_000,
+            work in 0u64..50_000,
+        ) {
+            let d = (p * dfrac / 100).min(p - 1);
+            let mut a = PeriodicNoise::new(p, d, 0);
+            let mut b = PeriodicNoise::new(p, d, 0);
+            prop_assert!(a.advance(t1, work) <= b.advance(t1 + dt, work));
+        }
+
+        #[test]
+        fn work_in_is_additive(
+            p in 2u64..5_000,
+            dfrac in 0u64..100,
+            phi in 0u64..5_000,
+            a in 0u64..50_000,
+            b in 0u64..50_000,
+            c in 0u64..50_000,
+        ) {
+            let d = (p * dfrac / 100).min(p - 1);
+            let mut ts = [a, b, c];
+            ts.sort_unstable();
+            let [x, y, z] = ts;
+            let mut n = PeriodicNoise::new(p, d, phi % p);
+            let total = n.work_in(x, z);
+            let mut n2 = PeriodicNoise::new(p, d, phi % p);
+            let part = n2.work_in(x, y) + n2.work_in(y, z);
+            prop_assert_eq!(total, part);
+        }
+    }
+}

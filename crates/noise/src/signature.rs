@@ -1,0 +1,203 @@
+//! Noise signatures: the (frequency, duration) pairs the paper injects.
+//!
+//! The study's central experimental design holds the *net* noise intensity
+//! fixed (e.g. 2.5% of CPU) while varying how it is delivered: a few long
+//! pulses (10 Hz × 2500 µs), an intermediate shape (100 Hz × 250 µs), or
+//! many short pulses (1000 Hz × 25 µs). [`Signature`] captures one such
+//! shape; [`canonical_set`] builds the paper's Table-1 sets at any net
+//! intensity.
+
+use ghost_engine::time::{format_time, hz_to_period, Time, SEC};
+
+use crate::model::PhasePolicy;
+use crate::periodic::PeriodicModel;
+
+/// A periodic noise signature: pulses of `duration` at `hz` per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signature {
+    hz: f64,
+    duration: Time,
+}
+
+impl Signature {
+    /// A signature with the given frequency and pulse duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied duty cycle is >= 1 (pulse longer than period)
+    /// or the frequency is not positive and finite.
+    pub fn new(hz: f64, duration: Time) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "invalid frequency {hz}");
+        let period = hz_to_period(hz);
+        assert!(
+            duration < period,
+            "duration {} >= period {} at {hz} Hz",
+            duration,
+            period
+        );
+        Self { hz, duration }
+    }
+
+    /// The signature delivering `net_fraction` of noise at `hz`: duration is
+    /// derived as `net_fraction / hz`.
+    pub fn from_net(hz: f64, net_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&net_fraction),
+            "net fraction out of range: {net_fraction}"
+        );
+        let duration = (net_fraction * SEC as f64 / hz).round() as Time;
+        Self::new(hz, duration)
+    }
+
+    /// Pulse frequency in Hz.
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Pulse duration in nanoseconds.
+    pub fn duration(&self) -> Time {
+        self.duration
+    }
+
+    /// Pulse period in nanoseconds.
+    pub fn period(&self) -> Time {
+        hz_to_period(self.hz)
+    }
+
+    /// Net stolen fraction `hz * duration`.
+    pub fn net_fraction(&self) -> f64 {
+        self.hz * self.duration as f64 / SEC as f64
+    }
+
+    /// The periodic noise model for this signature under a phase policy.
+    pub fn periodic_model(&self, policy: PhasePolicy) -> PeriodicModel {
+        PeriodicModel::new(self.period(), self.duration, policy)
+    }
+
+    /// Short label for tables, e.g. `"10Hz x 2.500ms"`.
+    pub fn label(&self) -> String {
+        format!("{:.0}Hz x {}", self.hz, format_time(self.duration))
+    }
+}
+
+/// The paper's canonical frequency ladder: 10 Hz, 100 Hz, 1000 Hz.
+pub const CANONICAL_FREQUENCIES: [f64; 3] = [10.0, 100.0, 1000.0];
+
+/// The canonical signature set at a given net intensity: one signature per
+/// canonical frequency, all delivering the same net fraction.
+///
+/// At 2.5% this reproduces the paper's set:
+/// 10 Hz × 2500 µs, 100 Hz × 250 µs, 1000 Hz × 25 µs.
+pub fn canonical_set(net_fraction: f64) -> Vec<Signature> {
+    CANONICAL_FREQUENCIES
+        .iter()
+        .map(|&hz| Signature::from_net(hz, net_fraction))
+        .collect()
+}
+
+/// The paper's headline injection intensity: 2.5% of each node's CPU.
+pub const CANONICAL_NET: f64 = 0.025;
+
+/// Convenience: the 2.5% canonical signatures.
+pub fn canonical_2_5pct() -> Vec<Signature> {
+    canonical_set(CANONICAL_NET)
+}
+
+/// A duration sweep at fixed net intensity: signatures whose pulse lengths
+/// ladder from `lo` to `hi` multiplying by 2 each step, with frequency
+/// derived to keep `net_fraction` constant.
+pub fn duration_sweep(net_fraction: f64, lo: Time, hi: Time) -> Vec<Signature> {
+    assert!(lo > 0 && hi >= lo);
+    let mut out = Vec::new();
+    let mut d = lo;
+    while d <= hi {
+        let hz = net_fraction * SEC as f64 / d as f64;
+        out.push(Signature::new(hz, d));
+        if d > hi / 2 {
+            break;
+        }
+        d *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::{MS, US};
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_2_5_matches_paper_table1() {
+        let set = canonical_2_5pct();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set[0].hz(), 10.0);
+        assert_eq!(set[0].duration(), 2500 * US);
+        assert_eq!(set[1].hz(), 100.0);
+        assert_eq!(set[1].duration(), 250 * US);
+        assert_eq!(set[2].hz(), 1000.0);
+        assert_eq!(set[2].duration(), 25 * US);
+        for s in &set {
+            assert!((s.net_fraction() - 0.025).abs() < 1e-9, "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn from_net_derives_duration() {
+        let s = Signature::from_net(10.0, 0.10);
+        assert_eq!(s.duration(), 10 * MS);
+        assert!((s.net_fraction() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= period")]
+    fn oversized_duration_panics() {
+        Signature::new(1000.0, 2 * MS);
+    }
+
+    #[test]
+    #[should_panic(expected = "net fraction out of range")]
+    fn bad_net_fraction_panics() {
+        Signature::from_net(10.0, 1.5);
+    }
+
+    #[test]
+    fn label_formatting() {
+        let s = Signature::new(10.0, 2500 * US);
+        assert_eq!(s.label(), "10Hz x 2.500ms");
+    }
+
+    #[test]
+    fn periodic_model_roundtrip() {
+        let s = Signature::new(100.0, 250 * US);
+        let m = s.periodic_model(PhasePolicy::Aligned);
+        assert_eq!(m.period(), 10 * MS);
+        assert_eq!(m.duration(), 250 * US);
+    }
+
+    #[test]
+    fn duration_sweep_holds_net_constant() {
+        let sigs = duration_sweep(0.025, 25 * US, 3200 * US);
+        assert!(sigs.len() >= 7, "{}", sigs.len());
+        for s in &sigs {
+            assert!((s.net_fraction() - 0.025).abs() < 1e-6, "{s:?}");
+        }
+        // Durations double.
+        for w in sigs.windows(2) {
+            assert_eq!(w[1].duration(), w[0].duration() * 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn from_net_fraction_is_exactly_recovered(
+            hz in 1.0f64..10_000.0,
+            net in 0.001f64..0.5,
+        ) {
+            let s = Signature::from_net(hz, net);
+            // Rounded to nanoseconds: recovery error bounded by hz/1e9.
+            let err = (s.net_fraction() - net).abs();
+            prop_assert!(err <= hz / 1e9 + 1e-12, "err {err}");
+        }
+    }
+}

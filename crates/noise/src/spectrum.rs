@@ -1,0 +1,416 @@
+//! Spectral analysis of FTQ series.
+//!
+//! The classic way to identify *periodic* kernel noise in an FTQ trace is
+//! its power spectrum: noise injected at `f` Hz appears as a spike at `f`
+//! (and harmonics) in the spectrum of the per-quantum lost-work series. This
+//! module provides a small radix-2 FFT and the helpers the figure
+//! generators use to verify injection frequency — the simulated counterpart
+//! of the paper's injection-verification figures.
+
+/// A complex number (minimal, local to the FFT).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex number `re + im·i`.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if the input length is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -std::f64::consts::TAU / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2].mul(w);
+                data[i + j] = u.add(v);
+                data[i + j + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// One-sided power spectrum of a real series.
+///
+/// The series is mean-removed and zero-padded to the next power of two.
+/// Returns `(frequency_hz, power)` pairs for bins `1..n/2` (the DC bin is
+/// dropped since the mean was removed).
+pub fn power_spectrum(series: &[f64], sample_rate_hz: f64) -> Vec<(f64, f64)> {
+    if series.len() < 4 {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let n = series.len().next_power_of_two();
+    let mut data: Vec<Complex> = series
+        .iter()
+        .map(|&x| Complex::new(x - mean, 0.0))
+        .chain(std::iter::repeat(Complex::zero()))
+        .take(n)
+        .collect();
+    fft(&mut data);
+    let df = sample_rate_hz / n as f64;
+    (1..n / 2)
+        .map(|k| (k as f64 * df, data[k].norm_sq()))
+        .collect()
+}
+
+/// The frequency with the highest spectral power, or `None` for series too
+/// short or flat to analyze.
+pub fn dominant_frequency(series: &[f64], sample_rate_hz: f64) -> Option<f64> {
+    let spec = power_spectrum(series, sample_rate_hz);
+    let (freq, power) = spec
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN power"))?;
+    let total: f64 = spec.iter().map(|&(_, p)| p).sum();
+    // A genuinely flat spectrum has no dominant line; require the peak to
+    // carry a non-trivial share of total power.
+    if total <= 0.0 || power / total < 1e-3 {
+        None
+    } else {
+        Some(freq)
+    }
+}
+
+/// Welch-averaged power spectrum: split the series into Hann-windowed,
+/// half-overlapping segments of `segment` samples (a power of two), average
+/// their periodograms. Trades frequency resolution for variance reduction —
+/// the estimator of choice for noisy FTQ captures where single-shot
+/// periodograms (cf. [`power_spectrum`]) are too jittery to threshold.
+///
+/// Returns `(frequency_hz, mean power)` for bins `1..segment/2`, or an
+/// empty vector if the series is shorter than one segment.
+///
+/// # Panics
+///
+/// Panics if `segment` is not a power of two or is smaller than 4.
+pub fn welch_spectrum(series: &[f64], sample_rate_hz: f64, segment: usize) -> Vec<(f64, f64)> {
+    assert!(
+        segment.is_power_of_two() && segment >= 4,
+        "segment {segment} must be a power of two >= 4"
+    );
+    if series.len() < segment {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let hop = segment / 2;
+    let nseg = (series.len() - segment) / hop + 1;
+    let window: Vec<f64> = (0..segment)
+        .map(|i| {
+            // Hann window.
+            let x = std::f64::consts::TAU * i as f64 / segment as f64;
+            0.5 * (1.0 - x.cos())
+        })
+        .collect();
+    let mut acc = vec![0.0f64; segment / 2];
+    for s in 0..nseg {
+        let base = s * hop;
+        let mut data: Vec<Complex> = (0..segment)
+            .map(|i| Complex::new((series[base + i] - mean) * window[i], 0.0))
+            .collect();
+        fft(&mut data);
+        for (k, a) in acc.iter_mut().enumerate().take(segment / 2).skip(1) {
+            *a += data[k].norm_sq();
+        }
+    }
+    let df = sample_rate_hz / segment as f64;
+    (1..segment / 2)
+        .map(|k| (k as f64 * df, acc[k] / nseg as f64))
+        .collect()
+}
+
+/// Estimate the *fundamental* frequency of a periodic series.
+///
+/// A rectangular pulse train spreads power across many harmonics, so the
+/// single strongest spectral line may be a multiple of the true repetition
+/// rate. This helper finds the peak, then walks its subharmonics
+/// (`peak/2`, `peak/3`, ... down to `peak/8`) and returns the lowest one
+/// whose spectral bin still carries a substantial share (>= 25%) of the
+/// peak's power.
+pub fn fundamental_frequency(series: &[f64], sample_rate_hz: f64) -> Option<f64> {
+    let spec = power_spectrum(series, sample_rate_hz);
+    if spec.is_empty() {
+        return None;
+    }
+    let df = spec[0].0; // bin spacing (bin 1 frequency)
+    let (peak_f, peak_p) = spec
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN power"))?;
+    let total: f64 = spec.iter().map(|&(_, p)| p).sum();
+    if total <= 0.0 || peak_p / total < 1e-3 {
+        return None;
+    }
+    // Power near frequency f (max over the 3 nearest bins, tolerating
+    // leakage).
+    let power_near = |f: f64| -> f64 {
+        let idx = (f / df).round() as isize - 1;
+        (-1..=1)
+            .filter_map(|d| {
+                let i = idx + d;
+                if i >= 0 {
+                    spec.get(i as usize).map(|&(_, p)| p)
+                } else {
+                    None
+                }
+            })
+            .fold(0.0, f64::max)
+    };
+    let mut best = peak_f;
+    for k in 2..=8 {
+        let cand = peak_f / k as f64;
+        if cand < df * 0.75 {
+            break;
+        }
+        if power_near(cand) >= 0.25 * peak_p {
+            best = cand;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::zero(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for c in &data {
+            assert!((c.norm_sq() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut data = vec![Complex::new(1.0, 0.0); 8];
+        fft(&mut data);
+        assert!((data[0].re - 8.0).abs() < 1e-12);
+        for c in &data[1..] {
+            assert!(c.norm_sq() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        // Energy preserved (times n) for an arbitrary signal.
+        let series: Vec<f64> = (0..64).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
+        let mut data: Vec<Complex> = series.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let time_energy: f64 = series.iter().map(|x| x * x).sum();
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum();
+        assert!(
+            (freq_energy - 64.0 * time_energy).abs() / (64.0 * time_energy) < 1e-10,
+            "{freq_energy} vs {}",
+            64.0 * time_energy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn fft_rejects_odd_lengths() {
+        let mut data = vec![Complex::zero(); 6];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn dominant_frequency_of_sine() {
+        // 50 Hz sine sampled at 1000 Hz for 1024 samples.
+        let sr = 1000.0;
+        let series: Vec<f64> = (0..1024)
+            .map(|i| (std::f64::consts::TAU * 50.0 * i as f64 / sr).sin())
+            .collect();
+        let f = dominant_frequency(&series, sr).unwrap();
+        assert!((f - 50.0).abs() < 1.5, "detected {f}");
+    }
+
+    #[test]
+    fn dominant_frequency_of_pulse_train() {
+        // 10 Hz rectangular pulse train sampled at 1000 Hz: fundamental 10 Hz.
+        let sr = 1000.0;
+        let series: Vec<f64> = (0..4096)
+            .map(|i| if (i % 100) < 3 { 1.0 } else { 0.0 })
+            .collect();
+        let f = dominant_frequency(&series, sr).unwrap();
+        assert!((f - 10.0).abs() < 0.5, "detected {f}");
+    }
+
+    #[test]
+    fn flat_series_has_no_dominant_frequency() {
+        let series = vec![3.0; 256];
+        assert_eq!(dominant_frequency(&series, 1000.0), None);
+    }
+
+    #[test]
+    fn short_series_yields_empty_spectrum() {
+        assert!(power_spectrum(&[1.0, 2.0], 10.0).is_empty());
+        assert_eq!(dominant_frequency(&[1.0, 2.0], 10.0), None);
+    }
+
+    #[test]
+    fn fundamental_recovers_pulse_train_rate() {
+        // 100 Hz pulse train, 25% duty per hit quantum, sampled at 1 kHz:
+        // the strongest line may be a harmonic, but the fundamental must
+        // come back as ~100 Hz.
+        let sr = 1000.0;
+        let series: Vec<f64> = (0..4096)
+            .map(|i| if i % 10 == 0 { 0.25 } else { 0.0 })
+            .collect();
+        let f = fundamental_frequency(&series, sr).unwrap();
+        assert!((f - 100.0).abs() < 2.0, "fundamental {f}");
+    }
+
+    #[test]
+    fn fundamental_of_pure_sine_is_itself() {
+        let sr = 1000.0;
+        let series: Vec<f64> = (0..2048)
+            .map(|i| (std::f64::consts::TAU * 50.0 * i as f64 / sr).sin())
+            .collect();
+        let f = fundamental_frequency(&series, sr).unwrap();
+        assert!((f - 50.0).abs() < 1.0, "{f}");
+    }
+
+    #[test]
+    fn fundamental_of_flat_series_is_none() {
+        assert_eq!(fundamental_frequency(&vec![1.0; 512], 1000.0), None);
+    }
+
+    #[test]
+    fn welch_detects_tone_in_heavy_jitter() {
+        // A 50 Hz tone buried in deterministic pseudo-noise 4x its
+        // amplitude: Welch averaging pulls the line out.
+        let sr = 1000.0;
+        let mut lcg = 1234u64;
+        let series: Vec<f64> = (0..8192)
+            .map(|i| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let noise = ((lcg >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 8.0;
+                (std::f64::consts::TAU * 50.0 * i as f64 / sr).sin() + noise
+            })
+            .collect();
+        let spec = welch_spectrum(&series, sr, 512);
+        let (peak_f, _) = spec
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((peak_f - 50.0).abs() < 3.0, "peak at {peak_f}");
+    }
+
+    #[test]
+    fn welch_is_smoother_than_single_periodogram() {
+        // For pure noise, the Welch estimate's bin-to-bin relative spread
+        // is smaller than the raw periodogram's.
+        let sr = 1000.0;
+        let mut lcg = 77u64;
+        let series: Vec<f64> = (0..8192)
+            .map(|_| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (lcg >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+            })
+            .collect();
+        let cv = |spec: &[(f64, f64)]| {
+            let vals: Vec<f64> = spec.iter().map(|&(_, p)| p).collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
+            v.sqrt() / m
+        };
+        let raw = power_spectrum(&series, sr);
+        let welch = welch_spectrum(&series, sr, 256);
+        assert!(
+            cv(&welch) < 0.5 * cv(&raw),
+            "welch cv {} vs raw cv {}",
+            cv(&welch),
+            cv(&raw)
+        );
+    }
+
+    #[test]
+    fn welch_short_series_is_empty() {
+        assert!(welch_spectrum(&[1.0; 100], 1000.0, 256).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn welch_rejects_bad_segment() {
+        welch_spectrum(&[0.0; 1000], 1000.0, 100);
+    }
+
+    #[test]
+    fn spectrum_frequencies_are_ordered_and_bounded() {
+        let series: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let spec = power_spectrum(&series, 1000.0);
+        assert!(!spec.is_empty());
+        for w in spec.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        assert!(spec.last().unwrap().0 < 500.0); // below Nyquist
+    }
+}

@@ -1,0 +1,343 @@
+//! Descriptive statistics for microbenchmark sample series.
+
+/// Summary statistics of a sample series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of `u64` samples (times or work amounts).
+    pub fn of_u64(samples: &[u64]) -> Self {
+        let v: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Self::of_f64(&v)
+    }
+
+    /// Summarize a slice of `f64` samples.
+    pub fn of_f64(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+
+    /// Coefficient of variation (std/mean), 0 for zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+/// Percentile of an already sorted slice using nearest-rank interpolation.
+///
+/// `q` in `[0, 1]`. Panics in debug builds if the slice is empty.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets plus
+/// underflow/overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty histogram range");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Add many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bucket_center, count)` pairs for plotting.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+}
+
+/// Sample autocorrelation of a series at the given lag.
+///
+/// Returns a value in `[-1, 1]`; 0 for constant series or lag >= len.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag >= n || n < 2 {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_series() {
+        let s = Summary::of_f64(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.std - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_zeros() {
+        let s = Summary::of_f64(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_u64_matches_f64() {
+        let a = Summary::of_u64(&[10, 20, 30]);
+        let b = Summary::of_f64(&[10.0, 20.0, 30.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 0.25), 2.5);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        let s = Summary::of_f64(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 9.99, 10.0, -1.0, 5.0]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[0], 2); // 0.0, 0.5
+        assert_eq!(h.counts()[9], 1); // 9.99
+        assert_eq!(h.counts()[5], 1); // 5.0
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let c = h.centers();
+        assert_eq!(c[0].0, 0.5);
+        assert_eq!(c[3].0, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn histogram_bad_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_series() {
+        // Period-4 series: strong correlation at lag 4, negative at lag 2.
+        let series: Vec<f64> = (0..400)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        assert!(autocorrelation(&series, 4) > 0.9);
+        assert!(autocorrelation(&series, 2) < 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0], 0), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+        assert_eq!(autocorrelation(&[3.0, 3.0, 3.0], 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let series = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert!((autocorrelation(&series, 0) - 1.0).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn summary_invariants(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+                let s = Summary::of_u64(&samples);
+                prop_assert_eq!(s.n, samples.len());
+                prop_assert!(s.min <= s.mean && s.mean <= s.max);
+                prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
+                prop_assert!(s.p50 <= s.p95 + 1e-9 && s.p95 <= s.p99 + 1e-9);
+                prop_assert!(s.std >= 0.0);
+                // std bounded by half the range for any distribution? No —
+                // but by the full range always.
+                prop_assert!(s.std <= s.max - s.min + 1e-9);
+            }
+
+            #[test]
+            fn percentile_is_monotone_in_q(
+                mut samples in proptest::collection::vec(-1_000.0f64..1_000.0, 2..100),
+                q1 in 0.0f64..1.0,
+                q2 in 0.0f64..1.0,
+            ) {
+                samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                prop_assert!(
+                    percentile_sorted(&samples, lo) <= percentile_sorted(&samples, hi) + 1e-9
+                );
+            }
+
+            #[test]
+            fn histogram_conserves_counts(
+                samples in proptest::collection::vec(-10.0f64..20.0, 0..300),
+            ) {
+                let mut h = Histogram::new(0.0, 10.0, 7);
+                h.extend(samples.iter().copied());
+                let binned: u64 = h.counts().iter().sum();
+                prop_assert_eq!(
+                    binned + h.underflow() + h.overflow(),
+                    samples.len() as u64
+                );
+                prop_assert_eq!(h.total(), samples.len() as u64);
+            }
+
+            #[test]
+            fn autocorrelation_bounded(
+                series in proptest::collection::vec(-100.0f64..100.0, 2..100),
+                lag in 0usize..50,
+            ) {
+                let r = autocorrelation(&series, lag);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {}", r);
+            }
+        }
+    }
+}

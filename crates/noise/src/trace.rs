@@ -1,0 +1,374 @@
+//! Trace-replay noise.
+//!
+//! The SC'07 study motivates injection by first *measuring* the noise of
+//! real kernels with FTQ/FWQ. [`TraceNoise`] closes that loop in GhostSim:
+//! a recorded list of stolen intervals (e.g. captured from an FTQ run on a
+//! real machine, or produced by one of the synthetic models) can be replayed
+//! onto the simulated machine, either once or tiled periodically.
+
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Time, Work};
+
+use crate::intervals::{Interval, IntervalNoise, IntervalSource};
+use crate::model::{NodeNoise, NoiseModel};
+
+/// A recorded noise trace: stolen intervals within `[0, span)`.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    intervals: Vec<Interval>,
+    span: Time,
+}
+
+impl Trace {
+    /// Build a trace from intervals and the capture window length.
+    ///
+    /// Intervals are sorted, clipped to `[0, span)`, and overlaps merged, so
+    /// downstream consumers see a canonical form.
+    pub fn new(mut intervals: Vec<Interval>, span: Time) -> Self {
+        assert!(span > 0, "trace span must be positive");
+        intervals.retain(|iv| iv.start < span && !iv.is_empty());
+        for iv in &mut intervals {
+            iv.end = iv.end.min(span);
+        }
+        intervals.sort_by_key(|iv| iv.start);
+        // Merge overlaps.
+        let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+                _ => merged.push(iv),
+            }
+        }
+        Self {
+            intervals: merged,
+            span,
+        }
+    }
+
+    /// Parse a trace from `start_ns end_ns` text lines (`#` comments and
+    /// blank lines ignored). `span` is the capture window.
+    pub fn parse(text: &str, span: Time) -> Result<Self, String> {
+        let mut ivs = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let s: Time = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing start", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad start: {e}", lineno + 1))?;
+            let e: Time = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing end", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad end: {e}", lineno + 1))?;
+            if e < s {
+                return Err(format!("line {}: inverted interval {s}..{e}", lineno + 1));
+            }
+            ivs.push(Interval::new(s, e));
+        }
+        Ok(Self::new(ivs, span))
+    }
+
+    /// The recorded intervals (canonical: sorted, merged, clipped).
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Capture window length.
+    pub fn span(&self) -> Time {
+        self.span
+    }
+
+    /// Total stolen time within the capture window.
+    pub fn total_noise(&self) -> Time {
+        self.intervals.iter().map(|iv| iv.len()).sum()
+    }
+
+    /// Stolen fraction of the capture window.
+    pub fn fraction(&self) -> f64 {
+        self.total_noise() as f64 / self.span as f64
+    }
+}
+
+/// Replay policy for a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replay {
+    /// Play the trace once; after `span`, the node is noiseless.
+    Once,
+    /// Tile the trace end-to-end forever.
+    Loop,
+}
+
+/// Noise model replaying a [`Trace`] on every node.
+///
+/// Each node can replay at a rotated offset (node i starts reading the trace
+/// at position `i * stride` within the span) so nodes are decorrelated
+/// without requiring per-node traces.
+#[derive(Debug, Clone)]
+pub struct TraceNoise {
+    trace: std::sync::Arc<Trace>,
+    replay: Replay,
+    rotate: bool,
+}
+
+impl TraceNoise {
+    /// Replay `trace` with the given policy; `rotate` decorrelates nodes by
+    /// rotating each node's start position within the trace.
+    pub fn new(trace: Trace, replay: Replay, rotate: bool) -> Self {
+        Self {
+            trace: std::sync::Arc::new(trace),
+            replay,
+            rotate,
+        }
+    }
+}
+
+/// Interval stream reading a shared trace with offset + optional looping.
+pub struct TraceSource {
+    trace: std::sync::Arc<Trace>,
+    replay: Replay,
+    /// Rotation offset within the span.
+    offset: Time,
+    /// Current tile index (0 for Once).
+    tile: u64,
+    /// Next interval index within the current tile.
+    idx: usize,
+}
+
+impl TraceSource {
+    /// Create a source reading `trace` starting `offset` ns into the span.
+    ///
+    /// Replay time `r` maps to trace position `(r + offset) mod span`; with
+    /// `Replay::Once` and a nonzero offset, the portion of the capture
+    /// window before the offset is not played (a single rotated pass).
+    pub fn new(trace: std::sync::Arc<Trace>, replay: Replay, offset: Time) -> Self {
+        let offset = offset % trace.span;
+        Self {
+            trace,
+            replay,
+            offset,
+            tile: 0,
+            idx: 0,
+        }
+    }
+}
+
+impl IntervalSource for TraceSource {
+    fn next_interval(&mut self) -> Option<Interval> {
+        if self.trace.intervals.is_empty() {
+            return None;
+        }
+        loop {
+            if self.idx < self.trace.intervals.len() {
+                let iv = self.trace.intervals[self.idx];
+                self.idx += 1;
+                // Position on the unrolled (tiled) trace timeline.
+                let base = self.tile * self.trace.span;
+                let u_start = base + iv.start;
+                let u_end = base + iv.end;
+                if u_end <= self.offset {
+                    continue; // entirely before the rotation origin
+                }
+                let start = u_start.max(self.offset) - self.offset;
+                let end = u_end - self.offset;
+                return Some(Interval::new(start, end));
+            }
+            match self.replay {
+                Replay::Once => return None,
+                Replay::Loop => {
+                    self.tile += 1;
+                    self.idx = 0;
+                }
+            }
+        }
+    }
+}
+
+impl NoiseModel for TraceNoise {
+    fn instantiate(&self, node: usize, streams: &NodeStream) -> Box<dyn NodeNoise> {
+        let offset = if self.rotate {
+            let mut rng = streams.for_node(node, crate::model::streams::PHASE);
+            rng.gen_range(self.trace.span)
+        } else {
+            0
+        };
+        Box::new(IntervalNoise::new(TraceSource::new(
+            self.trace.clone(),
+            self.replay,
+            offset,
+        )))
+    }
+
+    fn net_fraction(&self) -> f64 {
+        match self.replay {
+            Replay::Loop => self.trace.fraction(),
+            Replay::Once => self.trace.fraction(), // over the capture window
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "trace replay ({} intervals over {}, {:.2}% net, {:?})",
+            self.trace.intervals.len(),
+            ghost_engine::time::format_time(self.trace.span),
+            self.trace.fraction() * 100.0,
+            self.replay
+        )
+    }
+}
+
+/// Record a node's noise as a [`Trace`] by probing a model over a window
+/// with the given probe resolution (used to round-trip synthetic models
+/// through the trace machinery, and as the paper does when characterizing a
+/// kernel before injection).
+pub fn record(model: &dyn NoiseModel, node: usize, seed: u64, span: Time, probe: Time) -> Trace {
+    assert!(probe > 0);
+    let s = NodeStream::new(seed);
+    let mut n = model.instantiate(node, &s);
+    let mut intervals = Vec::new();
+    let mut cur: Option<Interval> = None;
+    let mut t = 0;
+    while t < span {
+        let t1 = (t + probe).min(span);
+        let free: Work = n.work_in(t, t1);
+        let stolen = (t1 - t) - free;
+        if stolen > 0 {
+            // Attribute stolen time to this probe cell (resolution-limited).
+            match &mut cur {
+                Some(iv) if iv.end == t => iv.end = t1,
+                _ => {
+                    if let Some(iv) = cur.take() {
+                        intervals.push(iv);
+                    }
+                    cur = Some(Interval::new(t, t1));
+                }
+            }
+        } else if let Some(iv) = cur.take() {
+            intervals.push(iv);
+        }
+        t = t1;
+    }
+    if let Some(iv) = cur.take() {
+        intervals.push(iv);
+    }
+    Trace::new(intervals, span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::periodic::PeriodicModel;
+    use crate::model::PhasePolicy;
+    use ghost_engine::time::{MS, SEC, US};
+
+    fn iv(s: Time, e: Time) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn trace_canonicalizes() {
+        let t = Trace::new(vec![iv(50, 60), iv(10, 20), iv(15, 30), iv(90, 200)], 100);
+        assert_eq!(t.intervals(), &[iv(10, 30), iv(50, 60), iv(90, 100)]);
+        assert_eq!(t.total_noise(), 40);
+        assert!((t.fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_parse_roundtrip() {
+        let text = "# kernel noise capture\n10 20\n\n50 60\n";
+        let t = Trace::parse(text, 100).unwrap();
+        assert_eq!(t.intervals(), &[iv(10, 20), iv(50, 60)]);
+    }
+
+    #[test]
+    fn trace_parse_rejects_garbage() {
+        assert!(Trace::parse("abc def", 100).is_err());
+        assert!(Trace::parse("10", 100).is_err());
+        assert!(Trace::parse("20 10", 100).is_err());
+    }
+
+    #[test]
+    fn replay_once_stops_after_span() {
+        let trace = Trace::new(vec![iv(10, 20)], 100);
+        let m = TraceNoise::new(trace, Replay::Once, false);
+        let s = NodeStream::new(1);
+        let mut n = m.instantiate(0, &s);
+        assert_eq!(n.advance(0, 15), 25); // skips [10,20)
+        assert_eq!(n.advance(200, 1000), 1200); // past the trace: noiseless
+    }
+
+    #[test]
+    fn replay_loop_tiles() {
+        let trace = Trace::new(vec![iv(10, 20)], 100);
+        let m = TraceNoise::new(trace, Replay::Loop, false);
+        let s = NodeStream::new(1);
+        let mut n = m.instantiate(0, &s);
+        // Tiles: noise at [10,20), [110,120), [210,220) ...
+        assert_eq!(n.next_free(115), 120);
+        assert_eq!(n.next_free(215), 220);
+    }
+
+    #[test]
+    fn rotation_decorrelates_nodes() {
+        let trace = Trace::new(vec![iv(0, 10 * MS)], 100 * MS);
+        let m = TraceNoise::new(trace, Replay::Loop, true);
+        let s = NodeStream::new(5);
+        let mut a = m.instantiate(0, &s);
+        let mut b = m.instantiate(1, &s);
+        // Dense probing: the rotated pulse positions differ across nodes.
+        let fa: Vec<Time> = (0..200).map(|i| a.next_free(i * MS)).collect();
+        let fb: Vec<Time> = (0..200).map(|i| b.next_free(i * MS)).collect();
+        assert_ne!(fa, fb, "rotated replicas should differ across nodes");
+    }
+
+    #[test]
+    fn record_recovers_periodic_fraction() {
+        let m = PeriodicModel::new(10 * MS, 250 * US, PhasePolicy::Aligned);
+        let tr = record(&m, 0, 1, SEC, 50 * US);
+        // Resolution-limited: fraction within a probe cell of the truth.
+        assert!(
+            (tr.fraction() - 0.025).abs() < 0.005,
+            "recorded fraction {}",
+            tr.fraction()
+        );
+        // Roughly 100 pulses in 1s at 100 Hz.
+        let n = tr.intervals().len();
+        assert!((90..=110).contains(&n), "{n} pulses recorded");
+    }
+
+    #[test]
+    fn recorded_trace_replays_equivalently() {
+        let m = PeriodicModel::new(MS, 100 * US, PhasePolicy::Aligned);
+        let tr = record(&m, 0, 1, 10 * MS, 10 * US);
+        let replay = TraceNoise::new(tr, Replay::Loop, false);
+        let s = NodeStream::new(1);
+        let mut orig = m.instantiate(0, &s);
+        let mut rep = replay.instantiate(0, &s);
+        for i in 0..20u64 {
+            let t = i * 700 * US;
+            let a = orig.next_free(t);
+            let b = rep.next_free(t);
+            // Within probe resolution.
+            assert!(
+                a.abs_diff(b) <= 10 * US,
+                "t={t}: orig {a} vs replay {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn describe_mentions_trace() {
+        let m = TraceNoise::new(Trace::new(vec![iv(0, 10)], 100), Replay::Loop, false);
+        assert!(m.describe().contains("trace replay"));
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn zero_span_panics() {
+        Trace::new(vec![], 0);
+    }
+}

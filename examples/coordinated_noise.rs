@@ -1,0 +1,51 @@
+//! Co-scheduling the ghost: the same noise, synchronized across nodes, is
+//! nearly free — phase alignment, not noise volume, decides the damage.
+//!
+//! This reproduces the gang-scheduling insight the paper's discussion
+//! points at: if kernel interruptions strike every node at the same
+//! instant, a tightly synchronized application loses only the injected
+//! share; independent phases make it lose the max over all nodes, every
+//! step.
+//!
+//! ```sh
+//! cargo run --release --example coordinated_noise
+//! ```
+
+use ghostsim::prelude::*;
+
+fn main() {
+    let nodes = 256;
+    let spec = ExperimentSpec::flat(nodes, 7);
+    // A fine-grained BSP code: 500 us of compute, then an 8-byte allreduce.
+    let workload = BspSynthetic::new(400, 500 * US);
+    let sig = Signature::new(10.0, 2500 * US);
+
+    let mut tab = Table::new(
+        format!("Phase policy vs damage at P={nodes} (10 Hz x 2.5 ms, 2.5% net, g=500us)"),
+        &["phase policy", "slowdown %", "amplification"],
+    );
+    let policies: Vec<(&str, PhasePolicy)> = vec![
+        ("aligned (co-scheduled kernels)", PhasePolicy::Aligned),
+        ("random (independent kernels)", PhasePolicy::Random),
+        (
+            "staggered (adversarial)",
+            PhasePolicy::Staggered { nodes },
+        ),
+    ];
+    for (name, policy) in policies {
+        let injection = NoiseInjection::with_policy(sig, policy);
+        let m = compare(&spec, &workload, &injection);
+        tab.row(&[
+            name.to_owned(),
+            format!("{:.1}", m.slowdown_pct()),
+            format!("{:.1}", m.amplification()),
+        ]);
+    }
+    println!("{}", tab.render());
+    println!(
+        "Same machine, same application, same 2.5% of stolen CPU. Aligned pulses cost\n\
+         ~2.5%; independent pulses cost two orders of magnitude more. The fix the\n\
+         community drew from results like these: synchronize (or eliminate) kernel\n\
+         activity rather than merely minimizing it."
+    );
+}

@@ -1,0 +1,67 @@
+//! Characterize noise processes the way the paper does: with the FTQ and
+//! FWQ microbenchmarks, then recover the injection frequency from the FTQ
+//! power spectrum.
+//!
+//! ```sh
+//! cargo run --release --example noise_signatures
+//! ```
+
+use ghostsim::prelude::*;
+use ghostsim::noise::composite::commodity_os;
+use ghostsim::noise::ftq::{ftq, fwq};
+use ghostsim::noise::model::NoiseModel;
+use ghostsim::noise::spectrum::fundamental_frequency;
+use ghostsim::noise::stochastic::{DurationDist, PoissonNoise};
+
+fn characterize(name: &str, model: &dyn NoiseModel, tab: &mut Table) {
+    let seed = 7;
+    // FWQ: run 1 ms work quanta 8000 times, look at the elapsed-time tail.
+    let fwq_run = fwq(model, 0, seed, MS, 8_000);
+    let s = fwq_run.summary();
+    // FTQ: 1 ms time quanta; spectral analysis of lost work.
+    let ftq_run = ftq(model, 0, seed, MS, 16_384);
+    let lost: Vec<f64> = ftq_run.lost().iter().map(|&x| x as f64).collect();
+    let freq = fundamental_frequency(&lost, ftq_run.sample_rate_hz());
+    tab.row(&[
+        name.to_owned(),
+        format!("{:.2}", fwq_run.measured_noise_fraction() * 100.0),
+        format!("{:.2}", fwq_run.hit_fraction() * 100.0),
+        format!("{:.0}", s.p99 - MS as f64),
+        format!("{:.0}", s.max - MS as f64),
+        freq.map(|f| format!("{f:.1}")).unwrap_or_else(|| "-".into()),
+    ]);
+}
+
+fn main() {
+    let mut tab = Table::new(
+        "Noise characterization (FWQ work quantum 1 ms; FTQ quantum 1 ms)",
+        &[
+            "process",
+            "net %",
+            "hit samples %",
+            "p99 overhead (ns)",
+            "max overhead (ns)",
+            "spectral fundamental (Hz)",
+        ],
+    );
+
+    characterize("lightweight kernel (none)", &NoNoise, &mut tab);
+    for sig in canonical_2_5pct() {
+        let model = sig.periodic_model(PhasePolicy::Random);
+        characterize(&format!("injected {}", sig.label()), &model, &mut tab);
+    }
+    characterize(
+        "poisson 100 Hz x exp(250 us)",
+        &PoissonNoise::new(100.0, DurationDist::Exponential(250_000)),
+        &mut tab,
+    );
+    characterize("commodity OS profile", &commodity_os(), &mut tab);
+
+    println!("{}", tab.render());
+    println!(
+        "Reading the table: equal net % hides wildly different pulse shapes. The 10 Hz\n\
+         signature hits ~1% of the work quanta but each hit costs 2.5 ms; the 1 kHz\n\
+         signature touches every quantum for 25 us. Figs 5-9 show which one kills\n\
+         applications at scale."
+    );
+}

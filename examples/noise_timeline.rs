@@ -1,0 +1,71 @@
+//! Watch the ghost at work: a per-rank execution timeline around a single
+//! noise pulse.
+//!
+//! Eight ranks run a fine-grained BSP loop (500 µs compute + 8-byte
+//! allreduce). A single 10 Hz / 2.5 ms noise source is injected on rank 3
+//! only. The timeline shows the pulse carving a hole in rank 3's schedule —
+//! and every other rank's allreduce chain stalling behind it (`.` =
+//! blocked).
+//!
+//! ```sh
+//! cargo run --release --example noise_timeline
+//! ```
+
+use ghostsim::core::plot::timeline;
+use ghostsim::prelude::*;
+
+fn main() {
+    let p = 8;
+    let steps = 60;
+    let sig = Signature::new(10.0, 2500 * US);
+    // Noise on rank 3 only, phase fixed so the pulse lands mid-run.
+    let model = sig.periodic_model(PhasePolicy::Fixed(10 * MS));
+
+    struct OnlyRank3<M>(M);
+    impl<M: ghostsim::noise::model::NoiseModel> ghostsim::noise::model::NoiseModel for OnlyRank3<M> {
+        fn instantiate(
+            &self,
+            node: usize,
+            streams: &ghostsim::engine::rng::NodeStream,
+        ) -> Box<dyn ghostsim::noise::model::NodeNoise> {
+            if node == 3 {
+                self.0.instantiate(node, streams)
+            } else {
+                Box::new(NoNoise)
+            }
+        }
+        fn net_fraction(&self) -> f64 {
+            self.0.net_fraction()
+        }
+        fn describe(&self) -> String {
+            format!("{} on rank 3 only", self.0.describe())
+        }
+    }
+
+    let workload = BspSynthetic::new(steps, 500 * US);
+    let net = Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
+    let noise = OnlyRank3(model);
+    let machine = Machine::new(net, &noise, 42).with_trace(true);
+    let result = machine.run(workload.programs(p, 42)).unwrap();
+
+    println!(
+        "8 ranks, 500us compute + allreduce per step; one 2.5ms pulse on rank 3 at t=10ms.\n\
+         Total runtime {} (noiseless would be ~{}).\n",
+        ghostsim::engine::time::format_time(result.makespan),
+        ghostsim::engine::time::format_time(steps as u64 * 500 * US + steps as u64 * 30 * US),
+    );
+
+    // Zoom on the window around the pulse.
+    println!(
+        "{}",
+        timeline(&result.trace, p, 8 * MS, 16 * MS, 100)
+    );
+    println!(
+        "Reading it: every rank alternates 500us of C (compute) with an allreduce too\n\
+         brief to resolve at this zoom. At t=10ms the pulse lands on rank 3 — its C\n\
+         bar stretches across the pulse (the CPU is stolen mid-step) while every\n\
+         other rank drops to '.' (blocked in the allreduce) until rank 3 returns.\n\
+         One node's kernel daemon stalls the whole machine; with noise on all P\n\
+         nodes this happens P times per period, which is how 2.5% becomes 600%."
+    );
+}

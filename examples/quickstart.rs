@@ -1,0 +1,48 @@
+//! Quickstart: inject the paper's canonical noise signatures into a small
+//! simulated machine and watch what they cost three application archetypes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ghostsim::prelude::*;
+
+fn main() {
+    let nodes = 64;
+    let seed = 42;
+    let spec = ExperimentSpec::flat(nodes, seed);
+
+    // The paper's Table-1 signatures: 2.5% of every node's CPU, delivered
+    // three different ways.
+    let signatures = canonical_2_5pct();
+
+    // Three communication signatures: coarse (SAGE-like), medium
+    // (CTH-like), fine-grained collectives (POP-like).
+    let sage = SageLike::with_steps(5);
+    let cth = CthLike::with_steps(10);
+    let pop = PopLike::with_steps(2);
+    let apps: Vec<&dyn Workload> = vec![&sage, &cth, &pop];
+
+    let mut tab = Table::new(
+        format!("2.5% injected noise at P={nodes}: who pays?"),
+        &["application", "signature", "slowdown %", "amplification"],
+    );
+    for app in apps {
+        for sig in &signatures {
+            let injection = NoiseInjection::uncoordinated(*sig);
+            let m = compare(&spec, app, &injection);
+            tab.row(&[
+                app.name(),
+                sig.label(),
+                format!("{:.2}", m.slowdown_pct()),
+                format!("{:.2}", m.amplification()),
+            ]);
+        }
+    }
+    println!("{}", tab.render());
+    println!(
+        "The same 2.5% of CPU stolen from every node costs SAGE ~2.5% — and POP up to\n\
+         dozens of times that, entirely as a function of HOW the noise is delivered\n\
+         and how often the application synchronizes. That is the ghost in the machine."
+    );
+}

@@ -1,0 +1,74 @@
+//! Record-and-replay: capture a kernel's noise as a trace, then inject that
+//! trace into a machine — the workflow for studying a *measured* noise
+//! profile (e.g. an FTQ capture from a production cluster) at scales the
+//! original machine doesn't have.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use ghostsim::noise::composite::commodity_os;
+use ghostsim::noise::trace::{record, Replay, Trace, TraceNoise};
+use ghostsim::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. "Measure" a commodity kernel for 2 seconds at 20 us resolution
+    //    (in the field this would be an FTQ capture).
+    let kernel = commodity_os();
+    let trace = record(&kernel, 0, 7, 2 * SEC, 20 * US);
+    println!(
+        "captured {} noise intervals over {} ({:.2}% of CPU stolen)",
+        trace.intervals().len(),
+        ghostsim::engine::time::format_time(trace.span()),
+        trace.fraction() * 100.0,
+    );
+
+    // 2. Serialize / parse round trip (the on-disk interchange format).
+    let text: String = trace
+        .intervals()
+        .iter()
+        .map(|iv| format!("{} {}\n", iv.start, iv.end))
+        .collect();
+    let reloaded = Trace::parse(&text, trace.span()).expect("well-formed trace");
+    assert_eq!(reloaded.intervals(), trace.intervals());
+
+    // 3. Replay the capture on every node of a 64-node machine (rotated per
+    //    node so replicas are decorrelated) under a POP-like workload.
+    let replay = TraceNoise::new(reloaded, Replay::Loop, true);
+    let injection = NoiseInjection::from_model(
+        Arc::new(replay),
+        "replayed commodity-kernel trace",
+    );
+
+    let spec = ExperimentSpec::flat(64, 42);
+    let pop = PopLike::with_steps(2);
+
+    let mut tab = Table::new(
+        "replayed commodity-kernel noise vs synthetic signatures (POP-like, P=64)",
+        &["injection", "net %", "slowdown %", "amplification"],
+    );
+    let m = compare(&spec, &pop, &injection);
+    tab.row(&[
+        injection.label().to_owned(),
+        format!("{:.2}", trace.fraction() * 100.0),
+        format!("{:.2}", m.slowdown_pct()),
+        format!("{:.2}", m.amplification()),
+    ]);
+    for sig in canonical_2_5pct() {
+        let inj = NoiseInjection::uncoordinated(sig);
+        let m = compare(&spec, &pop, &inj);
+        tab.row(&[
+            inj.label().to_owned(),
+            format!("{:.2}", sig.net_fraction() * 100.0),
+            format!("{:.2}", m.slowdown_pct()),
+            format!("{:.2}", m.amplification()),
+        ]);
+    }
+    println!("{}", tab.render());
+    println!(
+        "The replayed kernel's rare multi-millisecond daemon pulses put its per-percent\n\
+         damage in the same league as the 10 Hz injection and far above the 1 kHz one —\n\
+         net percentage is the wrong metric, pulse shape is destiny."
+    );
+}

@@ -1,0 +1,202 @@
+//! `ghostsim` — command-line front end for one-off noise experiments.
+//!
+//! ```text
+//! ghostsim --app pop --nodes 512 --hz 10 --net-pct 2.5 [--steps 5]
+//!          [--phase random|aligned] [--topo flat|torus|fattree]
+//!          [--network mpp|commodity|ideal] [--seed 42]
+//! ghostsim --help
+//! ```
+//!
+//! Runs the baseline and the injected configuration and prints the metrics
+//! row. Argument parsing is hand-rolled (no CLI dependency).
+
+use ghostsim::prelude::*;
+
+struct Args {
+    app: String,
+    goal: Option<String>,
+    nodes: usize,
+    hz: f64,
+    net_pct: f64,
+    steps: usize,
+    phase: String,
+    topo: String,
+    network: String,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            app: "pop".into(),
+            goal: None,
+            nodes: 64,
+            hz: 10.0,
+            net_pct: 2.5,
+            steps: 3,
+            phase: "random".into(),
+            topo: "flat".into(),
+            network: "mpp".into(),
+            seed: 42,
+        }
+    }
+}
+
+const USAGE: &str = "\
+ghostsim — inject OS noise into a simulated parallel machine
+
+USAGE:
+    ghostsim [OPTIONS]
+
+OPTIONS:
+    --app <sage|cth|pop|spectral|bsp>   workload              [default: pop]
+    --goal <file>                       run a GOAL script instead of --app
+                                        (overrides --app/--nodes/--steps)
+    --nodes <N>                         machine size          [default: 64]
+    --hz <F>                            noise frequency (Hz)  [default: 10]
+    --net-pct <P>                       net noise intensity % [default: 2.5]
+    --steps <N>                         timesteps             [default: 3]
+    --phase <random|aligned|staggered>  phase policy          [default: random]
+    --topo <flat|torus|fattree>         topology              [default: flat]
+    --network <mpp|commodity|ideal>     LogGP preset          [default: mpp]
+    --seed <N>                          experiment seed       [default: 42]
+    --help                              print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--app" => args.app = value,
+            "--goal" => args.goal = Some(value),
+            "--nodes" => args.nodes = value.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--hz" => args.hz = value.parse().map_err(|e| format!("--hz: {e}"))?,
+            "--net-pct" => args.net_pct = value.parse().map_err(|e| format!("--net-pct: {e}"))?,
+            "--steps" => args.steps = value.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--phase" => args.phase = value,
+            "--topo" => args.topo = value,
+            "--network" => args.network = value,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut nodes = args.nodes;
+    let workload: Box<dyn Workload> = if let Some(path) = &args.goal {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match GoalWorkload::parse(&text) {
+            Ok(goal) => {
+                nodes = goal.size();
+                Box::new(goal)
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match args.app.as_str() {
+        "sage" => Box::new(SageLike::with_steps(args.steps)),
+        "cth" => Box::new(CthLike::with_steps(args.steps)),
+        "pop" => Box::new(PopLike::with_steps(args.steps)),
+        "spectral" => Box::new(SpectralLike::with_steps(args.steps)),
+        "bsp" => Box::new(BspSynthetic::new(args.steps.max(10) * 20, 500 * US)),
+        other => {
+            eprintln!("error: unknown app '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+        }
+    };
+
+    let mut spec = ExperimentSpec::flat(nodes, args.seed);
+    spec.topo = match args.topo.as_str() {
+        "flat" => TopoPreset::Flat,
+        "torus" => TopoPreset::Torus3D,
+        "fattree" => TopoPreset::FatTree { arity: 16 },
+        other => {
+            eprintln!("error: unknown topology '{other}'");
+            std::process::exit(2);
+        }
+    };
+    spec.net = match args.network.as_str() {
+        "mpp" => NetPreset::Mpp,
+        "commodity" => NetPreset::Commodity,
+        "ideal" => NetPreset::Ideal,
+        other => {
+            eprintln!("error: unknown network '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let sig = Signature::from_net(args.hz, args.net_pct / 100.0);
+    let policy = match args.phase.as_str() {
+        "random" => PhasePolicy::Random,
+        "aligned" => PhasePolicy::Aligned,
+        "staggered" => PhasePolicy::Staggered { nodes },
+        other => {
+            eprintln!("error: unknown phase policy '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let injection = NoiseInjection::with_policy(sig, policy);
+
+    eprintln!(
+        "running {} on {} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
+        workload.name(),
+        nodes,
+        args.topo,
+        args.network,
+        sig.label(),
+        args.net_pct,
+        args.phase,
+    );
+    let m = compare(&spec, workload.as_ref(), &injection);
+
+    let mut tab = Table::new(
+        "result",
+        &[
+            "application",
+            "injection",
+            "T_base",
+            "T_noisy",
+            "slowdown %",
+            "amplification",
+            "absorbed %",
+        ],
+    );
+    tab.row(&[
+        workload.name(),
+        sig.label(),
+        ghostsim::engine::time::format_time(m.base),
+        ghostsim::engine::time::format_time(m.noisy),
+        format!("{:.2}", m.slowdown_pct()),
+        format!("{:.2}", m.amplification()),
+        format!("{:.1}", m.absorbed_pct()),
+    ]);
+    println!("{}", tab.render());
+}

@@ -1,0 +1,83 @@
+//! # GhostSim
+//!
+//! A discrete-event reproduction of the SC'07 study *"The Ghost in the
+//! Machine: Observing the Effects of Kernel Operation on Parallel
+//! Application Performance"* — operating-system noise injection and its
+//! measured impact on parallel applications at scale.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`engine`] | deterministic discrete-event core (time, event queue, RNG streams) |
+//! | [`noise`]  | OS-noise models, injection signatures, FTQ/FWQ microbenchmarks, spectra |
+//! | [`net`]    | LogGP network model and topologies (flat, 3-D torus, fat tree) |
+//! | [`mpi`]    | simulated MPI: rank executor + real collective algorithms |
+//! | [`apps`]   | SAGE-, CTH-, POP-like application skeletons and BSP generators |
+//! | [`core`]   | the injection framework, experiment harness, metrics, analytic model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ghostsim::prelude::*;
+//!
+//! // A 64-node machine, a POP-like workload, and the paper's harshest
+//! // 2.5% signature: 10 Hz x 2500 us.
+//! let spec = ExperimentSpec::flat(64, 42);
+//! let workload = PopLike::with_steps(1);
+//! let injection = NoiseInjection::uncoordinated(Signature::new(10.0, 2_500_000));
+//!
+//! let m = compare(&spec, &workload, &injection);
+//! // 2.5% of injected noise costs this application far more than 2.5%.
+//! assert!(m.slowdown_pct() > 10.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ghost_apps as apps;
+pub use ghost_core as core;
+pub use ghost_engine as engine;
+pub use ghost_mpi as mpi;
+pub use ghost_net as net;
+pub use ghost_noise as noise;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use ghost_apps::{
+        bsp::SyncKind, BspSynthetic, CthLike, LoadImbalance, PopLike, SageLike, SpectralLike,
+        Workload,
+    };
+    pub use ghost_core::analytic;
+    pub use ghost_core::experiment::{
+        compare, run_workload, scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord,
+        TopoPreset,
+    };
+    pub use ghost_core::injection::{NoiseInjection, Placement};
+    pub use ghost_core::metrics::Metrics;
+    pub use ghost_core::replicate::{replicate, Replicates};
+    pub use ghost_core::report::Table;
+    pub use ghost_engine::time::{MS, SEC, US};
+    pub use ghost_mpi::{
+        Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunResult,
+        ScriptProgram,
+    };
+    pub use ghost_net::{Dragonfly, FatTree, Flat, LogGP, Network, Torus3D};
+    pub use ghost_noise::burst::BurstNoise;
+    pub use ghost_noise::jitter::JitteredPeriodic;
+    pub use ghost_noise::model::{NoNoise, PhasePolicy};
+    pub use ghost_noise::signature::{canonical_2_5pct, canonical_set};
+    pub use ghost_noise::Signature;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let spec = ExperimentSpec::flat(4, 1);
+        let w = BspSynthetic::new(2, MS);
+        let m = compare(&spec, &w, &NoiseInjection::none());
+        assert_eq!(m.base, m.noisy);
+    }
+}

@@ -1,0 +1,315 @@
+//! End-to-end collective correctness through the full timed machine —
+//! including under noise, which must never change *values*, only timing.
+
+use ghostsim::prelude::*;
+
+fn machine(p: usize) -> Network {
+    Network::new(LogGP::mpp(), Box::new(Flat::new(p)))
+}
+
+fn run_one_call(p: usize, calls: impl Fn(usize) -> Vec<MpiCall>, noisy: bool) -> RunResult {
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|r| ScriptProgram::new(calls(r)).boxed())
+        .collect();
+    if noisy {
+        let sig = Signature::new(100.0, 250 * US);
+        let model = sig.periodic_model(PhasePolicy::Random);
+        Machine::new(machine(p), &model, 77).run(programs).unwrap()
+    } else {
+        Machine::new(machine(p), &NoNoise, 77).run(programs).unwrap()
+    }
+}
+
+#[test]
+fn allreduce_sum_exact_under_noise() {
+    for p in [3usize, 8, 13, 16] {
+        for noisy in [false, true] {
+            let r = run_one_call(
+                p,
+                |rank| {
+                    vec![MpiCall::Allreduce {
+                        bytes: 8,
+                        value: (rank * rank) as f64,
+                        op: ReduceOp::Sum,
+                    }]
+                },
+                noisy,
+            );
+            let expect: f64 = (0..p).map(|r| (r * r) as f64).sum();
+            assert!(
+                r.final_values.iter().all(|v| *v == Some(expect)),
+                "p={p} noisy={noisy}: {:?}",
+                r.final_values
+            );
+        }
+    }
+}
+
+#[test]
+fn all_collectives_once_through_the_machine() {
+    let p = 6;
+    let r = run_one_call(
+        p,
+        |rank| {
+            vec![
+                MpiCall::Barrier,
+                MpiCall::Bcast {
+                    root: 2,
+                    bytes: 1024,
+                    value: if rank == 2 { 5.0 } else { -1.0 },
+                },
+                MpiCall::Reduce {
+                    root: 1,
+                    bytes: 8,
+                    value: 1.0,
+                    op: ReduceOp::Sum,
+                },
+                MpiCall::Allgather {
+                    bytes: 64,
+                    value: rank as f64,
+                },
+                MpiCall::Gather {
+                    root: 0,
+                    bytes: 32,
+                    value: 2.0,
+                },
+                MpiCall::Scatter {
+                    root: 3,
+                    bytes: 16,
+                    value: if rank == 3 { 9.0 } else { 0.0 },
+                },
+                MpiCall::Alltoall {
+                    bytes: 8,
+                    value: 1.0,
+                },
+                MpiCall::Allreduce {
+                    bytes: 8,
+                    value: (rank + 1) as f64,
+                    op: ReduceOp::Max,
+                },
+            ]
+        },
+        true,
+    );
+    // Final call: max over 1..=p.
+    assert!(r.final_values.iter().all(|v| *v == Some(p as f64)));
+}
+
+#[test]
+fn rabenseifner_and_recdbl_agree_on_values() {
+    let p = 12;
+    let mut results = Vec::new();
+    for algo in [
+        ghostsim::mpi::AllreduceAlgo::RecursiveDoubling,
+        ghostsim::mpi::AllreduceAlgo::Rabenseifner,
+    ] {
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|r| {
+                ScriptProgram::new(vec![MpiCall::Allreduce {
+                    bytes: 1 << 16,
+                    value: (r + 1) as f64,
+                    op: ReduceOp::Sum,
+                }])
+                .boxed()
+            })
+            .collect();
+        let cfg = ghostsim::mpi::CollectiveConfig {
+            allreduce: algo,
+            ..Default::default()
+        };
+        let r = Machine::new(machine(p), &NoNoise, 1)
+            .with_config(cfg)
+            .run(programs)
+            .unwrap();
+        results.push(r.final_values.clone());
+    }
+    assert_eq!(results[0], results[1]);
+    let expect = (p * (p + 1)) as f64 / 2.0;
+    assert!(results[0].iter().all(|v| *v == Some(expect)));
+}
+
+#[test]
+fn noise_changes_timing_but_not_results() {
+    let p = 8;
+    let calls = |rank: usize| {
+        vec![
+            MpiCall::Compute(MS),
+            MpiCall::Allreduce {
+                bytes: 8,
+                value: rank as f64,
+                op: ReduceOp::Sum,
+            },
+            MpiCall::Alltoall {
+                bytes: 128,
+                value: 1.0,
+            },
+        ]
+    };
+    let clean = run_one_call(p, calls, false);
+    let noisy = run_one_call(p, calls, true);
+    assert_eq!(clean.final_values, noisy.final_values);
+    assert!(noisy.makespan > clean.makespan);
+    assert_eq!(clean.messages, noisy.messages);
+}
+
+#[test]
+fn point_to_point_ring_under_noise() {
+    // Pass a token around a ring; value accumulates rank ids.
+    let p = 5;
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|r| {
+            let calls = if r == 0 {
+                vec![
+                    MpiCall::Send {
+                        dst: 1,
+                        tag: 1,
+                        bytes: 8,
+                        value: 0.0,
+                    },
+                    MpiCall::Recv { src: p - 1, tag: 1 },
+                ]
+            } else {
+                // Each rank relays (value + rank). Two-phase: recv, then
+                // send is issued with a placeholder; we verify the recv
+                // values on rank 0 only.
+                vec![
+                    MpiCall::Recv { src: r - 1, tag: 1 },
+                    MpiCall::Send {
+                        dst: (r + 1) % p,
+                        tag: 1,
+                        bytes: 8,
+                        value: r as f64,
+                    },
+                ]
+            };
+            ScriptProgram::new(calls).boxed()
+        })
+        .collect();
+    let sig = Signature::new(1000.0, 25 * US);
+    let model = sig.periodic_model(PhasePolicy::Random);
+    let r = Machine::new(machine(p), &model, 3).run(programs).unwrap();
+    // Rank 0's final recv came from rank p-1 carrying p-1.
+    assert_eq!(r.final_values[0], Some((p - 1) as f64));
+}
+
+#[test]
+fn scan_exscan_and_reduce_scatter_through_the_machine() {
+    for p in [4usize, 7, 8, 16] {
+        let r = run_one_call(
+            p,
+            |rank| {
+                vec![
+                    MpiCall::Scan {
+                        bytes: 8,
+                        value: (rank + 1) as f64,
+                        op: ReduceOp::Sum,
+                    },
+                    MpiCall::Exscan {
+                        bytes: 8,
+                        value: 1.0,
+                        op: ReduceOp::Sum,
+                    },
+                    MpiCall::ReduceScatter {
+                        block_bytes: 64,
+                        value: (rank + 1) as f64,
+                        op: ReduceOp::Sum,
+                    },
+                ]
+            },
+            true,
+        );
+        // Final call: reduce-scatter yields the global sum everywhere.
+        let expect = (p * (p + 1)) as f64 / 2.0;
+        assert!(
+            r.final_values.iter().all(|v| *v == Some(expect)),
+            "p={p}: {:?}",
+            r.final_values
+        );
+    }
+}
+
+#[test]
+fn self_messages_work() {
+    // A rank sending to itself: delivery is instant (no wire), matching
+    // through the same mailbox.
+    let r = run_one_call(
+        1,
+        |_| {
+            vec![
+                MpiCall::Send {
+                    dst: 0,
+                    tag: 9,
+                    bytes: 64,
+                    value: 4.5,
+                },
+                MpiCall::Recv { src: 0, tag: 9 },
+            ]
+        },
+        false,
+    );
+    assert_eq!(r.final_values[0], Some(4.5));
+}
+
+#[test]
+fn sendrecv_with_distinct_peers_forms_a_ring() {
+    // Each rank sends right, receives from left — one Sendrecv per rank.
+    let p = 5;
+    let r = run_one_call(
+        p,
+        |rank| {
+            vec![MpiCall::Sendrecv {
+                dst: (rank + 1) % p,
+                stag: 3,
+                sbytes: 16,
+                svalue: rank as f64,
+                src: (rank + p - 1) % p,
+                rtag: 3,
+            }]
+        },
+        true,
+    );
+    for (rank, v) in r.final_values.iter().enumerate() {
+        let left = (rank + p - 1) % p;
+        assert_eq!(*v, Some(left as f64), "rank {rank}");
+    }
+}
+
+#[test]
+fn blocking_and_nonblocking_halos_agree_on_values() {
+    let spec_vals = |nonblocking: bool| {
+        let cfg = CthLike {
+            steps: 2,
+            compute: MS,
+            halo_bytes: 4096,
+            halo_nonblocking: nonblocking,
+            ..CthLike::with_steps(2)
+        };
+        let net = machine(9);
+        let model = Signature::new(100.0, 250 * US).periodic_model(PhasePolicy::Random);
+        Machine::new(net, &model, 21)
+            .run(ghostsim::prelude::Workload::programs(&cfg, 9, 21))
+            .unwrap()
+            .final_values
+    };
+    assert_eq!(spec_vals(false), spec_vals(true));
+}
+
+#[test]
+fn scan_values_are_rank_dependent() {
+    let p = 6;
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|r| {
+            ScriptProgram::new(vec![MpiCall::Scan {
+                bytes: 8,
+                value: (r + 1) as f64,
+                op: ReduceOp::Sum,
+            }])
+            .boxed()
+        })
+        .collect();
+    let r = Machine::new(machine(p), &NoNoise, 1).run(programs).unwrap();
+    for (rank, v) in r.final_values.iter().enumerate() {
+        let expect = ((rank + 1) * (rank + 2)) as f64 / 2.0;
+        assert_eq!(*v, Some(expect), "rank {rank}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Reproducibility: every simulation is a pure function of (config, seed).
+
+use ghostsim::prelude::*;
+
+fn run_once(seed: u64) -> (u64, Vec<u64>, u64) {
+    let spec = ExperimentSpec::flat(16, seed);
+    let w = PopLike {
+        steps: 1,
+        cg_iters: 10,
+        ..Default::default()
+    };
+    let inj = NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US));
+    let r = run_workload(&spec, &w, &inj);
+    (r.makespan, r.finish_times, r.messages)
+}
+
+#[test]
+fn identical_seeds_are_bitwise_identical() {
+    let a = run_once(42);
+    let b = run_once(42);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(42);
+    let b = run_once(43);
+    assert_ne!(a.0, b.0, "different seeds should shift noise phases");
+}
+
+#[test]
+fn sweep_is_deterministic_despite_parallelism() {
+    let spec = ExperimentSpec::flat(1, 3);
+    let w = BspSynthetic::new(20, MS);
+    let injections: Vec<NoiseInjection> = canonical_2_5pct()
+        .into_iter()
+        .map(NoiseInjection::uncoordinated)
+        .collect();
+    let scales = [4usize, 8, 16];
+    let r1 = scaling_sweep(&spec, &w, &scales, &injections);
+    let r2 = scaling_sweep(&spec, &w, &scales, &injections);
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.injection, b.injection);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}
+
+#[test]
+fn topology_choice_changes_times_not_values() {
+    // 64 ranks: on a 4x4x4 torus the recursive-doubling partners span
+    // multiple hops (on a 2x2x2 they would all be nearest neighbors).
+    let w = BspSynthetic::new(5, MS);
+    let mk = |topo| {
+        let spec = ExperimentSpec {
+            topo,
+            ..ExperimentSpec::flat(64, 9)
+        };
+        run_workload(&spec, &w, &NoiseInjection::none())
+    };
+    let flat = mk(TopoPreset::Flat);
+    let torus = mk(TopoPreset::Torus3D);
+    // Allreduce results identical; timing differs with hop counts.
+    assert_eq!(flat.final_values, torus.final_values);
+    assert_ne!(flat.makespan, torus.makespan);
+}
+
+#[test]
+fn network_preset_ordering() {
+    let w = BspSynthetic::new(10, 0);
+    let mk = |net| {
+        let spec = ExperimentSpec {
+            net,
+            ..ExperimentSpec::flat(16, 2)
+        };
+        run_workload(&spec, &w, &NoiseInjection::none()).makespan
+    };
+    let ideal = mk(NetPreset::Ideal);
+    let mpp = mk(NetPreset::Mpp);
+    let commodity = mk(NetPreset::Commodity);
+    assert!(ideal < mpp, "{ideal} vs {mpp}");
+    assert!(mpp < commodity, "{mpp} vs {commodity}");
+}

@@ -1,0 +1,120 @@
+//! Property tests of the full machine executor: randomized workloads must
+//! complete deterministically with exact collective values, under any noise.
+
+use ghostsim::prelude::*;
+use proptest::prelude::*;
+
+/// Build a random-but-valid SPMD script: every rank runs the same sequence
+/// of collectives with rank-dependent contributions, interleaved with
+/// compute of random length.
+fn spmd_script(rank: usize, size: usize, ops: &[u8]) -> Vec<MpiCall> {
+    let mut calls = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        calls.push(MpiCall::Compute((op as u64 + 1) * 10_000));
+        let value = (rank + i + 1) as f64;
+        calls.push(match op % 7 {
+            0 => MpiCall::Allreduce {
+                bytes: 8,
+                value,
+                op: ReduceOp::Sum,
+            },
+            1 => MpiCall::Barrier,
+            2 => MpiCall::Bcast {
+                root: (op as usize) % size,
+                bytes: 256,
+                value: if rank == (op as usize) % size { value } else { -1.0 },
+            },
+            3 => MpiCall::Allgather { bytes: 64, value },
+            4 => MpiCall::Alltoall { bytes: 32, value },
+            5 => MpiCall::Scan {
+                bytes: 8,
+                value,
+                op: ReduceOp::Sum,
+            },
+            _ => MpiCall::Reduce {
+                root: 0,
+                bytes: 8,
+                value,
+                op: ReduceOp::Max,
+            },
+        });
+    }
+    // Terminal allreduce so every rank's final value is checkable.
+    calls.push(MpiCall::Allreduce {
+        bytes: 8,
+        value: (rank + 1) as f64,
+        op: ReduceOp::Sum,
+    });
+    calls
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_spmd_workloads_complete_exactly(
+        size in 2usize..12,
+        ops in proptest::collection::vec(0u8..14, 1..6),
+        noisy in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let run = |seed: u64| {
+            let programs: Vec<Box<dyn Program>> = (0..size)
+                .map(|r| ScriptProgram::new(spmd_script(r, size, &ops)).boxed())
+                .collect();
+            let net = Network::new(LogGP::mpp(), Box::new(Flat::new(size)));
+            if noisy {
+                let model = Signature::new(100.0, 250 * US)
+                    .periodic_model(PhasePolicy::Random);
+                Machine::new(net, &model, seed).run(programs).unwrap()
+            } else {
+                Machine::new(net, &NoNoise, seed).run(programs).unwrap()
+            }
+        };
+        let a = run(seed);
+        // Terminal allreduce value is exact on every rank.
+        let expect = (size * (size + 1)) as f64 / 2.0;
+        prop_assert!(a.final_values.iter().all(|v| *v == Some(expect)));
+        // Determinism: identical rerun.
+        let b = run(seed);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.finish_times, b.finish_times);
+        prop_assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn nonblocking_pairwise_exchange_any_size(
+        size in 2usize..10,
+        bytes in 0u64..100_000,
+    ) {
+        // Every rank Isends to every other rank and Irecvs from every other
+        // rank; WaitAll must yield the sum of all peer ranks.
+        let programs: Vec<Box<dyn Program>> = (0..size)
+            .map(|r| {
+                let mut calls = Vec::new();
+                for peer in 0..size {
+                    if peer != r {
+                        calls.push(MpiCall::Irecv { src: peer, tag: 7 });
+                    }
+                }
+                for peer in 0..size {
+                    if peer != r {
+                        calls.push(MpiCall::Isend {
+                            dst: peer,
+                            tag: 7,
+                            bytes,
+                            value: (r + 1) as f64,
+                        });
+                    }
+                }
+                calls.push(MpiCall::WaitAll);
+                ScriptProgram::new(calls).boxed()
+            })
+            .collect();
+        let net = Network::new(LogGP::mpp(), Box::new(Flat::new(size)));
+        let r = Machine::new(net, &NoNoise, 5).run(programs).unwrap();
+        for (rank, v) in r.final_values.iter().enumerate() {
+            let expect = (size * (size + 1) / 2 - (rank + 1)) as f64;
+            prop_assert_eq!(*v, Some(expect), "rank {}", rank);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Noise accounting across every model: what goes in is what FWQ/FTQ
+//! measure, traces round-trip, and compute stretches by exactly the stolen
+//! share.
+
+use ghostsim::noise::composite::commodity_os;
+use ghostsim::noise::jitter::JitteredPeriodic;
+use ghostsim::noise::ftq::{ftq, fwq};
+use ghostsim::noise::model::{NoiseModel, PhasePolicy};
+use ghostsim::noise::stochastic::{realized_fraction, DurationDist, PoissonNoise, TimesliceNoise};
+use ghostsim::noise::trace::{record, Replay, TraceNoise};
+use ghostsim::prelude::*;
+
+#[test]
+fn fwq_and_ftq_agree_on_every_synthetic_model() {
+    let models: Vec<(Box<dyn NoiseModel>, f64, f64)> = vec![
+        (
+            Box::new(Signature::new(10.0, 2500 * US).periodic_model(PhasePolicy::Random)),
+            0.025,
+            0.003,
+        ),
+        (
+            Box::new(Signature::new(1000.0, 25 * US).periodic_model(PhasePolicy::Aligned)),
+            0.025,
+            0.003,
+        ),
+        (
+            Box::new(PoissonNoise::new(100.0, DurationDist::Fixed(250 * US))),
+            0.025,
+            0.006,
+        ),
+        (
+            Box::new(TimesliceNoise::new(MS, 100 * US, 0.25)),
+            0.025,
+            0.006,
+        ),
+        (
+            Box::new(JitteredPeriodic::new(
+                Signature::new(100.0, 250 * US),
+                500 * US,
+                0.15,
+                PhasePolicy::Random,
+            )),
+            0.025,
+            0.006,
+        ),
+    ];
+    for (model, nominal, tol) in models {
+        let w = fwq(model.as_ref(), 0, 5, MS, 20_000);
+        let t = ftq(model.as_ref(), 1, 5, MS, 20_000);
+        let fw = w.measured_noise_fraction();
+        let ft = t.measured_noise_fraction();
+        assert!(
+            (fw - nominal).abs() < tol,
+            "{}: FWQ {fw} vs nominal {nominal}",
+            model.describe()
+        );
+        assert!(
+            (ft - nominal).abs() < tol,
+            "{}: FTQ {ft} vs nominal {nominal}",
+            model.describe()
+        );
+    }
+}
+
+#[test]
+fn compute_stretches_by_exactly_the_stolen_share() {
+    // A single rank computing for 10 s under 2.5% aligned periodic noise
+    // finishes in 10 / 0.975 s (up to one pulse of slack).
+    let spec = ExperimentSpec {
+        net: NetPreset::Ideal,
+        ..ExperimentSpec::flat(1, 1)
+    };
+    let w = BspSynthetic::new(1, 10 * SEC).with_sync(SyncKind::None);
+    let sig = Signature::new(100.0, 250 * US);
+    let m = compare(&spec, &w, &NoiseInjection::coordinated(sig));
+    let expect = 10.0 * SEC as f64 / 0.975;
+    assert!(
+        (m.noisy as f64 - expect).abs() < 10.0 * MS as f64,
+        "noisy {} vs expected {expect}",
+        m.noisy
+    );
+}
+
+#[test]
+fn commodity_profile_measured_close_to_nominal() {
+    let model = commodity_os();
+    let f = realized_fraction(&model, 3, 11, 20 * SEC);
+    let nominal = model.net_fraction();
+    assert!(
+        (f - nominal).abs() < 0.01,
+        "realized {f} vs nominal {nominal}"
+    );
+}
+
+#[test]
+fn recorded_trace_replays_with_same_intensity() {
+    let original = Signature::new(100.0, 250 * US).periodic_model(PhasePolicy::Aligned);
+    let trace = record(&original, 0, 1, SEC, 10 * US);
+    let replay = TraceNoise::new(trace, Replay::Loop, true);
+    let f = realized_fraction(&replay, 4, 9, 10 * SEC);
+    assert!((f - 0.025).abs() < 0.005, "replayed fraction {f}");
+}
+
+#[test]
+fn injection_through_machine_loses_nothing() {
+    // The executor's per-node noise must reflect the injected fraction:
+    // total elapsed across a no-communication workload matches work /
+    // (1 - f) on every rank.
+    let spec = ExperimentSpec {
+        net: NetPreset::Ideal,
+        ..ExperimentSpec::flat(8, 21)
+    };
+    let w = BspSynthetic::new(50, 20 * MS).with_sync(SyncKind::None);
+    let inj = NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US));
+    let r = run_workload(&spec, &w, &inj);
+    for (rank, &fin) in r.finish_times.iter().enumerate() {
+        let ratio = fin as f64 / (SEC as f64);
+        assert!(
+            (ratio - 1.0 / 0.975).abs() < 0.01,
+            "rank {rank}: stretch {ratio}"
+        );
+    }
+}
+
+#[test]
+fn noiseless_injection_is_exactly_free() {
+    let spec = ExperimentSpec::flat(8, 3);
+    let w = CthLike {
+        steps: 3,
+        ..Default::default()
+    };
+    let m = compare(&spec, &w, &NoiseInjection::none());
+    assert_eq!(m.base, m.noisy);
+    assert_eq!(m.slowdown_pct(), 0.0);
+}
