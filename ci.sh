@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# GhostSim CI gate: formatting, lints, release build, tests.
+#
+# Run from the repository root:
+#
+#     ./ci.sh            # full gate (fmt, clippy, build, test)
+#
+# Tier-1 is `cargo test -q` on the root package; the workspace test run
+# covers every crate (including the vendored proptest/criterion shims).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -100,14 +100,7 @@ impl Workload for BspSynthetic {
         (0..size)
             .map(|rank| {
                 let rng = streams.for_node(rank, IMBALANCE_STREAM);
-                StepDriver::new(
-                    BspGen {
-                        cfg: *self,
-                        rng,
-                    },
-                    self.steps,
-                )
-                .boxed()
+                StepDriver::new(BspGen { cfg: *self, rng }, self.steps).boxed()
             })
             .collect()
     }

@@ -122,10 +122,7 @@ impl Workload for CthLike {
     }
 
     fn collectives_per_rank(&self) -> u64 {
-        let bcasts = self
-            .steps
-            .checked_div(self.bcast_every)
-            .unwrap_or(0) as u64;
+        let bcasts = self.steps.checked_div(self.bcast_every).unwrap_or(0) as u64;
         self.steps as u64 + bcasts
     }
 }

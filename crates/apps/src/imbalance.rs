@@ -59,9 +59,9 @@ impl LoadImbalance {
     /// only for `alpha > 1`, where it exceeds 1 by `frac/(alpha-1)`).
     pub fn mean_factor(&self) -> f64 {
         match *self {
-            LoadImbalance::None | LoadImbalance::Uniform { .. } | LoadImbalance::Gaussian { .. } => {
-                1.0
-            }
+            LoadImbalance::None
+            | LoadImbalance::Uniform { .. }
+            | LoadImbalance::Gaussian { .. } => 1.0,
             LoadImbalance::Pareto { alpha, frac } => {
                 if alpha > 1.0 {
                     1.0 + frac / (alpha - 1.0)

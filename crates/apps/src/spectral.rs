@@ -96,14 +96,7 @@ impl Workload for SpectralLike {
         (0..size)
             .map(|rank| {
                 let rng = streams.for_node(rank, IMBALANCE_STREAM);
-                StepDriver::new(
-                    SpectralGen {
-                        cfg: *self,
-                        rng,
-                    },
-                    self.steps,
-                )
-                .boxed()
+                StepDriver::new(SpectralGen { cfg: *self, rng }, self.steps).boxed()
             })
             .collect()
     }

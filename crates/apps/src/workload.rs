@@ -188,8 +188,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "defines 4 ranks")]
     fn goal_workload_size_mismatch_panics() {
-        let goal =
-            ghost_mpi::GoalWorkload::parse("ranks 4\nall:\n  barrier\n").unwrap();
+        let goal = ghost_mpi::GoalWorkload::parse("ranks 4\nall:\n  barrier\n").unwrap();
         let _ = Workload::programs(&goal, 8, 0);
     }
 }

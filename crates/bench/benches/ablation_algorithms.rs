@@ -10,9 +10,9 @@ use ghost_bench::{prologue, quick, seed};
 use ghost_core::experiment::{run_workload, ExperimentSpec};
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
+use ghost_engine::time::US;
 use ghost_mpi::{AllreduceAlgo, CollectiveConfig};
 use ghost_noise::Signature;
-use ghost_engine::time::US;
 
 const REPS: usize = 50;
 

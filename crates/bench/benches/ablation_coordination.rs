@@ -30,7 +30,10 @@ fn main() {
     let policies: Vec<(&str, PhasePolicy)> = vec![
         ("aligned (co-scheduled)", PhasePolicy::Aligned),
         ("random (uncoordinated)", PhasePolicy::Random),
-        ("staggered (worst case)", PhasePolicy::Staggered { nodes: p }),
+        (
+            "staggered (worst case)",
+            PhasePolicy::Staggered { nodes: p },
+        ),
     ];
     for (name, policy) in policies {
         let inj = NoiseInjection::with_policy(sig, policy);

@@ -21,7 +21,12 @@ fn main() {
 
     let mut tab = Table::new(
         format!("A3: 10 Hz intensity sweep at P={p}, BSP g=500us"),
-        &["net intensity %", "pulse duration", "slowdown %", "amplification"],
+        &[
+            "net intensity %",
+            "pulse duration",
+            "slowdown %",
+            "amplification",
+        ],
     );
     for net in [0.005, 0.01, 0.025, 0.05, 0.10] {
         let sig = Signature::from_net(10.0, net);

@@ -32,11 +32,7 @@ fn main() {
     );
     let configs: Vec<(&str, RecvMode, &NoiseInjection)> = vec![
         ("LWK (poll, noiseless)", RecvMode::Polling, &lwk_noise),
-        (
-            "LWK + commodity noise",
-            RecvMode::Polling,
-            &commodity_noise,
-        ),
+        ("LWK + commodity noise", RecvMode::Polling, &commodity_noise),
         (
             "interrupt wakeup, noiseless",
             RecvMode::Interrupt { wakeup },

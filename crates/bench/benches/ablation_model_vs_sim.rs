@@ -28,7 +28,11 @@ fn main() {
         "A4: analytic model vs simulation, 10Hz x 2.5ms (2.5% net)",
         &["granularity", "nodes", "sim slowdown %", "model slowdown %"],
     );
-    let scales: &[usize] = if quick() { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let scales: &[usize] = if quick() {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
     for &g in &[100 * US, 500 * US, 2 * MS, 20 * MS] {
         for &p in scales {
             let spec = ExperimentSpec::flat(p, seed());

@@ -27,7 +27,13 @@ fn main() {
 
     let mut tab = Table::new(
         format!("A6: network sensitivity at P={p} (POP-like, 10Hz x 2.5ms)"),
-        &["network", "T_base", "T_noisy", "slowdown %", "amplification"],
+        &[
+            "network",
+            "T_base",
+            "T_noisy",
+            "slowdown %",
+            "amplification",
+        ],
     );
     for (name, net) in [
         ("ideal (free)", NetPreset::Ideal),

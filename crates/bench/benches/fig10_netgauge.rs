@@ -33,7 +33,11 @@ fn main() {
     );
 
     let mut rows = vec![NoiseInjection::none()];
-    rows.extend(canonical_2_5pct().into_iter().map(NoiseInjection::uncoordinated));
+    rows.extend(
+        canonical_2_5pct()
+            .into_iter()
+            .map(NoiseInjection::uncoordinated),
+    );
     for inj in rows {
         let run = pingpong(&spec, &inj, 1, rounds);
         let s = run.summary();

@@ -54,7 +54,8 @@ fn main() {
         f(s.mean),
         f(s.p99),
         f(s.max),
-        peak.map(|p| format!("{p:.1}")).unwrap_or_else(|| "-".into()),
+        peak.map(|p| format!("{p:.1}"))
+            .unwrap_or_else(|| "-".into()),
     ]);
 
     println!("{}", tab.render());

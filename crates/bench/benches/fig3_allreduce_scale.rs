@@ -33,7 +33,10 @@ fn main() {
         header.push(format!("{} slow%", inj.label()));
     }
     let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut tab = Table::new("Fig 3: 8-byte allreduce latency vs scale (2.5% net noise)", &hdr);
+    let mut tab = Table::new(
+        "Fig 3: 8-byte allreduce latency vs scale (2.5% net noise)",
+        &hdr,
+    );
 
     for p in scale_ladder() {
         let base = mean_allreduce_ns(p, &NoiseInjection::none());

@@ -1,8 +1,8 @@
 //! Criterion: full-machine simulation throughput for collectives and POP.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ghost_apps::{PopLike, Workload};
 use ghost_apps::bsp::{BspSynthetic, SyncKind};
+use ghost_apps::{PopLike, Workload};
 use ghost_core::experiment::{run_workload, ExperimentSpec};
 use ghost_core::injection::NoiseInjection;
 use ghost_engine::time::US;
@@ -29,7 +29,10 @@ fn bench_allreduce_sim(c: &mut Criterion) {
 fn bench_pop_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_pop");
     g.sample_size(10);
-    let w = PopLike { steps: 1, ..Default::default() };
+    let w = PopLike {
+        steps: 1,
+        ..Default::default()
+    };
     for p in [64usize, 256] {
         let spec = ExperimentSpec::flat(p, 1);
         g.throughput(Throughput::Elements(w.collectives_per_rank()));

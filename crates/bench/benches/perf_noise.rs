@@ -28,7 +28,9 @@ fn bench_noise_advance(c: &mut Criterion) {
     let poisson = PoissonNoise::new(100.0, DurationDist::Exponential(250 * US));
     g.bench_function("poisson_100k", |b| b.iter(|| advance_loop(&poisson)));
     let composite = commodity_os();
-    g.bench_function("commodity_composite_100k", |b| b.iter(|| advance_loop(&composite)));
+    g.bench_function("commodity_composite_100k", |b| {
+        b.iter(|| advance_loop(&composite))
+    });
     g.finish();
 }
 

@@ -1,0 +1,79 @@
+//! Criterion: recorder overhead on the executor hot path.
+//!
+//! The executor is generic over `Recorder` and always invokes it; a
+//! disabled run uses `NullRecorder`, whose empty inlined methods must
+//! compile down to (near) nothing. This bench measures the same
+//! noise-injected BSP run under three observers:
+//!
+//! * `null` — the disabled path (what every non-trace experiment pays),
+//! * `metrics` — streaming counters/histograms (no per-event allocation),
+//! * `vec` — buffer-everything `VecRecorder` (the old `with_trace(true)`).
+//!
+//! `null` vs the executor's intrinsic cost is the headline: the delta must
+//! be statistically negligible. EXPERIMENTS.md records the measured runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ghost_apps::bsp::{BspSynthetic, SyncKind};
+use ghost_apps::Workload;
+use ghost_core::experiment::ExperimentSpec;
+use ghost_core::injection::NoiseInjection;
+use ghost_engine::time::US;
+use ghost_mpi::Machine;
+use ghost_noise::Signature;
+use ghost_obs::{MetricsRecorder, NullRecorder, VecRecorder};
+
+const P: usize = 32;
+const STEPS: usize = 40;
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let spec = ExperimentSpec::flat(P, 7);
+    let w = BspSynthetic::new(STEPS, 200 * US).with_sync(SyncKind::Allreduce { bytes: 8 });
+    let inj = NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US));
+    let net = spec.build_network();
+    let model = inj.build();
+    let machine = Machine::new(net, model.as_ref(), spec.seed);
+
+    // Span count for throughput reporting (one warmup run).
+    let mut probe = VecRecorder::default();
+    machine
+        .run_with(w.programs(P, spec.seed), &mut probe)
+        .unwrap();
+    let events = probe.timeline.spans.len() as u64;
+
+    let mut g = c.benchmark_group("executor_recorder");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("null", |b| {
+        b.iter_batched(
+            || w.programs(P, spec.seed),
+            |programs| {
+                let mut rec = NullRecorder;
+                machine.run_with(programs, &mut rec).unwrap().makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("metrics", |b| {
+        b.iter_batched(
+            || w.programs(P, spec.seed),
+            |programs| {
+                let mut rec = MetricsRecorder::new();
+                machine.run_with(programs, &mut rec).unwrap().makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("vec", |b| {
+        b.iter_batched(
+            || w.programs(P, spec.seed),
+            |programs| {
+                let mut rec = VecRecorder::default();
+                machine.run_with(programs, &mut rec).unwrap().makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

@@ -35,7 +35,9 @@ pub fn seed() -> u64 {
 
 /// Whether quick (smoke) mode is requested.
 pub fn quick() -> bool {
-    std::env::var("GHOSTSIM_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GHOSTSIM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The node-count ladder: powers of 4 from 4 up to `GHOSTSIM_MAX_NODES`

@@ -139,10 +139,7 @@ mod tests {
         let f = sig.net_fraction();
         let expect = g as f64 + f * (g as f64 - (t - d)) + d;
         let got = expected_bsp_step(g, sig, 4);
-        assert!(
-            (got - expect).abs() < 1.0,
-            "{got} vs {expect}"
-        );
+        assert!((got - expect).abs() < 1.0, "{got} vs {expect}");
     }
 
     #[test]

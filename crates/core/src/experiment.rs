@@ -3,7 +3,7 @@
 use ghost_apps::Workload;
 use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunResult};
 use ghost_net::{FatTree, Flat, LogGP, Network, Torus3D};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::injection::NoiseInjection;
 use crate::metrics::Metrics;
@@ -226,11 +226,11 @@ pub fn scaling_sweep(
                 match inj {
                     None => {
                         let r = run_workload(&spec_here, workload, &NoiseInjection::none());
-                        baselines.lock()[si] = Some(r.makespan);
+                        baselines.lock().unwrap()[si] = Some(r.makespan);
                     }
                     Some(ii) => {
                         let r = run_workload(&spec_here, workload, &injections[ii]);
-                        results.lock().push(ScalingRecord {
+                        results.lock().unwrap().push(ScalingRecord {
                             workload: workload.name(),
                             injection: injections[ii].label().to_owned(),
                             nodes: scales[si],
@@ -243,8 +243,8 @@ pub fn scaling_sweep(
     });
 
     // Patch in baselines and order rows deterministically.
-    let baselines = baselines.into_inner();
-    let mut out = results.into_inner();
+    let baselines = baselines.into_inner().unwrap();
+    let mut out = results.into_inner().unwrap();
     for rec in &mut out {
         let si = scales.iter().position(|&p| p == rec.nodes).expect("scale");
         rec.metrics.base = baselines[si].expect("baseline missing");

@@ -1,7 +1,7 @@
 //! Noise-injection configuration: what noise, on which nodes, how phased.
 
 use ghost_engine::rng::NodeStream;
-use ghost_noise::model::{NodeNoise, NoiseModel, NoNoise, PhasePolicy};
+use ghost_noise::model::{NoNoise, NodeNoise, NoiseModel, PhasePolicy};
 use ghost_noise::Signature;
 use std::sync::Arc;
 

@@ -15,6 +15,9 @@
 //!   amplification factor, and absorbed-noise %.
 //! * [`analytic`] — a closed-form max-of-P model of expected BSP slowdown
 //!   under periodic noise, validated against the simulator.
+//! * [`observe`] — blame-aware observation built on `ghost-obs`: capture a
+//!   full run timeline and decompose each rank's wall-clock into compute,
+//!   direct noise, propagated noise (idle wave), network, and imbalance.
 //! * [`report`] — fixed-width tables and CSV for regenerating every table
 //!   and figure in EXPERIMENTS.md.
 //!
@@ -42,11 +45,13 @@ pub mod experiment;
 pub mod injection;
 pub mod metrics;
 pub mod netgauge;
+pub mod observe;
 pub mod plot;
 pub mod replicate;
 pub mod report;
 
 pub use experiment::{compare, run_workload, scaling_sweep, ExperimentSpec, ScalingRecord};
-pub use replicate::{replicate, Replicates};
 pub use injection::{NoiseInjection, Placement};
 pub use metrics::Metrics;
+pub use observe::{blame_summary, blame_table, observe_workload, run_recorded, Observation};
+pub use replicate::{replicate, Replicates};

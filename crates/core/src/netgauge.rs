@@ -15,7 +15,7 @@ use ghost_engine::time::Time;
 use ghost_mpi::types::{Env, MpiCall, Rank};
 use ghost_mpi::{Machine, Program};
 use ghost_noise::stats::Summary;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::experiment::ExperimentSpec;
 use crate::injection::NoiseInjection;
@@ -71,7 +71,7 @@ impl Program for PingClient {
     fn next(&mut self, _env: &Env, now: Time, _prev: Option<f64>) -> Option<MpiCall> {
         if self.awaiting_pong {
             // The pong's processing just completed at `now`.
-            self.sink.lock().push(now - self.t_start);
+            self.sink.lock().unwrap().push(now - self.t_start);
             self.awaiting_pong = false;
             self.round += 1;
         }
@@ -173,8 +173,8 @@ pub fn pingpong(
         .run(programs)
         .expect("netgauge deadlocked");
     let rtts = Arc::try_unwrap(sink)
-        .map(|m| m.into_inner())
-        .unwrap_or_else(|arc| arc.lock().clone());
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|arc| arc.lock().unwrap().clone());
     NetgaugeRun { rtts, peer }
 }
 

@@ -1,0 +1,183 @@
+//! Blame-aware observation: run a workload under a streaming recorder and
+//! decompose every rank's wall-clock into *compute*, *direct noise*,
+//! *propagated noise* (the idle wave inherited from noise-delayed peers),
+//! *network*, and *intrinsic imbalance*.
+//!
+//! This is the experiment-harness entry point to [`ghost_obs`]: where
+//! [`crate::experiment::profile`] reports coarse fractions from the
+//! executor's built-in accounting, [`observe`](observe_workload) captures a
+//! full [`Timeline`] and runs the exact blame attribution of
+//! [`ghost_obs::blame`], whose five categories sum to each rank's finish
+//! time to the nanosecond.
+
+use ghost_apps::Workload;
+use ghost_mpi::exec::Machine;
+use ghost_mpi::{Program, RunResult};
+use ghost_obs::record::{Recorder, Timeline, VecRecorder};
+use ghost_obs::{analyze, BlameReport};
+
+use crate::experiment::ExperimentSpec;
+use crate::injection::NoiseInjection;
+use crate::report::{f, t, Table};
+
+/// Everything captured by one observed run.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The executor's result (makespan, per-rank finish times, ...).
+    pub result: RunResult,
+    /// The full captured timeline (spans, waits, messages).
+    pub timeline: Timeline,
+    /// The exact wall-clock decomposition of the run.
+    pub blame: BlameReport,
+}
+
+/// Run `workload` once under `injection` with an arbitrary streaming
+/// recorder attached to the executor.
+///
+/// # Panics
+///
+/// Panics if the simulated machine deadlocks (a workload bug, not a noise
+/// effect — noise can never cause deadlock in this model).
+pub fn run_recorded<R: Recorder>(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    rec: &mut R,
+) -> RunResult {
+    let net = spec.build_network();
+    let model = injection.build();
+    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
+    Machine::new(net, model.as_ref(), spec.seed)
+        .with_config(spec.coll)
+        .with_recv_mode(spec.recv_mode)
+        .run_with(programs, rec)
+        .unwrap_or_else(|e| {
+            panic!(
+                "workload '{}' deadlocked at {} nodes: {e}",
+                workload.name(),
+                spec.nodes
+            )
+        })
+}
+
+/// Run `workload` once under `injection`, capture the full timeline, and
+/// attribute blame.
+pub fn observe_workload(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+) -> Observation {
+    let mut rec = VecRecorder::default();
+    let result = run_recorded(spec, workload, injection, &mut rec);
+    let blame = analyze(&rec.timeline, &result.finish_times);
+    Observation {
+        result,
+        timeline: rec.timeline,
+        blame,
+    }
+}
+
+/// Percentage of `part` in `whole` (0 when `whole` is 0).
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Render a [`BlameReport`] as a fixed-width per-rank table.
+///
+/// Each row shows the rank's wall-clock and the five category shares (as
+/// percentages of that rank's wall-clock); the final `TOTAL` row sums all
+/// ranks. CSV output comes from [`Table::to_csv`] as usual.
+pub fn blame_table(title: &str, report: &BlameReport) -> Table {
+    let mut tab = Table::new(
+        title,
+        &[
+            "rank", "wall", "comp%", "direct%", "prop%", "net%", "imbal%",
+        ],
+    );
+    let mut row = |label: String, b: &ghost_obs::RankBlame| {
+        tab.row(&[
+            label,
+            t(b.wall),
+            f(pct(b.compute, b.wall)),
+            f(pct(b.direct_noise, b.wall)),
+            f(pct(b.propagated_noise, b.wall)),
+            f(pct(b.network, b.wall)),
+            f(pct(b.imbalance, b.wall)),
+        ]);
+    };
+    for b in &report.ranks {
+        row(format!("r{}", b.rank), b);
+    }
+    row("TOTAL".to_string(), &report.sum());
+    tab
+}
+
+/// Render the blame table plus the machine-wide absorption summary: the
+/// propagation factor (Σ propagated / Σ direct) and the derived
+/// absorbed-noise percentage.
+pub fn blame_summary(title: &str, report: &BlameReport) -> String {
+    let mut out = blame_table(title, report).render();
+    out.push_str(&format!(
+        "propagation factor (propagated/direct): {}\n\
+         absorbed into slack:                    {}%\n",
+        f(report.propagation_factor()),
+        f(report.absorbed_pct()),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injection::NoiseInjection;
+    use ghost_apps::BspSynthetic;
+    use ghost_engine::time::{MS, US};
+    use ghost_noise::Signature;
+
+    #[test]
+    fn observation_blame_sums_to_wall_clock() {
+        let spec = ExperimentSpec::flat(8, 3);
+        let w = BspSynthetic::new(5, 2 * MS);
+        let inj = NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US));
+        let obs = observe_workload(&spec, &w, &inj);
+        assert_eq!(obs.blame.ranks.len(), 8);
+        for b in &obs.blame.ranks {
+            assert_eq!(b.total(), b.wall, "rank {}", b.rank);
+            assert_eq!(b.wall, obs.result.finish_times[b.rank]);
+        }
+        assert!(obs.blame.sum().direct_noise > 0);
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_timing() {
+        use ghost_obs::record::NullRecorder;
+        let spec = ExperimentSpec::flat(6, 9);
+        let w = BspSynthetic::new(4, MS);
+        let inj = NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US));
+        let plain = crate::experiment::run_workload(&spec, &w, &inj);
+        let mut null = NullRecorder;
+        let rec = run_recorded(&spec, &w, &inj, &mut null);
+        assert_eq!(plain.makespan, rec.makespan);
+        assert_eq!(plain.finish_times, rec.finish_times);
+        let obs = observe_workload(&spec, &w, &inj);
+        assert_eq!(obs.result.makespan, plain.makespan);
+    }
+
+    #[test]
+    fn blame_table_has_rank_rows_and_total() {
+        let spec = ExperimentSpec::flat(4, 1);
+        let w = BspSynthetic::new(3, MS);
+        let obs = observe_workload(&spec, &w, &NoiseInjection::none());
+        let tab = blame_table("blame", &obs.blame);
+        assert_eq!(tab.len(), 5); // 4 ranks + TOTAL
+        let s = blame_summary("blame", &obs.blame);
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("propagation factor"));
+        let csv = tab.to_csv();
+        assert!(csv.lines().count() >= 6); // header + rows
+    }
+}

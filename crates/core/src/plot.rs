@@ -57,7 +57,10 @@ impl Chart {
     ///
     /// Panics if the plot area is smaller than 8×4.
     pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
-        assert!(width >= 8 && height >= 4, "chart too small: {width}x{height}");
+        assert!(
+            width >= 8 && height >= 4,
+            "chart too small: {width}x{height}"
+        );
         Self {
             title: title.into(),
             width,
@@ -195,10 +198,7 @@ impl Chart {
         out.push('\n');
         let x_lo = fmt_tick(xmin, self.x_scale);
         let x_hi = fmt_tick(xmax, self.x_scale);
-        let pad = self
-            .width
-            .saturating_sub(x_lo.len() + x_hi.len())
-            .max(1);
+        let pad = self.width.saturating_sub(x_lo.len() + x_hi.len()).max(1);
         out.push_str(&" ".repeat(gutter + 1));
         out.push_str(&x_lo);
         out.push_str(&" ".repeat(pad));
@@ -209,7 +209,12 @@ impl Chart {
         out.push('\n');
         // Legend.
         for s in &self.series {
-            out.push_str(&format!("{}{} = {}\n", " ".repeat(gutter + 1), s.glyph, s.name));
+            out.push_str(&format!(
+                "{}{} = {}\n",
+                " ".repeat(gutter + 1),
+                s.glyph,
+                s.name
+            ));
         }
         if !self.y_label.is_empty() {
             out.push_str(&format!("{}y: {}\n", " ".repeat(gutter + 1), self.y_label));
@@ -258,12 +263,7 @@ pub fn timeline(
         let c0 = ((s - t0) as f64 / span_ns * width as f64).floor() as usize;
         let c1 = (((e - t0) as f64 / span_ns * width as f64).ceil() as usize).min(width);
         let ki = kind_index(sp.kind);
-        for (cell, slot) in coverage[sp.rank]
-            .iter_mut()
-            .enumerate()
-            .take(c1)
-            .skip(c0)
-        {
+        for (cell, slot) in coverage[sp.rank].iter_mut().enumerate().take(c1).skip(c0) {
             let cell_start = t0 + (cell as f64 / width as f64 * span_ns) as u64;
             let cell_end = t0 + ((cell + 1) as f64 / width as f64 * span_ns) as u64;
             let ov = e.min(cell_end).saturating_sub(s.max(cell_start)) as f64;
@@ -412,18 +412,21 @@ mod tests {
                 kind: SpanKind::Compute,
                 start: 0,
                 end: 500,
+                work: 500,
             },
             OpSpan {
                 rank: 1,
                 kind: SpanKind::Blocked,
                 start: 0,
                 end: 900,
+                work: 0,
             },
             OpSpan {
                 rank: 1,
                 kind: SpanKind::RecvProcess,
                 start: 900,
                 end: 1000,
+                work: 100,
             },
         ];
         let s = timeline(&spans, 2, 0, 1000, 20);
@@ -446,6 +449,7 @@ mod tests {
             kind: SpanKind::Compute,
             start: 0,
             end: 10_000,
+            work: 10_000,
         }];
         // Window entirely inside the span: all compute.
         let s = timeline(&spans, 1, 2_000, 3_000, 10);

@@ -9,7 +9,7 @@
 //! before claiming one signature beats another.
 
 use ghost_apps::Workload;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::experiment::{compare, ExperimentSpec};
 use crate::injection::NoiseInjection;
@@ -101,11 +101,11 @@ pub fn replicate(
                     ..*spec
                 };
                 let m = compare(&seeded, workload, injection);
-                results.lock().push((i, m));
+                results.lock().unwrap().push((i, m));
             });
         }
     });
-    let mut runs = results.into_inner();
+    let mut runs = results.into_inner().unwrap();
     runs.sort_by_key(|&(i, _)| i);
     let runs: Vec<Metrics> = runs.into_iter().map(|(_, m)| m).collect();
 
@@ -154,8 +154,7 @@ mod tests {
     fn seeds_actually_vary() {
         let (spec, w, inj) = quick_setup();
         let r = replicate(&spec, &w, &inj, 6);
-        let distinct: std::collections::HashSet<u64> =
-            r.runs.iter().map(|m| m.noisy).collect();
+        let distinct: std::collections::HashSet<u64> = r.runs.iter().map(|m| m.noisy).collect();
         assert!(distinct.len() > 1, "seeds should produce different runs");
     }
 

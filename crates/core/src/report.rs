@@ -71,7 +71,10 @@ impl Table {
                 }
                 // Right-align numeric-looking cells, left-align labels.
                 let pad = width[i].saturating_sub(c.len());
-                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-') {
+                if c.chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                {
                     line.push_str(&" ".repeat(pad));
                     line.push_str(c);
                 } else {

@@ -1,0 +1,324 @@
+//! A minimal, self-contained benchmark harness exposing the subset of the
+//! `criterion` crate API that GhostSim's `perf_*` benches use.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a small wall-clock harness: each benchmark is warmed up, then timed over
+//! enough iterations to fill a measurement window, and the mean / min /
+//! max per-iteration times are printed together with throughput when one
+//! was declared. There are no statistical comparisons against saved
+//! baselines — runs print absolute numbers for eyeballing and for
+//! EXPERIMENTS.md.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — measurement window per benchmark
+//!   (default 300 ms).
+//! * `CRITERION_WARMUP_MS` — warm-up window (default 100 ms).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim times every batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Per-iteration timing statistics over one measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the measurement window is wall-clock
+    /// bounded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let window = Instant::now();
+        while window.elapsed() < self.measure || iters < 10 {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iters += 1;
+            if iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        self.sample = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let window = Instant::now();
+        while window.elapsed() < self.measure || iters < 10 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iters += 1;
+        }
+        self.sample = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn fmt_throughput(tp: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match tp {
+        Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / secs / 1e6),
+        Throughput::Bytes(n) => format!("{:.3} MiB/s", n as f64 / secs / (1024.0 * 1024.0)),
+    }
+}
+
+fn report(id: &str, sample: &Sample, throughput: Option<Throughput>) {
+    let tp = throughput
+        .map(|t| format!("  thrpt: {}", fmt_throughput(t, sample.mean)))
+        .unwrap_or_default();
+    println!(
+        "{id:<48} time: [{} {} {}]  iters: {}{}",
+        fmt_duration(sample.min),
+        fmt_duration(sample.mean),
+        fmt_duration(sample.max),
+        sample.iters,
+        tp
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: env_ms("CRITERION_WARMUP_MS", 100),
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            sample: None,
+        };
+        f(&mut b);
+        if let Some(s) = &b.sample {
+            report(&id, s, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Override the sample count (accepted for API compatibility; the shim
+    /// sizes its sample by wall-clock window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            sample: None,
+        };
+        f(&mut b);
+        if let Some(s) = &b.sample {
+            report(&full, s, self.throughput);
+        }
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_env() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_samples_and_reports() {
+        let mut c = fast_env();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = fast_env();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

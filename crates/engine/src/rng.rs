@@ -149,7 +149,8 @@ impl NodeStream {
     pub fn for_node(&self, node: usize, stream: u64) -> Xoshiro256 {
         let mut sm = self.seed ^ 0xA076_1D64_78BD_642F;
         let a = splitmix64(&mut sm);
-        let mut mixed = a ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream.rotate_left(32);
+        let mut mixed =
+            a ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream.rotate_left(32);
         let s = splitmix64(&mut mixed);
         Xoshiro256::seed_from_u64(s)
     }

@@ -88,7 +88,14 @@ pub struct AllreduceRecDbl {
 
 impl AllreduceRecDbl {
     /// Create the machine for `env.rank` contributing `value`.
-    pub fn new(env: Env, seq: u64, bytes: u64, value: f64, op: ReduceOp, reduce_work: Work) -> Self {
+    pub fn new(
+        env: Env,
+        seq: u64,
+        bytes: u64,
+        value: f64,
+        op: ReduceOp,
+        reduce_work: Work,
+    ) -> Self {
         let fold = Fold::new(env);
         Self {
             env,

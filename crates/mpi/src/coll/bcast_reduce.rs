@@ -214,13 +214,7 @@ impl BcastVanDeGeijn {
         let slice = (bytes / env.size.max(1) as u64).max(1);
         Self {
             scatter: ScatterBinomial::new(env, seq, root, slice, value),
-            allgather: AllgatherRing::with_tag_round_offset(
-                env,
-                seq,
-                slice,
-                0.0,
-                AG_ROUND_OFFSET,
-            ),
+            allgather: AllgatherRing::with_tag_round_offset(env, seq, slice, 0.0, AG_ROUND_OFFSET),
             in_allgather: false,
             val: 0.0,
         }
@@ -304,40 +298,42 @@ impl BcastPipelined {
 
 impl Collective for BcastPipelined {
     fn step(&mut self, mut prev: Option<f64>) -> CollStep {
-        loop {
-            if let Some(v) = prev.take() {
-                self.val = v;
-                self.received_any = true;
-                self.recv_seg += 1;
-            }
-            if self.env.size == 1 {
-                return CollStep::Done(self.val);
-            }
-            let is_root = self.rel == 0;
-            let is_tail = self.rel == self.env.size - 1;
-            // Forward any segment we hold that the successor still needs.
-            if !is_tail && self.send_seg < self.segments {
-                let have = if is_root { self.segments } else { self.recv_seg };
-                if self.send_seg < have {
-                    let k = self.send_seg;
-                    self.send_seg += 1;
-                    return CollStep::Prim(PrimOp::Send {
-                        peer: self.abs(self.rel + 1),
-                        tag: coll_tag(self.seq, k, 0),
-                        bytes: self.seg_bytes,
-                        value: self.val,
-                    });
-                }
-            }
-            // Receive the next segment if any remain.
-            if !is_root && self.recv_seg < self.segments {
-                return CollStep::Prim(PrimOp::Recv {
-                    peer: self.abs(self.rel - 1),
-                    tag: coll_tag(self.seq, self.recv_seg, 0),
-                });
-            }
+        if let Some(v) = prev.take() {
+            self.val = v;
+            self.received_any = true;
+            self.recv_seg += 1;
+        }
+        if self.env.size == 1 {
             return CollStep::Done(self.val);
         }
+        let is_root = self.rel == 0;
+        let is_tail = self.rel == self.env.size - 1;
+        // Forward any segment we hold that the successor still needs.
+        if !is_tail && self.send_seg < self.segments {
+            let have = if is_root {
+                self.segments
+            } else {
+                self.recv_seg
+            };
+            if self.send_seg < have {
+                let k = self.send_seg;
+                self.send_seg += 1;
+                return CollStep::Prim(PrimOp::Send {
+                    peer: self.abs(self.rel + 1),
+                    tag: coll_tag(self.seq, k, 0),
+                    bytes: self.seg_bytes,
+                    value: self.val,
+                });
+            }
+        }
+        // Receive the next segment if any remain.
+        if !is_root && self.recv_seg < self.segments {
+            return CollStep::Prim(PrimOp::Recv {
+                peer: self.abs(self.rel - 1),
+                tag: coll_tag(self.seq, self.recv_seg, 0),
+            });
+        }
+        CollStep::Done(self.val)
     }
 }
 
@@ -429,7 +425,9 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        let expect = (0..p).map(|r| ((r * 31) % 17) as f64).fold(f64::NEG_INFINITY, f64::max);
+        let expect = (0..p)
+            .map(|r| ((r * 31) % 17) as f64)
+            .fold(f64::NEG_INFINITY, f64::max);
         let out = harness::run(machines);
         assert_eq!(out[3], expect);
     }
@@ -507,10 +505,7 @@ mod tests {
         for p in [1, 2, 3, 5, 8, 13, 16, 32] {
             for root in [0, p / 2, p - 1] {
                 let out = run_vdg(p, root);
-                assert!(
-                    out.iter().all(|&v| v == 6.5),
-                    "p={p} root={root}: {out:?}"
-                );
+                assert!(out.iter().all(|&v| v == 6.5), "p={p} root={root}: {out:?}");
             }
         }
     }

@@ -244,7 +244,11 @@ impl ScatterBinomial {
         let rounds = ceil_log2(env.size) as i32;
         // Non-root ranks receive in the round of their lowest set bit and
         // then send in all lower rounds; the root sends in every round.
-        let recv_round = if rel == 0 { rounds } else { rel.trailing_zeros() as i32 };
+        let recv_round = if rel == 0 {
+            rounds
+        } else {
+            rel.trailing_zeros() as i32
+        };
         Self {
             env,
             seq,
@@ -342,8 +346,12 @@ mod tests {
             let vals = contributions(p);
             let machines: Vec<Box<dyn Collective>> = (0..p)
                 .map(|r| {
-                    Box::new(AllgatherRecDbl::new(Env { rank: r, size: p }, 0, 32, vals[r]))
-                        as Box<dyn Collective>
+                    Box::new(AllgatherRecDbl::new(
+                        Env { rank: r, size: p },
+                        0,
+                        32,
+                        vals[r],
+                    )) as Box<dyn Collective>
                 })
                 .collect();
             let out = harness::run(machines);

@@ -337,14 +337,7 @@ mod tests {
 
     #[test]
     fn reduce_scatter_byte_ladder() {
-        let m = ReduceScatterHalving::new(
-            Env { rank: 0, size: 8 },
-            0,
-            128,
-            0.0,
-            ReduceOp::Sum,
-            0,
-        );
+        let m = ReduceScatterHalving::new(Env { rank: 0, size: 8 }, 0, 128, 0.0, ReduceOp::Sum, 0);
         // total = 1024 bytes: rounds move 512, 256, 128.
         assert_eq!(m.round_bytes(0), 512);
         assert_eq!(m.round_bytes(1), 256);

@@ -25,39 +25,32 @@ use ghost_engine::time::{Time, Work};
 use ghost_net::Network;
 use ghost_noise::model::{NodeNoise, NoiseModel};
 
+use ghost_obs::record::{MsgKind, MsgRecord, NullRecorder, Recorder, VecRecorder, WaitRecord};
+
 use crate::coll::{self, CollStep, Collective, PrimOp};
 use crate::program::Program;
-use crate::types::{CollectiveConfig, Env, MpiCall, Rank, Tag};
+use crate::types::{CollectiveConfig, Env, MpiCall, Rank, Tag, COLL_TAG_BASE};
 
-/// What a traced CPU/wait interval was doing (see [`OpSpan`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SpanKind {
-    /// Application compute (noise-stretched).
-    Compute,
-    /// Per-message send overhead.
-    SendOverhead,
-    /// Per-message receive processing.
-    RecvProcess,
-    /// Blocked waiting for a message.
-    Blocked,
-}
+// Span types now live in `ghost-obs` (the executor streams them into any
+// `Recorder`); re-exported here so existing `ghost_mpi::exec::OpSpan`
+// consumers keep working.
+pub use ghost_obs::record::{OpSpan, SpanKind};
 
-/// One traced interval of a rank's timeline (produced when tracing is
-/// enabled via [`Machine::with_trace`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OpSpan {
-    /// The rank whose timeline this is.
-    pub rank: Rank,
-    /// What the rank was doing.
-    pub kind: SpanKind,
-    /// Interval start.
-    pub start: Time,
-    /// Interval end.
-    pub end: Time,
+/// Classify a message by its tag for observation purposes.
+#[inline]
+fn msg_kind(tag: Tag) -> MsgKind {
+    if tag >= COLL_TAG_BASE {
+        MsgKind::Collective {
+            seq: (tag & !COLL_TAG_BASE) >> 24,
+            round: ((tag >> 4) & 0xF_FFFF) as u32,
+        }
+    } else {
+        MsgKind::PointToPoint
+    }
 }
 
 /// Result of a completed machine run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Time the last rank finished (the application's wall-clock time).
     pub makespan: Time,
@@ -154,17 +147,35 @@ enum RState {
     /// A `Resume` event is scheduled for this rank.
     WaitResume,
     /// Blocked in a receive.
-    WaitRecv { src: Rank, tag: Tag },
+    WaitRecv {
+        src: Rank,
+        tag: Tag,
+    },
     /// Send overhead in flight; on resume, post the receive half.
-    SendThenRecv { src: Rank, tag: Tag },
+    SendThenRecv {
+        src: Rank,
+        tag: Tag,
+    },
     /// Blocked in `WaitAll` for outstanding nonblocking receives.
     WaitAll,
     Done,
 }
 
 enum Event {
-    Resume { rank: Rank, value: Option<f64> },
-    Deliver { dst: Rank, src: Rank, tag: Tag, value: f64 },
+    Resume {
+        rank: Rank,
+        value: Option<f64>,
+    },
+    Deliver {
+        dst: Rank,
+        src: Rank,
+        tag: Tag,
+        value: f64,
+        /// Departure time at the sender (end of its send overhead); the
+        /// difference to the delivery time is pure wire time, which blame
+        /// attribution needs to separate from sender lateness.
+        sent: Time,
+    },
 }
 
 struct RankCtx {
@@ -195,10 +206,13 @@ struct RankCtx {
 impl RankCtx {
     /// Consume posted receives (in posting order) from the mailbox,
     /// charging the per-message processing overhead against this node's
-    /// noise process starting no earlier than `now`. Returns `true` when
-    /// every posted receive has completed.
-    fn waitall_progress(&mut self, now: Time, recv_overhead: Time) -> bool {
+    /// noise process starting no earlier than `now`. Returns whether every
+    /// posted receive has completed, plus the number of messages consumed
+    /// by this call (so observers can credit the processing span with its
+    /// requested work).
+    fn waitall_progress(&mut self, now: Time, recv_overhead: Time) -> (bool, u64) {
         let mut t = self.wait_t.max(now);
+        let mut consumed = 0u64;
         let done = loop {
             if self.wait_cursor == self.posted.len() {
                 break true;
@@ -209,12 +223,13 @@ impl RankCtx {
                     t = self.noise.advance(t, recv_overhead);
                     self.wait_accum += v;
                     self.wait_cursor += 1;
+                    consumed += 1;
                 }
                 None => break false,
             }
         };
         self.wait_t = t;
-        done
+        (done, consumed)
     }
 
     /// Reset the `WaitAll` bookkeeping and return the accumulated value.
@@ -278,10 +293,40 @@ impl<'a> Machine<'a> {
 
     /// Run one program per rank to completion.
     ///
+    /// When tracing was enabled via [`Machine::with_trace`], an internal
+    /// [`VecRecorder`] captures the run and `RunResult::trace` carries the
+    /// spans (the historical buffered behaviour); otherwise the run streams
+    /// into a [`NullRecorder`], which costs (near) nothing.
+    ///
     /// # Panics
     ///
     /// Panics if more programs than nodes are supplied.
     pub fn run(&self, programs: Vec<Box<dyn Program>>) -> Result<RunResult, RunError> {
+        if self.trace {
+            let mut rec = VecRecorder::default();
+            let mut result = self.run_with(programs, &mut rec)?;
+            result.trace = rec.timeline.spans;
+            Ok(result)
+        } else {
+            self.run_with(programs, &mut NullRecorder)
+        }
+    }
+
+    /// Run one program per rank, streaming observations into `rec` as they
+    /// close. The executor is monomorphized per recorder type, so a
+    /// [`NullRecorder`] compiles to empty inlined calls.
+    ///
+    /// `RunResult::trace` is left empty here; pass a [`VecRecorder`] and
+    /// read its `timeline` for a full capture (spans, waits, messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than nodes are supplied.
+    pub fn run_with<R: Recorder>(
+        &self,
+        programs: Vec<Box<dyn Program>>,
+        rec: &mut R,
+    ) -> Result<RunResult, RunError> {
         let size = programs.len();
         assert!(
             size <= self.net.nodes(),
@@ -315,8 +360,6 @@ impl<'a> Machine<'a> {
 
         let mut q: EventQueue<Event> = EventQueue::with_capacity(size * 4);
         let mut messages: u64 = 0;
-        let mut spans: Vec<OpSpan> = Vec::new();
-        let tracing = self.trace;
         for rank in 0..size {
             q.push(0, Event::Resume { rank, value: None });
         }
@@ -325,32 +368,30 @@ impl<'a> Machine<'a> {
             match ev {
                 Event::Resume { rank, value } => match ranks[rank].state {
                     RState::WaitResume => {
-                        self.drive(
-                            &mut ranks,
-                            rank,
-                            size,
-                            t,
-                            value,
-                            &mut q,
-                            &mut messages,
-                            if tracing { Some(&mut spans) } else { None },
-                        );
+                        self.drive(&mut ranks, rank, size, t, value, &mut q, &mut messages, rec);
                     }
                     RState::SendThenRecv { src, tag } => {
                         debug_assert!(value.is_none());
                         let ctx = &mut ranks[rank];
                         if let Some(v) = mailbox_pop(&mut ctx.mailbox, src, tag) {
                             let done = ctx.noise.advance(t, self.net.recv_overhead());
-                            if tracing {
-                                spans.push(OpSpan {
+                            if done > t {
+                                rec.span(OpSpan {
                                     rank,
                                     kind: SpanKind::RecvProcess,
                                     start: t,
                                     end: done,
+                                    work: self.net.recv_overhead(),
                                 });
                             }
                             ctx.state = RState::WaitResume;
-                            q.push(done, Event::Resume { rank, value: Some(v) });
+                            q.push(
+                                done,
+                                Event::Resume {
+                                    rank,
+                                    value: Some(v),
+                                },
+                            );
                         } else {
                             ctx.state = RState::WaitRecv { src, tag };
                             ctx.block_start = t;
@@ -365,25 +406,29 @@ impl<'a> Machine<'a> {
                     src,
                     tag,
                     value,
+                    sent,
                 } => {
                     let ctx = &mut ranks[dst];
                     match ctx.state {
                         RState::WaitRecv { src: s, tag: tg } if s == src && tg == tag => {
                             ctx.blocked += t.saturating_sub(ctx.block_start);
+                            rec.wait(WaitRecord {
+                                rank: dst,
+                                start: ctx.block_start,
+                                end: t,
+                                src,
+                                tag,
+                                sent,
+                            });
                             let start = self.pickup(t);
                             let done = ctx.noise.advance(start, self.net.recv_overhead());
-                            if tracing {
-                                spans.push(OpSpan {
-                                    rank: dst,
-                                    kind: SpanKind::Blocked,
-                                    start: ctx.block_start,
-                                    end: t,
-                                });
-                                spans.push(OpSpan {
+                            if done > start {
+                                rec.span(OpSpan {
                                     rank: dst,
                                     kind: SpanKind::RecvProcess,
                                     start,
                                     end: done,
+                                    work: self.net.recv_overhead(),
                                 });
                             }
                             ctx.state = RState::WaitResume;
@@ -397,25 +442,26 @@ impl<'a> Machine<'a> {
                         }
                         RState::WaitAll => {
                             ctx.blocked += t.saturating_sub(ctx.block_start);
-                            if tracing && t > ctx.block_start {
-                                spans.push(OpSpan {
-                                    rank: dst,
-                                    kind: SpanKind::Blocked,
-                                    start: ctx.block_start,
-                                    end: t,
-                                });
-                            }
+                            rec.wait(WaitRecord {
+                                rank: dst,
+                                start: ctx.block_start,
+                                end: t,
+                                src,
+                                tag,
+                                sent,
+                            });
                             let pickup = self.pickup(t);
                             let before = ctx.wait_t.max(pickup);
                             ctx.mailbox.entry((src, tag)).or_default().push_back(value);
-                            let progressed =
+                            let (progressed, consumed) =
                                 ctx.waitall_progress(pickup, self.net.recv_overhead());
-                            if tracing && ctx.wait_t > before {
-                                spans.push(OpSpan {
+                            if ctx.wait_t > before {
+                                rec.span(OpSpan {
                                     rank: dst,
                                     kind: SpanKind::RecvProcess,
                                     start: before,
                                     end: ctx.wait_t,
+                                    work: consumed * self.net.recv_overhead(),
                                 });
                             }
                             if progressed {
@@ -471,14 +517,14 @@ impl<'a> Machine<'a> {
             blocked_time: ranks.iter().map(|c| c.blocked).collect(),
             messages,
             events: q.total_popped(),
-            trace: spans,
+            trace: Vec::new(),
         })
     }
 
     /// Drive one rank forward from time `now` until it blocks, schedules a
     /// future resume, or finishes.
     #[allow(clippy::too_many_arguments)]
-    fn drive(
+    fn drive<R: Recorder>(
         &self,
         ranks: &mut [RankCtx],
         rank: Rank,
@@ -487,7 +533,7 @@ impl<'a> Machine<'a> {
         mut prev: Option<f64>,
         q: &mut EventQueue<Event>,
         messages: &mut u64,
-        mut spans: Option<&mut Vec<OpSpan>>,
+        rec: &mut R,
     ) {
         let env = Env { rank, size };
         loop {
@@ -514,9 +560,8 @@ impl<'a> Machine<'a> {
                             ctx.last_value = last;
                             return;
                         }
-        Some(call) => {
-                            if let Some(machine) =
-                                coll::build(&call, env, ctx.coll_seq, &self.cfg)
+                        Some(call) => {
+                            if let Some(machine) = coll::build(&call, env, ctx.coll_seq, &self.cfg)
                             {
                                 ctx.coll_seq += 1;
                                 ctx.coll = Some(machine);
@@ -534,7 +579,18 @@ impl<'a> Machine<'a> {
                                 }
                                 MpiCall::WaitAll => {
                                     ctx.wait_t = now;
-                                    if ctx.waitall_progress(now, self.net.recv_overhead()) {
+                                    let (done_all, consumed) =
+                                        ctx.waitall_progress(now, self.net.recv_overhead());
+                                    if ctx.wait_t > now {
+                                        rec.span(OpSpan {
+                                            rank,
+                                            kind: SpanKind::RecvProcess,
+                                            start: now,
+                                            end: ctx.wait_t,
+                                            work: consumed * self.net.recv_overhead(),
+                                        });
+                                    }
+                                    if done_all {
                                         let done = ctx.wait_t;
                                         let v = ctx.waitall_finish();
                                         if done == now {
@@ -542,7 +598,13 @@ impl<'a> Machine<'a> {
                                             continue;
                                         }
                                         ctx.state = RState::WaitResume;
-                                        q.push(done, Event::Resume { rank, value: Some(v) });
+                                        q.push(
+                                            done,
+                                            Event::Resume {
+                                                rank,
+                                                value: Some(v),
+                                            },
+                                        );
                                     } else {
                                         ctx.state = RState::WaitAll;
                                         ctx.block_start = ctx.wait_t;
@@ -561,15 +623,14 @@ impl<'a> Machine<'a> {
                     let ctx = &mut ranks[rank];
                     ctx.compute_work += w;
                     let end = ctx.noise.advance(now, w);
-                    if let Some(spans) = spans.as_deref_mut() {
-                        if end > now {
-                            spans.push(OpSpan {
-                                rank,
-                                kind: SpanKind::Compute,
-                                start: now,
-                                end,
-                            });
-                        }
+                    if end > now {
+                        rec.span(OpSpan {
+                            rank,
+                            kind: SpanKind::Compute,
+                            start: now,
+                            end,
+                            work: w,
+                        });
                     }
                     if end == now {
                         continue;
@@ -585,16 +646,23 @@ impl<'a> Machine<'a> {
                     value,
                 } => {
                     let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
-                    if let Some(spans) = spans.as_deref_mut() {
-                        if t1 > now {
-                            spans.push(OpSpan {
-                                rank,
-                                kind: SpanKind::SendOverhead,
-                                start: now,
-                                end: t1,
-                            });
-                        }
+                    if t1 > now {
+                        rec.span(OpSpan {
+                            rank,
+                            kind: SpanKind::SendOverhead,
+                            start: now,
+                            end: t1,
+                            work: self.net.send_overhead(),
+                        });
                     }
+                    rec.message(MsgRecord {
+                        src: rank,
+                        dst: peer,
+                        tag,
+                        bytes,
+                        sent: t1,
+                        kind: msg_kind(tag),
+                    });
                     let arrive = t1 + self.net.delivery(rank, peer, bytes);
                     *messages += 1;
                     q.push(
@@ -604,6 +672,7 @@ impl<'a> Machine<'a> {
                             src: rank,
                             tag,
                             value,
+                            sent: t1,
                         },
                     );
                     if t1 == now {
@@ -617,22 +686,27 @@ impl<'a> Machine<'a> {
                     let ctx = &mut ranks[rank];
                     if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer, tag) {
                         let done = ctx.noise.advance(now, self.net.recv_overhead());
-                        if let Some(spans) = spans.as_deref_mut() {
-                            if done > now {
-                                spans.push(OpSpan {
-                                    rank,
-                                    kind: SpanKind::RecvProcess,
-                                    start: now,
-                                    end: done,
-                                });
-                            }
+                        if done > now {
+                            rec.span(OpSpan {
+                                rank,
+                                kind: SpanKind::RecvProcess,
+                                start: now,
+                                end: done,
+                                work: self.net.recv_overhead(),
+                            });
                         }
                         if done == now {
                             prev = Some(v);
                             continue;
                         }
                         ctx.state = RState::WaitResume;
-                        q.push(done, Event::Resume { rank, value: Some(v) });
+                        q.push(
+                            done,
+                            Event::Resume {
+                                rank,
+                                value: Some(v),
+                            },
+                        );
                     } else {
                         ctx.state = RState::WaitRecv { src: peer, tag };
                         ctx.block_start = now;
@@ -648,16 +722,23 @@ impl<'a> Machine<'a> {
                     rtag,
                 } => {
                     let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
-                    if let Some(spans) = spans.as_deref_mut() {
-                        if t1 > now {
-                            spans.push(OpSpan {
-                                rank,
-                                kind: SpanKind::SendOverhead,
-                                start: now,
-                                end: t1,
-                            });
-                        }
+                    if t1 > now {
+                        rec.span(OpSpan {
+                            rank,
+                            kind: SpanKind::SendOverhead,
+                            start: now,
+                            end: t1,
+                            work: self.net.send_overhead(),
+                        });
                     }
+                    rec.message(MsgRecord {
+                        src: rank,
+                        dst: peer_send,
+                        tag: stag,
+                        bytes: sbytes,
+                        sent: t1,
+                        kind: msg_kind(stag),
+                    });
                     let arrive = t1 + self.net.delivery(rank, peer_send, sbytes);
                     *messages += 1;
                     q.push(
@@ -667,6 +748,7 @@ impl<'a> Machine<'a> {
                             src: rank,
                             tag: stag,
                             value: svalue,
+                            sent: t1,
                         },
                     );
                     let ctx = &mut ranks[rank];
@@ -675,22 +757,27 @@ impl<'a> Machine<'a> {
                         // the receive half.
                         if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer_recv, rtag) {
                             let done = ctx.noise.advance(now, self.net.recv_overhead());
-                            if let Some(spans) = spans.as_deref_mut() {
-                                if done > now {
-                                    spans.push(OpSpan {
-                                        rank,
-                                        kind: SpanKind::RecvProcess,
-                                        start: now,
-                                        end: done,
-                                    });
-                                }
+                            if done > now {
+                                rec.span(OpSpan {
+                                    rank,
+                                    kind: SpanKind::RecvProcess,
+                                    start: now,
+                                    end: done,
+                                    work: self.net.recv_overhead(),
+                                });
                             }
                             if done == now {
                                 prev = Some(v);
                                 continue;
                             }
                             ctx.state = RState::WaitResume;
-                            q.push(done, Event::Resume { rank, value: Some(v) });
+                            q.push(
+                                done,
+                                Event::Resume {
+                                    rank,
+                                    value: Some(v),
+                                },
+                            );
                         } else {
                             ctx.state = RState::WaitRecv {
                                 src: peer_recv,
@@ -790,11 +877,7 @@ mod tests {
         Network::new(LogGP::mpp(), Box::new(Flat::new(p)))
     }
 
-    fn run_scripts(
-        net: Network,
-        noise: &dyn NoiseModel,
-        scripts: Vec<Vec<MpiCall>>,
-    ) -> RunResult {
+    fn run_scripts(net: Network, noise: &dyn NoiseModel, scripts: Vec<Vec<MpiCall>>) -> RunResult {
         let programs = scripts
             .into_iter()
             .map(|s| ScriptProgram::new(s).boxed())
@@ -824,10 +907,7 @@ mod tests {
             vec![vec![MpiCall::Compute(ghost_engine::time::SEC)]],
         );
         let slowdown = r.makespan as f64 / ghost_engine::time::SEC as f64;
-        assert!(
-            (slowdown - 1.0 / 0.975).abs() < 1e-3,
-            "slowdown {slowdown}"
-        );
+        assert!((slowdown - 1.0 / 0.975).abs() < 1e-3, "slowdown {slowdown}");
     }
 
     #[test]
@@ -1045,11 +1125,7 @@ mod tests {
                 .collect();
             let machine = Machine::new(flat_machine(p), &NoNoise, 1);
             let r = machine.run(programs).unwrap();
-            assert!(
-                r.makespan > last,
-                "p={p}: {} not > {last}",
-                r.makespan
-            );
+            assert!(r.makespan > last, "p={p}: {} not > {last}", r.makespan);
             last = r.makespan;
         }
     }
@@ -1059,13 +1135,15 @@ mod tests {
         let flat = Network::new(LogGP::mpp(), Box::new(Flat::new(64)));
         let torus = Network::new(LogGP::mpp(), Box::new(Torus3D::new(4, 4, 4)));
         let mk = |net: Network| {
-            let scripts = [vec![MpiCall::Send {
+            let scripts = [
+                vec![MpiCall::Send {
                     dst: 42,
                     tag: 0,
                     bytes: 8,
                     value: 0.0,
                 }],
-                vec![]];
+                vec![],
+            ];
             let mut programs: Vec<Box<dyn Program>> = Vec::new();
             for r in 0..64 {
                 let s = if r == 0 {
@@ -1105,7 +1183,9 @@ mod tests {
                     .boxed()
                 })
                 .collect();
-            Machine::new(flat_machine(p), &model, 777).run(programs).unwrap()
+            Machine::new(flat_machine(p), &model, 777)
+                .run(programs)
+                .unwrap()
         };
         let a = mk();
         let b = mk();
@@ -1129,9 +1209,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "programs but only")]
     fn too_many_programs_panics() {
-        let programs: Vec<Box<dyn Program>> = (0..3)
-            .map(|_| ScriptProgram::new(vec![]).boxed())
-            .collect();
+        let programs: Vec<Box<dyn Program>> =
+            (0..3).map(|_| ScriptProgram::new(vec![]).boxed()).collect();
         let _ = Machine::new(flat_machine(2), &NoNoise, 1).run(programs);
     }
 
@@ -1139,7 +1218,9 @@ mod tests {
     fn empty_programs_finish_at_zero() {
         let programs: Vec<Box<dyn Program>> =
             (0..4).map(|_| ScriptProgram::new(vec![]).boxed()).collect();
-        let r = Machine::new(flat_machine(4), &NoNoise, 1).run(programs).unwrap();
+        let r = Machine::new(flat_machine(4), &NoNoise, 1)
+            .run(programs)
+            .unwrap();
         assert_eq!(r.makespan, 0);
     }
 
@@ -1205,9 +1286,7 @@ mod tests {
         let mk = |mode: RecvMode| {
             let p = 8;
             let programs: Vec<Box<dyn Program>> = (0..p)
-                .map(|_| {
-                    ScriptProgram::new(vec![MpiCall::Barrier, MpiCall::Barrier]).boxed()
-                })
+                .map(|_| ScriptProgram::new(vec![MpiCall::Barrier, MpiCall::Barrier]).boxed())
                 .collect();
             Machine::new(flat_machine(p), &NoNoise, 1)
                 .with_recv_mode(mode)
@@ -1226,11 +1305,7 @@ mod tests {
 
     #[test]
     fn tracing_disabled_by_default() {
-        let r = run_scripts(
-            flat_machine(1),
-            &NoNoise,
-            vec![vec![MpiCall::Compute(MS)]],
-        );
+        let r = run_scripts(flat_machine(1), &NoNoise, vec![vec![MpiCall::Compute(MS)]]);
         assert!(r.trace.is_empty());
     }
 
@@ -1255,8 +1330,7 @@ mod tests {
             .run(programs)
             .unwrap();
         use SpanKind::*;
-        let kinds: Vec<(Rank, SpanKind)> =
-            r.trace.iter().map(|s| (s.rank, s.kind)).collect();
+        let kinds: Vec<(Rank, SpanKind)> = r.trace.iter().map(|s| (s.rank, s.kind)).collect();
         assert!(kinds.contains(&(0, Compute)));
         assert!(kinds.contains(&(0, SendOverhead)));
         assert!(kinds.contains(&(1, Blocked)));
@@ -1269,8 +1343,7 @@ mod tests {
         // Per-rank spans are non-overlapping (CPU is sequential; a rank's
         // Blocked span may not overlap its processing spans).
         for rank in 0..2 {
-            let mut mine: Vec<&OpSpan> =
-                r.trace.iter().filter(|s| s.rank == rank).collect();
+            let mut mine: Vec<&OpSpan> = r.trace.iter().filter(|s| s.rank == rank).collect();
             mine.sort_by_key(|s| s.start);
             for w in mine.windows(2) {
                 assert!(w[0].end <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
@@ -1322,10 +1395,7 @@ mod tests {
     #[test]
     fn blocked_time_in_waitall() {
         let scripts = vec![
-            vec![
-                MpiCall::Irecv { src: 1, tag: 2 },
-                MpiCall::WaitAll,
-            ],
+            vec![MpiCall::Irecv { src: 1, tag: 2 }, MpiCall::WaitAll],
             vec![
                 MpiCall::Compute(5 * MS),
                 MpiCall::Send {
@@ -1348,15 +1418,11 @@ mod tests {
         // Perfectly balanced ranks wait only for collective skew.
         let p = 4;
         let programs: Vec<Box<dyn Program>> = (0..p)
-            .map(|_| {
-                ScriptProgram::new(vec![
-                    MpiCall::Compute(10 * MS),
-                    MpiCall::Barrier,
-                ])
-                .boxed()
-            })
+            .map(|_| ScriptProgram::new(vec![MpiCall::Compute(10 * MS), MpiCall::Barrier]).boxed())
             .collect();
-        let r = Machine::new(flat_machine(p), &NoNoise, 1).run(programs).unwrap();
+        let r = Machine::new(flat_machine(p), &NoNoise, 1)
+            .run(programs)
+            .unwrap();
         for &b in &r.blocked_time {
             assert!(b < MS, "blocked {b} should be tiny for balanced ranks");
         }
@@ -1464,10 +1530,7 @@ mod tests {
 
     #[test]
     fn waitall_deadlock_reports_awaited_source() {
-        let scripts = [vec![
-            MpiCall::Irecv { src: 0, tag: 77 },
-            MpiCall::WaitAll,
-        ]];
+        let scripts = [vec![MpiCall::Irecv { src: 0, tag: 77 }, MpiCall::WaitAll]];
         let programs = vec![ScriptProgram::new(scripts[0].clone()).boxed()];
         match Machine::new(flat_machine(1), &NoNoise, 1).run(programs) {
             Err(RunError::Deadlock { blocked }) => assert_eq!(blocked, vec![(0, 0, 77)]),

@@ -181,9 +181,7 @@ impl<'a> Parser<'a> {
                         return Err(format!("line {bln}: nested repeat is not supported"));
                     }
                     if bline.starts_with("rank ") || bline == "all:" {
-                        return Err(format!(
-                            "line {bln}: section change inside repeat block"
-                        ));
+                        return Err(format!("line {bln}: section change inside repeat block"));
                     }
                     block.push((bln, bline));
                 }
@@ -479,10 +477,8 @@ mod tests {
 
     #[test]
     fn repeat_block_expands() {
-        let goal = GoalWorkload::parse(
-            "ranks 2\nall:\nrepeat 3\n  compute 100\n  barrier\nend\n",
-        )
-        .unwrap();
+        let goal = GoalWorkload::parse("ranks 2\nall:\nrepeat 3\n  compute 100\n  barrier\nend\n")
+            .unwrap();
         assert_eq!(goal.calls(0).len(), 6);
         assert_eq!(goal.calls(1).len(), 6);
         let r = run("ranks 2\nall:\nrepeat 3\n  compute 100\n  barrier\nend\n");
@@ -502,10 +498,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let goal = GoalWorkload::parse(
-            "# header\nranks 2\n\n# section\nall:\n  compute 5 # inline\n",
-        )
-        .unwrap();
+        let goal =
+            GoalWorkload::parse("# header\nranks 2\n\n# section\nall:\n  compute 5 # inline\n")
+                .unwrap();
         assert_eq!(goal.calls(0), &[MpiCall::Compute(5)]);
     }
 
@@ -520,7 +515,10 @@ mod tests {
             ("ranks 2\nall:\nsend 9 1 8\n", "out of range"),
             ("ranks 2\nall:\nrepeat 2\ncompute 1\n", "without matching"),
             ("ranks 2\nall:\nend\n", "`end` without `repeat`"),
-            ("ranks 2\nall:\nallreduce 8 avg\n", "expected sum|max|min|prod"),
+            (
+                "ranks 2\nall:\nallreduce 8 avg\n",
+                "expected sum|max|min|prod",
+            ),
             ("ranks 2\nall:\ncompute 1 2\n", "trailing tokens"),
             ("ranks 2\nrank 1\n", "must end with ':'"),
         ];
@@ -537,8 +535,7 @@ mod tests {
     fn repeat_rejects_section_changes_and_nesting() {
         let err = GoalWorkload::parse("ranks 2\nall:\nrepeat 2\nrank 0:\nend\n").unwrap_err();
         assert!(err.contains("section change"));
-        let err =
-            GoalWorkload::parse("ranks 2\nall:\nrepeat 2\nrepeat 2\nend\nend\n").unwrap_err();
+        let err = GoalWorkload::parse("ranks 2\nall:\nrepeat 2\nrepeat 2\nend\nend\n").unwrap_err();
         assert!(err.contains("nested repeat"));
     }
 

@@ -277,10 +277,7 @@ impl Topology for Dragonfly {
     }
 
     fn hops(&self, a: usize, b: usize) -> u32 {
-        assert!(
-            a < self.nodes() && b < self.nodes(),
-            "node id out of range"
-        );
+        assert!(a < self.nodes() && b < self.nodes(), "node id out of range");
         if a == b {
             0
         } else if self.router(a) == self.router(b) {

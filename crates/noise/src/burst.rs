@@ -35,7 +35,10 @@ impl BurstNoise {
     ///
     /// Panics on zero parameters or `pulse > pulse_period`.
     pub fn new(mean_quiet: Time, mean_burst: Time, pulse: Time, pulse_period: Time) -> Self {
-        assert!(mean_quiet > 0 && mean_burst > 0, "sojourns must be positive");
+        assert!(
+            mean_quiet > 0 && mean_burst > 0,
+            "sojourns must be positive"
+        );
         assert!(
             pulse > 0 && pulse <= pulse_period,
             "pulse {pulse} must be in (0, period {pulse_period}]"
@@ -183,7 +186,11 @@ mod tests {
         let small = gaps.iter().filter(|&&g| g < 20).count();
         let large = gaps.iter().filter(|&&g| g > 500).count();
         assert!(small > 0, "no intra-burst clustering: {gaps:?}");
-        assert!(large > 0, "no quiet periods: gaps max {:?}", gaps.iter().max());
+        assert!(
+            large > 0,
+            "no quiet periods: gaps max {:?}",
+            gaps.iter().max()
+        );
     }
 
     #[test]

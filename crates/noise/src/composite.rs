@@ -112,13 +112,16 @@ impl NoiseModel for CompositeModel {
                 Component::Periodic { period, duration } => {
                     // Give each component an independent phase stream by
                     // folding the component index into the stream tag.
-                    let phase = self
-                        .policy
-                        .phase_for(node, period, &NodeStream::new(s.seed() ^ (ci as u64) << 32));
+                    let phase = self.policy.phase_for(
+                        node,
+                        period,
+                        &NodeStream::new(s.seed() ^ (ci as u64) << 32),
+                    );
                     sources.push(Box::new(PeriodicSource::new(period, duration, phase)));
                 }
                 Component::Poisson { rate_hz, duration } => {
-                    let rng = s.for_node(node, crate::model::streams::ARRIVALS ^ ((ci as u64) << 8));
+                    let rng =
+                        s.for_node(node, crate::model::streams::ARRIVALS ^ ((ci as u64) << 8));
                     sources.push(Box::new(PoissonSource::new(rate_hz, duration, rng)));
                 }
             }

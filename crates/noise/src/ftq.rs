@@ -78,10 +78,7 @@ pub fn fwq_on(noise: &mut dyn NodeNoise, work: Work, samples: usize) -> FwqRun {
         out.push(end - t);
         t = end;
     }
-    FwqRun {
-        work,
-        samples: out,
-    }
+    FwqRun { work, samples: out }
 }
 
 /// Result of an FTQ run: work completed in each fixed time quantum.
@@ -122,7 +119,13 @@ impl FtqRun {
 }
 
 /// Run FTQ against `model` on `node`: `samples` quanta of `quantum` ns each.
-pub fn ftq(model: &dyn NoiseModel, node: usize, seed: u64, quantum: Time, samples: usize) -> FtqRun {
+pub fn ftq(
+    model: &dyn NoiseModel,
+    node: usize,
+    seed: u64,
+    quantum: Time,
+    samples: usize,
+) -> FtqRun {
     let streams = NodeStream::new(seed);
     let mut noise = model.instantiate(node, &streams);
     ftq_on(noise.as_mut(), quantum, samples)
@@ -173,11 +176,7 @@ mod tests {
             let m = sig.periodic_model(PhasePolicy::Aligned);
             let run = fwq(&m, 0, 1, MS, 5_000);
             let f = run.measured_noise_fraction();
-            assert!(
-                (f - 0.025).abs() < 0.002,
-                "{}: measured {f}",
-                sig.label()
-            );
+            assert!((f - 0.025).abs() < 0.002, "{}: measured {f}", sig.label());
         }
     }
 
@@ -187,11 +186,7 @@ mod tests {
             let m = sig.periodic_model(PhasePolicy::Random);
             let run = ftq(&m, 3, 7, MS, 5_000);
             let f = run.measured_noise_fraction();
-            assert!(
-                (f - 0.025).abs() < 0.002,
-                "{}: measured {f}",
-                sig.label()
-            );
+            assert!((f - 0.025).abs() < 0.002, "{}: measured {f}", sig.label());
         }
     }
 

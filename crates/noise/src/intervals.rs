@@ -107,8 +107,10 @@ impl<S: IntervalSource> IntervalNoise<S> {
                             // Merge chains of overlapping pulses into one.
                             if let Some(prev) = self.cur {
                                 if next.start < prev.end {
-                                    next =
-                                        Interval::new(prev.start.min(next.start), prev.end.max(next.end));
+                                    next = Interval::new(
+                                        prev.start.min(next.start),
+                                        prev.end.max(next.end),
+                                    );
                                 }
                             }
                             self.cur = Some(next);
@@ -224,10 +226,7 @@ pub struct MergeSource<S> {
 impl<S: IntervalSource> MergeSource<S> {
     /// Merge the given sources.
     pub fn new(mut sources: Vec<S>) -> Self {
-        let pending = sources
-            .iter_mut()
-            .map(|s| s.next_interval())
-            .collect();
+        let pending = sources.iter_mut().map(|s| s.next_interval()).collect();
         Self { sources, pending }
     }
 }
@@ -344,7 +343,9 @@ mod tests {
         let a = VecSource::new(vec![Interval::new(0, 1), Interval::new(10, 11)]);
         let b = VecSource::new(vec![Interval::new(5, 6), Interval::new(20, 21)]);
         let mut m = MergeSource::new(vec![a, b]);
-        let starts: Vec<Time> = std::iter::from_fn(|| m.next_interval()).map(|iv| iv.start).collect();
+        let starts: Vec<Time> = std::iter::from_fn(|| m.next_interval())
+            .map(|iv| iv.start)
+            .collect();
         assert_eq!(starts, vec![0, 5, 10, 20]);
     }
 

@@ -138,7 +138,9 @@ mod tests {
         assert!((f - 0.025).abs() < 1e-6, "{f}");
         let streams = NodeStream::new(5);
         let mut a = j.instantiate(0, &streams);
-        let mut b = sig().periodic_model(PhasePolicy::Aligned).instantiate(0, &streams);
+        let mut b = sig()
+            .periodic_model(PhasePolicy::Aligned)
+            .instantiate(0, &streams);
         for i in 0..100 {
             let t = i * 3 * MS;
             assert_eq!(a.next_free(t), b.next_free(t), "t={t}");

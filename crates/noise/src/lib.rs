@@ -62,6 +62,6 @@ pub mod stats;
 pub mod stochastic;
 pub mod trace;
 
-pub use model::{NodeNoise, NoiseModel, NoNoise, PhasePolicy};
+pub use model::{NoNoise, NodeNoise, NoiseModel, PhasePolicy};
 pub use periodic::PeriodicNoise;
 pub use signature::Signature;

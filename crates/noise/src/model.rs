@@ -189,7 +189,10 @@ mod tests {
             v.dedup();
             v.len()
         };
-        assert!(distinct > 28, "phases suspiciously clustered: {distinct}/32");
+        assert!(
+            distinct > 28,
+            "phases suspiciously clustered: {distinct}/32"
+        );
     }
 
     #[test]

@@ -261,8 +261,8 @@ pub fn record(model: &dyn NoiseModel, node: usize, seed: u64, span: Time, probe:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::periodic::PeriodicModel;
     use crate::model::PhasePolicy;
+    use crate::periodic::PeriodicModel;
     use ghost_engine::time::{MS, SEC, US};
 
     fn iv(s: Time, e: Time) -> Interval {
@@ -353,10 +353,7 @@ mod tests {
             let a = orig.next_free(t);
             let b = rep.next_free(t);
             // Within probe resolution.
-            assert!(
-                a.abs_diff(b) <= 10 * US,
-                "t={t}: orig {a} vs replay {b}"
-            );
+            assert!(a.abs_diff(b) <= 10 * US, "t={t}: orig {a} vs replay {b}");
         }
     }
 

@@ -1,0 +1,601 @@
+//! Noise-blame attribution: decompose each rank's wall-clock exactly.
+//!
+//! The analyzer walks a recorded [`Timeline`] and splits every rank's
+//! finish time into five integer-nanosecond categories:
+//!
+//! * **compute** — requested application CPU work actually executed;
+//! * **direct noise** — CPU time stolen from this rank by kernel noise
+//!   (the stretch of its own spans);
+//! * **propagated noise** — time spent waiting on a peer *because that
+//!   peer (or its transitive predecessors) were noise-delayed*: the
+//!   idle-wave effect;
+//! * **network** — wire time, CPU-side messaging overhead (the LogGP
+//!   `o`), and unattributed delivery gaps (interrupt wakeup latency);
+//! * **intrinsic imbalance** — waiting caused by the application's own
+//!   load distribution, present even on a noiseless machine.
+//!
+//! The five categories sum *exactly* to each rank's finish time (enforced
+//! by tests); no time is dropped or double-counted within a rank.
+//!
+//! # Attribution of waits
+//!
+//! A wait `[b, e)` ends when a message that departed its sender at `s`
+//! arrives. Time past the departure (`[max(b, s), e)`) is wire time →
+//! **network**. Time spent waiting *for the sender to send*
+//! (`[b, min(s, e))` — the sender's lateness) is attributed by replaying
+//! what the sender was doing during that window, using the sender's own
+//! already-attributed timeline:
+//!
+//! * sender stretched by noise, or itself waiting on noise → **propagated**;
+//! * sender doing genuine application work, or itself waiting on a
+//!   load-imbalanced peer → **imbalance**;
+//! * sender in messaging overhead / wire-bound → **network**.
+//!
+//! Because waits are processed in global arrival order and a message
+//! departs only after its sender's preceding activity has closed, the
+//! sender's window is fully attributed by the time it is queried — so
+//! blame flows transitively along dependency chains, which is exactly how
+//! idle waves propagate.
+//!
+//! # Absorption
+//!
+//! The report summarizes the run with the ratio of machine-wide
+//! propagated to direct noise ([`BlameReport::propagation_factor`]). A
+//! coarse-grained application (SAGE-like) keeps the factor well below 1 —
+//! its synchronization slack *absorbs* the per-rank delays — while a
+//! fine-grained, collective-heavy application (POP-like) drives it past
+//! 1: every pulse anywhere stalls everyone, the paper's amplification.
+
+use ghost_engine::time::Time;
+
+use crate::record::{Rank, SpanKind, Timeline};
+
+/// Category indices within a blame mix.
+const COMPUTE: usize = 0;
+const DIRECT: usize = 1;
+const PROPAGATED: usize = 2;
+const NETWORK: usize = 3;
+const IMBALANCE: usize = 4;
+
+/// One rank's exact wall-clock decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankBlame {
+    /// The rank.
+    pub rank: Rank,
+    /// The rank's finish time (its wall-clock).
+    pub wall: Time,
+    /// Requested compute work executed.
+    pub compute: Time,
+    /// CPU time stolen from this rank by noise.
+    pub direct_noise: Time,
+    /// Waiting inherited from noise-delayed peers (idle wave).
+    pub propagated_noise: Time,
+    /// Wire time, messaging CPU overhead, and delivery gaps.
+    pub network: Time,
+    /// Waiting due to the application's intrinsic load imbalance.
+    pub imbalance: Time,
+}
+
+impl RankBlame {
+    /// Sum of the five categories; equals [`RankBlame::wall`] for a
+    /// consistent timeline.
+    pub fn total(&self) -> Time {
+        self.compute + self.direct_noise + self.propagated_noise + self.network + self.imbalance
+    }
+
+    /// Total noise this rank *felt*, directly or through peers.
+    pub fn noise_felt(&self) -> Time {
+        self.direct_noise + self.propagated_noise
+    }
+}
+
+/// The full machine decomposition produced by [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct BlameReport {
+    /// Per-rank decompositions, indexed by rank.
+    pub ranks: Vec<RankBlame>,
+}
+
+impl BlameReport {
+    /// Machine-wide sums (the `rank` field is meaningless in the result).
+    pub fn sum(&self) -> RankBlame {
+        let mut t = RankBlame {
+            rank: 0,
+            wall: 0,
+            compute: 0,
+            direct_noise: 0,
+            propagated_noise: 0,
+            network: 0,
+            imbalance: 0,
+        };
+        for r in &self.ranks {
+            t.wall += r.wall;
+            t.compute += r.compute;
+            t.direct_noise += r.direct_noise;
+            t.propagated_noise += r.propagated_noise;
+            t.network += r.network;
+            t.imbalance += r.imbalance;
+        }
+        t
+    }
+
+    /// Machine-wide ratio of propagated to direct noise.
+    ///
+    /// Below 1: synchronization slack absorbed most per-rank delays
+    /// before peers could inherit them. Above 1: dependency chains
+    /// re-billed each stolen cycle to more than one waiting rank — the
+    /// paper's noise amplification. Returns 0 when no noise landed.
+    pub fn propagation_factor(&self) -> f64 {
+        let t = self.sum();
+        if t.direct_noise == 0 {
+            if t.propagated_noise == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            t.propagated_noise as f64 / t.direct_noise as f64
+        }
+    }
+
+    /// Percent of directly-injected noise that peers did **not** inherit:
+    /// `max(0, 1 - propagation_factor) * 100`.
+    ///
+    /// 100% means every stolen cycle stayed local (fully absorbed into
+    /// slack); 0% means each stolen cycle reappeared at least once as
+    /// peer waiting (amplification).
+    pub fn absorbed_pct(&self) -> f64 {
+        (1.0 - self.propagation_factor()).clamp(0.0, 1.0) * 100.0
+    }
+}
+
+/// One attributed interval of a rank's timeline.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    start: Time,
+    end: Time,
+    mix: [Time; 5],
+}
+
+enum Item {
+    Cpu {
+        rank: Rank,
+        kind: SpanKind,
+        start: Time,
+        end: Time,
+        work: Time,
+    },
+    Wait {
+        rank: Rank,
+        start: Time,
+        end: Time,
+        src: Rank,
+        sent: Time,
+    },
+}
+
+impl Item {
+    fn end(&self) -> Time {
+        match *self {
+            Item::Cpu { end, .. } | Item::Wait { end, .. } => end,
+        }
+    }
+    /// CPU spans attribute before waits at the same close time: a message
+    /// departs at the end of its sender's overhead span, so a wait query
+    /// at that instant must already see the span attributed.
+    fn order(&self) -> u8 {
+        match self {
+            Item::Cpu { .. } => 0,
+            Item::Wait { .. } => 1,
+        }
+    }
+    fn rank(&self) -> Rank {
+        match *self {
+            Item::Cpu { rank, .. } | Item::Wait { rank, .. } => rank,
+        }
+    }
+}
+
+/// Pro-rate a segment's mix onto `overlap` nanoseconds of it.
+///
+/// Integer floors are taken per category and the remainder is assigned to
+/// the category with the largest share, so the parts sum exactly to
+/// `overlap`.
+fn prorate(mix: &[Time; 5], len: Time, overlap: Time) -> [Time; 5] {
+    debug_assert!(overlap <= len && len > 0);
+    if overlap == len {
+        return *mix;
+    }
+    let mut out = [0u64; 5];
+    let mut assigned = 0u64;
+    for k in 0..5 {
+        out[k] = ((mix[k] as u128 * overlap as u128) / len as u128) as u64;
+        assigned += out[k];
+    }
+    let rem = overlap - assigned;
+    if rem > 0 {
+        let k = (0..5).max_by_key(|&k| (mix[k], k)).unwrap_or(IMBALANCE);
+        out[k] += rem;
+    }
+    out
+}
+
+/// Integrate a rank's attributed segments over the window `[w0, w1)`,
+/// returning per-category nanoseconds plus the uncovered remainder.
+fn window_mix(segs: &[Seg], w0: Time, w1: Time) -> ([Time; 5], Time) {
+    let mut acc = [0u64; 5];
+    let mut covered = 0u64;
+    if w1 <= w0 {
+        return (acc, 0);
+    }
+    // First segment that might overlap: the last with start <= w0, found
+    // by binary search on start (segments are disjoint and sorted).
+    let mut i = segs.partition_point(|s| s.end <= w0);
+    while i < segs.len() && segs[i].start < w1 {
+        let s = &segs[i];
+        let lo = s.start.max(w0);
+        let hi = s.end.min(w1);
+        if hi > lo {
+            let part = prorate(&s.mix, s.end - s.start, hi - lo);
+            for k in 0..5 {
+                acc[k] += part[k];
+            }
+            covered += hi - lo;
+        }
+        i += 1;
+    }
+    ((acc), (w1 - w0) - covered)
+}
+
+/// Decompose a recorded run into per-rank blame.
+///
+/// `finish_times` are the per-rank completion times from the executor's
+/// `RunResult`; each rank's five categories sum exactly to its entry.
+/// [`SpanKind::Blocked`] spans in the timeline are ignored (waits carry
+/// the attribution-relevant detail for blocked time).
+pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
+    let n = finish_times.len().max(timeline.ranks());
+    let mut items: Vec<Item> = Vec::with_capacity(timeline.spans.len() + timeline.waits.len());
+    for s in &timeline.spans {
+        if s.kind == SpanKind::Blocked {
+            continue;
+        }
+        items.push(Item::Cpu {
+            rank: s.rank,
+            kind: s.kind,
+            start: s.start,
+            end: s.end,
+            work: s.work,
+        });
+    }
+    for w in &timeline.waits {
+        if w.end > w.start {
+            items.push(Item::Wait {
+                rank: w.rank,
+                start: w.start,
+                end: w.end,
+                src: w.src,
+                sent: w.sent,
+            });
+        }
+    }
+    // Global attribution order: by close time, CPU before waits on ties,
+    // then by rank for determinism.
+    items.sort_by_key(|it| (it.end(), it.order(), it.rank()));
+
+    let mut segs: Vec<Vec<Seg>> = vec![Vec::new(); n];
+    let mut i = 0;
+    while i < items.len() {
+        match items[i] {
+            Item::Cpu {
+                rank,
+                kind,
+                start,
+                end,
+                work,
+            } => {
+                if end > start && rank < n {
+                    let len = end - start;
+                    let w = work.min(len);
+                    let stretch = len - w;
+                    let mut mix = [0u64; 5];
+                    match kind {
+                        SpanKind::Compute => {
+                            mix[COMPUTE] = w;
+                            mix[DIRECT] = stretch;
+                        }
+                        SpanKind::SendOverhead | SpanKind::RecvProcess => {
+                            mix[NETWORK] = w;
+                            mix[DIRECT] = stretch;
+                        }
+                        SpanKind::Blocked => unreachable!("filtered above"),
+                    }
+                    segs[rank].push(Seg { start, end, mix });
+                }
+                i += 1;
+            }
+            Item::Wait { end, .. } => {
+                // Batch every wait closing at this instant: simultaneous
+                // wait chains (zero-wire forwarding) must attribute
+                // sender-first, so order the group topologically by the
+                // sender links within it.
+                let mut group = Vec::new();
+                while i < items.len() {
+                    match items[i] {
+                        Item::Wait {
+                            rank,
+                            start,
+                            end: e,
+                            src,
+                            sent,
+                        } if e == end => {
+                            group.push((rank, start, e, src, sent));
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let mut pending = group;
+                while !pending.is_empty() {
+                    let ready: Vec<usize> = (0..pending.len())
+                        .filter(|&gi| {
+                            let (_, _, _, src, sent) = pending[gi];
+                            // Blocked on another unresolved wait in this
+                            // group only if that wait overlaps our
+                            // lateness window.
+                            !pending
+                                .iter()
+                                .enumerate()
+                                .any(|(gj, &(r2, s2, _, _, _))| gj != gi && r2 == src && s2 < sent)
+                        })
+                        .collect();
+                    // A dependency cycle at one instant cannot arise from a
+                    // deadlock-free run; fall back to processing everything
+                    // rather than looping forever on corrupt input.
+                    let take = if ready.is_empty() {
+                        (0..pending.len()).collect()
+                    } else {
+                        ready
+                    };
+                    for &gi in &take {
+                        let (rank, start, end, src, sent) = pending[gi];
+                        if rank >= n {
+                            continue;
+                        }
+                        let mut mix = [0u64; 5];
+                        let lateness_end = sent.clamp(start, end);
+                        // Wire: the message was in flight from
+                        // `lateness_end` on.
+                        mix[NETWORK] = end - lateness_end;
+                        if lateness_end > start {
+                            // The sender had not sent yet: replay its window.
+                            let (sender_mix, uncovered) = if src < n {
+                                window_mix(&segs[src], start, lateness_end)
+                            } else {
+                                ([0u64; 5], lateness_end - start)
+                            };
+                            mix[PROPAGATED] += sender_mix[DIRECT] + sender_mix[PROPAGATED];
+                            mix[NETWORK] += sender_mix[NETWORK];
+                            mix[IMBALANCE] +=
+                                sender_mix[COMPUTE] + sender_mix[IMBALANCE] + uncovered;
+                        }
+                        segs[rank].push(Seg { start, end, mix });
+                    }
+                    let mut keep = Vec::new();
+                    for (gi, w) in pending.into_iter().enumerate() {
+                        if !take.contains(&gi) {
+                            keep.push(w);
+                        }
+                    }
+                    pending = keep;
+                }
+            }
+        }
+    }
+
+    let mut ranks = Vec::with_capacity(n);
+    for (r, rank_segs) in segs.iter().enumerate() {
+        let wall = finish_times
+            .get(r)
+            .copied()
+            .unwrap_or_else(|| rank_segs.last().map(|s| s.end).unwrap_or(0));
+        let mut mix = [0u64; 5];
+        let mut covered = 0u64;
+        for s in rank_segs {
+            for (k, m) in mix.iter_mut().enumerate() {
+                *m += s.mix[k];
+            }
+            covered += s.end - s.start;
+        }
+        // Unattributed gaps (e.g. interrupt wakeup latency between a
+        // message's arrival and the rank resuming) are delivery-path
+        // costs: bill them to network.
+        mix[NETWORK] += wall.saturating_sub(covered);
+        ranks.push(RankBlame {
+            rank: r,
+            wall,
+            compute: mix[COMPUTE],
+            direct_noise: mix[DIRECT],
+            propagated_noise: mix[PROPAGATED],
+            network: mix[NETWORK],
+            imbalance: mix[IMBALANCE],
+        });
+    }
+    BlameReport { ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpSpan, WaitRecord};
+
+    fn cpu(rank: Rank, kind: SpanKind, start: Time, end: Time, work: Time) -> OpSpan {
+        OpSpan {
+            rank,
+            kind,
+            start,
+            end,
+            work,
+        }
+    }
+
+    fn wait(rank: Rank, start: Time, end: Time, src: Rank, sent: Time) -> WaitRecord {
+        WaitRecord {
+            rank,
+            start,
+            end,
+            src,
+            tag: 0,
+            sent,
+        }
+    }
+
+    fn check_sums(report: &BlameReport, finish: &[Time]) {
+        for r in &report.ranks {
+            assert_eq!(
+                r.total(),
+                finish[r.rank],
+                "rank {} blame {:?} != wall {}",
+                r.rank,
+                r,
+                finish[r.rank]
+            );
+        }
+    }
+
+    #[test]
+    fn pure_compute_is_all_compute() {
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(0, SpanKind::Compute, 0, 100, 100));
+        let rep = analyze(&tl, &[100]);
+        assert_eq!(rep.ranks[0].compute, 100);
+        assert_eq!(rep.ranks[0].direct_noise, 0);
+        check_sums(&rep, &[100]);
+    }
+
+    #[test]
+    fn stretch_is_direct_noise() {
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(0, SpanKind::Compute, 0, 130, 100));
+        let rep = analyze(&tl, &[130]);
+        assert_eq!(rep.ranks[0].compute, 100);
+        assert_eq!(rep.ranks[0].direct_noise, 30);
+        check_sums(&rep, &[130]);
+    }
+
+    #[test]
+    fn overhead_spans_bill_network() {
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(0, SpanKind::SendOverhead, 0, 12, 10));
+        tl.spans.push(cpu(0, SpanKind::RecvProcess, 12, 22, 10));
+        let rep = analyze(&tl, &[22]);
+        assert_eq!(rep.ranks[0].network, 20);
+        assert_eq!(rep.ranks[0].direct_noise, 2);
+        check_sums(&rep, &[22]);
+    }
+
+    #[test]
+    fn wire_only_wait_is_network() {
+        // Receiver blocks at 0; the message already departed at 0 and
+        // arrives at 50: pure wire time.
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(1, SpanKind::SendOverhead, 0, 0, 0));
+        tl.waits.push(wait(0, 0, 50, 1, 0));
+        let rep = analyze(&tl, &[50, 0]);
+        assert_eq!(rep.ranks[0].network, 50);
+        assert_eq!(rep.ranks[0].propagated_noise, 0);
+        check_sums(&rep, &[50, 0]);
+    }
+
+    #[test]
+    fn noise_delayed_sender_becomes_propagated() {
+        // Sender computes [0, 100) of which 40 is noise stretch, sends
+        // instantaneously at 100; receiver blocked the whole time, message
+        // arrives at 110 (10 wire).
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(1, SpanKind::Compute, 0, 100, 60));
+        tl.waits.push(wait(0, 0, 110, 1, 100));
+        let rep = analyze(&tl, &[110, 100]);
+        let r0 = &rep.ranks[0];
+        assert_eq!(r0.propagated_noise, 40, "sender's stretch is inherited");
+        assert_eq!(r0.imbalance, 60, "sender's genuine work is imbalance");
+        assert_eq!(r0.network, 10);
+        check_sums(&rep, &[110, 100]);
+    }
+
+    #[test]
+    fn propagation_is_transitive() {
+        // Chain: rank 2 stretched by noise delays rank 1, which delays
+        // rank 0. Rank 0 never saw rank 2, yet inherits its noise.
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(2, SpanKind::Compute, 0, 50, 10)); // 40 noise
+        tl.waits.push(wait(1, 0, 50, 2, 50)); // rank 1 waits on 2
+        tl.waits.push(wait(0, 0, 50, 1, 50)); // rank 0 waits on 1
+        let rep = analyze(&tl, &[50, 50, 50]);
+        let r0 = &rep.ranks[0];
+        assert_eq!(
+            r0.propagated_noise, 40,
+            "noise propagates through the chain: {r0:?}"
+        );
+        assert_eq!(r0.imbalance, 10);
+        check_sums(&rep, &[50, 50, 50]);
+    }
+
+    #[test]
+    fn blocked_spans_are_ignored_in_favor_of_waits() {
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(1, SpanKind::Compute, 0, 30, 30));
+        // VecRecorder would have pushed both the blocked span and the wait.
+        tl.spans.push(cpu(0, SpanKind::Blocked, 0, 30, 0));
+        tl.waits.push(wait(0, 0, 30, 1, 30));
+        let rep = analyze(&tl, &[30, 30]);
+        assert_eq!(rep.ranks[0].imbalance, 30);
+        check_sums(&rep, &[30, 30]);
+    }
+
+    #[test]
+    fn delivery_gap_goes_to_network() {
+        // Rank finishes its last span at 80 but its recorded finish time
+        // is 100 (e.g. interrupt wakeup): the 20 ns gap bills to network.
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(0, SpanKind::Compute, 0, 80, 80));
+        let rep = analyze(&tl, &[100]);
+        assert_eq!(rep.ranks[0].network, 20);
+        check_sums(&rep, &[100]);
+    }
+
+    #[test]
+    fn prorate_sums_exactly() {
+        let mix = [10u64, 3, 3, 3, 1]; // len 20
+        for overlap in 0..=20 {
+            let p = prorate(&mix, 20, overlap);
+            assert_eq!(p.iter().sum::<u64>(), overlap, "overlap {overlap}");
+        }
+    }
+
+    #[test]
+    fn absorption_summary() {
+        let mut rep = BlameReport::default();
+        rep.ranks.push(RankBlame {
+            rank: 0,
+            wall: 100,
+            compute: 80,
+            direct_noise: 10,
+            propagated_noise: 2,
+            network: 4,
+            imbalance: 4,
+        });
+        assert!((rep.propagation_factor() - 0.2).abs() < 1e-12);
+        assert!((rep.absorbed_pct() - 80.0).abs() < 1e-9);
+        assert_eq!(rep.sum().wall, 100);
+        assert_eq!(rep.ranks[0].noise_felt(), 12);
+    }
+
+    #[test]
+    fn empty_timeline_is_benign() {
+        let rep = analyze(&Timeline::default(), &[]);
+        assert!(rep.ranks.is_empty());
+        assert_eq!(rep.propagation_factor(), 0.0);
+        assert_eq!(rep.absorbed_pct(), 100.0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Chrome trace-event JSON export and a dependency-free validator.
+//!
+//! [`trace_json`] turns a recorded [`Timeline`] into the Trace Event
+//! Format consumed by Perfetto and `chrome://tracing`: one complete
+//! (`"ph": "X"`) event per span, `tid` = rank, timestamps in microseconds
+//! (fractional, exact to the nanosecond), plus `"M"` metadata events
+//! naming each rank's row.
+//!
+//! [`validate_trace`] parses the JSON with a small hand-rolled parser (the
+//! workspace has no serde) and checks the structural invariants tests and
+//! the CLI rely on: a `traceEvents` array, complete events with numeric
+//! `ts`/`dur`/`tid`, and non-decreasing `ts` per `tid`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ghost_engine::time::Time;
+
+use crate::record::Timeline;
+
+/// Format a nanosecond timestamp as fractional microseconds, exactly.
+fn us(ns: Time) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render a timeline as Chrome trace-event JSON.
+///
+/// Spans are sorted by `(rank, start)` so each `tid`'s events appear in
+/// non-decreasing `ts` order, which keeps the file friendly to streaming
+/// consumers and easy to validate.
+pub fn trace_json(timeline: &Timeline) -> String {
+    let mut spans = timeline.spans.clone();
+    spans.sort_by_key(|s| (s.rank, s.start, s.end));
+    let ranks = timeline.ranks();
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    for r in 0..ranks {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{r},\
+             \"args\":{{\"name\":\"rank {r}\"}}}}"
+        );
+    }
+    for s in &spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"rank\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"work_ns\":{}}}}}",
+            s.kind.label(),
+            us(s.start),
+            us(s.end - s.start),
+            s.rank,
+            s.work
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Summary returned by a successful [`validate_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"X"`) events.
+    pub complete: usize,
+    /// Distinct `tid`s among complete events.
+    pub tids: usize,
+}
+
+/// A parsed JSON value (minimal model: numbers as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Decode just its
+                    // own bytes: validating the whole remaining input here
+                    // would make parsing quadratic.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    s.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// Validate a Chrome trace-event JSON document.
+///
+/// Checks that the document parses, has a `traceEvents` array, that every
+/// event is an object with a string `ph`, that complete (`"X"`) events
+/// carry numeric non-negative `ts` and `dur` and a numeric `tid`, and that
+/// `ts` is non-decreasing per `tid` in array order. `B`/`E` duration
+/// events, if present, must be balanced per `tid`.
+pub fn validate_trace(json: &str) -> Result<TraceStats, String> {
+    let root = parse(json)?;
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("missing traceEvents array".to_owned()),
+    };
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    let mut depth: HashMap<i64, i64> = HashMap::new();
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "X" | "B" | "E" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(|t| t.as_num())
+                    .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+                let tid = ev
+                    .get("tid")
+                    .and_then(|t| t.as_num())
+                    .ok_or_else(|| format!("event {i}: missing numeric tid"))?
+                    as i64;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        return Err(format!("event {i}: ts {ts} < previous {prev} on tid {tid}"));
+                    }
+                }
+                last_ts.insert(tid, ts);
+                match ph {
+                    "X" => {
+                        let dur = ev
+                            .get("dur")
+                            .and_then(|d| d.as_num())
+                            .ok_or_else(|| format!("event {i}: X without numeric dur"))?;
+                        if dur < 0.0 {
+                            return Err(format!("event {i}: negative dur"));
+                        }
+                        complete += 1;
+                    }
+                    "B" => *depth.entry(tid).or_insert(0) += 1,
+                    "E" => {
+                        let d = depth.entry(tid).or_insert(0);
+                        *d -= 1;
+                        if *d < 0 {
+                            return Err(format!("event {i}: E without matching B on tid {tid}"));
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    if let Some((tid, d)) = depth.iter().find(|(_, &d)| d != 0) {
+        return Err(format!("unbalanced B/E on tid {tid}: depth {d}"));
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        complete,
+        tids: last_ts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpSpan, SpanKind, VecRecorder, WaitRecord};
+    use crate::Recorder;
+
+    fn sample_timeline() -> Timeline {
+        let mut r = VecRecorder::default();
+        r.span(OpSpan {
+            rank: 0,
+            kind: SpanKind::Compute,
+            start: 0,
+            end: 1500,
+            work: 1400,
+        });
+        r.span(OpSpan {
+            rank: 0,
+            kind: SpanKind::SendOverhead,
+            start: 1500,
+            end: 1600,
+            work: 100,
+        });
+        r.wait(WaitRecord {
+            rank: 1,
+            start: 0,
+            end: 2100,
+            src: 0,
+            tag: 9,
+            sent: 1600,
+        });
+        r.timeline
+    }
+
+    #[test]
+    fn export_is_valid_and_monotone() {
+        let json = trace_json(&sample_timeline());
+        let stats = validate_trace(&json).expect("exported trace must validate");
+        assert_eq!(stats.complete, 3, "2 CPU spans + 1 blocked span");
+        assert_eq!(stats.tids, 2);
+        // 2 thread_name metadata events + 3 complete events.
+        assert_eq!(stats.events, 5);
+    }
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1500), "1.500");
+        assert_eq!(us(2_000_001), "2000.001");
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_ts() {
+        let bad = r#"{"traceEvents":[
+            {"ph":"X","ts":10,"dur":1,"tid":0},
+            {"ph":"X","ts":5,"dur":1,"tid":0}
+        ]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("ts"));
+        // Different tids may interleave freely.
+        let ok = r#"{"traceEvents":[
+            {"ph":"X","ts":10,"dur":1,"tid":0},
+            {"ph":"X","ts":5,"dur":1,"tid":1}
+        ]}"#;
+        assert!(validate_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_trace("{").is_err());
+        assert!(validate_trace("[]").is_err());
+        assert!(validate_trace(r#"{"traceEvents":{}}"#).is_err());
+        assert!(validate_trace(r#"{"traceEvents":[{"ph":"X","ts":1}]}"#).is_err());
+        assert!(
+            validate_trace(r#"{"traceEvents":[{"ph":"X","ts":1,"tid":0}]}"#)
+                .unwrap_err()
+                .contains("dur")
+        );
+        assert!(validate_trace(r#"{"traceEvents":[{"ph":"Q","ts":1,"tid":0}]}"#).is_err());
+    }
+
+    #[test]
+    fn validator_checks_be_balance() {
+        let ok = r#"{"traceEvents":[
+            {"ph":"B","ts":1,"tid":0},
+            {"ph":"E","ts":2,"tid":0}
+        ]}"#;
+        assert!(validate_trace(ok).is_ok());
+        let unbalanced = r#"{"traceEvents":[{"ph":"B","ts":1,"tid":0}]}"#;
+        assert!(validate_trace(unbalanced).is_err());
+        let inverted = r#"{"traceEvents":[{"ph":"E","ts":1,"tid":0}]}"#;
+        assert!(validate_trace(inverted).is_err());
+    }
+
+    #[test]
+    fn parser_handles_strings_and_numbers() {
+        let v = parse(r#"{"a":"he\"llo\nworld A","b":-1.5e2,"c":[true,false,null]}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str().unwrap(), "he\"llo\nworld A");
+        assert_eq!(v.get("b").unwrap().as_num().unwrap(), -150.0);
+        assert!(matches!(v.get("c"), Some(Json::Arr(a)) if a.len() == 3));
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn empty_timeline_exports_empty_array() {
+        let json = trace_json(&Timeline::default());
+        let stats = validate_trace(&json).unwrap();
+        assert_eq!(stats.events, 0);
+    }
+}

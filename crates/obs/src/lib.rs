@@ -1,0 +1,40 @@
+//! Observability for GhostSim runs: streaming recorders, per-rank metrics,
+//! noise-blame attribution, and Chrome trace export.
+//!
+//! The SC'07 study the simulator reproduces is, at heart, an *observation*
+//! problem: once kernel noise is injected, where does the time go? This crate
+//! supplies the machinery to answer that on a per-run basis:
+//!
+//! * [`record`] — the [`Recorder`] trait, a streaming observer the executor
+//!   feeds as spans close. [`NullRecorder`] compiles to nothing (the executor
+//!   is generic over the recorder, so the disabled path monomorphizes to
+//!   empty inlined calls); [`VecRecorder`] buffers a full [`Timeline`].
+//! * [`metrics`] — per-rank counters (messages, bytes, collective rounds,
+//!   noise pulses hit) and [`Log2Hist`] log2-bucketed histograms (wait times,
+//!   compute stretch, FTQ quanta), maintained online by [`MetricsRecorder`].
+//! * [`blame`] — an offline analyzer that decomposes each rank's wall-clock
+//!   into *compute*, *direct noise*, *propagated noise* (the idle-wave
+//!   effect: waiting on a noise-delayed peer), *network*, and *intrinsic
+//!   imbalance* — summing exactly, in integer nanoseconds, to the rank's
+//!   finish time.
+//! * [`chrome`] — Chrome trace-event JSON export (loadable in Perfetto or
+//!   `chrome://tracing`) plus a dependency-free JSON validator used by tests
+//!   and by the CLI to self-check emitted traces.
+//!
+//! This crate depends only on `ghost-engine` (for the time types); the MPI
+//! executor depends on it, not the other way around.
+
+#![warn(missing_docs)]
+
+pub mod blame;
+pub mod chrome;
+pub mod metrics;
+pub mod record;
+
+pub use blame::{analyze, BlameReport, RankBlame};
+pub use chrome::{trace_json, validate_trace, TraceStats};
+pub use metrics::{Log2Hist, MetricsRecorder, RankCounters};
+pub use record::{
+    MsgKind, MsgRecord, NullRecorder, OpSpan, Rank, Recorder, SpanKind, Timeline, VecRecorder,
+    WaitRecord,
+};

@@ -1,0 +1,424 @@
+//! Online per-rank metrics: counters and log2-bucketed histograms.
+//!
+//! [`MetricsRecorder`] maintains these while a run executes (O(1) per
+//! event, no buffering), so even very long simulations can be summarized
+//! without retaining a full [`crate::Timeline`].
+
+use ghost_engine::time::Time;
+
+use crate::record::{MsgKind, MsgRecord, OpSpan, Recorder, SpanKind, WaitRecord};
+
+/// A power-of-two-bucketed histogram of `u64` samples (nanoseconds, bytes,
+/// FTQ work quanta — any magnitude-distributed quantity).
+///
+/// Bucket `0` holds exact zeros; bucket `k >= 1` holds samples in
+/// `[2^(k-1), 2^k)`. Recording is branch-light (`leading_zeros`), making
+/// the histogram cheap enough for per-span use.
+#[derive(Debug, Clone)]
+pub struct Log2Hist {
+    buckets: [u64; 65],
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-exclusive bounds `[lo, hi)` of bucket `k` (bucket 0 is the
+    /// degenerate `[0, 1)`).
+    pub fn bucket_bounds(k: usize) -> (u64, u64) {
+        match k {
+            0 => (0, 1),
+            64 => (1u64 << 63, u64::MAX),
+            _ => (1u64 << (k - 1), 1u64 << k),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.total += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0 <= q <= 1`),
+    /// i.e. the value below which at least `q` of the samples fall, rounded
+    /// up to a power of two. Returns 0 for an empty histogram.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Self::bucket_bounds(k).1;
+            }
+        }
+        Self::bucket_bounds(64).1
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, low to high.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                let (lo, hi) = Self::bucket_bounds(k);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// Build a histogram from an iterator of samples (convenience for FTQ
+/// quanta: `quanta_hist(ftq_samples.iter().copied())`).
+pub fn quanta_hist(samples: impl IntoIterator<Item = u64>) -> Log2Hist {
+    let mut h = Log2Hist::new();
+    for s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Per-rank event counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankCounters {
+    /// Messages injected by this rank (point-to-point and collective).
+    pub msgs_sent: u64,
+    /// Payload bytes injected by this rank.
+    pub bytes_sent: u64,
+    /// Collective-internal messages injected by this rank.
+    pub coll_msgs: u64,
+    /// Collective rounds this rank participated in (distinct
+    /// `(seq, round)` pairs among its collective sends).
+    pub coll_rounds: u64,
+    /// Completed blocking waits.
+    pub waits: u64,
+    /// CPU spans stretched by at least one noise pulse.
+    pub noisy_spans: u64,
+    /// Total CPU time stolen by noise on this rank.
+    pub noise_stolen: Time,
+    /// Total requested compute work executed.
+    pub compute_work: Time,
+    /// Total time spent blocked.
+    pub blocked: Time,
+}
+
+/// Per-rank metric state: counters plus wait-time and stretch histograms.
+#[derive(Debug, Clone, Default)]
+pub struct RankMetrics {
+    /// Event counters.
+    pub counters: RankCounters,
+    /// Histogram of blocking-wait durations (ns).
+    pub wait_ns: Log2Hist,
+    /// Histogram of per-span noise stretch (ns; only stretched spans).
+    pub stretch_ns: Log2Hist,
+    last_coll: Option<(u64, u32)>,
+}
+
+/// A [`Recorder`] that folds every event into per-rank counters and
+/// histograms as it arrives.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    ranks: Vec<RankMetrics>,
+}
+
+impl MetricsRecorder {
+    /// Create an empty registry (ranks materialize on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn rank_mut(&mut self, rank: usize) -> &mut RankMetrics {
+        if rank >= self.ranks.len() {
+            self.ranks.resize_with(rank + 1, RankMetrics::default);
+        }
+        &mut self.ranks[rank]
+    }
+
+    /// Per-rank metrics, indexed by rank.
+    pub fn ranks(&self) -> &[RankMetrics] {
+        &self.ranks
+    }
+
+    /// Sum of all per-rank counters.
+    pub fn totals(&self) -> RankCounters {
+        let mut t = RankCounters::default();
+        for r in &self.ranks {
+            let c = &r.counters;
+            t.msgs_sent += c.msgs_sent;
+            t.bytes_sent += c.bytes_sent;
+            t.coll_msgs += c.coll_msgs;
+            t.coll_rounds += c.coll_rounds;
+            t.waits += c.waits;
+            t.noisy_spans += c.noisy_spans;
+            t.noise_stolen += c.noise_stolen;
+            t.compute_work += c.compute_work;
+            t.blocked += c.blocked;
+        }
+        t
+    }
+
+    /// Machine-wide wait-time histogram (merged over ranks).
+    pub fn wait_hist(&self) -> Log2Hist {
+        let mut h = Log2Hist::new();
+        for r in &self.ranks {
+            h.merge(&r.wait_ns);
+        }
+        h
+    }
+
+    /// Machine-wide stretch histogram (merged over ranks).
+    pub fn stretch_hist(&self) -> Log2Hist {
+        let mut h = Log2Hist::new();
+        for r in &self.ranks {
+            h.merge(&r.stretch_ns);
+        }
+        h
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn span(&mut self, span: OpSpan) {
+        let stretch = span.stretch();
+        let m = self.rank_mut(span.rank);
+        if span.kind == SpanKind::Compute {
+            m.counters.compute_work += span.work;
+        }
+        if span.kind == SpanKind::Blocked {
+            m.counters.blocked += span.duration();
+            return;
+        }
+        if stretch > 0 {
+            m.counters.noisy_spans += 1;
+            m.counters.noise_stolen += stretch;
+            m.stretch_ns.record(stretch);
+        }
+    }
+
+    fn wait(&mut self, wait: WaitRecord) {
+        let m = self.rank_mut(wait.rank);
+        m.counters.waits += 1;
+        m.counters.blocked += wait.end - wait.start;
+        m.wait_ns.record(wait.end - wait.start);
+    }
+
+    fn message(&mut self, msg: MsgRecord) {
+        let m = self.rank_mut(msg.src);
+        m.counters.msgs_sent += 1;
+        m.counters.bytes_sent += msg.bytes;
+        if let MsgKind::Collective { seq, round } = msg.kind {
+            m.counters.coll_msgs += 1;
+            if m.last_coll != Some((seq, round)) {
+                m.last_coll = Some((seq, round));
+                m.counters.coll_rounds += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Rank;
+
+    fn cpu(rank: Rank, kind: SpanKind, start: Time, end: Time, work: u64) -> OpSpan {
+        OpSpan {
+            rank,
+            kind,
+            start,
+            end,
+            work,
+        }
+    }
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+        for v in [1u64, 5, 100, 1 << 20, (1 << 40) + 7] {
+            let (lo, hi) = Log2Hist::bucket_bounds(Log2Hist::bucket_of(v));
+            assert!(lo <= v && v < hi, "{v} outside [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Log2Hist::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total(), 1006);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        // 80% of samples are <= 3, so the 0.8-quantile bucket tops out at 4.
+        assert_eq!(h.quantile_upper(0.8), 4);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.iter().map(|&(_, _, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = quanta_hist([1u64, 2, 3]);
+        let b = quanta_hist([100u64, 200]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Log2Hist::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn recorder_folds_spans_waits_messages() {
+        let mut m = MetricsRecorder::new();
+        // Compute span with 5 ns of stretch.
+        m.span(cpu(0, SpanKind::Compute, 0, 105, 100));
+        // Unstretched overhead span.
+        m.span(cpu(0, SpanKind::SendOverhead, 105, 110, 5));
+        m.wait(WaitRecord {
+            rank: 1,
+            start: 0,
+            end: 50,
+            src: 0,
+            tag: 3,
+            sent: 40,
+        });
+        m.message(MsgRecord {
+            src: 0,
+            dst: 1,
+            tag: 3,
+            bytes: 1024,
+            sent: 110,
+            kind: MsgKind::PointToPoint,
+        });
+        m.message(MsgRecord {
+            src: 0,
+            dst: 1,
+            tag: 1 << 63,
+            bytes: 8,
+            sent: 120,
+            kind: MsgKind::Collective { seq: 1, round: 0 },
+        });
+        m.message(MsgRecord {
+            src: 0,
+            dst: 2,
+            tag: 1 << 63,
+            bytes: 8,
+            sent: 125,
+            kind: MsgKind::Collective { seq: 1, round: 0 },
+        });
+        m.message(MsgRecord {
+            src: 0,
+            dst: 1,
+            tag: 1 << 63,
+            bytes: 8,
+            sent: 130,
+            kind: MsgKind::Collective { seq: 1, round: 1 },
+        });
+
+        let r0 = &m.ranks()[0].counters;
+        assert_eq!(r0.compute_work, 100);
+        assert_eq!(r0.noisy_spans, 1);
+        assert_eq!(r0.noise_stolen, 5);
+        assert_eq!(r0.msgs_sent, 4);
+        assert_eq!(r0.bytes_sent, 1024 + 24);
+        assert_eq!(r0.coll_msgs, 3);
+        assert_eq!(r0.coll_rounds, 2, "two distinct (seq, round) pairs");
+
+        let r1 = &m.ranks()[1].counters;
+        assert_eq!(r1.waits, 1);
+        assert_eq!(r1.blocked, 50);
+        assert_eq!(m.wait_hist().count(), 1);
+        assert_eq!(m.totals().msgs_sent, 4);
+    }
+}

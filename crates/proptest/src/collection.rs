@@ -1,0 +1,59 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `Vec`s of values from `element` with a length drawn
+/// uniformly from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A `Vec` strategy: `vec(0u64..100, 1..10)` yields vectors of 1..10
+/// elements each drawn from `0..100`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_vectors_possible() {
+        let strat = vec(0u8..5, 0..3);
+        let mut rng = TestRng::new(11);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 3);
+            saw_empty |= v.is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn nested_tuples_in_vec() {
+        let strat = vec((0u64..10, 0u64..500), 1..5);
+        let mut rng = TestRng::new(2);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty());
+        for (a, b) in v {
+            assert!(a < 10 && b < 500);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The [`Strategy`] trait and implementations for ranges and tuples.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                // span == 0 means the full u64 domain; `below(0)` would be
+                // wrong, but no GhostSim strategy spans 2^64 values.
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let wide = (self.start as f64..self.end as f64).generate(rng) as f32;
+        wide.clamp(self.start, self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// A strategy that always yields a clone of one value (mirrors
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = TestRng::new(3);
+        let strat = -100i64..-50;
+        let mut saw_low = false;
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((-100..-50).contains(&v));
+            if v < -90 {
+                saw_low = true;
+            }
+        }
+        assert!(saw_low, "range sampling suspiciously clustered");
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::new(5);
+        let strat = 0u8..=1;
+        let draws: Vec<u8> = (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&1));
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+}

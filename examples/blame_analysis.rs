@@ -1,0 +1,90 @@
+//! Where did the time go? Blame attribution for the paper's two extremes.
+//!
+//! The same 2.5% signature (10 Hz x 2.5 ms) is injected into SAGE-like and
+//! POP-like runs, and each rank's wall-clock is decomposed exactly into
+//! compute / direct noise / propagated noise / network / imbalance:
+//!
+//! * **SAGE** computes in coarse ~500 ms granules: a noise pulse stretches
+//!   a granule, but every other rank is stretched about equally, so almost
+//!   no rank ends up *waiting* on a noise-delayed peer. Direct noise stays
+//!   direct — it is absorbed into synchronization slack.
+//! * **POP** synchronizes every ~300 us through allreduce chains: each
+//!   stolen slice makes many peers wait, and the wait itself delays their
+//!   own sends. Propagated noise (the idle wave) dwarfs the injected
+//!   amount — the paper's amplification, seen per-rank.
+//!
+//! ```sh
+//! cargo run --release --example blame_analysis
+//! ```
+
+use ghostsim::prelude::*;
+
+fn main() {
+    let sig = Signature::new(10.0, 2500 * US); // the paper's harshest signature
+    let injection = NoiseInjection::uncoordinated(sig);
+    let nodes = 64;
+    let spec = ExperimentSpec::flat(nodes, 42);
+
+    let sage = SageLike::with_steps(3);
+    let pop = PopLike::with_steps(2);
+
+    let mut tab = Table::new(
+        format!(
+            "noise blame at {nodes} nodes under {} (machine totals)",
+            sig.label()
+        ),
+        &[
+            "application",
+            "makespan",
+            "comp%",
+            "direct%",
+            "prop%",
+            "net%",
+            "imbal%",
+            "prop/direct",
+            "absorbed%",
+        ],
+    );
+    for w in [&sage as &dyn Workload, &pop] {
+        let obs = observe_workload(&spec, w, &injection);
+        let s = obs.blame.sum();
+        let pct = |x: u64| format!("{:.2}", 100.0 * x as f64 / s.wall.max(1) as f64);
+        tab.row(&[
+            w.name(),
+            ghostsim::engine::time::format_time(obs.result.makespan),
+            pct(s.compute),
+            pct(s.direct_noise),
+            pct(s.propagated_noise),
+            pct(s.network),
+            pct(s.imbalance),
+            format!("{:.2}", obs.blame.propagation_factor()),
+            format!("{:.1}", obs.blame.absorbed_pct()),
+        ]);
+    }
+    println!("{}", tab.render());
+
+    println!(
+        "SAGE's coarse granules keep injected noise local (propagation factor well\n\
+         below 1: most of it is absorbed into slack). POP's fine-grained allreduce\n\
+         chains re-bill every stolen slice to waiting peers, so propagated noise\n\
+         exceeds the direct injection many times over.\n"
+    );
+
+    // The per-rank view for POP: every rank's five categories sum exactly
+    // to its wall-clock, and the table's TOTAL row matches the sums above.
+    let obs = observe_workload(&spec, &pop, &injection);
+    let per_rank = blame_table(
+        &format!("POP-like per-rank blame (first 8 of {nodes} ranks)"),
+        &obs.blame,
+    );
+    // Show a readable excerpt: 8 ranks + the TOTAL row.
+    let full = per_rank.render();
+    let mut lines: Vec<&str> = full.lines().collect();
+    if lines.len() > 12 {
+        let total = lines[lines.len() - 1];
+        lines.truncate(11);
+        lines.push("...");
+        lines.push(total);
+    }
+    println!("{}", lines.join("\n"));
+}

@@ -27,10 +27,7 @@ fn main() {
     let policies: Vec<(&str, PhasePolicy)> = vec![
         ("aligned (co-scheduled kernels)", PhasePolicy::Aligned),
         ("random (independent kernels)", PhasePolicy::Random),
-        (
-            "staggered (adversarial)",
-            PhasePolicy::Staggered { nodes },
-        ),
+        ("staggered (adversarial)", PhasePolicy::Staggered { nodes }),
     ];
     for (name, policy) in policies {
         let injection = NoiseInjection::with_policy(sig, policy);

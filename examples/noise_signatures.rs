@@ -6,12 +6,12 @@
 //! cargo run --release --example noise_signatures
 //! ```
 
-use ghostsim::prelude::*;
 use ghostsim::noise::composite::commodity_os;
 use ghostsim::noise::ftq::{ftq, fwq};
 use ghostsim::noise::model::NoiseModel;
 use ghostsim::noise::spectrum::fundamental_frequency;
 use ghostsim::noise::stochastic::{DurationDist, PoissonNoise};
+use ghostsim::prelude::*;
 
 fn characterize(name: &str, model: &dyn NoiseModel, tab: &mut Table) {
     let seed = 7;
@@ -28,7 +28,8 @@ fn characterize(name: &str, model: &dyn NoiseModel, tab: &mut Table) {
         format!("{:.2}", fwq_run.hit_fraction() * 100.0),
         format!("{:.0}", s.p99 - MS as f64),
         format!("{:.0}", s.max - MS as f64),
-        freq.map(|f| format!("{f:.1}")).unwrap_or_else(|| "-".into()),
+        freq.map(|f| format!("{f:.1}"))
+            .unwrap_or_else(|| "-".into()),
     ]);
 }
 

@@ -56,10 +56,7 @@ fn main() {
     );
 
     // Zoom on the window around the pulse.
-    println!(
-        "{}",
-        timeline(&result.trace, p, 8 * MS, 16 * MS, 100)
-    );
+    println!("{}", timeline(&result.trace, p, 8 * MS, 16 * MS, 100));
     println!(
         "Reading it: every rank alternates 500us of C (compute) with an allreduce too\n\
          brief to resolve at this zoom. At t=10ms the pulse lands on rank 3 — its C\n\

@@ -28,8 +28,7 @@ fn main() {
         let spec = ExperimentSpec::flat(nodes, 42);
         let m = compare(&spec, &pop, &injection);
         // The model, fed POP's barotropic granularity.
-        let model_amp =
-            analytic::expected_amplification(pop.barotropic_granularity(), sig, nodes);
+        let model_amp = analytic::expected_amplification(pop.barotropic_granularity(), sig, nodes);
         tab.row(&[
             nodes.to_string(),
             format!("{:.1}ms", m.base as f64 / 1e6),

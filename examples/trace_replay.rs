@@ -36,10 +36,7 @@ fn main() {
     // 3. Replay the capture on every node of a 64-node machine (rotated per
     //    node so replicas are decorrelated) under a POP-like workload.
     let replay = TraceNoise::new(reloaded, Replay::Loop, true);
-    let injection = NoiseInjection::from_model(
-        Arc::new(replay),
-        "replayed commodity-kernel trace",
-    );
+    let injection = NoiseInjection::from_model(Arc::new(replay), "replayed commodity-kernel trace");
 
     let spec = ExperimentSpec::flat(64, 42);
     let pop = PopLike::with_steps(2);

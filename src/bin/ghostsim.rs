@@ -4,15 +4,20 @@
 //! ghostsim --app pop --nodes 512 --hz 10 --net-pct 2.5 [--steps 5]
 //!          [--phase random|aligned] [--topo flat|torus|fattree]
 //!          [--network mpp|commodity|ideal] [--seed 42]
+//! ghostsim trace --app pop --nodes 256 --hz 10 --net-pct 2.5 --out pop.json
 //! ghostsim --help
 //! ```
 //!
-//! Runs the baseline and the injected configuration and prints the metrics
-//! row. Argument parsing is hand-rolled (no CLI dependency).
+//! The default command runs the baseline and the injected configuration and
+//! prints the metrics row. `trace` runs the injected configuration once
+//! under a recorder, writes a Chrome trace-event JSON (loadable in Perfetto
+//! or `chrome://tracing`), and prints the per-rank blame table. Argument
+//! parsing is hand-rolled (no CLI dependency).
 
 use ghostsim::prelude::*;
 
 struct Args {
+    trace: bool,
     app: String,
     goal: Option<String>,
     nodes: usize,
@@ -23,11 +28,13 @@ struct Args {
     topo: String,
     network: String,
     seed: u64,
+    out: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Self {
+            trace: false,
             app: "pop".into(),
             goal: None,
             nodes: 64,
@@ -38,6 +45,7 @@ impl Default for Args {
             topo: "flat".into(),
             network: "mpp".into(),
             seed: 42,
+            out: None,
         }
     }
 }
@@ -46,7 +54,9 @@ const USAGE: &str = "\
 ghostsim — inject OS noise into a simulated parallel machine
 
 USAGE:
-    ghostsim [OPTIONS]
+    ghostsim [OPTIONS]           compare baseline vs injected makespans
+    ghostsim trace [OPTIONS]     record one injected run: Chrome trace JSON
+                                 (--out) + per-rank noise-blame table
 
 OPTIONS:
     --app <sage|cth|pop|spectral|bsp>   workload              [default: pop]
@@ -60,12 +70,17 @@ OPTIONS:
     --topo <flat|torus|fattree>         topology              [default: flat]
     --network <mpp|commodity|ideal>     LogGP preset          [default: mpp]
     --seed <N>                          experiment seed       [default: 42]
+    --out <file>                        (trace) write Chrome trace JSON here
     --help                              print this help
 ";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("trace") {
+        args.trace = true;
+        it.next();
+    }
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             print!("{USAGE}");
@@ -85,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
             "--topo" => args.topo = value,
             "--network" => args.network = value,
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = Some(value),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -121,15 +137,15 @@ fn main() {
         }
     } else {
         match args.app.as_str() {
-        "sage" => Box::new(SageLike::with_steps(args.steps)),
-        "cth" => Box::new(CthLike::with_steps(args.steps)),
-        "pop" => Box::new(PopLike::with_steps(args.steps)),
-        "spectral" => Box::new(SpectralLike::with_steps(args.steps)),
-        "bsp" => Box::new(BspSynthetic::new(args.steps.max(10) * 20, 500 * US)),
-        other => {
-            eprintln!("error: unknown app '{other}'\n{USAGE}");
-            std::process::exit(2);
-        }
+            "sage" => Box::new(SageLike::with_steps(args.steps)),
+            "cth" => Box::new(CthLike::with_steps(args.steps)),
+            "pop" => Box::new(PopLike::with_steps(args.steps)),
+            "spectral" => Box::new(SpectralLike::with_steps(args.steps)),
+            "bsp" => Box::new(BspSynthetic::new(args.steps.max(10) * 20, 500 * US)),
+            other => {
+                eprintln!("error: unknown app '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
         }
     };
 
@@ -175,6 +191,11 @@ fn main() {
         args.net_pct,
         args.phase,
     );
+
+    if args.trace {
+        run_trace(&args, &spec, workload.as_ref(), &injection, &sig);
+        return;
+    }
     let m = compare(&spec, workload.as_ref(), &injection);
 
     let mut tab = Table::new(
@@ -199,4 +220,46 @@ fn main() {
         format!("{:.1}", m.absorbed_pct()),
     ]);
     println!("{}", tab.render());
+}
+
+/// The `trace` subcommand: one recorded run → Chrome trace JSON + blame.
+fn run_trace(
+    args: &Args,
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    sig: &Signature,
+) {
+    let obs = observe_workload(spec, workload, injection);
+
+    if let Some(path) = &args.out {
+        let json = trace_json(&obs.timeline);
+        let stats = match validate_trace(&json) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("internal error: generated trace is invalid: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {path}: {} events ({} spans) across {} ranks",
+            stats.events, stats.complete, stats.tids,
+        );
+    }
+
+    let title = format!(
+        "blame: {} x {} nodes under {}",
+        workload.name(),
+        spec.nodes,
+        sig.label()
+    );
+    print!("{}", blame_summary(&title, &obs.blame));
+    println!(
+        "makespan: {}",
+        ghostsim::engine::time::format_time(obs.result.makespan)
+    );
 }

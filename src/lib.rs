@@ -14,6 +14,7 @@
 //! | [`net`]    | LogGP network model and topologies (flat, 3-D torus, fat tree) |
 //! | [`mpi`]    | simulated MPI: rank executor + real collective algorithms |
 //! | [`apps`]   | SAGE-, CTH-, POP-like application skeletons and BSP generators |
+//! | [`obs`]    | streaming run observation: recorders, metrics, blame attribution, Chrome traces |
 //! | [`core`]   | the injection framework, experiment harness, metrics, analytic model |
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@ pub use ghost_engine as engine;
 pub use ghost_mpi as mpi;
 pub use ghost_net as net;
 pub use ghost_noise as noise;
+pub use ghost_obs as obs;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -49,17 +51,18 @@ pub mod prelude {
     };
     pub use ghost_core::analytic;
     pub use ghost_core::experiment::{
-        compare, run_workload, scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord,
-        TopoPreset,
+        compare, run_workload, scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord, TopoPreset,
     };
     pub use ghost_core::injection::{NoiseInjection, Placement};
     pub use ghost_core::metrics::Metrics;
+    pub use ghost_core::observe::{
+        blame_summary, blame_table, observe_workload, run_recorded, Observation,
+    };
     pub use ghost_core::replicate::{replicate, Replicates};
     pub use ghost_core::report::Table;
     pub use ghost_engine::time::{MS, SEC, US};
     pub use ghost_mpi::{
-        Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunResult,
-        ScriptProgram,
+        Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunResult, ScriptProgram,
     };
     pub use ghost_net::{Dragonfly, FatTree, Flat, LogGP, Network, Torus3D};
     pub use ghost_noise::burst::BurstNoise;
@@ -67,6 +70,10 @@ pub mod prelude {
     pub use ghost_noise::model::{NoNoise, PhasePolicy};
     pub use ghost_noise::signature::{canonical_2_5pct, canonical_set};
     pub use ghost_noise::Signature;
+    pub use ghost_obs::{
+        analyze, trace_json, validate_trace, BlameReport, Log2Hist, MetricsRecorder, NullRecorder,
+        RankBlame, Recorder, Timeline, VecRecorder,
+    };
 }
 
 #[cfg(test)]

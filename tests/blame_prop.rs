@@ -1,0 +1,110 @@
+//! End-to-end properties of the observation layer: blame attribution must
+//! decompose every rank's wall-clock exactly, the Chrome trace export must
+//! be structurally valid, and the paper's two extremes must show up in the
+//! blame numbers (SAGE absorbs, POP propagates).
+
+use ghostsim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn blame_sums_to_wall_clock_for_random_bsp(
+        size in 2usize..12,
+        steps in 1usize..5,
+        grain_us in 1u64..2_000,
+        sync_pick in 0u8..3,
+        imb_pick in 0u8..3,
+        hz_pick in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let sync = match sync_pick {
+            0 => SyncKind::Allreduce { bytes: 8 },
+            1 => SyncKind::Barrier,
+            _ => SyncKind::None,
+        };
+        let imbalance = match imb_pick {
+            0 => LoadImbalance::None,
+            1 => LoadImbalance::Uniform { frac: 0.1 },
+            _ => LoadImbalance::Gaussian { sigma: 0.05 },
+        };
+        // Signatures spanning the paper's sweep corners, all at 2.5% net.
+        let sig = match hz_pick {
+            0 => Signature::new(10.0, 2500 * US),
+            1 => Signature::new(1000.0, 25 * US),
+            _ => Signature::new(100_000.0, 250),
+        };
+        let w = BspSynthetic::new(steps, grain_us * US)
+            .with_sync(sync)
+            .with_imbalance(imbalance);
+        let spec = ExperimentSpec::flat(size, seed);
+        let obs = observe_workload(&spec, &w, &NoiseInjection::uncoordinated(sig));
+
+        prop_assert_eq!(obs.blame.ranks.len(), size);
+        for b in &obs.blame.ranks {
+            // The exactness invariant: the five categories partition the
+            // rank's wall-clock with no rounding loss.
+            prop_assert_eq!(b.total(), b.wall);
+            prop_assert_eq!(b.wall, obs.result.finish_times[b.rank]);
+        }
+        // Compute blame never exceeds the executor's own accounting.
+        for (b, &cw) in obs.blame.ranks.iter().zip(&obs.result.compute_work) {
+            prop_assert!(b.compute <= cw + b.imbalance);
+        }
+    }
+}
+
+#[test]
+fn blame_without_noise_has_no_noise_categories() {
+    let spec = ExperimentSpec::flat(8, 5);
+    let w = BspSynthetic::new(4, 500 * US).with_imbalance(LoadImbalance::Uniform { frac: 0.2 });
+    let obs = observe_workload(&spec, &w, &NoiseInjection::none());
+    let s = obs.blame.sum();
+    assert_eq!(s.direct_noise, 0);
+    assert_eq!(s.propagated_noise, 0);
+    assert!(s.imbalance > 0, "±20% imbalance must show up as blame");
+    for b in &obs.blame.ranks {
+        assert_eq!(b.total(), b.wall);
+    }
+}
+
+#[test]
+fn chrome_export_is_structurally_valid() {
+    let spec = ExperimentSpec::flat(16, 7);
+    let w = PopLike::with_steps(1);
+    let inj = NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US));
+    let obs = observe_workload(&spec, &w, &inj);
+    let json = trace_json(&obs.timeline);
+    // validate_trace checks: parses, complete events carry numeric
+    // non-negative ts/dur + tid, ts monotone per tid, B/E balanced.
+    let stats = validate_trace(&json).expect("generated trace must validate");
+    assert_eq!(stats.tids, 16);
+    assert!(stats.complete > 0);
+    assert_eq!(stats.events, stats.complete + 16, "one M event per rank");
+}
+
+#[test]
+fn pop_propagates_while_sage_absorbs() {
+    // The acceptance story at a test-friendly scale: same 2.5% signature
+    // (10 Hz x 2.5 ms), opposite outcomes.
+    let sig = Signature::new(10.0, 2500 * US);
+    let inj = NoiseInjection::uncoordinated(sig);
+    let spec = ExperimentSpec::flat(64, 42);
+
+    let pop = observe_workload(&spec, &PopLike::with_steps(1), &inj);
+    let ps = pop.blame.sum();
+    assert!(
+        ps.propagated_noise > ps.direct_noise,
+        "POP: propagated {} must exceed direct {}",
+        ps.propagated_noise,
+        ps.direct_noise
+    );
+
+    let sage = observe_workload(&spec, &SageLike::with_steps(3), &inj);
+    assert!(
+        sage.blame.absorbed_pct() > 50.0,
+        "SAGE: majority of injected noise must be absorbed, got {:.1}%",
+        sage.blame.absorbed_pct()
+    );
+    assert!(sage.blame.propagation_factor() < 1.0);
+}

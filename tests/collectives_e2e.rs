@@ -16,7 +16,9 @@ fn run_one_call(p: usize, calls: impl Fn(usize) -> Vec<MpiCall>, noisy: bool) ->
         let model = sig.periodic_model(PhasePolicy::Random);
         Machine::new(machine(p), &model, 77).run(programs).unwrap()
     } else {
-        Machine::new(machine(p), &NoNoise, 77).run(programs).unwrap()
+        Machine::new(machine(p), &NoNoise, 77)
+            .run(programs)
+            .unwrap()
     }
 }
 

@@ -22,7 +22,11 @@ fn spmd_script(rank: usize, size: usize, ops: &[u8]) -> Vec<MpiCall> {
             2 => MpiCall::Bcast {
                 root: (op as usize) % size,
                 bytes: 256,
-                value: if rank == (op as usize) % size { value } else { -1.0 },
+                value: if rank == (op as usize) % size {
+                    value
+                } else {
+                    -1.0
+                },
             },
             3 => MpiCall::Allgather { bytes: 64, value },
             4 => MpiCall::Alltoall { bytes: 32, value },

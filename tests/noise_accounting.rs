@@ -3,8 +3,8 @@
 //! share.
 
 use ghostsim::noise::composite::commodity_os;
-use ghostsim::noise::jitter::JitteredPeriodic;
 use ghostsim::noise::ftq::{ftq, fwq};
+use ghostsim::noise::jitter::JitteredPeriodic;
 use ghostsim::noise::model::{NoiseModel, PhasePolicy};
 use ghostsim::noise::stochastic::{realized_fraction, DurationDist, PoissonNoise, TimesliceNoise};
 use ghostsim::noise::trace::{record, Replay, TraceNoise};

@@ -192,12 +192,7 @@ fn placement_scales_damage() {
     let spec = ExperimentSpec::flat(32, 5);
     let w = BspSynthetic::new(100, 500 * US);
     let sig = Signature::new(10.0, 2500 * US);
-    let all = compare(
-        &spec,
-        &w,
-        &NoiseInjection::uncoordinated(sig),
-    )
-    .slowdown_pct();
+    let all = compare(&spec, &w, &NoiseInjection::uncoordinated(sig)).slowdown_pct();
     let some = compare(
         &spec,
         &w,
