@@ -3,7 +3,7 @@
 #
 # Run from the repository root:
 #
-#     ./ci.sh            # full gate (fmt, clippy, build, test)
+#     ./ci.sh            # full gate (fmt, clippy, build, test, bench-compile, doc)
 #
 # Tier-1 is `cargo test -q` on the root package; the workspace test run
 # covers every crate (including the vendored proptest/criterion shims).
@@ -24,5 +24,11 @@ cargo test -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> cargo doc --no-deps"
+cargo doc --no-deps --workspace
 
 echo "ci: all green"

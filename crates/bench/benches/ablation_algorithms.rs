@@ -7,7 +7,8 @@
 
 use ghost_apps::bsp::{BspSynthetic, SyncKind};
 use ghost_bench::{prologue, quick, seed};
-use ghost_core::experiment::{run_workload, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::US;
@@ -16,15 +17,13 @@ use ghost_noise::Signature;
 
 const REPS: usize = 50;
 
-fn mean_ns(p: usize, bytes: u64, algo: AllreduceAlgo, inj: &NoiseInjection, seed: u64) -> f64 {
-    let w = BspSynthetic::new(REPS, 0).with_sync(SyncKind::Allreduce { bytes });
+fn algo_spec(p: usize, algo: AllreduceAlgo, seed: u64) -> ExperimentSpec {
     let mut spec = ExperimentSpec::flat(p, seed);
     spec.coll = CollectiveConfig {
         allreduce: algo,
         ..CollectiveConfig::default()
     };
-    let r = run_workload(&spec, &w, inj);
-    r.makespan as f64 / REPS as f64
+    spec
 }
 
 fn main() {
@@ -32,7 +31,28 @@ fn main() {
     let p = if quick() { 64 } else { 256 };
     let sig = Signature::new(10.0, 2500 * US);
     let noisy = NoiseInjection::uncoordinated(sig);
-    let clean = NoiseInjection::none();
+    let payloads = [8u64, 1024, 16 * 1024, 256 * 1024, 1 << 20];
+
+    // Two scenarios per payload (one per algorithm); the clean columns come
+    // from each scenario's memoized baseline, not separate runs.
+    let workloads: Vec<BspSynthetic> = payloads
+        .iter()
+        .map(|&bytes| BspSynthetic::new(REPS, 0).with_sync(SyncKind::Allreduce { bytes }))
+        .collect();
+    let mut campaign = Campaign::new();
+    for w in &workloads {
+        let wid = campaign.add_workload(w);
+        for algo in [
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::Rabenseifner,
+        ] {
+            campaign.add(wid, algo_spec(p, algo, seed()), noisy.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("algorithm sweep failed: {e}"));
+    let us = |makespan: u64| f(makespan as f64 / REPS as f64 / 1000.0);
 
     let mut tab = Table::new(
         format!("A2: allreduce algorithm vs payload at P={p}"),
@@ -44,18 +64,17 @@ fn main() {
             "raben noisy (us)",
         ],
     );
-    for bytes in [8u64, 1024, 16 * 1024, 256 * 1024, 1 << 20] {
-        let rb = mean_ns(p, bytes, AllreduceAlgo::RecursiveDoubling, &clean, seed());
-        let bb = mean_ns(p, bytes, AllreduceAlgo::Rabenseifner, &clean, seed());
-        let rn = mean_ns(p, bytes, AllreduceAlgo::RecursiveDoubling, &noisy, seed());
-        let bn = mean_ns(p, bytes, AllreduceAlgo::Rabenseifner, &noisy, seed());
+    for (bi, &bytes) in payloads.iter().enumerate() {
+        let recdbl = &run.results[bi * 2];
+        let raben = &run.results[bi * 2 + 1];
         tab.row(&[
             format!("{bytes} B"),
-            f(rb / 1000.0),
-            f(bb / 1000.0),
-            f(rn / 1000.0),
-            f(bn / 1000.0),
+            us(recdbl.baseline.makespan),
+            us(raben.baseline.makespan),
+            us(recdbl.run.makespan),
+            us(raben.run.makespan),
         ]);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

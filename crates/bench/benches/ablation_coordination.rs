@@ -9,7 +9,8 @@
 
 use ghost_apps::bsp::BspSynthetic;
 use ghost_bench::{prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::US;
@@ -23,10 +24,6 @@ fn main() {
     let w = BspSynthetic::new(if quick() { 50 } else { 200 }, 500 * US);
     let sig = Signature::new(10.0, 2500 * US);
 
-    let mut tab = Table::new(
-        format!("A1: phase policy at P={p}, 10Hz x 2.5ms (2.5% net), BSP g=500us"),
-        &["phase policy", "slowdown %", "amplification"],
-    );
     let policies: Vec<(&str, PhasePolicy)> = vec![
         ("aligned (co-scheduled)", PhasePolicy::Aligned),
         ("random (uncoordinated)", PhasePolicy::Random),
@@ -35,10 +32,28 @@ fn main() {
             PhasePolicy::Staggered { nodes: p },
         ),
     ];
-    for (name, policy) in policies {
-        let inj = NoiseInjection::with_policy(sig, policy);
-        let m = compare(&spec, &w, &inj);
-        tab.row(&[name.to_string(), f(m.slowdown_pct()), f(m.amplification())]);
+    // All three policies share the machine and workload: one baseline
+    // simulation serves the whole comparison.
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for (name, policy) in &policies {
+        campaign.add_labeled(wid, spec, NoiseInjection::with_policy(sig, *policy), *name);
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("coordination sweep failed: {e}"));
+
+    let mut tab = Table::new(
+        format!("A1: phase policy at P={p}, 10Hz x 2.5ms (2.5% net), BSP g=500us"),
+        &["phase policy", "slowdown %", "amplification"],
+    );
+    for ((name, _), rec) in policies.iter().zip(&run.results) {
+        tab.row(&[
+            (*name).to_string(),
+            f(rec.metrics.slowdown_pct()),
+            f(rec.metrics.amplification()),
+        ]);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

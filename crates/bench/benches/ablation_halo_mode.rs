@@ -7,7 +7,8 @@
 
 use ghost_apps::CthLike;
 use ghost_bench::{canonical_injections, prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, t, Table};
 use ghost_engine::time::MS;
@@ -23,37 +24,58 @@ fn main() {
         halo_bytes: 1024 * 1024,
         ..CthLike::with_steps(20)
     };
+    let blocking = CthLike {
+        halo_nonblocking: false,
+        ..base_cfg
+    };
+    let nonblocking = CthLike {
+        halo_nonblocking: true,
+        ..base_cfg
+    };
+
+    // Per variant: one "none" scenario (answered from the memoized
+    // baseline) plus the three canonical signatures.
+    let modes = [
+        ("blocking (6x Sendrecv)", &blocking),
+        ("nonblocking (Isend/Irecv/WaitAll)", &nonblocking),
+    ];
+    let injections = canonical_injections();
+    let mut campaign = Campaign::new();
+    for (_, cfg) in modes {
+        let wid = campaign.add_workload(cfg);
+        campaign.add(wid, spec, NoiseInjection::none());
+        for inj in &injections {
+            campaign.add(wid, spec, inj.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("halo sweep failed: {e}"));
+    let per_mode = injections.len() + 1;
 
     let mut tab = Table::new(
         format!("A5: halo exchange mode at P={p} (1 MiB halos, 10 ms compute)"),
         &["halo mode", "injection", "T_base", "slowdown %"],
     );
-    for nonblocking in [false, true] {
-        let cfg = CthLike {
-            halo_nonblocking: nonblocking,
-            ..base_cfg
-        };
-        let name = if nonblocking {
-            "nonblocking (Isend/Irecv/WaitAll)"
-        } else {
-            "blocking (6x Sendrecv)"
-        };
-        let none = compare(&spec, &cfg, &NoiseInjection::none());
-        tab.row(&[
-            name.to_owned(),
-            "none".to_owned(),
-            t(none.base),
-            "0".to_owned(),
-        ]);
-        for inj in canonical_injections() {
-            let m = compare(&spec, &cfg, &inj);
+    for (mi, (name, _)) in modes.iter().enumerate() {
+        for rec in &run.results[mi * per_mode..(mi + 1) * per_mode] {
+            let noiseless = rec.injection == "noiseless";
             tab.row(&[
-                name.to_owned(),
-                inj.label().to_owned(),
-                t(m.base),
-                f(m.slowdown_pct()),
+                (*name).to_owned(),
+                if noiseless {
+                    "none".to_owned()
+                } else {
+                    rec.injection.clone()
+                },
+                t(rec.metrics.base),
+                if noiseless {
+                    "0".to_owned()
+                } else {
+                    f(rec.metrics.slowdown_pct())
+                },
             ]);
         }
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

@@ -7,7 +7,8 @@
 
 use ghost_apps::bsp::BspSynthetic;
 use ghost_bench::{prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::US;
@@ -19,6 +20,21 @@ fn main() {
     let spec = ExperimentSpec::flat(p, seed());
     let w = BspSynthetic::new(if quick() { 50 } else { 200 }, 500 * US);
 
+    // Every intensity runs against the same machine: the campaign simulates
+    // the noiseless baseline once and reuses it across the sweep.
+    let sigs: Vec<Signature> = [0.005, 0.01, 0.025, 0.05, 0.10]
+        .iter()
+        .map(|&net| Signature::from_net(10.0, net))
+        .collect();
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for &sig in &sigs {
+        campaign.add(wid, spec, NoiseInjection::uncoordinated(sig));
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("intensity sweep failed: {e}"));
+
     let mut tab = Table::new(
         format!("A3: 10 Hz intensity sweep at P={p}, BSP g=500us"),
         &[
@@ -28,16 +44,14 @@ fn main() {
             "amplification",
         ],
     );
-    for net in [0.005, 0.01, 0.025, 0.05, 0.10] {
-        let sig = Signature::from_net(10.0, net);
-        let inj = NoiseInjection::uncoordinated(sig);
-        let m = compare(&spec, &w, &inj);
+    for (sig, rec) in sigs.iter().zip(&run.results) {
         tab.row(&[
-            f(net * 100.0),
+            f(sig.net_fraction() * 100.0),
             ghost_engine::time::format_time(sig.duration()),
-            f(m.slowdown_pct()),
-            f(m.amplification()),
+            f(rec.metrics.slowdown_pct()),
+            f(rec.metrics.amplification()),
         ]);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

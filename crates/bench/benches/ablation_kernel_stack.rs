@@ -9,7 +9,8 @@
 //! Run on the POP-like workload, whose fine-grained allreduces expose both.
 
 use ghost_bench::{prologue, quick, seed};
-use ghost_core::experiment::{run_workload, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, t, Table};
 use ghost_engine::time::US;
@@ -26,10 +27,8 @@ fn main() {
         NoiseInjection::from_model(Arc::new(commodity_os()), "commodity-OS profile");
     let wakeup = 3 * US; // context switch + scheduling
 
-    let mut tab = Table::new(
-        format!("A7: kernel stack decomposition at P={p} (POP-like)"),
-        &["configuration", "T_run", "slowdown vs LWK %"],
-    );
+    // The two noiseless configurations are answered from the campaign's
+    // baseline cache — only the two recv modes and two noisy runs simulate.
     let configs: Vec<(&str, RecvMode, &NoiseInjection)> = vec![
         ("LWK (poll, noiseless)", RecvMode::Polling, &lwk_noise),
         ("LWK + commodity noise", RecvMode::Polling, &commodity_noise),
@@ -44,21 +43,34 @@ fn main() {
             &commodity_noise,
         ),
     ];
-    let mut baseline = None;
-    for (name, mode, inj) in configs {
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for (name, mode, inj) in &configs {
         let spec = ExperimentSpec {
-            recv_mode: mode,
+            recv_mode: *mode,
             ..ExperimentSpec::flat(p, seed())
         };
-        let r = run_workload(&spec, &w, inj);
-        let base = *baseline.get_or_insert(r.makespan);
+        campaign.add_labeled(wid, spec, (*inj).clone(), *name);
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("kernel-stack sweep failed: {e}"));
+
+    let mut tab = Table::new(
+        format!("A7: kernel stack decomposition at P={p} (POP-like)"),
+        &["configuration", "T_run", "slowdown vs LWK %"],
+    );
+    let baseline = run.results[0].run.makespan;
+    for ((name, _, _), rec) in configs.iter().zip(&run.results) {
+        let makespan = rec.run.makespan;
         tab.row(&[
-            name.to_owned(),
-            t(r.makespan),
-            f((r.makespan as f64 - base as f64) / base as f64 * 100.0),
+            (*name).to_owned(),
+            t(makespan),
+            f((makespan as f64 - baseline as f64) / baseline as f64 * 100.0),
         ]);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
     println!(
         "note: both mechanisms matter, and they compound. A lightweight kernel buys\n\
          its application performance twice — by not stealing CPU and by letting the\n\

@@ -6,7 +6,8 @@
 use ghost_apps::bsp::BspSynthetic;
 use ghost_bench::{prologue, quick, seed};
 use ghost_core::analytic::expected_bsp_slowdown_pct;
-use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::{MS, US};
@@ -23,29 +24,46 @@ fn main() {
         let span = if quick() { 2_000 * MS / 10 } else { 2_000 * MS };
         ((span / g.max(1)) as usize).clamp(200, 5_000)
     };
-
-    let mut tab = Table::new(
-        "A4: analytic model vs simulation, 10Hz x 2.5ms (2.5% net)",
-        &["granularity", "nodes", "sim slowdown %", "model slowdown %"],
-    );
+    let grains: &[u64] = &[100 * US, 500 * US, 2 * MS, 20 * MS];
     let scales: &[usize] = if quick() {
         &[16, 64]
     } else {
         &[16, 64, 256, 1024]
     };
-    for &g in &[100 * US, 500 * US, 2 * MS, 20 * MS] {
+
+    // One workload per granularity; one campaign over the whole
+    // granularity x scale grid.
+    let workloads: Vec<BspSynthetic> = grains
+        .iter()
+        .map(|&g| BspSynthetic::new(steps_for(g), g))
+        .collect();
+    let mut campaign = Campaign::new();
+    for w in &workloads {
+        let wid = campaign.add_workload(w);
         for &p in scales {
-            let spec = ExperimentSpec::flat(p, seed());
-            let w = BspSynthetic::new(steps_for(g), g);
-            let m = compare(&spec, &w, &inj);
+            campaign.add(wid, ExperimentSpec::flat(p, seed()), inj.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("model-vs-sim grid failed: {e}"));
+    let rec = |gi: usize, si: usize| &run.results[gi * scales.len() + si];
+
+    let mut tab = Table::new(
+        "A4: analytic model vs simulation, 10Hz x 2.5ms (2.5% net)",
+        &["granularity", "nodes", "sim slowdown %", "model slowdown %"],
+    );
+    for (gi, &g) in grains.iter().enumerate() {
+        for (si, &p) in scales.iter().enumerate() {
             let model = expected_bsp_slowdown_pct(g, sig, p);
             tab.row(&[
                 ghost_engine::time::format_time(g),
                 p.to_string(),
-                f(m.slowdown_pct()),
+                f(rec(gi, si).metrics.slowdown_pct()),
                 f(model),
             ]);
         }
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

@@ -13,7 +13,8 @@
 //!   why the noise problem surfaced on leadership-class machines first.
 
 use ghost_bench::{prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec, NetPreset};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::{ExperimentSpec, NetPreset};
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, t, Table};
 use ghost_engine::time::US;
@@ -25,6 +26,24 @@ fn main() {
     let w = ghost_bench::pop_workload();
     let inj = NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US));
 
+    let nets = [
+        ("ideal (free)", NetPreset::Ideal),
+        ("MPP (Red-Storm-like)", NetPreset::Mpp),
+        ("commodity (GigE-class)", NetPreset::Commodity),
+    ];
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for (name, net) in nets {
+        let spec = ExperimentSpec {
+            net,
+            ..ExperimentSpec::flat(p, seed())
+        };
+        campaign.add_labeled(wid, spec, inj.clone(), name);
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("network sweep failed: {e}"));
+
     let mut tab = Table::new(
         format!("A6: network sensitivity at P={p} (POP-like, 10Hz x 2.5ms)"),
         &[
@@ -35,18 +54,10 @@ fn main() {
             "amplification",
         ],
     );
-    for (name, net) in [
-        ("ideal (free)", NetPreset::Ideal),
-        ("MPP (Red-Storm-like)", NetPreset::Mpp),
-        ("commodity (GigE-class)", NetPreset::Commodity),
-    ] {
-        let spec = ExperimentSpec {
-            net,
-            ..ExperimentSpec::flat(p, seed())
-        };
-        let m = compare(&spec, &w, &inj);
+    for ((name, _), rec) in nets.iter().zip(&run.results) {
+        let m = &rec.metrics;
         tab.row(&[
-            name.to_owned(),
+            (*name).to_owned(),
             t(m.base),
             t(m.noisy),
             f(m.slowdown_pct()),
@@ -54,4 +65,5 @@ fn main() {
         ]);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

@@ -10,7 +10,7 @@
 use ghost_bench::{prologue, quick, seed};
 use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
-use ghost_core::netgauge::pingpong;
+use ghost_core::netgauge::rtt_sweep;
 use ghost_core::report::{f, Table};
 use ghost_noise::signature::canonical_2_5pct;
 
@@ -32,14 +32,17 @@ fn main() {
         ],
     );
 
-    let mut rows = vec![NoiseInjection::none()];
-    rows.extend(
+    let mut injections = vec![NoiseInjection::none()];
+    injections.extend(
         canonical_2_5pct()
             .into_iter()
             .map(NoiseInjection::uncoordinated),
     );
-    for inj in rows {
-        let run = pingpong(&spec, &inj, 1, rounds);
+    // All four measurements run in parallel on the campaign engine's
+    // indexed pool; results come back in injection order.
+    let runs = rtt_sweep(&spec, &injections, 1, rounds)
+        .unwrap_or_else(|e| panic!("netgauge sweep failed: {e}"));
+    for (inj, run) in injections.iter().zip(&runs) {
         let s = run.summary();
         let total: u64 = run.rtts.iter().sum();
         tab.row(&[

@@ -6,6 +6,7 @@
 //! frequency — the simulated counterpart of the paper's verification plots.
 
 use ghost_bench::{prologue, seed};
+use ghost_core::campaign::run_indexed;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::MS;
 use ghost_noise::ftq::ftq;
@@ -26,9 +27,19 @@ fn main() {
             "quanta hit %",
         ],
     );
-    for sig in canonical_2_5pct() {
-        let model = sig.periodic_model(PhasePolicy::Random);
-        let run = ftq(&model, 0, seed(), MS, 16_384);
+    // One FTQ run per signature, in parallel on the campaign engine's
+    // indexed pool.
+    let sigs = canonical_2_5pct();
+    let runs = run_indexed(
+        sigs.len(),
+        |i| format!("ftq {}", sigs[i].label()),
+        |i| {
+            let model = sigs[i].periodic_model(PhasePolicy::Random);
+            Ok(ftq(&model, 0, seed(), MS, 16_384))
+        },
+    )
+    .unwrap_or_else(|e| panic!("ftq sweep failed: {e}"));
+    for (sig, run) in sigs.iter().zip(&runs) {
         let lost = run.lost();
         let hit = lost.iter().filter(|&&l| l > 0).count() as f64 / lost.len() as f64;
         let series: Vec<f64> = lost.iter().map(|&x| x as f64).collect();

@@ -8,25 +8,35 @@
 
 use ghost_apps::bsp::{BspSynthetic, SyncKind};
 use ghost_bench::{canonical_injections, prologue, scale_ladder, seed};
-use ghost_core::experiment::{run_workload, ExperimentSpec};
-use ghost_core::injection::NoiseInjection;
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::report::{f, Table};
 
 /// Repetitions to average over (each is compute(0)+allreduce).
 const REPS: usize = 500;
 
-fn mean_allreduce_ns(p: usize, inj: &NoiseInjection) -> f64 {
-    // Back-to-back allreduces with no compute between them: the makespan
-    // divided by repetitions is the pipelined per-operation latency.
-    let w = BspSynthetic::new(REPS, 0).with_sync(SyncKind::Allreduce { bytes: 8 });
-    let spec = ExperimentSpec::flat(p, seed());
-    let r = run_workload(&spec, &w, inj);
-    r.makespan as f64 / REPS as f64
-}
-
 fn main() {
     prologue("fig3_allreduce_scale");
     let injections = canonical_injections();
+    let scales = scale_ladder();
+    // Back-to-back allreduces with no compute between them: the makespan
+    // divided by repetitions is the pipelined per-operation latency.
+    let w = BspSynthetic::new(REPS, 0).with_sync(SyncKind::Allreduce { bytes: 8 });
+
+    // One campaign over scales x signatures; the per-scale baseline is
+    // simulated once and shared by all three signatures at that scale.
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for &p in &scales {
+        for inj in &injections {
+            campaign.add(wid, ExperimentSpec::flat(p, seed()), inj.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("allreduce sweep failed: {e}"));
+    let rec = |si: usize, ij: usize| &run.results[si * injections.len() + ij];
+
     let mut header = vec!["nodes".to_string(), "baseline (us)".to_string()];
     for inj in &injections {
         header.push(format!("{} (us)", inj.label()));
@@ -38,17 +48,18 @@ fn main() {
         &hdr,
     );
 
-    for p in scale_ladder() {
-        let base = mean_allreduce_ns(p, &NoiseInjection::none());
+    for (si, &p) in scales.iter().enumerate() {
+        let base = rec(si, 0).baseline.makespan as f64 / REPS as f64;
         let mut row = vec![p.to_string(), f(base / 1000.0)];
-        for inj in &injections {
-            let noisy = mean_allreduce_ns(p, inj);
+        for ij in 0..injections.len() {
+            let noisy = rec(si, ij).run.makespan as f64 / REPS as f64;
             row.push(f(noisy / 1000.0));
             row.push(f((noisy - base) / base * 100.0));
         }
         tab.row(&row);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
     println!(
         "note: for a back-to-back collective stream (no compute between operations), the\n\
          chain can be stalled by noise on ANY node at ANY time, so the expected stall\n\

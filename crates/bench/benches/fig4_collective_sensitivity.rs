@@ -7,18 +7,11 @@
 
 use ghost_apps::bsp::{BspSynthetic, SyncKind};
 use ghost_bench::{canonical_injections, prologue, quick, seed};
-use ghost_core::experiment::{run_workload, ExperimentSpec};
-use ghost_core::injection::NoiseInjection;
+use ghost_core::campaign::{Campaign, WorkloadId};
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::report::{f, Table};
 
 const REPS: usize = 100;
-
-fn mean_op_ns(p: usize, sync: SyncKind, inj: &NoiseInjection) -> f64 {
-    let w = BspSynthetic::new(REPS, 0).with_sync(sync);
-    let spec = ExperimentSpec::flat(p, seed());
-    let r = run_workload(&spec, &w, inj);
-    r.makespan as f64 / REPS as f64
-}
 
 fn main() {
     prologue("fig4_collective_sensitivity");
@@ -32,6 +25,25 @@ fn main() {
     ];
     // Alltoall is measured separately (not a SyncKind) via a tiny script.
     let injections = canonical_injections();
+    let spec = ExperimentSpec::flat(p, seed());
+
+    // One workload per operation, one scenario per (operation, signature);
+    // each operation's baseline is simulated once.
+    let workloads: Vec<BspSynthetic> = ops
+        .iter()
+        .map(|&(_, sync)| BspSynthetic::new(REPS, 0).with_sync(sync))
+        .collect();
+    let mut campaign = Campaign::new();
+    let ids: Vec<WorkloadId> = workloads.iter().map(|w| campaign.add_workload(w)).collect();
+    for &id in &ids {
+        for inj in &injections {
+            campaign.add(id, spec, inj.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("collective sweep failed: {e}"));
+    let rec = |oi: usize, ij: usize| &run.results[oi * injections.len() + ij];
 
     let mut header = vec!["operation".to_string(), "baseline (us)".to_string()];
     for inj in &injections {
@@ -43,14 +55,14 @@ fn main() {
         &hdr,
     );
 
-    for (name, sync) in ops {
-        let base = mean_op_ns(p, sync, &NoiseInjection::none());
+    for (oi, (name, _)) in ops.iter().enumerate() {
+        let base = rec(oi, 0).baseline.makespan as f64 / REPS as f64;
         let mut row = vec![name.to_string(), f(base / 1000.0)];
-        for inj in &injections {
-            let noisy = mean_op_ns(p, sync, inj);
-            row.push(f((noisy - base) / base * 100.0));
+        for ij in 0..injections.len() {
+            row.push(f(rec(oi, ij).metrics.slowdown_pct()));
         }
         tab.row(&row);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

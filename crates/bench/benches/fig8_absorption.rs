@@ -15,7 +15,8 @@
 
 use ghost_apps::{CthLike, SpectralLike, Workload};
 use ghost_bench::{canonical_injections, prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec, NetPreset};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::{ExperimentSpec, NetPreset};
 use ghost_core::report::{f, Table};
 
 fn main() {
@@ -38,13 +39,27 @@ fn main() {
         ..spec
     };
 
-    let rows: Vec<(&dyn Workload, &ExperimentSpec, &str)> = vec![
-        (&sage, &spec, "compute-bound"),
-        (&cth, &spec, "compute-bound"),
-        (&pop, &spec, "latency-bound"),
-        (&spectral, &spec, "bandwidth-bound (alltoall)"),
-        (&comm_bound, &commodity_spec, "comm-bound (commodity net)"),
+    let rows: Vec<(&dyn Workload, ExperimentSpec, &str)> = vec![
+        (&sage, spec, "compute-bound"),
+        (&cth, spec, "compute-bound"),
+        (&pop, spec, "latency-bound"),
+        (&spectral, spec, "bandwidth-bound (alltoall)"),
+        (&comm_bound, commodity_spec, "comm-bound (commodity net)"),
     ];
+
+    // One campaign over the regime x signature grid: one baseline per
+    // (application, machine) pair.
+    let injections = canonical_injections();
+    let mut campaign = Campaign::new();
+    for (w, sp, _) in &rows {
+        let wid = campaign.add_workload(*w);
+        for inj in &injections {
+            campaign.add(wid, *sp, inj.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("absorption grid failed: {e}"));
 
     let mut tab = Table::new(
         format!("Fig 8: noise absorption at P={p} (2.5% net)"),
@@ -57,20 +72,20 @@ fn main() {
             "absorbed %",
         ],
     );
-    for (w, sp, regime) in rows {
-        for inj in canonical_injections() {
-            let m = compare(sp, w, &inj);
+    for ((_, _, regime), chunk) in rows.iter().zip(run.results.chunks(injections.len())) {
+        for rec in chunk {
             tab.row(&[
-                w.name(),
-                regime.to_owned(),
-                inj.label().to_owned(),
-                f(m.slowdown_pct()),
-                f(m.amplification()),
-                f(m.absorbed_pct()),
+                rec.workload.clone(),
+                (*regime).to_owned(),
+                rec.injection.clone(),
+                f(rec.metrics.slowdown_pct()),
+                f(rec.metrics.amplification()),
+                f(rec.metrics.absorbed_pct()),
             ]);
         }
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
     println!(
         "note: amplification ~1 means the application pays exactly the injected share;\n\
          absorption (>0%) appears where wire time dominates CPU time, amplification >> 1\n\

@@ -7,7 +7,8 @@
 
 use ghost_apps::bsp::BspSynthetic;
 use ghost_bench::{prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::US;
@@ -20,6 +21,18 @@ fn main() {
     // A POP-granularity synthetic: 500 us compute + 8-byte allreduce.
     let w = BspSynthetic::new(if quick() { 100 } else { 400 }, 500 * US);
 
+    // All pulse shapes share one machine: one baseline simulation serves
+    // the whole sweep.
+    let sigs = duration_sweep(0.025, 25 * US, 6400 * US);
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for &sig in &sigs {
+        campaign.add(wid, spec, NoiseInjection::uncoordinated(sig));
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("duration sweep failed: {e}"));
+
     let mut tab = Table::new(
         format!("Fig 9: BSP (g=500us) slowdown vs pulse duration at fixed 2.5% net, P={p}"),
         &[
@@ -30,17 +43,16 @@ fn main() {
             "model slowdown %",
         ],
     );
-    for sig in duration_sweep(0.025, 25 * US, 6400 * US) {
-        let inj = NoiseInjection::uncoordinated(sig);
-        let m = compare(&spec, &w, &inj);
-        let model = ghost_core::analytic::expected_bsp_slowdown_pct(500 * US, sig, p);
+    for (sig, rec) in sigs.iter().zip(&run.results) {
+        let model = ghost_core::analytic::expected_bsp_slowdown_pct(500 * US, *sig, p);
         tab.row(&[
             ghost_engine::time::format_time(sig.duration()),
             format!("{:.0}", sig.hz()),
-            f(m.slowdown_pct()),
-            f(m.amplification()),
+            f(rec.metrics.slowdown_pct()),
+            f(rec.metrics.amplification()),
             f(model),
         ]);
     }
     println!("{}", tab.render());
+    println!("[ghostsim] {}", run.stats);
 }

@@ -6,11 +6,13 @@
 //! framework end to end).
 
 use ghost_bench::{prologue, seed};
+use ghost_core::campaign::run_indexed;
 use ghost_core::report::{f, Table};
 use ghost_engine::time::{format_time, MS};
 use ghost_noise::ftq::fwq;
 use ghost_noise::model::PhasePolicy;
 use ghost_noise::signature::{canonical_set, CANONICAL_NET};
+use ghost_noise::Signature;
 
 fn main() {
     prologue("table1_signatures");
@@ -25,19 +27,30 @@ fn main() {
             "hit samples %",
         ],
     );
-    for net in [CANONICAL_NET, 0.10] {
-        for sig in canonical_set(net) {
-            let model = sig.periodic_model(PhasePolicy::Random);
-            let run = fwq(&model, 0, seed(), MS, 10_000);
-            tab.row(&[
-                sig.label(),
-                format!("{:.0}", sig.hz()),
-                format_time(sig.duration()),
-                f(sig.net_fraction() * 100.0),
-                f(run.measured_noise_fraction() * 100.0),
-                f(run.hit_fraction() * 100.0),
-            ]);
-        }
+    // One FWQ verification per signature, in parallel on the campaign
+    // engine's indexed pool.
+    let sigs: Vec<Signature> = [CANONICAL_NET, 0.10]
+        .iter()
+        .flat_map(|&net| canonical_set(net))
+        .collect();
+    let runs = run_indexed(
+        sigs.len(),
+        |i| format!("fwq {}", sigs[i].label()),
+        |i| {
+            let model = sigs[i].periodic_model(PhasePolicy::Random);
+            Ok(fwq(&model, 0, seed(), MS, 10_000))
+        },
+    )
+    .unwrap_or_else(|e| panic!("fwq sweep failed: {e}"));
+    for (sig, run) in sigs.iter().zip(&runs) {
+        tab.row(&[
+            sig.label(),
+            format!("{:.0}", sig.hz()),
+            format_time(sig.duration()),
+            f(sig.net_fraction() * 100.0),
+            f(run.measured_noise_fraction() * 100.0),
+            f(run.hit_fraction() * 100.0),
+        ]);
     }
     println!("{}", tab.render());
 }

@@ -6,7 +6,8 @@
 
 use ghost_apps::Workload;
 use ghost_bench::{canonical_injections, prologue, quick, seed};
-use ghost_core::experiment::{compare, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::report::{f, t, Table};
 
 fn main() {
@@ -17,6 +18,19 @@ fn main() {
     let cth = ghost_bench::cth_workload();
     let pop = ghost_bench::pop_workload();
     let apps: Vec<&dyn Workload> = vec![&sage, &cth, &pop];
+
+    // The full application x signature grid as one campaign: each
+    // application's baseline is simulated once, not once per signature.
+    let mut campaign = Campaign::new();
+    for w in apps {
+        let wid = campaign.add_workload(w);
+        for inj in canonical_injections() {
+            campaign.add(wid, spec, inj);
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("summary grid failed: {e}"));
 
     let mut tab = Table::new(
         format!("Table 2: summary at P={p}, 2.5% net injected noise"),
@@ -30,20 +44,19 @@ fn main() {
             "absorbed %",
         ],
     );
-    for w in apps {
-        for inj in canonical_injections() {
-            let m = compare(&spec, w, &inj);
-            tab.row(&[
-                w.name(),
-                inj.label().to_owned(),
-                t(m.base),
-                t(m.noisy),
-                f(m.slowdown_pct()),
-                f(m.amplification()),
-                f(m.absorbed_pct()),
-            ]);
-        }
+    for rec in &run.results {
+        let m = &rec.metrics;
+        tab.row(&[
+            rec.workload.clone(),
+            rec.injection.clone(),
+            t(m.base),
+            t(m.noisy),
+            f(m.slowdown_pct()),
+            f(m.amplification()),
+            f(m.absorbed_pct()),
+        ]);
     }
     println!("{}", tab.render());
     println!("{}", tab.to_csv());
+    println!("[ghostsim] {}", run.stats);
 }

@@ -20,7 +20,8 @@
 #![warn(missing_docs)]
 
 use ghost_apps::{CthLike, PopLike, SageLike, Workload};
-use ghost_core::experiment::{scaling_sweep, ExperimentSpec};
+use ghost_core::campaign::Campaign;
+use ghost_core::experiment::ExperimentSpec;
 use ghost_core::injection::NoiseInjection;
 use ghost_core::report::{f, Table};
 use ghost_noise::signature::canonical_2_5pct;
@@ -100,7 +101,21 @@ pub fn app_scaling_figure(id: &str, caption: &str, workload: &dyn Workload) {
     let scales = scale_ladder();
     let injections = canonical_injections();
     let spec = ExperimentSpec::flat(1, seed());
-    let recs = scaling_sweep(&spec, workload, &scales, &injections);
+
+    // One campaign over the whole scale x signature grid: one baseline
+    // simulation per scale, shared across the signatures.
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(workload);
+    for &p in &scales {
+        for inj in &injections {
+            campaign.add(wid, spec.at_scale(p), inj.clone());
+        }
+    }
+    let run = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("{id} sweep failed: {e}"));
+    // Rows are addressed by grid position (scale-major, injection-minor).
+    let rec = |si: usize, ij: usize| &run.results[si * injections.len() + ij];
 
     let mut header: Vec<String> = vec!["nodes".into()];
     for inj in &injections {
@@ -109,15 +124,12 @@ pub fn app_scaling_figure(id: &str, caption: &str, workload: &dyn Workload) {
     }
     let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut tab = Table::new(format!("{id}: {caption} [{}]", workload.name()), &hdr_refs);
-    for &p in &scales {
+    for (si, &p) in scales.iter().enumerate() {
         let mut row = vec![p.to_string()];
-        for inj in &injections {
-            let rec = recs
-                .iter()
-                .find(|r| r.nodes == p && r.injection == inj.label())
-                .expect("record");
-            row.push(f(rec.metrics.slowdown_pct()));
-            row.push(f(rec.metrics.amplification()));
+        for ij in 0..injections.len() {
+            let r = rec(si, ij);
+            row.push(f(r.metrics.slowdown_pct()));
+            row.push(f(r.metrics.amplification()));
         }
         tab.row(&row);
     }
@@ -133,19 +145,20 @@ pub fn app_scaling_figure(id: &str, caption: &str, workload: &dyn Workload) {
     )
     .scales(ghost_core::plot::Scale::Log, ghost_core::plot::Scale::Log)
     .labels("nodes", "slowdown %");
-    for (i, inj) in injections.iter().enumerate() {
-        let pts: Vec<(f64, f64)> = recs
+    for (ij, inj) in injections.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = scales
             .iter()
-            .filter(|r| r.injection == inj.label())
-            .map(|r| (r.nodes as f64, r.metrics.slowdown_pct().max(0.0)))
+            .enumerate()
+            .map(|(si, &p)| (p as f64, rec(si, ij).metrics.slowdown_pct().max(0.0)))
             .collect();
         chart = chart.series(ghost_core::plot::Series::new(
             inj.label(),
-            glyphs[i % glyphs.len()],
+            glyphs[ij % glyphs.len()],
             pts,
         ));
     }
     println!("{}", chart.render());
+    println!("[ghostsim] {}", run.stats);
 }
 
 /// Standard bench prologue: print the run configuration.

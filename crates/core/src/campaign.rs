@@ -1,0 +1,616 @@
+//! Declarative experiment campaigns: one scenario/sweep engine for every
+//! figure, table, and ablation in the reproduction.
+//!
+//! A [`Campaign`] is a grid of [`Scenario`]s (workload × spec × injection).
+//! Running it replaces the per-bench orchestration boilerplate — thread
+//! pools, `Mutex<Vec<_>>` result collection, baseline patch-up, post-sort —
+//! with one engine that provides, by construction:
+//!
+//! * **Deterministic ordering.** Every scenario writes into its own
+//!   index-addressed slot; results come back in insertion order with no
+//!   sorting step (and no first-match-by-value bugs when a sweep repeats a
+//!   scale).
+//! * **Baseline memoization.** Scenarios sharing a [`BaselineKey`]
+//!   (workload + full [`ExperimentSpec`]: nodes, net, topo, seed,
+//!   collectives, receive mode) share one noiseless simulation. Intensity,
+//!   duration, and coordination ablations — many injections against one
+//!   machine — stop re-simulating identical baselines.
+//! * **Error propagation.** A deadlocked or panicking scenario surfaces as
+//!   a [`CampaignError`] carrying the scenario's label, instead of killing
+//!   the process from a worker thread.
+//! * **Statistics.** [`CampaignStats`] reports scenarios, simulations
+//!   actually run, cache hits, wall-clock, and worker count.
+//!
+//! ```
+//! use ghost_core::campaign::Campaign;
+//! use ghost_core::experiment::ExperimentSpec;
+//! use ghost_core::injection::NoiseInjection;
+//! use ghost_apps::BspSynthetic;
+//! use ghost_engine::time::{MS, US};
+//! use ghost_noise::Signature;
+//!
+//! let w = BspSynthetic::new(3, MS);
+//! let mut campaign = Campaign::new();
+//! let wid = campaign.add_workload(&w);
+//! let spec = ExperimentSpec::flat(8, 1);
+//! for hz in [10.0, 100.0, 1000.0] {
+//!     let inj = NoiseInjection::uncoordinated(Signature::from_net(hz, 0.025));
+//!     campaign.add(wid, spec, inj);
+//! }
+//! let run = campaign.run().unwrap();
+//! // Three scenarios, one shared baseline: two cache hits.
+//! assert_eq!(run.results.len(), 3);
+//! assert_eq!(run.stats.baseline_cache_hits, 2);
+//! assert_eq!(run.stats.sims_run, 4);
+//! ```
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use ghost_apps::Workload;
+use ghost_mpi::RunResult;
+
+use crate::experiment::{try_run_workload, ExperimentSpec};
+use crate::injection::NoiseInjection;
+use crate::metrics::Metrics;
+
+/// Handle to a workload registered with [`Campaign::add_workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadId(usize);
+
+/// One cell of an experiment grid: a workload on a machine under an
+/// injection.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which registered workload to run.
+    pub workload: WorkloadId,
+    /// Machine + methodology configuration.
+    pub spec: ExperimentSpec,
+    /// The injected noise (possibly [`NoiseInjection::none`]).
+    pub injection: NoiseInjection,
+    /// Label used in error messages and reports.
+    pub label: String,
+}
+
+/// Memo-cache key for baseline (noiseless) runs: the workload plus the
+/// *entire* machine configuration — `(workload, nodes, net, topo, seed,
+/// coll, recv_mode)`. Two scenarios share a baseline simulation iff their
+/// keys are equal.
+pub type BaselineKey = (WorkloadId, ExperimentSpec);
+
+/// Result of one scenario: its baseline, its (possibly same) noisy run, and
+/// the derived metrics.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Injection label.
+    pub injection: String,
+    /// Node count.
+    pub nodes: usize,
+    /// The noiseless baseline run (shared across scenarios with equal
+    /// [`BaselineKey`]s).
+    pub baseline: Arc<RunResult>,
+    /// The injected run. For noiseless scenarios this *is* the baseline.
+    pub run: Arc<RunResult>,
+    /// Slowdown/amplification metrics derived from the pair.
+    pub metrics: Metrics,
+}
+
+/// What a campaign did, beyond the per-scenario results.
+#[derive(Debug, Clone)]
+pub struct CampaignStats {
+    /// Scenarios answered.
+    pub scenarios: usize,
+    /// Machine simulations actually executed.
+    pub sims_run: usize,
+    /// Simulations avoided by the baseline memo cache (shared baselines
+    /// plus noiseless scenarios served from it).
+    pub baseline_cache_hits: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign: {} scenarios, {} sims ({} cache hits), {:.2}s wall on {} workers",
+            self.scenarios,
+            self.sims_run,
+            self.baseline_cache_hits,
+            self.wall.as_secs_f64(),
+            self.workers
+        )
+    }
+}
+
+/// Why a campaign failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A scenario's simulation returned an error (e.g. deadlock).
+    ScenarioFailed {
+        /// The failing scenario's label.
+        label: String,
+        /// The underlying error rendered as text.
+        reason: String,
+    },
+    /// A worker thread panicked while running a scenario.
+    WorkerPanicked {
+        /// The scenario being run when the panic fired.
+        label: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::ScenarioFailed { label, reason } => {
+                write!(f, "scenario '{label}' failed: {reason}")
+            }
+            CampaignError::WorkerPanicked { label, message } => {
+                write!(f, "worker panicked in scenario '{label}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A completed campaign: per-scenario results (in insertion order) plus
+/// run statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// One result per scenario, in the order the scenarios were added.
+    pub results: Vec<ScenarioResult>,
+    /// What it cost.
+    pub stats: CampaignStats,
+}
+
+/// A declarative grid of scenarios over borrowed workloads.
+#[derive(Default)]
+pub struct Campaign<'w> {
+    workloads: Vec<&'w dyn Workload>,
+    scenarios: Vec<Scenario>,
+}
+
+impl<'w> Campaign<'w> {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a workload and get a handle for adding scenarios over it.
+    pub fn add_workload(&mut self, workload: &'w dyn Workload) -> WorkloadId {
+        self.workloads.push(workload);
+        WorkloadId(self.workloads.len() - 1)
+    }
+
+    /// Add a scenario with an auto-generated `workload/nodes/injection`
+    /// label; returns its index into [`CampaignRun::results`].
+    pub fn add(
+        &mut self,
+        workload: WorkloadId,
+        spec: ExperimentSpec,
+        injection: NoiseInjection,
+    ) -> usize {
+        let label = format!(
+            "{}/{}n/{}",
+            self.workloads[workload.0].name(),
+            spec.nodes,
+            injection.label()
+        );
+        self.add_labeled(workload, spec, injection, label)
+    }
+
+    /// Add a scenario with an explicit label; returns its index into
+    /// [`CampaignRun::results`].
+    pub fn add_labeled(
+        &mut self,
+        workload: WorkloadId,
+        spec: ExperimentSpec,
+        injection: NoiseInjection,
+        label: impl Into<String>,
+    ) -> usize {
+        self.scenarios.push(Scenario {
+            workload,
+            spec,
+            injection,
+            label: label.into(),
+        });
+        self.scenarios.len() - 1
+    }
+
+    /// Number of scenarios queued.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether no scenarios are queued.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The memo-cache key of a scenario's baseline.
+    fn key(&self, s: &Scenario) -> BaselineKey {
+        (s.workload, s.spec)
+    }
+
+    /// Run every scenario: each distinct [`BaselineKey`] is simulated
+    /// noiselessly exactly once, each non-noiseless scenario once, all on
+    /// one work-stealing pool. Results come back in insertion order.
+    pub fn run(&self) -> Result<CampaignRun, CampaignError> {
+        let start = std::time::Instant::now();
+
+        // Distinct baselines, in first-seen order.
+        let mut key_index: HashMap<BaselineKey, usize> = HashMap::new();
+        let mut uniq: Vec<BaselineKey> = Vec::new();
+        for s in &self.scenarios {
+            let k = self.key(s);
+            key_index.entry(k).or_insert_with(|| {
+                uniq.push(k);
+                uniq.len() - 1
+            });
+        }
+
+        // Job list: all unique baselines, then every noisy scenario. The
+        // noiseless scenarios are answered from the baseline cache.
+        enum Job {
+            Baseline(usize),
+            Noisy(usize),
+        }
+        let mut jobs: Vec<Job> = (0..uniq.len()).map(Job::Baseline).collect();
+        let mut noiseless = 0usize;
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if s.injection.is_noiseless() {
+                noiseless += 1;
+            } else {
+                jobs.push(Job::Noisy(i));
+            }
+        }
+
+        let workers = worker_count(jobs.len());
+        let runs = run_indexed(
+            jobs.len(),
+            |i| match jobs[i] {
+                Job::Baseline(bi) => {
+                    let (wid, spec) = uniq[bi];
+                    format!("baseline {}/{}n", self.workloads[wid.0].name(), spec.nodes)
+                }
+                Job::Noisy(si) => self.scenarios[si].label.clone(),
+            },
+            |i| {
+                let (wid, spec, injection) = match jobs[i] {
+                    Job::Baseline(bi) => {
+                        let (wid, spec) = uniq[bi];
+                        (wid, spec, NoiseInjection::none())
+                    }
+                    Job::Noisy(si) => {
+                        let s = &self.scenarios[si];
+                        (s.workload, s.spec, s.injection.clone())
+                    }
+                };
+                try_run_workload(&spec, self.workloads[wid.0], &injection)
+                    .map(Arc::new)
+                    .map_err(|e| e.to_string())
+            },
+        )?;
+
+        // Assemble results in scenario insertion order.
+        let baselines = &runs[..uniq.len()];
+        let mut noisy_cursor = uniq.len();
+        let results: Vec<ScenarioResult> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let baseline = baselines[key_index[&self.key(s)]].clone();
+                let run = if s.injection.is_noiseless() {
+                    baseline.clone()
+                } else {
+                    let r = runs[noisy_cursor].clone();
+                    noisy_cursor += 1;
+                    r
+                };
+                let metrics =
+                    Metrics::new(baseline.makespan, run.makespan, s.injection.net_fraction());
+                ScenarioResult {
+                    label: s.label.clone(),
+                    workload: self.workloads[s.workload.0].name(),
+                    injection: s.injection.label().to_owned(),
+                    nodes: s.spec.nodes,
+                    baseline,
+                    run,
+                    metrics,
+                }
+            })
+            .collect();
+
+        let stats = CampaignStats {
+            scenarios: self.scenarios.len(),
+            sims_run: jobs.len(),
+            baseline_cache_hits: (self.scenarios.len() - uniq.len()) + noiseless,
+            wall: start.elapsed(),
+            workers,
+        };
+        Ok(CampaignRun { results, stats })
+    }
+}
+
+/// Worker-thread count for `n` jobs: available parallelism, capped at `n`.
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .min(n.max(1))
+}
+
+/// Render a panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `n` independent jobs on a work-stealing thread pool, writing each
+/// result into its own index-addressed slot (output order = index order, no
+/// post-sort). A job error or panic stops the pool and is reported as a
+/// [`CampaignError`] carrying `label(i)`.
+///
+/// This is the one parallel loop behind [`Campaign::run`], `replicate`,
+/// netgauge sweeps, and the FTQ/FWQ benches.
+pub fn run_indexed<T, L, F>(n: usize, label: L, job: F) -> Result<Vec<T>, CampaignError>
+where
+    T: Send + Sync,
+    L: Fn(usize) -> String + Sync,
+    F: Fn(usize) -> Result<T, String> + Sync,
+{
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let failed: OnceLock<CampaignError> = OnceLock::new();
+    let stop = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let workers = worker_count(n);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                    Ok(Ok(v)) => {
+                        let _ = slots[i].set(v);
+                    }
+                    Ok(Err(reason)) => {
+                        let _ = failed.set(CampaignError::ScenarioFailed {
+                            label: label(i),
+                            reason,
+                        });
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        let _ = failed.set(CampaignError::WorkerPanicked {
+                            label: label(i),
+                            message: panic_message(payload),
+                        });
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failed.into_inner() {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all slots filled without error"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_apps::BspSynthetic;
+    use ghost_engine::time::MS;
+    use ghost_noise::Signature;
+
+    fn inj(hz: f64) -> NoiseInjection {
+        NoiseInjection::uncoordinated(Signature::from_net(hz, 0.025))
+    }
+
+    #[test]
+    fn results_are_in_insertion_order() {
+        let w = BspSynthetic::new(3, MS);
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        // Deliberately non-monotone scales.
+        for nodes in [8usize, 2, 4] {
+            c.add(wid, ExperimentSpec::flat(nodes, 1), inj(100.0));
+        }
+        let run = c.run().unwrap();
+        let nodes: Vec<usize> = run.results.iter().map(|r| r.nodes).collect();
+        assert_eq!(nodes, vec![8, 2, 4]);
+    }
+
+    #[test]
+    fn baselines_are_memoized_across_injections() {
+        let w = BspSynthetic::new(3, MS);
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        let spec = ExperimentSpec::flat(4, 9);
+        for hz in [10.0, 100.0, 1000.0] {
+            c.add(wid, spec, inj(hz));
+        }
+        let run = c.run().unwrap();
+        assert_eq!(run.stats.scenarios, 3);
+        assert_eq!(run.stats.sims_run, 4, "1 baseline + 3 noisy");
+        assert_eq!(run.stats.baseline_cache_hits, 2);
+        // All three share one baseline allocation.
+        assert!(Arc::ptr_eq(
+            &run.results[0].baseline,
+            &run.results[2].baseline
+        ));
+        assert_eq!(run.results[0].metrics.base, run.results[1].metrics.base);
+    }
+
+    #[test]
+    fn noiseless_scenarios_reuse_the_baseline_run() {
+        let w = BspSynthetic::new(3, MS);
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        let spec = ExperimentSpec::flat(4, 9);
+        c.add(wid, spec, NoiseInjection::none());
+        c.add(wid, spec, inj(100.0));
+        let run = c.run().unwrap();
+        assert_eq!(run.stats.sims_run, 2, "baseline + one noisy");
+        assert_eq!(run.stats.baseline_cache_hits, 2, "shared key + noiseless");
+        assert!(Arc::ptr_eq(&run.results[0].baseline, &run.results[0].run));
+        assert_eq!(run.results[0].metrics.base, run.results[0].metrics.noisy);
+    }
+
+    #[test]
+    fn distinct_seeds_do_not_share_baselines() {
+        let w = BspSynthetic::new(3, MS);
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        c.add(wid, ExperimentSpec::flat(4, 1), inj(100.0));
+        c.add(wid, ExperimentSpec::flat(4, 2), inj(100.0));
+        let run = c.run().unwrap();
+        assert_eq!(run.stats.sims_run, 4, "two baselines + two noisy");
+        assert_eq!(run.stats.baseline_cache_hits, 0);
+    }
+
+    #[test]
+    fn campaign_matches_sequential_compare() {
+        use crate::experiment::compare;
+        let w = BspSynthetic::new(4, 2 * MS);
+        let spec = ExperimentSpec::flat(8, 3);
+        let injection = inj(100.0);
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        c.add(wid, spec, injection.clone());
+        let run = c.run().unwrap();
+        let m = compare(&spec, &w, &injection);
+        assert_eq!(run.results[0].metrics, m);
+    }
+
+    #[test]
+    fn deadlock_is_a_campaign_error_with_label() {
+        use ghost_apps::Workload;
+        use ghost_mpi::{MpiCall, Program, ScriptProgram};
+
+        struct Deadlocker;
+        impl Workload for Deadlocker {
+            fn name(&self) -> String {
+                "deadlocker".into()
+            }
+            fn programs(&self, size: usize, _seed: u64) -> Vec<Box<dyn Program>> {
+                // Rank 0 waits for a message nobody sends.
+                (0..size)
+                    .map(|r| {
+                        let calls = if r == 0 {
+                            vec![MpiCall::Recv { src: 1, tag: 3 }]
+                        } else {
+                            vec![]
+                        };
+                        ScriptProgram::new(calls).boxed()
+                    })
+                    .collect()
+            }
+            fn nominal_compute_per_rank(&self) -> u64 {
+                0
+            }
+            fn collectives_per_rank(&self) -> u64 {
+                0
+            }
+        }
+
+        let w = Deadlocker;
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        c.add_labeled(wid, ExperimentSpec::flat(2, 1), inj(100.0), "the-bad-one");
+        match c.run() {
+            Err(CampaignError::ScenarioFailed { label, reason }) => {
+                // The baseline job fails first; it carries the workload name.
+                assert!(
+                    label.contains("deadlocker") || label.contains("the-bad-one"),
+                    "label: {label}"
+                );
+                assert!(reason.contains("deadlock"), "reason: {reason}");
+            }
+            other => panic!("expected ScenarioFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_with_label() {
+        let r: Result<Vec<()>, _> = run_indexed(
+            4,
+            |i| format!("job-{i}"),
+            |i| {
+                if i == 2 {
+                    panic!("boom in job 2");
+                }
+                Ok(())
+            },
+        );
+        match r {
+            Err(CampaignError::WorkerPanicked { label, message }) => {
+                assert_eq!(label, "job-2");
+                assert!(message.contains("boom"), "message: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        let out = run_indexed(100, |i| i.to_string(), |i| Ok(i * i)).unwrap();
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_campaign_runs_nothing() {
+        let c = Campaign::new();
+        let run = c.run().unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.stats.sims_run, 0);
+        assert_eq!(run.stats.baseline_cache_hits, 0);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let s = CampaignStats {
+            scenarios: 5,
+            sims_run: 6,
+            baseline_cache_hits: 4,
+            wall: Duration::from_millis(1500),
+            workers: 8,
+        };
+        let text = s.to_string();
+        assert!(text.contains("5 scenarios"));
+        assert!(text.contains("6 sims"));
+        assert!(text.contains("4 cache hits"));
+    }
+}

@@ -1,15 +1,15 @@
 //! Experiment runner: baseline/noisy pairs and scaling sweeps.
 
 use ghost_apps::Workload;
-use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunResult};
+use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunError, RunResult};
 use ghost_net::{FatTree, Flat, LogGP, Network, Torus3D};
-use std::sync::Mutex;
 
+use crate::campaign::{Campaign, CampaignError};
 use crate::injection::NoiseInjection;
 use crate::metrics::Metrics;
 
 /// Network/topology preset for an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetPreset {
     /// Red-Storm-like MPP parameters.
     Mpp,
@@ -20,7 +20,7 @@ pub enum NetPreset {
 }
 
 /// Topology preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopoPreset {
     /// Single-hop crossbar.
     Flat,
@@ -34,7 +34,11 @@ pub enum TopoPreset {
 }
 
 /// A machine + methodology configuration, independent of workload and noise.
-#[derive(Debug, Clone, Copy)]
+///
+/// Every field participates in `Eq`/`Hash`: the spec doubles as the machine
+/// half of a campaign's baseline memo-cache key (see
+/// [`crate::campaign::BaselineKey`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExperimentSpec {
     /// Number of ranks (= nodes used).
     pub nodes: usize,
@@ -94,6 +98,23 @@ impl ExperimentSpec {
     }
 }
 
+/// Run `workload` once under `injection`, reporting a deadlock as an error
+/// instead of panicking (the campaign engine turns it into a
+/// [`CampaignError`] carrying the scenario's label).
+pub fn try_run_workload(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+) -> Result<RunResult, RunError> {
+    let net = spec.build_network();
+    let model = injection.build();
+    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
+    Machine::new(net, model.as_ref(), spec.seed)
+        .with_config(spec.coll)
+        .with_recv_mode(spec.recv_mode)
+        .run(programs)
+}
+
 /// Run `workload` once under `injection`.
 ///
 /// # Panics
@@ -105,20 +126,13 @@ pub fn run_workload(
     workload: &dyn Workload,
     injection: &NoiseInjection,
 ) -> RunResult {
-    let net = spec.build_network();
-    let model = injection.build();
-    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
-    Machine::new(net, model.as_ref(), spec.seed)
-        .with_config(spec.coll)
-        .with_recv_mode(spec.recv_mode)
-        .run(programs)
-        .unwrap_or_else(|e| {
-            panic!(
-                "workload '{}' deadlocked at {} nodes: {e}",
-                workload.name(),
-                spec.nodes
-            )
-        })
+    try_run_workload(spec, workload, injection).unwrap_or_else(|e| {
+        panic!(
+            "workload '{}' deadlocked at {} nodes: {e}",
+            workload.name(),
+            spec.nodes
+        )
+    })
 }
 
 /// Run the noiseless baseline and the injected configuration, producing
@@ -186,75 +200,49 @@ pub struct ScalingRecord {
     pub metrics: Metrics,
 }
 
-/// Sweep `workload` over `scales x injections`, reusing one baseline run per
-/// scale. Runs configurations in parallel across available cores.
+/// Sweep `workload` over `scales x injections` as a [`Campaign`], reusing
+/// one baseline simulation per distinct scale. Rows come back ordered by
+/// scale *position* (then injection order) — repeated scales keep their own
+/// rows, indexed by position rather than matched by value.
+pub fn try_scaling_sweep(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    scales: &[usize],
+    injections: &[NoiseInjection],
+) -> Result<Vec<ScalingRecord>, CampaignError> {
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(workload);
+    for &nodes in scales {
+        for injection in injections {
+            campaign.add(wid, spec.at_scale(nodes), injection.clone());
+        }
+    }
+    let run = campaign.run()?;
+    Ok(run
+        .results
+        .into_iter()
+        .map(|r| ScalingRecord {
+            workload: r.workload,
+            injection: r.injection,
+            nodes: r.nodes,
+            metrics: r.metrics,
+        })
+        .collect())
+}
+
+/// Panicking convenience wrapper over [`try_scaling_sweep`].
+///
+/// # Panics
+///
+/// Panics if any configuration deadlocks or a worker panics.
 pub fn scaling_sweep(
     spec: &ExperimentSpec,
     workload: &dyn Workload,
     scales: &[usize],
     injections: &[NoiseInjection],
 ) -> Vec<ScalingRecord> {
-    // Work items: (scale index, injection index or baseline).
-    let baselines: Mutex<Vec<Option<u64>>> = Mutex::new(vec![None; scales.len()]);
-    let results: Mutex<Vec<ScalingRecord>> = Mutex::new(Vec::new());
-
-    let tasks: Vec<(usize, Option<usize>)> = {
-        let mut v = Vec::new();
-        for si in 0..scales.len() {
-            v.push((si, None));
-            for ii in 0..injections.len() {
-                v.push((si, Some(ii)));
-            }
-        }
-        v
-    };
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(tasks.len().max(1));
-
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                let (si, inj) = tasks[i];
-                let spec_here = spec.at_scale(scales[si]);
-                match inj {
-                    None => {
-                        let r = run_workload(&spec_here, workload, &NoiseInjection::none());
-                        baselines.lock().unwrap()[si] = Some(r.makespan);
-                    }
-                    Some(ii) => {
-                        let r = run_workload(&spec_here, workload, &injections[ii]);
-                        results.lock().unwrap().push(ScalingRecord {
-                            workload: workload.name(),
-                            injection: injections[ii].label().to_owned(),
-                            nodes: scales[si],
-                            metrics: Metrics::new(0, r.makespan, injections[ii].net_fraction()),
-                        });
-                    }
-                }
-            });
-        }
-    });
-
-    // Patch in baselines and order rows deterministically.
-    let baselines = baselines.into_inner().unwrap();
-    let mut out = results.into_inner().unwrap();
-    for rec in &mut out {
-        let si = scales.iter().position(|&p| p == rec.nodes).expect("scale");
-        rec.metrics.base = baselines[si].expect("baseline missing");
-    }
-    out.sort_by(|a, b| {
-        (a.nodes, &a.injection)
-            .partial_cmp(&(b.nodes, &b.injection))
-            .unwrap()
-    });
-    out
+    try_scaling_sweep(spec, workload, scales, injections)
+        .unwrap_or_else(|e| panic!("scaling sweep failed: {e}"))
 }
 
 #[cfg(test)]
@@ -317,9 +305,33 @@ mod tests {
             assert!(rec.metrics.base > 0, "baseline patched in");
             assert!(rec.metrics.noisy >= rec.metrics.base / 2);
         }
-        // Sorted by (nodes, injection label).
+        // Ordered by scale position (ascending here).
         for w2 in recs.windows(2) {
             assert!(w2[0].nodes <= w2[1].nodes);
+        }
+    }
+
+    #[test]
+    fn scaling_sweep_handles_repeated_scales() {
+        // Regression: baselines used to be patched in by matching on the
+        // scale *value* (`position(|&p| p == rec.nodes)`), which conflated
+        // rows when a sweep repeated a scale. Rows are now indexed by scale
+        // position by construction.
+        let spec = ExperimentSpec::flat(1, 5);
+        let w = BspSynthetic::new(3, MS);
+        let injections = vec![NoiseInjection::uncoordinated(Signature::new(
+            100.0,
+            250 * US,
+        ))];
+        let scales = [4usize, 8, 4];
+        let recs = scaling_sweep(&spec, &w, &scales, &injections);
+        assert_eq!(recs.len(), 3);
+        let nodes: Vec<usize> = recs.iter().map(|r| r.nodes).collect();
+        assert_eq!(nodes, vec![4, 8, 4], "rows follow scale positions");
+        // Every row's numbers match a standalone compare at that scale.
+        for rec in &recs {
+            let m = compare(&spec.at_scale(rec.nodes), &w, &injections[0]);
+            assert_eq!(rec.metrics, m);
         }
     }
 

@@ -50,6 +50,7 @@ pub struct NoiseInjection {
     placement: Placement,
     label: String,
     net_fraction: f64,
+    noiseless: bool,
 }
 
 impl NoiseInjection {
@@ -74,6 +75,7 @@ impl NoiseInjection {
             placement: Placement::All,
             label,
             net_fraction: net,
+            noiseless: false,
         }
     }
 
@@ -85,6 +87,7 @@ impl NoiseInjection {
             placement: Placement::All,
             label: label.into(),
             net_fraction: net,
+            noiseless: false,
         }
     }
 
@@ -116,7 +119,15 @@ impl NoiseInjection {
             placement: Placement::All,
             label: "noiseless".to_owned(),
             net_fraction: 0.0,
+            noiseless: true,
         }
+    }
+
+    /// Whether this is the [`NoiseInjection::none`] baseline. Campaigns use
+    /// this to serve such scenarios straight from the baseline memo cache
+    /// instead of simulating them a second time.
+    pub fn is_noiseless(&self) -> bool {
+        self.noiseless
     }
 
     /// Materialize as a [`NoiseModel`] honoring the placement.

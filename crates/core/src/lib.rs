@@ -11,6 +11,10 @@
 //! * [`experiment`] — run a workload on a simulated machine twice (noiseless
 //!   baseline, then with injection) and across node-count sweeps, in
 //!   parallel across configurations.
+//! * [`campaign`] — the scenario/sweep engine underneath every figure and
+//!   ablation: declarative scenario grids, one work-stealing executor with
+//!   index-addressed result slots, a baseline memo cache, and per-campaign
+//!   statistics.
 //! * [`metrics`] — the paper's figures of merit: slowdown %, noise
 //!   amplification factor, and absorbed-noise %.
 //! * [`analytic`] — a closed-form max-of-P model of expected BSP slowdown
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod campaign;
 pub mod experiment;
 pub mod injection;
 pub mod metrics;
@@ -50,8 +55,15 @@ pub mod plot;
 pub mod replicate;
 pub mod report;
 
-pub use experiment::{compare, run_workload, scaling_sweep, ExperimentSpec, ScalingRecord};
+pub use campaign::{
+    run_indexed, Campaign, CampaignError, CampaignRun, CampaignStats, Scenario, ScenarioResult,
+    WorkloadId,
+};
+pub use experiment::{
+    compare, run_workload, scaling_sweep, try_run_workload, try_scaling_sweep, ExperimentSpec,
+    ScalingRecord,
+};
 pub use injection::{NoiseInjection, Placement};
 pub use metrics::Metrics;
 pub use observe::{blame_summary, blame_table, observe_workload, run_recorded, Observation};
-pub use replicate::{replicate, Replicates};
+pub use replicate::{replicate, try_replicate, Replicates};

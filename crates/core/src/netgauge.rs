@@ -9,14 +9,14 @@
 //! signature — rare multi-millisecond spikes for low-frequency injection,
 //! a uniformly thickened distribution for high-frequency injection.
 
-use std::sync::Arc;
+use std::sync::mpsc;
 
 use ghost_engine::time::Time;
 use ghost_mpi::types::{Env, MpiCall, Rank};
-use ghost_mpi::{Machine, Program};
+use ghost_mpi::{Machine, Program, RunError};
 use ghost_noise::stats::Summary;
-use std::sync::Mutex;
 
+use crate::campaign::{run_indexed, CampaignError};
 use crate::experiment::ExperimentSpec;
 use crate::injection::NoiseInjection;
 
@@ -58,20 +58,23 @@ impl NetgaugeRun {
 }
 
 /// Client state machine: Send ping → Recv pong → record RTT → repeat.
+///
+/// RTTs stream out over a channel (the program is consumed by the machine
+/// run, so it cannot hand its samples back directly).
 struct PingClient {
     peer: Rank,
     rounds: usize,
     round: usize,
     awaiting_pong: bool,
     t_start: Time,
-    sink: Arc<Mutex<Vec<Time>>>,
+    sink: mpsc::Sender<Time>,
 }
 
 impl Program for PingClient {
     fn next(&mut self, _env: &Env, now: Time, _prev: Option<f64>) -> Option<MpiCall> {
         if self.awaiting_pong {
             // The pong's processing just completed at `now`.
-            self.sink.lock().unwrap().push(now - self.t_start);
+            let _ = self.sink.send(now - self.t_start);
             self.awaiting_pong = false;
             self.round += 1;
         }
@@ -129,20 +132,21 @@ impl Program for PongServer {
     }
 }
 
-/// Run the netgauge ping-pong between rank 0 and `peer` under `injection`.
+/// Run the netgauge ping-pong between rank 0 and `peer` under `injection`,
+/// reporting a deadlock as an error.
 ///
 /// # Panics
 ///
 /// Panics if `peer == 0` or `peer >= spec.nodes`.
-pub fn pingpong(
+pub fn try_pingpong(
     spec: &ExperimentSpec,
     injection: &NoiseInjection,
     peer: Rank,
     rounds: usize,
-) -> NetgaugeRun {
+) -> Result<NetgaugeRun, RunError> {
     assert!(peer != 0, "peer must differ from the client rank 0");
     assert!(peer < spec.nodes, "peer {peer} out of range");
-    let sink = Arc::new(Mutex::new(Vec::with_capacity(rounds)));
+    let (sink, samples) = mpsc::channel();
     let mut programs: Vec<Box<dyn Program>> = Vec::with_capacity(spec.nodes);
     for rank in 0..spec.nodes {
         if rank == 0 {
@@ -165,17 +169,51 @@ pub fn pingpong(
             programs.push(ghost_mpi::ScriptProgram::new(vec![]).boxed());
         }
     }
+    drop(sink);
     let net = spec.build_network();
     let model = injection.build();
     Machine::new(net, model.as_ref(), spec.seed)
         .with_config(spec.coll)
         .with_recv_mode(spec.recv_mode)
-        .run(programs)
-        .expect("netgauge deadlocked");
-    let rtts = Arc::try_unwrap(sink)
-        .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|arc| arc.lock().unwrap().clone());
-    NetgaugeRun { rtts, peer }
+        .run(programs)?;
+    Ok(NetgaugeRun {
+        rtts: samples.into_iter().collect(),
+        peer,
+    })
+}
+
+/// Panicking convenience wrapper over [`try_pingpong`].
+///
+/// # Panics
+///
+/// Panics if `peer == 0`, `peer >= spec.nodes`, or the run deadlocks.
+pub fn pingpong(
+    spec: &ExperimentSpec,
+    injection: &NoiseInjection,
+    peer: Rank,
+    rounds: usize,
+) -> NetgaugeRun {
+    try_pingpong(spec, injection, peer, rounds).expect("netgauge deadlocked")
+}
+
+/// Measure one [`pingpong`] per injection, in parallel on the campaign
+/// engine's indexed work pool; results come back in `injections` order.
+pub fn rtt_sweep(
+    spec: &ExperimentSpec,
+    injections: &[NoiseInjection],
+    peer: Rank,
+    rounds: usize,
+) -> Result<Vec<NetgaugeRun>, CampaignError> {
+    run_indexed(
+        injections.len(),
+        |i| {
+            format!(
+                "netgauge rank0<->rank{peer} under {}",
+                injections[i].label()
+            )
+        },
+        |i| try_pingpong(spec, &injections[i], peer, rounds).map_err(|e| e.to_string()),
+    )
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 //! before claiming one signature beats another.
 
 use ghost_apps::Workload;
-use std::sync::Mutex;
 
-use crate::experiment::{compare, ExperimentSpec};
+use crate::campaign::{Campaign, CampaignError};
+use crate::experiment::ExperimentSpec;
 use crate::injection::NoiseInjection;
 use crate::metrics::Metrics;
 
@@ -70,44 +70,36 @@ impl Replicates {
     }
 }
 
-/// Run `compare` under `n` seeds derived from `spec.seed` (seed, seed+1,
-/// ...), in parallel across available cores.
+/// Run baseline/noisy pairs under `n` seeds derived from `spec.seed`
+/// (seed, seed+1, ...) as a [`Campaign`] — one scenario per seed, results
+/// in seed order by construction.
 ///
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn replicate(
+pub fn try_replicate(
     spec: &ExperimentSpec,
     workload: &dyn Workload,
     injection: &NoiseInjection,
     n: usize,
-) -> Replicates {
+) -> Result<Replicates, CampaignError> {
     assert!(n > 0, "need at least one replicate");
-    let results: Mutex<Vec<(usize, Metrics)>> = Mutex::new(Vec::with_capacity(n));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(4)
-        .min(n);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let seeded = ExperimentSpec {
-                    seed: spec.seed.wrapping_add(i as u64),
-                    ..*spec
-                };
-                let m = compare(&seeded, workload, injection);
-                results.lock().unwrap().push((i, m));
-            });
-        }
-    });
-    let mut runs = results.into_inner().unwrap();
-    runs.sort_by_key(|&(i, _)| i);
-    let runs: Vec<Metrics> = runs.into_iter().map(|(_, m)| m).collect();
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(workload);
+    for i in 0..n {
+        let seeded = ExperimentSpec {
+            seed: spec.seed.wrapping_add(i as u64),
+            ..*spec
+        };
+        campaign.add_labeled(
+            wid,
+            seeded,
+            injection.clone(),
+            format!("{} replicate {i} (seed {})", workload.name(), seeded.seed),
+        );
+    }
+    let run = campaign.run()?;
+    let runs: Vec<Metrics> = run.results.into_iter().map(|r| r.metrics).collect();
 
     let slows: Vec<f64> = runs.iter().map(|m| m.slowdown_pct()).collect();
     let mean = slows.iter().sum::<f64>() / slows.len() as f64;
@@ -118,12 +110,27 @@ pub fn replicate(
             .sqrt()
     };
     let ci = 1.96 * std / (slows.len() as f64).sqrt();
-    Replicates {
+    Ok(Replicates {
         runs,
         mean_slowdown_pct: mean,
         std_slowdown_pct: std,
         ci95_half_width: ci,
-    }
+    })
+}
+
+/// Panicking convenience wrapper over [`try_replicate`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`, if any run deadlocks, or if a worker panics.
+pub fn replicate(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    n: usize,
+) -> Replicates {
+    try_replicate(spec, workload, injection, n)
+        .unwrap_or_else(|e| panic!("replication failed: {e}"))
 }
 
 #[cfg(test)]

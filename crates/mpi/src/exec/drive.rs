@@ -1,0 +1,292 @@
+//! The rank driver: advance one rank until it blocks, schedules a future
+//! resume, or finishes.
+
+use ghost_engine::queue::EventQueue;
+use ghost_engine::time::Time;
+use ghost_obs::record::{MsgRecord, OpSpan, Recorder, SpanKind};
+
+use super::events::Event;
+use super::machine::Machine;
+use super::p2p::{lower_primitive, mailbox_pop, msg_kind};
+use super::rank::{RState, RankCtx};
+use crate::coll::{self, CollStep, PrimOp};
+use crate::types::{Env, MpiCall, Rank};
+
+impl Machine<'_> {
+    /// Drive one rank forward from time `now` until it blocks, schedules a
+    /// future resume, or finishes.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn drive<R: Recorder>(
+        &self,
+        ranks: &mut [RankCtx],
+        rank: Rank,
+        size: usize,
+        now: Time,
+        mut prev: Option<f64>,
+        q: &mut EventQueue<Event>,
+        messages: &mut u64,
+        rec: &mut R,
+    ) {
+        let env = Env { rank, size };
+        loop {
+            // Obtain the next primitive operation: from the active
+            // collective if any, otherwise from the user program (which may
+            // start a new collective).
+            let prim: PrimOp = {
+                let ctx = &mut ranks[rank];
+                if let Some(c) = ctx.coll.as_mut() {
+                    match c.step(prev.take()) {
+                        CollStep::Done(v) => {
+                            ctx.coll = None;
+                            prev = Some(v);
+                            continue;
+                        }
+                        CollStep::Prim(op) => op,
+                    }
+                } else {
+                    let last = prev;
+                    match ctx.program.next(&env, now, prev.take()) {
+                        None => {
+                            ctx.state = RState::Done;
+                            ctx.finish = Some(now);
+                            ctx.last_value = last;
+                            return;
+                        }
+                        Some(call) => {
+                            if let Some(machine) = coll::build(&call, env, ctx.coll_seq, &self.cfg)
+                            {
+                                ctx.coll_seq += 1;
+                                ctx.coll = Some(machine);
+                                continue;
+                            }
+                            match call {
+                                MpiCall::Irecv { src, tag } => {
+                                    assert!(
+                                        tag < crate::types::COLL_TAG_BASE,
+                                        "user tag {tag:#x} collides with collective tag space"
+                                    );
+                                    ctx.posted.push((src, tag));
+                                    prev = None;
+                                    continue;
+                                }
+                                MpiCall::WaitAll => {
+                                    ctx.wait_t = now;
+                                    let (done_all, consumed) =
+                                        ctx.waitall_progress(now, self.net.recv_overhead());
+                                    if ctx.wait_t > now {
+                                        rec.span(OpSpan {
+                                            rank,
+                                            kind: SpanKind::RecvProcess,
+                                            start: now,
+                                            end: ctx.wait_t,
+                                            work: consumed * self.net.recv_overhead(),
+                                        });
+                                    }
+                                    if done_all {
+                                        let done = ctx.wait_t;
+                                        let v = ctx.waitall_finish();
+                                        if done == now {
+                                            prev = Some(v);
+                                            continue;
+                                        }
+                                        ctx.state = RState::WaitResume;
+                                        q.push(
+                                            done,
+                                            Event::Resume {
+                                                rank,
+                                                value: Some(v),
+                                            },
+                                        );
+                                    } else {
+                                        ctx.state = RState::WaitAll;
+                                        ctx.block_start = ctx.wait_t;
+                                    }
+                                    return;
+                                }
+                                other => lower_primitive(&other),
+                            }
+                        }
+                    }
+                }
+            };
+
+            match prim {
+                PrimOp::Compute(w) => {
+                    let ctx = &mut ranks[rank];
+                    ctx.compute_work += w;
+                    let end = ctx.noise.advance(now, w);
+                    if end > now {
+                        rec.span(OpSpan {
+                            rank,
+                            kind: SpanKind::Compute,
+                            start: now,
+                            end,
+                            work: w,
+                        });
+                    }
+                    if end == now {
+                        continue;
+                    }
+                    ctx.state = RState::WaitResume;
+                    q.push(end, Event::Resume { rank, value: None });
+                    return;
+                }
+                PrimOp::Send {
+                    peer,
+                    tag,
+                    bytes,
+                    value,
+                } => {
+                    let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
+                    if t1 > now {
+                        rec.span(OpSpan {
+                            rank,
+                            kind: SpanKind::SendOverhead,
+                            start: now,
+                            end: t1,
+                            work: self.net.send_overhead(),
+                        });
+                    }
+                    rec.message(MsgRecord {
+                        src: rank,
+                        dst: peer,
+                        tag,
+                        bytes,
+                        sent: t1,
+                        kind: msg_kind(tag),
+                    });
+                    let arrive = t1 + self.net.delivery(rank, peer, bytes);
+                    *messages += 1;
+                    q.push(
+                        arrive,
+                        Event::Deliver {
+                            dst: peer,
+                            src: rank,
+                            tag,
+                            value,
+                            sent: t1,
+                        },
+                    );
+                    if t1 == now {
+                        continue;
+                    }
+                    ranks[rank].state = RState::WaitResume;
+                    q.push(t1, Event::Resume { rank, value: None });
+                    return;
+                }
+                PrimOp::Recv { peer, tag } => {
+                    let ctx = &mut ranks[rank];
+                    if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer, tag) {
+                        let done = ctx.noise.advance(now, self.net.recv_overhead());
+                        if done > now {
+                            rec.span(OpSpan {
+                                rank,
+                                kind: SpanKind::RecvProcess,
+                                start: now,
+                                end: done,
+                                work: self.net.recv_overhead(),
+                            });
+                        }
+                        if done == now {
+                            prev = Some(v);
+                            continue;
+                        }
+                        ctx.state = RState::WaitResume;
+                        q.push(
+                            done,
+                            Event::Resume {
+                                rank,
+                                value: Some(v),
+                            },
+                        );
+                    } else {
+                        ctx.state = RState::WaitRecv { src: peer, tag };
+                        ctx.block_start = now;
+                    }
+                    return;
+                }
+                PrimOp::Sendrecv {
+                    peer_send,
+                    stag,
+                    sbytes,
+                    svalue,
+                    peer_recv,
+                    rtag,
+                } => {
+                    let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
+                    if t1 > now {
+                        rec.span(OpSpan {
+                            rank,
+                            kind: SpanKind::SendOverhead,
+                            start: now,
+                            end: t1,
+                            work: self.net.send_overhead(),
+                        });
+                    }
+                    rec.message(MsgRecord {
+                        src: rank,
+                        dst: peer_send,
+                        tag: stag,
+                        bytes: sbytes,
+                        sent: t1,
+                        kind: msg_kind(stag),
+                    });
+                    let arrive = t1 + self.net.delivery(rank, peer_send, sbytes);
+                    *messages += 1;
+                    q.push(
+                        arrive,
+                        Event::Deliver {
+                            dst: peer_send,
+                            src: rank,
+                            tag: stag,
+                            value: svalue,
+                            sent: t1,
+                        },
+                    );
+                    let ctx = &mut ranks[rank];
+                    if t1 == now {
+                        // Send overhead absorbed instantly; fall through to
+                        // the receive half.
+                        if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer_recv, rtag) {
+                            let done = ctx.noise.advance(now, self.net.recv_overhead());
+                            if done > now {
+                                rec.span(OpSpan {
+                                    rank,
+                                    kind: SpanKind::RecvProcess,
+                                    start: now,
+                                    end: done,
+                                    work: self.net.recv_overhead(),
+                                });
+                            }
+                            if done == now {
+                                prev = Some(v);
+                                continue;
+                            }
+                            ctx.state = RState::WaitResume;
+                            q.push(
+                                done,
+                                Event::Resume {
+                                    rank,
+                                    value: Some(v),
+                                },
+                            );
+                        } else {
+                            ctx.state = RState::WaitRecv {
+                                src: peer_recv,
+                                tag: rtag,
+                            };
+                            ctx.block_start = now;
+                        }
+                    } else {
+                        ctx.state = RState::SendThenRecv {
+                            src: peer_recv,
+                            tag: rtag,
+                        };
+                        q.push(t1, Event::Resume { rank, value: None });
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The executor's event vocabulary and message-delivery handling.
+
+use ghost_engine::queue::EventQueue;
+use ghost_engine::time::Time;
+use ghost_obs::record::{OpSpan, Recorder, SpanKind, WaitRecord};
+
+use super::machine::Machine;
+use super::rank::{RState, RankCtx};
+use crate::types::{Rank, Tag};
+
+/// What the event queue schedules.
+pub(super) enum Event {
+    Resume {
+        rank: Rank,
+        value: Option<f64>,
+    },
+    Deliver {
+        dst: Rank,
+        src: Rank,
+        tag: Tag,
+        value: f64,
+        /// Departure time at the sender (end of its send overhead); the
+        /// difference to the delivery time is pure wire time, which blame
+        /// attribution needs to separate from sender lateness.
+        sent: Time,
+    },
+}
+
+impl Machine<'_> {
+    /// Handle a message arriving at `dst` at time `t`: hand it to a waiting
+    /// receive (or an active `WaitAll`), or queue it as unexpected.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn deliver<R: Recorder>(
+        &self,
+        ranks: &mut [RankCtx],
+        dst: Rank,
+        src: Rank,
+        tag: Tag,
+        value: f64,
+        sent: Time,
+        t: Time,
+        q: &mut EventQueue<Event>,
+        rec: &mut R,
+    ) {
+        let ctx = &mut ranks[dst];
+        match ctx.state {
+            RState::WaitRecv { src: s, tag: tg } if s == src && tg == tag => {
+                ctx.blocked += t.saturating_sub(ctx.block_start);
+                rec.wait(WaitRecord {
+                    rank: dst,
+                    start: ctx.block_start,
+                    end: t,
+                    src,
+                    tag,
+                    sent,
+                });
+                let start = self.pickup(t);
+                let done = ctx.noise.advance(start, self.net.recv_overhead());
+                if done > start {
+                    rec.span(OpSpan {
+                        rank: dst,
+                        kind: SpanKind::RecvProcess,
+                        start,
+                        end: done,
+                        work: self.net.recv_overhead(),
+                    });
+                }
+                ctx.state = RState::WaitResume;
+                q.push(
+                    done,
+                    Event::Resume {
+                        rank: dst,
+                        value: Some(value),
+                    },
+                );
+            }
+            RState::WaitAll => {
+                ctx.blocked += t.saturating_sub(ctx.block_start);
+                rec.wait(WaitRecord {
+                    rank: dst,
+                    start: ctx.block_start,
+                    end: t,
+                    src,
+                    tag,
+                    sent,
+                });
+                let pickup = self.pickup(t);
+                let before = ctx.wait_t.max(pickup);
+                ctx.mailbox.entry((src, tag)).or_default().push_back(value);
+                let (progressed, consumed) = ctx.waitall_progress(pickup, self.net.recv_overhead());
+                if ctx.wait_t > before {
+                    rec.span(OpSpan {
+                        rank: dst,
+                        kind: SpanKind::RecvProcess,
+                        start: before,
+                        end: ctx.wait_t,
+                        work: consumed * self.net.recv_overhead(),
+                    });
+                }
+                if progressed {
+                    let done = ctx.wait_t;
+                    let v = ctx.waitall_finish();
+                    ctx.state = RState::WaitResume;
+                    q.push(
+                        done,
+                        Event::Resume {
+                            rank: dst,
+                            value: Some(v),
+                        },
+                    );
+                } else {
+                    // Still waiting: the next blocked period
+                    // begins once this message's processing ends.
+                    ctx.block_start = ctx.wait_t.max(t);
+                }
+            }
+            _ => {
+                ctx.mailbox.entry((src, tag)).or_default().push_back(value);
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! [`Machine`]: configuration, run entry points, result types, and the
+//! top-level event loop.
+
+use ghost_engine::queue::EventQueue;
+use ghost_engine::rng::NodeStream;
+use ghost_engine::time::{Time, Work};
+use ghost_net::Network;
+use ghost_noise::model::NoiseModel;
+
+use ghost_obs::record::{NullRecorder, OpSpan, Recorder, SpanKind, VecRecorder};
+
+use super::events::Event;
+use super::p2p::mailbox_pop;
+use super::rank::{RState, RankCtx};
+use crate::program::Program;
+use crate::types::{CollectiveConfig, Rank, Tag};
+
+/// Result of a completed machine run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Time the last rank finished (the application's wall-clock time).
+    pub makespan: Time,
+    /// Per-rank finish times.
+    pub finish_times: Vec<Time>,
+    /// Per-rank value returned by the final call (e.g. the last collective's
+    /// result), if any.
+    pub final_values: Vec<Option<f64>>,
+    /// Per-rank total requested compute work (ns).
+    pub compute_work: Vec<Work>,
+    /// Per-rank total time spent blocked waiting for messages (ns). Noise
+    /// landing inside blocked time is *absorbed* (costs nothing); the
+    /// blocked fraction is therefore an application's absorption capacity.
+    pub blocked_time: Vec<Time>,
+    /// Total messages transmitted.
+    pub messages: u64,
+    /// Total events processed by the engine.
+    pub events: u64,
+    /// Per-op spans (only when tracing was enabled; empty otherwise).
+    pub trace: Vec<OpSpan>,
+}
+
+impl RunResult {
+    /// Mean per-rank compute work.
+    pub fn mean_compute_work(&self) -> f64 {
+        if self.compute_work.is_empty() {
+            return 0.0;
+        }
+        self.compute_work.iter().map(|&w| w as f64).sum::<f64>() / self.compute_work.len() as f64
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// No events remain but some ranks are still blocked in a receive.
+    Deadlock {
+        /// `(rank, awaited source, awaited tag)` for each blocked rank.
+        blocked: Vec<(Rank, Rank, Tag)>,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} rank(s) blocked", blocked.len())?;
+                for (r, src, tag) in blocked.iter().take(8) {
+                    write!(f, "; rank {r} awaits (src {src}, tag {tag:#x})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How a rank notices an arrived message.
+///
+/// Lightweight kernels (Catamount) *poll*: the waiting CPU spins on the
+/// NIC, so an arrival is noticed immediately — unless the node's noise has
+/// stolen the CPU, in which case pickup waits for the pulse to end (this is
+/// the default, and the model used throughout the paper reproduction).
+/// Commodity kernels block the process and take an interrupt: pickup costs
+/// a fixed wakeup latency (scheduler + context switch) on every message,
+/// but the wakeup path itself is kernel code that runs even while
+/// application-level noise is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecvMode {
+    /// Busy-poll (lightweight kernel): zero wakeup cost; pickup is delayed
+    /// by any active noise pulse.
+    Polling,
+    /// Interrupt + scheduler wakeup: a fixed `wakeup` latency on every
+    /// message pickup, paid regardless of noise.
+    Interrupt {
+        /// Wakeup latency in ns (context switch + scheduling).
+        wakeup: Time,
+    },
+}
+
+/// A configured simulated machine: network + noise + collective config.
+pub struct Machine<'a> {
+    pub(super) net: Network,
+    pub(super) noise: &'a dyn NoiseModel,
+    pub(super) seed: u64,
+    pub(super) cfg: CollectiveConfig,
+    pub(super) trace: bool,
+    pub(super) recv_mode: RecvMode,
+}
+
+impl<'a> Machine<'a> {
+    /// A machine over `net`, with per-node noise from `noise`, seeded
+    /// deterministically by `seed`.
+    pub fn new(net: Network, noise: &'a dyn NoiseModel, seed: u64) -> Self {
+        Self {
+            net,
+            noise,
+            seed,
+            cfg: CollectiveConfig::default(),
+            trace: false,
+            recv_mode: RecvMode::Polling,
+        }
+    }
+
+    /// Select how ranks notice message arrivals (default:
+    /// [`RecvMode::Polling`], the lightweight-kernel behaviour).
+    pub fn with_recv_mode(mut self, mode: RecvMode) -> Self {
+        self.recv_mode = mode;
+        self
+    }
+
+    /// Start-of-processing instant for a message arriving at `t` on a rank
+    /// that is waiting for it.
+    #[inline]
+    pub(super) fn pickup(&self, t: Time) -> Time {
+        match self.recv_mode {
+            RecvMode::Polling => t,
+            RecvMode::Interrupt { wakeup } => t + wakeup,
+        }
+    }
+
+    /// Enable per-op span tracing (adds memory proportional to the op
+    /// count; intended for small machines and visualization).
+    #[deprecated(note = "pass a `VecRecorder` to `Machine::run_with` and read its timeline")]
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Override the collective configuration.
+    pub fn with_config(mut self, cfg: CollectiveConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Run one program per rank to completion.
+    ///
+    /// When tracing was enabled via the deprecated `Machine::with_trace`,
+    /// an internal [`VecRecorder`] captures the run and `RunResult::trace`
+    /// carries the spans (the historical buffered behaviour); otherwise the
+    /// run streams into a [`NullRecorder`], which costs (near) nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than nodes are supplied.
+    pub fn run(&self, programs: Vec<Box<dyn Program>>) -> Result<RunResult, RunError> {
+        if self.trace {
+            let mut rec = VecRecorder::default();
+            let mut result = self.run_with(programs, &mut rec)?;
+            result.trace = rec.timeline.spans;
+            Ok(result)
+        } else {
+            self.run_with(programs, &mut NullRecorder)
+        }
+    }
+
+    /// Run one program per rank, streaming observations into `rec` as they
+    /// close. The executor is monomorphized per recorder type, so a
+    /// [`NullRecorder`] compiles to empty inlined calls.
+    ///
+    /// `RunResult::trace` is left empty here; pass a [`VecRecorder`] and
+    /// read its `timeline` for a full capture (spans, waits, messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than nodes are supplied.
+    pub fn run_with<R: Recorder>(
+        &self,
+        programs: Vec<Box<dyn Program>>,
+        rec: &mut R,
+    ) -> Result<RunResult, RunError> {
+        let size = programs.len();
+        assert!(
+            size <= self.net.nodes(),
+            "{} programs but only {} nodes",
+            size,
+            self.net.nodes()
+        );
+        assert!(size > 0, "no programs to run");
+        let streams = NodeStream::new(self.seed);
+        let mut ranks: Vec<RankCtx> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(node, program)| RankCtx::new(program, self.noise.instantiate(node, &streams)))
+            .collect();
+
+        let mut q: EventQueue<Event> = EventQueue::with_capacity(size * 4);
+        let mut messages: u64 = 0;
+        for rank in 0..size {
+            q.push(0, Event::Resume { rank, value: None });
+        }
+
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                Event::Resume { rank, value } => match ranks[rank].state {
+                    RState::WaitResume => {
+                        self.drive(&mut ranks, rank, size, t, value, &mut q, &mut messages, rec);
+                    }
+                    RState::SendThenRecv { src, tag } => {
+                        debug_assert!(value.is_none());
+                        let ctx = &mut ranks[rank];
+                        if let Some(v) = mailbox_pop(&mut ctx.mailbox, src, tag) {
+                            let done = ctx.noise.advance(t, self.net.recv_overhead());
+                            if done > t {
+                                rec.span(OpSpan {
+                                    rank,
+                                    kind: SpanKind::RecvProcess,
+                                    start: t,
+                                    end: done,
+                                    work: self.net.recv_overhead(),
+                                });
+                            }
+                            ctx.state = RState::WaitResume;
+                            q.push(
+                                done,
+                                Event::Resume {
+                                    rank,
+                                    value: Some(v),
+                                },
+                            );
+                        } else {
+                            ctx.state = RState::WaitRecv { src, tag };
+                            ctx.block_start = t;
+                        }
+                    }
+                    RState::WaitRecv { .. } | RState::WaitAll | RState::Done => {
+                        unreachable!("resume for rank {rank} in invalid state")
+                    }
+                },
+                Event::Deliver {
+                    dst,
+                    src,
+                    tag,
+                    value,
+                    sent,
+                } => {
+                    self.deliver(&mut ranks, dst, src, tag, value, sent, t, &mut q, rec);
+                }
+            }
+        }
+
+        // Queue drained: every rank must have finished.
+        let blocked: Vec<(Rank, Rank, Tag)> = ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, ctx)| match ctx.state {
+                RState::WaitRecv { src, tag } => Some((r, src, tag)),
+                RState::WaitAll => {
+                    let (src, tag) = ctx.posted[ctx.wait_cursor];
+                    Some((r, src, tag))
+                }
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            return Err(RunError::Deadlock { blocked });
+        }
+        debug_assert!(ranks.iter().all(|c| matches!(c.state, RState::Done)));
+
+        let finish_times: Vec<Time> = ranks.iter().map(|c| c.finish.unwrap_or(0)).collect();
+        let makespan = finish_times.iter().copied().max().unwrap_or(0);
+        Ok(RunResult {
+            makespan,
+            finish_times,
+            final_values: ranks.iter().map(|c| c.last_value).collect(),
+            compute_work: ranks.iter().map(|c| c.compute_work).collect(),
+            blocked_time: ranks.iter().map(|c| c.blocked).collect(),
+            messages,
+            events: q.total_popped(),
+            trace: Vec::new(),
+        })
+    }
+}

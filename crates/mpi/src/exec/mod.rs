@@ -1,0 +1,52 @@
+//! The machine executor: drives all ranks through the discrete-event engine.
+//!
+//! Execution semantics (one rank per node, as on the paper's testbed):
+//!
+//! * `Compute(w)` — the node's noise process maps `w` ns of work starting at
+//!   the current time to a completion instant.
+//! * `Send` — charges the LogGP per-message CPU overhead `o` (noise-
+//!   stretched), then the message travels `delivery(src, dst, bytes)` of
+//!   wire time and is queued at the destination.
+//! * `Recv` — blocks until a matching message is present, then charges the
+//!   receive overhead `o` (noise-stretched: a noise pulse at arrival time
+//!   delays message processing — the mechanism by which noise on one node
+//!   stalls its neighbors).
+//! * `Sendrecv` — send overhead first, then behaves as `Recv`.
+//! * Collectives — expanded into the above via their algorithm machines.
+//!
+//! Matching is exact `(source, tag)`; collective-internal traffic is
+//! namespaced by sequence number so concurrent collectives cannot interfere.
+//!
+//! ## Module layout
+//!
+//! The executor is split along its moving parts:
+//!
+//! * `machine` — [`Machine`] configuration, the run entry points
+//!   ([`Machine::run`], [`Machine::run_with`]), the event loop, and the
+//!   result types ([`RunResult`], [`RunError`], [`RecvMode`]).
+//! * `rank` — per-rank state: `RankCtx` and the rank state machine
+//!   (`RState`), including the `WaitAll` bookkeeping.
+//! * `events` — the event vocabulary (`Resume`, `Deliver`) and message-
+//!   delivery handling.
+//! * `p2p` — point-to-point plumbing: mailbox matching, tag
+//!   classification, and primitive-call lowering.
+//! * `drive` — the rank driver: advances one rank until it blocks,
+//!   schedules a future resume, or finishes.
+
+mod drive;
+mod events;
+mod machine;
+mod p2p;
+mod rank;
+
+#[cfg(test)]
+mod tests_core;
+#[cfg(test)]
+mod tests_waitall;
+
+pub use machine::{Machine, RecvMode, RunError, RunResult};
+
+// Span types live in `ghost-obs` (the executor streams them into any
+// `Recorder`); re-exported here so existing `ghost_mpi::exec::OpSpan`
+// consumers keep working.
+pub use ghost_obs::record::{OpSpan, SpanKind};

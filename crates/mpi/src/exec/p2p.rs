@@ -1,0 +1,88 @@
+//! Point-to-point plumbing: mailbox matching, tag classification, and
+//! primitive-call lowering.
+
+use std::collections::{HashMap, VecDeque};
+
+use ghost_obs::record::MsgKind;
+
+use crate::coll::PrimOp;
+use crate::types::{MpiCall, Rank, Tag, COLL_TAG_BASE};
+
+/// Classify a message by its tag for observation purposes.
+#[inline]
+pub(super) fn msg_kind(tag: Tag) -> MsgKind {
+    if tag >= COLL_TAG_BASE {
+        MsgKind::Collective {
+            seq: (tag & !COLL_TAG_BASE) >> 24,
+            round: ((tag >> 4) & 0xF_FFFF) as u32,
+        }
+    } else {
+        MsgKind::PointToPoint
+    }
+}
+
+/// Translate a primitive [`MpiCall`] to a [`PrimOp`].
+pub(super) fn lower_primitive(call: &MpiCall) -> PrimOp {
+    match *call {
+        MpiCall::Compute(w) => PrimOp::Compute(w),
+        MpiCall::Send {
+            dst,
+            tag,
+            bytes,
+            value,
+        }
+        | MpiCall::Isend {
+            dst,
+            tag,
+            bytes,
+            value,
+        } => {
+            // An Isend pays the same local overhead as a blocking send and
+            // completes locally; the distinction matters only on the
+            // receive side, where Irecv/WaitAll defer blocking.
+            assert!(
+                tag < COLL_TAG_BASE,
+                "user tag {tag:#x} collides with collective tag space"
+            );
+            PrimOp::Send {
+                peer: dst,
+                tag,
+                bytes,
+                value,
+            }
+        }
+        MpiCall::Recv { src, tag } => PrimOp::Recv { peer: src, tag },
+        MpiCall::Sendrecv {
+            dst,
+            stag,
+            sbytes,
+            svalue,
+            src,
+            rtag,
+        } => PrimOp::Sendrecv {
+            peer_send: dst,
+            stag,
+            sbytes,
+            svalue,
+            peer_recv: src,
+            rtag,
+        },
+        _ => unreachable!("collective call reached lower_primitive"),
+    }
+}
+
+/// Pop the oldest message matching `(src, tag)`, pruning empty queues so
+/// the mailbox map stays small.
+#[inline]
+pub(super) fn mailbox_pop(
+    mailbox: &mut HashMap<(Rank, Tag), VecDeque<f64>>,
+    src: Rank,
+    tag: Tag,
+) -> Option<f64> {
+    let q = mailbox.get_mut(&(src, tag))?;
+    let v = q.pop_front();
+    if q.is_empty() {
+        mailbox.remove(&(src, tag));
+    }
+    v
+}

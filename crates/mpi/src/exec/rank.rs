@@ -1,0 +1,117 @@
+//! Per-rank execution state: [`RankCtx`] and the rank state machine.
+
+use std::collections::{HashMap, VecDeque};
+
+use ghost_engine::time::{Time, Work};
+use ghost_noise::model::NodeNoise;
+
+use super::p2p::mailbox_pop;
+use crate::coll::Collective;
+use crate::program::Program;
+use crate::types::{Rank, Tag};
+
+/// Where a rank currently is in its blocking protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum RState {
+    /// A `Resume` event is scheduled for this rank.
+    WaitResume,
+    /// Blocked in a receive.
+    WaitRecv {
+        src: Rank,
+        tag: Tag,
+    },
+    /// Send overhead in flight; on resume, post the receive half.
+    SendThenRecv {
+        src: Rank,
+        tag: Tag,
+    },
+    /// Blocked in `WaitAll` for outstanding nonblocking receives.
+    WaitAll,
+    Done,
+}
+
+/// All mutable per-rank state the executor threads through the event loop.
+pub(super) struct RankCtx {
+    pub(super) program: Box<dyn Program>,
+    pub(super) coll: Option<Box<dyn Collective>>,
+    pub(super) state: RState,
+    pub(super) mailbox: HashMap<(Rank, Tag), VecDeque<f64>>,
+    pub(super) noise: Box<dyn NodeNoise>,
+    pub(super) coll_seq: u64,
+    pub(super) finish: Option<Time>,
+    pub(super) last_value: Option<f64>,
+    pub(super) compute_work: Work,
+    /// Total time spent blocked in `WaitRecv`/`WaitAll`.
+    pub(super) blocked: Time,
+    /// Instant the current blocked period began.
+    pub(super) block_start: Time,
+    /// Outstanding nonblocking receives, in posting order (consumed
+    /// in-order at `WaitAll` for determinism).
+    pub(super) posted: Vec<(Rank, Tag)>,
+    /// Next posted receive to consume during an active `WaitAll`.
+    pub(super) wait_cursor: usize,
+    /// Sum of values received by the active `WaitAll`.
+    pub(super) wait_accum: f64,
+    /// CPU time cursor for sequential message processing in `WaitAll`.
+    pub(super) wait_t: Time,
+}
+
+impl RankCtx {
+    /// Fresh rank state at t=0, about to run `program` under `noise`.
+    pub(super) fn new(program: Box<dyn Program>, noise: Box<dyn NodeNoise>) -> Self {
+        Self {
+            program,
+            coll: None,
+            state: RState::WaitResume,
+            mailbox: HashMap::new(),
+            noise,
+            coll_seq: 0,
+            finish: None,
+            last_value: None,
+            compute_work: 0,
+            blocked: 0,
+            block_start: 0,
+            posted: Vec::new(),
+            wait_cursor: 0,
+            wait_accum: 0.0,
+            wait_t: 0,
+        }
+    }
+
+    /// Consume posted receives (in posting order) from the mailbox,
+    /// charging the per-message processing overhead against this node's
+    /// noise process starting no earlier than `now`. Returns whether every
+    /// posted receive has completed, plus the number of messages consumed
+    /// by this call (so observers can credit the processing span with its
+    /// requested work).
+    pub(super) fn waitall_progress(&mut self, now: Time, recv_overhead: Time) -> (bool, u64) {
+        let mut t = self.wait_t.max(now);
+        let mut consumed = 0u64;
+        let done = loop {
+            if self.wait_cursor == self.posted.len() {
+                break true;
+            }
+            let (src, tag) = self.posted[self.wait_cursor];
+            match mailbox_pop(&mut self.mailbox, src, tag) {
+                Some(v) => {
+                    t = self.noise.advance(t, recv_overhead);
+                    self.wait_accum += v;
+                    self.wait_cursor += 1;
+                    consumed += 1;
+                }
+                None => break false,
+            }
+        };
+        self.wait_t = t;
+        (done, consumed)
+    }
+
+    /// Reset the `WaitAll` bookkeeping and return the accumulated value.
+    pub(super) fn waitall_finish(&mut self) -> f64 {
+        let v = self.wait_accum;
+        self.posted.clear();
+        self.wait_cursor = 0;
+        self.wait_accum = 0.0;
+        v
+    }
+}

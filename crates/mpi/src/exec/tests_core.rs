@@ -1,0 +1,361 @@
+//! Executor tests: compute, point-to-point matching, collectives,
+//! determinism, and error reporting.
+
+use super::{Machine, RunError, RunResult};
+use crate::program::{Program, ScriptProgram};
+use crate::types::{MpiCall, ReduceOp};
+use ghost_engine::time::{MS, US};
+use ghost_net::{Flat, LogGP, Network, Torus3D};
+use ghost_noise::model::{NoNoise, NoiseModel, PhasePolicy};
+use ghost_noise::Signature;
+
+fn flat_machine(p: usize) -> Network {
+    Network::new(LogGP::mpp(), Box::new(Flat::new(p)))
+}
+
+fn run_scripts(net: Network, noise: &dyn NoiseModel, scripts: Vec<Vec<MpiCall>>) -> RunResult {
+    let programs = scripts
+        .into_iter()
+        .map(|s| ScriptProgram::new(s).boxed())
+        .collect();
+    Machine::new(net, noise, 42).run(programs).unwrap()
+}
+
+#[test]
+fn single_rank_compute_time() {
+    let r = run_scripts(
+        flat_machine(1),
+        &NoNoise,
+        vec![vec![MpiCall::Compute(5 * MS)]],
+    );
+    assert_eq!(r.makespan, 5 * MS);
+    assert_eq!(r.compute_work, vec![5 * MS]);
+}
+
+#[test]
+fn compute_under_noise_is_stretched() {
+    // 2.5% periodic noise, aligned phase: 1 s of work takes ~1/(1-f).
+    let sig = Signature::new(100.0, 250 * US);
+    let m = sig.periodic_model(PhasePolicy::Aligned);
+    let r = run_scripts(
+        flat_machine(1),
+        &m,
+        vec![vec![MpiCall::Compute(ghost_engine::time::SEC)]],
+    );
+    let slowdown = r.makespan as f64 / ghost_engine::time::SEC as f64;
+    assert!((slowdown - 1.0 / 0.975).abs() < 1e-3, "slowdown {slowdown}");
+}
+
+#[test]
+fn ping_pong_timing_and_value() {
+    let net = flat_machine(2);
+    let o = net.send_overhead();
+    let wire = net.delivery(0, 1, 8);
+    let scripts = vec![
+        vec![MpiCall::Send {
+            dst: 1,
+            tag: 7,
+            bytes: 8,
+            value: 3.25,
+        }],
+        vec![MpiCall::Recv { src: 0, tag: 7 }],
+    ];
+    let r = run_scripts(net, &NoNoise, scripts);
+    // Receiver: send overhead (on rank 0) + wire + recv overhead.
+    assert_eq!(r.finish_times[1], o + wire + o);
+    assert_eq!(r.final_values[1], Some(3.25));
+}
+
+#[test]
+fn recv_before_send_blocks_correctly() {
+    // Rank 1 posts recv long before the message exists.
+    let scripts = vec![
+        vec![
+            MpiCall::Compute(10 * MS),
+            MpiCall::Send {
+                dst: 1,
+                tag: 1,
+                bytes: 0,
+                value: 1.0,
+            },
+        ],
+        vec![MpiCall::Recv { src: 0, tag: 1 }],
+    ];
+    let net = flat_machine(2);
+    let o = net.send_overhead();
+    let wire = net.delivery(0, 1, 0);
+    let r = run_scripts(net, &NoNoise, scripts);
+    assert_eq!(r.finish_times[1], 10 * MS + o + wire + o);
+}
+
+#[test]
+fn unexpected_message_queues_until_recv() {
+    // Sender fires immediately; receiver computes first, then receives.
+    let scripts = vec![
+        vec![MpiCall::Send {
+            dst: 1,
+            tag: 1,
+            bytes: 0,
+            value: 2.0,
+        }],
+        vec![MpiCall::Compute(50 * MS), MpiCall::Recv { src: 0, tag: 1 }],
+    ];
+    let net = flat_machine(2);
+    let o = net.send_overhead();
+    let r = run_scripts(net, &NoNoise, scripts);
+    assert_eq!(r.finish_times[1], 50 * MS + o);
+    assert_eq!(r.final_values[1], Some(2.0));
+}
+
+#[test]
+fn messages_match_by_tag() {
+    // Two messages, different tags, received out of arrival order.
+    let scripts = vec![
+        vec![
+            MpiCall::Send {
+                dst: 1,
+                tag: 1,
+                bytes: 0,
+                value: 1.0,
+            },
+            MpiCall::Send {
+                dst: 1,
+                tag: 2,
+                bytes: 0,
+                value: 2.0,
+            },
+        ],
+        vec![
+            MpiCall::Recv { src: 0, tag: 2 },
+            MpiCall::Recv { src: 0, tag: 1 },
+        ],
+    ];
+    let programs: Vec<Box<dyn Program>> = scripts
+        .into_iter()
+        .map(|s| ScriptProgram::new(s).boxed())
+        .collect();
+    let machine = Machine::new(flat_machine(2), &NoNoise, 1);
+    let r = machine.run(programs).unwrap();
+    assert_eq!(r.final_values[1], Some(1.0)); // last recv was tag 1
+}
+
+#[test]
+fn same_tag_messages_match_fifo() {
+    let scripts = vec![
+        vec![
+            MpiCall::Send {
+                dst: 1,
+                tag: 1,
+                bytes: 0,
+                value: 10.0,
+            },
+            MpiCall::Send {
+                dst: 1,
+                tag: 1,
+                bytes: 0,
+                value: 20.0,
+            },
+        ],
+        vec![
+            MpiCall::Recv { src: 0, tag: 1 },
+            MpiCall::Recv { src: 0, tag: 1 },
+        ],
+    ];
+    let r = run_scripts(flat_machine(2), &NoNoise, scripts);
+    assert_eq!(r.final_values[1], Some(20.0));
+}
+
+#[test]
+fn deadlock_is_reported() {
+    let scripts = [vec![MpiCall::Recv { src: 0, tag: 9 }]];
+    let programs = vec![ScriptProgram::new(scripts[0].clone()).boxed()];
+    let machine = Machine::new(flat_machine(1), &NoNoise, 1);
+    match machine.run(programs) {
+        Err(RunError::Deadlock { blocked }) => {
+            assert_eq!(blocked, vec![(0, 0, 9)]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn allreduce_values_all_sizes() {
+    for p in [1, 2, 3, 5, 8, 13, 16] {
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|r| {
+                ScriptProgram::new(vec![MpiCall::Allreduce {
+                    bytes: 8,
+                    value: (r + 1) as f64,
+                    op: ReduceOp::Sum,
+                }])
+                .boxed()
+            })
+            .collect();
+        let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+        let r = machine.run(programs).unwrap();
+        let expect = (p * (p + 1)) as f64 / 2.0;
+        assert!(
+            r.final_values.iter().all(|v| *v == Some(expect)),
+            "p={p}: {:?}",
+            r.final_values
+        );
+    }
+}
+
+#[test]
+fn collectives_in_sequence_do_not_interfere() {
+    let p = 6;
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|r| {
+            ScriptProgram::new(vec![
+                MpiCall::Allreduce {
+                    bytes: 8,
+                    value: 1.0,
+                    op: ReduceOp::Sum,
+                },
+                MpiCall::Barrier,
+                MpiCall::Allreduce {
+                    bytes: 8,
+                    value: (r + 1) as f64,
+                    op: ReduceOp::Max,
+                },
+            ])
+            .boxed()
+        })
+        .collect();
+    let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+    let r = machine.run(programs).unwrap();
+    assert!(r.final_values.iter().all(|v| *v == Some(p as f64)));
+}
+
+#[test]
+fn barrier_synchronizes_finish_times() {
+    // One slow rank holds everyone at the barrier.
+    let p = 4;
+    let programs: Vec<Box<dyn Program>> = (0..p)
+        .map(|r| {
+            let work = if r == 2 { 100 * MS } else { MS };
+            ScriptProgram::new(vec![MpiCall::Compute(work), MpiCall::Barrier]).boxed()
+        })
+        .collect();
+    let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+    let r = machine.run(programs).unwrap();
+    for f in &r.finish_times {
+        assert!(*f >= 100 * MS, "finish {f} before slowest rank");
+    }
+}
+
+#[test]
+fn allreduce_latency_grows_with_scale() {
+    let mut last = 0;
+    for p in [2, 4, 8, 16, 32] {
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|_| {
+                ScriptProgram::new(vec![MpiCall::Allreduce {
+                    bytes: 8,
+                    value: 1.0,
+                    op: ReduceOp::Sum,
+                }])
+                .boxed()
+            })
+            .collect();
+        let machine = Machine::new(flat_machine(p), &NoNoise, 1);
+        let r = machine.run(programs).unwrap();
+        assert!(r.makespan > last, "p={p}: {} not > {last}", r.makespan);
+        last = r.makespan;
+    }
+}
+
+#[test]
+fn torus_is_slower_than_flat_for_distant_ranks() {
+    let flat = Network::new(LogGP::mpp(), Box::new(Flat::new(64)));
+    let torus = Network::new(LogGP::mpp(), Box::new(Torus3D::new(4, 4, 4)));
+    let mk = |net: Network| {
+        let scripts = [
+            vec![MpiCall::Send {
+                dst: 42,
+                tag: 0,
+                bytes: 8,
+                value: 0.0,
+            }],
+            vec![],
+        ];
+        let mut programs: Vec<Box<dyn Program>> = Vec::new();
+        for r in 0..64 {
+            let s = if r == 0 {
+                scripts[0].clone()
+            } else if r == 42 {
+                vec![MpiCall::Recv { src: 0, tag: 0 }]
+            } else {
+                vec![]
+            };
+            programs.push(ScriptProgram::new(s).boxed());
+        }
+        Machine::new(net, &NoNoise, 1).run(programs).unwrap()
+    };
+    let rf = mk(flat);
+    let rt = mk(torus);
+    assert!(rt.finish_times[42] > rf.finish_times[42]);
+}
+
+#[test]
+fn determinism_across_runs() {
+    let sig = Signature::new(100.0, 250 * US);
+    let model = sig.periodic_model(PhasePolicy::Random);
+    let mk = || {
+        let p = 8;
+        let programs: Vec<Box<dyn Program>> = (0..p)
+            .map(|r| {
+                ScriptProgram::new(vec![
+                    MpiCall::Compute(3 * MS),
+                    MpiCall::Allreduce {
+                        bytes: 8,
+                        value: r as f64,
+                        op: ReduceOp::Sum,
+                    },
+                    MpiCall::Compute(2 * MS),
+                    MpiCall::Barrier,
+                ])
+                .boxed()
+            })
+            .collect();
+        Machine::new(flat_machine(p), &model, 777)
+            .run(programs)
+            .unwrap()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.finish_times, b.finish_times);
+    assert_eq!(a.messages, b.messages);
+}
+
+#[test]
+#[should_panic(expected = "collides with collective tag space")]
+fn user_tag_in_collective_space_panics() {
+    let scripts = vec![vec![MpiCall::Send {
+        dst: 0,
+        tag: crate::types::COLL_TAG_BASE + 1,
+        bytes: 0,
+        value: 0.0,
+    }]];
+    run_scripts(flat_machine(1), &NoNoise, scripts);
+}
+
+#[test]
+#[should_panic(expected = "programs but only")]
+fn too_many_programs_panics() {
+    let programs: Vec<Box<dyn Program>> =
+        (0..3).map(|_| ScriptProgram::new(vec![]).boxed()).collect();
+    let _ = Machine::new(flat_machine(2), &NoNoise, 1).run(programs);
+}
+
+#[test]
+fn empty_programs_finish_at_zero() {
+    let programs: Vec<Box<dyn Program>> =
+        (0..4).map(|_| ScriptProgram::new(vec![]).boxed()).collect();
+    let r = Machine::new(flat_machine(4), &NoNoise, 1)
+        .run(programs)
+        .unwrap();
+    assert_eq!(r.makespan, 0);
+}

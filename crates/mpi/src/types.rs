@@ -239,7 +239,7 @@ pub struct Env {
 }
 
 /// Allreduce algorithm selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllreduceAlgo {
     /// Recursive doubling: log2(P) rounds of full-size exchanges. Best for
     /// small payloads (latency-bound).
@@ -255,7 +255,7 @@ pub enum AllreduceAlgo {
 }
 
 /// Broadcast algorithm selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BcastAlgo {
     /// Binomial tree: log2(P) rounds of full-payload sends. Best for small
     /// payloads.
@@ -271,7 +271,7 @@ pub enum BcastAlgo {
 }
 
 /// Allgather algorithm selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllgatherAlgo {
     /// Ring: P-1 rounds of neighbor exchange.
     Ring,
@@ -281,7 +281,7 @@ pub enum AllgatherAlgo {
 }
 
 /// Collective-layer configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CollectiveConfig {
     /// Allreduce algorithm.
     pub allreduce: AllreduceAlgo,

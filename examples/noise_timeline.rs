@@ -45,8 +45,11 @@ fn main() {
     let workload = BspSynthetic::new(steps, 500 * US);
     let net = Network::new(LogGP::mpp(), Box::new(Flat::new(p)));
     let noise = OnlyRank3(model);
-    let machine = Machine::new(net, &noise, 42).with_trace(true);
-    let result = machine.run(workload.programs(p, 42)).unwrap();
+    let machine = Machine::new(net, &noise, 42);
+    let mut rec = VecRecorder::default();
+    let result = machine
+        .run_with(workload.programs(p, 42), &mut rec)
+        .unwrap();
 
     println!(
         "8 ranks, 500us compute + allreduce per step; one 2.5ms pulse on rank 3 at t=10ms.\n\
@@ -56,7 +59,7 @@ fn main() {
     );
 
     // Zoom on the window around the pulse.
-    println!("{}", timeline(&result.trace, p, 8 * MS, 16 * MS, 100));
+    println!("{}", timeline(&rec.timeline.spans, p, 8 * MS, 16 * MS, 100));
     println!(
         "Reading it: every rank alternates 500us of C (compute) with an allreduce too\n\
          brief to resolve at this zoom. At t=10ms the pulse lands on rank 3 — its C\n\

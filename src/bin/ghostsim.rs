@@ -4,23 +4,34 @@
 //! ghostsim --app pop --nodes 512 --hz 10 --net-pct 2.5 [--steps 5]
 //!          [--phase random|aligned] [--topo flat|torus|fattree]
 //!          [--network mpp|commodity|ideal] [--seed 42]
+//! ghostsim sweep --app pop --scales 16,64,256 --hz 10 --net-pct 2.5
 //! ghostsim trace --app pop --nodes 256 --hz 10 --net-pct 2.5 --out pop.json
 //! ghostsim --help
 //! ```
 //!
-//! The default command runs the baseline and the injected configuration and
-//! prints the metrics row. `trace` runs the injected configuration once
+//! The default command runs the baseline and the injected configuration
+//! (as a one-scenario campaign) and prints the metrics row. `sweep` runs
+//! the same comparison across a list of node counts on the campaign
+//! engine's parallel pool. `trace` runs the injected configuration once
 //! under a recorder, writes a Chrome trace-event JSON (loadable in Perfetto
 //! or `chrome://tracing`), and prints the per-rank blame table. Argument
 //! parsing is hand-rolled (no CLI dependency).
 
 use ghostsim::prelude::*;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Command {
+    Compare,
+    Sweep,
+    Trace,
+}
+
 struct Args {
-    trace: bool,
+    command: Command,
     app: String,
     goal: Option<String>,
     nodes: usize,
+    scales: Vec<usize>,
     hz: f64,
     net_pct: f64,
     steps: usize,
@@ -34,10 +45,11 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Self {
-            trace: false,
+            command: Command::Compare,
             app: "pop".into(),
             goal: None,
             nodes: 64,
+            scales: vec![4, 16, 64, 256],
             hz: 10.0,
             net_pct: 2.5,
             steps: 3,
@@ -55,6 +67,8 @@ ghostsim — inject OS noise into a simulated parallel machine
 
 USAGE:
     ghostsim [OPTIONS]           compare baseline vs injected makespans
+    ghostsim sweep [OPTIONS]     compare across a --scales node-count list
+                                 (one campaign, parallel, shared baselines)
     ghostsim trace [OPTIONS]     record one injected run: Chrome trace JSON
                                  (--out) + per-rank noise-blame table
 
@@ -63,10 +77,12 @@ OPTIONS:
     --goal <file>                       run a GOAL script instead of --app
                                         (overrides --app/--nodes/--steps)
     --nodes <N>                         machine size          [default: 64]
+    --scales <N,N,...>                  (sweep) node counts   [default: 4,16,64,256]
     --hz <F>                            noise frequency (Hz)  [default: 10]
     --net-pct <P>                       net noise intensity % [default: 2.5]
     --steps <N>                         timesteps             [default: 3]
     --phase <random|aligned|staggered>  phase policy          [default: random]
+                                        (staggered phases use --nodes)
     --topo <flat|torus|fattree>         topology              [default: flat]
     --network <mpp|commodity|ideal>     LogGP preset          [default: mpp]
     --seed <N>                          experiment seed       [default: 42]
@@ -77,9 +93,16 @@ OPTIONS:
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("trace") {
-        args.trace = true;
-        it.next();
+    match it.peek().map(String::as_str) {
+        Some("trace") => {
+            args.command = Command::Trace;
+            it.next();
+        }
+        Some("sweep") => {
+            args.command = Command::Sweep;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
@@ -93,6 +116,15 @@ fn parse_args() -> Result<Args, String> {
             "--app" => args.app = value,
             "--goal" => args.goal = Some(value),
             "--nodes" => args.nodes = value.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--scales" => {
+                args.scales = value
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--scales '{s}': {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if args.scales.is_empty() {
+                    return Err("--scales needs at least one node count".into());
+                }
+            }
             "--hz" => args.hz = value.parse().map_err(|e| format!("--hz: {e}"))?,
             "--net-pct" => args.net_pct = value.parse().map_err(|e| format!("--net-pct: {e}"))?,
             "--steps" => args.steps = value.parse().map_err(|e| format!("--steps: {e}"))?,
@@ -181,22 +213,68 @@ fn main() {
     };
     let injection = NoiseInjection::with_policy(sig, policy);
 
-    eprintln!(
-        "running {} on {} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
-        workload.name(),
-        nodes,
-        args.topo,
-        args.network,
-        sig.label(),
-        args.net_pct,
-        args.phase,
-    );
-
-    if args.trace {
-        run_trace(&args, &spec, workload.as_ref(), &injection, &sig);
-        return;
+    match args.command {
+        Command::Trace => {
+            eprintln!(
+                "running {} on {} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
+                workload.name(),
+                nodes,
+                args.topo,
+                args.network,
+                sig.label(),
+                args.net_pct,
+                args.phase,
+            );
+            run_trace(&args, &spec, workload.as_ref(), &injection, &sig);
+        }
+        Command::Sweep => {
+            eprintln!(
+                "sweeping {} over {:?} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
+                workload.name(),
+                args.scales,
+                args.topo,
+                args.network,
+                sig.label(),
+                args.net_pct,
+                args.phase,
+            );
+            run_sweep(&args, &spec, workload.as_ref(), &injection);
+        }
+        Command::Compare => {
+            eprintln!(
+                "running {} on {} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
+                workload.name(),
+                nodes,
+                args.topo,
+                args.network,
+                sig.label(),
+                args.net_pct,
+                args.phase,
+            );
+            run_compare(&spec, workload.as_ref(), &injection, &sig);
+        }
     }
-    let m = compare(&spec, workload.as_ref(), &injection);
+}
+
+/// The default command: a one-scenario campaign (baseline + injected run),
+/// with a deadlock reported as an error exit rather than a panic.
+fn run_compare(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    sig: &Signature,
+) {
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(workload);
+    campaign.add(wid, *spec, injection.clone());
+    let run = match campaign.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let m = &run.results[0].metrics;
 
     let mut tab = Table::new(
         "result",
@@ -220,6 +298,52 @@ fn main() {
         format!("{:.1}", m.absorbed_pct()),
     ]);
     println!("{}", tab.render());
+}
+
+/// The `sweep` subcommand: one campaign over the `--scales` list.
+fn run_sweep(
+    args: &Args,
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+) {
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(workload);
+    for &p in &args.scales {
+        campaign.add(wid, spec.at_scale(p), injection.clone());
+    }
+    let run = match campaign.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut tab = Table::new(
+        format!("sweep: {} under {}", workload.name(), injection.label()),
+        &[
+            "nodes",
+            "T_base",
+            "T_noisy",
+            "slowdown %",
+            "amplification",
+            "absorbed %",
+        ],
+    );
+    for rec in &run.results {
+        let m = &rec.metrics;
+        tab.row(&[
+            rec.nodes.to_string(),
+            ghostsim::engine::time::format_time(m.base),
+            ghostsim::engine::time::format_time(m.noisy),
+            format!("{:.2}", m.slowdown_pct()),
+            format!("{:.2}", m.amplification()),
+            format!("{:.1}", m.absorbed_pct()),
+        ]);
+    }
+    println!("{}", tab.render());
+    eprintln!("{}", run.stats);
 }
 
 /// The `trace` subcommand: one recorded run → Chrome trace JSON + blame.

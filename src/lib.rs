@@ -50,15 +50,20 @@ pub mod prelude {
         Workload,
     };
     pub use ghost_core::analytic;
+    pub use ghost_core::campaign::{
+        run_indexed, Campaign, CampaignError, CampaignRun, CampaignStats, Scenario, ScenarioResult,
+        WorkloadId,
+    };
     pub use ghost_core::experiment::{
-        compare, run_workload, scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord, TopoPreset,
+        compare, run_workload, scaling_sweep, try_run_workload, try_scaling_sweep, ExperimentSpec,
+        NetPreset, ScalingRecord, TopoPreset,
     };
     pub use ghost_core::injection::{NoiseInjection, Placement};
     pub use ghost_core::metrics::Metrics;
     pub use ghost_core::observe::{
         blame_summary, blame_table, observe_workload, run_recorded, Observation,
     };
-    pub use ghost_core::replicate::{replicate, Replicates};
+    pub use ghost_core::replicate::{replicate, try_replicate, Replicates};
     pub use ghost_core::report::Table;
     pub use ghost_engine::time::{MS, SEC, US};
     pub use ghost_mpi::{

@@ -1,0 +1,251 @@
+//! End-to-end tests of the campaign subsystem and the executor refactor:
+//!
+//! * cache-key injectivity — two scenarios share a memoized baseline iff
+//!   their `ExperimentSpec`s are equal (property-tested over every spec
+//!   field),
+//! * table equivalence — a campaign-built ablation table is byte-identical
+//!   to the same table built from sequential `compare` calls,
+//! * golden makespans — exact pinned makespans for a basket of
+//!   configurations exercising every executor submodule (p2p, collectives,
+//!   waitall, noise, interrupt receive, torus routing). Any behavior change
+//!   in `crates/mpi/src/exec/` breaks these pins.
+
+use std::sync::Arc;
+
+use ghostsim::core::report::{f, Table};
+use ghostsim::mpi::{AllgatherAlgo, AllreduceAlgo};
+use ghostsim::prelude::*;
+use proptest::prelude::*;
+
+fn spec_from(
+    nodes: usize,
+    net: u8,
+    topo: u8,
+    seed: u64,
+    allreduce: u8,
+    allgather: u8,
+    interrupt: bool,
+) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::flat(nodes, seed);
+    spec.net = match net % 3 {
+        0 => NetPreset::Mpp,
+        1 => NetPreset::Commodity,
+        _ => NetPreset::Ideal,
+    };
+    spec.topo = match topo % 3 {
+        0 => TopoPreset::Flat,
+        1 => TopoPreset::Torus3D,
+        _ => TopoPreset::FatTree { arity: 4 },
+    };
+    spec.coll.allreduce = match allreduce % 3 {
+        0 => AllreduceAlgo::RecursiveDoubling,
+        1 => AllreduceAlgo::Rabenseifner,
+        _ => AllreduceAlgo::Auto { threshold: 4096 },
+    };
+    spec.coll.allgather = match allgather % 2 {
+        0 => AllgatherAlgo::Ring,
+        _ => AllgatherAlgo::RecursiveDoubling,
+    };
+    spec.recv_mode = if interrupt {
+        RecvMode::Interrupt { wakeup: 3 * US }
+    } else {
+        RecvMode::Polling
+    };
+    spec
+}
+
+/// One random spec: the 7-tuple of knobs `spec_from` consumes. The vendored
+/// proptest shim has no `prop_compose!`, so pairs of these tuples are drawn
+/// directly in the test signatures.
+macro_rules! spec_of {
+    ($grid:expr, $extra:expr) => {{
+        let (nodes, net, topo, seed, allreduce) = $grid;
+        let (allgather, interrupt) = $extra;
+        spec_from(nodes, net, topo, seed, allreduce, allgather, interrupt)
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The baseline memo key is the spec itself: hash-equality must track
+    /// structural equality exactly, over every field that participates.
+    /// `force_equal` pins half the cases to the equal branch — random
+    /// collisions alone would almost never land there.
+    #[test]
+    fn spec_hash_equality_matches_structural_equality(
+        grid_a in (2usize..5, 0u8..3, 0u8..3, 0u64..3, 0u8..3),
+        extra_a in (0u8..2, proptest::bool::ANY),
+        grid_b in (2usize..5, 0u8..3, 0u8..3, 0u64..3, 0u8..3),
+        extra_b in (0u8..2, proptest::bool::ANY),
+        force_equal in proptest::bool::ANY,
+    ) {
+        let a = spec_of!(grid_a, extra_a);
+        let b = if force_equal { a } else { spec_of!(grid_b, extra_b) };
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        prop_assert_eq!(set.contains(&b), a == b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// In a live campaign, two scenarios share one baseline simulation iff
+    /// their specs are equal — never across distinct machines.
+    #[test]
+    fn campaign_shares_baselines_iff_specs_equal(
+        grid_a in (2usize..5, 0u8..3, 0u8..3, 0u64..3, 0u8..3),
+        extra_a in (0u8..2, proptest::bool::ANY),
+        grid_b in (2usize..5, 0u8..3, 0u8..3, 0u64..3, 0u8..3),
+        extra_b in (0u8..2, proptest::bool::ANY),
+        force_equal in proptest::bool::ANY,
+    ) {
+        let a = spec_of!(grid_a, extra_a);
+        let b = if force_equal { a } else { spec_of!(grid_b, extra_b) };
+        let w = BspSynthetic::new(2, MS);
+        let inj = NoiseInjection::uncoordinated(Signature::new(100.0, 250 * US));
+        let mut c = Campaign::new();
+        let wid = c.add_workload(&w);
+        c.add(wid, a, inj.clone());
+        c.add(wid, b, inj);
+        let run = c.run().unwrap();
+        let shared = Arc::ptr_eq(&run.results[0].baseline, &run.results[1].baseline);
+        prop_assert_eq!(shared, a == b);
+        prop_assert_eq!(run.stats.baseline_cache_hits > 0, a == b);
+    }
+}
+
+/// An `ablation_intensity`-style sweep (sizes mirror `GHOSTSIM_QUICK=1`)
+/// rendered twice: once from a campaign, once from sequential `compare`
+/// calls. The tables must match byte for byte.
+#[test]
+fn campaign_table_is_byte_identical_to_sequential_table() {
+    let spec = ExperimentSpec::flat(16, 42);
+    let w = BspSynthetic::new(20, 500 * US);
+    let sigs: Vec<Signature> = [0.01, 0.025, 0.05]
+        .iter()
+        .map(|&net| Signature::from_net(10.0, net))
+        .collect();
+
+    let render = |rows: &[(Signature, Metrics)]| -> String {
+        let mut tab = Table::new(
+            "A3-style: 10 Hz intensity sweep",
+            &["net intensity %", "slowdown %", "amplification"],
+        );
+        for (sig, m) in rows {
+            tab.row(&[
+                f(sig.net_fraction() * 100.0),
+                f(m.slowdown_pct()),
+                f(m.amplification()),
+            ]);
+        }
+        tab.render()
+    };
+
+    let sequential: Vec<(Signature, Metrics)> = sigs
+        .iter()
+        .map(|&sig| (sig, compare(&spec, &w, &NoiseInjection::uncoordinated(sig))))
+        .collect();
+
+    let mut campaign = Campaign::new();
+    let wid = campaign.add_workload(&w);
+    for &sig in &sigs {
+        campaign.add(wid, spec, NoiseInjection::uncoordinated(sig));
+    }
+    let run = campaign.run().unwrap();
+    assert_eq!(run.stats.baseline_cache_hits, 2, "one baseline, shared");
+    let campaigned: Vec<(Signature, Metrics)> = sigs
+        .iter()
+        .zip(&run.results)
+        .map(|(&sig, rec)| (sig, rec.metrics))
+        .collect();
+
+    assert_eq!(render(&sequential), render(&campaigned));
+}
+
+/// Golden makespans: one pinned number per executor code path. These pin
+/// the `exec.rs` → `exec/` decomposition (and any future executor change):
+/// a refactor that alters event ordering, p2p matching, collective
+/// schedules, waitall progress, noise stretching, or interrupt wakeups
+/// shifts at least one of these.
+#[test]
+fn golden_makespans_pin_the_executor() {
+    let mut actual: Vec<(&'static str, u64)> = Vec::new();
+
+    // P2p halo exchange (blocking Sendrecv chain), noiseless, flat MPP.
+    let cth = CthLike::with_steps(2);
+    actual.push((
+        "cth blocking flat",
+        run_workload(&ExperimentSpec::flat(8, 42), &cth, &NoiseInjection::none()).makespan,
+    ));
+
+    // WaitAll path: nonblocking halo on a 3-D torus.
+    let cth_nb = CthLike {
+        halo_nonblocking: true,
+        ..CthLike::with_steps(2)
+    };
+    actual.push((
+        "cth waitall torus",
+        run_workload(
+            &ExperimentSpec::torus(8, 42),
+            &cth_nb,
+            &NoiseInjection::none(),
+        )
+        .makespan,
+    ));
+
+    // Collective state machines: POP-like allreduce chains under the harsh
+    // low-frequency signature.
+    let pop = PopLike {
+        steps: 1,
+        cg_iters: 10,
+        ..Default::default()
+    };
+    actual.push((
+        "pop noisy flat",
+        run_workload(
+            &ExperimentSpec::flat(16, 7),
+            &pop,
+            &NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US)),
+        )
+        .makespan,
+    ));
+
+    // Noise stretching of pure compute under high-frequency injection.
+    let bsp = BspSynthetic::new(10, MS);
+    actual.push((
+        "bsp noisy flat",
+        run_workload(
+            &ExperimentSpec::flat(8, 3),
+            &bsp,
+            &NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US)),
+        )
+        .makespan,
+    ));
+
+    // Interrupt receive mode: every message arrival pays a wakeup.
+    let mut interrupt_spec = ExperimentSpec::flat(8, 42);
+    interrupt_spec.recv_mode = RecvMode::Interrupt { wakeup: 3 * US };
+    actual.push((
+        "cth interrupt flat",
+        run_workload(&interrupt_spec, &cth, &NoiseInjection::none()).makespan,
+    ));
+
+    // Alltoall on a commodity network (bandwidth-bound routing).
+    let spectral = SpectralLike::with_steps(1);
+    let mut commodity_spec = ExperimentSpec::flat(8, 42);
+    commodity_spec.net = NetPreset::Commodity;
+    actual.push((
+        "spectral commodity flat",
+        run_workload(&commodity_spec, &spectral, &NoiseInjection::none()).makespan,
+    ));
+
+    const GOLDEN: [(&str, u64); 6] = [
+        ("cth blocking flat", 209_861_404),
+        ("cth waitall torus", 209_668_272),
+        ("pop noisy flat", 56_102_303),
+        ("bsp noisy flat", 10_469_237),
+        ("cth interrupt flat", 209_906_404),
+        ("spectral commodity flat", 188_034_525),
+    ];
+    assert_eq!(actual, GOLDEN, "executor behavior changed");
+}
