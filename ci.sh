@@ -16,6 +16,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Panic-free core: the simulator's mpi + net lib trees deny unwrap/panic at
+# the crate level (`#![cfg_attr(not(test), deny(clippy::unwrap_used,
+# clippy::panic))]`); this scoped pass keeps that gate visible in CI.
+echo "==> cargo clippy -p ghost-mpi -p ghost-net --lib (panic-free gate)"
+cargo clippy -p ghost-mpi -p ghost-net --lib -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -8,7 +8,7 @@
 use ghost_apps::Workload;
 use ghost_bench::{canonical_injections, prologue, quick, seed};
 use ghost_core::experiment::ExperimentSpec;
-use ghost_core::replicate::replicate;
+use ghost_core::replicate::try_replicate;
 use ghost_core::report::{f, Table};
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
     );
     for w in apps {
         for inj in canonical_injections() {
-            let r = replicate(&spec, w, &inj, n);
+            let r = try_replicate(&spec, w, &inj, n).expect("replication must succeed");
             tab.row(&[
                 w.name(),
                 inj.label().to_owned(),

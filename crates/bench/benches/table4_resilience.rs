@@ -1,0 +1,43 @@
+//! Table 4 — resilience under injected faults.
+//!
+//! Three experiments from the `resilience` family:
+//!
+//! 1. *Delay propagation* — a one-off multi-millisecond stall on one rank
+//!    of a tightly-coupled workload; how far does it spread and how much of
+//!    it survives into the makespan?
+//! 2. *Drop-rate sweep* — lossy links from 0 to 20% drop probability with
+//!    retransmission charged to the LogGP budget; slowdown vs drop rate.
+//! 3. *Crash survival* — crash one rank early at every scale and tabulate
+//!    which runs degrade into typed failures.
+
+use ghost_bench::{pop_workload, prologue, quick, seed};
+use ghost_core::experiment::ExperimentSpec;
+use ghost_core::resilience::{
+    crash_survival, delay_propagation, drop_rate_sweep, drop_rate_table, survival_table,
+};
+use ghost_engine::time::MS;
+use ghost_net::RetryModel;
+
+fn main() {
+    prologue("table4_resilience");
+    let p = if quick() { 16 } else { 64 };
+    let spec = ExperimentSpec::flat(p, seed());
+    let pop = pop_workload();
+
+    let curve = delay_propagation(&spec, &pop, p / 2, 2 * MS, 10 * MS)
+        .expect("delay propagation must complete");
+    println!("{}", curve.table());
+
+    let ppms: &[u32] = if quick() {
+        &[0, 10_000, 100_000]
+    } else {
+        &[0, 1_000, 10_000, 50_000, 100_000, 200_000]
+    };
+    let records = drop_rate_sweep(&spec, &pop, ppms, RetryModel::default())
+        .expect("drop-rate sweep must complete");
+    println!("{}", drop_rate_table(&records));
+
+    let scales: &[usize] = if quick() { &[4, 16] } else { &[4, 16, 64, 256] };
+    let survival = crash_survival(&spec, &pop, scales, 1, MS);
+    println!("{}", survival_table(&survival));
+}

@@ -51,9 +51,9 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use ghost_apps::Workload;
-use ghost_mpi::RunResult;
+use ghost_mpi::{RunLimits, RunResult};
 
-use crate::experiment::{try_run_workload, ExperimentSpec};
+use crate::experiment::{try_run_workload_limited, ExperimentSpec};
 use crate::injection::NoiseInjection;
 use crate::metrics::Metrics;
 
@@ -132,10 +132,11 @@ impl std::fmt::Display for CampaignStats {
     }
 }
 
-/// Why a campaign failed.
-#[derive(Debug)]
+/// Why a campaign (or one of its scenarios) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CampaignError {
-    /// A scenario's simulation returned an error (e.g. deadlock).
+    /// A scenario's simulation returned an error (e.g. deadlock, an injected
+    /// crash stranding peers, or a watchdog limit).
     ScenarioFailed {
         /// The failing scenario's label.
         label: String,
@@ -149,6 +150,23 @@ pub enum CampaignError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The request itself was invalid (e.g. zero replicates).
+    Config {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl CampaignError {
+    /// The scenario label the error is about (`"(config)"` for request
+    /// errors, which precede any scenario).
+    pub fn label(&self) -> &str {
+        match self {
+            CampaignError::ScenarioFailed { label, .. }
+            | CampaignError::WorkerPanicked { label, .. } => label,
+            CampaignError::Config { .. } => "(config)",
+        }
+    }
 }
 
 impl std::fmt::Display for CampaignError {
@@ -160,6 +178,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::WorkerPanicked { label, message } => {
                 write!(f, "worker panicked in scenario '{label}': {message}")
             }
+            CampaignError::Config { reason } => write!(f, "invalid campaign: {reason}"),
         }
     }
 }
@@ -176,11 +195,75 @@ pub struct CampaignRun {
     pub stats: CampaignStats,
 }
 
+/// A campaign that ran to the end despite individual scenario failures:
+/// every scenario gets its own `Result` slot, in insertion order.
+///
+/// Produced by [`Campaign::run_partial`]. A scenario whose *baseline* failed
+/// carries the baseline's error (it has no reference time to compare
+/// against).
+#[derive(Debug, Clone)]
+pub struct PartialCampaignRun {
+    /// One result or error per scenario, in the order scenarios were added.
+    pub results: Vec<Result<ScenarioResult, CampaignError>>,
+    /// What it cost.
+    pub stats: CampaignStats,
+}
+
+impl PartialCampaignRun {
+    /// The scenarios that completed, in insertion order.
+    pub fn succeeded(&self) -> Vec<&ScenarioResult> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .collect()
+    }
+
+    /// `(label, reason)` for every failed scenario, in insertion order.
+    pub fn failures(&self) -> Vec<(String, String)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .map(|e| (e.label().to_owned(), e.to_string()))
+            .collect()
+    }
+
+    /// Whether every scenario completed.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+}
+
+/// Execution policy for a campaign: retry budget for transient worker
+/// failures and the per-scenario execution budget (watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// How many times to retry a scenario whose worker *panicked*
+    /// (deterministic simulation errors are never retried — rerunning the
+    /// same seed reproduces the same error).
+    pub retries: u32,
+    /// Base backoff between retries (grows linearly with the attempt).
+    pub backoff: Duration,
+    /// Per-scenario execution budget; exceeding it fails the scenario with
+    /// a typed error instead of hanging the campaign.
+    pub limits: RunLimits,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            limits: RunLimits::none(),
+        }
+    }
+}
+
 /// A declarative grid of scenarios over borrowed workloads.
 #[derive(Default)]
 pub struct Campaign<'w> {
     workloads: Vec<&'w dyn Workload>,
     scenarios: Vec<Scenario>,
+    config: CampaignConfig,
 }
 
 impl<'w> Campaign<'w> {
@@ -193,6 +276,12 @@ impl<'w> Campaign<'w> {
     pub fn add_workload(&mut self, workload: &'w dyn Workload) -> WorkloadId {
         self.workloads.push(workload);
         WorkloadId(self.workloads.len() - 1)
+    }
+
+    /// Set the execution policy (retry budget, per-scenario watchdog).
+    pub fn with_config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Add a scenario with an auto-generated `workload/nodes/injection`
@@ -245,13 +334,17 @@ impl<'w> Campaign<'w> {
         (s.workload, s.spec)
     }
 
-    /// Run every scenario: each distinct [`BaselineKey`] is simulated
-    /// noiselessly exactly once, each non-noiseless scenario once, all on
-    /// one work-stealing pool. Results come back in insertion order.
-    pub fn run(&self) -> Result<CampaignRun, CampaignError> {
-        let start = std::time::Instant::now();
-
-        // Distinct baselines, in first-seen order.
+    /// Build the shared execution plan: distinct baseline keys (first-seen
+    /// order), each scenario's key index, and the job list (all unique
+    /// baselines first, then every non-pristine scenario).
+    fn plan(
+        &self,
+    ) -> (
+        HashMap<BaselineKey, usize>,
+        Vec<BaselineKey>,
+        Vec<Job>,
+        usize,
+    ) {
         let mut key_index: HashMap<BaselineKey, usize> = HashMap::new();
         let mut uniq: Vec<BaselineKey> = Vec::new();
         for s in &self.scenarios {
@@ -261,48 +354,86 @@ impl<'w> Campaign<'w> {
                 uniq.len() - 1
             });
         }
-
-        // Job list: all unique baselines, then every noisy scenario. The
-        // noiseless scenarios are answered from the baseline cache.
-        enum Job {
-            Baseline(usize),
-            Noisy(usize),
-        }
         let mut jobs: Vec<Job> = (0..uniq.len()).map(Job::Baseline).collect();
-        let mut noiseless = 0usize;
+        let mut pristine = 0usize;
         for (i, s) in self.scenarios.iter().enumerate() {
-            if s.injection.is_noiseless() {
-                noiseless += 1;
+            if s.injection.is_pristine() {
+                pristine += 1;
             } else {
                 jobs.push(Job::Noisy(i));
             }
         }
+        (key_index, uniq, jobs, pristine)
+    }
+
+    /// Label for job `i` of a plan.
+    fn job_label(&self, uniq: &[BaselineKey], jobs: &[Job], i: usize) -> String {
+        match jobs[i] {
+            Job::Baseline(bi) => {
+                let (wid, spec) = uniq[bi];
+                format!("baseline {}/{}n", self.workloads[wid.0].name(), spec.nodes)
+            }
+            Job::Noisy(si) => self.scenarios[si].label.clone(),
+        }
+    }
+
+    /// Execute job `i` of a plan.
+    fn run_job(
+        &self,
+        uniq: &[BaselineKey],
+        jobs: &[Job],
+        i: usize,
+    ) -> Result<Arc<RunResult>, String> {
+        let (wid, spec, injection) = match jobs[i] {
+            Job::Baseline(bi) => {
+                let (wid, spec) = uniq[bi];
+                (wid, spec, NoiseInjection::none())
+            }
+            Job::Noisy(si) => {
+                let s = &self.scenarios[si];
+                (s.workload, s.spec, s.injection.clone())
+            }
+        };
+        try_run_workload_limited(&spec, self.workloads[wid.0], &injection, self.config.limits)
+            .map(Arc::new)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Assemble one scenario's result from its baseline and injected run.
+    fn assemble(
+        &self,
+        s: &Scenario,
+        baseline: Arc<RunResult>,
+        run: Arc<RunResult>,
+    ) -> ScenarioResult {
+        let metrics = Metrics::new(baseline.makespan, run.makespan, s.injection.net_fraction());
+        ScenarioResult {
+            label: s.label.clone(),
+            workload: self.workloads[s.workload.0].name(),
+            injection: s.injection.label().to_owned(),
+            nodes: s.spec.nodes,
+            baseline,
+            run,
+            metrics,
+        }
+    }
+
+    /// Run every scenario: each distinct [`BaselineKey`] is simulated
+    /// noiselessly exactly once, each non-pristine scenario once, all on
+    /// one work-stealing pool. Results come back in insertion order.
+    ///
+    /// Fails fast: the first scenario error aborts the whole campaign. Use
+    /// [`Campaign::run_partial`] to keep going and collect per-scenario
+    /// `Result`s instead.
+    pub fn run(&self) -> Result<CampaignRun, CampaignError> {
+        let start = std::time::Instant::now();
+        let (key_index, uniq, jobs, pristine) = self.plan();
 
         let workers = worker_count(jobs.len());
         let runs = run_indexed(
             jobs.len(),
-            |i| match jobs[i] {
-                Job::Baseline(bi) => {
-                    let (wid, spec) = uniq[bi];
-                    format!("baseline {}/{}n", self.workloads[wid.0].name(), spec.nodes)
-                }
-                Job::Noisy(si) => self.scenarios[si].label.clone(),
-            },
-            |i| {
-                let (wid, spec, injection) = match jobs[i] {
-                    Job::Baseline(bi) => {
-                        let (wid, spec) = uniq[bi];
-                        (wid, spec, NoiseInjection::none())
-                    }
-                    Job::Noisy(si) => {
-                        let s = &self.scenarios[si];
-                        (s.workload, s.spec, s.injection.clone())
-                    }
-                };
-                try_run_workload(&spec, self.workloads[wid.0], &injection)
-                    .map(Arc::new)
-                    .map_err(|e| e.to_string())
-            },
+            |i| self.job_label(&uniq, &jobs, i),
+            |i| self.run_job(&uniq, &jobs, i),
         )?;
 
         // Assemble results in scenario insertion order.
@@ -313,23 +444,65 @@ impl<'w> Campaign<'w> {
             .iter()
             .map(|s| {
                 let baseline = baselines[key_index[&self.key(s)]].clone();
-                let run = if s.injection.is_noiseless() {
+                let run = if s.injection.is_pristine() {
                     baseline.clone()
                 } else {
                     let r = runs[noisy_cursor].clone();
                     noisy_cursor += 1;
                     r
                 };
-                let metrics =
-                    Metrics::new(baseline.makespan, run.makespan, s.injection.net_fraction());
-                ScenarioResult {
-                    label: s.label.clone(),
-                    workload: self.workloads[s.workload.0].name(),
-                    injection: s.injection.label().to_owned(),
-                    nodes: s.spec.nodes,
-                    baseline,
-                    run,
-                    metrics,
+                self.assemble(s, baseline, run)
+            })
+            .collect();
+
+        let stats = CampaignStats {
+            scenarios: self.scenarios.len(),
+            sims_run: jobs.len(),
+            baseline_cache_hits: (self.scenarios.len() - uniq.len()) + pristine,
+            wall: start.elapsed(),
+            workers,
+        };
+        Ok(CampaignRun { results, stats })
+    }
+
+    /// Run every scenario to completion, isolating failures: a deadlocked,
+    /// crashed, or watchdog-limited scenario fills its own slot with a
+    /// [`CampaignError`] while every other scenario still completes.
+    /// Worker panics are retried per [`CampaignConfig::retries`] with
+    /// linear backoff; deterministic simulation errors are never retried.
+    pub fn run_partial(&self) -> PartialCampaignRun {
+        let start = std::time::Instant::now();
+        let (key_index, uniq, jobs, pristine) = self.plan();
+
+        let workers = worker_count(jobs.len());
+        let runs = run_indexed_partial(
+            jobs.len(),
+            |i| self.job_label(&uniq, &jobs, i),
+            |i| self.run_job(&uniq, &jobs, i),
+            self.config.retries,
+            self.config.backoff,
+        );
+
+        // Assemble results in scenario insertion order. A failed baseline
+        // fails every scenario that depends on it (they have no reference
+        // time), but unrelated scenarios are untouched.
+        let baselines = &runs[..uniq.len()];
+        let mut noisy_cursor = uniq.len();
+        let results: Vec<Result<ScenarioResult, CampaignError>> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let run_slot = if s.injection.is_pristine() {
+                    None
+                } else {
+                    let r = runs[noisy_cursor].clone();
+                    noisy_cursor += 1;
+                    Some(r)
+                };
+                let baseline = baselines[key_index[&self.key(s)]].clone()?;
+                match run_slot {
+                    None => Ok(self.assemble(s, baseline.clone(), baseline)),
+                    Some(run) => Ok(self.assemble(s, baseline, run?)),
                 }
             })
             .collect();
@@ -337,12 +510,19 @@ impl<'w> Campaign<'w> {
         let stats = CampaignStats {
             scenarios: self.scenarios.len(),
             sims_run: jobs.len(),
-            baseline_cache_hits: (self.scenarios.len() - uniq.len()) + noiseless,
+            baseline_cache_hits: (self.scenarios.len() - uniq.len()) + pristine,
             wall: start.elapsed(),
             workers,
         };
-        Ok(CampaignRun { results, stats })
+        PartialCampaignRun { results, stats }
     }
+}
+
+/// One unit of campaign work: simulate a distinct baseline, or a scenario's
+/// injected run.
+enum Job {
+    Baseline(usize),
+    Noisy(usize),
 }
 
 /// Worker-thread count for `n` jobs: available parallelism, capped at `n`.
@@ -423,6 +603,68 @@ where
         .into_iter()
         .map(|s| s.into_inner().expect("all slots filled without error"))
         .collect())
+}
+
+/// Like [`run_indexed`], but degrades gracefully: every job gets its own
+/// `Result` slot and a failure never stops the other jobs. Worker *panics*
+/// are retried up to `retries` times with linear backoff (`backoff * k`
+/// before attempt `k`); job errors (`Err(String)`) are deterministic
+/// simulation outcomes and are never retried.
+pub fn run_indexed_partial<T, L, F>(
+    n: usize,
+    label: L,
+    job: F,
+    retries: u32,
+    backoff: Duration,
+) -> Vec<Result<T, CampaignError>>
+where
+    T: Send + Sync,
+    L: Fn(usize) -> String + Sync,
+    F: Fn(usize) -> Result<T, String> + Sync,
+{
+    let slots: Vec<OnceLock<Result<T, CampaignError>>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = worker_count(n);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut attempt = 0u32;
+                let out = loop {
+                    match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                        Ok(Ok(v)) => break Ok(v),
+                        Ok(Err(reason)) => {
+                            break Err(CampaignError::ScenarioFailed {
+                                label: label(i),
+                                reason,
+                            })
+                        }
+                        Err(payload) => {
+                            if attempt < retries {
+                                attempt += 1;
+                                std::thread::sleep(backoff * attempt);
+                                continue;
+                            }
+                            break Err(CampaignError::WorkerPanicked {
+                                label: label(i),
+                                message: panic_message(payload),
+                            });
+                        }
+                    }
+                };
+                let _ = slots[i].set(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot is filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -558,6 +800,118 @@ mod tests {
             }
             other => panic!("expected ScenarioFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_partial_isolates_the_failing_scenario() {
+        use ghost_apps::Workload;
+        use ghost_mpi::{MpiCall, Program, ScriptProgram};
+
+        struct Deadlocker;
+        impl Workload for Deadlocker {
+            fn name(&self) -> String {
+                "deadlocker".into()
+            }
+            fn programs(&self, size: usize, _seed: u64) -> Vec<Box<dyn Program>> {
+                (0..size)
+                    .map(|r| {
+                        let calls = if r == 0 {
+                            vec![MpiCall::Recv { src: 1, tag: 3 }]
+                        } else {
+                            vec![]
+                        };
+                        ScriptProgram::new(calls).boxed()
+                    })
+                    .collect()
+            }
+            fn nominal_compute_per_rank(&self) -> u64 {
+                0
+            }
+            fn collectives_per_rank(&self) -> u64 {
+                0
+            }
+        }
+
+        let good = BspSynthetic::new(3, MS);
+        let bad = Deadlocker;
+        let mut c = Campaign::new();
+        let gw = c.add_workload(&good);
+        let bw = c.add_workload(&bad);
+        c.add(gw, ExperimentSpec::flat(4, 1), inj(100.0));
+        c.add_labeled(bw, ExperimentSpec::flat(2, 1), inj(100.0), "the-bad-one");
+        c.add(gw, ExperimentSpec::flat(2, 1), inj(10.0));
+        let run = c.run_partial();
+        assert_eq!(run.results.len(), 3);
+        assert!(run.results[0].is_ok());
+        assert!(run.results[1].is_err());
+        assert!(run.results[2].is_ok());
+        assert!(!run.all_ok());
+        assert_eq!(run.succeeded().len(), 2);
+        let failures = run.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].1.contains("deadlock"),
+            "reason: {}",
+            failures[0].1
+        );
+    }
+
+    #[test]
+    fn run_partial_retries_transient_panics() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let out: Vec<Result<u32, _>> = run_indexed_partial(
+            1,
+            |_| "flaky".to_owned(),
+            |_| {
+                // Fails twice, then succeeds: a transient worker failure.
+                if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                Ok(7)
+            },
+            3,
+            Duration::from_millis(1),
+        );
+        assert_eq!(out[0].as_ref().unwrap(), &7);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_partial_never_retries_deterministic_errors() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let out: Vec<Result<u32, _>> = run_indexed_partial(
+            1,
+            |_| "doomed".to_owned(),
+            |_| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                Err("deadlock".to_owned())
+            },
+            5,
+            Duration::from_millis(1),
+        );
+        assert!(out[0].is_err());
+        assert_eq!(attempts.load(Ordering::Relaxed), 1, "same seed, same error");
+    }
+
+    #[test]
+    fn campaign_watchdog_limits_runaway_scenarios() {
+        let w = BspSynthetic::new(50, MS);
+        let mut c = Campaign::new().with_config(CampaignConfig {
+            limits: RunLimits::events(10),
+            ..CampaignConfig::default()
+        });
+        let wid = c.add_workload(&w);
+        c.add(wid, ExperimentSpec::flat(8, 1), inj(100.0));
+        let run = c.run_partial();
+        let failures = run.failures();
+        assert!(!failures.is_empty());
+        assert!(
+            failures[0].1.contains("event budget exhausted"),
+            "reason: {}",
+            failures[0].1
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment runner: baseline/noisy pairs and scaling sweeps.
 
 use ghost_apps::Workload;
-use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunError, RunResult};
+use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunError, RunLimits, RunResult};
 use ghost_net::{FatTree, Flat, LogGP, Network, Torus3D};
 
 use crate::campaign::{Campaign, CampaignError};
@@ -106,13 +106,32 @@ pub fn try_run_workload(
     workload: &dyn Workload,
     injection: &NoiseInjection,
 ) -> Result<RunResult, RunError> {
+    try_run_workload_limited(spec, workload, injection, RunLimits::none())
+}
+
+/// [`try_run_workload`] with an execution budget: the run aborts with a
+/// typed [`RunError`] once it exceeds `limits` (event count or wall-clock).
+/// The campaign engine uses this as its per-scenario watchdog.
+pub fn try_run_workload_limited(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    limits: RunLimits,
+) -> Result<RunResult, RunError> {
     let net = spec.build_network();
     let model = injection.build();
     let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
-    Machine::new(net, model.as_ref(), spec.seed)
+    let mut m = Machine::new(net, model.as_ref(), spec.seed)
         .with_config(spec.coll)
         .with_recv_mode(spec.recv_mode)
-        .run(programs)
+        .with_limits(limits);
+    if !injection.faults().is_empty() {
+        m = m.with_faults(injection.faults().clone());
+    }
+    if let Some(l) = injection.lossy() {
+        m = m.with_lossy(l);
+    }
+    m.run(programs)
 }
 
 /// Run `workload` once under `injection`.

@@ -1,6 +1,8 @@
 //! Noise-injection configuration: what noise, on which nodes, how phased.
 
 use ghost_engine::rng::NodeStream;
+use ghost_net::LossyLink;
+use ghost_noise::fault::FaultPlan;
 use ghost_noise::model::{NoNoise, NodeNoise, NoiseModel, PhasePolicy};
 use ghost_noise::Signature;
 use std::sync::Arc;
@@ -51,6 +53,8 @@ pub struct NoiseInjection {
     label: String,
     net_fraction: f64,
     noiseless: bool,
+    faults: FaultPlan,
+    lossy: Option<LossyLink>,
 }
 
 impl NoiseInjection {
@@ -76,6 +80,8 @@ impl NoiseInjection {
             label,
             net_fraction: net,
             noiseless: false,
+            faults: FaultPlan::new(),
+            lossy: None,
         }
     }
 
@@ -88,6 +94,8 @@ impl NoiseInjection {
             label: label.into(),
             net_fraction: net,
             noiseless: false,
+            faults: FaultPlan::new(),
+            lossy: None,
         }
     }
 
@@ -120,6 +128,8 @@ impl NoiseInjection {
             label: "noiseless".to_owned(),
             net_fraction: 0.0,
             noiseless: true,
+            faults: FaultPlan::new(),
+            lossy: None,
         }
     }
 
@@ -128,6 +138,43 @@ impl NoiseInjection {
     /// instead of simulating them a second time.
     pub fn is_noiseless(&self) -> bool {
         self.noiseless
+    }
+
+    /// Attach a deterministic fault plan (delays, stragglers, crashes,
+    /// drop/duplicate windows). A non-empty plan is reflected in the label.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        if !faults.is_empty() {
+            self.label.push_str("+faults");
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Route every message over a lossy link with retransmission.
+    pub fn with_lossy(mut self, lossy: LossyLink) -> Self {
+        if !lossy.is_ideal() {
+            self.label
+                .push_str(&format!("+lossy({}ppm)", lossy.drop_ppm));
+        }
+        self.lossy = Some(lossy);
+        self
+    }
+
+    /// The attached fault plan (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The attached lossy-link model, if any.
+    pub fn lossy(&self) -> Option<LossyLink> {
+        self.lossy
+    }
+
+    /// Whether this injection perturbs nothing at all: noiseless baseline,
+    /// empty fault plan, and no (or ideal) lossy link. Only such scenarios
+    /// may be served from the baseline memo cache.
+    pub fn is_pristine(&self) -> bool {
+        self.noiseless && self.faults.is_empty() && self.lossy.is_none_or(|l| l.is_ideal())
     }
 
     /// Materialize as a [`NoiseModel`] honoring the placement.
@@ -145,6 +192,8 @@ impl std::fmt::Debug for NoiseInjection {
             .field("label", &self.label)
             .field("placement", &self.placement)
             .field("net_fraction", &self.net_fraction)
+            .field("faults", &self.faults.len())
+            .field("lossy", &self.lossy)
             .finish()
     }
 }

@@ -54,16 +54,23 @@ pub mod observe;
 pub mod plot;
 pub mod replicate;
 pub mod report;
+pub mod resilience;
 
 pub use campaign::{
-    run_indexed, Campaign, CampaignError, CampaignRun, CampaignStats, Scenario, ScenarioResult,
-    WorkloadId,
+    run_indexed, run_indexed_partial, Campaign, CampaignConfig, CampaignError, CampaignRun,
+    CampaignStats, PartialCampaignRun, Scenario, ScenarioResult, WorkloadId,
 };
 pub use experiment::{
-    compare, run_workload, scaling_sweep, try_run_workload, try_scaling_sweep, ExperimentSpec,
-    ScalingRecord,
+    compare, run_workload, scaling_sweep, try_run_workload, try_run_workload_limited,
+    try_scaling_sweep, ExperimentSpec, ScalingRecord,
 };
 pub use injection::{NoiseInjection, Placement};
 pub use metrics::Metrics;
-pub use observe::{blame_summary, blame_table, observe_workload, run_recorded, Observation};
-pub use replicate::{replicate, try_replicate, Replicates};
+pub use observe::{
+    blame_summary, blame_table, observe_workload, run_recorded, try_run_recorded, Observation,
+};
+pub use replicate::{try_replicate, Replicates};
+pub use resilience::{
+    crash_survival, delay_propagation, drop_rate_sweep, drop_rate_table, survival_table,
+    DelayDecayCurve, DropRateRecord, SurvivalRecord,
+};

@@ -32,32 +32,50 @@ pub struct Observation {
 }
 
 /// Run `workload` once under `injection` with an arbitrary streaming
+/// recorder attached to the executor, reporting simulation errors
+/// (deadlock, a crash stranding peers, watchdog limits) as typed values.
+pub fn try_run_recorded<R: Recorder>(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    rec: &mut R,
+) -> Result<RunResult, ghost_mpi::RunError> {
+    let net = spec.build_network();
+    let model = injection.build();
+    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
+    let mut m = Machine::new(net, model.as_ref(), spec.seed)
+        .with_config(spec.coll)
+        .with_recv_mode(spec.recv_mode);
+    if !injection.faults().is_empty() {
+        m = m.with_faults(injection.faults().clone());
+    }
+    if let Some(l) = injection.lossy() {
+        m = m.with_lossy(l);
+    }
+    m.run_with(programs, rec)
+}
+
+/// Run `workload` once under `injection` with an arbitrary streaming
 /// recorder attached to the executor.
 ///
 /// # Panics
 ///
 /// Panics if the simulated machine deadlocks (a workload bug, not a noise
-/// effect — noise can never cause deadlock in this model).
+/// effect — noise can never cause deadlock in this model) or an injected
+/// fault kills the run; use [`try_run_recorded`] for fault scenarios.
 pub fn run_recorded<R: Recorder>(
     spec: &ExperimentSpec,
     workload: &dyn Workload,
     injection: &NoiseInjection,
     rec: &mut R,
 ) -> RunResult {
-    let net = spec.build_network();
-    let model = injection.build();
-    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
-    Machine::new(net, model.as_ref(), spec.seed)
-        .with_config(spec.coll)
-        .with_recv_mode(spec.recv_mode)
-        .run_with(programs, rec)
-        .unwrap_or_else(|e| {
-            panic!(
-                "workload '{}' deadlocked at {} nodes: {e}",
-                workload.name(),
-                spec.nodes
-            )
-        })
+    try_run_recorded(spec, workload, injection, rec).unwrap_or_else(|e| {
+        panic!(
+            "workload '{}' failed at {} nodes: {e}",
+            workload.name(),
+            spec.nodes
+        )
+    })
 }
 
 /// Run `workload` once under `injection`, capture the full timeline, and
@@ -88,14 +106,14 @@ fn pct(part: u64, whole: u64) -> f64 {
 
 /// Render a [`BlameReport`] as a fixed-width per-rank table.
 ///
-/// Each row shows the rank's wall-clock and the five category shares (as
+/// Each row shows the rank's wall-clock and the six category shares (as
 /// percentages of that rank's wall-clock); the final `TOTAL` row sums all
 /// ranks. CSV output comes from [`Table::to_csv`] as usual.
 pub fn blame_table(title: &str, report: &BlameReport) -> Table {
     let mut tab = Table::new(
         title,
         &[
-            "rank", "wall", "comp%", "direct%", "prop%", "net%", "imbal%",
+            "rank", "wall", "comp%", "direct%", "prop%", "net%", "recov%", "imbal%",
         ],
     );
     let mut row = |label: String, b: &ghost_obs::RankBlame| {
@@ -106,6 +124,7 @@ pub fn blame_table(title: &str, report: &BlameReport) -> Table {
             f(pct(b.direct_noise, b.wall)),
             f(pct(b.propagated_noise, b.wall)),
             f(pct(b.network, b.wall)),
+            f(pct(b.recovery, b.wall)),
             f(pct(b.imbalance, b.wall)),
         ]);
     };

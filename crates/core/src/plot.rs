@@ -245,14 +245,16 @@ pub fn timeline(
         SpanKind::SendOverhead => 's',
         SpanKind::RecvProcess => 'r',
         SpanKind::Blocked => '.',
+        SpanKind::Retransmit => 'R',
     };
     // coverage[rank][cell][kind index]
-    let mut coverage = vec![vec![[0f64; 4]; width]; ranks];
+    let mut coverage = vec![vec![[0f64; 5]; width]; ranks];
     let kind_index = |k: SpanKind| match k {
         SpanKind::Compute => 0,
         SpanKind::SendOverhead => 1,
         SpanKind::RecvProcess => 2,
         SpanKind::Blocked => 3,
+        SpanKind::Retransmit => 4,
     };
     for sp in spans {
         if sp.rank >= ranks || sp.end <= t0 || sp.start >= t1 {
@@ -288,6 +290,7 @@ pub fn timeline(
                         0 => SpanKind::Compute,
                         1 => SpanKind::SendOverhead,
                         2 => SpanKind::RecvProcess,
+                        4 => SpanKind::Retransmit,
                         _ => SpanKind::Blocked,
                     });
                 }
@@ -296,7 +299,9 @@ pub fn timeline(
         }
         out.push('\n');
     }
-    out.push_str("    legend: C compute, s send, r recv-process, . blocked, ' ' idle\n");
+    out.push_str(
+        "    legend: C compute, s send, r recv-process, R retransmit, . blocked, ' ' idle\n",
+    );
     out
 }
 

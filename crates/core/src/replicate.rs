@@ -3,7 +3,7 @@
 //!
 //! A single simulated run is deterministic, but the quantities the paper
 //! reports are *distributional*: noise phases and load-imbalance draws vary
-//! across trials. [`replicate`] runs the same (workload, injection,
+//! across trials. [`try_replicate`] runs the same (workload, injection,
 //! machine) under `n` independent seeds in parallel and summarizes the
 //! slowdown distribution, giving the error bars a production harness needs
 //! before claiming one signature beats another.
@@ -74,16 +74,19 @@ impl Replicates {
 /// (seed, seed+1, ...) as a [`Campaign`] — one scenario per seed, results
 /// in seed order by construction.
 ///
-/// # Panics
-///
-/// Panics if `n == 0`.
+/// `n == 0` is a [`CampaignError::Config`] error: a replicate summary over
+/// zero runs has no mean.
 pub fn try_replicate(
     spec: &ExperimentSpec,
     workload: &dyn Workload,
     injection: &NoiseInjection,
     n: usize,
 ) -> Result<Replicates, CampaignError> {
-    assert!(n > 0, "need at least one replicate");
+    if n == 0 {
+        return Err(CampaignError::Config {
+            reason: "need at least one replicate".to_owned(),
+        });
+    }
     let mut campaign = Campaign::new();
     let wid = campaign.add_workload(workload);
     for i in 0..n {
@@ -118,27 +121,16 @@ pub fn try_replicate(
     })
 }
 
-/// Panicking convenience wrapper over [`try_replicate`].
-///
-/// # Panics
-///
-/// Panics if `n == 0`, if any run deadlocks, or if a worker panics.
-pub fn replicate(
-    spec: &ExperimentSpec,
-    workload: &dyn Workload,
-    injection: &NoiseInjection,
-    n: usize,
-) -> Replicates {
-    try_replicate(spec, workload, injection, n)
-        .unwrap_or_else(|e| panic!("replication failed: {e}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ghost_apps::BspSynthetic;
     use ghost_engine::time::{MS, US};
     use ghost_noise::Signature;
+
+    fn rep(spec: &ExperimentSpec, w: &dyn Workload, inj: &NoiseInjection, n: usize) -> Replicates {
+        try_replicate(spec, w, inj, n).expect("replication must succeed")
+    }
 
     fn quick_setup() -> (ExperimentSpec, BspSynthetic, NoiseInjection) {
         (
@@ -151,8 +143,8 @@ mod tests {
     #[test]
     fn replicates_are_seed_ordered_and_deterministic() {
         let (spec, w, inj) = quick_setup();
-        let a = replicate(&spec, &w, &inj, 6);
-        let b = replicate(&spec, &w, &inj, 6);
+        let a = rep(&spec, &w, &inj, 6);
+        let b = rep(&spec, &w, &inj, 6);
         assert_eq!(a.runs, b.runs, "replication must be deterministic");
         assert_eq!(a.runs.len(), 6);
     }
@@ -160,7 +152,7 @@ mod tests {
     #[test]
     fn seeds_actually_vary() {
         let (spec, w, inj) = quick_setup();
-        let r = replicate(&spec, &w, &inj, 6);
+        let r = rep(&spec, &w, &inj, 6);
         let distinct: std::collections::HashSet<u64> = r.runs.iter().map(|m| m.noisy).collect();
         assert!(distinct.len() > 1, "seeds should produce different runs");
     }
@@ -168,7 +160,7 @@ mod tests {
     #[test]
     fn summary_statistics_are_consistent() {
         let (spec, w, inj) = quick_setup();
-        let r = replicate(&spec, &w, &inj, 8);
+        let r = rep(&spec, &w, &inj, 8);
         assert!(r.min_slowdown_pct() <= r.mean_slowdown_pct);
         assert!(r.mean_slowdown_pct <= r.max_slowdown_pct());
         assert!(r.std_slowdown_pct >= 0.0);
@@ -179,7 +171,7 @@ mod tests {
     #[test]
     fn single_replicate_has_zero_spread() {
         let (spec, w, inj) = quick_setup();
-        let r = replicate(&spec, &w, &inj, 1);
+        let r = rep(&spec, &w, &inj, 1);
         assert_eq!(r.std_slowdown_pct, 0.0);
         assert_eq!(r.ci95_half_width, 0.0);
     }
@@ -190,13 +182,13 @@ mod tests {
         // apart; 1 kHz vs itself: indistinguishable.
         let spec = ExperimentSpec::flat(16, 7);
         let w = BspSynthetic::new(100, 500 * US);
-        let slow = replicate(
+        let slow = rep(
             &spec,
             &w,
             &NoiseInjection::uncoordinated(Signature::new(10.0, 2500 * US)),
             5,
         );
-        let fast = replicate(
+        let fast = rep(
             &spec,
             &w,
             &NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US)),
@@ -207,9 +199,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one replicate")]
-    fn zero_replicates_panics() {
+    fn zero_replicates_is_a_config_error() {
         let (spec, w, inj) = quick_setup();
-        replicate(&spec, &w, &inj, 0);
+        match try_replicate(&spec, &w, &inj, 0) {
+            Err(CampaignError::Config { reason }) => {
+                assert!(reason.contains("at least one replicate"));
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 }

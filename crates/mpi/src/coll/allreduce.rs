@@ -452,7 +452,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     fn run_raben(p: usize, bytes: u64) -> Vec<f64> {
@@ -468,7 +468,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     #[test]
@@ -508,7 +508,7 @@ mod tests {
             let expect = (0..p)
                 .map(|r| ((r * 7919) % 23) as f64)
                 .fold(op.identity(), |a, b| op.apply(a, b));
-            let out = harness::run(machines);
+            let out = harness::run(machines).expect("collective must terminate");
             assert!(out.iter().all(|&v| v == expect), "{op:?}: {out:?}");
         }
     }

@@ -75,7 +75,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     #[test]

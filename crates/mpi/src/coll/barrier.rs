@@ -64,7 +64,7 @@ mod tests {
                     as Box<dyn Collective>
             })
             .collect();
-        let out = harness::run(machines);
+        let out = harness::run(machines).expect("collective must terminate");
         assert_eq!(out.len(), p);
     }
 

@@ -351,7 +351,7 @@ mod tests {
                     as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     fn run_reduce(p: usize, root: usize) -> Vec<f64> {
@@ -368,7 +368,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     #[test]
@@ -428,7 +428,7 @@ mod tests {
         let expect = (0..p)
             .map(|r| ((r * 31) % 17) as f64)
             .fold(f64::NEG_INFINITY, f64::max);
-        let out = harness::run(machines);
+        let out = harness::run(machines).expect("collective must terminate");
         assert_eq!(out[3], expect);
     }
 
@@ -459,7 +459,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     fn run_pipelined(p: usize, root: usize, segments: u32) -> Vec<f64> {
@@ -476,7 +476,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     #[test]

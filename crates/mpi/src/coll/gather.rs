@@ -329,7 +329,7 @@ mod tests {
                     as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     #[test]
@@ -354,7 +354,7 @@ mod tests {
                     )) as Box<dyn Collective>
                 })
                 .collect();
-            let out = harness::run(machines);
+            let out = harness::run(machines).expect("collective must terminate");
             assert!(out.iter().all(|&v| v == expect_sum(p)), "p={p}: {out:?}");
         }
     }
@@ -381,7 +381,7 @@ mod tests {
                         )) as Box<dyn Collective>
                     })
                     .collect();
-                let out = harness::run(machines);
+                let out = harness::run(machines).expect("collective must terminate");
                 assert_eq!(out[root], expect_sum(p), "p={p} root={root}");
             }
         }
@@ -410,7 +410,7 @@ mod tests {
                         )) as Box<dyn Collective>
                     })
                     .collect();
-                let out = harness::run(machines);
+                let out = harness::run(machines).expect("collective must terminate");
                 assert!(out.iter().all(|&v| v == 9.25), "p={p} root={root}: {out:?}");
             }
         }
@@ -443,14 +443,14 @@ mod tests {
             let g: Vec<Box<dyn Collective>> = (0..p)
                 .map(|r| Box::new(GatherBinomial::new(Env { rank: r, size: p }, 0, root, 8, vals[r])) as Box<dyn Collective>)
                 .collect();
-            prop_assert_eq!(harness::run(g)[root], expect_sum(p));
+            prop_assert_eq!(harness::run(g).expect("collective must terminate")[root], expect_sum(p));
             let s: Vec<Box<dyn Collective>> = (0..p)
                 .map(|r| {
                     let v = if r == root { 3.5 } else { 0.0 };
                     Box::new(ScatterBinomial::new(Env { rank: r, size: p }, 0, root, 8, v)) as Box<dyn Collective>
                 })
                 .collect();
-            prop_assert!(harness::run(s).iter().all(|&v| v == 3.5));
+            prop_assert!(harness::run(s).expect("collective must terminate").iter().all(|&v| v == 3.5));
         }
     }
 }

@@ -267,6 +267,7 @@ pub(crate) mod harness {
     //! engine.
 
     use super::*;
+    use crate::exec::RunError;
     use std::collections::HashMap;
     use std::collections::VecDeque;
 
@@ -277,9 +278,10 @@ pub(crate) mod harness {
     }
 
     /// Run one collective instance across `machines.len()` ranks and return
-    /// each rank's result value. Panics on deadlock (no progress while ranks
-    /// remain incomplete).
-    pub fn run(mut machines: Vec<Box<dyn Collective>>) -> Vec<f64> {
+    /// each rank's result value. A deadlock (no progress while ranks remain
+    /// incomplete) yields a typed [`RunError::Deadlock`] listing the stuck
+    /// ranks; a runaway schedule yields [`RunError::EventLimit`].
+    pub fn run(mut machines: Vec<Box<dyn Collective>>) -> Result<Vec<f64>, RunError> {
         let n = machines.len();
         let mut state: Vec<St> = (0..n).map(|_| St::Ready(None)).collect();
         // (dst, src, tag) -> values in arrival order.
@@ -340,16 +342,28 @@ pub(crate) mod harness {
                 break;
             }
             steps += 1;
-            assert!(progressed, "collective deadlocked after {steps} sweeps");
-            assert!(steps < 1_000_000, "collective failed to terminate");
+            if !progressed {
+                let blocked = state
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, s)| match s {
+                        St::Waiting { peer, tag } => Some((r, *peer, *tag)),
+                        _ => None,
+                    })
+                    .collect();
+                return Err(RunError::Deadlock { blocked });
+            }
+            if steps >= 1_000_000 {
+                return Err(RunError::EventLimit { limit: 1_000_000 });
+            }
         }
-        state
+        Ok(state
             .into_iter()
             .map(|s| match s {
                 St::Done(v) => v,
                 _ => unreachable!(),
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -417,5 +431,31 @@ mod tests {
         };
         assert!(build(&small, env, 0, &cfg).is_some());
         assert!(build(&large, env, 0, &cfg).is_some());
+    }
+
+    #[test]
+    fn harness_reports_deadlock_as_typed_error() {
+        // Rank 0 receives from rank 1, which completes without ever
+        // sending: a guaranteed deadlock that must surface as a typed
+        // error, not a panic.
+        struct RecvForever;
+        impl Collective for RecvForever {
+            fn step(&mut self, _prev: Option<f64>) -> CollStep {
+                CollStep::Prim(PrimOp::Recv { peer: 1, tag: 0 })
+            }
+        }
+        struct Quit;
+        impl Collective for Quit {
+            fn step(&mut self, _prev: Option<f64>) -> CollStep {
+                CollStep::Done(0.0)
+            }
+        }
+        let machines: Vec<Box<dyn Collective>> = vec![Box::new(RecvForever), Box::new(Quit)];
+        match harness::run(machines) {
+            Err(crate::exec::RunError::Deadlock { blocked }) => {
+                assert_eq!(blocked, vec![(0, 1, 0)]);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 }

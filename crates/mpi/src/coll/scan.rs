@@ -257,7 +257,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        harness::run(machines)
+        harness::run(machines).expect("collective must terminate")
     }
 
     #[test]
@@ -300,7 +300,7 @@ mod tests {
                 )) as Box<dyn Collective>
             })
             .collect();
-        let out = harness::run(machines);
+        let out = harness::run(machines).expect("collective must terminate");
         let mut running = f64::NEG_INFINITY;
         for (r, &v) in out.iter().enumerate() {
             running = running.max(vals[r]);
@@ -323,7 +323,7 @@ mod tests {
                     )) as Box<dyn Collective>
                 })
                 .collect();
-            let out = harness::run(machines);
+            let out = harness::run(machines).expect("collective must terminate");
             let expect = (p * (p + 1)) as f64 / 2.0;
             assert!(out.iter().all(|&v| v == expect), "p={p}: {out:?}");
         }

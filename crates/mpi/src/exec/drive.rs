@@ -3,6 +3,7 @@
 
 use ghost_engine::queue::EventQueue;
 use ghost_engine::time::Time;
+use ghost_net::lossy::{sample_attempts, RetryModel};
 use ghost_obs::record::{MsgRecord, OpSpan, Recorder, SpanKind};
 
 use super::events::Event;
@@ -13,6 +14,69 @@ use crate::coll::{self, CollStep, PrimOp};
 use crate::types::{Env, MpiCall, Rank};
 
 impl Machine<'_> {
+    /// Charge lossy-link costs for one message departing `rank` at `t1`.
+    ///
+    /// Samples how many transmission attempts the message needs (machine
+    /// lossy link and fault-plan drop windows combine by taking the larger
+    /// drop probability) plus a possible duplicate. Each extra attempt
+    /// costs the sender one LogGP overhead `o`, advanced through its noise
+    /// process and recorded as a [`SpanKind::Retransmit`] span; dropped
+    /// attempts additionally delay the delivery by the retry model's
+    /// timeout ladder. Returns the actual departure time and the total
+    /// timeout delay. On a reliable fabric this is a no-op making zero RNG
+    /// draws, so fault-free runs stay byte-identical.
+    fn charge_link_faults<R: Recorder>(
+        &self,
+        ctx: &mut RankCtx,
+        rank: Rank,
+        t1: Time,
+        rec: &mut R,
+    ) -> (Time, Time) {
+        let drop_ppm = self
+            .lossy
+            .map_or(0, |l| l.drop_ppm)
+            .max(self.faults.drop_ppm(rank, t1));
+        let dup_ppm = self
+            .lossy
+            .map_or(0, |l| l.dup_ppm)
+            .max(self.faults.dup_ppm(rank, t1));
+        if drop_ppm == 0 && dup_ppm == 0 {
+            return (t1, 0);
+        }
+        let Some(rng) = ctx.fault_rng.as_mut() else {
+            return (t1, 0);
+        };
+        let retry = self.lossy.map_or_else(RetryModel::default, |l| l.retry);
+        let attempts = sample_attempts(drop_ppm, retry.max_retries, rng);
+        let mut extra_sends = u64::from(attempts - 1);
+        if dup_ppm > 0 && rng.gen_range(1_000_000) < u64::from(dup_ppm) {
+            // The duplicate is transmitted back-to-back; the receiver
+            // discards it by sequence number at no cost (it never reaches
+            // the mailbox, so collectives cannot double-count it).
+            extra_sends += 1;
+        }
+        let delay = retry.total_delay(attempts);
+        if extra_sends == 0 {
+            return (t1, delay);
+        }
+        ctx.retransmits += extra_sends;
+        let extra_cpu = extra_sends * self.net.send_overhead();
+        if extra_cpu == 0 {
+            return (t1, delay);
+        }
+        let t2 = ctx.noise.advance(t1, extra_cpu);
+        if t2 > t1 {
+            rec.span(OpSpan {
+                rank,
+                kind: SpanKind::Retransmit,
+                start: t1,
+                end: t2,
+                work: extra_cpu,
+            });
+        }
+        (t2, delay)
+    }
+
     /// Drive one rank forward from time `now` until it blocks, schedules a
     /// future resume, or finishes.
     #[allow(clippy::too_many_arguments)]
@@ -114,7 +178,10 @@ impl Machine<'_> {
                 PrimOp::Compute(w) => {
                     let ctx = &mut ranks[rank];
                     ctx.compute_work += w;
-                    let end = ctx.noise.advance(now, w);
+                    // A straggler fault stretches the executed work; the
+                    // span still records the *requested* work, so the
+                    // stretch is attributed as direct (extreme) noise.
+                    let end = ctx.noise.advance(now, ctx.straggled(w));
                     if end > now {
                         rec.span(OpSpan {
                             rank,
@@ -147,6 +214,7 @@ impl Machine<'_> {
                             work: self.net.send_overhead(),
                         });
                     }
+                    let (t1, retry) = self.charge_link_faults(&mut ranks[rank], rank, t1, rec);
                     rec.message(MsgRecord {
                         src: rank,
                         dst: peer,
@@ -155,7 +223,9 @@ impl Machine<'_> {
                         sent: t1,
                         kind: msg_kind(tag),
                     });
-                    let arrive = t1 + self.net.delivery(rank, peer, bytes);
+                    let arrive = t1
+                        .saturating_add(self.net.delivery(rank, peer, bytes))
+                        .saturating_add(retry);
                     *messages += 1;
                     q.push(
                         arrive,
@@ -165,6 +235,7 @@ impl Machine<'_> {
                             tag,
                             value,
                             sent: t1,
+                            retry,
                         },
                     );
                     if t1 == now {
@@ -223,6 +294,7 @@ impl Machine<'_> {
                             work: self.net.send_overhead(),
                         });
                     }
+                    let (t1, retry) = self.charge_link_faults(&mut ranks[rank], rank, t1, rec);
                     rec.message(MsgRecord {
                         src: rank,
                         dst: peer_send,
@@ -231,7 +303,9 @@ impl Machine<'_> {
                         sent: t1,
                         kind: msg_kind(stag),
                     });
-                    let arrive = t1 + self.net.delivery(rank, peer_send, sbytes);
+                    let arrive = t1
+                        .saturating_add(self.net.delivery(rank, peer_send, sbytes))
+                        .saturating_add(retry);
                     *messages += 1;
                     q.push(
                         arrive,
@@ -241,6 +315,7 @@ impl Machine<'_> {
                             tag: stag,
                             value: svalue,
                             sent: t1,
+                            retry,
                         },
                     );
                     let ctx = &mut ranks[rank];

@@ -23,6 +23,10 @@ pub(super) enum Event {
         /// difference to the delivery time is pure wire time, which blame
         /// attribution needs to separate from sender lateness.
         sent: Time,
+        /// Retransmission timeout delay accumulated on a lossy link (0 on
+        /// a reliable fabric); blame attributes this slice of the wait to
+        /// recovery rather than to the network.
+        retry: Time,
     },
 }
 
@@ -38,6 +42,7 @@ impl Machine<'_> {
         tag: Tag,
         value: f64,
         sent: Time,
+        retry: Time,
         t: Time,
         q: &mut EventQueue<Event>,
         rec: &mut R,
@@ -53,6 +58,7 @@ impl Machine<'_> {
                     src,
                     tag,
                     sent,
+                    retry,
                 });
                 let start = self.pickup(t);
                 let done = ctx.noise.advance(start, self.net.recv_overhead());
@@ -83,6 +89,7 @@ impl Machine<'_> {
                     src,
                     tag,
                     sent,
+                    retry,
                 });
                 let pickup = self.pickup(t);
                 let before = ctx.wait_t.max(pickup);

@@ -4,8 +4,9 @@
 use ghost_engine::queue::EventQueue;
 use ghost_engine::rng::NodeStream;
 use ghost_engine::time::{Time, Work};
-use ghost_net::Network;
-use ghost_noise::model::NoiseModel;
+use ghost_net::{LossyLink, Network};
+use ghost_noise::fault::FaultPlan;
+use ghost_noise::model::{streams, NoiseModel};
 
 use ghost_obs::record::{NullRecorder, OpSpan, Recorder, SpanKind, VecRecorder};
 
@@ -35,6 +36,12 @@ pub struct RunResult {
     pub messages: u64,
     /// Total events processed by the engine.
     pub events: u64,
+    /// Extra transmission attempts paid on lossy links (dropped attempts
+    /// plus duplicates; 0 on a reliable fabric).
+    pub retransmits: u64,
+    /// Ranks that crashed (fault injection) without stranding any peer;
+    /// their finish time is their crash instant. Empty in fault-free runs.
+    pub failed_ranks: Vec<Rank>,
     /// Per-op spans (only when tracing was enabled; empty otherwise).
     pub trace: Vec<OpSpan>,
 }
@@ -50,12 +57,32 @@ impl RunResult {
 }
 
 /// Why a run failed.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// No events remain but some ranks are still blocked in a receive.
     Deadlock {
         /// `(rank, awaited source, awaited tag)` for each blocked rank.
         blocked: Vec<(Rank, Rank, Tag)>,
+    },
+    /// An injected crash halted a rank and stranded peers that were
+    /// blocked on messages it will never send.
+    RankFailed {
+        /// The crashed rank.
+        rank: Rank,
+        /// The crash instant (ns).
+        at: Time,
+        /// `(rank, awaited source, awaited tag)` for each stranded peer.
+        stranded: Vec<(Rank, Rank, Tag)>,
+    },
+    /// The run's event budget ([`RunLimits::max_events`]) was exhausted.
+    EventLimit {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// The run's wall-clock watchdog ([`RunLimits::wall_clock`]) expired.
+    TimeLimit {
+        /// The configured deadline.
+        limit: std::time::Duration,
     },
 }
 
@@ -69,11 +96,69 @@ impl std::fmt::Display for RunError {
                 }
                 Ok(())
             }
+            RunError::RankFailed { rank, at, stranded } => {
+                write!(
+                    f,
+                    "rank {rank} failed at {at} ns; {} rank(s) stranded",
+                    stranded.len()
+                )?;
+                for (r, src, tag) in stranded.iter().take(8) {
+                    write!(f, "; rank {r} awaits (src {src}, tag {tag:#x})")?;
+                }
+                Ok(())
+            }
+            RunError::EventLimit { limit } => {
+                write!(f, "event budget exhausted: more than {limit} events")
+            }
+            RunError::TimeLimit { limit } => {
+                write!(f, "watchdog expired: run exceeded {limit:?} wall-clock")
+            }
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Cooperative per-run resource limits, checked inside the event loop.
+///
+/// The default imposes no limits. Campaign watchdogs use these to turn a
+/// runaway or livelocked simulation into a typed [`RunError`] instead of
+/// hanging a worker thread forever.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Abort after processing this many events.
+    pub max_events: Option<u64>,
+    /// Abort once the run has consumed this much host wall-clock time
+    /// (checked every few thousand events to keep the hot loop cheap).
+    pub wall_clock: Option<std::time::Duration>,
+}
+
+impl RunLimits {
+    /// No limits (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Limit only the event count.
+    pub fn events(max_events: u64) -> Self {
+        Self {
+            max_events: Some(max_events),
+            wall_clock: None,
+        }
+    }
+
+    /// Limit only host wall-clock time.
+    pub fn wall(limit: std::time::Duration) -> Self {
+        Self {
+            max_events: None,
+            wall_clock: Some(limit),
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        self.max_events.is_none() && self.wall_clock.is_none()
+    }
+}
 
 /// How a rank notices an arrived message.
 ///
@@ -106,6 +191,9 @@ pub struct Machine<'a> {
     pub(super) cfg: CollectiveConfig,
     pub(super) trace: bool,
     pub(super) recv_mode: RecvMode,
+    pub(super) faults: FaultPlan,
+    pub(super) lossy: Option<LossyLink>,
+    pub(super) limits: RunLimits,
 }
 
 impl<'a> Machine<'a> {
@@ -119,6 +207,9 @@ impl<'a> Machine<'a> {
             cfg: CollectiveConfig::default(),
             trace: false,
             recv_mode: RecvMode::Polling,
+            faults: FaultPlan::new(),
+            lossy: None,
+            limits: RunLimits::none(),
         }
     }
 
@@ -126,6 +217,26 @@ impl<'a> Machine<'a> {
     /// [`RecvMode::Polling`], the lightweight-kernel behaviour).
     pub fn with_recv_mode(mut self, mode: RecvMode) -> Self {
         self.recv_mode = mode;
+        self
+    }
+
+    /// Install a deterministic fault plan (default: empty — an empty plan
+    /// is guaranteed byte-identical to no plan at all).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Make the fabric lossy (default: reliable). A link with 0 ppm drop
+    /// and duplication probabilities is byte-identical to a reliable one.
+    pub fn with_lossy(mut self, lossy: LossyLink) -> Self {
+        self.lossy = Some(lossy);
+        self
+    }
+
+    /// Install cooperative run limits (default: none).
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -203,10 +314,21 @@ impl<'a> Machine<'a> {
         );
         assert!(size > 0, "no programs to run");
         let streams = NodeStream::new(self.seed);
+        let lossy_active = self.lossy.is_some_and(|l| !l.is_ideal());
         let mut ranks: Vec<RankCtx> = programs
             .into_iter()
             .enumerate()
-            .map(|(node, program)| RankCtx::new(program, self.noise.instantiate(node, &streams)))
+            .map(|(node, program)| {
+                let noise = self.noise.instantiate(node, &streams);
+                let noise = self.faults.apply_delays(node, noise);
+                let mut ctx = RankCtx::new(program, noise);
+                ctx.crash_at = self.faults.crash_at(node);
+                ctx.straggle_x1000 = self.faults.straggle_x1000(node);
+                if lossy_active || self.faults.has_link_faults(node) {
+                    ctx.fault_rng = Some(streams.for_node(node, streams::FAULTS));
+                }
+                ctx
+            })
             .collect();
 
         let mut q: EventQueue<Event> = EventQueue::with_capacity(size * 4);
@@ -215,8 +337,30 @@ impl<'a> Machine<'a> {
             q.push(0, Event::Resume { rank, value: None });
         }
 
+        let watchdog_start = std::time::Instant::now();
         while let Some((t, ev)) = q.pop() {
+            if !self.limits.is_none() {
+                if let Some(max) = self.limits.max_events {
+                    if q.total_popped() > max {
+                        return Err(RunError::EventLimit { limit: max });
+                    }
+                }
+                if let Some(deadline) = self.limits.wall_clock {
+                    // Check the host clock only every 4096 events: the
+                    // syscall would otherwise dominate the hot loop.
+                    if q.total_popped() & 0xFFF == 0 && watchdog_start.elapsed() > deadline {
+                        return Err(RunError::TimeLimit { limit: deadline });
+                    }
+                }
+            }
             match ev {
+                Event::Resume { rank, value } if ranks[rank].check_crash(t) => {
+                    // The rank is dead: its pending resume evaporates.
+                    let _ = value;
+                }
+                Event::Deliver { dst, .. } if ranks[dst].check_crash(t) => {
+                    // Delivery to a dead rank: the message is lost.
+                }
                 Event::Resume { rank, value } => match ranks[rank].state {
                     RState::WaitResume => {
                         self.drive(&mut ranks, rank, size, t, value, &mut q, &mut messages, rec);
@@ -248,7 +392,7 @@ impl<'a> Machine<'a> {
                             ctx.block_start = t;
                         }
                     }
-                    RState::WaitRecv { .. } | RState::WaitAll | RState::Done => {
+                    RState::WaitRecv { .. } | RState::WaitAll | RState::Done | RState::Failed => {
                         unreachable!("resume for rank {rank} in invalid state")
                     }
                 },
@@ -258,13 +402,28 @@ impl<'a> Machine<'a> {
                     tag,
                     value,
                     sent,
+                    retry,
                 } => {
-                    self.deliver(&mut ranks, dst, src, tag, value, sent, t, &mut q, rec);
+                    self.deliver(
+                        &mut ranks, dst, src, tag, value, sent, retry, t, &mut q, rec,
+                    );
                 }
             }
         }
 
-        // Queue drained: every rank must have finished.
+        // Queue drained. A rank with a scheduled crash that is still blocked
+        // would be overtaken by its crash while waiting forever: halt it.
+        for ctx in ranks.iter_mut() {
+            if ctx.crash_at.is_some()
+                && matches!(ctx.state, RState::WaitRecv { .. } | RState::WaitAll)
+            {
+                ctx.state = RState::Failed;
+                ctx.finish = Some(ctx.crash_at.unwrap_or(0));
+            }
+        }
+
+        // Every surviving rank must have finished; blocked survivors mean
+        // either a stranding crash (typed fault outcome) or a deadlock.
         let blocked: Vec<(Rank, Rank, Tag)> = ranks
             .iter()
             .enumerate()
@@ -277,10 +436,25 @@ impl<'a> Machine<'a> {
                 _ => None,
             })
             .collect();
+        let failed: Vec<Rank> = ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, ctx)| ctx.state == RState::Failed)
+            .map(|(r, _)| r)
+            .collect();
         if !blocked.is_empty() {
+            if let Some(&rank) = failed.first() {
+                return Err(RunError::RankFailed {
+                    rank,
+                    at: ranks[rank].finish.unwrap_or(0),
+                    stranded: blocked,
+                });
+            }
             return Err(RunError::Deadlock { blocked });
         }
-        debug_assert!(ranks.iter().all(|c| matches!(c.state, RState::Done)));
+        debug_assert!(ranks
+            .iter()
+            .all(|c| matches!(c.state, RState::Done | RState::Failed)));
 
         let finish_times: Vec<Time> = ranks.iter().map(|c| c.finish.unwrap_or(0)).collect();
         let makespan = finish_times.iter().copied().max().unwrap_or(0);
@@ -292,6 +466,8 @@ impl<'a> Machine<'a> {
             blocked_time: ranks.iter().map(|c| c.blocked).collect(),
             messages,
             events: q.total_popped(),
+            retransmits: ranks.iter().map(|c| c.retransmits).sum(),
+            failed_ranks: failed,
             trace: Vec::new(),
         })
     }

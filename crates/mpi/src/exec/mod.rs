@@ -44,7 +44,7 @@ mod tests_core;
 #[cfg(test)]
 mod tests_waitall;
 
-pub use machine::{Machine, RecvMode, RunError, RunResult};
+pub use machine::{Machine, RecvMode, RunError, RunLimits, RunResult};
 
 // Span types live in `ghost-obs` (the executor streams them into any
 // `Recorder`); re-exported here so existing `ghost_mpi::exec::OpSpan`

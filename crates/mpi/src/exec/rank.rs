@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use ghost_engine::rng::Xoshiro256;
 use ghost_engine::time::{Time, Work};
 use ghost_noise::model::NodeNoise;
 
@@ -28,6 +29,9 @@ pub(super) enum RState {
     /// Blocked in `WaitAll` for outstanding nonblocking receives.
     WaitAll,
     Done,
+    /// Permanently crashed (fault injection): never sends, receives, or
+    /// resumes again.
+    Failed,
 }
 
 /// All mutable per-rank state the executor threads through the event loop.
@@ -54,6 +58,15 @@ pub(super) struct RankCtx {
     pub(super) wait_accum: f64,
     /// CPU time cursor for sequential message processing in `WaitAll`.
     pub(super) wait_t: Time,
+    /// Fault injection: instant this rank permanently crashes, if any.
+    pub(super) crash_at: Option<Time>,
+    /// Fault injection: straggler factor in thousandths (1000 = none).
+    pub(super) straggle_x1000: u64,
+    /// Dedicated RNG for link-fault draws (present only when this rank
+    /// can drop/duplicate messages, so fault-free runs make no draws).
+    pub(super) fault_rng: Option<Xoshiro256>,
+    /// Extra transmission attempts this rank paid for (drops + duplicates).
+    pub(super) retransmits: u64,
 }
 
 impl RankCtx {
@@ -75,6 +88,38 @@ impl RankCtx {
             wait_cursor: 0,
             wait_accum: 0.0,
             wait_t: 0,
+            crash_at: None,
+            straggle_x1000: 1000,
+            fault_rng: None,
+            retransmits: 0,
+        }
+    }
+
+    /// If this rank is (or has just become) permanently crashed as of the
+    /// event boundary `t`, halt it and report `true` — the caller must then
+    /// drop the event. A crash takes effect at the first event boundary at
+    /// or after its scheduled instant; the recorded finish time is the
+    /// scheduled crash instant itself.
+    pub(super) fn check_crash(&mut self, t: Time) -> bool {
+        if self.state == RState::Failed {
+            return true;
+        }
+        match self.crash_at {
+            Some(at) if t >= at && self.state != RState::Done => {
+                self.state = RState::Failed;
+                self.finish = Some(at);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stretch requested compute work by this rank's straggler factor.
+    pub(super) fn straggled(&self, w: Work) -> Work {
+        if self.straggle_x1000 == 1000 {
+            w
+        } else {
+            ((w as u128 * self.straggle_x1000 as u128) / 1000) as Work
         }
     }
 

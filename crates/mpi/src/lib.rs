@@ -46,6 +46,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Simulator code must degrade through typed errors, never abort: panicking
+// and unwrapping are denied in lib code (tests are exempt). `ci.sh` also
+// enforces this with a scoped clippy pass.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod coll;
 pub mod exec;
@@ -53,7 +57,7 @@ pub mod goal;
 pub mod program;
 pub mod types;
 
-pub use exec::{Machine, RecvMode, RunError, RunResult};
+pub use exec::{Machine, RecvMode, RunError, RunLimits, RunResult};
 pub use goal::GoalWorkload;
 pub use program::{Program, ScriptProgram};
 pub use types::{

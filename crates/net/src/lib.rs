@@ -20,9 +20,15 @@
 //! out of scope (documented in DESIGN.md).
 
 #![warn(missing_docs)]
+// Simulator code must degrade through typed errors, never abort: panicking
+// and unwrapping are denied in lib code (tests are exempt). `ci.sh` also
+// enforces this with a scoped clippy pass.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod loggp;
+pub mod lossy;
 pub mod topology;
 
 pub use loggp::{LogGP, Network};
+pub use lossy::{LossyLink, RetryModel};
 pub use topology::{Dragonfly, FatTree, Flat, Topology, Torus3D};

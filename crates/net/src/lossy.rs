@@ -1,0 +1,235 @@
+//! Lossy links: packet drop/duplication with a retransmission cost model.
+//!
+//! The LogGP model of [`crate::loggp`] assumes a perfectly reliable fabric.
+//! This module adds the unreliable variant used by the resilience
+//! experiments: each transmission attempt is dropped with a configurable
+//! probability, and every drop costs the sender one extra overhead `o`
+//! (the retransmission) plus a timeout drawn from an exponential-backoff
+//! ladder before the retry departs — i.e. the retransmit cost is charged
+//! to the same LogGP budget as a first transmission, never hand-waved.
+//!
+//! Everything here is plain integer data (`Eq`/`Hash`) so lossy
+//! configurations can key memo caches, and all sampling is routed through
+//! the caller-supplied [`Xoshiro256`] so identical seeds reproduce
+//! identical drop sequences. A `drop_ppm`/`dup_ppm` of zero makes *zero*
+//! RNG draws — a lossless lossy-link is byte-identical to no lossy-link.
+
+use ghost_engine::rng::Xoshiro256;
+use ghost_engine::time::{Time, US};
+
+/// Retransmission timeout/backoff schedule.
+///
+/// Attempt `i` (0-based) that is dropped costs the sender a timeout of
+/// `rto * (backoff_x1000 / 1000)^i` nanoseconds (saturating, capped by
+/// [`RetryModel::max_rto`]) before the next attempt departs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryModel {
+    /// Base retransmission timeout (ns).
+    pub rto: Time,
+    /// Backoff multiplier in thousandths (2000 = double every retry).
+    pub backoff_x1000: u32,
+    /// Cap on any single timeout (ns); 0 means uncapped.
+    pub max_rto: Time,
+    /// Maximum number of retransmissions per message. The attempt after
+    /// the last retry always succeeds (the simulation must terminate), so
+    /// a message costs at most `max_retries` extra overheads + timeouts.
+    pub max_retries: u32,
+}
+
+impl Default for RetryModel {
+    /// 100 µs base timeout, doubling per retry, capped at 10 ms, 8 retries.
+    fn default() -> Self {
+        Self {
+            rto: 100 * US,
+            backoff_x1000: 2000,
+            max_rto: 10_000 * US,
+            max_retries: 8,
+        }
+    }
+}
+
+impl RetryModel {
+    /// Timeout charged for the `i`-th (0-based) dropped attempt.
+    pub fn timeout(&self, i: u32) -> Time {
+        let mut t = self.rto as u128;
+        for _ in 0..i {
+            t = t * u128::from(self.backoff_x1000.max(1000)) / 1000;
+            if self.max_rto > 0 && t >= self.max_rto as u128 {
+                return self.max_rto;
+            }
+        }
+        let t = t.min(u128::from(Time::MAX)) as Time;
+        if self.max_rto > 0 {
+            t.min(self.max_rto)
+        } else {
+            t
+        }
+    }
+
+    /// Total timeout delay accumulated by a message that needed `attempts`
+    /// transmissions (the first `attempts - 1` were dropped).
+    pub fn total_delay(&self, attempts: u32) -> Time {
+        let mut total: Time = 0;
+        for i in 0..attempts.saturating_sub(1) {
+            total = total.saturating_add(self.timeout(i));
+        }
+        total
+    }
+}
+
+/// A machine-wide unreliable fabric: per-attempt drop and per-message
+/// duplication probabilities plus the retransmission schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LossyLink {
+    /// Per-attempt drop probability in parts per million.
+    pub drop_ppm: u32,
+    /// Per-message duplication probability in parts per million (the
+    /// duplicate costs the sender one extra overhead; the receiver
+    /// discards it by sequence number at no cost).
+    pub dup_ppm: u32,
+    /// Timeout/backoff model for retransmissions.
+    pub retry: RetryModel,
+}
+
+impl Default for LossyLink {
+    /// A reliable link (0 ppm everywhere) with the default retry schedule.
+    fn default() -> Self {
+        Self {
+            drop_ppm: 0,
+            dup_ppm: 0,
+            retry: RetryModel::default(),
+        }
+    }
+}
+
+impl LossyLink {
+    /// A link that drops each attempt with probability `drop_ppm / 1e6`.
+    pub fn drops(drop_ppm: u32) -> Self {
+        Self {
+            drop_ppm,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this link never drops or duplicates (behaviourally identical
+    /// to no lossy link at all — no RNG draws are made).
+    pub fn is_ideal(&self) -> bool {
+        self.drop_ppm == 0 && self.dup_ppm == 0
+    }
+}
+
+/// Sample how many transmissions a message needs under a per-attempt drop
+/// probability of `drop_ppm / 1e6` with at most `max_retries` retries.
+///
+/// Returns `attempts >= 1`; the first `attempts - 1` were dropped. With
+/// `drop_ppm == 0` this returns 1 without touching the RNG, which is what
+/// makes a 0-ppm link byte-identical to the reliable baseline.
+pub fn sample_attempts(drop_ppm: u32, max_retries: u32, rng: &mut Xoshiro256) -> u32 {
+    if drop_ppm == 0 {
+        return 1;
+    }
+    let mut attempts: u32 = 1;
+    while attempts <= max_retries && rng.gen_range(1_000_000) < u64::from(drop_ppm) {
+        attempts += 1;
+    }
+    attempts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_ladder_backs_off_and_caps() {
+        let r = RetryModel {
+            rto: 100,
+            backoff_x1000: 2000,
+            max_rto: 500,
+            max_retries: 8,
+        };
+        assert_eq!(r.timeout(0), 100);
+        assert_eq!(r.timeout(1), 200);
+        assert_eq!(r.timeout(2), 400);
+        assert_eq!(r.timeout(3), 500, "capped");
+        assert_eq!(r.timeout(30), 500);
+    }
+
+    #[test]
+    fn total_delay_sums_the_ladder() {
+        let r = RetryModel {
+            rto: 100,
+            backoff_x1000: 2000,
+            max_rto: 0,
+            max_retries: 8,
+        };
+        assert_eq!(r.total_delay(1), 0, "first attempt succeeded");
+        assert_eq!(r.total_delay(2), 100);
+        assert_eq!(r.total_delay(3), 300);
+        assert_eq!(r.total_delay(4), 700);
+    }
+
+    #[test]
+    fn backoff_below_one_is_clamped() {
+        let r = RetryModel {
+            rto: 100,
+            backoff_x1000: 500,
+            max_rto: 0,
+            max_retries: 4,
+        };
+        assert_eq!(r.timeout(3), 100, "backoff never shrinks the timeout");
+    }
+
+    #[test]
+    fn zero_ppm_makes_no_rng_draws() {
+        let mut a = Xoshiro256::seed_from_u64(7);
+        let mut b = Xoshiro256::seed_from_u64(7);
+        assert_eq!(sample_attempts(0, 8, &mut a), 1);
+        // The RNG state is untouched: both generators still agree.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn certain_drop_exhausts_the_retry_budget() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(sample_attempts(1_000_000, 3, &mut rng), 4);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let draw = |seed| {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            (0..64)
+                .map(|_| sample_attempts(200_000, 8, &mut rng))
+                .collect::<Vec<u32>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(
+            draw(42),
+            draw(43),
+            "different seeds explore different drops"
+        );
+    }
+
+    #[test]
+    fn drop_rate_matches_the_configured_probability() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let n = 100_000;
+        let extra: u64 = (0..n)
+            .map(|_| u64::from(sample_attempts(250_000, 32, &mut rng) - 1))
+            .sum();
+        // E[extra attempts] = p / (1 - p) = 1/3 for p = 0.25.
+        let mean = extra as f64 / n as f64;
+        assert!((mean - 1.0 / 3.0).abs() < 0.02, "mean extra = {mean}");
+    }
+
+    #[test]
+    fn lossy_links_are_hashable_cache_keys() {
+        use std::collections::HashSet;
+        let set: HashSet<LossyLink> = [LossyLink::drops(100), LossyLink::drops(100)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 1);
+        assert!(LossyLink::default().is_ideal());
+        assert!(!LossyLink::drops(1).is_ideal());
+    }
+}

@@ -1,0 +1,460 @@
+//! Deterministic fault plans: the unbounded tail of the noise spectrum.
+//!
+//! The SC'07 study injects *bounded* kernel interference; this module
+//! models the same spectrum's extreme events — one-off stalls (Afzal et
+//! al.'s injected delays), persistent stragglers, message drop/duplication
+//! windows, and permanent rank crashes — as first-class, seed-reproducible
+//! simulation inputs. A [`FaultPlan`] is a list of [`FaultKind`]s addressed
+//! by `(rank, time-window)`; all probabilistic draws it induces come from
+//! the dedicated [`crate::model::streams::FAULTS`] per-node RNG stream, so
+//! adding a fault never perturbs the noise-phase, arrival, or imbalance
+//! sequences of an experiment.
+//!
+//! Determinism contract: a fault plan is plain integer data (`Eq`/`Hash`),
+//! and for a fixed `(seed, plan)` every induced event — which packets drop,
+//! how long each retransmission ladder runs, when a rank halts — is a pure
+//! function of the experiment seed. An empty plan is guaranteed to be
+//! byte-identical to not having a plan at all: no RNG stream is created,
+//! no wrapper is installed, no draw is made.
+
+use ghost_engine::time::{Time, Work};
+
+use crate::model::NodeNoise;
+
+/// One fault, scoped to a single rank.
+///
+/// All fields are integers so plans can serve as memo-cache keys
+/// (`Eq`/`Hash`); fractional quantities use parts-per-million (`_ppm`) or
+/// thousandths (`_x1000`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A transient stall: the rank's CPU freezes for `duration` ns starting
+    /// at `at` (an extreme one-off noise pulse; Afzal-style injected delay).
+    Delay {
+        /// Stall onset (ns).
+        at: Time,
+        /// Stall length (ns).
+        duration: Time,
+    },
+    /// A persistent straggler: every compute segment takes
+    /// `factor_x1000 / 1000` times its requested work.
+    Straggler {
+        /// Slowdown factor in thousandths (1500 = 1.5x). Values below
+        /// 1000 are clamped to 1000 (a fault cannot speed a rank up).
+        factor_x1000: u32,
+    },
+    /// A permanent crash: the rank halts at the first scheduler boundary
+    /// at or after `at` and never sends or receives again.
+    Crash {
+        /// Crash instant (ns).
+        at: Time,
+    },
+    /// Message-drop window: sends departing this rank within `[from, until)`
+    /// are dropped with probability `prob_ppm / 1e6` per transmission
+    /// attempt (each drop triggers a retransmission).
+    Drop {
+        /// Window start (ns).
+        from: Time,
+        /// Window end (ns, exclusive).
+        until: Time,
+        /// Per-attempt drop probability in parts per million.
+        prob_ppm: u32,
+    },
+    /// Message-duplication window: sends departing this rank within
+    /// `[from, until)` are transmitted twice with probability
+    /// `prob_ppm / 1e6` (the sender pays the extra overhead; the receiver
+    /// discards the duplicate by sequence number at no cost).
+    Duplicate {
+        /// Window start (ns).
+        from: Time,
+        /// Window end (ns, exclusive).
+        until: Time,
+        /// Duplication probability in parts per million.
+        prob_ppm: u32,
+    },
+}
+
+/// A fault assigned to one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// The afflicted rank.
+    pub rank: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule for one simulated run.
+///
+/// Built with the chainable `with_*` constructors; queried by the executor
+/// per rank. The default (empty) plan induces zero behavioural difference.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of fault events in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The raw fault events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Add an arbitrary fault event.
+    pub fn with(mut self, rank: usize, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { rank, kind });
+        self
+    }
+
+    /// Add a one-off `duration`-long stall on `rank` starting at `at`.
+    pub fn with_delay(self, rank: usize, at: Time, duration: Time) -> Self {
+        self.with(rank, FaultKind::Delay { at, duration })
+    }
+
+    /// Make `rank` a persistent straggler (`factor_x1000 / 1000` slowdown).
+    pub fn with_straggler(self, rank: usize, factor_x1000: u32) -> Self {
+        self.with(rank, FaultKind::Straggler { factor_x1000 })
+    }
+
+    /// Crash `rank` permanently at `at`.
+    pub fn with_crash(self, rank: usize, at: Time) -> Self {
+        self.with(rank, FaultKind::Crash { at })
+    }
+
+    /// Drop messages departing `rank` in `[from, until)` with probability
+    /// `prob_ppm / 1e6` per attempt.
+    pub fn with_drop_window(self, rank: usize, from: Time, until: Time, prob_ppm: u32) -> Self {
+        self.with(
+            rank,
+            FaultKind::Drop {
+                from,
+                until,
+                prob_ppm,
+            },
+        )
+    }
+
+    /// Duplicate messages departing `rank` in `[from, until)` with
+    /// probability `prob_ppm / 1e6`.
+    pub fn with_duplicate_window(
+        self,
+        rank: usize,
+        from: Time,
+        until: Time,
+        prob_ppm: u32,
+    ) -> Self {
+        self.with(
+            rank,
+            FaultKind::Duplicate {
+                from,
+                until,
+                prob_ppm,
+            },
+        )
+    }
+
+    /// Earliest crash time scheduled for `rank`, if any.
+    pub fn crash_at(&self, rank: usize) -> Option<Time> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { at } if e.rank == rank => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Combined straggler factor for `rank` in thousandths (1000 = none).
+    /// Multiple straggler faults compound multiplicatively.
+    pub fn straggle_x1000(&self, rank: usize) -> u64 {
+        let mut f: u64 = 1000;
+        for e in &self.events {
+            if let FaultKind::Straggler { factor_x1000 } = e.kind {
+                if e.rank == rank {
+                    f = f * u64::from(factor_x1000.max(1000)) / 1000;
+                }
+            }
+        }
+        f
+    }
+
+    /// One-off stalls scheduled for `rank`, as `(at, duration)` pairs sorted
+    /// by onset.
+    pub fn delays(&self, rank: usize) -> Vec<(Time, Time)> {
+        let mut v: Vec<(Time, Time)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Delay { at, duration } if e.rank == rank && duration > 0 => {
+                    Some((at, duration))
+                }
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Plan-level drop probability (ppm) for a message departing `rank` at
+    /// `t`: the maximum over all matching drop windows.
+    pub fn drop_ppm(&self, rank: usize, t: Time) -> u32 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Drop {
+                    from,
+                    until,
+                    prob_ppm,
+                } if e.rank == rank && t >= from && t < until => Some(prob_ppm),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Plan-level duplication probability (ppm) for a message departing
+    /// `rank` at `t`.
+    pub fn dup_ppm(&self, rank: usize, t: Time) -> u32 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Duplicate {
+                    from,
+                    until,
+                    prob_ppm,
+                } if e.rank == rank && t >= from && t < until => Some(prob_ppm),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `rank` has any drop/duplication windows (and therefore needs
+    /// a fault RNG stream even without a machine-wide lossy link).
+    pub fn has_link_faults(&self, rank: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.rank == rank
+                && matches!(
+                    e.kind,
+                    FaultKind::Drop { prob_ppm, .. } | FaultKind::Duplicate { prob_ppm, .. }
+                    if prob_ppm > 0
+                )
+        })
+    }
+
+    /// Wrap `noise` with this plan's one-off stalls for `rank` (a no-op
+    /// returning `noise` unchanged when the rank has none).
+    pub fn apply_delays(&self, rank: usize, noise: Box<dyn NodeNoise>) -> Box<dyn NodeNoise> {
+        let mut wrapped = noise;
+        for (at, duration) in self.delays(rank) {
+            wrapped = Box::new(OneOffDelay::new(wrapped, at, duration));
+        }
+        wrapped
+    }
+}
+
+/// A frozen-clock stall wrapped around an arbitrary noise process.
+///
+/// During `[start, start + duration)` the node's clock is *frozen*: no
+/// application work and no inner-noise schedule progress happen; both
+/// resume, shifted by `duration`, when the stall ends. This is implemented
+/// as a real↔virtual time map (`virtual = real` before the stall,
+/// `virtual = real - duration` after it), so each call forwards exactly one
+/// monotone query to the inner process — the forward-cursor contract of
+/// [`NodeNoise`] holds for arbitrary stateful inner noise.
+///
+/// A completion that lands exactly on the stall onset is held until the
+/// stall ends (the boundary instant belongs to the stall).
+pub struct OneOffDelay {
+    inner: Box<dyn NodeNoise>,
+    start: Time,
+    duration: Time,
+}
+
+impl OneOffDelay {
+    /// Freeze `inner`'s node for `duration` ns starting at `start`.
+    pub fn new(inner: Box<dyn NodeNoise>, start: Time, duration: Time) -> Self {
+        Self {
+            inner,
+            start,
+            duration,
+        }
+    }
+
+    /// Map a real instant to the inner process's virtual clock.
+    #[inline]
+    fn virt(&self, t: Time) -> Time {
+        if t <= self.start {
+            t
+        } else if t < self.start.saturating_add(self.duration) {
+            self.start
+        } else {
+            t - self.duration
+        }
+    }
+
+    /// Map an inner (virtual) completion back to real time.
+    #[inline]
+    fn real(&self, v: Time) -> Time {
+        if v < self.start {
+            v
+        } else {
+            v.saturating_add(self.duration)
+        }
+    }
+}
+
+impl NodeNoise for OneOffDelay {
+    fn advance(&mut self, t: Time, work: Work) -> Time {
+        let v = self.virt(t);
+        let done = self.inner.advance(v, work);
+        self.real(done)
+    }
+
+    fn work_in(&mut self, t0: Time, t1: Time) -> Work {
+        self.inner.work_in(self.virt(t0), self.virt(t1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NoNoise;
+    use ghost_engine::time::{MS, US};
+
+    fn stalled(start: Time, dur: Time) -> OneOffDelay {
+        OneOffDelay::new(Box::new(NoNoise), start, dur)
+    }
+
+    #[test]
+    fn work_before_the_stall_is_untouched() {
+        let mut d = stalled(100, 50);
+        assert_eq!(d.advance(0, 99), 99);
+    }
+
+    #[test]
+    fn work_crossing_the_stall_is_shifted() {
+        let mut d = stalled(100, 50);
+        // 120 ns of work from t=0: 100 run, freeze 50, 20 more -> 170.
+        assert_eq!(d.advance(0, 120), 170);
+    }
+
+    #[test]
+    fn completion_on_the_boundary_is_held() {
+        let mut d = stalled(100, 50);
+        assert_eq!(d.advance(0, 100), 150);
+    }
+
+    #[test]
+    fn queries_inside_the_stall_wait_for_its_end() {
+        let mut d = stalled(100, 50);
+        assert_eq!(d.advance(120, 0), 150, "next_free inside the stall");
+        assert_eq!(d.advance(130, 10), 160);
+    }
+
+    #[test]
+    fn after_the_stall_everything_shifts_by_duration() {
+        let mut d = stalled(100, 50);
+        assert_eq!(d.advance(200, 10), 210);
+    }
+
+    #[test]
+    fn work_in_excludes_the_stall() {
+        let mut d = stalled(100, 50);
+        assert_eq!(d.work_in(0, 200), 150);
+        let mut d = stalled(100, 50);
+        assert_eq!(d.work_in(110, 140), 0, "fully inside the stall");
+    }
+
+    #[test]
+    fn inner_noise_schedule_is_frozen_not_skipped() {
+        use crate::periodic::PeriodicNoise;
+        // Periodic noise: 1 ms period, 100 us pulse at phase 0.
+        let inner = Box::new(PeriodicNoise::new(MS, 100 * US, 0));
+        let mut plain = PeriodicNoise::new(MS, 100 * US, 0);
+        let mut d = OneOffDelay::new(inner, 2 * MS, MS);
+        // Before the stall both agree.
+        assert_eq!(d.advance(0, 500 * US), plain.advance(0, 500 * US));
+        // After the stall the wrapped schedule is the plain one shifted by
+        // the stall duration.
+        let shifted = d.advance(4 * MS, 700 * US);
+        let base = plain.advance(3 * MS, 700 * US);
+        assert_eq!(shifted, base + MS);
+    }
+
+    #[test]
+    fn plan_queries_answer_per_rank() {
+        let p = FaultPlan::new()
+            .with_crash(3, 5 * MS)
+            .with_crash(3, 2 * MS)
+            .with_straggler(1, 1500)
+            .with_straggler(1, 2000)
+            .with_delay(0, MS, 100 * US)
+            .with_drop_window(2, 0, 10 * MS, 50_000)
+            .with_duplicate_window(2, MS, 2 * MS, 10_000);
+        assert_eq!(p.crash_at(3), Some(2 * MS), "earliest crash wins");
+        assert_eq!(p.crash_at(0), None);
+        assert_eq!(p.straggle_x1000(1), 3000, "stragglers compound");
+        assert_eq!(p.straggle_x1000(2), 1000);
+        assert_eq!(p.delays(0), vec![(MS, 100 * US)]);
+        assert_eq!(p.drop_ppm(2, 5 * MS), 50_000);
+        assert_eq!(p.drop_ppm(2, 10 * MS), 0, "window end is exclusive");
+        assert_eq!(p.drop_ppm(1, 5 * MS), 0);
+        assert_eq!(p.dup_ppm(2, MS + 1), 10_000);
+        assert!(p.has_link_faults(2));
+        assert!(!p.has_link_faults(3));
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn straggler_factor_below_one_is_clamped() {
+        let p = FaultPlan::new().with_straggler(0, 500);
+        assert_eq!(p.straggle_x1000(0), 1000);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.crash_at(0), None);
+        assert_eq!(p.straggle_x1000(0), 1000);
+        assert_eq!(p.drop_ppm(0, 0), 0);
+        let mut n = p.apply_delays(0, Box::new(NoNoise));
+        assert_eq!(n.advance(0, 123), 123);
+    }
+
+    #[test]
+    fn plans_are_hashable_cache_keys() {
+        use std::collections::HashSet;
+        let a = FaultPlan::new().with_crash(1, MS);
+        let b = FaultPlan::new().with_crash(1, MS);
+        let c = FaultPlan::new().with_crash(1, 2 * MS);
+        assert_eq!(a, b);
+        let set: HashSet<FaultPlan> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn stacked_delays_accumulate() {
+        let p = FaultPlan::new()
+            .with_delay(0, 100, 50)
+            .with_delay(0, 300, 25);
+        let mut n = p.apply_delays(0, Box::new(NoNoise));
+        // 400 ns of work from 0: stalls at 100 (+50) and at ~300 (+25).
+        let end = n.advance(0, 400);
+        assert_eq!(end, 475);
+    }
+}

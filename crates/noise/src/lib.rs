@@ -51,6 +51,7 @@
 
 pub mod burst;
 pub mod composite;
+pub mod fault;
 pub mod ftq;
 pub mod intervals;
 pub mod jitter;
@@ -62,6 +63,7 @@ pub mod stats;
 pub mod stochastic;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan, OneOffDelay};
 pub use model::{NoNoise, NodeNoise, NoiseModel, PhasePolicy};
 pub use periodic::PeriodicNoise;
 pub use signature::Signature;

@@ -98,6 +98,10 @@ pub mod streams {
     pub const ARRIVALS: u64 = 0x02;
     /// Application load-imbalance draws.
     pub const IMBALANCE: u64 = 0x03;
+    /// Fault-injection draws (message drop/duplication); see
+    /// [`crate::fault`]. A dedicated stream guarantees that enabling a
+    /// fault plan never perturbs the phase/arrival/imbalance sequences.
+    pub const FAULTS: u64 = 0x04;
 }
 
 /// The noiseless baseline: a lightweight kernel that never steals the CPU

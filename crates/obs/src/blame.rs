@@ -1,7 +1,7 @@
 //! Noise-blame attribution: decompose each rank's wall-clock exactly.
 //!
 //! The analyzer walks a recorded [`Timeline`] and splits every rank's
-//! finish time into five integer-nanosecond categories:
+//! finish time into six integer-nanosecond categories:
 //!
 //! * **compute** — requested application CPU work actually executed;
 //! * **direct noise** — CPU time stolen from this rank by kernel noise
@@ -12,9 +12,14 @@
 //! * **network** — wire time, CPU-side messaging overhead (the LogGP
 //!   `o`), and unattributed delivery gaps (interrupt wakeup latency);
 //! * **intrinsic imbalance** — waiting caused by the application's own
-//!   load distribution, present even on a noiseless machine.
+//!   load distribution, present even on a noiseless machine;
+//! * **recovery** — fault-recovery cost on a lossy fabric: CPU overhead
+//!   paid for retransmissions ([`SpanKind::Retransmit`] spans) plus
+//!   retransmission timeouts embedded in waits
+//!   ([`crate::record::WaitRecord::retry`]), inherited transitively like
+//!   noise when a peer's recovery delays us.
 //!
-//! The five categories sum *exactly* to each rank's finish time (enforced
+//! The six categories sum *exactly* to each rank's finish time (enforced
 //! by tests); no time is dropped or double-counted within a rank.
 //!
 //! # Attribution of waits
@@ -56,6 +61,9 @@ const DIRECT: usize = 1;
 const PROPAGATED: usize = 2;
 const NETWORK: usize = 3;
 const IMBALANCE: usize = 4;
+const RECOVERY: usize = 5;
+/// Number of blame categories.
+const CATS: usize = 6;
 
 /// One rank's exact wall-clock decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,13 +82,21 @@ pub struct RankBlame {
     pub network: Time,
     /// Waiting due to the application's intrinsic load imbalance.
     pub imbalance: Time,
+    /// Fault-recovery time: retransmission overhead and timeouts, own or
+    /// inherited from peers (0 on a reliable fabric).
+    pub recovery: Time,
 }
 
 impl RankBlame {
-    /// Sum of the five categories; equals [`RankBlame::wall`] for a
+    /// Sum of the six categories; equals [`RankBlame::wall`] for a
     /// consistent timeline.
     pub fn total(&self) -> Time {
-        self.compute + self.direct_noise + self.propagated_noise + self.network + self.imbalance
+        self.compute
+            + self.direct_noise
+            + self.propagated_noise
+            + self.network
+            + self.imbalance
+            + self.recovery
     }
 
     /// Total noise this rank *felt*, directly or through peers.
@@ -107,6 +123,7 @@ impl BlameReport {
             propagated_noise: 0,
             network: 0,
             imbalance: 0,
+            recovery: 0,
         };
         for r in &self.ranks {
             t.wall += r.wall;
@@ -115,6 +132,7 @@ impl BlameReport {
             t.propagated_noise += r.propagated_noise;
             t.network += r.network;
             t.imbalance += r.imbalance;
+            t.recovery += r.recovery;
         }
         t
     }
@@ -154,7 +172,7 @@ impl BlameReport {
 struct Seg {
     start: Time,
     end: Time,
-    mix: [Time; 5],
+    mix: [Time; CATS],
 }
 
 enum Item {
@@ -171,6 +189,7 @@ enum Item {
         end: Time,
         src: Rank,
         sent: Time,
+        retry: Time,
     },
 }
 
@@ -201,20 +220,20 @@ impl Item {
 /// Integer floors are taken per category and the remainder is assigned to
 /// the category with the largest share, so the parts sum exactly to
 /// `overlap`.
-fn prorate(mix: &[Time; 5], len: Time, overlap: Time) -> [Time; 5] {
+fn prorate(mix: &[Time; CATS], len: Time, overlap: Time) -> [Time; CATS] {
     debug_assert!(overlap <= len && len > 0);
     if overlap == len {
         return *mix;
     }
-    let mut out = [0u64; 5];
+    let mut out = [0u64; CATS];
     let mut assigned = 0u64;
-    for k in 0..5 {
+    for k in 0..CATS {
         out[k] = ((mix[k] as u128 * overlap as u128) / len as u128) as u64;
         assigned += out[k];
     }
     let rem = overlap - assigned;
     if rem > 0 {
-        let k = (0..5).max_by_key(|&k| (mix[k], k)).unwrap_or(IMBALANCE);
+        let k = (0..CATS).max_by_key(|&k| (mix[k], k)).unwrap_or(IMBALANCE);
         out[k] += rem;
     }
     out
@@ -222,8 +241,8 @@ fn prorate(mix: &[Time; 5], len: Time, overlap: Time) -> [Time; 5] {
 
 /// Integrate a rank's attributed segments over the window `[w0, w1)`,
 /// returning per-category nanoseconds plus the uncovered remainder.
-fn window_mix(segs: &[Seg], w0: Time, w1: Time) -> ([Time; 5], Time) {
-    let mut acc = [0u64; 5];
+fn window_mix(segs: &[Seg], w0: Time, w1: Time) -> ([Time; CATS], Time) {
+    let mut acc = [0u64; CATS];
     let mut covered = 0u64;
     if w1 <= w0 {
         return (acc, 0);
@@ -237,7 +256,7 @@ fn window_mix(segs: &[Seg], w0: Time, w1: Time) -> ([Time; 5], Time) {
         let hi = s.end.min(w1);
         if hi > lo {
             let part = prorate(&s.mix, s.end - s.start, hi - lo);
-            for k in 0..5 {
+            for k in 0..CATS {
                 acc[k] += part[k];
             }
             covered += hi - lo;
@@ -276,6 +295,7 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
                 end: w.end,
                 src: w.src,
                 sent: w.sent,
+                retry: w.retry,
             });
         }
     }
@@ -298,7 +318,7 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
                     let len = end - start;
                     let w = work.min(len);
                     let stretch = len - w;
-                    let mut mix = [0u64; 5];
+                    let mut mix = [0u64; CATS];
                     match kind {
                         SpanKind::Compute => {
                             mix[COMPUTE] = w;
@@ -306,6 +326,10 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
                         }
                         SpanKind::SendOverhead | SpanKind::RecvProcess => {
                             mix[NETWORK] = w;
+                            mix[DIRECT] = stretch;
+                        }
+                        SpanKind::Retransmit => {
+                            mix[RECOVERY] = w;
                             mix[DIRECT] = stretch;
                         }
                         SpanKind::Blocked => unreachable!("filtered above"),
@@ -328,8 +352,9 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
                             end: e,
                             src,
                             sent,
+                            retry,
                         } if e == end => {
-                            group.push((rank, start, e, src, sent));
+                            group.push((rank, start, e, src, sent, retry));
                             i += 1;
                         }
                         _ => break,
@@ -339,14 +364,16 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
                 while !pending.is_empty() {
                     let ready: Vec<usize> = (0..pending.len())
                         .filter(|&gi| {
-                            let (_, _, _, src, sent) = pending[gi];
+                            let (_, _, _, src, sent, _) = pending[gi];
                             // Blocked on another unresolved wait in this
                             // group only if that wait overlaps our
                             // lateness window.
                             !pending
                                 .iter()
                                 .enumerate()
-                                .any(|(gj, &(r2, s2, _, _, _))| gj != gi && r2 == src && s2 < sent)
+                                .any(|(gj, &(r2, s2, _, _, _, _))| {
+                                    gj != gi && r2 == src && s2 < sent
+                                })
                         })
                         .collect();
                     // A dependency cycle at one instant cannot arise from a
@@ -358,26 +385,32 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
                         ready
                     };
                     for &gi in &take {
-                        let (rank, start, end, src, sent) = pending[gi];
+                        let (rank, start, end, src, sent, retry) = pending[gi];
                         if rank >= n {
                             continue;
                         }
-                        let mut mix = [0u64; 5];
-                        let lateness_end = sent.clamp(start, end);
+                        let mut mix = [0u64; CATS];
+                        // Retransmission timeouts delayed the arrival: that
+                        // tail of the wait is recovery, not wire time.
+                        let retry_in = retry.min(end - start);
+                        let attr_end = end - retry_in;
+                        mix[RECOVERY] = retry_in;
+                        let lateness_end = sent.clamp(start, attr_end);
                         // Wire: the message was in flight from
                         // `lateness_end` on.
-                        mix[NETWORK] = end - lateness_end;
+                        mix[NETWORK] = attr_end - lateness_end;
                         if lateness_end > start {
                             // The sender had not sent yet: replay its window.
                             let (sender_mix, uncovered) = if src < n {
                                 window_mix(&segs[src], start, lateness_end)
                             } else {
-                                ([0u64; 5], lateness_end - start)
+                                ([0u64; CATS], lateness_end - start)
                             };
                             mix[PROPAGATED] += sender_mix[DIRECT] + sender_mix[PROPAGATED];
                             mix[NETWORK] += sender_mix[NETWORK];
                             mix[IMBALANCE] +=
                                 sender_mix[COMPUTE] + sender_mix[IMBALANCE] + uncovered;
+                            mix[RECOVERY] += sender_mix[RECOVERY];
                         }
                         segs[rank].push(Seg { start, end, mix });
                     }
@@ -399,7 +432,7 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
             .get(r)
             .copied()
             .unwrap_or_else(|| rank_segs.last().map(|s| s.end).unwrap_or(0));
-        let mut mix = [0u64; 5];
+        let mut mix = [0u64; CATS];
         let mut covered = 0u64;
         for s in rank_segs {
             for (k, m) in mix.iter_mut().enumerate() {
@@ -419,6 +452,7 @@ pub fn analyze(timeline: &Timeline, finish_times: &[Time]) -> BlameReport {
             propagated_noise: mix[PROPAGATED],
             network: mix[NETWORK],
             imbalance: mix[IMBALANCE],
+            recovery: mix[RECOVERY],
         });
     }
     BlameReport { ranks }
@@ -447,6 +481,7 @@ mod tests {
             src,
             tag: 0,
             sent,
+            retry: 0,
         }
     }
 
@@ -566,7 +601,7 @@ mod tests {
 
     #[test]
     fn prorate_sums_exactly() {
-        let mix = [10u64, 3, 3, 3, 1]; // len 20
+        let mix = [10u64, 3, 3, 2, 1, 1]; // len 20
         for overlap in 0..=20 {
             let p = prorate(&mix, 20, overlap);
             assert_eq!(p.iter().sum::<u64>(), overlap, "overlap {overlap}");
@@ -584,11 +619,77 @@ mod tests {
             propagated_noise: 2,
             network: 4,
             imbalance: 4,
+            recovery: 0,
         });
         assert!((rep.propagation_factor() - 0.2).abs() < 1e-12);
         assert!((rep.absorbed_pct() - 80.0).abs() < 1e-9);
         assert_eq!(rep.sum().wall, 100);
         assert_eq!(rep.ranks[0].noise_felt(), 12);
+    }
+
+    #[test]
+    fn retransmit_spans_bill_recovery() {
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(0, SpanKind::SendOverhead, 0, 10, 10));
+        // Two extra transmission attempts, stretched 3 ns by noise.
+        tl.spans.push(cpu(0, SpanKind::Retransmit, 10, 33, 20));
+        let rep = analyze(&tl, &[33]);
+        assert_eq!(rep.ranks[0].recovery, 20);
+        assert_eq!(rep.ranks[0].direct_noise, 3);
+        assert_eq!(rep.ranks[0].network, 10);
+        check_sums(&rep, &[33]);
+    }
+
+    #[test]
+    fn retry_tail_of_a_wait_is_recovery_not_network() {
+        // Message departed at 0, wire 10, but retransmission timeouts
+        // added 40: arrival at 50, of which only 10 is wire.
+        let mut tl = Timeline::default();
+        tl.waits.push(WaitRecord {
+            rank: 0,
+            start: 0,
+            end: 50,
+            src: 1,
+            tag: 0,
+            sent: 0,
+            retry: 40,
+        });
+        let rep = analyze(&tl, &[50]);
+        assert_eq!(rep.ranks[0].recovery, 40);
+        assert_eq!(rep.ranks[0].network, 10);
+        check_sums(&rep, &[50]);
+    }
+
+    #[test]
+    fn sender_recovery_is_inherited_as_recovery() {
+        // Sender spends [0, 30) retransmitting, then the receiver's
+        // message departs at 30 and arrives instantly: the receiver's
+        // whole wait was caused by the sender's recovery.
+        let mut tl = Timeline::default();
+        tl.spans.push(cpu(1, SpanKind::Retransmit, 0, 30, 30));
+        tl.waits.push(wait(0, 0, 30, 1, 30));
+        let rep = analyze(&tl, &[30, 30]);
+        assert_eq!(rep.ranks[0].recovery, 30, "{:?}", rep.ranks[0]);
+        check_sums(&rep, &[30, 30]);
+    }
+
+    #[test]
+    fn retry_longer_than_the_wait_is_clamped() {
+        // The rank blocked late: only 5 ns of the 40 ns retry delay fall
+        // inside its wait window.
+        let mut tl = Timeline::default();
+        tl.waits.push(WaitRecord {
+            rank: 0,
+            start: 45,
+            end: 50,
+            src: 1,
+            tag: 0,
+            sent: 0,
+            retry: 40,
+        });
+        let rep = analyze(&tl, &[50]);
+        assert_eq!(rep.ranks[0].recovery, 5);
+        check_sums(&rep, &[50]);
     }
 
     #[test]

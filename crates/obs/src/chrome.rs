@@ -434,6 +434,7 @@ mod tests {
             src: 0,
             tag: 9,
             sent: 1600,
+            retry: 0,
         });
         r.timeline
     }

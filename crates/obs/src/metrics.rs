@@ -179,6 +179,10 @@ pub struct RankCounters {
     pub compute_work: Time,
     /// Total time spent blocked.
     pub blocked: Time,
+    /// Retransmission-overhead spans recorded on this rank (lossy links).
+    pub retransmit_spans: u64,
+    /// Total CPU time spent on retransmission overhead.
+    pub retransmit_ns: Time,
 }
 
 /// Per-rank metric state: counters plus wait-time and stretch histograms.
@@ -232,6 +236,8 @@ impl MetricsRecorder {
             t.noise_stolen += c.noise_stolen;
             t.compute_work += c.compute_work;
             t.blocked += c.blocked;
+            t.retransmit_spans += c.retransmit_spans;
+            t.retransmit_ns += c.retransmit_ns;
         }
         t
     }
@@ -261,6 +267,10 @@ impl Recorder for MetricsRecorder {
         let m = self.rank_mut(span.rank);
         if span.kind == SpanKind::Compute {
             m.counters.compute_work += span.work;
+        }
+        if span.kind == SpanKind::Retransmit {
+            m.counters.retransmit_spans += 1;
+            m.counters.retransmit_ns += span.work;
         }
         if span.kind == SpanKind::Blocked {
             m.counters.blocked += span.duration();
@@ -372,6 +382,7 @@ mod tests {
             src: 0,
             tag: 3,
             sent: 40,
+            retry: 0,
         });
         m.message(MsgRecord {
             src: 0,

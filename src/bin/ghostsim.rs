@@ -4,6 +4,7 @@
 //! ghostsim --app pop --nodes 512 --hz 10 --net-pct 2.5 [--steps 5]
 //!          [--phase random|aligned] [--topo flat|torus|fattree]
 //!          [--network mpp|commodity|ideal] [--seed 42]
+//!          [--drop-ppm 1000] [--crash 3@10] [--delay 2@5:20] [--straggle 1:1.5]
 //! ghostsim sweep --app pop --scales 16,64,256 --hz 10 --net-pct 2.5
 //! ghostsim trace --app pop --nodes 256 --hz 10 --net-pct 2.5 --out pop.json
 //! ghostsim --help
@@ -12,10 +13,17 @@
 //! The default command runs the baseline and the injected configuration
 //! (as a one-scenario campaign) and prints the metrics row. `sweep` runs
 //! the same comparison across a list of node counts on the campaign
-//! engine's parallel pool. `trace` runs the injected configuration once
+//! engine's parallel pool; scenarios that fail (an injected crash stranding
+//! peers, a deadlock) are reported in a failure table on stderr and the
+//! process exits non-zero. `trace` runs the injected configuration once
 //! under a recorder, writes a Chrome trace-event JSON (loadable in Perfetto
 //! or `chrome://tracing`), and prints the per-rank blame table. Argument
 //! parsing is hand-rolled (no CLI dependency).
+//!
+//! Exit codes: 0 success, 1 runtime failure (deadlock, injected fault,
+//! invalid trace), 2 usage error (bad flag or value).
+
+use std::process::ExitCode;
 
 use ghostsim::prelude::*;
 
@@ -40,6 +48,10 @@ struct Args {
     network: String,
     seed: u64,
     out: Option<String>,
+    drop_ppm: u32,
+    crashes: Vec<(usize, u64)>,
+    delays: Vec<(usize, u64, u64)>,
+    stragglers: Vec<(usize, f64)>,
 }
 
 impl Default for Args {
@@ -58,12 +70,16 @@ impl Default for Args {
             network: "mpp".into(),
             seed: 42,
             out: None,
+            drop_ppm: 0,
+            crashes: Vec::new(),
+            delays: Vec::new(),
+            stragglers: Vec::new(),
         }
     }
 }
 
 const USAGE: &str = "\
-ghostsim — inject OS noise into a simulated parallel machine
+ghostsim — inject OS noise and faults into a simulated parallel machine
 
 USAGE:
     ghostsim [OPTIONS]           compare baseline vs injected makespans
@@ -87,12 +103,30 @@ OPTIONS:
     --network <mpp|commodity|ideal>     LogGP preset          [default: mpp]
     --seed <N>                          experiment seed       [default: 42]
     --out <file>                        (trace) write Chrome trace JSON here
+    --drop-ppm <N>                      lossy links: drop N per million
+                                        messages (with retransmission)
+    --crash <R@MS>                      crash rank R at MS milliseconds
+                                        (repeatable)
+    --delay <R@MS:DURMS>                stall rank R at MS for DURMS ms
+                                        (repeatable)
+    --straggle <R:FACTOR>               stretch rank R's compute by FACTOR
+                                        (e.g. 1.5; repeatable)
     --help                              print this help
 ";
 
-fn parse_args() -> Result<Args, String> {
+/// Parse `R@MS` (rank at milliseconds).
+fn parse_rank_at(value: &str, flag: &str) -> Result<(usize, u64), String> {
+    let (r, at) = value
+        .split_once('@')
+        .ok_or_else(|| format!("{flag}: expected R@MS, got '{value}'"))?;
+    let rank = r.parse().map_err(|e| format!("{flag} rank: {e}"))?;
+    let ms: u64 = at.parse().map_err(|e| format!("{flag} time: {e}"))?;
+    Ok((rank, ms))
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1).peekable();
+    let mut it = argv.peekable();
     match it.peek().map(String::as_str) {
         Some("trace") => {
             args.command = Command::Trace;
@@ -133,40 +167,100 @@ fn parse_args() -> Result<Args, String> {
             "--network" => args.network = value,
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = Some(value),
+            "--drop-ppm" => {
+                args.drop_ppm = value.parse().map_err(|e| format!("--drop-ppm: {e}"))?;
+                if args.drop_ppm >= 1_000_000 {
+                    return Err("--drop-ppm must be below 1000000 (a link that drops everything never delivers)".into());
+                }
+            }
+            "--crash" => args.crashes.push(parse_rank_at(&value, "--crash")?),
+            "--delay" => {
+                let (head, dur) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("--delay: expected R@MS:DURMS, got '{value}'"))?;
+                let (rank, at) = parse_rank_at(head, "--delay")?;
+                let dur_ms: u64 = dur.parse().map_err(|e| format!("--delay duration: {e}"))?;
+                args.delays.push((rank, at, dur_ms));
+            }
+            "--straggle" => {
+                let (r, f) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("--straggle: expected R:FACTOR, got '{value}'"))?;
+                let rank = r.parse().map_err(|e| format!("--straggle rank: {e}"))?;
+                let factor: f64 = f.parse().map_err(|e| format!("--straggle factor: {e}"))?;
+                if factor < 1.0 || !factor.is_finite() {
+                    return Err(format!("--straggle factor must be >= 1.0, got {factor}"));
+                }
+                args.stragglers.push((rank, factor));
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
     Ok(args)
 }
 
-fn main() {
-    let args = match parse_args() {
+/// Build the fault plan / lossy link requested on the command line onto an
+/// injection.
+fn apply_faults(args: &Args, mut injection: NoiseInjection) -> NoiseInjection {
+    let mut plan = FaultPlan::new();
+    for &(rank, at_ms) in &args.crashes {
+        plan = plan.with_crash(rank, at_ms * MS);
+    }
+    for &(rank, at_ms, dur_ms) in &args.delays {
+        plan = plan.with_delay(rank, at_ms * MS, dur_ms * MS);
+    }
+    for &(rank, factor) in &args.stragglers {
+        plan = plan.with_straggler(rank, (factor * 1000.0).round() as u32);
+    }
+    if !plan.is_empty() {
+        injection = injection.with_faults(plan);
+    }
+    if args.drop_ppm > 0 {
+        injection = injection.with_lossy(LossyLink {
+            drop_ppm: args.drop_ppm,
+            dup_ppm: 0,
+            retry: RetryModel::default(),
+        });
+    }
+    injection
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Failure::Usage(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+        Err(Failure::Runtime(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
 
+/// Why the CLI failed: a bad request (exit 2) or a failed run (exit 1).
+enum Failure {
+    Usage(String),
+    Runtime(String),
+}
+
+fn run(args: &Args) -> Result<(), Failure> {
     let mut nodes = args.nodes;
     let workload: Box<dyn Workload> = if let Some(path) = &args.goal {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                std::process::exit(2);
-            }
-        };
-        match GoalWorkload::parse(&text) {
-            Ok(goal) => {
-                nodes = goal.size();
-                Box::new(goal)
-            }
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                std::process::exit(2);
-            }
-        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Failure::Usage(format!("cannot read {path}: {e}")))?;
+        let goal =
+            GoalWorkload::parse(&text).map_err(|e| Failure::Usage(format!("{path}: {e}")))?;
+        nodes = goal.size();
+        Box::new(goal)
     } else {
         match args.app.as_str() {
             "sage" => Box::new(SageLike::with_steps(args.steps)),
@@ -174,10 +268,7 @@ fn main() {
             "pop" => Box::new(PopLike::with_steps(args.steps)),
             "spectral" => Box::new(SpectralLike::with_steps(args.steps)),
             "bsp" => Box::new(BspSynthetic::new(args.steps.max(10) * 20, 500 * US)),
-            other => {
-                eprintln!("error: unknown app '{other}'\n{USAGE}");
-                std::process::exit(2);
-            }
+            other => return Err(Failure::Usage(format!("unknown app '{other}'\n{USAGE}"))),
         }
     };
 
@@ -186,19 +277,13 @@ fn main() {
         "flat" => TopoPreset::Flat,
         "torus" => TopoPreset::Torus3D,
         "fattree" => TopoPreset::FatTree { arity: 16 },
-        other => {
-            eprintln!("error: unknown topology '{other}'");
-            std::process::exit(2);
-        }
+        other => return Err(Failure::Usage(format!("unknown topology '{other}'"))),
     };
     spec.net = match args.network.as_str() {
         "mpp" => NetPreset::Mpp,
         "commodity" => NetPreset::Commodity,
         "ideal" => NetPreset::Ideal,
-        other => {
-            eprintln!("error: unknown network '{other}'");
-            std::process::exit(2);
-        }
+        other => return Err(Failure::Usage(format!("unknown network '{other}'"))),
     };
 
     let sig = Signature::from_net(args.hz, args.net_pct / 100.0);
@@ -206,75 +291,89 @@ fn main() {
         "random" => PhasePolicy::Random,
         "aligned" => PhasePolicy::Aligned,
         "staggered" => PhasePolicy::Staggered { nodes },
-        other => {
-            eprintln!("error: unknown phase policy '{other}'");
-            std::process::exit(2);
-        }
+        other => return Err(Failure::Usage(format!("unknown phase policy '{other}'"))),
     };
-    let injection = NoiseInjection::with_policy(sig, policy);
+    let injection = apply_faults(args, NoiseInjection::with_policy(sig, policy));
+
+    let banner = |verb: &str, where_: &str| {
+        eprintln!(
+            "{verb} {} on {where_} ({}, {}), injecting {} ({}% net, {} phases){}...",
+            workload.name(),
+            args.topo,
+            args.network,
+            sig.label(),
+            args.net_pct,
+            args.phase,
+            if injection.faults().is_empty() && injection.lossy().is_none() {
+                String::new()
+            } else {
+                format!(" [{}]", injection.label())
+            },
+        );
+    };
 
     match args.command {
         Command::Trace => {
-            eprintln!(
-                "running {} on {} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
-                workload.name(),
-                nodes,
-                args.topo,
-                args.network,
-                sig.label(),
-                args.net_pct,
-                args.phase,
-            );
-            run_trace(&args, &spec, workload.as_ref(), &injection, &sig);
+            banner("running", &format!("{nodes} nodes"));
+            run_trace(args, &spec, workload.as_ref(), &injection, &sig)
         }
         Command::Sweep => {
-            eprintln!(
-                "sweeping {} over {:?} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
-                workload.name(),
-                args.scales,
-                args.topo,
-                args.network,
-                sig.label(),
-                args.net_pct,
-                args.phase,
-            );
-            run_sweep(&args, &spec, workload.as_ref(), &injection);
+            banner("sweeping", &format!("{:?} nodes", args.scales));
+            run_sweep(args, &spec, workload.as_ref(), &injection)
         }
         Command::Compare => {
-            eprintln!(
-                "running {} on {} nodes ({}, {}), injecting {} ({}% net, {} phases)...",
-                workload.name(),
-                nodes,
-                args.topo,
-                args.network,
-                sig.label(),
-                args.net_pct,
-                args.phase,
-            );
-            run_compare(&spec, workload.as_ref(), &injection, &sig);
+            banner("running", &format!("{nodes} nodes"));
+            run_compare(&spec, workload.as_ref(), &injection, &sig)
         }
     }
 }
 
+/// Append one metrics row to a table.
+fn metrics_row(tab: &mut Table, head: String, label: String, m: &Metrics) {
+    tab.row(&[
+        head,
+        label,
+        ghostsim::engine::time::format_time(m.base),
+        ghostsim::engine::time::format_time(m.noisy),
+        format!("{:.2}", m.slowdown_pct()),
+        format!("{:.2}", m.amplification()),
+        format!("{:.1}", m.absorbed_pct()),
+    ]);
+}
+
+/// Print every failed scenario of a partial campaign as a stderr table;
+/// returns a runtime error if anything failed.
+fn report_failures(run: &PartialCampaignRun) -> Result<(), Failure> {
+    let failures = run.failures();
+    if failures.is_empty() {
+        return Ok(());
+    }
+    eprintln!("{} scenario(s) failed:", failures.len());
+    for (label, reason) in &failures {
+        eprintln!("  {label}: {reason}");
+    }
+    Err(Failure::Runtime(format!(
+        "{} of {} scenario(s) failed",
+        failures.len(),
+        run.results.len()
+    )))
+}
+
 /// The default command: a one-scenario campaign (baseline + injected run),
-/// with a deadlock reported as an error exit rather than a panic.
+/// with a deadlock or injected fault reported as an error exit rather than
+/// a panic.
 fn run_compare(
     spec: &ExperimentSpec,
     workload: &dyn Workload,
     injection: &NoiseInjection,
     sig: &Signature,
-) {
+) -> Result<(), Failure> {
     let mut campaign = Campaign::new();
     let wid = campaign.add_workload(workload);
     campaign.add(wid, *spec, injection.clone());
-    let run = match campaign.run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
-    let m = &run.results[0].metrics;
+    let run = campaign.run_partial();
+    report_failures(&run)?;
+    let result = run.results[0].as_ref().expect("no failures reported");
 
     let mut tab = Table::new(
         "result",
@@ -288,42 +387,31 @@ fn run_compare(
             "absorbed %",
         ],
     );
-    tab.row(&[
-        workload.name(),
-        sig.label(),
-        ghostsim::engine::time::format_time(m.base),
-        ghostsim::engine::time::format_time(m.noisy),
-        format!("{:.2}", m.slowdown_pct()),
-        format!("{:.2}", m.amplification()),
-        format!("{:.1}", m.absorbed_pct()),
-    ]);
+    metrics_row(&mut tab, workload.name(), sig.label(), &result.metrics);
     println!("{}", tab.render());
+    Ok(())
 }
 
-/// The `sweep` subcommand: one campaign over the `--scales` list.
+/// The `sweep` subcommand: one campaign over the `--scales` list. Failed
+/// scales are tabulated on stderr; surviving scales still print.
 fn run_sweep(
     args: &Args,
     spec: &ExperimentSpec,
     workload: &dyn Workload,
     injection: &NoiseInjection,
-) {
+) -> Result<(), Failure> {
     let mut campaign = Campaign::new();
     let wid = campaign.add_workload(workload);
     for &p in &args.scales {
         campaign.add(wid, spec.at_scale(p), injection.clone());
     }
-    let run = match campaign.run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
+    let run = campaign.run_partial();
 
     let mut tab = Table::new(
         format!("sweep: {} under {}", workload.name(), injection.label()),
         &[
             "nodes",
+            "injection",
             "T_base",
             "T_noisy",
             "slowdown %",
@@ -331,19 +419,17 @@ fn run_sweep(
             "absorbed %",
         ],
     );
-    for rec in &run.results {
-        let m = &rec.metrics;
-        tab.row(&[
+    for rec in run.succeeded() {
+        metrics_row(
+            &mut tab,
             rec.nodes.to_string(),
-            ghostsim::engine::time::format_time(m.base),
-            ghostsim::engine::time::format_time(m.noisy),
-            format!("{:.2}", m.slowdown_pct()),
-            format!("{:.2}", m.amplification()),
-            format!("{:.1}", m.absorbed_pct()),
-        ]);
+            rec.injection.clone(),
+            &rec.metrics,
+        );
     }
     println!("{}", tab.render());
     eprintln!("{}", run.stats);
+    report_failures(&run)
 }
 
 /// The `trace` subcommand: one recorded run → Chrome trace JSON + blame.
@@ -353,22 +439,18 @@ fn run_trace(
     workload: &dyn Workload,
     injection: &NoiseInjection,
     sig: &Signature,
-) {
-    let obs = observe_workload(spec, workload, injection);
+) -> Result<(), Failure> {
+    let mut rec = VecRecorder::default();
+    let result = try_run_recorded(spec, workload, injection, &mut rec)
+        .map_err(|e| Failure::Runtime(e.to_string()))?;
+    let blame = analyze(&rec.timeline, &result.finish_times);
 
     if let Some(path) = &args.out {
-        let json = trace_json(&obs.timeline);
-        let stats = match validate_trace(&json) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("internal error: generated trace is invalid: {e}");
-                std::process::exit(1);
-            }
-        };
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(2);
-        }
+        let json = trace_json(&rec.timeline);
+        let stats = validate_trace(&json)
+            .map_err(|e| Failure::Runtime(format!("generated trace is invalid: {e}")))?;
+        std::fs::write(path, &json)
+            .map_err(|e| Failure::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!(
             "wrote {path}: {} events ({} spans) across {} ranks",
             stats.events, stats.complete, stats.tids,
@@ -381,9 +463,10 @@ fn run_trace(
         spec.nodes,
         sig.label()
     );
-    print!("{}", blame_summary(&title, &obs.blame));
+    print!("{}", blame_summary(&title, &blame));
     println!(
         "makespan: {}",
-        ghostsim::engine::time::format_time(obs.result.makespan)
+        ghostsim::engine::time::format_time(result.makespan)
     );
+    Ok(())
 }

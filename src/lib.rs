@@ -51,26 +51,32 @@ pub mod prelude {
     };
     pub use ghost_core::analytic;
     pub use ghost_core::campaign::{
-        run_indexed, Campaign, CampaignError, CampaignRun, CampaignStats, Scenario, ScenarioResult,
-        WorkloadId,
+        run_indexed, run_indexed_partial, Campaign, CampaignConfig, CampaignError, CampaignRun,
+        CampaignStats, PartialCampaignRun, Scenario, ScenarioResult, WorkloadId,
     };
     pub use ghost_core::experiment::{
-        compare, run_workload, scaling_sweep, try_run_workload, try_scaling_sweep, ExperimentSpec,
-        NetPreset, ScalingRecord, TopoPreset,
+        compare, run_workload, scaling_sweep, try_run_workload, try_run_workload_limited,
+        try_scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord, TopoPreset,
     };
     pub use ghost_core::injection::{NoiseInjection, Placement};
     pub use ghost_core::metrics::Metrics;
     pub use ghost_core::observe::{
-        blame_summary, blame_table, observe_workload, run_recorded, Observation,
+        blame_summary, blame_table, observe_workload, run_recorded, try_run_recorded, Observation,
     };
-    pub use ghost_core::replicate::{replicate, try_replicate, Replicates};
+    pub use ghost_core::replicate::{try_replicate, Replicates};
     pub use ghost_core::report::Table;
+    pub use ghost_core::resilience::{
+        crash_survival, delay_propagation, drop_rate_sweep, drop_rate_table, survival_table,
+        DelayDecayCurve, DropRateRecord, SurvivalRecord,
+    };
     pub use ghost_engine::time::{MS, SEC, US};
     pub use ghost_mpi::{
-        Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunResult, ScriptProgram,
+        Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunError, RunLimits,
+        RunResult, ScriptProgram,
     };
-    pub use ghost_net::{Dragonfly, FatTree, Flat, LogGP, Network, Torus3D};
+    pub use ghost_net::{Dragonfly, FatTree, Flat, LogGP, LossyLink, Network, RetryModel, Torus3D};
     pub use ghost_noise::burst::BurstNoise;
+    pub use ghost_noise::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use ghost_noise::jitter::JitteredPeriodic;
     pub use ghost_noise::model::{NoNoise, PhasePolicy};
     pub use ghost_noise::signature::{canonical_2_5pct, canonical_set};

@@ -1,0 +1,119 @@
+//! Exit-code contract of the `ghostsim` binary.
+//!
+//! The CLI promises: 0 on success, 1 when the simulation itself fails (an
+//! injected crash stranding peers, an invalid trace), 2 on a usage error
+//! (unknown flag, unknown app, malformed fault spec). These tests drive the
+//! real binary via `CARGO_BIN_EXE_ghostsim` so a regression that swallows a
+//! failure into exit 0 — the bug this suite was written against — is caught
+//! at the process boundary, not inside library code.
+
+use std::process::{Command, Output};
+
+fn ghostsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ghostsim"))
+        .args(args)
+        .output()
+        .expect("ghostsim binary must spawn")
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = ghostsim(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("--drop-ppm"),
+        "help must document fault flags"
+    );
+    assert!(text.contains("--crash"));
+}
+
+#[test]
+fn clean_compare_exits_zero_with_a_metrics_row() {
+    let out = ghostsim(&["--app", "bsp", "--nodes", "4", "--steps", "2"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slowdown %"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = ghostsim(&["--bogus", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn unknown_app_is_a_usage_error() {
+    let out = ghostsim(&["--app", "doom"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
+}
+
+#[test]
+fn malformed_fault_spec_is_a_usage_error() {
+    for bad in [
+        &["--crash", "1"][..],
+        &["--delay", "1@5"][..],
+        &["--straggle", "1:0.5"][..],
+        &["--drop-ppm", "1000000"][..],
+    ] {
+        let out = ghostsim(bad);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {bad:?} must be a usage error"
+        );
+    }
+}
+
+#[test]
+fn injected_crash_exits_one_with_a_failure_table() {
+    // Crashing rank 1 at t=0 strands its allreduce peers: the run must
+    // surface a typed failure and a non-zero exit, not a panic or exit 0.
+    let out = ghostsim(&[
+        "--app", "bsp", "--nodes", "4", "--steps", "2", "--crash", "1@0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rank 1 failed"), "stderr: {err}");
+    assert!(err.contains("scenario(s) failed"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_with_crash_exits_one_listing_every_failed_scale() {
+    let out = ghostsim(&[
+        "sweep", "--app", "bsp", "--scales", "4,8", "--steps", "2", "--crash", "0@1",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("2 of 2 scenario(s) failed"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_with_lossy_links_still_succeeds() {
+    // Dropped messages are retransmitted, not fatal: exit 0 with rows.
+    let out = ghostsim(&[
+        "sweep",
+        "--app",
+        "bsp",
+        "--scales",
+        "4,8",
+        "--steps",
+        "2",
+        "--drop-ppm",
+        "5000",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lossy(5000ppm)"));
+}

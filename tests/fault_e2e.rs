@@ -1,0 +1,170 @@
+//! End-to-end fault-injection scenarios across the whole stack: typed
+//! crash failures, straggler completion with exact blame identity, lossy
+//! links with recovery attribution, and the golden-makespan guarantee that
+//! the fault machinery is invisible when configured to do nothing.
+
+use ghost_noise::model::NoNoise;
+use ghostsim::prelude::*;
+
+/// A drop-0 lossy link: attached but inert.
+fn inert_lossy() -> LossyLink {
+    LossyLink {
+        drop_ppm: 0,
+        dup_ppm: 0,
+        retry: RetryModel::default(),
+    }
+}
+
+#[test]
+fn crash_that_strands_peers_is_a_typed_error() {
+    let spec = ExperimentSpec::flat(8, 42);
+    let w = PopLike::with_steps(1);
+    let inj = NoiseInjection::none().with_faults(FaultPlan::new().with_crash(3, 2 * MS));
+    match try_run_workload(&spec, &w, &inj) {
+        Err(RunError::RankFailed { rank, at, stranded }) => {
+            assert_eq!(rank, 3);
+            assert_eq!(at, 2 * MS);
+            assert!(!stranded.is_empty(), "peers must be reported stranded");
+        }
+        other => panic!("expected RankFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn crash_without_dependents_completes_with_the_rank_marked_failed() {
+    // Compute-only scripts: no rank ever waits on another, so a crash
+    // strands nobody — the run completes and reports the casualty.
+    let programs: Vec<Box<dyn Program>> = (0..4)
+        .map(|_| ScriptProgram::new(vec![MpiCall::Compute(10 * MS)]).boxed())
+        .collect();
+    let net = Network::new(LogGP::mpp(), Box::new(Flat::new(4)));
+    let r = Machine::new(net, &NoNoise, 7)
+        .with_faults(FaultPlan::new().with_crash(2, MS))
+        .run(programs)
+        .expect("crash with no dependents must not fail the run");
+    assert_eq!(r.failed_ranks, vec![2]);
+    assert_eq!(
+        r.finish_times[2], MS,
+        "a crashed rank stops at the crash instant"
+    );
+    assert!(r.finish_times[0] >= 10 * MS);
+}
+
+#[test]
+fn straggler_completes_with_exact_blame_identity() {
+    let spec = ExperimentSpec::flat(8, 11);
+    let w = BspSynthetic::new(6, 2 * MS);
+    // Rank 5 computes 2x slower; everyone still finishes.
+    let inj = NoiseInjection::none().with_faults(FaultPlan::new().with_straggler(5, 2000));
+
+    let mut rec = VecRecorder::default();
+    let r = try_run_recorded(&spec, &w, &inj, &mut rec).expect("stragglers must not kill runs");
+    let base = run_workload(&spec, &w, &NoiseInjection::none());
+    assert!(
+        r.makespan > base.makespan,
+        "a 2x straggler must stretch the makespan ({} !> {})",
+        r.makespan,
+        base.makespan
+    );
+    assert!(r.failed_ranks.is_empty());
+
+    // Exact identity: the six blame categories tile each rank's wall-clock.
+    let blame = analyze(&rec.timeline, &r.finish_times);
+    for b in &blame.ranks {
+        assert_eq!(b.total(), b.wall, "rank {} blame must sum exactly", b.rank);
+        assert_eq!(b.wall, r.finish_times[b.rank]);
+    }
+    // The stretch bills as direct (extreme) noise on the straggler: the
+    // compute span records the *requested* work, and the excess is the
+    // fault's footprint. Other ranks see it only as propagated waiting.
+    let straggler = &blame.ranks[5];
+    assert!(
+        straggler.direct_noise > 0 && straggler.direct_noise > blame.ranks[0].direct_noise,
+        "straggle stretch must bill as direct noise on the victim"
+    );
+}
+
+#[test]
+fn lossy_run_attributes_recovery_time_with_exact_identity() {
+    let spec = ExperimentSpec::flat(8, 9);
+    let w = PopLike::with_steps(2);
+    // 20% drop rate: plenty of retransmissions in a message-heavy workload.
+    let inj = NoiseInjection::none().with_lossy(LossyLink {
+        drop_ppm: 200_000,
+        dup_ppm: 0,
+        retry: RetryModel::default(),
+    });
+
+    let mut rec = VecRecorder::default();
+    let r = try_run_recorded(&spec, &w, &inj, &mut rec).expect("lossy links must not kill runs");
+    assert!(r.retransmits > 0, "a 20% drop rate must retransmit");
+
+    let base = run_workload(&spec, &w, &NoiseInjection::none());
+    assert!(r.makespan > base.makespan, "retransmission has a cost");
+    assert_eq!(
+        r.final_values, base.final_values,
+        "retransmission must not corrupt collective results"
+    );
+
+    let blame = analyze(&rec.timeline, &r.finish_times);
+    assert!(
+        blame.sum().recovery > 0,
+        "retransmission delay must be blamed on RECOVERY"
+    );
+    for b in &blame.ranks {
+        assert_eq!(b.total(), b.wall, "rank {} blame must sum exactly", b.rank);
+    }
+}
+
+/// The acceptance gate: a drop-0 lossy link plus an empty fault plan must
+/// reproduce the executor's pinned golden makespans *exactly* — the fault
+/// machinery may not move a single nanosecond when it has nothing to do.
+#[test]
+fn inert_fault_machinery_reproduces_golden_makespans() {
+    let golden: [(&str, u64); 2] = [
+        ("cth blocking flat", 209_861_404),
+        ("bsp noisy flat", 10_469_237),
+    ];
+
+    let cth = CthLike::with_steps(2);
+    let inert = NoiseInjection::none()
+        .with_faults(FaultPlan::new())
+        .with_lossy(inert_lossy());
+    let a = try_run_workload(&ExperimentSpec::flat(8, 42), &cth, &inert)
+        .expect("inert faults must not fail");
+
+    let bsp = BspSynthetic::new(10, MS);
+    let noisy_inert = NoiseInjection::uncoordinated(Signature::new(1000.0, 25 * US))
+        .with_faults(FaultPlan::new())
+        .with_lossy(inert_lossy());
+    let b = try_run_workload(&ExperimentSpec::flat(8, 3), &bsp, &noisy_inert)
+        .expect("inert faults must not fail");
+
+    assert_eq!(
+        [
+            ("cth blocking flat", a.makespan),
+            ("bsp noisy flat", b.makespan)
+        ],
+        golden,
+        "inert fault machinery changed executor timing"
+    );
+}
+
+#[test]
+fn delay_fault_is_charged_as_direct_noise_with_exact_identity() {
+    let spec = ExperimentSpec::flat(6, 21);
+    let w = BspSynthetic::new(5, 2 * MS);
+    let inj = NoiseInjection::none().with_faults(FaultPlan::new().with_delay(2, MS, 5 * MS));
+
+    let mut rec = VecRecorder::default();
+    let r = try_run_recorded(&spec, &w, &inj, &mut rec).expect("delays must not kill runs");
+    let blame = analyze(&rec.timeline, &r.finish_times);
+    for b in &blame.ranks {
+        assert_eq!(b.total(), b.wall, "rank {} blame must sum exactly", b.rank);
+    }
+    assert!(
+        blame.ranks[2].direct_noise >= 5 * MS,
+        "the injected 5ms stall must appear as direct noise on the victim (got {})",
+        blame.ranks[2].direct_noise
+    );
+}

@@ -1,0 +1,114 @@
+//! Property tests of the fault-injection layer's two contracts:
+//!
+//! * **drop-0 byte-identity** — attaching a lossy link with zero drop/dup
+//!   probability and an empty fault plan must not perturb the simulation at
+//!   all: makespans, finish times, final values, and the exact blame
+//!   decomposition are bit-for-bit identical to a run with no fault
+//!   machinery attached. (The lossy path must draw zero RNG samples when
+//!   ppm is 0.)
+//! * **same-seed determinism** — any fault configuration (drops, delays,
+//!   stragglers) replayed under the same seed produces identical results,
+//!   run after run.
+
+use ghostsim::prelude::*;
+use proptest::prelude::*;
+
+fn spec(size: usize, seed: u64) -> ExperimentSpec {
+    ExperimentSpec::flat(size, seed)
+}
+
+fn noisy(hz: f64) -> NoiseInjection {
+    NoiseInjection::uncoordinated(Signature::from_net(hz, 0.025))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn drop_zero_and_empty_plan_are_byte_identical_to_baseline(
+        size in 2usize..10,
+        steps in 1usize..4,
+        seed in 0u64..500,
+        hz_pick in 0u8..3,
+    ) {
+        let spec = spec(size, seed);
+        let w = BspSynthetic::new(steps * 3, 800 * US);
+        let hz = [10.0, 100.0, 1000.0][hz_pick as usize];
+
+        let plain_inj = noisy(hz);
+        let faulty_inj = plain_inj
+            .clone()
+            .with_faults(FaultPlan::new())
+            .with_lossy(LossyLink {
+                drop_ppm: 0,
+                dup_ppm: 0,
+                retry: RetryModel::default(),
+            });
+
+        let mut rec_a = VecRecorder::default();
+        let a = try_run_recorded(&spec, &w, &plain_inj, &mut rec_a).unwrap();
+        let mut rec_b = VecRecorder::default();
+        let b = try_run_recorded(&spec, &w, &faulty_inj, &mut rec_b).unwrap();
+
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(&a.finish_times, &b.finish_times);
+        prop_assert_eq!(&a.final_values, &b.final_values);
+        prop_assert_eq!(b.retransmits, 0);
+        prop_assert!(b.failed_ranks.is_empty());
+
+        let blame_a = analyze(&rec_a.timeline, &a.finish_times);
+        let blame_b = analyze(&rec_b.timeline, &b.finish_times);
+        for (x, y) in blame_a.ranks.iter().zip(blame_b.ranks.iter()) {
+            prop_assert_eq!(x.compute, y.compute);
+            prop_assert_eq!(x.direct_noise, y.direct_noise);
+            prop_assert_eq!(x.propagated_noise, y.propagated_noise);
+            prop_assert_eq!(x.network, y.network);
+            prop_assert_eq!(x.recovery, y.recovery);
+            prop_assert_eq!(x.imbalance, y.imbalance);
+        }
+    }
+
+    #[test]
+    fn fault_scenarios_are_seed_deterministic_across_three_runs(
+        size in 3usize..10,
+        seed in 0u64..500,
+        drop_ppm in 0u32..100_000,
+        straggler in 0usize..3,
+        delay_ms in 0u64..5,
+    ) {
+        let spec = spec(size, seed);
+        let w = BspSynthetic::new(6, 600 * US);
+        let inj = noisy(100.0)
+            .with_faults(
+                FaultPlan::new()
+                    .with_straggler(straggler, 1500)
+                    .with_delay(straggler, delay_ms * MS, 2 * MS),
+            )
+            .with_lossy(LossyLink {
+                drop_ppm,
+                dup_ppm: 0,
+                retry: RetryModel::default(),
+            });
+
+        let runs: Vec<_> = (0..3)
+            .map(|_| {
+                let mut rec = VecRecorder::default();
+                let r = try_run_recorded(&spec, &w, &inj, &mut rec).unwrap();
+                let blame = analyze(&rec.timeline, &r.finish_times);
+                (r, blame)
+            })
+            .collect();
+
+        for (r, blame) in &runs[1..] {
+            prop_assert_eq!(r.makespan, runs[0].0.makespan);
+            prop_assert_eq!(&r.finish_times, &runs[0].0.finish_times);
+            prop_assert_eq!(&r.final_values, &runs[0].0.final_values);
+            prop_assert_eq!(r.retransmits, runs[0].0.retransmits);
+            for (x, y) in blame.ranks.iter().zip(runs[0].1.ranks.iter()) {
+                prop_assert_eq!(x.total(), y.total());
+                prop_assert_eq!(x.recovery, y.recovery);
+                prop_assert_eq!(x.direct_noise, y.direct_noise);
+            }
+        }
+    }
+}
