@@ -16,11 +16,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Panic-free core: the simulator's mpi + net lib trees deny unwrap/panic at
-# the crate level (`#![cfg_attr(not(test), deny(clippy::unwrap_used,
-# clippy::panic))]`); this scoped pass keeps that gate visible in CI.
-echo "==> cargo clippy -p ghost-mpi -p ghost-net --lib (panic-free gate)"
-cargo clippy -p ghost-mpi -p ghost-net --lib -- -D warnings
+# Panic-free core: the simulator's mpi + net + serve lib trees deny
+# unwrap/panic at the crate level (`#![cfg_attr(not(test),
+# deny(clippy::unwrap_used, clippy::panic))]`); this scoped pass keeps that
+# gate visible in CI.
+echo "==> cargo clippy -p ghost-mpi -p ghost-net -p ghost-serve --lib (panic-free gate)"
+cargo clippy -p ghost-mpi -p ghost-net -p ghost-serve --lib -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -33,6 +34,29 @@ cargo test --workspace -q
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
+
+# Serve smoke: boot a result server on an ephemeral port, push one scenario
+# through the full CLI -> wire -> scheduler -> store path, and check that a
+# result landed on disk.
+echo "==> ghostsim serve smoke test"
+SMOKE_DIR="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+./target/release/ghostsim serve --addr 127.0.0.1:0 \
+    --store "$SMOKE_DIR/store" --port-file "$SMOKE_DIR/port" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "serve smoke: server never wrote its port file"; exit 1; }
+ADDR="$(cat "$SMOKE_DIR/port")"
+./target/release/ghostsim submit --server "$ADDR" --app pop --nodes 8 --steps 1
+./target/release/ghostsim submit --server "$ADDR" --stats
+./target/release/ghostsim submit --server "$ADDR" --shutdown
+wait "$SERVE_PID"
+ls "$SMOKE_DIR/store"/gs-*.res > /dev/null \
+    || { echo "serve smoke: no result file persisted"; exit 1; }
+echo "serve smoke: ok"
 
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --workspace

@@ -1,0 +1,82 @@
+//! Criterion: what does serving cost, and what does the cache buy?
+//!
+//! Three ways to obtain the same scenario result:
+//!
+//! * `in_process` — call `run_scenario` directly (the floor: raw
+//!   simulation cost, no wire, no cache),
+//! * `served_cold` — loopback TCP to a ghost-serve instance whose caches
+//!   are emptied of this scenario every iteration (simulation + protocol
+//!   + store write),
+//! * `served_warm` — the same submit answered from the server's memory
+//!   cache (protocol + lookup only).
+//!
+//! The headline is the warm/cold ratio: a warm hit must cost orders of
+//! magnitude less than a simulation, or the store isn't paying its way.
+//! `served_cold` minus `in_process` bounds the protocol + persistence
+//! overhead. EXPERIMENTS.md records the measured runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghost_core::scenario::{run_scenario, InjectionSpec, ScenarioSpec, WorkloadSpec};
+use ghost_core::ExperimentSpec;
+use ghost_mpi::RunLimits;
+use ghost_serve::{Client, ServeConfig, Server};
+
+fn spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        workload: WorkloadSpec::Pop { steps: 1 },
+        machine: ExperimentSpec::flat(16, seed),
+        injection: InjectionSpec::uncoordinated(10.0, 0.025),
+    }
+}
+
+fn bench_serve_paths(c: &mut Criterion) {
+    let store_dir = std::env::temp_dir().join(format!("ghost-perf-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            store_dir: Some(store_dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let mut g = c.benchmark_group("serve");
+
+    g.bench_function("in_process", |b| {
+        b.iter(|| {
+            run_scenario(&spec(1), RunLimits::none(), None)
+                .unwrap()
+                .run
+                .makespan
+        })
+    });
+
+    // Cold: vary the seed each iteration so every submit misses every
+    // cache (a fresh scenario is simulated and persisted).
+    let mut client = Client::connect(addr).unwrap();
+    let mut seed = 1000u64;
+    g.bench_function("served_cold", |b| {
+        b.iter(|| {
+            seed += 1;
+            client.submit(&spec(seed)).unwrap().run.makespan
+        })
+    });
+
+    // Warm: one fixed scenario, primed once, then answered from memory.
+    let warm = spec(1);
+    client.submit(&warm).unwrap();
+    g.bench_function("served_warm", |b| {
+        b.iter(|| client.submit(&warm).unwrap().run.makespan)
+    });
+
+    g.finish();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+criterion_group!(benches, bench_serve_paths);
+criterion_main!(benches);

@@ -55,6 +55,7 @@ pub mod plot;
 pub mod replicate;
 pub mod report;
 pub mod resilience;
+pub mod scenario;
 
 pub use campaign::{
     run_indexed, run_indexed_partial, Campaign, CampaignConfig, CampaignError, CampaignRun,

@@ -1,0 +1,445 @@
+//! Self-describing scenarios: the serializable counterpart of a
+//! [`crate::campaign::Campaign`] cell.
+//!
+//! A campaign holds *borrowed* `dyn Workload`s, which cannot cross a
+//! process boundary or key a persistent cache. A [`ScenarioSpec`] closes
+//! that gap: it names a workload ([`WorkloadSpec`]), a machine
+//! ([`crate::experiment::ExperimentSpec`]), and an injection
+//! ([`InjectionSpec`]) using only integers and enums, so the whole spec is
+//! `Eq + Hash` — the same cache-key discipline as the campaign engine's
+//! [`crate::campaign::BaselineKey`], extended to cover the injection. The
+//! `ghost-serve` daemon uses specs as its wire currency and as the content
+//! address of its persistent result store.
+//!
+//! Fractional quantities follow the fault-plan convention (PR 3): noise
+//! frequency is millihertz, intensity is parts-per-million. Conversion to
+//! the `f64`-based [`NoiseInjection`] happens only at [`InjectionSpec::
+//! build`] time, so two specs are equal iff they describe the same
+//! simulation.
+
+use std::sync::Arc;
+
+use ghost_apps::{BspSynthetic, CthLike, PopLike, SageLike, SpectralLike, Workload};
+use ghost_engine::time::Time;
+use ghost_mpi::{RunLimits, RunResult};
+use ghost_net::{LossyLink, RetryModel};
+use ghost_noise::fault::FaultPlan;
+use ghost_noise::model::PhasePolicy;
+use ghost_noise::Signature;
+
+use crate::experiment::{try_run_workload_limited, ExperimentSpec};
+use crate::injection::NoiseInjection;
+use crate::metrics::Metrics;
+
+/// A named application skeleton plus its size parameters — everything
+/// needed to rebuild the `dyn Workload` on the other side of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// SAGE-like adaptive mesh hydrodynamics (allreduce-dominated).
+    Sage {
+        /// Number of timesteps.
+        steps: u32,
+    },
+    /// CTH-like shock physics (halo exchanges).
+    Cth {
+        /// Number of timesteps.
+        steps: u32,
+    },
+    /// POP-like ocean circulation (frequent small allreduces).
+    Pop {
+        /// Number of timesteps.
+        steps: u32,
+    },
+    /// Spectral transform (alltoall-heavy).
+    Spectral {
+        /// Number of timesteps.
+        steps: u32,
+    },
+    /// Synthetic bulk-synchronous benchmark.
+    Bsp {
+        /// Number of barrier-separated steps.
+        steps: u32,
+        /// Compute per step per rank (ns).
+        compute: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialize the workload.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::Sage { steps } => Box::new(SageLike::with_steps(steps as usize)),
+            WorkloadSpec::Cth { steps } => Box::new(CthLike::with_steps(steps as usize)),
+            WorkloadSpec::Pop { steps } => Box::new(PopLike::with_steps(steps as usize)),
+            WorkloadSpec::Spectral { steps } => Box::new(SpectralLike::with_steps(steps as usize)),
+            WorkloadSpec::Bsp { steps, compute } => {
+                Box::new(BspSynthetic::new(steps as usize, compute))
+            }
+        }
+    }
+
+    /// Short name for labels (matches `--app` on the CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Sage { .. } => "sage",
+            WorkloadSpec::Cth { .. } => "cth",
+            WorkloadSpec::Pop { .. } => "pop",
+            WorkloadSpec::Spectral { .. } => "spectral",
+            WorkloadSpec::Bsp { .. } => "bsp",
+        }
+    }
+}
+
+/// A copy of [`PhasePolicy`] that derives `Eq + Hash` (staggering derives
+/// its stride from the machine's node count at build time instead of
+/// storing it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseSpec {
+    /// All nodes pulse together (co-scheduled kernels).
+    Aligned,
+    /// Independent per-node phases — the paper's configuration.
+    Random,
+    /// Evenly staggered phases (worst case: some node is always in noise).
+    Staggered,
+    /// One fixed phase (ns) on every node.
+    Fixed(Time),
+}
+
+impl PhaseSpec {
+    /// The corresponding [`PhasePolicy`] for a machine of `nodes` nodes.
+    pub fn policy(&self, nodes: usize) -> PhasePolicy {
+        match *self {
+            PhaseSpec::Aligned => PhasePolicy::Aligned,
+            PhaseSpec::Random => PhasePolicy::Random,
+            PhaseSpec::Staggered => PhasePolicy::Staggered { nodes },
+            PhaseSpec::Fixed(t) => PhasePolicy::Fixed(t),
+        }
+    }
+}
+
+/// A noise + fault injection described entirely in integers, so it can key
+/// caches and cross process boundaries. `hz_mhz == 0` or `net_ppm == 0`
+/// means the noiseless baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InjectionSpec {
+    /// Noise frequency in millihertz (10 Hz = 10_000).
+    pub hz_mhz: u64,
+    /// Net injected intensity in parts per million (2.5% = 25_000).
+    pub net_ppm: u32,
+    /// Per-node phase policy.
+    pub phase: PhaseSpec,
+    /// Deterministic fault schedule (already integer-only).
+    pub faults: FaultPlan,
+    /// Per-attempt message-drop probability in ppm (lossy fabric).
+    pub drop_ppm: u32,
+    /// Per-message duplication probability in ppm.
+    pub dup_ppm: u32,
+    /// Retransmission schedule for the lossy fabric.
+    pub retry: RetryModel,
+}
+
+impl InjectionSpec {
+    /// The noiseless, fault-free baseline injection.
+    pub fn none() -> Self {
+        Self {
+            hz_mhz: 0,
+            net_ppm: 0,
+            phase: PhaseSpec::Random,
+            faults: FaultPlan::new(),
+            drop_ppm: 0,
+            dup_ppm: 0,
+            retry: RetryModel::default(),
+        }
+    }
+
+    /// The paper's configuration: `hz` Hz at `net_fraction` intensity,
+    /// uncoordinated phases.
+    pub fn uncoordinated(hz: f64, net_fraction: f64) -> Self {
+        Self {
+            hz_mhz: (hz * 1000.0).round() as u64,
+            net_ppm: (net_fraction * 1e6).round() as u32,
+            ..Self::none()
+        }
+    }
+
+    /// Noise frequency in Hz.
+    pub fn hz(&self) -> f64 {
+        self.hz_mhz as f64 / 1000.0
+    }
+
+    /// Net injected fraction (0.025 = 2.5%).
+    pub fn net_fraction(&self) -> f64 {
+        self.net_ppm as f64 / 1e6
+    }
+
+    /// Whether this spec perturbs nothing at all (eligible for baseline
+    /// cache answering).
+    pub fn is_pristine(&self) -> bool {
+        (self.hz_mhz == 0 || self.net_ppm == 0)
+            && self.faults.is_empty()
+            && self.drop_ppm == 0
+            && self.dup_ppm == 0
+    }
+
+    /// Validate ranges that the underlying builders would otherwise assert
+    /// on, so a malicious or corrupt spec yields a typed error instead of a
+    /// panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.net_ppm >= 1_000_000 {
+            return Err(format!(
+                "net_ppm {} implies a duty cycle >= 1 (noise never ends)",
+                self.net_ppm
+            ));
+        }
+        if self.drop_ppm >= 1_000_000 {
+            return Err(format!(
+                "drop_ppm {} drops everything: no message is ever delivered",
+                self.drop_ppm
+            ));
+        }
+        if self.dup_ppm >= 1_000_000 {
+            return Err(format!("dup_ppm {} out of range", self.dup_ppm));
+        }
+        Ok(())
+    }
+
+    /// Materialize as a [`NoiseInjection`] for a machine of `nodes` nodes.
+    ///
+    /// Call [`InjectionSpec::validate`] first when the spec came from an
+    /// untrusted source; out-of-range intensities panic in the signature
+    /// constructor.
+    pub fn build(&self, nodes: usize) -> NoiseInjection {
+        let mut injection = if self.hz_mhz == 0 || self.net_ppm == 0 {
+            NoiseInjection::none()
+        } else {
+            let sig = Signature::from_net(self.hz(), self.net_fraction());
+            NoiseInjection::with_policy(sig, self.phase.policy(nodes))
+        };
+        if !self.faults.is_empty() {
+            injection = injection.with_faults(self.faults.clone());
+        }
+        if self.drop_ppm > 0 || self.dup_ppm > 0 {
+            injection = injection.with_lossy(LossyLink {
+                drop_ppm: self.drop_ppm,
+                dup_ppm: self.dup_ppm,
+                retry: self.retry,
+            });
+        }
+        injection
+    }
+}
+
+/// One fully-described scenario: workload × machine × injection. `Eq +
+/// Hash` end to end, so it keys in-flight coalescing maps, memory caches,
+/// and (through its canonical encoding) the persistent result store.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioSpec {
+    /// Which application skeleton to run.
+    pub workload: WorkloadSpec,
+    /// Machine + methodology configuration.
+    pub machine: ExperimentSpec,
+    /// The injected noise and faults.
+    pub injection: InjectionSpec,
+}
+
+impl ScenarioSpec {
+    /// The serializable analogue of the campaign engine's
+    /// [`crate::campaign::BaselineKey`]: scenarios with equal keys share
+    /// one noiseless baseline simulation.
+    pub fn baseline_key(&self) -> (WorkloadSpec, ExperimentSpec) {
+        (self.workload, self.machine)
+    }
+
+    /// Human-readable label (`workload/nodes/injection` like campaign
+    /// auto-labels).
+    pub fn label(&self) -> String {
+        let inj = if self.injection.is_pristine() {
+            "noiseless".to_owned()
+        } else if self.injection.hz_mhz == 0 || self.injection.net_ppm == 0 {
+            "faults-only".to_owned()
+        } else {
+            format!("{}Hz@{}ppm", self.injection.hz(), self.injection.net_ppm)
+        };
+        format!("{}/{}n/{}", self.workload.name(), self.machine.nodes, inj)
+    }
+
+    /// Validate everything the builders would otherwise assert on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machine.nodes == 0 {
+            return Err("a scenario needs at least one node".into());
+        }
+        self.injection.validate()
+    }
+}
+
+/// A completed scenario: its baseline, its (possibly shared) injected run,
+/// and the derived figures of merit.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// Noiseless baseline run.
+    pub baseline: Arc<RunResult>,
+    /// The injected run (the baseline itself for pristine scenarios).
+    pub run: Arc<RunResult>,
+    /// Slowdown/amplification metrics derived from the pair.
+    pub metrics: Metrics,
+}
+
+/// Run one scenario: baseline plus injected run, under `limits`.
+///
+/// `baseline` short-circuits the noiseless simulation (the caller's memo
+/// cache, keyed by [`ScenarioSpec::baseline_key`]); pass `None` to simulate
+/// it here. Deterministic by construction: equal specs produce equal
+/// outcomes, which is what lets `ghost-serve` answer repeats from a
+/// persistent store.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    limits: RunLimits,
+    baseline: Option<Arc<RunResult>>,
+) -> Result<ScenarioOutcome, String> {
+    spec.validate()?;
+    let workload = spec.workload.build();
+    let injection = spec.injection.build(spec.machine.nodes);
+    let baseline = match baseline {
+        Some(b) => b,
+        None => Arc::new(
+            try_run_workload_limited(
+                &spec.machine,
+                workload.as_ref(),
+                &NoiseInjection::none(),
+                limits,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+    };
+    let run = if injection.is_pristine() {
+        baseline.clone()
+    } else {
+        Arc::new(
+            try_run_workload_limited(&spec.machine, workload.as_ref(), &injection, limits)
+                .map_err(|e| e.to_string())?,
+        )
+    };
+    let metrics = Metrics::new(baseline.makespan, run.makespan, injection.net_fraction());
+    Ok(ScenarioOutcome {
+        label: spec.label(),
+        baseline,
+        run,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::compare;
+    use ghost_engine::time::{MS, US};
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            workload: WorkloadSpec::Bsp {
+                steps: 3,
+                compute: MS,
+            },
+            machine: ExperimentSpec::flat(4, 7),
+            injection: InjectionSpec::uncoordinated(100.0, 0.025),
+        }
+    }
+
+    #[test]
+    fn spec_is_a_cache_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(spec(), 1);
+        assert_eq!(m.get(&spec()), Some(&1));
+        let mut other = spec();
+        other.machine.seed += 1;
+        assert!(!m.contains_key(&other));
+    }
+
+    #[test]
+    fn run_scenario_matches_compare() {
+        let s = spec();
+        let outcome = run_scenario(&s, RunLimits::none(), None).unwrap();
+        let w = s.workload.build();
+        let m = compare(&s.machine, w.as_ref(), &s.injection.build(s.machine.nodes));
+        assert_eq!(outcome.metrics, m);
+    }
+
+    #[test]
+    fn pristine_scenarios_reuse_the_baseline() {
+        let s = ScenarioSpec {
+            injection: InjectionSpec::none(),
+            ..spec()
+        };
+        let outcome = run_scenario(&s, RunLimits::none(), None).unwrap();
+        assert!(Arc::ptr_eq(&outcome.baseline, &outcome.run));
+    }
+
+    #[test]
+    fn injection_roundtrips_frequency_and_intensity() {
+        let i = InjectionSpec::uncoordinated(10.0, 0.025);
+        assert_eq!(i.hz_mhz, 10_000);
+        assert_eq!(i.net_ppm, 25_000);
+        assert_eq!(i.hz(), 10.0);
+        assert!((i.net_fraction() - 0.025).abs() < 1e-12);
+        assert!(!i.is_pristine());
+        assert!(InjectionSpec::none().is_pristine());
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors_not_panics() {
+        let mut s = spec();
+        s.machine.nodes = 0;
+        assert!(run_scenario(&s, RunLimits::none(), None).is_err());
+
+        let mut s = spec();
+        s.injection.net_ppm = 1_000_000;
+        assert!(run_scenario(&s, RunLimits::none(), None).is_err());
+
+        let mut s = spec();
+        s.injection.drop_ppm = 1_000_000;
+        assert!(run_scenario(&s, RunLimits::none(), None).is_err());
+    }
+
+    #[test]
+    fn provided_baseline_short_circuits() {
+        let s = spec();
+        let full = run_scenario(&s, RunLimits::none(), None).unwrap();
+        let reused = run_scenario(&s, RunLimits::none(), Some(full.baseline.clone())).unwrap();
+        assert!(Arc::ptr_eq(&full.baseline, &reused.baseline));
+        assert_eq!(full.metrics, reused.metrics);
+    }
+
+    #[test]
+    fn faults_only_specs_are_not_pristine() {
+        let mut i = InjectionSpec::none();
+        i.faults = FaultPlan::new().with_delay(0, MS, 250 * US);
+        assert!(!i.is_pristine());
+        let mut i = InjectionSpec::none();
+        i.drop_ppm = 100;
+        assert!(!i.is_pristine());
+    }
+
+    #[test]
+    fn workload_specs_build_their_namesakes() {
+        for (w, name) in [
+            (WorkloadSpec::Sage { steps: 2 }, "sage"),
+            (WorkloadSpec::Cth { steps: 2 }, "cth"),
+            (WorkloadSpec::Pop { steps: 2 }, "pop"),
+            (WorkloadSpec::Spectral { steps: 2 }, "spectral"),
+            (
+                WorkloadSpec::Bsp {
+                    steps: 2,
+                    compute: MS,
+                },
+                "bsp",
+            ),
+        ] {
+            assert_eq!(w.name(), name);
+            let built = w.build();
+            assert!(built.name().to_lowercase().contains(name) || name == "bsp");
+        }
+    }
+}

@@ -8,7 +8,7 @@ use ghost_net::{LossyLink, Network};
 use ghost_noise::fault::FaultPlan;
 use ghost_noise::model::{streams, NoiseModel};
 
-use ghost_obs::record::{NullRecorder, OpSpan, Recorder, SpanKind, VecRecorder};
+use ghost_obs::record::{NullRecorder, OpSpan, Recorder, SpanKind};
 
 use super::events::Event;
 use super::p2p::mailbox_pop;
@@ -17,7 +17,7 @@ use crate::program::Program;
 use crate::types::{CollectiveConfig, Rank, Tag};
 
 /// Result of a completed machine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Time the last rank finished (the application's wall-clock time).
     pub makespan: Time,
@@ -42,8 +42,6 @@ pub struct RunResult {
     /// Ranks that crashed (fault injection) without stranding any peer;
     /// their finish time is their crash instant. Empty in fault-free runs.
     pub failed_ranks: Vec<Rank>,
-    /// Per-op spans (only when tracing was enabled; empty otherwise).
-    pub trace: Vec<OpSpan>,
 }
 
 impl RunResult {
@@ -189,7 +187,6 @@ pub struct Machine<'a> {
     pub(super) noise: &'a dyn NoiseModel,
     pub(super) seed: u64,
     pub(super) cfg: CollectiveConfig,
-    pub(super) trace: bool,
     pub(super) recv_mode: RecvMode,
     pub(super) faults: FaultPlan,
     pub(super) lossy: Option<LossyLink>,
@@ -205,7 +202,6 @@ impl<'a> Machine<'a> {
             noise,
             seed,
             cfg: CollectiveConfig::default(),
-            trace: false,
             recv_mode: RecvMode::Polling,
             faults: FaultPlan::new(),
             lossy: None,
@@ -250,14 +246,6 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Enable per-op span tracing (adds memory proportional to the op
-    /// count; intended for small machines and visualization).
-    #[deprecated(note = "pass a `VecRecorder` to `Machine::run_with` and read its timeline")]
-    pub fn with_trace(mut self, enabled: bool) -> Self {
-        self.trace = enabled;
-        self
-    }
-
     /// Override the collective configuration.
     pub fn with_config(mut self, cfg: CollectiveConfig) -> Self {
         self.cfg = cfg;
@@ -269,33 +257,21 @@ impl<'a> Machine<'a> {
         &self.net
     }
 
-    /// Run one program per rank to completion.
-    ///
-    /// When tracing was enabled via the deprecated `Machine::with_trace`,
-    /// an internal [`VecRecorder`] captures the run and `RunResult::trace`
-    /// carries the spans (the historical buffered behaviour); otherwise the
-    /// run streams into a [`NullRecorder`], which costs (near) nothing.
+    /// Run one program per rank to completion, streaming into a
+    /// [`NullRecorder`] (which costs near nothing). For a full capture pass
+    /// a [`ghost_obs::record::VecRecorder`] to [`Machine::run_with`] and
+    /// read its timeline.
     ///
     /// # Panics
     ///
     /// Panics if more programs than nodes are supplied.
     pub fn run(&self, programs: Vec<Box<dyn Program>>) -> Result<RunResult, RunError> {
-        if self.trace {
-            let mut rec = VecRecorder::default();
-            let mut result = self.run_with(programs, &mut rec)?;
-            result.trace = rec.timeline.spans;
-            Ok(result)
-        } else {
-            self.run_with(programs, &mut NullRecorder)
-        }
+        self.run_with(programs, &mut NullRecorder)
     }
 
     /// Run one program per rank, streaming observations into `rec` as they
     /// close. The executor is monomorphized per recorder type, so a
     /// [`NullRecorder`] compiles to empty inlined calls.
-    ///
-    /// `RunResult::trace` is left empty here; pass a [`VecRecorder`] and
-    /// read its `timeline` for a full capture (spans, waits, messages).
     ///
     /// # Panics
     ///
@@ -468,7 +444,6 @@ impl<'a> Machine<'a> {
             events: q.total_popped(),
             retransmits: ranks.iter().map(|c| c.retransmits).sum(),
             failed_ranks: failed,
-            trace: Vec::new(),
         })
     }
 }

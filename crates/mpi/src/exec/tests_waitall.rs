@@ -101,16 +101,9 @@ fn interrupt_wakeup_slows_collective_chains() {
     );
 }
 
+/// Pins the streaming trace path: a `VecRecorder` passed to `run_with`
+/// captures every span of the run, well-formed and non-overlapping.
 #[test]
-fn tracing_disabled_by_default() {
-    let r = run_scripts(flat_machine(1), &NoNoise, vec![vec![MpiCall::Compute(MS)]]);
-    assert!(r.trace.is_empty());
-}
-
-/// Pins the deprecated `with_trace` shim: buffered tracing must keep
-/// producing the same spans as a `VecRecorder` until the shim is removed.
-#[test]
-#[allow(deprecated)]
 fn trace_spans_cover_the_timeline() {
     let net = flat_machine(2);
     let programs: Vec<Box<dyn Program>> = vec![
@@ -126,25 +119,26 @@ fn trace_spans_cover_the_timeline() {
         .boxed(),
         ScriptProgram::new(vec![MpiCall::Recv { src: 0, tag: 1 }]).boxed(),
     ];
+    let mut rec = VecRecorder::default();
     let r = Machine::new(net, &NoNoise, 1)
-        .with_trace(true)
-        .run(programs)
+        .run_with(programs, &mut rec)
         .unwrap();
+    let spans = &rec.timeline.spans;
     use SpanKind::*;
-    let kinds: Vec<(Rank, SpanKind)> = r.trace.iter().map(|s| (s.rank, s.kind)).collect();
+    let kinds: Vec<(Rank, SpanKind)> = spans.iter().map(|s| (s.rank, s.kind)).collect();
     assert!(kinds.contains(&(0, Compute)));
     assert!(kinds.contains(&(0, SendOverhead)));
     assert!(kinds.contains(&(1, Blocked)));
     assert!(kinds.contains(&(1, RecvProcess)));
     // Spans are well-formed and within the makespan.
-    for sp in &r.trace {
+    for sp in spans {
         assert!(sp.start < sp.end, "{sp:?}");
         assert!(sp.end <= r.makespan, "{sp:?}");
     }
     // Per-rank spans are non-overlapping (CPU is sequential; a rank's
     // Blocked span may not overlap its processing spans).
     for rank in 0..2 {
-        let mut mine: Vec<&OpSpan> = r.trace.iter().filter(|s| s.rank == rank).collect();
+        let mut mine: Vec<&OpSpan> = spans.iter().filter(|s| s.rank == rank).collect();
         mine.sort_by_key(|s| s.start);
         for w in mine.windows(2) {
             assert!(w[0].end <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
@@ -158,11 +152,9 @@ fn traced_compute_includes_noise_stretch() {
     let model = sig.periodic_model(PhasePolicy::Aligned);
     let programs = vec![ScriptProgram::new(vec![MpiCall::Compute(50 * MS)]).boxed()];
     let mut rec = VecRecorder::default();
-    let r = Machine::new(flat_machine(1), &model, 1)
+    let _r = Machine::new(flat_machine(1), &model, 1)
         .run_with(programs, &mut rec)
         .unwrap();
-    // Streaming leaves the buffered field empty; the recorder has the spans.
-    assert!(r.trace.is_empty());
     assert_eq!(rec.timeline.spans.len(), 1);
     let sp = rec.timeline.spans[0];
     assert_eq!(sp.kind, SpanKind::Compute);

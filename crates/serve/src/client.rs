@@ -1,0 +1,126 @@
+//! Blocking client for the ghost-serve protocol.
+//!
+//! One TCP connection, one request in flight at a time. Every method maps
+//! the server's typed responses onto [`ClientError`], so callers see
+//! `Busy`/`Server`/`Wire` distinctly — the CLI turns these into its
+//! 0/1/2 exit-code contract.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ghost_core::scenario::ScenarioSpec;
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, ScenarioReply,
+    ServerStats, WireError,
+};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Connecting or talking to the server failed at the socket level.
+    Io(String),
+    /// The server's bytes did not decode as a response.
+    Wire(WireError),
+    /// Admission control rejected the submission; retry later.
+    Busy {
+        /// Scenarios admitted when the request arrived.
+        active: u32,
+        /// The server's admission cap.
+        capacity: u32,
+    },
+    /// The server processed the request and reported a failure.
+    Server(String),
+    /// The server answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { active, capacity } => {
+                write!(f, "server busy ({active}/{capacity} scenarios admitted)")
+            }
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(kind) => write!(f, "unexpected response kind: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(msg) => ClientError::Io(msg),
+            WireError::Closed => ClientError::Io("connection closed".into()),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// A connected ghost-serve client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        // Request/response over small frames: never batch under Nagle.
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Map the error-ish response kinds shared by every request.
+    fn reject(resp: Response, want: &str) -> ClientError {
+        match resp {
+            Response::Busy { active, capacity } => ClientError::Busy { active, capacity },
+            Response::Error(e) => ClientError::Server(e),
+            other => ClientError::Unexpected(format!("{other:?} (wanted {want})")),
+        }
+    }
+
+    /// Run (or fetch) one scenario.
+    pub fn submit(&mut self, spec: &ScenarioSpec) -> Result<ScenarioReply, ClientError> {
+        match self.call(&Request::Submit(spec.clone()))? {
+            Response::Scenario(reply) => Ok(*reply),
+            other => Err(Self::reject(other, "Scenario")),
+        }
+    }
+
+    /// Run (or fetch) a batch; per-cell results come back in request order.
+    pub fn sweep(
+        &mut self,
+        specs: &[ScenarioSpec],
+    ) -> Result<Vec<Result<ScenarioReply, String>>, ClientError> {
+        match self.call(&Request::Sweep(specs.to_vec()))? {
+            Response::Sweep(slots) => Ok(slots),
+            other => Err(Self::reject(other, "Sweep")),
+        }
+    }
+
+    /// Snapshot the server's counters and latency histogram.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(*stats),
+            other => Err(Self::reject(other, "Stats")),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(Self::reject(other, "ShutdownAck")),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # ghost-serve — a campaign-serving daemon with a persistent result store
+//!
+//! Parameter sweeps over a deterministic simulator re-run the same
+//! scenarios constantly: the same baseline for every noise intensity, the
+//! same grid cell across replications and CLI invocations. `ghost-serve`
+//! exploits that determinism with a small std-only daemon that exposes
+//! the campaign engine over TCP and remembers every answer:
+//!
+//! * [`wire`] — versioned length-prefixed frames and a strict, canonical
+//!   binary codec. Decoding is total: arbitrary bytes produce a typed
+//!   [`wire::WireError`], never a panic, and a malformed payload leaves
+//!   the connection usable.
+//! * [`store`] — a content-addressed on-disk result cache keyed by the
+//!   canonical scenario encoding. Atomic tmp+rename writes; truncation,
+//!   corruption, and filename collisions are verified on read and treated
+//!   as misses. A warm restart answers repeats without re-simulating —
+//!   byte-identically, since the simulator is seed-deterministic.
+//! * [`server`] — the daemon: a coalescing scheduler (identical in-flight
+//!   scenarios simulate once), batch sweeps on the campaign engine's
+//!   work-stealing pool, bounded admission control with a typed `Busy`
+//!   response, graceful drain on shutdown, and `ghost-obs` counters plus
+//!   latency histograms behind a `Stats` request.
+//! * [`client`] — the blocking client the CLI (`ghostsim serve` /
+//!   `ghostsim submit` / `--server`) is built on.
+//!
+//! ```no_run
+//! use ghost_serve::server::{ServeConfig, Server};
+//! use ghost_serve::client::Client;
+//! use ghost_core::scenario::{InjectionSpec, ScenarioSpec, WorkloadSpec};
+//! use ghost_core::ExperimentSpec;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+//! let addr = server.local_addr()?;
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let reply = client.submit(&ScenarioSpec {
+//!     workload: WorkloadSpec::Sage { steps: 5 },
+//!     machine: ExperimentSpec::torus(64, 1),
+//!     injection: InjectionSpec::uncoordinated(10.0, 0.025),
+//! })?;
+//! println!("{}: {:+.2}%", reply.label, reply.metrics().slowdown_pct());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod client;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{ServeConfig, Server};
+pub use store::ResultStore;
+pub use wire::{Request, Response, ScenarioReply, ServerStats, WireError};

@@ -1,0 +1,533 @@
+//! The ghost-serve daemon: TCP accept loop, coalescing scheduler,
+//! admission control, and the two-level (memory + disk) result cache.
+//!
+//! ## Request lifecycle
+//!
+//! A `Submit` is answered from, in order: the in-memory reply cache, the
+//! persistent [`ResultStore`] (a decode failure there is silently a miss),
+//! an identical *in-flight* simulation (the request parks on its condvar
+//! rather than simulating twice), or a fresh simulation — which is
+//! admission-controlled: if `capacity` scenarios are already admitted the
+//! server answers [`Response::Busy`] instead of queueing unboundedly.
+//! Fresh results are persisted and cached before waiters are woken, so a
+//! coalesced waiter and the original submitter receive identical bytes.
+//!
+//! `Sweep` batches distinct cells onto the campaign engine's
+//! work-stealing pool ([`ghost_core::campaign::run_indexed_partial`]);
+//! duplicate cells within the batch simulate once.
+//!
+//! ## Robustness
+//!
+//! A malformed payload gets a typed [`Response::Error`] and the
+//! connection survives; a malformed frame *header* tears down only that
+//! connection. Simulation panics are caught (`catch_unwind`) and reported
+//! as errors. The server itself is panic-free by construction (clippy
+//! gate) — mutex poison is absorbed with `into_inner`.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ghost_core::scenario::{run_scenario, ScenarioSpec, WorkloadSpec};
+use ghost_core::ExperimentSpec;
+use ghost_mpi::{RunLimits, RunResult};
+use ghost_obs::metrics::Log2Hist;
+
+use crate::store::ResultStore;
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, ScenarioReply,
+    ServerStats, WireError,
+};
+
+/// How the daemon is configured.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root of the persistent result store; `None` disables persistence
+    /// (memory cache only).
+    pub store_dir: Option<PathBuf>,
+    /// Admission-control cap on concurrently admitted scenarios.
+    pub capacity: usize,
+    /// Simulation limits applied to every run.
+    pub limits: RunLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            store_dir: None,
+            capacity: 64,
+            limits: RunLimits::none(),
+        }
+    }
+}
+
+/// A scenario being simulated right now; identical submissions park here.
+struct Inflight {
+    done: Mutex<Option<Result<Arc<ScenarioReply>, String>>>,
+    cv: Condvar,
+}
+
+/// Lock a mutex, absorbing poison (a panicking simulation thread must not
+/// wedge the server).
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// State shared by the accept loop and all connection handlers.
+struct Shared {
+    config: ServeConfig,
+    store: Option<ResultStore>,
+    memory: Mutex<HashMap<ScenarioSpec, Arc<ScenarioReply>>>,
+    baselines: Mutex<HashMap<(WorkloadSpec, ExperimentSpec), Arc<RunResult>>>,
+    inflight: Mutex<HashMap<ScenarioSpec, Arc<Inflight>>>,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests: AtomicU64,
+    scenarios: AtomicU64,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    simulated: AtomicU64,
+    coalesced: AtomicU64,
+    busy_rejections: AtomicU64,
+    decode_errors: AtomicU64,
+    store_errors: AtomicU64,
+    latency: Mutex<Log2Hist>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let hist = lock(&self.latency);
+        ServerStats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            scenarios: self.scenarios.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+            queue_depth: self.active.load(Ordering::Relaxed) as u32,
+            capacity: self.config.capacity as u32,
+            latency_buckets: hist.nonzero_buckets(),
+            latency_count: hist.count(),
+            latency_min: hist.min(),
+            latency_max: hist.max(),
+        }
+    }
+
+    /// Memory → disk lookup; counts hits. Does not consult in-flight work.
+    fn cached(&self, spec: &ScenarioSpec, key: &[u8]) -> Option<Arc<ScenarioReply>> {
+        if let Some(hit) = lock(&self.memory).get(spec) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit.clone());
+        }
+        let store = self.store.as_ref()?;
+        let bytes = store.get(key)?;
+        match ScenarioReply::from_bytes(&bytes) {
+            Ok(reply) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let reply = Arc::new(reply);
+                lock(&self.memory).insert(spec.clone(), reply.clone());
+                Some(reply)
+            }
+            Err(_) => {
+                // On-disk bytes that fail to decode are a miss, not a fault.
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Simulate `spec` (baseline memoized), publish to the caches, and
+    /// return the reply. Panics inside the simulator become errors.
+    fn simulate(&self, spec: &ScenarioSpec, key: &[u8]) -> Result<Arc<ScenarioReply>, String> {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        let baseline = lock(&self.baselines).get(&spec.baseline_key()).cloned();
+        let limits = self.config.limits;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scenario(spec, limits, baseline)
+        }))
+        .map_err(|_| format!("simulation panicked for {}", spec.label()))??;
+        lock(&self.baselines)
+            .entry(spec.baseline_key())
+            .or_insert_with(|| outcome.baseline.clone());
+        let reply = Arc::new(ScenarioReply::from_outcome(spec, &outcome));
+        if let Some(store) = &self.store {
+            if store.put(key, &reply.to_bytes()).is_err() {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        lock(&self.memory).insert(spec.clone(), reply.clone());
+        Ok(reply)
+    }
+
+    /// Full submit path: cache → coalesce → admission control → simulate.
+    fn submit(&self, spec: &ScenarioSpec) -> Response {
+        self.scenarios.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = spec.validate() {
+            return Response::Error(e);
+        }
+        let key = crate::wire::scenario_key_bytes(spec);
+        if let Some(hit) = self.cached(spec, &key) {
+            return Response::Scenario(Box::new((*hit).clone()));
+        }
+
+        // Join an identical in-flight simulation, or register ourselves.
+        enum Role {
+            Leader(Arc<Inflight>),
+            Waiter(Arc<Inflight>),
+        }
+        let role = {
+            let mut inflight = lock(&self.inflight);
+            if let Some(cell) = inflight.get(spec) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Role::Waiter(cell.clone())
+            } else {
+                let admitted = self.active.fetch_add(1, Ordering::Relaxed);
+                if admitted >= self.config.capacity {
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                    self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Response::Busy {
+                        active: admitted as u32,
+                        capacity: self.config.capacity as u32,
+                    };
+                }
+                let cell = Arc::new(Inflight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                inflight.insert(spec.clone(), cell.clone());
+                Role::Leader(cell)
+            }
+        };
+
+        let result = match role {
+            Role::Leader(cell) => {
+                let result = self.simulate(spec, &key);
+                lock(&self.inflight).remove(spec);
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                *lock(&cell.done) = Some(result.clone());
+                cell.cv.notify_all();
+                result
+            }
+            Role::Waiter(cell) => {
+                let mut done = lock(&cell.done);
+                loop {
+                    if let Some(r) = done.as_ref() {
+                        break r.clone();
+                    }
+                    done = cell.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        };
+        match result {
+            Ok(reply) => Response::Scenario(Box::new((*reply).clone())),
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Sweep path: dedup identical cells, batch distinct misses onto the
+    /// work-stealing pool, answer in request order.
+    fn sweep(&self, specs: &[ScenarioSpec]) -> Response {
+        self.scenarios
+            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+
+        // Dedup: identical cells share one slot in `work`.
+        let mut order: Vec<usize> = Vec::with_capacity(specs.len());
+        let mut work: Vec<&ScenarioSpec> = Vec::new();
+        let mut seen: HashMap<&ScenarioSpec, usize> = HashMap::new();
+        for spec in specs {
+            let slot = *seen.entry(spec).or_insert_with(|| {
+                work.push(spec);
+                work.len() - 1
+            });
+            order.push(slot);
+        }
+
+        let admitted = self.active.fetch_add(work.len(), Ordering::Relaxed);
+        if admitted + work.len() > self.config.capacity {
+            self.active.fetch_sub(work.len(), Ordering::Relaxed);
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy {
+                active: admitted as u32,
+                capacity: self.config.capacity as u32,
+            };
+        }
+
+        let results: Vec<Result<Arc<ScenarioReply>, String>> =
+            ghost_core::campaign::run_indexed_partial(
+                work.len(),
+                |i| work[i].label(),
+                |i| {
+                    let spec = work[i];
+                    spec.validate()?;
+                    let key = crate::wire::scenario_key_bytes(spec);
+                    if let Some(hit) = self.cached(spec, &key) {
+                        return Ok(hit);
+                    }
+                    self.simulate(spec, &key)
+                },
+                0,
+                Duration::ZERO,
+            )
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect();
+        self.active.fetch_sub(work.len(), Ordering::Relaxed);
+
+        Response::Sweep(
+            order
+                .iter()
+                .map(|&slot| match &results[slot] {
+                    Ok(reply) => Ok((**reply).clone()),
+                    Err(e) => Err(e.clone()),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and open the
+    /// store if one is configured.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            store,
+            config,
+            memory: Mutex::new(HashMap::new()),
+            baselines: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            scenarios: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            latency: Mutex::new(Log2Hist::new()),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `Shutdown` request arrives, then drain in-flight work
+    /// and return. Each connection gets its own handler thread.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let shared = self.shared.clone();
+                    // Detached: the handler dies with its connection.
+                    std::thread::spawn(move || handle_connection(stream, &shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Graceful drain: wait for admitted work to finish.
+        while self.shared.active.load(Ordering::Relaxed) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection until it closes, a header-level error occurs, or
+/// shutdown is acknowledged.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(WireError::Closed) => return,
+            Err(e) => {
+                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                // Header-level: the stream is desynchronized. Best-effort
+                // error reply, then drop the connection.
+                let _ = write_frame(
+                    &mut writer,
+                    &encode_response(&Response::Error(e.to_string())),
+                );
+                return;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let (response, stop) = match decode_request(&payload) {
+            Err(e) => {
+                // Payload-level: typed error, connection survives.
+                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                (Response::Error(format!("bad request: {e}")), false)
+            }
+            Ok(Request::Submit(spec)) => (shared.submit(&spec), false),
+            Ok(Request::Sweep(specs)) => (shared.sweep(&specs), false),
+            Ok(Request::Stats) => (Response::Stats(Box::new(shared.stats())), false),
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::Relaxed);
+                (Response::ShutdownAck, true)
+            }
+        };
+        lock(&shared.latency).record(t0.elapsed().as_nanos() as u64);
+        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+            return;
+        }
+        if stop {
+            let _ = writer.flush();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use ghost_core::scenario::InjectionSpec;
+    use ghost_engine::time::MS;
+
+    fn spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            workload: WorkloadSpec::Bsp {
+                steps: 3,
+                compute: MS,
+            },
+            machine: ExperimentSpec::flat(4, seed),
+            injection: InjectionSpec::uncoordinated(100.0, 0.01),
+        }
+    }
+
+    fn start(config: ServeConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            server.run().unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn submit_stats_shutdown_roundtrip() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let a = client.submit(&spec(1)).unwrap();
+        let b = client.submit(&spec(1)).unwrap();
+        assert_eq!(a, b, "repeat must be served identically");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.scenarios, 2);
+        assert_eq!(stats.simulated, 1);
+        assert_eq!(stats.memory_hits, 1);
+        // The stats request itself is timed after its snapshot, so only the
+        // two submits are visible here.
+        assert_eq!(stats.latency_count, 2);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sweep_dedups_identical_cells() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let cells = vec![spec(1), spec(2), spec(1)];
+        let replies = client.sweep(&cells).unwrap();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(
+            replies[0].as_ref().unwrap(),
+            replies[2].as_ref().unwrap(),
+            "duplicate cells share one result"
+        );
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.simulated, 2, "third cell coalesced in-batch");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_error_not_a_crash() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let mut bad = spec(1);
+        bad.injection.net_ppm = 2_000_000;
+        let err = client.submit(&bad).unwrap_err();
+        assert!(matches!(err, crate::client::ClientError::Server(_)));
+        // The connection survives a rejected spec.
+        let ok = client.submit(&spec(1));
+        assert!(ok.is_ok());
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_answers_busy() {
+        let (addr, handle) = start(ServeConfig {
+            capacity: 0,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let err = client.submit(&spec(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Busy { capacity: 0, .. }
+        ));
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_payload_keeps_connection_alive() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Valid frame, garbage payload.
+        write_frame(&mut stream, &[0xff, 0x01, 0x02]).unwrap();
+        let resp = crate::wire::decode_response(&read_frame(&mut stream).unwrap()).unwrap();
+        assert!(matches!(resp, Response::Error(_)));
+        // Same connection still answers a well-formed request.
+        write_frame(&mut stream, &crate::wire::encode_request(&Request::Stats)).unwrap();
+        let resp = crate::wire::decode_response(&read_frame(&mut stream).unwrap()).unwrap();
+        match resp {
+            Response::Stats(s) => assert_eq!(s.decode_errors, 1),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}

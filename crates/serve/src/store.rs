@@ -1,0 +1,246 @@
+//! Persistent content-addressed result store.
+//!
+//! One file per scenario, named by the FNV-64 of the spec's canonical key
+//! bytes: `gs-{hash:016x}.res`. Each file embeds the *full* key and a
+//! checksum, so a filename collision or a corrupt/truncated file is
+//! detected on read and treated as a miss — the store never panics and
+//! never serves wrong bytes. Writes go through a temp file plus an atomic
+//! rename so a crash mid-write leaves either the old file or no file,
+//! never a torn one.
+//!
+//! File layout (all little-endian):
+//!
+//! ```text
+//! magic   u32  "GSST"
+//! version u16
+//! key_len u32
+//! val_len u32
+//! key     [u8; key_len]      canonical scenario encoding
+//! value   [u8; val_len]      canonical ScenarioReply encoding
+//! check   u64                fnv64(key ++ value)
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::wire::content_hash;
+
+/// Store file magic: `"GSST"` little-endian.
+pub const STORE_MAGIC: u32 = u32::from_le_bytes(*b"GSST");
+/// Store format version.
+pub const STORE_VERSION: u16 = 1;
+/// Cap on either section of a store file (matches the wire payload cap).
+const MAX_SECTION: u32 = 16 * 1024 * 1024;
+
+/// An on-disk result cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file that would hold `key`'s result.
+    pub fn path_for(&self, key: &[u8]) -> PathBuf {
+        self.dir.join(format!("gs-{:016x}.res", content_hash(key)))
+    }
+
+    /// Look up `key`. Any verification failure — missing file, bad magic or
+    /// version, implausible lengths, checksum mismatch, or a different key
+    /// hashed to the same filename — is a miss (`None`), never an error.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.path_for(key)).ok()?;
+        decode_store_file(&bytes, key)
+    }
+
+    /// Persist `value` under `key`, atomically. A failed write is reported
+    /// but leaves no partial file behind.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        if key.len() as u64 > MAX_SECTION as u64 || value.len() as u64 > MAX_SECTION as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "store entry too large",
+            ));
+        }
+        let mut bytes = Vec::with_capacity(22 + key.len() + value.len());
+        bytes.extend_from_slice(&STORE_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(key);
+        bytes.extend_from_slice(value);
+        let mut checked = Vec::with_capacity(key.len() + value.len());
+        checked.extend_from_slice(key);
+        checked.extend_from_slice(value);
+        bytes.extend_from_slice(&content_hash(&checked).to_le_bytes());
+
+        let final_path = self.path_for(key);
+        let tmp_path = self.dir.join(format!(
+            "gs-{:016x}.tmp.{}",
+            content_hash(key),
+            std::process::id()
+        ));
+        let mut f = fs::File::create(&tmp_path)?;
+        let written = f.write_all(&bytes).and_then(|()| f.sync_all());
+        drop(f);
+        match written.and_then(|()| fs::rename(&tmp_path, &final_path)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// How many result files the store currently holds.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.starts_with("gs-") && n.ends_with(".res"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Verify and extract the value section, or `None` on any defect.
+fn decode_store_file(bytes: &[u8], want_key: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < 14 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if magic != STORE_MAGIC {
+        return None;
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().ok()?);
+    if version != STORE_VERSION {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(bytes[6..10].try_into().ok()?) as usize;
+    let val_len = u32::from_le_bytes(bytes[10..14].try_into().ok()?) as usize;
+    if key_len as u64 > MAX_SECTION as u64 || val_len as u64 > MAX_SECTION as u64 {
+        return None;
+    }
+    let expected = 14usize
+        .checked_add(key_len)?
+        .checked_add(val_len)?
+        .checked_add(8)?;
+    if bytes.len() != expected {
+        return None;
+    }
+    let key = &bytes[14..14 + key_len];
+    let value = &bytes[14 + key_len..14 + key_len + val_len];
+    let check = u64::from_le_bytes(bytes[expected - 8..].try_into().ok()?);
+    let mut checked = Vec::with_capacity(key_len + val_len);
+    checked.extend_from_slice(key);
+    checked.extend_from_slice(value);
+    if content_hash(&checked) != check {
+        return None;
+    }
+    // Full-key byte equality: FNV filename collisions resolve to a miss.
+    if key != want_key {
+        return None;
+    }
+    Some(value.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ghost-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let dir = tmpdir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.put(b"key-a", b"value-a").unwrap();
+        assert_eq!(store.get(b"key-a").unwrap(), b"value-a");
+        assert_eq!(store.get(b"key-b"), None);
+        assert_eq!(store.len(), 1);
+
+        // A fresh handle over the same directory (warm restart) still hits.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.get(b"key-a").unwrap(), b"value-a");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let dir = tmpdir("overwrite");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(b"k", b"old").unwrap();
+        store.put(b"k", b"new").unwrap();
+        assert_eq!(store.get(b"k").unwrap(), b"new");
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_a_miss() {
+        let dir = tmpdir("truncated");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(b"k", b"some value bytes").unwrap();
+        let path = store.path_for(b"k");
+        let full = fs::read(&path).unwrap();
+        for cut in [0, 5, 13, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert_eq!(store.get(b"k"), None, "cut at {cut} must be a miss");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_miss() {
+        let dir = tmpdir("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(b"k", b"payload").unwrap();
+        let path = store.path_for(b"k");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get(b"k"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filename_collision_resolves_to_miss() {
+        let dir = tmpdir("collision");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(b"key-a", b"value-a").unwrap();
+        // Simulate another key hashing to the same file: rewrite the file
+        // under key-a's name but ask for a key whose bytes differ.
+        let stored = fs::read(store.path_for(b"key-a")).unwrap();
+        fs::write(store.path_for(b"imposter"), &stored).unwrap();
+        assert_eq!(store.get(b"imposter"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

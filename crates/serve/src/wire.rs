@@ -1,0 +1,1109 @@
+//! Wire layer: versioned length-prefixed frames and a strict binary codec
+//! for requests, responses, and scenario specs.
+//!
+//! Every frame is `magic(u32) | version(u16) | len(u32) | payload`, all
+//! little-endian, with `len` capped at [`MAX_PAYLOAD`]. The payload codec
+//! is hand-rolled (std-only), fixed-width, and *canonical*: one spec has
+//! exactly one encoding, which is what lets
+//! [`scenario_key_bytes`] double as the content address of the persistent
+//! result store.
+//!
+//! Decoding is total: any byte sequence produces either a value or a typed
+//! [`WireError`] — never a panic and never an allocation proportional to a
+//! length field that the buffer cannot back. A malformed *payload* leaves
+//! the frame stream synchronized, so a server can answer
+//! `Response::Error` and keep the connection; a malformed *header* is
+//! unrecoverable and the connection must be dropped.
+
+use std::io::{Read, Write};
+
+use ghost_core::experiment::{ExperimentSpec, NetPreset, TopoPreset};
+use ghost_core::metrics::Metrics;
+use ghost_core::scenario::{InjectionSpec, PhaseSpec, ScenarioOutcome, ScenarioSpec, WorkloadSpec};
+use ghost_mpi::{AllgatherAlgo, AllreduceAlgo, BcastAlgo, CollectiveConfig, RecvMode, RunResult};
+use ghost_net::RetryModel;
+use ghost_noise::fault::{FaultKind, FaultPlan};
+
+/// Frame magic: `"GSRV"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"GSRV");
+/// Protocol version carried in every frame header.
+pub const VERSION: u16 = 1;
+/// Upper bound on a frame payload (16 MiB) — a corrupt length field must
+/// not become an allocation.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Closed,
+    /// An I/O error while reading or writing (rendered as text).
+    Io(String),
+    /// Header magic was not `GSRV` — the stream is desynchronized.
+    BadMagic(u32),
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The payload ended before the value it claimed to hold.
+    Truncated,
+    /// An enum discriminant no decoder recognizes.
+    UnknownTag(u8),
+    /// Payload bytes remained after the value was fully decoded.
+    TrailingBytes(usize),
+    /// A decoded length/count field fails a sanity bound.
+    BadLength(u64),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversize(n) => write!(f, "frame payload of {n} bytes exceeds cap"),
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::UnknownTag(t) => write!(f, "unknown tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::BadLength(n) => write!(f, "implausible length field {n}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Whether the frame stream is still synchronized after this error
+    /// (payload-level problem) or must be torn down (header-level).
+    pub fn recoverable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Truncated
+                | WireError::UnknownTag(_)
+                | WireError::TrailingBytes(_)
+                | WireError::BadLength(_)
+                | WireError::BadUtf8
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+/// Write one frame (header + payload) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize(u32::MAX))?;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    // One buffer, one write: a header-then-payload pair of small writes
+    // would interact badly with Nagle + delayed ACK on real sockets.
+    let mut frame = Vec::with_capacity(10 + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Read one frame payload from `r`. EOF *before the first header byte* is
+/// a clean [`WireError::Closed`]; EOF mid-frame is an I/O error.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 10];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => return Err(WireError::Io("eof mid-header".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive codec
+
+/// Byte-buffer writer for the canonical encoding.
+#[derive(Default)]
+pub struct Enc(pub Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    #[cfg(test)]
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len().min(u32::MAX as usize) as u32);
+        self.0.extend_from_slice(&s.as_bytes()[..s.len()]);
+    }
+}
+
+/// Strict reader over a payload slice.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::BadLength(v))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A count field that will drive a loop or allocation: bounded by the
+    /// bytes actually remaining (each element costs >= 1 byte), so corrupt
+    /// lengths fail fast instead of allocating.
+    fn count(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        let n = usize::try_from(v).map_err(|_| WireError::BadLength(v))?;
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::BadLength(v));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+    /// Require the buffer to be fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario spec (the canonical cache-key encoding)
+
+fn enc_workload(e: &mut Enc, w: &WorkloadSpec) {
+    match *w {
+        WorkloadSpec::Sage { steps } => {
+            e.u8(0);
+            e.u32(steps);
+        }
+        WorkloadSpec::Cth { steps } => {
+            e.u8(1);
+            e.u32(steps);
+        }
+        WorkloadSpec::Pop { steps } => {
+            e.u8(2);
+            e.u32(steps);
+        }
+        WorkloadSpec::Spectral { steps } => {
+            e.u8(3);
+            e.u32(steps);
+        }
+        WorkloadSpec::Bsp { steps, compute } => {
+            e.u8(4);
+            e.u32(steps);
+            e.u64(compute);
+        }
+    }
+}
+
+fn dec_workload(d: &mut Dec) -> Result<WorkloadSpec, WireError> {
+    Ok(match d.u8()? {
+        0 => WorkloadSpec::Sage { steps: d.u32()? },
+        1 => WorkloadSpec::Cth { steps: d.u32()? },
+        2 => WorkloadSpec::Pop { steps: d.u32()? },
+        3 => WorkloadSpec::Spectral { steps: d.u32()? },
+        4 => WorkloadSpec::Bsp {
+            steps: d.u32()?,
+            compute: d.u64()?,
+        },
+        t => return Err(WireError::UnknownTag(t)),
+    })
+}
+
+fn enc_machine(e: &mut Enc, m: &ExperimentSpec) {
+    e.usize(m.nodes);
+    e.u8(match m.net {
+        NetPreset::Mpp => 0,
+        NetPreset::Commodity => 1,
+        NetPreset::Ideal => 2,
+    });
+    match m.topo {
+        TopoPreset::Flat => e.u8(0),
+        TopoPreset::Torus3D => e.u8(1),
+        TopoPreset::FatTree { arity } => {
+            e.u8(2);
+            e.usize(arity);
+        }
+    }
+    e.u64(m.seed);
+    match m.coll.allreduce {
+        AllreduceAlgo::RecursiveDoubling => e.u8(0),
+        AllreduceAlgo::Rabenseifner => e.u8(1),
+        AllreduceAlgo::Auto { threshold } => {
+            e.u8(2);
+            e.u64(threshold);
+        }
+    }
+    match m.coll.bcast {
+        BcastAlgo::Binomial => e.u8(0),
+        BcastAlgo::ScatterAllgather => e.u8(1),
+        BcastAlgo::Auto { threshold } => {
+            e.u8(2);
+            e.u64(threshold);
+        }
+    }
+    e.u8(match m.coll.allgather {
+        AllgatherAlgo::Ring => 0,
+        AllgatherAlgo::RecursiveDoubling => 1,
+    });
+    e.u64(m.coll.reduce_cost_ps_per_byte);
+    match m.recv_mode {
+        RecvMode::Polling => e.u8(0),
+        RecvMode::Interrupt { wakeup } => {
+            e.u8(1);
+            e.u64(wakeup);
+        }
+    }
+}
+
+fn dec_machine(d: &mut Dec) -> Result<ExperimentSpec, WireError> {
+    let nodes = d.usize()?;
+    let net = match d.u8()? {
+        0 => NetPreset::Mpp,
+        1 => NetPreset::Commodity,
+        2 => NetPreset::Ideal,
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    let topo = match d.u8()? {
+        0 => TopoPreset::Flat,
+        1 => TopoPreset::Torus3D,
+        2 => TopoPreset::FatTree { arity: d.usize()? },
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    let seed = d.u64()?;
+    let allreduce = match d.u8()? {
+        0 => AllreduceAlgo::RecursiveDoubling,
+        1 => AllreduceAlgo::Rabenseifner,
+        2 => AllreduceAlgo::Auto {
+            threshold: d.u64()?,
+        },
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    let bcast = match d.u8()? {
+        0 => BcastAlgo::Binomial,
+        1 => BcastAlgo::ScatterAllgather,
+        2 => BcastAlgo::Auto {
+            threshold: d.u64()?,
+        },
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    let allgather = match d.u8()? {
+        0 => AllgatherAlgo::Ring,
+        1 => AllgatherAlgo::RecursiveDoubling,
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    let reduce_cost_ps_per_byte = d.u64()?;
+    let recv_mode = match d.u8()? {
+        0 => RecvMode::Polling,
+        1 => RecvMode::Interrupt { wakeup: d.u64()? },
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    Ok(ExperimentSpec {
+        nodes,
+        net,
+        topo,
+        seed,
+        coll: CollectiveConfig {
+            allreduce,
+            bcast,
+            allgather,
+            reduce_cost_ps_per_byte,
+        },
+        recv_mode,
+    })
+}
+
+fn enc_faults(e: &mut Enc, plan: &FaultPlan) {
+    e.usize(plan.len());
+    for ev in plan.events() {
+        e.usize(ev.rank);
+        match ev.kind {
+            FaultKind::Delay { at, duration } => {
+                e.u8(0);
+                e.u64(at);
+                e.u64(duration);
+            }
+            FaultKind::Straggler { factor_x1000 } => {
+                e.u8(1);
+                e.u32(factor_x1000);
+            }
+            FaultKind::Crash { at } => {
+                e.u8(2);
+                e.u64(at);
+            }
+            FaultKind::Drop {
+                from,
+                until,
+                prob_ppm,
+            } => {
+                e.u8(3);
+                e.u64(from);
+                e.u64(until);
+                e.u32(prob_ppm);
+            }
+            FaultKind::Duplicate {
+                from,
+                until,
+                prob_ppm,
+            } => {
+                e.u8(4);
+                e.u64(from);
+                e.u64(until);
+                e.u32(prob_ppm);
+            }
+        }
+    }
+}
+
+fn dec_faults(d: &mut Dec) -> Result<FaultPlan, WireError> {
+    let n = d.count()?;
+    let mut plan = FaultPlan::new();
+    for _ in 0..n {
+        let rank = d.usize()?;
+        let kind = match d.u8()? {
+            0 => FaultKind::Delay {
+                at: d.u64()?,
+                duration: d.u64()?,
+            },
+            1 => FaultKind::Straggler {
+                factor_x1000: d.u32()?,
+            },
+            2 => FaultKind::Crash { at: d.u64()? },
+            3 => FaultKind::Drop {
+                from: d.u64()?,
+                until: d.u64()?,
+                prob_ppm: d.u32()?,
+            },
+            4 => FaultKind::Duplicate {
+                from: d.u64()?,
+                until: d.u64()?,
+                prob_ppm: d.u32()?,
+            },
+            t => return Err(WireError::UnknownTag(t)),
+        };
+        plan = plan.with(rank, kind);
+    }
+    Ok(plan)
+}
+
+fn enc_injection(e: &mut Enc, i: &InjectionSpec) {
+    e.u64(i.hz_mhz);
+    e.u32(i.net_ppm);
+    match i.phase {
+        PhaseSpec::Aligned => e.u8(0),
+        PhaseSpec::Random => e.u8(1),
+        PhaseSpec::Staggered => e.u8(2),
+        PhaseSpec::Fixed(t) => {
+            e.u8(3);
+            e.u64(t);
+        }
+    }
+    enc_faults(e, &i.faults);
+    e.u32(i.drop_ppm);
+    e.u32(i.dup_ppm);
+    e.u64(i.retry.rto);
+    e.u32(i.retry.backoff_x1000);
+    e.u64(i.retry.max_rto);
+    e.u32(i.retry.max_retries);
+}
+
+fn dec_injection(d: &mut Dec) -> Result<InjectionSpec, WireError> {
+    let hz_mhz = d.u64()?;
+    let net_ppm = d.u32()?;
+    let phase = match d.u8()? {
+        0 => PhaseSpec::Aligned,
+        1 => PhaseSpec::Random,
+        2 => PhaseSpec::Staggered,
+        3 => PhaseSpec::Fixed(d.u64()?),
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    let faults = dec_faults(d)?;
+    let drop_ppm = d.u32()?;
+    let dup_ppm = d.u32()?;
+    let retry = RetryModel {
+        rto: d.u64()?,
+        backoff_x1000: d.u32()?,
+        max_rto: d.u64()?,
+        max_retries: d.u32()?,
+    };
+    Ok(InjectionSpec {
+        hz_mhz,
+        net_ppm,
+        phase,
+        faults,
+        drop_ppm,
+        dup_ppm,
+        retry,
+    })
+}
+
+/// Encode a scenario spec into `e` (canonical form).
+pub fn enc_scenario(e: &mut Enc, s: &ScenarioSpec) {
+    enc_workload(e, &s.workload);
+    enc_machine(e, &s.machine);
+    enc_injection(e, &s.injection);
+}
+
+/// Decode a scenario spec from `d`.
+pub fn dec_scenario(d: &mut Dec) -> Result<ScenarioSpec, WireError> {
+    Ok(ScenarioSpec {
+        workload: dec_workload(d)?,
+        machine: dec_machine(d)?,
+        injection: dec_injection(d)?,
+    })
+}
+
+/// The canonical byte encoding of a spec — the content address of the
+/// persistent result store. Equal specs produce equal bytes and (by
+/// construction of the codec) vice versa.
+pub fn scenario_key_bytes(s: &ScenarioSpec) -> Vec<u8> {
+    let mut e = Enc::default();
+    enc_scenario(&mut e, s);
+    e.0
+}
+
+/// 64-bit FNV-1a of `bytes` — names the store file for a key. Collisions
+/// are harmless: the store verifies the full key before serving.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Run results and replies
+
+fn enc_run(e: &mut Enc, r: &RunResult) {
+    e.u64(r.makespan);
+    e.usize(r.finish_times.len());
+    for &t in &r.finish_times {
+        e.u64(t);
+    }
+    e.usize(r.final_values.len());
+    for v in &r.final_values {
+        match v {
+            None => e.u8(0),
+            Some(x) => {
+                e.u8(1);
+                e.f64(*x);
+            }
+        }
+    }
+    e.usize(r.compute_work.len());
+    for &w in &r.compute_work {
+        e.u64(w);
+    }
+    e.usize(r.blocked_time.len());
+    for &t in &r.blocked_time {
+        e.u64(t);
+    }
+    e.u64(r.messages);
+    e.u64(r.events);
+    e.u64(r.retransmits);
+    e.usize(r.failed_ranks.len());
+    for &rk in &r.failed_ranks {
+        e.usize(rk);
+    }
+}
+
+fn dec_run(d: &mut Dec) -> Result<RunResult, WireError> {
+    let makespan = d.u64()?;
+    let n = d.count()?;
+    let finish_times = (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+    let n = d.count()?;
+    let final_values = (0..n)
+        .map(|_| {
+            Ok(match d.u8()? {
+                0 => None,
+                1 => Some(d.f64()?),
+                t => return Err(WireError::UnknownTag(t)),
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let n = d.count()?;
+    let compute_work = (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+    let n = d.count()?;
+    let blocked_time = (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+    let messages = d.u64()?;
+    let events = d.u64()?;
+    let retransmits = d.u64()?;
+    let n = d.count()?;
+    let failed_ranks = (0..n).map(|_| d.usize()).collect::<Result<Vec<_>, _>>()?;
+    Ok(RunResult {
+        makespan,
+        finish_times,
+        final_values,
+        compute_work,
+        blocked_time,
+        messages,
+        events,
+        retransmits,
+        failed_ranks,
+    })
+}
+
+/// A served scenario result: the baseline/injected run pair.
+///
+/// Deliberately carries *no provenance* (cache hit vs. fresh simulation):
+/// a warm-served reply must be byte-identical to a cold one. Provenance
+/// lives in [`ServerStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReply {
+    /// The scenario's label.
+    pub label: String,
+    /// Net injected intensity in ppm (echoed so the client can derive
+    /// [`Metrics`] without re-parsing the spec).
+    pub injected_ppm: u32,
+    /// Noiseless baseline run.
+    pub baseline: RunResult,
+    /// The injected run.
+    pub run: RunResult,
+}
+
+impl ScenarioReply {
+    /// Build the canonical reply for `spec` from a completed outcome.
+    pub fn from_outcome(spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> Self {
+        Self {
+            label: outcome.label.clone(),
+            injected_ppm: spec.injection.net_ppm,
+            baseline: (*outcome.baseline).clone(),
+            run: (*outcome.run).clone(),
+        }
+    }
+
+    /// The figures of merit for this pair.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::new(
+            self.baseline.makespan,
+            self.run.makespan,
+            self.injected_ppm as f64 / 1e6,
+        )
+    }
+
+    /// Canonical byte encoding (what the store persists).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        enc_reply(&mut e, self);
+        e.0
+    }
+
+    /// Decode from the canonical byte encoding, requiring full consumption.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(bytes);
+        let r = dec_reply(&mut d)?;
+        d.finish()?;
+        Ok(r)
+    }
+}
+
+fn enc_reply(e: &mut Enc, r: &ScenarioReply) {
+    e.str(&r.label);
+    e.u32(r.injected_ppm);
+    enc_run(e, &r.baseline);
+    enc_run(e, &r.run);
+}
+
+fn dec_reply(d: &mut Dec) -> Result<ScenarioReply, WireError> {
+    Ok(ScenarioReply {
+        label: d.str()?,
+        injected_ppm: d.u32()?,
+        baseline: dec_run(d)?,
+        run: dec_run(d)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Server statistics
+
+/// One log2 latency bucket: `[lo, hi)` bounds and its sample count.
+pub type HistBucket = (u64, u64, u64);
+
+/// Observability snapshot answered by a `Stats` request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Total requests decoded (any kind).
+    pub requests: u64,
+    /// Scenario submissions answered (including cache hits).
+    pub scenarios: u64,
+    /// Answered from the in-memory result cache.
+    pub memory_hits: u64,
+    /// Answered from the persistent store.
+    pub disk_hits: u64,
+    /// Actually simulated (cache misses).
+    pub simulated: u64,
+    /// Requests that joined an identical in-flight scenario.
+    pub coalesced: u64,
+    /// Submissions rejected by admission control.
+    pub busy_rejections: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Store reads that failed verification (treated as misses) plus
+    /// failed writes.
+    pub store_errors: u64,
+    /// Scenarios currently admitted (queued + running).
+    pub queue_depth: u32,
+    /// Admission-control capacity.
+    pub capacity: u32,
+    /// Per-request latency, log2-bucketed (ns): nonzero `(lo, hi, count)`
+    /// buckets.
+    pub latency_buckets: Vec<HistBucket>,
+    /// Latency sample count.
+    pub latency_count: u64,
+    /// Fastest request (ns); 0 when no samples.
+    pub latency_min: u64,
+    /// Slowest request (ns).
+    pub latency_max: u64,
+}
+
+fn enc_stats(e: &mut Enc, s: &ServerStats) {
+    e.u64(s.uptime_ms);
+    e.u64(s.requests);
+    e.u64(s.scenarios);
+    e.u64(s.memory_hits);
+    e.u64(s.disk_hits);
+    e.u64(s.simulated);
+    e.u64(s.coalesced);
+    e.u64(s.busy_rejections);
+    e.u64(s.decode_errors);
+    e.u64(s.store_errors);
+    e.u32(s.queue_depth);
+    e.u32(s.capacity);
+    e.usize(s.latency_buckets.len());
+    for &(lo, hi, c) in &s.latency_buckets {
+        e.u64(lo);
+        e.u64(hi);
+        e.u64(c);
+    }
+    e.u64(s.latency_count);
+    e.u64(s.latency_min);
+    e.u64(s.latency_max);
+}
+
+fn dec_stats(d: &mut Dec) -> Result<ServerStats, WireError> {
+    let uptime_ms = d.u64()?;
+    let requests = d.u64()?;
+    let scenarios = d.u64()?;
+    let memory_hits = d.u64()?;
+    let disk_hits = d.u64()?;
+    let simulated = d.u64()?;
+    let coalesced = d.u64()?;
+    let busy_rejections = d.u64()?;
+    let decode_errors = d.u64()?;
+    let store_errors = d.u64()?;
+    let queue_depth = d.u32()?;
+    let capacity = d.u32()?;
+    let n = d.count()?;
+    let latency_buckets = (0..n)
+        .map(|_| Ok((d.u64()?, d.u64()?, d.u64()?)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(ServerStats {
+        uptime_ms,
+        requests,
+        scenarios,
+        memory_hits,
+        disk_hits,
+        simulated,
+        coalesced,
+        busy_rejections,
+        decode_errors,
+        store_errors,
+        queue_depth,
+        capacity,
+        latency_buckets,
+        latency_count: d.u64()?,
+        latency_min: d.u64()?,
+        latency_max: d.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+
+/// What a client can ask of the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or serve from cache) one scenario.
+    Submit(ScenarioSpec),
+    /// Run a batch of scenarios; distinct cells go to the work-stealing
+    /// pool, identical cells coalesce.
+    Sweep(Vec<ScenarioSpec>),
+    /// Snapshot the server's counters and latency histogram.
+    Stats,
+    /// Drain in-flight work and exit.
+    Shutdown,
+}
+
+/// What the server answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed scenario.
+    Scenario(Box<ScenarioReply>),
+    /// Per-cell results of a sweep, in request order.
+    Sweep(Vec<Result<ScenarioReply, String>>),
+    /// Observability snapshot.
+    Stats(Box<ServerStats>),
+    /// Admission control rejected the submission; retry later.
+    Busy {
+        /// Scenarios currently admitted.
+        active: u32,
+        /// The admission cap.
+        capacity: u32,
+    },
+    /// Acknowledges a shutdown request; the server drains and exits.
+    ShutdownAck,
+    /// The request could not be decoded or failed; the connection is still
+    /// usable if the frame header was intact.
+    Error(String),
+}
+
+/// Encode a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc::default();
+    match req {
+        Request::Submit(s) => {
+            e.u8(0);
+            enc_scenario(&mut e, s);
+        }
+        Request::Sweep(specs) => {
+            e.u8(1);
+            e.usize(specs.len());
+            for s in specs {
+                enc_scenario(&mut e, s);
+            }
+        }
+        Request::Stats => e.u8(2),
+        Request::Shutdown => e.u8(3),
+    }
+    e.0
+}
+
+/// Decode a request from a frame payload (strict: full consumption).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut d = Dec::new(payload);
+    let req = match d.u8()? {
+        0 => Request::Submit(dec_scenario(&mut d)?),
+        1 => {
+            let n = d.count()?;
+            let specs = (0..n)
+                .map(|_| dec_scenario(&mut d))
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Sweep(specs)
+        }
+        2 => Request::Stats,
+        3 => Request::Shutdown,
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// Encode a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut e = Enc::default();
+    match resp {
+        Response::Scenario(r) => {
+            e.u8(0);
+            enc_reply(&mut e, r);
+        }
+        Response::Sweep(slots) => {
+            e.u8(1);
+            e.usize(slots.len());
+            for slot in slots {
+                match slot {
+                    Ok(r) => {
+                        e.u8(1);
+                        enc_reply(&mut e, r);
+                    }
+                    Err(msg) => {
+                        e.u8(0);
+                        e.str(msg);
+                    }
+                }
+            }
+        }
+        Response::Stats(s) => {
+            e.u8(2);
+            enc_stats(&mut e, s);
+        }
+        Response::Busy { active, capacity } => {
+            e.u8(3);
+            e.u32(*active);
+            e.u32(*capacity);
+        }
+        Response::ShutdownAck => e.u8(4),
+        Response::Error(msg) => {
+            e.u8(5);
+            e.str(msg);
+        }
+    }
+    e.0
+}
+
+/// Decode a response from a frame payload (strict: full consumption).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut d = Dec::new(payload);
+    let resp = match d.u8()? {
+        0 => Response::Scenario(Box::new(dec_reply(&mut d)?)),
+        1 => {
+            let n = d.count()?;
+            let slots = (0..n)
+                .map(|_| {
+                    Ok(match d.u8()? {
+                        1 => Ok(dec_reply(&mut d)?),
+                        0 => Err(d.str()?),
+                        t => return Err(WireError::UnknownTag(t)),
+                    })
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Response::Sweep(slots)
+        }
+        2 => Response::Stats(Box::new(dec_stats(&mut d)?)),
+        3 => Response::Busy {
+            active: d.u32()?,
+            capacity: d.u32()?,
+        },
+        4 => Response::ShutdownAck,
+        5 => Response::Error(d.str()?),
+        t => return Err(WireError::UnknownTag(t)),
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::MS;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            workload: WorkloadSpec::Pop { steps: 2 },
+            machine: ExperimentSpec::torus(64, 42),
+            injection: InjectionSpec {
+                faults: FaultPlan::new()
+                    .with_delay(3, 5 * MS, MS)
+                    .with_straggler(1, 1500)
+                    .with_crash(7, 80 * MS),
+                drop_ppm: 250,
+                ..InjectionSpec::uncoordinated(10.0, 0.025)
+            },
+        }
+    }
+
+    #[test]
+    fn scenario_roundtrips() {
+        let s = spec();
+        let bytes = scenario_key_bytes(&s);
+        let mut d = Dec::new(&bytes);
+        let back = dec_scenario(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        for req in [
+            Request::Submit(spec()),
+            Request::Sweep(vec![spec(), spec()]),
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let reply = ScenarioReply {
+            label: "pop/64n".into(),
+            injected_ppm: 25_000,
+            baseline: RunResult {
+                makespan: 10,
+                finish_times: vec![9, 10],
+                final_values: vec![None, Some(1.5)],
+                compute_work: vec![4, 4],
+                blocked_time: vec![1, 0],
+                messages: 12,
+                events: 99,
+                retransmits: 0,
+                failed_ranks: vec![],
+            },
+            run: RunResult {
+                makespan: 14,
+                finish_times: vec![14, 13],
+                final_values: vec![Some(2.0), None],
+                compute_work: vec![4, 4],
+                blocked_time: vec![3, 2],
+                messages: 12,
+                events: 120,
+                retransmits: 2,
+                failed_ranks: vec![1],
+            },
+        };
+        for resp in [
+            Response::Scenario(Box::new(reply.clone())),
+            Response::Sweep(vec![Ok(reply.clone()), Err("deadlock".into())]),
+            Response::Stats(Box::new(ServerStats {
+                requests: 5,
+                latency_buckets: vec![(1, 2, 3)],
+                ..ServerStats::default()
+            })),
+            Response::Busy {
+                active: 7,
+                capacity: 8,
+            },
+            Response::ShutdownAck,
+            Response::Error("nope".into()),
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn bad_magic_is_unrecoverable() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] ^= 0xff;
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::BadMagic(_)));
+        assert!(!err.recoverable());
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err(),
+            WireError::Oversize(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn corrupt_count_fields_fail_fast() {
+        // A Sweep request claiming 2^40 specs backed by 2 bytes.
+        let mut e = Enc::default();
+        e.u8(1);
+        e.u64(1 << 40);
+        e.u16(0);
+        assert!(matches!(
+            decode_request(&e.0).unwrap_err(),
+            WireError::BadLength(_) | WireError::Truncated
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = encode_request(&Request::Stats);
+        bytes.push(0);
+        assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_spread() {
+        let a = content_hash(b"abc");
+        assert_eq!(a, content_hash(b"abc"));
+        assert_ne!(a, content_hash(b"abd"));
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

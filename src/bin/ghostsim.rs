@@ -7,6 +7,9 @@
 //!          [--drop-ppm 1000] [--crash 3@10] [--delay 2@5:20] [--straggle 1:1.5]
 //! ghostsim sweep --app pop --scales 16,64,256 --hz 10 --net-pct 2.5
 //! ghostsim trace --app pop --nodes 256 --hz 10 --net-pct 2.5 --out pop.json
+//! ghostsim serve --addr 127.0.0.1:7777 --store results/
+//! ghostsim submit --server 127.0.0.1:7777 --app pop --nodes 512 --hz 10
+//! ghostsim sweep --server 127.0.0.1:7777 --app pop --scales 16,64,256
 //! ghostsim --help
 //! ```
 //!
@@ -20,6 +23,14 @@
 //! or `chrome://tracing`), and prints the per-rank blame table. Argument
 //! parsing is hand-rolled (no CLI dependency).
 //!
+//! `serve` starts the ghost-serve daemon: scenarios submitted over TCP are
+//! answered from a persistent content-addressed store when possible and
+//! simulated (once, however many clients ask) otherwise. `submit` sends one
+//! scenario to a running server; `--server ADDR` on the default command or
+//! `sweep` routes them through a server instead of simulating in-process —
+//! the printed tables are identical either way, because served results are
+//! byte-identical to local ones.
+//!
 //! Exit codes: 0 success, 1 runtime failure (deadlock, injected fault,
 //! invalid trace), 2 usage error (bad flag or value).
 
@@ -32,6 +43,8 @@ enum Command {
     Compare,
     Sweep,
     Trace,
+    Serve,
+    Submit,
 }
 
 struct Args {
@@ -52,6 +65,13 @@ struct Args {
     crashes: Vec<(usize, u64)>,
     delays: Vec<(usize, u64, u64)>,
     stragglers: Vec<(usize, f64)>,
+    server: Option<String>,
+    addr: String,
+    store: Option<String>,
+    capacity: usize,
+    port_file: Option<String>,
+    stats: bool,
+    shutdown: bool,
 }
 
 impl Default for Args {
@@ -74,6 +94,13 @@ impl Default for Args {
             crashes: Vec::new(),
             delays: Vec::new(),
             stragglers: Vec::new(),
+            server: None,
+            addr: "127.0.0.1:0".into(),
+            store: None,
+            capacity: 64,
+            port_file: None,
+            stats: false,
+            shutdown: false,
         }
     }
 }
@@ -87,6 +114,11 @@ USAGE:
                                  (one campaign, parallel, shared baselines)
     ghostsim trace [OPTIONS]     record one injected run: Chrome trace JSON
                                  (--out) + per-rank noise-blame table
+    ghostsim serve [OPTIONS]     start the result server (ghost-serve):
+                                 coalesces identical requests, persists every
+                                 result, answers repeats without re-simulating
+    ghostsim submit [OPTIONS]    send one scenario (or --stats/--shutdown) to
+                                 a running server (--server required)
 
 OPTIONS:
     --app <sage|cth|pop|spectral|bsp>   workload              [default: pop]
@@ -111,7 +143,24 @@ OPTIONS:
                                         (repeatable)
     --straggle <R:FACTOR>               stretch rank R's compute by FACTOR
                                         (e.g. 1.5; repeatable)
+    --server <HOST:PORT>                route compare/sweep/submit through a
+                                        running ghostsim server
     --help                              print this help
+
+SERVE OPTIONS:
+    --addr <HOST:PORT>                  bind address (port 0 = ephemeral)
+                                        [default: 127.0.0.1:0]
+    --store <dir>                       persistent result store directory
+                                        (omit for an in-memory-only server)
+    --capacity <N>                      admission cap on concurrently
+                                        admitted scenarios [default: 64]
+    --port-file <file>                  write the bound address here once
+                                        listening (for scripts; ephemeral ports)
+
+SUBMIT OPTIONS:
+    --stats                             print server statistics instead of
+                                        submitting a scenario
+    --shutdown                          drain and stop the server
 ";
 
 /// Parse `R@MS` (rank at milliseconds).
@@ -136,12 +185,32 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             args.command = Command::Sweep;
             it.next();
         }
+        Some("serve") => {
+            args.command = Command::Serve;
+            it.next();
+        }
+        Some("submit") => {
+            args.command = Command::Submit;
+            it.next();
+        }
         _ => {}
     }
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             print!("{USAGE}");
             std::process::exit(0);
+        }
+        // Boolean flags (no value).
+        match flag.as_str() {
+            "--stats" => {
+                args.stats = true;
+                continue;
+            }
+            "--shutdown" => {
+                args.shutdown = true;
+                continue;
+            }
+            _ => {}
         }
         let value = it
             .next()
@@ -182,6 +251,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let dur_ms: u64 = dur.parse().map_err(|e| format!("--delay duration: {e}"))?;
                 args.delays.push((rank, at, dur_ms));
             }
+            "--server" => args.server = Some(value),
+            "--addr" => args.addr = value,
+            "--store" => args.store = Some(value),
+            "--capacity" => {
+                args.capacity = value.parse().map_err(|e| format!("--capacity: {e}"))?
+            }
+            "--port-file" => args.port_file = Some(value),
             "--straggle" => {
                 let (r, f) = value
                     .split_once(':')
@@ -252,7 +328,92 @@ enum Failure {
     Runtime(String),
 }
 
+/// Build the wire-format scenario for `nodes` nodes from the CLI flags.
+/// Mirrors the in-process path exactly — same workload constructors, same
+/// injection — which is what makes served and local runs interchangeable.
+fn scenario_from_args(args: &Args, nodes: usize) -> Result<ScenarioSpec, Failure> {
+    if args.goal.is_some() {
+        return Err(Failure::Usage(
+            "--goal scripts cannot be sent to a server (the server rebuilds \
+             workloads from named specs); run without --server"
+                .into(),
+        ));
+    }
+    let workload = match args.app.as_str() {
+        "sage" => WorkloadSpec::Sage {
+            steps: args.steps as u32,
+        },
+        "cth" => WorkloadSpec::Cth {
+            steps: args.steps as u32,
+        },
+        "pop" => WorkloadSpec::Pop {
+            steps: args.steps as u32,
+        },
+        "spectral" => WorkloadSpec::Spectral {
+            steps: args.steps as u32,
+        },
+        "bsp" => WorkloadSpec::Bsp {
+            steps: (args.steps.max(10) * 20) as u32,
+            compute: 500 * US,
+        },
+        other => return Err(Failure::Usage(format!("unknown app '{other}'\n{USAGE}"))),
+    };
+    let mut machine = ExperimentSpec::flat(nodes, args.seed);
+    machine.topo = match args.topo.as_str() {
+        "flat" => TopoPreset::Flat,
+        "torus" => TopoPreset::Torus3D,
+        "fattree" => TopoPreset::FatTree { arity: 16 },
+        other => return Err(Failure::Usage(format!("unknown topology '{other}'"))),
+    };
+    machine.net = match args.network.as_str() {
+        "mpp" => NetPreset::Mpp,
+        "commodity" => NetPreset::Commodity,
+        "ideal" => NetPreset::Ideal,
+        other => return Err(Failure::Usage(format!("unknown network '{other}'"))),
+    };
+    let mut injection = InjectionSpec::uncoordinated(args.hz, args.net_pct / 100.0);
+    injection.phase = match args.phase.as_str() {
+        "random" => PhaseSpec::Random,
+        "aligned" => PhaseSpec::Aligned,
+        "staggered" => PhaseSpec::Staggered,
+        other => return Err(Failure::Usage(format!("unknown phase policy '{other}'"))),
+    };
+    let mut plan = FaultPlan::new();
+    for &(rank, at_ms) in &args.crashes {
+        plan = plan.with_crash(rank, at_ms * MS);
+    }
+    for &(rank, at_ms, dur_ms) in &args.delays {
+        plan = plan.with_delay(rank, at_ms * MS, dur_ms * MS);
+    }
+    for &(rank, factor) in &args.stragglers {
+        plan = plan.with_straggler(rank, (factor * 1000.0).round() as u32);
+    }
+    injection.faults = plan;
+    injection.drop_ppm = args.drop_ppm;
+    let spec = ScenarioSpec {
+        workload,
+        machine,
+        injection,
+    };
+    spec.validate().map_err(Failure::Usage)?;
+    Ok(spec)
+}
+
 fn run(args: &Args) -> Result<(), Failure> {
+    match args.command {
+        Command::Serve => return run_serve(args),
+        Command::Submit => return run_submit(args),
+        Command::Trace if args.server.is_some() => {
+            return Err(Failure::Usage(
+                "trace records a local run and cannot be routed through --server".into(),
+            ));
+        }
+        Command::Compare | Command::Sweep if args.server.is_some() => {
+            return run_remote(args);
+        }
+        _ => {}
+    }
+
     let mut nodes = args.nodes;
     let workload: Box<dyn Workload> = if let Some(path) = &args.goal {
         let text = std::fs::read_to_string(path)
@@ -325,7 +486,168 @@ fn run(args: &Args) -> Result<(), Failure> {
             banner("running", &format!("{nodes} nodes"));
             run_compare(&spec, workload.as_ref(), &injection, &sig)
         }
+        // Dispatched before workload construction.
+        Command::Serve | Command::Submit => unreachable!(),
     }
+}
+
+/// The `serve` subcommand: bind, announce, and serve until shutdown.
+fn run_serve(args: &Args) -> Result<(), Failure> {
+    let config = ServeConfig {
+        store_dir: args.store.as_ref().map(Into::into),
+        capacity: args.capacity,
+        limits: RunLimits::none(),
+    };
+    let server = Server::bind(args.addr.as_str(), config)
+        .map_err(|e| Failure::Usage(format!("cannot bind {}: {e}", args.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| Failure::Runtime(e.to_string()))?;
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| Failure::Usage(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!(
+        "ghost-serve listening on {addr} (store: {}, capacity: {})",
+        args.store.as_deref().unwrap_or("in-memory only"),
+        args.capacity,
+    );
+    server.run().map_err(|e| Failure::Runtime(e.to_string()))
+}
+
+/// Turn a client error into the CLI's exit-code contract: protocol and
+/// server-side failures are runtime errors (exit 1).
+fn client_failure(e: ClientError) -> Failure {
+    Failure::Runtime(e.to_string())
+}
+
+/// The `submit` subcommand: one scenario, `--stats`, or `--shutdown`.
+fn run_submit(args: &Args) -> Result<(), Failure> {
+    let server = args
+        .server
+        .as_deref()
+        .ok_or_else(|| Failure::Usage("submit requires --server HOST:PORT".into()))?;
+    if args.stats && args.shutdown {
+        return Err(Failure::Usage(
+            "--stats and --shutdown are mutually exclusive".into(),
+        ));
+    }
+    let mut client = Client::connect(server).map_err(client_failure)?;
+    if args.stats {
+        let s = client.stats().map_err(client_failure)?;
+        let mut tab = Table::new(format!("server {server}"), &["counter", "value"]);
+        for (name, value) in [
+            ("uptime_ms", s.uptime_ms),
+            ("requests", s.requests),
+            ("scenarios", s.scenarios),
+            ("memory_hits", s.memory_hits),
+            ("disk_hits", s.disk_hits),
+            ("simulated", s.simulated),
+            ("coalesced", s.coalesced),
+            ("busy_rejections", s.busy_rejections),
+            ("decode_errors", s.decode_errors),
+            ("store_errors", s.store_errors),
+            ("queue_depth", s.queue_depth as u64),
+            ("capacity", s.capacity as u64),
+        ] {
+            tab.row(&[name.to_string(), value.to_string()]);
+        }
+        println!("{}", tab.render());
+        if s.latency_count > 0 {
+            println!(
+                "request latency: {} sample(s), min {}ns, max {}ns",
+                s.latency_count, s.latency_min, s.latency_max
+            );
+            for (lo, hi, count) in &s.latency_buckets {
+                println!("  [{lo:>12} .. {hi:>12}) ns: {count}");
+            }
+        }
+        return Ok(());
+    }
+    if args.shutdown {
+        client.shutdown().map_err(client_failure)?;
+        eprintln!("server {server} draining and shutting down");
+        return Ok(());
+    }
+    let spec = scenario_from_args(args, args.nodes)?;
+    eprintln!("submitting {} to {server}...", spec.label());
+    let reply = client.submit(&spec).map_err(client_failure)?;
+    print_replies(std::iter::once(&reply));
+    Ok(())
+}
+
+/// Print served results in the same table shape as the local commands.
+fn print_replies<'a>(replies: impl Iterator<Item = &'a ScenarioReply>) {
+    let mut tab = Table::new(
+        "result (served)",
+        &[
+            "scenario",
+            "T_base",
+            "T_noisy",
+            "slowdown %",
+            "amplification",
+            "absorbed %",
+        ],
+    );
+    for reply in replies {
+        let m = reply.metrics();
+        tab.row(&[
+            reply.label.clone(),
+            ghostsim::engine::time::format_time(m.base),
+            ghostsim::engine::time::format_time(m.noisy),
+            format!("{:.2}", m.slowdown_pct()),
+            format!("{:.2}", m.amplification()),
+            format!("{:.1}", m.absorbed_pct()),
+        ]);
+    }
+    println!("{}", tab.render());
+}
+
+/// Compare/sweep routed through a server: build the same scenarios the
+/// local path would, send them as one batch, print the same table.
+fn run_remote(args: &Args) -> Result<(), Failure> {
+    let server = args.server.as_deref().unwrap_or_default();
+    let scales: Vec<usize> = match args.command {
+        Command::Sweep => args.scales.clone(),
+        _ => vec![args.nodes],
+    };
+    let specs = scales
+        .iter()
+        .map(|&n| scenario_from_args(args, n))
+        .collect::<Result<Vec<_>, _>>()?;
+    eprintln!(
+        "submitting {} scenario(s) to {server} ({} nodes)...",
+        specs.len(),
+        scales
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let mut client = Client::connect(server).map_err(client_failure)?;
+    let slots = client.sweep(&specs).map_err(client_failure)?;
+
+    let mut failures = Vec::new();
+    let mut replies = Vec::new();
+    for (spec, slot) in specs.iter().zip(&slots) {
+        match slot {
+            Ok(reply) => replies.push(reply.clone()),
+            Err(reason) => failures.push((spec.label(), reason.clone())),
+        }
+    }
+    print_replies(replies.iter());
+    if !failures.is_empty() {
+        eprintln!("{} scenario(s) failed:", failures.len());
+        for (label, reason) in &failures {
+            eprintln!("  {label}: {reason}");
+        }
+        return Err(Failure::Runtime(format!(
+            "{} of {} scenario(s) failed",
+            failures.len(),
+            slots.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Append one metrics row to a table.

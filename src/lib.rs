@@ -16,6 +16,7 @@
 //! | [`apps`]   | SAGE-, CTH-, POP-like application skeletons and BSP generators |
 //! | [`obs`]    | streaming run observation: recorders, metrics, blame attribution, Chrome traces |
 //! | [`core`]   | the injection framework, experiment harness, metrics, analytic model |
+//! | [`serve`]  | campaign-serving daemon: TCP protocol, coalescing scheduler, persistent result store |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use ghost_mpi as mpi;
 pub use ghost_net as net;
 pub use ghost_noise as noise;
 pub use ghost_obs as obs;
+pub use ghost_serve as serve;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -69,6 +71,9 @@ pub mod prelude {
         crash_survival, delay_propagation, drop_rate_sweep, drop_rate_table, survival_table,
         DelayDecayCurve, DropRateRecord, SurvivalRecord,
     };
+    pub use ghost_core::scenario::{
+        run_scenario, InjectionSpec, PhaseSpec, ScenarioOutcome, ScenarioSpec, WorkloadSpec,
+    };
     pub use ghost_engine::time::{MS, SEC, US};
     pub use ghost_mpi::{
         Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunError, RunLimits,
@@ -84,6 +89,10 @@ pub mod prelude {
     pub use ghost_obs::{
         analyze, trace_json, validate_trace, BlameReport, Log2Hist, MetricsRecorder, NullRecorder,
         RankBlame, Recorder, Timeline, VecRecorder,
+    };
+    pub use ghost_serve::{
+        Client, ClientError, Request, Response, ResultStore, ScenarioReply, ServeConfig, Server,
+        ServerStats, WireError,
     };
 }
 

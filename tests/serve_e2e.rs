@@ -1,0 +1,203 @@
+//! End-to-end tests for ghost-serve: loopback servers, warm-cache
+//! byte-identity across a restart, corruption tolerance, request
+//! coalescing, and decoder-robustness properties.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+use ghostsim::prelude::*;
+use ghostsim::serve::wire;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ghost-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn start_server(store: Option<&PathBuf>) -> (SocketAddr, JoinHandle<()>) {
+    let config = ServeConfig {
+        store_dir: store.cloned(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+fn spec(nodes: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        workload: WorkloadSpec::Pop { steps: 1 },
+        machine: ExperimentSpec::flat(nodes, 42),
+        injection: InjectionSpec::uncoordinated(10.0, 0.025),
+    }
+}
+
+/// The tentpole guarantee: a cold simulation, a warm memory hit, and a
+/// disk hit served by a *different server process-equivalent* (fresh
+/// in-memory state over the same store directory) all answer with
+/// byte-identical replies — and they equal what an in-process run
+/// produces.
+#[test]
+fn warm_cache_is_byte_identical_across_restart() {
+    let dir = tmpdir("restart");
+    let s = spec(8);
+
+    // Cold: first server simulates and persists.
+    let (addr, handle) = start_server(Some(&dir));
+    let mut client = Client::connect(addr).unwrap();
+    let cold = client.submit(&s).unwrap();
+    let warm_memory = client.submit(&s).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.simulated, 1);
+    assert_eq!(stats.memory_hits, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Restart: a brand-new server over the same store answers from disk.
+    let (addr, handle) = start_server(Some(&dir));
+    let mut client = Client::connect(addr).unwrap();
+    let warm_disk = client.submit(&s).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.simulated, 0, "restart must not re-simulate");
+    assert_eq!(stats.disk_hits, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Byte identity, not just logical equality.
+    assert_eq!(cold.to_bytes(), warm_memory.to_bytes());
+    assert_eq!(cold.to_bytes(), warm_disk.to_bytes());
+
+    // And the served pair matches an in-process run of the same spec.
+    let local = run_scenario(&s, RunLimits::none(), None).unwrap();
+    assert_eq!(cold.baseline, *local.baseline);
+    assert_eq!(cold.run, *local.run);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A truncated or corrupted store file is a miss: the server re-simulates
+/// (deterministically reproducing the same answer) instead of panicking or
+/// serving garbage.
+#[test]
+fn truncated_store_file_is_a_miss_not_a_panic() {
+    let dir = tmpdir("truncate");
+    let s = spec(4);
+
+    let (addr, handle) = start_server(Some(&dir));
+    let mut client = Client::connect(addr).unwrap();
+    let original = client.submit(&s).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Truncate the (single) persisted result mid-payload.
+    let store = ResultStore::open(&dir).unwrap();
+    let path = store.path_for(&wire::scenario_key_bytes(&s));
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (addr, handle) = start_server(Some(&dir));
+    let mut client = Client::connect(addr).unwrap();
+    let recovered = client.submit(&s).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.disk_hits, 0, "truncated file must not hit");
+    assert_eq!(stats.simulated, 1, "the miss re-simulates");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    assert_eq!(original.to_bytes(), recovered.to_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A sweep full of identical cells simulates exactly once; distinct cells
+/// in the same batch each simulate.
+#[test]
+fn sweep_coalesces_identical_cells() {
+    let (addr, handle) = start_server(None);
+    let mut client = Client::connect(addr).unwrap();
+    let cells = vec![spec(4), spec(4), spec(4), spec(8)];
+    let slots = client.sweep(&cells).unwrap();
+    assert_eq!(slots.len(), 4);
+    let first = slots[0].as_ref().unwrap();
+    for slot in &slots[1..3] {
+        assert_eq!(
+            slot.as_ref().unwrap().to_bytes(),
+            first.to_bytes(),
+            "identical cells share one result"
+        );
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.simulated, 2, "4 cells, 2 distinct");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A payload of garbage gets a typed error and the connection survives to
+/// serve a well-formed request; garbage *frame headers* only cost that
+/// connection, not the server.
+#[test]
+fn malformed_traffic_never_kills_the_server() {
+    let (addr, handle) = start_server(None);
+
+    // Garbage payload inside a valid frame: typed error, live connection.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    wire::write_frame(&mut stream, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
+    let resp = wire::decode_response(&wire::read_frame(&mut stream).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Error(_)));
+    wire::write_frame(&mut stream, &wire::encode_request(&Request::Stats)).unwrap();
+    assert!(matches!(
+        wire::decode_response(&wire::read_frame(&mut stream).unwrap()).unwrap(),
+        Response::Stats(_)
+    ));
+    drop(stream);
+
+    // Garbage header: that connection dies, the server does not.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    use std::io::Write as _;
+    stream.write_all(b"not a ghost-serve frame at all").unwrap();
+    drop(stream);
+
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.stats().is_ok());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+mod decoder_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Arbitrary bytes never panic the request decoder: every input is
+        /// either a valid request or a typed error.
+        #[test]
+        fn request_decoder_is_total(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = wire::decode_request(&bytes);
+        }
+
+        /// Same for the response decoder (the client's attack surface).
+        #[test]
+        fn response_decoder_is_total(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = wire::decode_response(&bytes);
+        }
+
+        /// Same for the frame reader over a truncated/garbled stream.
+        #[test]
+        fn frame_reader_is_total(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+            let mut cursor = &bytes[..];
+            let _ = wire::read_frame(&mut cursor);
+        }
+
+        /// Valid frames always roundtrip through the reader.
+        #[test]
+        fn frames_roundtrip(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            let mut buf = Vec::new();
+            wire::write_frame(&mut buf, &bytes).unwrap();
+            let mut cursor = &buf[..];
+            prop_assert_eq!(wire::read_frame(&mut cursor).unwrap(), bytes);
+        }
+    }
+}
