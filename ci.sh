@@ -36,7 +36,9 @@ echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
 # Serve smoke: boot a result server on an ephemeral port, push one scenario
-# through the full CLI -> wire -> scheduler -> store path, and check that a
+# through the full CLI -> wire -> scheduler -> store path twice (cold, then
+# a warm memory hit), scrape /metrics off the same listener and check the
+# telemetry moved, dump the server-side request trace, and check that a
 # result landed on disk.
 echo "==> ghostsim serve smoke test"
 SMOKE_DIR="$(mktemp -d)"
@@ -51,12 +53,43 @@ done
 [ -s "$SMOKE_DIR/port" ] || { echo "serve smoke: server never wrote its port file"; exit 1; }
 ADDR="$(cat "$SMOKE_DIR/port")"
 ./target/release/ghostsim submit --server "$ADDR" --app pop --nodes 8 --steps 1
+./target/release/ghostsim submit --server "$ADDR" --app pop --nodes 8 --steps 1
 ./target/release/ghostsim submit --server "$ADDR" --stats
+./target/release/ghostsim submit --server "$ADDR" --stats --json > "$SMOKE_DIR/stats.json"
+grep -q '"memory_hits":1' "$SMOKE_DIR/stats.json" \
+    || { echo "serve smoke: warm repeat did not hit the memory cache"; exit 1; }
+grep -q '"p99":' "$SMOKE_DIR/stats.json" \
+    || { echo "serve smoke: stats JSON is missing latency quantiles"; exit 1; }
+./target/release/ghostsim submit --server "$ADDR" --scrape > "$SMOKE_DIR/metrics.txt"
+grep -q '^ghost_serve_memory_hits_total 1$' "$SMOKE_DIR/metrics.txt" \
+    || { echo "serve smoke: /metrics did not report the memory hit"; exit 1; }
+grep -q '^ghost_serve_simulated_total 1$' "$SMOKE_DIR/metrics.txt" \
+    || { echo "serve smoke: /metrics did not report the fresh simulation"; exit 1; }
+grep -q 'ghost_serve_request_ns{quantile="0.99"}' "$SMOKE_DIR/metrics.txt" \
+    || { echo "serve smoke: /metrics is missing latency quantiles"; exit 1; }
+./target/release/ghostsim submit --server "$ADDR" --server-trace "$SMOKE_DIR/trace.json"
+[ -s "$SMOKE_DIR/trace.json" ] \
+    || { echo "serve smoke: server trace was not written"; exit 1; }
 ./target/release/ghostsim submit --server "$ADDR" --shutdown
 wait "$SERVE_PID"
 ls "$SMOKE_DIR/store"/gs-*.res > /dev/null \
     || { echo "serve smoke: no result file persisted"; exit 1; }
 echo "serve smoke: ok"
+
+# Telemetry bench: a small measurement window is enough to prove the
+# BENCH_serve.json emitter works end to end (warm-hit latency with tracing
+# on/off, scrape + exposition-render cost, engine event throughput).
+echo "==> cargo bench --bench perf_serve (BENCH_serve.json)"
+rm -f BENCH_serve.json
+CRITERION_MEASURE_MS=80 CRITERION_WARMUP_MS=20 \
+    cargo bench -p ghost-bench --bench perf_serve -q > /dev/null
+[ -s BENCH_serve.json ] \
+    || { echo "telemetry bench: BENCH_serve.json was not written"; exit 1; }
+grep -q '"warm_hit_traced_ns"' BENCH_serve.json \
+    || { echo "telemetry bench: BENCH_serve.json is missing warm-hit latency"; exit 1; }
+grep -q '"engine_events_per_sec"' BENCH_serve.json \
+    || { echo "telemetry bench: BENCH_serve.json is missing engine throughput"; exit 1; }
+echo "telemetry bench: ok"
 
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --workspace

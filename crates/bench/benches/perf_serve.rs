@@ -14,12 +14,20 @@
 //! magnitude less than a simulation, or the store isn't paying its way.
 //! `served_cold` minus `in_process` bounds the protocol + persistence
 //! overhead. EXPERIMENTS.md records the measured runs.
+//!
+//! The run also emits `BENCH_serve.json` at the workspace root with
+//! manually timed medians: the warm-hit latency with tracing on and off
+//! (the telemetry overhead the registry + trace ring add to the hottest
+//! path), the cost of one `/metrics` scrape, and the simulator's event
+//! throughput — the numbers the CI smoke and EXPERIMENTS.md track.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ghost_core::scenario::{run_scenario, InjectionSpec, ScenarioSpec, WorkloadSpec};
 use ghost_core::ExperimentSpec;
 use ghost_mpi::RunLimits;
-use ghost_serve::{Client, ServeConfig, Server};
+use ghost_serve::{scrape_metrics, Client, ServeConfig, Server};
 
 fn spec(seed: u64) -> ScenarioSpec {
     ScenarioSpec {
@@ -78,5 +86,114 @@ fn bench_serve_paths(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&store_dir);
 }
 
-criterion_group!(benches, bench_serve_paths);
+/// Median of `n` timed runs of `f`, in nanoseconds.
+fn median_ns(n: usize, warmup: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<u64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time the warm-hit path against one in-memory server configuration.
+fn warm_hit_ns(trace_capacity: usize) -> u64 {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            trace_capacity,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(addr).unwrap();
+    let warm = spec(1);
+    client.submit(&warm).unwrap();
+    let ns = median_ns(200, 20, || {
+        client.submit(&warm).unwrap();
+    });
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    ns
+}
+
+/// Emit `BENCH_serve.json` at the workspace root: warm-hit latency with
+/// tracing on/off, `/metrics` scrape cost, and engine event throughput.
+fn emit_bench_json(_c: &mut Criterion) {
+    let traced_ns = warm_hit_ns(1024);
+    let untraced_ns = warm_hit_ns(0);
+    let overhead_pct = if untraced_ns > 0 {
+        (traced_ns as f64 - untraced_ns as f64) / untraced_ns as f64 * 100.0
+    } else {
+        0.0
+    };
+
+    // Scrape cost against a server with some history to render.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(addr).unwrap();
+    client.submit(&spec(1)).unwrap();
+    client.submit(&spec(1)).unwrap();
+    let scrape_bytes = scrape_metrics(addr).unwrap().len();
+    let scrape_ns = median_ns(40, 4, || {
+        scrape_metrics(addr).unwrap();
+    });
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // The scrape median above is dominated by the accept loop's poll
+    // interval (a fresh TCP connection per scrape); measure the pure
+    // exposition-render cost in-process on a registry of the server's
+    // size.
+    let registry = ghost_obs::Registry::new();
+    for i in 0..12 {
+        registry
+            .counter(&format!("bench_c{i}_total"), "render-cost counter")
+            .add(i);
+    }
+    for i in 0..5 {
+        registry
+            .gauge(&format!("bench_g{i}"), "render-cost gauge")
+            .set(i);
+    }
+    for i in 0..7 {
+        let h = registry.summary(&format!("bench_h{i}_ns"), "render-cost summary");
+        for v in 0..64u64 {
+            h.record(v * 1017 + 3);
+        }
+    }
+    let render_ns = median_ns(400, 40, || {
+        std::hint::black_box(registry.render());
+    });
+
+    // Engine throughput: events per wall-clock second for one scenario
+    // (baseline + injected run), the unit the daemon executes.
+    let t = Instant::now();
+    let outcome = run_scenario(&spec(1), RunLimits::none(), None).unwrap();
+    let elapsed = t.elapsed().as_secs_f64().max(1e-9);
+    let events = outcome.run.events + outcome.baseline.events;
+    let events_per_sec = (events as f64 / elapsed) as u64;
+
+    let json = format!(
+        "{{\n  \"warm_hit_traced_ns\": {traced_ns},\n  \"warm_hit_untraced_ns\": {untraced_ns},\n  \
+         \"telemetry_overhead_pct\": {overhead_pct:.2},\n  \"scrape_ns\": {scrape_ns},\n  \
+         \"scrape_bytes\": {scrape_bytes},\n  \"exposition_render_ns\": {render_ns},\n  \
+         \"engine_events\": {events},\n  \
+         \"engine_events_per_sec\": {events_per_sec}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}: {json}");
+}
+
+criterion_group!(benches, bench_serve_paths, emit_bench_json);
 criterion_main!(benches);

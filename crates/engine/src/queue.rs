@@ -24,6 +24,7 @@ pub struct EventQueue<E> {
     now: Time,
     pushed: u64,
     popped: u64,
+    peak: usize,
 }
 
 #[derive(Debug)]
@@ -72,6 +73,7 @@ impl<E> EventQueue<E> {
             now: 0,
             pushed: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -83,6 +85,7 @@ impl<E> EventQueue<E> {
             now: 0,
             pushed: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -116,6 +119,14 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Peak number of simultaneously pending events over the queue's
+    /// lifetime (the working-set size a calendar-queue replacement must
+    /// handle well).
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
     /// Schedule `payload` at absolute time `time`.
     ///
     /// # Panics
@@ -134,6 +145,7 @@ impl<E> EventQueue<E> {
         self.seq += 1;
         self.pushed += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Pop the earliest event, advancing the simulation clock to its time.
@@ -220,6 +232,21 @@ mod tests {
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.push(1, ());
+        q.push(2, ());
+        q.push(3, ());
+        q.pop();
+        q.pop();
+        q.push(4, ());
+        // High-water mark was 3 pending; later pushes at depth 2 don't move it.
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

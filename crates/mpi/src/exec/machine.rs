@@ -8,7 +8,7 @@ use ghost_net::{LossyLink, Network};
 use ghost_noise::fault::FaultPlan;
 use ghost_noise::model::{streams, NoiseModel};
 
-use ghost_obs::record::{NullRecorder, OpSpan, Recorder, SpanKind};
+use ghost_obs::record::{EngineStats, NullRecorder, OpSpan, Recorder, SpanKind};
 
 use super::events::Event;
 use super::p2p::mailbox_pop;
@@ -434,6 +434,11 @@ impl<'a> Machine<'a> {
 
         let finish_times: Vec<Time> = ranks.iter().map(|c| c.finish.unwrap_or(0)).collect();
         let makespan = finish_times.iter().copied().max().unwrap_or(0);
+        rec.engine(EngineStats {
+            pushed: q.total_pushed(),
+            popped: q.total_popped(),
+            peak_pending: q.peak_len() as u64,
+        });
         Ok(RunResult {
             makespan,
             finish_times,

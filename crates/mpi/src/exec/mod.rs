@@ -49,4 +49,4 @@ pub use machine::{Machine, RecvMode, RunError, RunLimits, RunResult};
 // Span types live in `ghost-obs` (the executor streams them into any
 // `Recorder`); re-exported here so existing `ghost_mpi::exec::OpSpan`
 // consumers keep working.
-pub use ghost_obs::record::{OpSpan, SpanKind};
+pub use ghost_obs::record::{EngineStats, OpSpan, SpanKind};

@@ -67,6 +67,32 @@ fn ping_pong_timing_and_value() {
 }
 
 #[test]
+fn executor_reports_engine_stats() {
+    use ghost_obs::ProfileRecorder;
+    let scripts = vec![
+        vec![MpiCall::Send {
+            dst: 1,
+            tag: 7,
+            bytes: 8,
+            value: 1.0,
+        }],
+        vec![MpiCall::Recv { src: 0, tag: 7 }],
+    ];
+    let programs: Vec<Box<dyn Program>> = scripts
+        .into_iter()
+        .map(|s| Box::new(ScriptProgram::new(s)) as Box<dyn Program>)
+        .collect();
+    let mut rec = ProfileRecorder::new();
+    let r = Machine::new(flat_machine(2), &NoNoise, 42)
+        .run_with(programs, &mut rec)
+        .unwrap();
+    assert_eq!(rec.engine.popped, r.events);
+    assert!(rec.engine.pushed >= rec.engine.popped);
+    assert!(rec.engine.peak_pending >= 1);
+    assert!(rec.total_spans() > 0);
+}
+
+#[test]
 fn recv_before_send_blocks_correctly() {
     // Rank 1 posts recv long before the message exists.
     let scripts = vec![

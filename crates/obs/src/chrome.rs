@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 
 use ghost_engine::time::Time;
 
+use crate::pulse::StageSpan;
 use crate::record::Timeline;
 
 /// Format a nanosecond timestamp as fractional microseconds, exactly.
@@ -60,6 +61,49 @@ pub fn trace_json(timeline: &Timeline) -> String {
             us(s.end - s.start),
             s.rank,
             s.work
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render server-side request-stage spans as Chrome trace-event JSON.
+///
+/// One complete (`"X"`) event per stage with `tid` = the span's `track`
+/// (one row per request), plus an `"M"` metadata event naming each track.
+/// Spans are sorted by `(track, start, end)` so the output satisfies the
+/// same per-`tid` ordering invariant [`validate_trace`] checks for
+/// [`trace_json`].
+pub fn stage_trace_json(spans: &[StageSpan]) -> String {
+    let mut spans = spans.to_vec();
+    spans.sort_by_key(|s| (s.track, s.start, s.end));
+    let mut out = String::with_capacity(64 + spans.len() * 112);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut last_track = None;
+    for s in &spans {
+        if last_track != Some(s.track) {
+            last_track = Some(s.track);
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\
+                 \"args\":{{\"name\":\"request {t}\"}}}}",
+                t = s.track
+            );
+        }
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{}}}",
+            s.name,
+            us(s.start),
+            us(s.end.saturating_sub(s.start)),
+            s.track
         );
     }
     out.push_str("\n]}\n");
@@ -514,5 +558,38 @@ mod tests {
         let json = trace_json(&Timeline::default());
         let stats = validate_trace(&json).unwrap();
         assert_eq!(stats.events, 0);
+    }
+
+    #[test]
+    fn stage_trace_validates_and_groups_by_track() {
+        let spans = [
+            StageSpan {
+                track: 2,
+                name: "decode",
+                start: 1_000,
+                end: 1_500,
+            },
+            StageSpan {
+                track: 1,
+                name: "decode",
+                start: 0,
+                end: 400,
+            },
+            StageSpan {
+                track: 1,
+                name: "simulate",
+                start: 400,
+                end: 9_000,
+            },
+        ];
+        let json = stage_trace_json(&spans);
+        let stats = validate_trace(&json).unwrap();
+        assert_eq!(stats.complete, 3);
+        assert_eq!(stats.tids, 2);
+        assert!(json.contains("\"request 1\""));
+        assert!(json.contains("\"simulate\""));
+
+        let empty = stage_trace_json(&[]);
+        assert_eq!(validate_trace(&empty).unwrap().events, 0);
     }
 }

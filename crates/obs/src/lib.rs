@@ -20,6 +20,10 @@
 //! * [`chrome`] — Chrome trace-event JSON export (loadable in Perfetto or
 //!   `chrome://tracing`) plus a dependency-free JSON validator used by tests
 //!   and by the CLI to self-check emitted traces.
+//! * [`pulse`] — ghost-pulse: a labeled metrics registry (atomic counters,
+//!   gauges, histograms; O(1) hot path) with Prometheus-style text
+//!   exposition, a strict exposition parser, and the [`TraceRing`] behind
+//!   server-side request tracing.
 //!
 //! This crate depends only on `ghost-engine` (for the time types); the MPI
 //! executor depends on it, not the other way around.
@@ -29,12 +33,16 @@
 pub mod blame;
 pub mod chrome;
 pub mod metrics;
+pub mod pulse;
 pub mod record;
 
 pub use blame::{analyze, BlameReport, RankBlame};
-pub use chrome::{trace_json, validate_trace, TraceStats};
-pub use metrics::{Log2Hist, MetricsRecorder, RankCounters};
+pub use chrome::{stage_trace_json, trace_json, validate_trace, TraceStats};
+pub use metrics::{Log2Hist, MetricsRecorder, ProfileRecorder, RankCounters};
+pub use pulse::{
+    parse_exposition, Counter, Exposition, Gauge, Histogram, Registry, StageSpan, TraceRing,
+};
 pub use record::{
-    MsgKind, MsgRecord, NullRecorder, OpSpan, Rank, Recorder, SpanKind, Timeline, VecRecorder,
-    WaitRecord,
+    EngineStats, MsgKind, MsgRecord, NullRecorder, OpSpan, Rank, Recorder, SpanKind, Timeline,
+    VecRecorder, WaitRecord,
 };

@@ -6,7 +6,7 @@
 
 use ghost_engine::time::Time;
 
-use crate::record::{MsgKind, MsgRecord, OpSpan, Recorder, SpanKind, WaitRecord};
+use crate::record::{EngineStats, MsgKind, MsgRecord, OpSpan, Recorder, SpanKind, WaitRecord};
 
 /// A power-of-two-bucketed histogram of `u64` samples (nanoseconds, bytes,
 /// FTQ work quanta — any magnitude-distributed quantity).
@@ -67,6 +67,19 @@ impl Log2Hist {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
         self.total += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record `n` identical samples in O(1) (reconstructing a histogram
+    /// from transmitted `(lo, hi, count)` buckets).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.total += v as u128 * n as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -304,6 +317,60 @@ impl Recorder for MetricsRecorder {
     }
 }
 
+/// A [`Recorder`] that profiles the *executor itself* rather than the
+/// simulated application: per-[`SpanKind`] span-duration histograms plus
+/// the engine-core queue statistics ([`EngineStats`]). O(1) per event, no
+/// buffering — the near-free baseline instrumentation for event-loop
+/// optimization work.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileRecorder {
+    span_ns: [Log2Hist; 5],
+    /// Completed blocking waits observed.
+    pub waits: u64,
+    /// Message departures observed.
+    pub messages: u64,
+    /// Engine queue statistics, accumulated across runs (`peak_pending`
+    /// takes the maximum over runs, the counters sum).
+    pub engine: EngineStats,
+}
+
+impl ProfileRecorder {
+    /// Create an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Duration histogram (ns) of closed spans of `kind`.
+    pub fn span_hist(&self, kind: SpanKind) -> &Log2Hist {
+        &self.span_ns[kind.index()]
+    }
+
+    /// Total spans observed across all kinds.
+    pub fn total_spans(&self) -> u64 {
+        self.span_ns.iter().map(Log2Hist::count).sum()
+    }
+}
+
+impl Recorder for ProfileRecorder {
+    fn span(&mut self, span: OpSpan) {
+        self.span_ns[span.kind.index()].record(span.duration());
+    }
+
+    fn wait(&mut self, _wait: WaitRecord) {
+        self.waits += 1;
+    }
+
+    fn message(&mut self, _msg: MsgRecord) {
+        self.messages += 1;
+    }
+
+    fn engine(&mut self, stats: EngineStats) {
+        self.engine.pushed += stats.pushed;
+        self.engine.popped += stats.popped;
+        self.engine.peak_pending = self.engine.peak_pending.max(stats.peak_pending);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +425,64 @@ mod tests {
         assert_eq!(a.count(), 5);
         assert_eq!(a.max(), 200);
         assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        a.record_n(100, 3);
+        a.record_n(7, 0);
+        for _ in 0..3 {
+            b.record(100);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.nonzero_buckets(), b.nonzero_buckets());
+    }
+
+    #[test]
+    fn profile_recorder_folds_executor_events() {
+        let mut p = ProfileRecorder::new();
+        p.span(cpu(0, SpanKind::Compute, 0, 100, 100));
+        p.span(cpu(0, SpanKind::SendOverhead, 100, 105, 5));
+        p.span(cpu(1, SpanKind::Compute, 0, 50, 50));
+        p.wait(WaitRecord {
+            rank: 1,
+            start: 50,
+            end: 60,
+            src: 0,
+            tag: 1,
+            sent: 55,
+            retry: 0,
+        });
+        p.message(MsgRecord {
+            src: 0,
+            dst: 1,
+            tag: 1,
+            bytes: 8,
+            sent: 105,
+            kind: MsgKind::PointToPoint,
+        });
+        p.engine(EngineStats {
+            pushed: 10,
+            popped: 10,
+            peak_pending: 4,
+        });
+        p.engine(EngineStats {
+            pushed: 5,
+            popped: 5,
+            peak_pending: 2,
+        });
+        assert_eq!(p.span_hist(SpanKind::Compute).count(), 2);
+        assert_eq!(p.span_hist(SpanKind::SendOverhead).count(), 1);
+        assert_eq!(p.total_spans(), 3);
+        assert_eq!(p.waits, 1);
+        assert_eq!(p.messages, 1);
+        assert_eq!(p.engine.pushed, 15);
+        assert_eq!(p.engine.peak_pending, 4, "peak takes the max over runs");
     }
 
     #[test]

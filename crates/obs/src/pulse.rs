@@ -1,0 +1,738 @@
+//! ghost-pulse: a labeled metrics registry with Prometheus-style text
+//! exposition, plus the stage-span ring behind server-side request tracing.
+//!
+//! The registry hands out [`Counter`], [`Gauge`], and [`Histogram`] handles
+//! at registration time; every update after that is one relaxed atomic
+//! operation on an `Arc`-shared cell — the registry lock is touched only
+//! when registering or rendering, never on the hot path. [`Registry::render`]
+//! walks the registered metrics and emits the text exposition format
+//! (`# HELP` / `# TYPE` comments followed by `name value` sample lines;
+//! histograms render as summaries with `quantile` labels). Every sample
+//! value is an integer, so the output contains no NaN or infinity by
+//! construction; [`parse_exposition`] is the matching strict parser used by
+//! tests, the CLI, and CI to check that invariant end to end.
+//!
+//! [`StageSpan`] and [`TraceRing`] support request tracing in a server:
+//! each request's pipeline stages (decode, cache, simulate, encode, ...)
+//! are pushed onto a bounded ring whose snapshot exports as a Chrome trace
+//! via [`crate::chrome::stage_trace_json`]. A ring of capacity 0 disables
+//! recording entirely (`push` returns before taking the lock).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ghost_engine::time::Time;
+
+use crate::metrics::Log2Hist;
+
+/// Lock a mutex, absorbing poison (metrics must survive a panicking
+/// thread elsewhere in the process).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (valid to update, never
+    /// rendered). Useful as a struct-field default.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Add 1 and return the value *after* the increment (usable as a
+    /// sequence number).
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Add `n` and return the value after the addition.
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depth, in-flight work, sizes).
+/// Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) and return the value *after* the
+    /// addition — the atomicity lets a gauge double as an admission
+    /// counter (`if add(1) > cap { add(-1); reject }`).
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic sibling of [`Log2Hist`]: a lock-free power-of-two-bucketed
+/// histogram shareable across threads. Cloning shares the buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCells>);
+
+#[derive(Debug)]
+struct HistCells {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample: six relaxed atomic operations, no lock.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let h = &*self.0;
+        h.buckets[Log2Hist::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.0.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (mirrors
+    /// [`Log2Hist::quantile_upper`]). Returns 0 for an empty histogram.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for k in 0..self.0.buckets.len() {
+            seen += self.0.buckets[k].load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return Log2Hist::bucket_bounds(k).1;
+            }
+        }
+        Log2Hist::bucket_bounds(64).1
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, low to high
+    /// (mirrors [`Log2Hist::nonzero_buckets`]).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, c)| {
+                let c = c.load(Ordering::Relaxed);
+                if c == 0 {
+                    return None;
+                }
+                let (lo, hi) = Log2Hist::bucket_bounds(k);
+                Some((lo, hi, c))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Summary(Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics with text exposition.
+///
+/// Registration is idempotent: asking for an existing name of the same
+/// kind returns a handle to the *same* cell. Names are sanitized into the
+/// exposition grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`; offending characters
+/// become `_`), and a name collision across kinds deconflicts by appending
+/// underscores — registration is total, it never panics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// Map a raw name into the exposition name grammar.
+fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().max(1));
+    for (i, ch) in raw.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a help string for a `# HELP` comment line.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        help: &str,
+        existing: impl Fn(&Metric) -> Option<T>,
+        fresh: impl FnOnce() -> (T, Metric),
+    ) -> T {
+        let mut entries = lock(&self.entries);
+        let mut name = sanitize_name(name);
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let Some(t) = existing(&e.metric) {
+                return t;
+            }
+            // Same name, different kind: deconflict so exposition names
+            // stay unique (registration must be total).
+            while entries.iter().any(|e| e.name == name) {
+                name.push('_');
+            }
+        }
+        let (t, metric) = fresh();
+        entries.push(Entry {
+            name,
+            help: help.to_owned(),
+            metric,
+        });
+        t
+    }
+
+    /// Register (or fetch) a counter named `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.register(
+            name,
+            help,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::default();
+                (c.clone(), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Register (or fetch) a gauge named `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.register(
+            name,
+            help,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::default();
+                (g.clone(), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Register (or fetch) a latency/size histogram named `name`, rendered
+    /// as a summary (p50/p95/p99 quantile upper bounds, sum, count).
+    pub fn summary(&self, name: &str, help: &str) -> Histogram {
+        self.register(
+            name,
+            help,
+            |m| match m {
+                Metric::Summary(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Histogram::default();
+                (h.clone(), Metric::Summary(h))
+            },
+        )
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        lock(&self.entries).len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the text exposition of every registered metric, in
+    /// registration order.
+    pub fn render(&self) -> String {
+        let entries = lock(&self.entries);
+        let mut out = String::with_capacity(entries.len() * 96);
+        for e in entries.iter() {
+            let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Summary(h) => {
+                    let _ = writeln!(out, "# TYPE {} summary", e.name);
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        let _ = writeln!(
+                            out,
+                            "{}{{quantile=\"{label}\"}} {}",
+                            e.name,
+                            h.quantile_upper(q)
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parsing (the well-formedness check)
+
+/// A parsed exposition document: sample keys (metric name plus any label
+/// block, verbatim) and their values, in document order.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    samples: Vec<(String, f64)>,
+}
+
+impl Exposition {
+    /// All samples in document order.
+    pub fn samples(&self) -> &[(String, f64)] {
+        &self.samples
+    }
+
+    /// The value of the sample whose key (name plus label block) is
+    /// exactly `key`.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.samples.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the document had no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validate a `k="v",k="v"` label body (the text between `{` and `}`).
+fn validate_labels(s: &str) -> Result<(), String> {
+    let mut rest = s;
+    if rest.is_empty() {
+        return Err("empty label block".into());
+    }
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': '{rest}'"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name '{key}'"));
+        }
+        let after = &rest[eq + 1..];
+        let bytes = after.as_bytes();
+        if bytes.first() != Some(&b'"') {
+            return Err(format!("label '{key}' value is not quoted"));
+        }
+        let mut i = 1usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => break,
+                _ => i += 1,
+            }
+        }
+        if i >= bytes.len() {
+            return Err(format!("unterminated value for label '{key}'"));
+        }
+        rest = &after[i + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("expected ',' between labels, got '{rest}'"))?;
+    }
+}
+
+/// Parse one sample line into `(key, value)`.
+fn parse_sample_line(line: &str) -> Result<(String, f64), String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return Err("missing metric name".into());
+    }
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Err(format!("metric name '{name}' starts with a digit"));
+    }
+    let mut key = name.to_owned();
+    let mut rest = &line[name_end..];
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let close = after_brace
+            .find('}')
+            .ok_or_else(|| format!("unterminated label block on '{name}'"))?;
+        let labels = &after_brace[..close];
+        validate_labels(labels)?;
+        key.push('{');
+        key.push_str(labels);
+        key.push('}');
+        rest = &after_brace[close + 1..];
+    }
+    if !rest.starts_with(' ') && !rest.starts_with('\t') {
+        return Err(format!("no space before the value of '{key}'"));
+    }
+    let mut tokens = rest.split_whitespace();
+    let value_text = tokens
+        .next()
+        .ok_or_else(|| format!("missing value for '{key}'"))?;
+    let value: f64 = value_text
+        .parse()
+        .map_err(|_| format!("unparseable value '{value_text}' for '{key}'"))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite value '{value_text}' for '{key}'"));
+    }
+    // At most one trailing token: an integer timestamp.
+    if let Some(ts) = tokens.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp '{ts}' for '{key}'"))?;
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing garbage after '{key}'"));
+    }
+    Ok((key, value))
+}
+
+/// Strictly parse Prometheus-style text exposition.
+///
+/// Errors on malformed sample lines, metric names outside the exposition
+/// grammar, malformed label blocks, unparseable or non-finite (NaN /
+/// infinity) values, and duplicate sample keys. Comment (`#`) and blank
+/// lines are skipped.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = parse_sample_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if expo.get(&key).is_some() {
+            return Err(format!("line {}: duplicate sample '{key}'", i + 1));
+        }
+        expo.samples.push((key, value));
+    }
+    Ok(expo)
+}
+
+// ---------------------------------------------------------------------------
+// Request-stage tracing
+
+/// One named stage interval of a server-side request, in nanoseconds since
+/// the server started. `track` groups the spans of one request and becomes
+/// the `tid` of the exported Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpan {
+    /// Request identity (one trace row per request).
+    pub track: u64,
+    /// Stage name (`decode`, `cache`, `simulate`, ...).
+    pub name: &'static str,
+    /// Stage start (ns since an arbitrary epoch).
+    pub start: Time,
+    /// Stage end (`>= start`).
+    pub end: Time,
+}
+
+/// A bounded, thread-safe ring of recent [`StageSpan`]s.
+///
+/// Capacity 0 disables recording: [`TraceRing::push`] returns before
+/// taking the lock, so a tracing-disabled server pays one branch per
+/// stage.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    spans: Mutex<VecDeque<StageSpan>>,
+}
+
+impl TraceRing {
+    /// A ring keeping the most recent `cap` spans.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            spans: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
+        }
+    }
+
+    /// The configured capacity (0 = tracing disabled).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append a span, evicting the oldest when full. No-op at capacity 0.
+    #[inline]
+    pub fn push(&self, span: StageSpan) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut q = lock(&self.spans);
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(span);
+    }
+
+    /// Spans currently retained, sorted by `(track, start, end)` — the
+    /// order [`crate::chrome::stage_trace_json`] requires.
+    pub fn snapshot(&self) -> Vec<StageSpan> {
+        let mut spans: Vec<StageSpan> = lock(&self.spans).iter().copied().collect();
+        spans.sort_by_key(|s| (s.track, s.start, s.end));
+        spans
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        lock(&self.spans).len()
+    }
+
+    /// Whether the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.spans).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_handles_share_cells() {
+        let reg = Registry::new();
+        let a = reg.counter("hits_total", "hits");
+        let b = reg.counter("hits_total", "hits");
+        assert_eq!(a.inc(), 1);
+        assert_eq!(b.add(4), 5);
+        assert_eq!(a.get(), 5);
+
+        let g = reg.gauge("depth", "queue depth");
+        assert_eq!(g.add(3), 3);
+        assert_eq!(g.add(-1), 2);
+        g.set(-7);
+        assert_eq!(reg.gauge("depth", "queue depth").get(), -7);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn histogram_mirrors_log2hist() {
+        let h = Histogram::detached();
+        let mut reference = Log2Hist::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+            reference.record(v);
+        }
+        assert_eq!(h.count(), reference.count());
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), reference.min());
+        assert_eq!(h.max(), reference.max());
+        assert_eq!(h.quantile_upper(0.8), reference.quantile_upper(0.8));
+        assert_eq!(h.nonzero_buckets(), reference.nonzero_buckets());
+        assert_eq!(Histogram::detached().quantile_upper(0.5), 0);
+        assert_eq!(Histogram::detached().min(), 0);
+    }
+
+    #[test]
+    fn render_parses_back_with_expected_values() {
+        let reg = Registry::new();
+        reg.counter("req_total", "requests").add(41);
+        reg.gauge("depth", "queue depth").set(-3);
+        let h = reg.summary("lat_ns", "latency");
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let text = reg.render();
+        let expo = parse_exposition(&text).expect("render must be well-formed");
+        assert_eq!(expo.get("req_total"), Some(41.0));
+        assert_eq!(expo.get("depth"), Some(-3.0));
+        assert_eq!(expo.get("lat_ns_count"), Some(4.0));
+        assert_eq!(expo.get("lat_ns_sum"), Some(100.0));
+        assert!(expo.get("lat_ns{quantile=\"0.99\"}").is_some());
+        // 3 plain samples + 5 summary samples... counter + gauge + (3q + sum + count).
+        assert_eq!(expo.len(), 7);
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized_and_deconflicted() {
+        let reg = Registry::new();
+        let c = reg.counter("9 bad name!", "leading digit and spaces");
+        c.inc();
+        // Same (sanitized) name, different kind: must not alias or panic.
+        let g = reg.gauge("9 bad name!", "now a gauge");
+        g.set(5);
+        let h = reg.summary("", "empty name");
+        h.record(1);
+        let text = reg.render();
+        let expo = parse_exposition(&text).expect("sanitized output must parse");
+        assert_eq!(expo.get("__bad_name_"), Some(1.0));
+        assert_eq!(expo.get("__bad_name__"), Some(5.0));
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let reg = Registry::new();
+        reg.counter("c", "line one\nline two \\ backslash");
+        let text = reg.render();
+        assert!(text.contains("line one\\nline two \\\\ backslash"));
+        parse_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_exposition("1bad 5\n").is_err());
+        assert!(parse_exposition("name\n").is_err());
+        assert!(parse_exposition("name 5\nname 6\n").is_err(), "duplicates");
+        assert!(parse_exposition("name nan\n").is_err());
+        assert!(parse_exposition("name inf\n").is_err());
+        assert!(parse_exposition("name {q=\"x\"} 5\n").is_err(), "space");
+        assert!(parse_exposition("name{q=\"x\" 5\n").is_err(), "no brace");
+        assert!(parse_exposition("name{=\"x\"} 5\n").is_err());
+        assert!(parse_exposition("name{q=x} 5\n").is_err());
+        assert!(parse_exposition("name 5 notatimestamp\n").is_err());
+        assert!(parse_exposition("name 5 123 extra\n").is_err());
+        // Valid corner cases.
+        let ok = parse_exposition("name 5 123\nother{a=\"b\",c=\"d\\\"e\"} -2.5\n# c\n\n").unwrap();
+        assert_eq!(ok.get("name"), Some(5.0));
+        assert_eq!(ok.get("other{a=\"b\",c=\"d\\\"e\"}"), Some(-2.5));
+        assert!(parse_exposition("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_ring_bounds_and_sorts() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(StageSpan {
+                track: 5 - i,
+                name: "stage",
+                start: i * 10,
+                end: i * 10 + 5,
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        let snap = ring.snapshot();
+        assert!(snap.windows(2).all(|w| w[0].track <= w[1].track));
+
+        let off = TraceRing::new(0);
+        off.push(StageSpan {
+            track: 1,
+            name: "stage",
+            start: 0,
+            end: 1,
+        });
+        assert!(off.is_empty());
+        assert_eq!(off.capacity(), 0);
+    }
+}

@@ -5,6 +5,7 @@
 //! `Busy`/`Server`/`Wire` distinctly — the CLI turns these into its
 //! 0/1/2 exit-code contract.
 
+use std::io::{Read as _, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use ghost_core::scenario::ScenarioSpec;
@@ -116,6 +117,15 @@ impl Client {
         }
     }
 
+    /// Fetch the server's recent request-stage spans as Chrome trace-event
+    /// JSON (empty `traceEvents` when the server runs with tracing off).
+    pub fn server_trace(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Trace)? {
+            Response::Trace(json) => Ok(json),
+            other => Err(Self::reject(other, "Trace")),
+        }
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
@@ -123,4 +133,30 @@ impl Client {
             other => Err(Self::reject(other, "ShutdownAck")),
         }
     }
+}
+
+/// Scrape `GET /metrics` from a running server over plain HTTP — the same
+/// listener that speaks the binary protocol — and return the exposition
+/// body. Standalone (no [`Client`]) because the server closes the HTTP
+/// connection after one response.
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> Result<String, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: ghost-serve\r\nConnection: close\r\n\r\n")
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| ClientError::Unexpected("non-UTF-8 scrape response".into()))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError::Unexpected("malformed HTTP response".into()))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.starts_with("HTTP/1.1 200") {
+        return Err(ClientError::Server(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_owned())
 }

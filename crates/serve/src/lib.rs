@@ -21,7 +21,13 @@
 //!   response, graceful drain on shutdown, and `ghost-obs` counters plus
 //!   latency histograms behind a `Stats` request.
 //! * [`client`] — the blocking client the CLI (`ghostsim serve` /
-//!   `ghostsim submit` / `--server`) is built on.
+//!   `ghostsim submit` / `--server`) is built on, plus
+//!   [`client::scrape_metrics`] for the HTTP side.
+//!
+//! The same listener also answers plain HTTP: `GET /metrics` returns a
+//! Prometheus-style text exposition (request/hit/coalesce counters, queue
+//! depth, per-stage latency quantiles), and a `Trace` request dumps the
+//! server's recent per-request stage spans as Chrome trace-event JSON.
 //!
 //! ```no_run
 //! use ghost_serve::server::{ServeConfig, Server};
@@ -47,11 +53,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod client;
+pub(crate) mod pulse;
 pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{scrape_metrics, Client, ClientError};
 pub use server::{ServeConfig, Server};
 pub use store::ResultStore;
 pub use wire::{Request, Response, ScenarioReply, ServerStats, WireError};

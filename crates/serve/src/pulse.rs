@@ -1,0 +1,204 @@
+//! The daemon's ghost-pulse bundle: every counter, gauge, and latency
+//! summary the server exports, registered once at bind time so the hot
+//! path works with pre-resolved handles (one relaxed atomic op per
+//! update) and never touches the registry lock.
+//!
+//! All metric names carry the `ghost_serve_` prefix; counters end in
+//! `_total` and durations are nanosecond summaries rendered with
+//! p50/p95/p99 quantile upper bounds.
+
+use std::time::Duration;
+
+use ghost_obs::pulse::{Counter, Gauge, Histogram, Registry};
+
+/// Pre-registered handles for the server's metrics.
+pub(crate) struct ServePulse {
+    registry: Registry,
+    /// Frames decoded on any connection (every request kind).
+    pub requests: Counter,
+    /// Scenario cells received (submits plus sweep cells).
+    pub scenarios: Counter,
+    /// Submissions answered from the in-memory reply cache.
+    pub memory_hits: Counter,
+    /// Submissions answered from the persistent store.
+    pub disk_hits: Counter,
+    /// Fresh simulations executed.
+    pub simulated: Counter,
+    /// Submissions that parked on an identical in-flight simulation.
+    pub coalesced: Counter,
+    /// Submissions rejected by admission control.
+    pub busy_rejections: Counter,
+    /// Malformed frames or payloads.
+    pub decode_errors: Counter,
+    /// Store write failures and undecodable on-disk entries.
+    pub store_errors: Counter,
+    /// `GET /metrics` scrapes answered.
+    pub scrapes: Counter,
+    /// Simulator events processed on behalf of fresh simulations.
+    pub engine_events: Counter,
+    /// Scenarios admitted and not yet finished (admission counter).
+    pub queue_depth: Gauge,
+    /// Leader simulations executing right now.
+    pub inflight: Gauge,
+    /// Entries in the persistent result store.
+    pub store_entries: Gauge,
+    /// Wall-clock uptime gauge (set at render time).
+    uptime: Gauge,
+    /// Whole-request service time, decode through dispatch.
+    pub request_ns: Histogram,
+    /// Request decode stage.
+    pub decode_ns: Histogram,
+    /// Memory + disk cache lookup stage.
+    pub cache_ns: Histogram,
+    /// Persistent-store write stage.
+    pub store_ns: Histogram,
+    /// Fresh-simulation stage.
+    pub simulate_ns: Histogram,
+    /// Time parked waiting on an identical in-flight simulation.
+    pub coalesce_ns: Histogram,
+    /// Response encode + write stage.
+    pub encode_ns: Histogram,
+}
+
+impl ServePulse {
+    /// Register the full metric set; `capacity` is exported as a constant
+    /// gauge so scrapes can compute saturation without knowing the config.
+    pub fn new(capacity: usize) -> Self {
+        let r = Registry::new();
+        let requests = r.counter("ghost_serve_requests_total", "Requests decoded (any kind)");
+        let scenarios = r.counter(
+            "ghost_serve_scenarios_total",
+            "Scenario cells received (submits plus sweep cells)",
+        );
+        let memory_hits = r.counter(
+            "ghost_serve_memory_hits_total",
+            "Submissions answered from the in-memory reply cache",
+        );
+        let disk_hits = r.counter(
+            "ghost_serve_disk_hits_total",
+            "Submissions answered from the persistent result store",
+        );
+        let simulated = r.counter(
+            "ghost_serve_simulated_total",
+            "Fresh simulations executed (cache and coalesce misses)",
+        );
+        let coalesced = r.counter(
+            "ghost_serve_coalesced_total",
+            "Submissions that joined an identical in-flight simulation",
+        );
+        let busy_rejections = r.counter(
+            "ghost_serve_busy_rejections_total",
+            "Submissions rejected by admission control",
+        );
+        let decode_errors = r.counter(
+            "ghost_serve_decode_errors_total",
+            "Malformed frames or payloads received",
+        );
+        let store_errors = r.counter(
+            "ghost_serve_store_errors_total",
+            "Store write failures and undecodable on-disk entries",
+        );
+        let scrapes = r.counter("ghost_serve_scrapes_total", "GET /metrics scrapes answered");
+        let engine_events = r.counter(
+            "ghost_serve_engine_events_total",
+            "Simulator events processed by fresh simulations",
+        );
+        let queue_depth = r.gauge(
+            "ghost_serve_queue_depth",
+            "Scenarios admitted and not yet finished",
+        );
+        let inflight = r.gauge(
+            "ghost_serve_inflight",
+            "Leader simulations executing right now",
+        );
+        let capacity_g = r.gauge(
+            "ghost_serve_capacity",
+            "Admission-control cap on concurrently admitted scenarios",
+        );
+        capacity_g.set(capacity as i64);
+        let store_entries = r.gauge(
+            "ghost_serve_store_entries",
+            "Entries in the persistent result store (-1 when persistence is off)",
+        );
+        let uptime = r.gauge(
+            "ghost_serve_uptime_seconds",
+            "Seconds since the server bound",
+        );
+        let request_ns = r.summary(
+            "ghost_serve_request_ns",
+            "Whole-request service time in nanoseconds",
+        );
+        let decode_ns = r.summary("ghost_serve_decode_ns", "Request decode stage (ns)");
+        let cache_ns = r.summary(
+            "ghost_serve_cache_ns",
+            "Memory and disk cache lookup stage (ns)",
+        );
+        let store_ns = r.summary("ghost_serve_store_ns", "Persistent-store write stage (ns)");
+        let simulate_ns = r.summary("ghost_serve_simulate_ns", "Fresh-simulation stage (ns)");
+        let coalesce_ns = r.summary(
+            "ghost_serve_coalesce_ns",
+            "Time parked on an identical in-flight simulation (ns)",
+        );
+        let encode_ns = r.summary(
+            "ghost_serve_encode_ns",
+            "Response encode and write stage (ns)",
+        );
+        Self {
+            registry: r,
+            requests,
+            scenarios,
+            memory_hits,
+            disk_hits,
+            simulated,
+            coalesced,
+            busy_rejections,
+            decode_errors,
+            store_errors,
+            scrapes,
+            engine_events,
+            queue_depth,
+            inflight,
+            store_entries,
+            uptime,
+            request_ns,
+            decode_ns,
+            cache_ns,
+            store_ns,
+            simulate_ns,
+            coalesce_ns,
+            encode_ns,
+        }
+    }
+
+    /// Render the exposition text (refreshes the uptime gauge first).
+    pub fn render(&self, uptime: Duration) -> String {
+        self.uptime.set(uptime.as_secs() as i64);
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_obs::pulse::parse_exposition;
+
+    #[test]
+    fn full_metric_set_renders_well_formed() {
+        let p = ServePulse::new(64);
+        p.requests.inc();
+        p.request_ns.record(12_345);
+        p.queue_depth.add(2);
+        p.store_entries.set(-1);
+        let text = p.render(Duration::from_secs(9));
+        let expo = parse_exposition(&text).expect("server exposition must parse");
+        assert_eq!(expo.get("ghost_serve_requests_total"), Some(1.0));
+        assert_eq!(expo.get("ghost_serve_capacity"), Some(64.0));
+        assert_eq!(expo.get("ghost_serve_uptime_seconds"), Some(9.0));
+        assert_eq!(expo.get("ghost_serve_queue_depth"), Some(2.0));
+        assert_eq!(expo.get("ghost_serve_store_entries"), Some(-1.0));
+        assert_eq!(expo.get("ghost_serve_request_ns_count"), Some(1.0));
+        assert!(expo
+            .get("ghost_serve_request_ns{quantile=\"0.99\"}")
+            .is_some());
+    }
+}

@@ -1,5 +1,6 @@
 //! The ghost-serve daemon: TCP accept loop, coalescing scheduler,
-//! admission control, and the two-level (memory + disk) result cache.
+//! admission control, the two-level (memory + disk) result cache, and
+//! the ghost-pulse telemetry layer.
 //!
 //! ## Request lifecycle
 //!
@@ -16,6 +17,18 @@
 //! work-stealing pool ([`ghost_core::campaign::run_indexed_partial`]);
 //! duplicate cells within the batch simulate once.
 //!
+//! ## Telemetry
+//!
+//! Every counter the server keeps is a ghost-pulse registry metric, so
+//! one source of truth feeds both the binary `Stats` frame and the
+//! `GET /metrics` scrape endpoint — plain HTTP answered on the *same*
+//! listener as the binary protocol (the two are distinguished by peeking
+//! at the first two bytes: binary frames start with `"GS"`, HTTP requests
+//! with `"GE"`). Each request's pipeline stages (decode → cache →
+//! simulate/coalesce → store → encode) are timed into per-stage latency
+//! summaries and, when `trace_capacity > 0`, retained in a bounded ring
+//! exported as a Chrome trace by the `Trace` request.
+//!
 //! ## Robustness
 //!
 //! A malformed payload gets a typed [`Response::Error`] and the
@@ -25,18 +38,19 @@
 //! gate) — mutex poison is absorbed with `into_inner`.
 
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ghost_core::scenario::{run_scenario, ScenarioSpec, WorkloadSpec};
 use ghost_core::ExperimentSpec;
 use ghost_mpi::{RunLimits, RunResult};
-use ghost_obs::metrics::Log2Hist;
+use ghost_obs::pulse::{Histogram, StageSpan, TraceRing};
 
+use crate::pulse::ServePulse;
 use crate::store::ResultStore;
 use crate::wire::{
     decode_request, encode_response, read_frame, write_frame, Request, Response, ScenarioReply,
@@ -53,6 +67,9 @@ pub struct ServeConfig {
     pub capacity: usize,
     /// Simulation limits applied to every run.
     pub limits: RunLimits,
+    /// Request-stage spans retained for the `Trace` request; 0 disables
+    /// tracing (stage *summaries* stay on — they are near-free).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +78,7 @@ impl Default for ServeConfig {
             store_dir: None,
             capacity: 64,
             limits: RunLimits::none(),
+            trace_capacity: 1024,
         }
     }
 }
@@ -84,62 +102,86 @@ struct Shared {
     memory: Mutex<HashMap<ScenarioSpec, Arc<ScenarioReply>>>,
     baselines: Mutex<HashMap<(WorkloadSpec, ExperimentSpec), Arc<RunResult>>>,
     inflight: Mutex<HashMap<ScenarioSpec, Arc<Inflight>>>,
-    active: AtomicUsize,
     shutdown: AtomicBool,
     started: Instant,
-    requests: AtomicU64,
-    scenarios: AtomicU64,
-    memory_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    simulated: AtomicU64,
-    coalesced: AtomicU64,
-    busy_rejections: AtomicU64,
-    decode_errors: AtomicU64,
-    store_errors: AtomicU64,
-    latency: Mutex<Log2Hist>,
+    pulse: ServePulse,
+    trace: TraceRing,
 }
 
 impl Shared {
+    /// Nanoseconds since the server bound (the trace clock).
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Close a stage that began at `start`: record its duration summary
+    /// and, when tracing is enabled, push the span onto the trace ring.
+    fn stage(&self, track: u64, name: &'static str, start: u64, hist: &Histogram) {
+        let end = self.now_ns();
+        hist.record(end.saturating_sub(start));
+        self.trace.push(StageSpan {
+            track,
+            name,
+            start,
+            end,
+        });
+    }
+
     fn stats(&self) -> ServerStats {
-        let hist = lock(&self.latency);
+        let p = &self.pulse;
+        let latency_buckets = p.request_ns.nonzero_buckets();
+        // Count from the same bucket snapshot, so count and buckets agree
+        // even while other connections record concurrently.
+        let latency_count = latency_buckets.iter().map(|&(_, _, c)| c).sum();
         ServerStats {
             uptime_ms: self.started.elapsed().as_millis() as u64,
-            requests: self.requests.load(Ordering::Relaxed),
-            scenarios: self.scenarios.load(Ordering::Relaxed),
-            memory_hits: self.memory_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            simulated: self.simulated.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            store_errors: self.store_errors.load(Ordering::Relaxed),
-            queue_depth: self.active.load(Ordering::Relaxed) as u32,
+            requests: p.requests.get(),
+            scenarios: p.scenarios.get(),
+            memory_hits: p.memory_hits.get(),
+            disk_hits: p.disk_hits.get(),
+            simulated: p.simulated.get(),
+            coalesced: p.coalesced.get(),
+            busy_rejections: p.busy_rejections.get(),
+            decode_errors: p.decode_errors.get(),
+            store_errors: p.store_errors.get(),
+            queue_depth: p.queue_depth.get().max(0) as u32,
+            inflight: p.inflight.get().max(0) as u32,
             capacity: self.config.capacity as u32,
-            latency_buckets: hist.nonzero_buckets(),
-            latency_count: hist.count(),
-            latency_min: hist.min(),
-            latency_max: hist.max(),
+            latency_buckets,
+            latency_count,
+            latency_min: p.request_ns.min(),
+            latency_max: p.request_ns.max(),
         }
+    }
+
+    /// Render the `/metrics` exposition (refreshing the point-in-time
+    /// gauges that are cheaper to poll than to maintain).
+    fn metrics_text(&self) -> String {
+        match &self.store {
+            Some(store) => self.pulse.store_entries.set(store.len() as i64),
+            None => self.pulse.store_entries.set(-1),
+        }
+        self.pulse.render(self.started.elapsed())
     }
 
     /// Memory → disk lookup; counts hits. Does not consult in-flight work.
     fn cached(&self, spec: &ScenarioSpec, key: &[u8]) -> Option<Arc<ScenarioReply>> {
         if let Some(hit) = lock(&self.memory).get(spec) {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            self.pulse.memory_hits.inc();
             return Some(hit.clone());
         }
         let store = self.store.as_ref()?;
         let bytes = store.get(key)?;
         match ScenarioReply::from_bytes(&bytes) {
             Ok(reply) => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.pulse.disk_hits.inc();
                 let reply = Arc::new(reply);
                 lock(&self.memory).insert(spec.clone(), reply.clone());
                 Some(reply)
             }
             Err(_) => {
                 // On-disk bytes that fail to decode are a miss, not a fault.
-                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                self.pulse.store_errors.inc();
                 None
             }
         }
@@ -147,35 +189,53 @@ impl Shared {
 
     /// Simulate `spec` (baseline memoized), publish to the caches, and
     /// return the reply. Panics inside the simulator become errors.
-    fn simulate(&self, spec: &ScenarioSpec, key: &[u8]) -> Result<Arc<ScenarioReply>, String> {
-        self.simulated.fetch_add(1, Ordering::Relaxed);
+    fn simulate(
+        &self,
+        spec: &ScenarioSpec,
+        key: &[u8],
+        track: u64,
+    ) -> Result<Arc<ScenarioReply>, String> {
+        self.pulse.simulated.inc();
         let baseline = lock(&self.baselines).get(&spec.baseline_key()).cloned();
+        let fresh_baseline = baseline.is_none();
         let limits = self.config.limits;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_scenario(spec, limits, baseline)
         }))
         .map_err(|_| format!("simulation panicked for {}", spec.label()))??;
+        let engine_events = outcome.run.events
+            + if fresh_baseline {
+                outcome.baseline.events
+            } else {
+                0
+            };
+        self.pulse.engine_events.add(engine_events);
         lock(&self.baselines)
             .entry(spec.baseline_key())
             .or_insert_with(|| outcome.baseline.clone());
         let reply = Arc::new(ScenarioReply::from_outcome(spec, &outcome));
         if let Some(store) = &self.store {
+            let t_store = self.now_ns();
             if store.put(key, &reply.to_bytes()).is_err() {
-                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                self.pulse.store_errors.inc();
             }
+            self.stage(track, "store", t_store, &self.pulse.store_ns);
         }
         lock(&self.memory).insert(spec.clone(), reply.clone());
         Ok(reply)
     }
 
     /// Full submit path: cache → coalesce → admission control → simulate.
-    fn submit(&self, spec: &ScenarioSpec) -> Response {
-        self.scenarios.fetch_add(1, Ordering::Relaxed);
+    fn submit(&self, spec: &ScenarioSpec, track: u64) -> Response {
+        self.pulse.scenarios.inc();
         if let Err(e) = spec.validate() {
             return Response::Error(e);
         }
         let key = crate::wire::scenario_key_bytes(spec);
-        if let Some(hit) = self.cached(spec, &key) {
+        let t_cache = self.now_ns();
+        let hit = self.cached(spec, &key);
+        self.stage(track, "cache", t_cache, &self.pulse.cache_ns);
+        if let Some(hit) = hit {
             return Response::Scenario(Box::new((*hit).clone()));
         }
 
@@ -187,15 +247,15 @@ impl Shared {
         let role = {
             let mut inflight = lock(&self.inflight);
             if let Some(cell) = inflight.get(spec) {
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.pulse.coalesced.inc();
                 Role::Waiter(cell.clone())
             } else {
-                let admitted = self.active.fetch_add(1, Ordering::Relaxed);
-                if admitted >= self.config.capacity {
-                    self.active.fetch_sub(1, Ordering::Relaxed);
-                    self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                let depth = self.pulse.queue_depth.add(1);
+                if depth > self.config.capacity as i64 {
+                    self.pulse.queue_depth.add(-1);
+                    self.pulse.busy_rejections.inc();
                     return Response::Busy {
-                        active: admitted as u32,
+                        active: (depth - 1).max(0) as u32,
                         capacity: self.config.capacity as u32,
                     };
                 }
@@ -210,21 +270,30 @@ impl Shared {
 
         let result = match role {
             Role::Leader(cell) => {
-                let result = self.simulate(spec, &key);
+                self.pulse.inflight.add(1);
+                let t_sim = self.now_ns();
+                let result = self.simulate(spec, &key, track);
+                self.stage(track, "simulate", t_sim, &self.pulse.simulate_ns);
                 lock(&self.inflight).remove(spec);
-                self.active.fetch_sub(1, Ordering::Relaxed);
+                self.pulse.inflight.add(-1);
+                self.pulse.queue_depth.add(-1);
                 *lock(&cell.done) = Some(result.clone());
                 cell.cv.notify_all();
                 result
             }
             Role::Waiter(cell) => {
-                let mut done = lock(&cell.done);
-                loop {
-                    if let Some(r) = done.as_ref() {
-                        break r.clone();
+                let t_wait = self.now_ns();
+                let result = {
+                    let mut done = lock(&cell.done);
+                    loop {
+                        if let Some(r) = done.as_ref() {
+                            break r.clone();
+                        }
+                        done = cell.cv.wait(done).unwrap_or_else(|e| e.into_inner());
                     }
-                    done = cell.cv.wait(done).unwrap_or_else(|e| e.into_inner());
-                }
+                };
+                self.stage(track, "coalesce", t_wait, &self.pulse.coalesce_ns);
+                result
             }
         };
         match result {
@@ -235,9 +304,8 @@ impl Shared {
 
     /// Sweep path: dedup identical cells, batch distinct misses onto the
     /// work-stealing pool, answer in request order.
-    fn sweep(&self, specs: &[ScenarioSpec]) -> Response {
-        self.scenarios
-            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+    fn sweep(&self, specs: &[ScenarioSpec], track: u64) -> Response {
+        self.pulse.scenarios.add(specs.len() as u64);
 
         // Dedup: identical cells share one slot in `work`.
         let mut order: Vec<usize> = Vec::with_capacity(specs.len());
@@ -251,16 +319,17 @@ impl Shared {
             order.push(slot);
         }
 
-        let admitted = self.active.fetch_add(work.len(), Ordering::Relaxed);
-        if admitted + work.len() > self.config.capacity {
-            self.active.fetch_sub(work.len(), Ordering::Relaxed);
-            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        let depth = self.pulse.queue_depth.add(work.len() as i64);
+        if depth > self.config.capacity as i64 {
+            self.pulse.queue_depth.add(-(work.len() as i64));
+            self.pulse.busy_rejections.inc();
             return Response::Busy {
-                active: admitted as u32,
+                active: (depth - work.len() as i64).max(0) as u32,
                 capacity: self.config.capacity as u32,
             };
         }
 
+        let t_sweep = self.now_ns();
         let results: Vec<Result<Arc<ScenarioReply>, String>> =
             ghost_core::campaign::run_indexed_partial(
                 work.len(),
@@ -272,7 +341,7 @@ impl Shared {
                     if let Some(hit) = self.cached(spec, &key) {
                         return Ok(hit);
                     }
-                    self.simulate(spec, &key)
+                    self.simulate(spec, &key, track)
                 },
                 0,
                 Duration::ZERO,
@@ -280,7 +349,8 @@ impl Shared {
             .into_iter()
             .map(|r| r.map_err(|e| e.to_string()))
             .collect();
-        self.active.fetch_sub(work.len(), Ordering::Relaxed);
+        self.pulse.queue_depth.add(-(work.len() as i64));
+        self.stage(track, "simulate", t_sweep, &self.pulse.simulate_ns);
 
         Response::Sweep(
             order
@@ -309,25 +379,18 @@ impl Server {
             Some(dir) => Some(ResultStore::open(dir)?),
             None => None,
         };
+        let pulse = ServePulse::new(config.capacity);
+        let trace = TraceRing::new(config.trace_capacity);
         let shared = Arc::new(Shared {
             store,
             config,
             memory: Mutex::new(HashMap::new()),
             baselines: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
-            active: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            scenarios: AtomicU64::new(0),
-            memory_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            simulated: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            busy_rejections: AtomicU64::new(0),
-            decode_errors: AtomicU64::new(0),
-            store_errors: AtomicU64::new(0),
-            latency: Mutex::new(Log2Hist::new()),
+            pulse,
+            trace,
         });
         Ok(Self { listener, shared })
     }
@@ -360,16 +423,40 @@ impl Server {
             }
         }
         // Graceful drain: wait for admitted work to finish.
-        while self.shared.active.load(Ordering::Relaxed) > 0 {
+        while self.shared.pulse.queue_depth.get() > 0 {
             std::thread::sleep(Duration::from_millis(10));
         }
         Ok(())
     }
 }
 
-/// Serve one connection until it closes, a header-level error occurs, or
-/// shutdown is acknowledged.
+/// Dispatch one connection: peek at the first bytes to tell the binary
+/// protocol (frames start `"GS"`) from HTTP (`"GE"` of `GET`), then hand
+/// off to the matching handler.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Wait until two bytes are peekable; a one-byte non-'G' prefix can go
+    // straight to the frame reader, which will answer BadMagic.
+    let mut sniff = [0u8; 2];
+    loop {
+        match stream.peek(&mut sniff) {
+            Ok(0) => return,
+            Ok(1) if sniff[0] == b'G' => std::thread::sleep(Duration::from_millis(1)),
+            Ok(1) => break,
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    if sniff[0] == b'G' && sniff[1] == b'E' {
+        serve_http(stream, shared);
+        return;
+    }
+    serve_frames(stream, shared);
+}
+
+/// Serve binary frames until the connection closes, a header-level error
+/// occurs, or shutdown is acknowledged.
+fn serve_frames(stream: TcpStream, shared: &Shared) {
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -380,7 +467,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(p) => p,
             Err(WireError::Closed) => return,
             Err(e) => {
-                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                shared.pulse.decode_errors.inc();
                 // Header-level: the stream is desynchronized. Best-effort
                 // error reply, then drop the connection.
                 let _ = write_frame(
@@ -390,24 +477,42 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        let (response, stop) = match decode_request(&payload) {
+        // The request sequence number doubles as the trace track.
+        let track = shared.pulse.requests.inc();
+        let t0 = shared.now_ns();
+        let decoded = decode_request(&payload);
+        shared.stage(track, "decode", t0, &shared.pulse.decode_ns);
+        let (response, stop) = match decoded {
             Err(e) => {
                 // Payload-level: typed error, connection survives.
-                shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                shared.pulse.decode_errors.inc();
                 (Response::Error(format!("bad request: {e}")), false)
             }
-            Ok(Request::Submit(spec)) => (shared.submit(&spec), false),
-            Ok(Request::Sweep(specs)) => (shared.sweep(&specs), false),
+            Ok(Request::Submit(spec)) => (shared.submit(&spec, track), false),
+            Ok(Request::Sweep(specs)) => (shared.sweep(&specs, track), false),
             Ok(Request::Stats) => (Response::Stats(Box::new(shared.stats())), false),
+            Ok(Request::Trace) => {
+                let spans = shared.trace.snapshot();
+                (
+                    Response::Trace(ghost_obs::chrome::stage_trace_json(&spans)),
+                    false,
+                )
+            }
             Ok(Request::Shutdown) => {
                 shared.shutdown.store(true, Ordering::Relaxed);
                 (Response::ShutdownAck, true)
             }
         };
-        lock(&shared.latency).record(t0.elapsed().as_nanos() as u64);
-        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+        // Service time is closed before the response is written, so a
+        // Stats reply never includes its own request in the histogram.
+        shared
+            .pulse
+            .request_ns
+            .record(shared.now_ns().saturating_sub(t0));
+        let t_enc = shared.now_ns();
+        let write_ok = write_frame(&mut writer, &encode_response(&response)).is_ok();
+        shared.stage(track, "encode", t_enc, &shared.pulse.encode_ns);
+        if !write_ok {
             return;
         }
         if stop {
@@ -415,6 +520,49 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             return;
         }
     }
+}
+
+/// Answer one plain-HTTP request on the shared listener: `GET /metrics`
+/// returns the ghost-pulse exposition; everything else is 404. The
+/// response always closes the connection.
+fn serve_http(mut stream: TcpStream, shared: &Shared) {
+    const HEADER_LIMIT: usize = 8 * 1024;
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.len() >= 4 && buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() > HEADER_LIMIT {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        shared.pulse.scrapes.inc();
+        ("200 OK", shared.metrics_text())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
 }
 
 #[cfg(test)]
@@ -458,6 +606,8 @@ mod tests {
         // The stats request itself is timed after its snapshot, so only the
         // two submits are visible here.
         assert_eq!(stats.latency_count, 2);
+        assert_eq!(stats.queue_depth, 0, "all work finished");
+        assert_eq!(stats.inflight, 0);
         client.shutdown().unwrap();
         handle.join().unwrap();
     }
@@ -527,6 +677,73 @@ mod tests {
             other => panic!("expected stats, got {other:?}"),
         }
         let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn http_scrape_shares_the_listener_with_frames() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        client.submit(&spec(1)).unwrap();
+        client.submit(&spec(1)).unwrap();
+
+        let text = crate::client::scrape_metrics(addr).unwrap();
+        let expo = ghost_obs::pulse::parse_exposition(&text).unwrap();
+        assert_eq!(expo.get("ghost_serve_memory_hits_total"), Some(1.0));
+        assert_eq!(expo.get("ghost_serve_simulated_total"), Some(1.0));
+        assert_eq!(expo.get("ghost_serve_store_entries"), Some(-1.0));
+        assert!(expo
+            .get("ghost_serve_request_ns{quantile=\"0.99\"}")
+            .is_some());
+
+        // The binary connection is still alive after the HTTP one.
+        assert!(client.stats().is_ok());
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn http_unknown_path_is_404() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404"));
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn trace_request_exports_valid_chrome_json() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        client.submit(&spec(1)).unwrap();
+        let json = client.server_trace().unwrap();
+        let stats = ghost_obs::validate_trace(&json).unwrap();
+        assert!(stats.complete >= 3, "decode, cache, simulate at least");
+        for name in ["decode", "cache", "simulate", "encode"] {
+            assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn trace_capacity_zero_disables_tracing() {
+        let (addr, handle) = start(ServeConfig {
+            trace_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(addr).unwrap();
+        client.submit(&spec(1)).unwrap();
+        let json = client.server_trace().unwrap();
+        let stats = ghost_obs::validate_trace(&json).unwrap();
+        assert_eq!(stats.events, 0, "ring disabled, trace is empty");
         client.shutdown().unwrap();
         handle.join().unwrap();
     }

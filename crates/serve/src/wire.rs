@@ -724,6 +724,9 @@ pub struct ServerStats {
     pub store_errors: u64,
     /// Scenarios currently admitted (queued + running).
     pub queue_depth: u32,
+    /// Leader simulations executing right now (admitted minus waiters
+    /// and pool backlog).
+    pub inflight: u32,
     /// Admission-control capacity.
     pub capacity: u32,
     /// Per-request latency, log2-bucketed (ns): nonzero `(lo, hi, count)`
@@ -735,6 +738,19 @@ pub struct ServerStats {
     pub latency_min: u64,
     /// Slowest request (ns).
     pub latency_max: u64,
+}
+
+impl ServerStats {
+    /// Upper bound of the bucket holding the `q`-quantile of request
+    /// latency, reconstructed from the transmitted buckets (exact at
+    /// power-of-two granularity). Returns 0 with no samples.
+    pub fn latency_quantile_upper(&self, q: f64) -> u64 {
+        let mut h = ghost_obs::Log2Hist::new();
+        for &(lo, _hi, c) in &self.latency_buckets {
+            h.record_n(lo, c);
+        }
+        h.quantile_upper(q)
+    }
 }
 
 fn enc_stats(e: &mut Enc, s: &ServerStats) {
@@ -749,6 +765,7 @@ fn enc_stats(e: &mut Enc, s: &ServerStats) {
     e.u64(s.decode_errors);
     e.u64(s.store_errors);
     e.u32(s.queue_depth);
+    e.u32(s.inflight);
     e.u32(s.capacity);
     e.usize(s.latency_buckets.len());
     for &(lo, hi, c) in &s.latency_buckets {
@@ -773,6 +790,7 @@ fn dec_stats(d: &mut Dec) -> Result<ServerStats, WireError> {
     let decode_errors = d.u64()?;
     let store_errors = d.u64()?;
     let queue_depth = d.u32()?;
+    let inflight = d.u32()?;
     let capacity = d.u32()?;
     let n = d.count()?;
     let latency_buckets = (0..n)
@@ -790,6 +808,7 @@ fn dec_stats(d: &mut Dec) -> Result<ServerStats, WireError> {
         decode_errors,
         store_errors,
         queue_depth,
+        inflight,
         capacity,
         latency_buckets,
         latency_count: d.u64()?,
@@ -813,6 +832,9 @@ pub enum Request {
     Stats,
     /// Drain in-flight work and exit.
     Shutdown,
+    /// Export the server's recent request-stage spans as Chrome
+    /// trace-event JSON.
+    Trace,
 }
 
 /// What the server answers.
@@ -836,6 +858,8 @@ pub enum Response {
     /// The request could not be decoded or failed; the connection is still
     /// usable if the frame header was intact.
     Error(String),
+    /// Chrome trace-event JSON of the server's recent request stages.
+    Trace(String),
 }
 
 /// Encode a request into a frame payload.
@@ -855,6 +879,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => e.u8(2),
         Request::Shutdown => e.u8(3),
+        Request::Trace => e.u8(4),
     }
     e.0
 }
@@ -873,6 +898,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         }
         2 => Request::Stats,
         3 => Request::Shutdown,
+        4 => Request::Trace,
         t => return Err(WireError::UnknownTag(t)),
     };
     d.finish()?;
@@ -917,6 +943,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u8(5);
             e.str(msg);
         }
+        Response::Trace(json) => {
+            e.u8(6);
+            e.str(json);
+        }
     }
     e.0
 }
@@ -946,6 +976,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         },
         4 => Response::ShutdownAck,
         5 => Response::Error(d.str()?),
+        6 => Response::Trace(d.str()?),
         t => return Err(WireError::UnknownTag(t)),
     };
     d.finish()?;
@@ -989,6 +1020,7 @@ mod tests {
             Request::Sweep(vec![spec(), spec()]),
             Request::Stats,
             Request::Shutdown,
+            Request::Trace,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req);
@@ -1037,6 +1069,7 @@ mod tests {
             },
             Response::ShutdownAck,
             Response::Error("nope".into()),
+            Response::Trace("{\"traceEvents\":[]}".into()),
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);

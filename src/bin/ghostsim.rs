@@ -9,6 +9,9 @@
 //! ghostsim trace --app pop --nodes 256 --hz 10 --net-pct 2.5 --out pop.json
 //! ghostsim serve --addr 127.0.0.1:7777 --store results/
 //! ghostsim submit --server 127.0.0.1:7777 --app pop --nodes 512 --hz 10
+//! ghostsim submit --server 127.0.0.1:7777 --stats [--json]
+//! ghostsim submit --server 127.0.0.1:7777 --scrape
+//! ghostsim submit --server 127.0.0.1:7777 --server-trace spans.json
 //! ghostsim sweep --server 127.0.0.1:7777 --app pop --scales 16,64,256
 //! ghostsim --help
 //! ```
@@ -70,7 +73,11 @@ struct Args {
     store: Option<String>,
     capacity: usize,
     port_file: Option<String>,
+    trace_capacity: usize,
     stats: bool,
+    json: bool,
+    scrape: bool,
+    server_trace: Option<String>,
     shutdown: bool,
 }
 
@@ -99,7 +106,11 @@ impl Default for Args {
             store: None,
             capacity: 64,
             port_file: None,
+            trace_capacity: 1024,
             stats: false,
+            json: false,
+            scrape: false,
+            server_trace: None,
             shutdown: false,
         }
     }
@@ -156,10 +167,18 @@ SERVE OPTIONS:
                                         admitted scenarios [default: 64]
     --port-file <file>                  write the bound address here once
                                         listening (for scripts; ephemeral ports)
+    --trace-capacity <N>                keep the last N request-stage spans for
+                                        the Trace request (0 disables)
+                                        [default: 1024]
 
 SUBMIT OPTIONS:
     --stats                             print server statistics instead of
                                         submitting a scenario
+    --json                              (with --stats) print statistics as JSON
+    --scrape                            print the server's /metrics exposition
+                                        (Prometheus text format)
+    --server-trace <file>               fetch the server's recent request-stage
+                                        spans as Chrome trace JSON
     --shutdown                          drain and stop the server
 ";
 
@@ -204,6 +223,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         match flag.as_str() {
             "--stats" => {
                 args.stats = true;
+                continue;
+            }
+            "--json" => {
+                args.json = true;
+                continue;
+            }
+            "--scrape" => {
+                args.scrape = true;
                 continue;
             }
             "--shutdown" => {
@@ -258,6 +285,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.capacity = value.parse().map_err(|e| format!("--capacity: {e}"))?
             }
             "--port-file" => args.port_file = Some(value),
+            "--trace-capacity" => {
+                args.trace_capacity = value
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?
+            }
+            "--server-trace" => args.server_trace = Some(value),
             "--straggle" => {
                 let (r, f) = value
                     .split_once(':')
@@ -497,6 +530,7 @@ fn run_serve(args: &Args) -> Result<(), Failure> {
         store_dir: args.store.as_ref().map(Into::into),
         capacity: args.capacity,
         limits: RunLimits::none(),
+        trace_capacity: args.trace_capacity,
     };
     let server = Server::bind(args.addr.as_str(), config)
         .map_err(|e| Failure::Usage(format!("cannot bind {}: {e}", args.addr)))?;
@@ -521,20 +555,83 @@ fn client_failure(e: ClientError) -> Failure {
     Failure::Runtime(e.to_string())
 }
 
-/// The `submit` subcommand: one scenario, `--stats`, or `--shutdown`.
+/// Render server statistics as a single JSON object (hand-rolled; every
+/// value is an integer, so the output is valid JSON by construction).
+fn stats_json(s: &ServerStats) -> String {
+    let quantiles = [0.5, 0.95, 0.99]
+        .iter()
+        .map(|&q| {
+            format!(
+                "\"p{}\":{}",
+                (q * 100.0) as u32,
+                s.latency_quantile_upper(q)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"uptime_ms\":{},\"requests\":{},\"scenarios\":{},\"memory_hits\":{},\
+         \"disk_hits\":{},\"simulated\":{},\"coalesced\":{},\"busy_rejections\":{},\
+         \"decode_errors\":{},\"store_errors\":{},\"queue_depth\":{},\"inflight\":{},\
+         \"capacity\":{},\"latency_count\":{},\"latency_min_ns\":{},\"latency_max_ns\":{},\
+         \"latency_ns\":{{{quantiles}}}}}",
+        s.uptime_ms,
+        s.requests,
+        s.scenarios,
+        s.memory_hits,
+        s.disk_hits,
+        s.simulated,
+        s.coalesced,
+        s.busy_rejections,
+        s.decode_errors,
+        s.store_errors,
+        s.queue_depth,
+        s.inflight,
+        s.capacity,
+        s.latency_count,
+        if s.latency_count > 0 {
+            s.latency_min
+        } else {
+            0
+        },
+        s.latency_max,
+    )
+}
+
+/// The `submit` subcommand: one scenario, `--stats`, `--scrape`,
+/// `--server-trace`, or `--shutdown`.
 fn run_submit(args: &Args) -> Result<(), Failure> {
     let server = args
         .server
         .as_deref()
         .ok_or_else(|| Failure::Usage("submit requires --server HOST:PORT".into()))?;
-    if args.stats && args.shutdown {
+    let modes = [
+        args.stats,
+        args.shutdown,
+        args.scrape,
+        args.server_trace.is_some(),
+    ];
+    if modes.iter().filter(|&&m| m).count() > 1 {
         return Err(Failure::Usage(
-            "--stats and --shutdown are mutually exclusive".into(),
+            "--stats, --scrape, --server-trace, and --shutdown are mutually exclusive".into(),
         ));
+    }
+    if args.json && !args.stats {
+        return Err(Failure::Usage("--json requires --stats".into()));
+    }
+    if args.scrape {
+        // Plain HTTP on the same listener; no binary-protocol client needed.
+        let text = scrape_metrics(server).map_err(client_failure)?;
+        print!("{text}");
+        return Ok(());
     }
     let mut client = Client::connect(server).map_err(client_failure)?;
     if args.stats {
         let s = client.stats().map_err(client_failure)?;
+        if args.json {
+            println!("{}", stats_json(&s));
+            return Ok(());
+        }
         let mut tab = Table::new(format!("server {server}"), &["counter", "value"]);
         for (name, value) in [
             ("uptime_ms", s.uptime_ms),
@@ -548,6 +645,7 @@ fn run_submit(args: &Args) -> Result<(), Failure> {
             ("decode_errors", s.decode_errors),
             ("store_errors", s.store_errors),
             ("queue_depth", s.queue_depth as u64),
+            ("inflight", s.inflight as u64),
             ("capacity", s.capacity as u64),
         ] {
             tab.row(&[name.to_string(), value.to_string()]);
@@ -555,13 +653,31 @@ fn run_submit(args: &Args) -> Result<(), Failure> {
         println!("{}", tab.render());
         if s.latency_count > 0 {
             println!(
-                "request latency: {} sample(s), min {}ns, max {}ns",
-                s.latency_count, s.latency_min, s.latency_max
+                "request latency: {} sample(s), min {}ns, max {}ns, \
+                 p50 <= {}ns, p95 <= {}ns, p99 <= {}ns",
+                s.latency_count,
+                s.latency_min,
+                s.latency_max,
+                s.latency_quantile_upper(0.5),
+                s.latency_quantile_upper(0.95),
+                s.latency_quantile_upper(0.99),
             );
             for (lo, hi, count) in &s.latency_buckets {
                 println!("  [{lo:>12} .. {hi:>12}) ns: {count}");
             }
         }
+        return Ok(());
+    }
+    if let Some(path) = &args.server_trace {
+        let json = client.server_trace().map_err(client_failure)?;
+        let stats = validate_trace(&json)
+            .map_err(|e| Failure::Runtime(format!("server trace is invalid: {e}")))?;
+        std::fs::write(path, &json)
+            .map_err(|e| Failure::Usage(format!("cannot write {path}: {e}")))?;
+        eprintln!(
+            "wrote {path}: {} events ({} spans) across {} request(s)",
+            stats.events, stats.complete, stats.tids,
+        );
         return Ok(());
     }
     if args.shutdown {

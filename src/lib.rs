@@ -14,7 +14,7 @@
 //! | [`net`]    | LogGP network model and topologies (flat, 3-D torus, fat tree) |
 //! | [`mpi`]    | simulated MPI: rank executor + real collective algorithms |
 //! | [`apps`]   | SAGE-, CTH-, POP-like application skeletons and BSP generators |
-//! | [`obs`]    | streaming run observation: recorders, metrics, blame attribution, Chrome traces |
+//! | [`obs`]    | streaming run observation: recorders, metrics registry, blame attribution, Chrome traces |
 //! | [`core`]   | the injection framework, experiment harness, metrics, analytic model |
 //! | [`serve`]  | campaign-serving daemon: TCP protocol, coalescing scheduler, persistent result store |
 //!
@@ -87,12 +87,14 @@ pub mod prelude {
     pub use ghost_noise::signature::{canonical_2_5pct, canonical_set};
     pub use ghost_noise::Signature;
     pub use ghost_obs::{
-        analyze, trace_json, validate_trace, BlameReport, Log2Hist, MetricsRecorder, NullRecorder,
-        RankBlame, Recorder, Timeline, VecRecorder,
+        analyze, parse_exposition, stage_trace_json, trace_json, validate_trace, BlameReport,
+        Counter, EngineStats, Exposition, Gauge, Histogram, Log2Hist, MetricsRecorder,
+        NullRecorder, ProfileRecorder, RankBlame, Recorder, Registry, StageSpan, Timeline,
+        TraceRing, VecRecorder,
     };
     pub use ghost_serve::{
-        Client, ClientError, Request, Response, ResultStore, ScenarioReply, ServeConfig, Server,
-        ServerStats, WireError,
+        scrape_metrics, Client, ClientError, Request, Response, ResultStore, ScenarioReply,
+        ServeConfig, Server, ServerStats, WireError,
     };
 }
 

@@ -1,0 +1,122 @@
+//! End-to-end telemetry tests: scrape `GET /metrics` from a live server
+//! over the same listener that speaks the binary protocol, watch the
+//! cache counters move across a warm repeat, check the stats quantiles,
+//! and validate the server-side request trace.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use ghostsim::prelude::*;
+
+fn start_server() -> (SocketAddr, JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+fn spec(nodes: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        workload: WorkloadSpec::Pop { steps: 1 },
+        machine: ExperimentSpec::flat(nodes, 42),
+        injection: InjectionSpec::uncoordinated(10.0, 0.025),
+    }
+}
+
+/// The scrape endpoint and the binary protocol share one listener, and a
+/// warm repeat moves exactly the counters it should: one fresh
+/// simulation, then one memory hit, visible from the outside via plain
+/// HTTP.
+#[test]
+fn scrape_counters_move_across_a_warm_repeat() {
+    let (addr, handle) = start_server();
+
+    // Cold scrape: nothing has happened yet.
+    let cold = parse_exposition(&scrape_metrics(addr).unwrap()).unwrap();
+    assert_eq!(cold.get("ghost_serve_scenarios_total"), Some(0.0));
+    assert_eq!(cold.get("ghost_serve_memory_hits_total"), Some(0.0));
+    assert_eq!(cold.get("ghost_serve_simulated_total"), Some(0.0));
+    assert_eq!(cold.get("ghost_serve_queue_depth"), Some(0.0));
+
+    // One scenario, submitted twice: simulate once, hit memory once.
+    let mut client = Client::connect(addr).unwrap();
+    let s = spec(4);
+    let first = client.submit(&s).unwrap();
+    let second = client.submit(&s).unwrap();
+    assert_eq!(first.to_bytes(), second.to_bytes());
+
+    let warm = parse_exposition(&scrape_metrics(addr).unwrap()).unwrap();
+    assert_eq!(warm.get("ghost_serve_scenarios_total"), Some(2.0));
+    assert_eq!(warm.get("ghost_serve_simulated_total"), Some(1.0));
+    assert_eq!(warm.get("ghost_serve_memory_hits_total"), Some(1.0));
+    assert_eq!(warm.get("ghost_serve_queue_depth"), Some(0.0));
+    assert_eq!(warm.get("ghost_serve_inflight"), Some(0.0));
+    // No store directory: the gauge reports the -1 sentinel.
+    assert_eq!(warm.get("ghost_serve_store_entries"), Some(-1.0));
+    // A fresh simulation processed simulator events.
+    assert!(warm.get("ghost_serve_engine_events_total").unwrap() > 0.0);
+    // Per-stage latency summaries are present and populated.
+    assert!(warm.get("ghost_serve_request_ns_count").unwrap() >= 2.0);
+    assert!(warm
+        .get("ghost_serve_request_ns{quantile=\"0.99\"}")
+        .is_some());
+    assert!(warm.get("ghost_serve_simulate_ns_count").unwrap() >= 1.0);
+    // Scrapes count themselves (the cold one, plus any before this warm one).
+    assert!(warm.get("ghost_serve_scrapes_total").unwrap() >= 1.0);
+
+    // The binary protocol still works after HTTP traffic on the listener.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.memory_hits, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// `ServerStats` carries enough of the latency histogram to reconstruct
+/// quantile upper bounds client-side, and the new gauges ride along.
+#[test]
+fn stats_quantiles_are_reconstructible_client_side() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).unwrap();
+    let s = spec(4);
+    client.submit(&s).unwrap();
+    client.submit(&s).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.inflight, 0);
+    assert!(stats.latency_count >= 2);
+    let p50 = stats.latency_quantile_upper(0.5);
+    let p95 = stats.latency_quantile_upper(0.95);
+    let p99 = stats.latency_quantile_upper(0.99);
+    assert!(p50 > 0, "submits take nonzero time");
+    assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+    assert!(
+        p99 >= stats.latency_max / 2,
+        "p99 bucket bound must be near the max for a 2-sample histogram"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The server-side trace is valid Chrome trace JSON covering the stages a
+/// submit walks through: decode, cache lookup, simulate, encode.
+#[test]
+fn server_trace_covers_request_stages() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).unwrap();
+    client.submit(&spec(4)).unwrap();
+
+    let json = client.server_trace().unwrap();
+    let trace = validate_trace(&json).expect("server trace must validate");
+    assert!(trace.complete >= 3, "decode + cache + simulate at minimum");
+    for stage in ["decode", "cache", "simulate", "encode"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{stage}\"")),
+            "trace must include the {stage} stage"
+        );
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,103 @@
+//! Property tests for the ghost-pulse metrics registry: the Prometheus
+//! text exposition stays well-formed — strict-parseable, duplicate-free,
+//! all-finite — for arbitrary registry states and hostile metric names.
+
+use ghostsim::prelude::*;
+
+mod exposition_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Arbitrary mixes of counters, gauges, and summaries under
+        /// arbitrary update sequences always render an exposition the
+        /// strict parser accepts, with every sample value finite and the
+        /// summary bookkeeping (`_count`) exact.
+        #[test]
+        fn arbitrary_registry_states_render_well_formed(
+            counters in proptest::collection::vec(0u64..5_000, 0..6),
+            gauges in proptest::collection::vec(-1_000i64..1_000, 0..6),
+            samples in proptest::collection::vec((0usize..4, 0u64..1 << 62), 0..64),
+        ) {
+            let r = Registry::new();
+            for (i, &n) in counters.iter().enumerate() {
+                let c = r.counter(&format!("c{i}_total"), "prop counter");
+                c.add(n);
+            }
+            for (i, &v) in gauges.iter().enumerate() {
+                let g = r.gauge(&format!("g{i}"), "prop gauge");
+                g.set(v);
+            }
+            let hists: Vec<_> = (0..4)
+                .map(|i| r.summary(&format!("h{i}_ns"), "prop summary"))
+                .collect();
+            for &(which, v) in &samples {
+                hists[which].record(v);
+            }
+
+            let text = r.render();
+            let expo = parse_exposition(&text).expect("render must satisfy the strict parser");
+            for (name, value) in expo.samples() {
+                prop_assert!(value.is_finite(), "{} rendered non-finite {}", name, value);
+            }
+            for (i, &n) in counters.iter().enumerate() {
+                prop_assert_eq!(expo.get(&format!("c{i}_total")), Some(n as f64));
+            }
+            for (i, &v) in gauges.iter().enumerate() {
+                prop_assert_eq!(expo.get(&format!("g{i}")), Some(v as f64));
+            }
+            for i in 0..hists.len() {
+                let want = samples.iter().filter(|&&(w, _)| w == i).count() as f64;
+                prop_assert_eq!(expo.get(&format!("h{i}_ns_count")), Some(want));
+            }
+        }
+
+        /// Registration is total: names built from arbitrary bytes are
+        /// sanitized (and deconflicted) rather than panicking, and the
+        /// resulting exposition still parses.
+        #[test]
+        fn hostile_names_never_break_rendering(
+            raw_names in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 0..12), 1..8),
+        ) {
+            let r = Registry::new();
+            for raw in &raw_names {
+                let name = String::from_utf8_lossy(raw).into_owned();
+                r.counter(&name, "hostile\nhelp \\ text").inc();
+            }
+            let text = r.render();
+            let expo = parse_exposition(&text)
+                .expect("sanitized registry must render parseable text");
+            // Distinct raw names may collapse after sanitization (shared
+            // counter) but at least one sample must survive.
+            prop_assert!(!expo.is_empty());
+            for (_, value) in expo.samples() {
+                prop_assert!(*value >= 1.0, "every hostile counter was incremented");
+            }
+        }
+
+        /// Quantile upper bounds are monotone in q and bracket the data:
+        /// at least min's bucket, at most max's bucket upper bound.
+        #[test]
+        fn summary_quantiles_are_monotone(
+            values in proptest::collection::vec(1u64..1 << 40, 1..128),
+        ) {
+            let r = Registry::new();
+            let h = r.summary("q_ns", "quantile prop");
+            for &v in &values {
+                h.record(v);
+            }
+            let p50 = h.quantile_upper(0.5);
+            let p95 = h.quantile_upper(0.95);
+            let p99 = h.quantile_upper(0.99);
+            let p100 = h.quantile_upper(1.0);
+            prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= p100);
+            let max = *values.iter().max().expect("non-empty");
+            prop_assert!(p100 >= max, "the 1.0-quantile bucket must contain the max");
+            let expo = parse_exposition(&r.render()).expect("parses");
+            prop_assert_eq!(expo.get("q_ns{quantile=\"0.99\"}"), Some(p99 as f64));
+        }
+    }
+}
