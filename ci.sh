@@ -16,12 +16,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Panic-free core: the simulator's mpi + net + serve lib trees deny
+# Panic-free core: the simulator's engine + mpi + net + serve lib trees deny
 # unwrap/panic at the crate level (`#![cfg_attr(not(test),
 # deny(clippy::unwrap_used, clippy::panic))]`); this scoped pass keeps that
 # gate visible in CI.
-echo "==> cargo clippy -p ghost-mpi -p ghost-net -p ghost-serve --lib (panic-free gate)"
-cargo clippy -p ghost-mpi -p ghost-net -p ghost-serve --lib -- -D warnings
+echo "==> cargo clippy -p ghost-engine -p ghost-mpi -p ghost-net -p ghost-serve --lib (panic-free gate)"
+cargo clippy -p ghost-engine -p ghost-mpi -p ghost-net -p ghost-serve --lib -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -67,6 +67,8 @@ grep -q '^ghost_serve_simulated_total 1$' "$SMOKE_DIR/metrics.txt" \
     || { echo "serve smoke: /metrics did not report the fresh simulation"; exit 1; }
 grep -q 'ghost_serve_request_ns{quantile="0.99"}' "$SMOKE_DIR/metrics.txt" \
     || { echo "serve smoke: /metrics is missing latency quantiles"; exit 1; }
+grep -Eq 'ghost_serve_engine_events_total\{queue="(calendar|heap)"\} [1-9]' "$SMOKE_DIR/metrics.txt" \
+    || { echo "serve smoke: /metrics is missing queue-labeled engine events"; exit 1; }
 ./target/release/ghostsim submit --server "$ADDR" --server-trace "$SMOKE_DIR/trace.json"
 [ -s "$SMOKE_DIR/trace.json" ] \
     || { echo "serve smoke: server trace was not written"; exit 1; }
@@ -90,6 +92,21 @@ grep -q '"warm_hit_traced_ns"' BENCH_serve.json \
 grep -q '"engine_events_per_sec"' BENCH_serve.json \
     || { echo "telemetry bench: BENCH_serve.json is missing engine throughput"; exit 1; }
 echo "telemetry bench: ok"
+
+# Engine bench: whole-machine event throughput for the heap backend, the
+# calendar backend, and conservative-parallel execution at 64/1k/8k ranks
+# (the BENCH_engine.json emitter; EXPERIMENTS.md records the curves).
+echo "==> cargo bench --bench perf_engine (BENCH_engine.json)"
+rm -f BENCH_engine.json
+CRITERION_MEASURE_MS=80 CRITERION_WARMUP_MS=20 \
+    cargo bench -p ghost-bench --bench perf_engine -q > /dev/null
+[ -s BENCH_engine.json ] \
+    || { echo "engine bench: BENCH_engine.json was not written"; exit 1; }
+grep -q '"calendar_eps"' BENCH_engine.json \
+    || { echo "engine bench: BENCH_engine.json is missing calendar throughput"; exit 1; }
+grep -q '"ranks": 8192' BENCH_engine.json \
+    || { echo "engine bench: BENCH_engine.json is missing the 8192-rank row"; exit 1; }
+echo "engine bench: ok"
 
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --workspace

@@ -1,8 +1,20 @@
-//! Criterion: engine primitives — event queue throughput, RNG streams.
+//! Criterion: engine primitives — event queue throughput, RNG streams —
+//! plus the `BENCH_engine.json` emitter: whole-machine event throughput
+//! (events per wall-clock second) for the heap backend, the calendar
+//! backend, and conservative-parallel execution, at 64, 1024, and 8192
+//! ranks on the fig3-style 8-byte-allreduce workload. CI runs the emitter
+//! and EXPERIMENTS.md records the measured curves.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ghost_apps::bsp::{BspSynthetic, SyncKind};
+use ghost_apps::Workload;
+use ghost_core::experiment::ExperimentSpec;
+use ghost_core::injection::NoiseInjection;
 use ghost_engine::rng::{NodeStream, Xoshiro256};
 use ghost_engine::{CalendarQueue, EventQueue};
+use ghost_mpi::{EngineKind, Machine, Program};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
@@ -99,5 +111,65 @@ fn bench_rng(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_calendar_queue, bench_rng);
+/// One timed run of the fig3-style allreduce workload: back-to-back small
+/// allreduces dominated by event-queue traffic — the shape where queue
+/// behavior, not compute modeling, sets the simulator's speed.
+fn machine_events_per_sec(ranks: usize, engine: EngineKind, parallel: usize) -> (u64, u64) {
+    let spec = ExperimentSpec::flat(ranks, 42);
+    let w = BspSynthetic::new(4, 50_000).with_sync(SyncKind::Allreduce { bytes: 8 });
+    let net = spec.build_network();
+    let inj = NoiseInjection::none();
+    let model = inj.build();
+    let mut best: f64 = 0.0;
+    let mut events = 0u64;
+    // Best of 3: wall-clock medians are noisy at the 64-rank scale, and
+    // throughput (not latency) is the quantity tracked.
+    for _ in 0..3 {
+        let programs: Vec<Box<dyn Program>> = w.programs(spec.nodes, spec.seed);
+        let m = Machine::new(net.clone(), model.as_ref(), spec.seed)
+            .with_engine(engine)
+            .with_parallel(parallel);
+        let t = Instant::now();
+        let r = m.run(programs).expect("bench workload deadlocked");
+        let eps = r.events as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(eps);
+        events = r.events;
+    }
+    (events, best as u64)
+}
+
+/// Emit `BENCH_engine.json` at the workspace root: per-scale event
+/// throughput for heap vs calendar vs conservative-parallel execution.
+fn emit_bench_json(_c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for ranks in [64usize, 1024, 8192] {
+        let (events, heap_eps) = machine_events_per_sec(ranks, EngineKind::Heap, 1);
+        let (_, calendar_eps) = machine_events_per_sec(ranks, EngineKind::Calendar, 1);
+        let (_, parallel_eps) = machine_events_per_sec(ranks, EngineKind::Calendar, 2);
+        rows.push(format!(
+            "    {{\"ranks\": {ranks}, \"events\": {events}, \"heap_eps\": {heap_eps}, \
+             \"calendar_eps\": {calendar_eps}, \"parallel2_eps\": {parallel_eps}}}"
+        ));
+        eprintln!(
+            "engine bench: {ranks} ranks, {events} events — heap {heap_eps}/s, \
+             calendar {calendar_eps}/s, parallel(2) {parallel_eps}/s"
+        );
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"bsp 4x50us + allreduce 8B, mpp flat, noiseless\",\n  \
+         \"scales\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_calendar_queue,
+    bench_rng,
+    emit_bench_json
+);
 criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! The [`DesQueue`] trait: the ordering contract every GhostSim event queue
+//! implements.
+//!
+//! A discrete-event simulation is a pure function of its configuration and
+//! seed *only if* the event queue's ordering is fully deterministic. The
+//! contract is: events pop in non-decreasing `time` order, and events
+//! scheduled for the same instant pop in the order they were pushed (FIFO,
+//! via a sequence number assigned at push time). Two implementations ship
+//! with the engine:
+//!
+//! * [`crate::EventQueue`] — a binary heap over `(time, seq)`. O(log n) per
+//!   operation, no tuning knobs, the differential-testing reference.
+//! * [`crate::CalendarQueue`] — Randy Brown's calendar queue. O(1) amortized
+//!   when the bucket width matches the event-gap distribution; the executor's
+//!   default.
+//!
+//! The executor (`ghost_mpi::exec`) is generic over this trait and is
+//! monomorphized per queue, so the indirection costs nothing at runtime.
+//! Property tests (`tests/queue_equiv_prop.rs` at the workspace root and the
+//! proptests in [`crate::calendar`]) pin the two implementations to
+//! byte-identical pop sequences.
+
+use crate::time::Time;
+
+/// Error returned by [`DesQueue::try_push`] when an event is scheduled
+/// before the queue's current simulation time.
+///
+/// Scheduling into the past is always a logic error in a well-formed
+/// simulation, but a daemon driving the engine from untrusted input must be
+/// able to surface it as a typed error instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// The requested (past) timestamp.
+    pub time: Time,
+    /// The queue's current simulation time.
+    pub now: Time,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event scheduled in the past: {} < now {}",
+            self.time, self.now
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A deterministic discrete-event queue ordered by `(time, push order)`.
+///
+/// Implementations must satisfy, for any interleaving of pushes and pops:
+///
+/// * `pop` returns events in non-decreasing `time` order;
+/// * events with equal `time` pop in push (FIFO) order;
+/// * `now` is the timestamp of the most recently popped event (0 initially),
+///   and `pop` advances it;
+/// * [`DesQueue::push`] with `time < now` is a logic error: it panics in
+///   debug builds and clamps to `now` in release builds (preserving the
+///   ordering invariant without panicking a production daemon). The typed
+///   alternative [`DesQueue::try_push`] rejects it with a [`ScheduleError`]
+///   and leaves the queue untouched.
+pub trait DesQueue<E> {
+    /// Create an empty queue sized for roughly `cap` concurrently pending
+    /// events (a hint; implementations may ignore it).
+    fn with_capacity_hint(cap: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Schedule `payload` at absolute time `time`. See the trait docs for
+    /// the past-time contract.
+    fn push(&mut self, time: Time, payload: E);
+
+    /// Schedule `payload` at absolute time `time`, rejecting past times
+    /// with a typed error instead of panicking or clamping.
+    fn try_push(&mut self, time: Time, payload: E) -> Result<(), ScheduleError>;
+
+    /// Pop the earliest event, advancing the simulation clock to its time.
+    fn pop(&mut self) -> Option<(Time, E)>;
+
+    /// Timestamp of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<Time>;
+
+    /// Current simulation time: the timestamp of the last popped event.
+    fn now(&self) -> Time;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether the queue has no pending events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever pushed (for simulator statistics).
+    fn total_pushed(&self) -> u64;
+
+    /// Total number of events ever popped (for simulator statistics).
+    fn total_popped(&self) -> u64;
+
+    /// Peak number of simultaneously pending events over the queue's
+    /// lifetime.
+    fn peak_len(&self) -> usize;
+}

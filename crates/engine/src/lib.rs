@@ -36,15 +36,18 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod calendar;
 pub mod cursor;
+pub mod des;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use cursor::CpuCursor;
+pub use des::{DesQueue, ScheduleError};
 pub use queue::EventQueue;
 pub use rng::{splitmix64, NodeStream, Xoshiro256};
 pub use time::{Time, Work};

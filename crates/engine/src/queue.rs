@@ -10,13 +10,16 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::des::{DesQueue, ScheduleError};
 use crate::time::Time;
 
 /// An event queue for discrete-event simulation.
 ///
 /// Events carry an arbitrary payload `E`. The queue tracks the current
 /// simulation time (`now`), defined as the timestamp of the most recently
-/// popped event; pushing an event into the past is a logic error and panics.
+/// popped event; pushing an event into the past is a logic error (panics in
+/// debug builds, clamps to `now` in release builds — see
+/// [`EventQueue::push`]).
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
@@ -129,23 +132,39 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` at absolute time `time`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `time` is earlier than the current simulation time: a
-    /// discrete-event simulation must never schedule into the past.
+    /// Scheduling into the past is a logic error: a discrete-event
+    /// simulation must never do it. Debug builds panic on it; release
+    /// builds clamp the event to `now` so a production daemon degrades
+    /// (the event fires immediately) instead of aborting. Use
+    /// [`EventQueue::try_push`] for a typed rejection.
     #[inline]
     pub fn push(&mut self, time: Time, payload: E) {
-        assert!(
+        debug_assert!(
             time >= self.now,
             "event scheduled in the past: {} < now {}",
             time,
             self.now
         );
+        let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.pushed += 1;
         self.heap.push(Entry { time, seq, payload });
         self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// Schedule `payload` at `time`, rejecting past times with a typed
+    /// [`ScheduleError`] (the queue is left untouched).
+    #[inline]
+    pub fn try_push(&mut self, time: Time, payload: E) -> Result<(), ScheduleError> {
+        if time < self.now {
+            return Err(ScheduleError {
+                time,
+                now: self.now,
+            });
+        }
+        self.push(time, payload);
+        Ok(())
     }
 
     /// Pop the earliest event, advancing the simulation clock to its time.
@@ -162,6 +181,49 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.time)
+    }
+}
+
+impl<E> DesQueue<E> for EventQueue<E> {
+    #[inline]
+    fn with_capacity_hint(cap: usize) -> Self {
+        Self::with_capacity(cap)
+    }
+    #[inline]
+    fn push(&mut self, time: Time, payload: E) {
+        EventQueue::push(self, time, payload);
+    }
+    #[inline]
+    fn try_push(&mut self, time: Time, payload: E) -> Result<(), ScheduleError> {
+        EventQueue::try_push(self, time, payload)
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(Time, E)> {
+        EventQueue::pop(self)
+    }
+    #[inline]
+    fn peek_time(&self) -> Option<Time> {
+        EventQueue::peek_time(self)
+    }
+    #[inline]
+    fn now(&self) -> Time {
+        EventQueue::now(self)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    #[inline]
+    fn total_pushed(&self) -> u64 {
+        EventQueue::total_pushed(self)
+    }
+    #[inline]
+    fn total_popped(&self) -> u64 {
+        EventQueue::total_popped(self)
+    }
+    #[inline]
+    fn peak_len(&self) -> usize {
+        EventQueue::peak_len(self)
     }
 }
 
@@ -205,12 +267,24 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "scheduled in the past")]
-    fn pushing_into_the_past_panics() {
+    fn pushing_into_the_past_panics_in_debug() {
         let mut q = EventQueue::new();
         q.push(10, ());
         q.pop();
         q.push(9, ());
+    }
+
+    #[test]
+    fn try_push_into_the_past_is_a_typed_error() {
+        let mut q = EventQueue::new();
+        q.push(10, 1);
+        q.pop();
+        assert_eq!(q.try_push(9, 2), Err(ScheduleError { time: 9, now: 10 }));
+        assert_eq!(q.len(), 0, "rejected push must not enqueue");
+        assert!(q.try_push(10, 3).is_ok());
+        assert_eq!(q.pop(), Some((10, 3)));
     }
 
     #[test]

@@ -1,15 +1,14 @@
 //! The rank driver: advance one rank until it blocks, schedules a future
 //! resume, or finishes.
 
-use ghost_engine::queue::EventQueue;
 use ghost_engine::time::Time;
 use ghost_net::lossy::{sample_attempts, RetryModel};
 use ghost_obs::record::{MsgRecord, OpSpan, Recorder, SpanKind};
 
-use super::events::Event;
+use super::events::{Event, EventSink};
 use super::machine::Machine;
-use super::p2p::{lower_primitive, mailbox_pop, msg_kind};
-use super::rank::{RState, RankCtx};
+use super::p2p::{lower_primitive, msg_kind};
+use super::rank::{RState, RankPart, Rk};
 use crate::coll::{self, CollStep, PrimOp};
 use crate::types::{Env, MpiCall, Rank};
 
@@ -27,7 +26,7 @@ impl Machine<'_> {
     /// draws, so fault-free runs stay byte-identical.
     fn charge_link_faults<R: Recorder>(
         &self,
-        ctx: &mut RankCtx,
+        ctx: &mut Rk<'_>,
         rank: Rank,
         t1: Time,
         rec: &mut R,
@@ -43,7 +42,7 @@ impl Machine<'_> {
         if drop_ppm == 0 && dup_ppm == 0 {
             return (t1, 0);
         }
-        let Some(rng) = ctx.fault_rng.as_mut() else {
+        let Some(rng) = ctx.cold.fault_rng.as_mut() else {
             return (t1, 0);
         };
         let retry = self.lossy.map_or_else(RetryModel::default, |l| l.retry);
@@ -59,12 +58,12 @@ impl Machine<'_> {
         if extra_sends == 0 {
             return (t1, delay);
         }
-        ctx.retransmits += extra_sends;
+        ctx.hot.retransmits += extra_sends;
         let extra_cpu = extra_sends * self.net.send_overhead();
         if extra_cpu == 0 {
             return (t1, delay);
         }
-        let t2 = ctx.noise.advance(t1, extra_cpu);
+        let t2 = ctx.advance(t1, extra_cpu);
         if t2 > t1 {
             rec.span(OpSpan {
                 rank,
@@ -80,14 +79,14 @@ impl Machine<'_> {
     /// Drive one rank forward from time `now` until it blocks, schedules a
     /// future resume, or finishes.
     #[allow(clippy::too_many_arguments)]
-    pub(super) fn drive<R: Recorder>(
+    pub(super) fn drive<S: EventSink, R: Recorder>(
         &self,
-        ranks: &mut [RankCtx],
+        part: &mut RankPart<'_>,
         rank: Rank,
         size: usize,
         now: Time,
         mut prev: Option<f64>,
-        q: &mut EventQueue<Event>,
+        sink: &mut S,
         messages: &mut u64,
         rec: &mut R,
     ) {
@@ -97,11 +96,11 @@ impl Machine<'_> {
             // collective if any, otherwise from the user program (which may
             // start a new collective).
             let prim: PrimOp = {
-                let ctx = &mut ranks[rank];
-                if let Some(c) = ctx.coll.as_mut() {
+                let ctx = part.rk(rank);
+                if let Some(c) = ctx.cold.coll.as_mut() {
                     match c.step(prev.take()) {
                         CollStep::Done(v) => {
-                            ctx.coll = None;
+                            ctx.cold.coll = None;
                             prev = Some(v);
                             continue;
                         }
@@ -109,18 +108,19 @@ impl Machine<'_> {
                     }
                 } else {
                     let last = prev;
-                    match ctx.program.next(&env, now, prev.take()) {
+                    match ctx.cold.program.next(&env, now, prev.take()) {
                         None => {
-                            ctx.state = RState::Done;
-                            ctx.finish = Some(now);
-                            ctx.last_value = last;
+                            ctx.hot.state = RState::Done;
+                            ctx.hot.finish = Some(now);
+                            ctx.hot.last_value = last;
                             return;
                         }
                         Some(call) => {
-                            if let Some(machine) = coll::build(&call, env, ctx.coll_seq, &self.cfg)
+                            if let Some(machine) =
+                                coll::build(&call, env, ctx.hot.coll_seq, &self.cfg)
                             {
-                                ctx.coll_seq += 1;
-                                ctx.coll = Some(machine);
+                                ctx.hot.coll_seq += 1;
+                                ctx.cold.coll = Some(machine);
                                 continue;
                             }
                             match call {
@@ -129,32 +129,33 @@ impl Machine<'_> {
                                         tag < crate::types::COLL_TAG_BASE,
                                         "user tag {tag:#x} collides with collective tag space"
                                     );
-                                    ctx.posted.push((src, tag));
+                                    ctx.cold.posted.push((src, tag));
                                     prev = None;
                                     continue;
                                 }
                                 MpiCall::WaitAll => {
-                                    ctx.wait_t = now;
+                                    let mut ctx = ctx;
+                                    ctx.hot.wait_t = now;
                                     let (done_all, consumed) =
                                         ctx.waitall_progress(now, self.net.recv_overhead());
-                                    if ctx.wait_t > now {
+                                    if ctx.hot.wait_t > now {
                                         rec.span(OpSpan {
                                             rank,
                                             kind: SpanKind::RecvProcess,
                                             start: now,
-                                            end: ctx.wait_t,
+                                            end: ctx.hot.wait_t,
                                             work: consumed * self.net.recv_overhead(),
                                         });
                                     }
                                     if done_all {
-                                        let done = ctx.wait_t;
+                                        let done = ctx.hot.wait_t;
                                         let v = ctx.waitall_finish();
                                         if done == now {
                                             prev = Some(v);
                                             continue;
                                         }
-                                        ctx.state = RState::WaitResume;
-                                        q.push(
+                                        ctx.hot.state = RState::WaitResume;
+                                        sink.schedule(
                                             done,
                                             Event::Resume {
                                                 rank,
@@ -162,8 +163,8 @@ impl Machine<'_> {
                                             },
                                         );
                                     } else {
-                                        ctx.state = RState::WaitAll;
-                                        ctx.block_start = ctx.wait_t;
+                                        ctx.hot.state = RState::WaitAll;
+                                        ctx.hot.block_start = ctx.hot.wait_t;
                                     }
                                     return;
                                 }
@@ -176,12 +177,12 @@ impl Machine<'_> {
 
             match prim {
                 PrimOp::Compute(w) => {
-                    let ctx = &mut ranks[rank];
-                    ctx.compute_work += w;
+                    let mut ctx = part.rk(rank);
+                    ctx.hot.compute_work += w;
                     // A straggler fault stretches the executed work; the
                     // span still records the *requested* work, so the
                     // stretch is attributed as direct (extreme) noise.
-                    let end = ctx.noise.advance(now, ctx.straggled(w));
+                    let end = ctx.advance(now, ctx.straggled(w));
                     if end > now {
                         rec.span(OpSpan {
                             rank,
@@ -194,8 +195,8 @@ impl Machine<'_> {
                     if end == now {
                         continue;
                     }
-                    ctx.state = RState::WaitResume;
-                    q.push(end, Event::Resume { rank, value: None });
+                    ctx.hot.state = RState::WaitResume;
+                    sink.schedule(end, Event::Resume { rank, value: None });
                     return;
                 }
                 PrimOp::Send {
@@ -204,7 +205,8 @@ impl Machine<'_> {
                     bytes,
                     value,
                 } => {
-                    let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
+                    let mut ctx = part.rk(rank);
+                    let t1 = ctx.advance(now, self.net.send_overhead());
                     if t1 > now {
                         rec.span(OpSpan {
                             rank,
@@ -214,7 +216,7 @@ impl Machine<'_> {
                             work: self.net.send_overhead(),
                         });
                     }
-                    let (t1, retry) = self.charge_link_faults(&mut ranks[rank], rank, t1, rec);
+                    let (t1, retry) = self.charge_link_faults(&mut ctx, rank, t1, rec);
                     rec.message(MsgRecord {
                         src: rank,
                         dst: peer,
@@ -227,7 +229,7 @@ impl Machine<'_> {
                         .saturating_add(self.net.delivery(rank, peer, bytes))
                         .saturating_add(retry);
                     *messages += 1;
-                    q.push(
+                    sink.schedule(
                         arrive,
                         Event::Deliver {
                             dst: peer,
@@ -241,14 +243,14 @@ impl Machine<'_> {
                     if t1 == now {
                         continue;
                     }
-                    ranks[rank].state = RState::WaitResume;
-                    q.push(t1, Event::Resume { rank, value: None });
+                    ctx.hot.state = RState::WaitResume;
+                    sink.schedule(t1, Event::Resume { rank, value: None });
                     return;
                 }
                 PrimOp::Recv { peer, tag } => {
-                    let ctx = &mut ranks[rank];
-                    if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer, tag) {
-                        let done = ctx.noise.advance(now, self.net.recv_overhead());
+                    let mut ctx = part.rk(rank);
+                    if let Some(v) = ctx.cold.mailbox.pop(peer, tag) {
+                        let done = ctx.advance(now, self.net.recv_overhead());
                         if done > now {
                             rec.span(OpSpan {
                                 rank,
@@ -262,8 +264,8 @@ impl Machine<'_> {
                             prev = Some(v);
                             continue;
                         }
-                        ctx.state = RState::WaitResume;
-                        q.push(
+                        ctx.hot.state = RState::WaitResume;
+                        sink.schedule(
                             done,
                             Event::Resume {
                                 rank,
@@ -271,8 +273,8 @@ impl Machine<'_> {
                             },
                         );
                     } else {
-                        ctx.state = RState::WaitRecv { src: peer, tag };
-                        ctx.block_start = now;
+                        ctx.hot.state = RState::WaitRecv { src: peer, tag };
+                        ctx.hot.block_start = now;
                     }
                     return;
                 }
@@ -284,7 +286,8 @@ impl Machine<'_> {
                     peer_recv,
                     rtag,
                 } => {
-                    let t1 = ranks[rank].noise.advance(now, self.net.send_overhead());
+                    let mut ctx = part.rk(rank);
+                    let t1 = ctx.advance(now, self.net.send_overhead());
                     if t1 > now {
                         rec.span(OpSpan {
                             rank,
@@ -294,7 +297,7 @@ impl Machine<'_> {
                             work: self.net.send_overhead(),
                         });
                     }
-                    let (t1, retry) = self.charge_link_faults(&mut ranks[rank], rank, t1, rec);
+                    let (t1, retry) = self.charge_link_faults(&mut ctx, rank, t1, rec);
                     rec.message(MsgRecord {
                         src: rank,
                         dst: peer_send,
@@ -307,7 +310,7 @@ impl Machine<'_> {
                         .saturating_add(self.net.delivery(rank, peer_send, sbytes))
                         .saturating_add(retry);
                     *messages += 1;
-                    q.push(
+                    sink.schedule(
                         arrive,
                         Event::Deliver {
                             dst: peer_send,
@@ -318,12 +321,11 @@ impl Machine<'_> {
                             retry,
                         },
                     );
-                    let ctx = &mut ranks[rank];
                     if t1 == now {
                         // Send overhead absorbed instantly; fall through to
                         // the receive half.
-                        if let Some(v) = mailbox_pop(&mut ctx.mailbox, peer_recv, rtag) {
-                            let done = ctx.noise.advance(now, self.net.recv_overhead());
+                        if let Some(v) = ctx.cold.mailbox.pop(peer_recv, rtag) {
+                            let done = ctx.advance(now, self.net.recv_overhead());
                             if done > now {
                                 rec.span(OpSpan {
                                     rank,
@@ -337,8 +339,8 @@ impl Machine<'_> {
                                 prev = Some(v);
                                 continue;
                             }
-                            ctx.state = RState::WaitResume;
-                            q.push(
+                            ctx.hot.state = RState::WaitResume;
+                            sink.schedule(
                                 done,
                                 Event::Resume {
                                     rank,
@@ -346,18 +348,18 @@ impl Machine<'_> {
                                 },
                             );
                         } else {
-                            ctx.state = RState::WaitRecv {
+                            ctx.hot.state = RState::WaitRecv {
                                 src: peer_recv,
                                 tag: rtag,
                             };
-                            ctx.block_start = now;
+                            ctx.hot.block_start = now;
                         }
                     } else {
-                        ctx.state = RState::SendThenRecv {
+                        ctx.hot.state = RState::SendThenRecv {
                             src: peer_recv,
                             tag: rtag,
                         };
-                        q.push(t1, Event::Resume { rank, value: None });
+                        sink.schedule(t1, Event::Resume { rank, value: None });
                     }
                     return;
                 }

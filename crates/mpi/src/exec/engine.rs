@@ -1,0 +1,102 @@
+//! Engine selection knobs: which [`ghost_engine::DesQueue`] backend the
+//! executor uses, and how many conservative-parallel workers it runs.
+//!
+//! Both knobs have process-wide defaults (settable once at startup, e.g.
+//! from `ghostsim --engine`/`--parallel`) and per-[`super::Machine`]
+//! overrides. They deliberately do *not* live in `ExperimentSpec`: the two
+//! queue backends are proven byte-identical (differential proptests +
+//! golden makespans), so an experiment's identity — and thus campaign
+//! baseline cache keys — must not depend on which one executed it.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Which event-queue backend the executor uses.
+///
+/// Both backends implement the same deterministic `(time, push order)`
+/// contract and produce byte-identical `RunResult`s; the choice is purely
+/// a performance knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Calendar queue: O(1) amortized push/pop when bucket width matches
+    /// the event-gap distribution. The default.
+    #[default]
+    Calendar,
+    /// Binary heap: O(log n) per operation, no tuning knobs — the
+    /// differential-testing reference.
+    Heap,
+}
+
+/// Process-wide default engine: 0 = calendar, 1 = heap.
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide default worker count for conservative-parallel execution:
+/// 1 = sequential (the default), `usize::MAX` = auto (one per host core).
+static DEFAULT_PARALLEL: AtomicUsize = AtomicUsize::new(1);
+
+impl EngineKind {
+    /// Stable label (CLI values, telemetry label values, bench keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Calendar => "calendar",
+            EngineKind::Heap => "heap",
+        }
+    }
+
+    /// Parse a CLI/config value produced by [`EngineKind::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "calendar" => Some(EngineKind::Calendar),
+            "heap" => Some(EngineKind::Heap),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default engine (what `Machine::new` starts from).
+    pub fn default_global() -> Self {
+        match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+            1 => EngineKind::Heap,
+            _ => EngineKind::Calendar,
+        }
+    }
+
+    /// Set the process-wide default engine (e.g. from `ghostsim --engine`).
+    pub fn set_default(self) {
+        let v = match self {
+            EngineKind::Calendar => 0,
+            EngineKind::Heap => 1,
+        };
+        DEFAULT_ENGINE.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Set the process-wide default conservative-parallel worker count:
+/// `0` or `usize::MAX` mean auto (one worker per host core), `1` means
+/// sequential, `n >= 2` means exactly `n` workers.
+pub fn set_default_parallel(threads: usize) {
+    let v = if threads == 0 { usize::MAX } else { threads };
+    DEFAULT_PARALLEL.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default conservative-parallel worker count (see
+/// [`set_default_parallel`]).
+pub fn default_parallel() -> usize {
+    DEFAULT_PARALLEL.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [EngineKind::Calendar, EngineKind::Heap] {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("fibheap"), None);
+    }
+
+    #[test]
+    fn calendar_is_the_default() {
+        assert_eq!(EngineKind::default(), EngineKind::Calendar);
+    }
+}

@@ -1,11 +1,12 @@
-//! The executor's event vocabulary and message-delivery handling.
+//! The executor's event vocabulary, the [`EventSink`] abstraction, and
+//! message-delivery handling.
 
-use ghost_engine::queue::EventQueue;
+use ghost_engine::des::DesQueue;
 use ghost_engine::time::Time;
 use ghost_obs::record::{OpSpan, Recorder, SpanKind, WaitRecord};
 
 use super::machine::Machine;
-use super::rank::{RState, RankCtx};
+use super::rank::{RState, RankPart};
 use crate::types::{Rank, Tag};
 
 /// What the event queue schedules.
@@ -30,13 +31,41 @@ pub(super) enum Event {
     },
 }
 
+impl Event {
+    /// The rank that processes this event (partitioning key for
+    /// conservative-parallel execution).
+    #[inline]
+    pub(super) fn target(&self) -> Rank {
+        match self {
+            Event::Resume { rank, .. } => *rank,
+            Event::Deliver { dst, .. } => *dst,
+        }
+    }
+}
+
+/// Where the drivers schedule newly produced events.
+///
+/// The sequential executor hands them straight to the [`DesQueue`] (the
+/// blanket impl); conservative-parallel workers collect them in a local
+/// buffer for the deterministic merge instead.
+pub(super) trait EventSink {
+    fn schedule(&mut self, time: Time, ev: Event);
+}
+
+impl<Q: DesQueue<Event>> EventSink for Q {
+    #[inline]
+    fn schedule(&mut self, time: Time, ev: Event) {
+        self.push(time, ev);
+    }
+}
+
 impl Machine<'_> {
     /// Handle a message arriving at `dst` at time `t`: hand it to a waiting
     /// receive (or an active `WaitAll`), or queue it as unexpected.
     #[allow(clippy::too_many_arguments)]
-    pub(super) fn deliver<R: Recorder>(
+    pub(super) fn deliver<S: EventSink, R: Recorder>(
         &self,
-        ranks: &mut [RankCtx],
+        part: &mut RankPart<'_>,
         dst: Rank,
         src: Rank,
         tag: Tag,
@@ -44,16 +73,16 @@ impl Machine<'_> {
         sent: Time,
         retry: Time,
         t: Time,
-        q: &mut EventQueue<Event>,
+        sink: &mut S,
         rec: &mut R,
     ) {
-        let ctx = &mut ranks[dst];
-        match ctx.state {
+        let mut ctx = part.rk(dst);
+        match ctx.hot.state {
             RState::WaitRecv { src: s, tag: tg } if s == src && tg == tag => {
-                ctx.blocked += t.saturating_sub(ctx.block_start);
+                ctx.hot.blocked += t.saturating_sub(ctx.hot.block_start);
                 rec.wait(WaitRecord {
                     rank: dst,
-                    start: ctx.block_start,
+                    start: ctx.hot.block_start,
                     end: t,
                     src,
                     tag,
@@ -61,7 +90,7 @@ impl Machine<'_> {
                     retry,
                 });
                 let start = self.pickup(t);
-                let done = ctx.noise.advance(start, self.net.recv_overhead());
+                let done = ctx.advance(start, self.net.recv_overhead());
                 if done > start {
                     rec.span(OpSpan {
                         rank: dst,
@@ -71,8 +100,8 @@ impl Machine<'_> {
                         work: self.net.recv_overhead(),
                     });
                 }
-                ctx.state = RState::WaitResume;
-                q.push(
+                ctx.hot.state = RState::WaitResume;
+                sink.schedule(
                     done,
                     Event::Resume {
                         rank: dst,
@@ -81,10 +110,10 @@ impl Machine<'_> {
                 );
             }
             RState::WaitAll => {
-                ctx.blocked += t.saturating_sub(ctx.block_start);
+                ctx.hot.blocked += t.saturating_sub(ctx.hot.block_start);
                 rec.wait(WaitRecord {
                     rank: dst,
-                    start: ctx.block_start,
+                    start: ctx.hot.block_start,
                     end: t,
                     src,
                     tag,
@@ -92,23 +121,23 @@ impl Machine<'_> {
                     retry,
                 });
                 let pickup = self.pickup(t);
-                let before = ctx.wait_t.max(pickup);
-                ctx.mailbox.entry((src, tag)).or_default().push_back(value);
+                let before = ctx.hot.wait_t.max(pickup);
+                ctx.cold.mailbox.push(src, tag, value);
                 let (progressed, consumed) = ctx.waitall_progress(pickup, self.net.recv_overhead());
-                if ctx.wait_t > before {
+                if ctx.hot.wait_t > before {
                     rec.span(OpSpan {
                         rank: dst,
                         kind: SpanKind::RecvProcess,
                         start: before,
-                        end: ctx.wait_t,
+                        end: ctx.hot.wait_t,
                         work: consumed * self.net.recv_overhead(),
                     });
                 }
                 if progressed {
-                    let done = ctx.wait_t;
+                    let done = ctx.hot.wait_t;
                     let v = ctx.waitall_finish();
-                    ctx.state = RState::WaitResume;
-                    q.push(
+                    ctx.hot.state = RState::WaitResume;
+                    sink.schedule(
                         done,
                         Event::Resume {
                             rank: dst,
@@ -118,11 +147,11 @@ impl Machine<'_> {
                 } else {
                     // Still waiting: the next blocked period
                     // begins once this message's processing ends.
-                    ctx.block_start = ctx.wait_t.max(t);
+                    ctx.hot.block_start = ctx.hot.wait_t.max(t);
                 }
             }
             _ => {
-                ctx.mailbox.entry((src, tag)).or_default().push_back(value);
+                ctx.cold.mailbox.push(src, tag, value);
             }
         }
     }

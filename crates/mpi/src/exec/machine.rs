@@ -1,6 +1,8 @@
 //! [`Machine`]: configuration, run entry points, result types, and the
 //! top-level event loop.
 
+use ghost_engine::calendar::CalendarQueue;
+use ghost_engine::des::DesQueue;
 use ghost_engine::queue::EventQueue;
 use ghost_engine::rng::NodeStream;
 use ghost_engine::time::{Time, Work};
@@ -10,9 +12,9 @@ use ghost_noise::model::{streams, NoiseModel};
 
 use ghost_obs::record::{EngineStats, NullRecorder, OpSpan, Recorder, SpanKind};
 
-use super::events::Event;
-use super::p2p::mailbox_pop;
-use super::rank::{RState, RankCtx};
+use super::engine::{default_parallel, EngineKind};
+use super::events::{Event, EventSink};
+use super::rank::{RState, RankPart, Ranks};
 use crate::program::Program;
 use crate::types::{CollectiveConfig, Rank, Tag};
 
@@ -153,7 +155,7 @@ impl RunLimits {
         }
     }
 
-    fn is_none(&self) -> bool {
+    pub(super) fn is_none(&self) -> bool {
         self.max_events.is_none() && self.wall_clock.is_none()
     }
 }
@@ -191,11 +193,17 @@ pub struct Machine<'a> {
     pub(super) faults: FaultPlan,
     pub(super) lossy: Option<LossyLink>,
     pub(super) limits: RunLimits,
+    pub(super) engine: EngineKind,
+    /// Conservative-parallel worker count: `1` = sequential, `n >= 2` = that
+    /// many workers, `usize::MAX` = one per host core.
+    pub(super) parallel: usize,
 }
 
 impl<'a> Machine<'a> {
     /// A machine over `net`, with per-node noise from `noise`, seeded
-    /// deterministically by `seed`.
+    /// deterministically by `seed`. Starts from the process-wide engine and
+    /// parallelism defaults (see [`EngineKind::set_default`] and
+    /// [`super::set_default_parallel`]).
     pub fn new(net: Network, noise: &'a dyn NoiseModel, seed: u64) -> Self {
         Self {
             net,
@@ -206,6 +214,8 @@ impl<'a> Machine<'a> {
             faults: FaultPlan::new(),
             lossy: None,
             limits: RunLimits::none(),
+            engine: EngineKind::default_global(),
+            parallel: default_parallel(),
         }
     }
 
@@ -236,6 +246,30 @@ impl<'a> Machine<'a> {
         self
     }
 
+    /// Select the event-queue backend (default: the process-wide default,
+    /// normally [`EngineKind::Calendar`]). Both backends are byte-identical
+    /// in results; this is purely a performance knob.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Request conservative-parallel execution: `0` or `usize::MAX` mean
+    /// auto (one worker per host core), `1` means sequential, `n >= 2`
+    /// means exactly `n` workers. Results are byte-identical to sequential
+    /// execution; runs whose recorder consumes per-event streams, or whose
+    /// network offers no lookahead (`o + L == 0`), fall back to sequential.
+    pub fn with_parallel(mut self, threads: usize) -> Self {
+        self.parallel = if threads == 0 { usize::MAX } else { threads };
+        self
+    }
+
+    /// Force sequential execution regardless of the process-wide default.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = 1;
+        self
+    }
+
     /// Start-of-processing instant for a message arriving at `t` on a rank
     /// that is waiting for it.
     #[inline]
@@ -257,6 +291,26 @@ impl<'a> Machine<'a> {
         &self.net
     }
 
+    /// The conservative-parallel lookahead window width: the LogGP lower
+    /// bound `o + L` on the gap between an event on one rank and the
+    /// earliest delivery it can cause on *another* rank (self-deliveries
+    /// are same-rank and need no lookahead). 0 on an ideal network, which
+    /// disables parallel execution.
+    pub(super) fn lookahead(&self) -> Time {
+        self.net.send_overhead() + self.net.params().l
+    }
+
+    /// Resolve the parallel knob to an actual worker count for `size`
+    /// ranks (capped so every worker owns at least one rank).
+    pub(super) fn worker_threads(&self, size: usize) -> usize {
+        let n = if self.parallel == usize::MAX {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.parallel.max(1)
+        };
+        n.min(size)
+    }
+
     /// Run one program per rank to completion, streaming into a
     /// [`NullRecorder`] (which costs near nothing). For a full capture pass
     /// a [`ghost_obs::record::VecRecorder`] to [`Machine::run_with`] and
@@ -270,8 +324,8 @@ impl<'a> Machine<'a> {
     }
 
     /// Run one program per rank, streaming observations into `rec` as they
-    /// close. The executor is monomorphized per recorder type, so a
-    /// [`NullRecorder`] compiles to empty inlined calls.
+    /// close. The executor is monomorphized per queue backend and recorder
+    /// type, so a [`NullRecorder`] compiles to empty inlined calls.
     ///
     /// # Panics
     ///
@@ -281,6 +335,31 @@ impl<'a> Machine<'a> {
         programs: Vec<Box<dyn Program>>,
         rec: &mut R,
     ) -> Result<RunResult, RunError> {
+        match self.engine {
+            EngineKind::Calendar => self.dispatch::<CalendarQueue<Event>, R>(programs, rec),
+            EngineKind::Heap => self.dispatch::<EventQueue<Event>, R>(programs, rec),
+        }
+    }
+
+    fn dispatch<Q: DesQueue<Event>, R: Recorder>(
+        &self,
+        programs: Vec<Box<dyn Program>>,
+        rec: &mut R,
+    ) -> Result<RunResult, RunError> {
+        let threads = self.worker_threads(programs.len());
+        // Parallel execution cannot stream per-event observations in global
+        // order, so it requires a recorder that doesn't consume them; an
+        // ideal network (zero lookahead) offers no safe window.
+        if threads >= 2 && self.lookahead() > 0 && !rec.observes_events() {
+            self.run_parallel::<Q, R>(programs, rec, threads)
+        } else {
+            self.run_seq::<Q, R>(programs, rec)
+        }
+    }
+
+    /// Build per-rank state from the programs (asserting the machine can
+    /// hold them) and the noise model.
+    pub(super) fn setup(&self, programs: Vec<Box<dyn Program>>) -> Ranks {
         let size = programs.len();
         assert!(
             size <= self.net.nodes(),
@@ -291,163 +370,207 @@ impl<'a> Machine<'a> {
         assert!(size > 0, "no programs to run");
         let streams = NodeStream::new(self.seed);
         let lossy_active = self.lossy.is_some_and(|l| !l.is_ideal());
-        let mut ranks: Vec<RankCtx> = programs
-            .into_iter()
-            .enumerate()
-            .map(|(node, program)| {
-                let noise = self.noise.instantiate(node, &streams);
-                let noise = self.faults.apply_delays(node, noise);
-                let mut ctx = RankCtx::new(program, noise);
-                ctx.crash_at = self.faults.crash_at(node);
-                ctx.straggle_x1000 = self.faults.straggle_x1000(node);
-                if lossy_active || self.faults.has_link_faults(node) {
-                    ctx.fault_rng = Some(streams.for_node(node, streams::FAULTS));
-                }
-                ctx
-            })
-            .collect();
+        let mut ranks = Ranks::with_capacity(size);
+        for (node, program) in programs.into_iter().enumerate() {
+            let noise = self.noise.instantiate(node, &streams);
+            let noise = self.faults.apply_delays(node, noise);
+            ranks.push_rank(program, noise);
+            let hot = &mut ranks.hot[node];
+            hot.crash_at = self.faults.crash_at(node);
+            hot.straggle_x1000 = self.faults.straggle_x1000(node);
+            if lossy_active || self.faults.has_link_faults(node) {
+                ranks.cold[node].fault_rng = Some(streams.for_node(node, streams::FAULTS));
+            }
+        }
+        ranks
+    }
 
-        let mut q: EventQueue<Event> = EventQueue::with_capacity(size * 4);
+    /// Process one popped event: crash gating, then resume or delivery.
+    /// Shared verbatim by the sequential loop and parallel workers; run
+    /// limits are the caller's responsibility.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn process_event<S: EventSink, R: Recorder>(
+        &self,
+        part: &mut RankPart<'_>,
+        size: usize,
+        t: Time,
+        ev: Event,
+        sink: &mut S,
+        messages: &mut u64,
+        rec: &mut R,
+    ) {
+        match ev {
+            Event::Resume { rank, value } if part.rk(rank).check_crash(t) => {
+                // The rank is dead: its pending resume evaporates.
+                let _ = value;
+            }
+            Event::Deliver { dst, .. } if part.rk(dst).check_crash(t) => {
+                // Delivery to a dead rank: the message is lost.
+            }
+            Event::Resume { rank, value } => match part.rk(rank).hot.state {
+                RState::WaitResume => {
+                    self.drive(part, rank, size, t, value, sink, messages, rec);
+                }
+                RState::SendThenRecv { src, tag } => {
+                    debug_assert!(value.is_none());
+                    let mut ctx = part.rk(rank);
+                    if let Some(v) = ctx.cold.mailbox.pop(src, tag) {
+                        let done = ctx.advance(t, self.net.recv_overhead());
+                        if done > t {
+                            rec.span(OpSpan {
+                                rank,
+                                kind: SpanKind::RecvProcess,
+                                start: t,
+                                end: done,
+                                work: self.net.recv_overhead(),
+                            });
+                        }
+                        ctx.hot.state = RState::WaitResume;
+                        sink.schedule(
+                            done,
+                            Event::Resume {
+                                rank,
+                                value: Some(v),
+                            },
+                        );
+                    } else {
+                        ctx.hot.state = RState::WaitRecv { src, tag };
+                        ctx.hot.block_start = t;
+                    }
+                }
+                RState::WaitRecv { .. } | RState::WaitAll | RState::Done | RState::Failed => {
+                    unreachable!("resume for rank {rank} in invalid state")
+                }
+            },
+            Event::Deliver {
+                dst,
+                src,
+                tag,
+                value,
+                sent,
+                retry,
+            } => {
+                self.deliver(part, dst, src, tag, value, sent, retry, t, sink, rec);
+            }
+        }
+    }
+
+    /// The sequential event loop.
+    fn run_seq<Q: DesQueue<Event>, R: Recorder>(
+        &self,
+        programs: Vec<Box<dyn Program>>,
+        rec: &mut R,
+    ) -> Result<RunResult, RunError> {
+        let size = programs.len();
+        let mut ranks = self.setup(programs);
+        let mut q = Q::with_capacity_hint(size * 4);
         let mut messages: u64 = 0;
         for rank in 0..size {
             q.push(0, Event::Resume { rank, value: None });
         }
 
         let watchdog_start = std::time::Instant::now();
-        while let Some((t, ev)) = q.pop() {
-            if !self.limits.is_none() {
-                if let Some(max) = self.limits.max_events {
-                    if q.total_popped() > max {
-                        return Err(RunError::EventLimit { limit: max });
-                    }
-                }
-                if let Some(deadline) = self.limits.wall_clock {
-                    // Check the host clock only every 4096 events: the
-                    // syscall would otherwise dominate the hot loop.
-                    if q.total_popped() & 0xFFF == 0 && watchdog_start.elapsed() > deadline {
-                        return Err(RunError::TimeLimit { limit: deadline });
-                    }
-                }
-            }
-            match ev {
-                Event::Resume { rank, value } if ranks[rank].check_crash(t) => {
-                    // The rank is dead: its pending resume evaporates.
-                    let _ = value;
-                }
-                Event::Deliver { dst, .. } if ranks[dst].check_crash(t) => {
-                    // Delivery to a dead rank: the message is lost.
-                }
-                Event::Resume { rank, value } => match ranks[rank].state {
-                    RState::WaitResume => {
-                        self.drive(&mut ranks, rank, size, t, value, &mut q, &mut messages, rec);
-                    }
-                    RState::SendThenRecv { src, tag } => {
-                        debug_assert!(value.is_none());
-                        let ctx = &mut ranks[rank];
-                        if let Some(v) = mailbox_pop(&mut ctx.mailbox, src, tag) {
-                            let done = ctx.noise.advance(t, self.net.recv_overhead());
-                            if done > t {
-                                rec.span(OpSpan {
-                                    rank,
-                                    kind: SpanKind::RecvProcess,
-                                    start: t,
-                                    end: done,
-                                    work: self.net.recv_overhead(),
-                                });
-                            }
-                            ctx.state = RState::WaitResume;
-                            q.push(
-                                done,
-                                Event::Resume {
-                                    rank,
-                                    value: Some(v),
-                                },
-                            );
-                        } else {
-                            ctx.state = RState::WaitRecv { src, tag };
-                            ctx.block_start = t;
+        {
+            let mut part = ranks.part();
+            while let Some((t, ev)) = q.pop() {
+                if !self.limits.is_none() {
+                    if let Some(max) = self.limits.max_events {
+                        if q.total_popped() > max {
+                            return Err(RunError::EventLimit { limit: max });
                         }
                     }
-                    RState::WaitRecv { .. } | RState::WaitAll | RState::Done | RState::Failed => {
-                        unreachable!("resume for rank {rank} in invalid state")
+                    if let Some(deadline) = self.limits.wall_clock {
+                        // Check the host clock only every 4096 events: the
+                        // syscall would otherwise dominate the hot loop.
+                        if q.total_popped() & 0xFFF == 0 && watchdog_start.elapsed() > deadline {
+                            return Err(RunError::TimeLimit { limit: deadline });
+                        }
                     }
-                },
-                Event::Deliver {
-                    dst,
-                    src,
-                    tag,
-                    value,
-                    sent,
-                    retry,
-                } => {
-                    self.deliver(
-                        &mut ranks, dst, src, tag, value, sent, retry, t, &mut q, rec,
-                    );
                 }
+                self.process_event(&mut part, size, t, ev, &mut q, &mut messages, rec);
             }
         }
 
+        let stats = EngineStats {
+            pushed: q.total_pushed(),
+            popped: q.total_popped(),
+            peak_pending: q.peak_len() as u64,
+            windows: 0,
+            window_ns: 0,
+        };
+        self.assemble(ranks, messages, stats, rec)
+    }
+
+    /// Shared post-loop epilogue: crash fixups, deadlock/stranding
+    /// detection, statistics, and [`RunResult`] assembly.
+    pub(super) fn assemble<R: Recorder>(
+        &self,
+        mut ranks: Ranks,
+        messages: u64,
+        stats: EngineStats,
+        rec: &mut R,
+    ) -> Result<RunResult, RunError> {
         // Queue drained. A rank with a scheduled crash that is still blocked
         // would be overtaken by its crash while waiting forever: halt it.
-        for ctx in ranks.iter_mut() {
-            if ctx.crash_at.is_some()
-                && matches!(ctx.state, RState::WaitRecv { .. } | RState::WaitAll)
+        for hot in ranks.hot.iter_mut() {
+            if hot.crash_at.is_some()
+                && matches!(hot.state, RState::WaitRecv { .. } | RState::WaitAll)
             {
-                ctx.state = RState::Failed;
-                ctx.finish = Some(ctx.crash_at.unwrap_or(0));
+                hot.state = RState::Failed;
+                hot.finish = Some(hot.crash_at.unwrap_or(0));
             }
         }
 
         // Every surviving rank must have finished; blocked survivors mean
         // either a stranding crash (typed fault outcome) or a deadlock.
         let blocked: Vec<(Rank, Rank, Tag)> = ranks
+            .hot
             .iter()
+            .zip(ranks.cold.iter())
             .enumerate()
-            .filter_map(|(r, ctx)| match ctx.state {
+            .filter_map(|(r, (hot, cold))| match hot.state {
                 RState::WaitRecv { src, tag } => Some((r, src, tag)),
                 RState::WaitAll => {
-                    let (src, tag) = ctx.posted[ctx.wait_cursor];
+                    let (src, tag) = cold.posted[hot.wait_cursor];
                     Some((r, src, tag))
                 }
                 _ => None,
             })
             .collect();
         let failed: Vec<Rank> = ranks
+            .hot
             .iter()
             .enumerate()
-            .filter(|(_, ctx)| ctx.state == RState::Failed)
+            .filter(|(_, hot)| hot.state == RState::Failed)
             .map(|(r, _)| r)
             .collect();
         if !blocked.is_empty() {
             if let Some(&rank) = failed.first() {
                 return Err(RunError::RankFailed {
                     rank,
-                    at: ranks[rank].finish.unwrap_or(0),
+                    at: ranks.hot[rank].finish.unwrap_or(0),
                     stranded: blocked,
                 });
             }
             return Err(RunError::Deadlock { blocked });
         }
         debug_assert!(ranks
+            .hot
             .iter()
             .all(|c| matches!(c.state, RState::Done | RState::Failed)));
 
-        let finish_times: Vec<Time> = ranks.iter().map(|c| c.finish.unwrap_or(0)).collect();
+        let finish_times: Vec<Time> = ranks.hot.iter().map(|c| c.finish.unwrap_or(0)).collect();
         let makespan = finish_times.iter().copied().max().unwrap_or(0);
-        rec.engine(EngineStats {
-            pushed: q.total_pushed(),
-            popped: q.total_popped(),
-            peak_pending: q.peak_len() as u64,
-        });
+        rec.engine(stats);
         Ok(RunResult {
             makespan,
             finish_times,
-            final_values: ranks.iter().map(|c| c.last_value).collect(),
-            compute_work: ranks.iter().map(|c| c.compute_work).collect(),
-            blocked_time: ranks.iter().map(|c| c.blocked).collect(),
+            final_values: ranks.hot.iter().map(|c| c.last_value).collect(),
+            compute_work: ranks.hot.iter().map(|c| c.compute_work).collect(),
+            blocked_time: ranks.hot.iter().map(|c| c.blocked).collect(),
             messages,
-            events: q.total_popped(),
-            retransmits: ranks.iter().map(|c| c.retransmits).sum(),
+            events: stats.popped,
+            retransmits: ranks.hot.iter().map(|c| c.retransmits).sum(),
             failed_ranks: failed,
         })
     }

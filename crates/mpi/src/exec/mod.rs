@@ -22,21 +22,29 @@
 //! The executor is split along its moving parts:
 //!
 //! * `machine` — [`Machine`] configuration, the run entry points
-//!   ([`Machine::run`], [`Machine::run_with`]), the event loop, and the
-//!   result types ([`RunResult`], [`RunError`], [`RecvMode`]).
-//! * `rank` — per-rank state: `RankCtx` and the rank state machine
-//!   (`RState`), including the `WaitAll` bookkeeping.
-//! * `events` — the event vocabulary (`Resume`, `Deliver`) and message-
-//!   delivery handling.
-//! * `p2p` — point-to-point plumbing: mailbox matching, tag
+//!   ([`Machine::run`], [`Machine::run_with`]), the sequential event loop,
+//!   and the result types ([`RunResult`], [`RunError`], [`RecvMode`]).
+//! * `engine` — the queue-backend and parallelism knobs ([`EngineKind`],
+//!   [`set_default_parallel`]); the executor is generic over
+//!   [`ghost_engine::DesQueue`] and monomorphized per backend.
+//! * `rank` — per-rank state in struct-of-arrays layout (`Ranks`,
+//!   `RankHot`/`RankCold`, the `RState` machine, `WaitAll` bookkeeping).
+//! * `events` — the event vocabulary (`Resume`, `Deliver`), the
+//!   `EventSink` abstraction, and message-delivery handling.
+//! * `p2p` — point-to-point plumbing: the flat `Mailbox`, tag
 //!   classification, and primitive-call lowering.
 //! * `drive` — the rank driver: advances one rank until it blocks,
 //!   schedules a future resume, or finishes.
+//! * `parallel` — conservative parallel execution: LogGP-lookahead
+//!   windows, per-partition workers, and the deterministic replay merge
+//!   that keeps results byte-identical to sequential execution.
 
 mod drive;
+mod engine;
 mod events;
 mod machine;
 mod p2p;
+mod parallel;
 mod rank;
 
 #[cfg(test)]
@@ -44,6 +52,7 @@ mod tests_core;
 #[cfg(test)]
 mod tests_waitall;
 
+pub use engine::{default_parallel, set_default_parallel, EngineKind};
 pub use machine::{Machine, RecvMode, RunError, RunLimits, RunResult};
 
 // Span types live in `ghost-obs` (the executor streams them into any

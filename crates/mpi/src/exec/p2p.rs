@@ -1,12 +1,100 @@
 //! Point-to-point plumbing: mailbox matching, tag classification, and
 //! primitive-call lowering.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ghost_obs::record::MsgKind;
 
 use crate::coll::PrimOp;
 use crate::types::{MpiCall, Rank, Tag, COLL_TAG_BASE};
+
+/// Unexpected-message store for one rank: a flat slot vector instead of a
+/// `HashMap<(Rank, Tag), VecDeque<f64>>`.
+///
+/// A rank's mailbox holds very few *distinct* `(src, tag)` keys at any
+/// instant — tree collectives give O(log n) children, stencils a handful of
+/// neighbors — so a linear scan over a dense `Vec` beats hashing: no
+/// SipHash per lookup, no per-key heap allocation, and one predictable
+/// cache line walk. Drained slots keep their backing `VecDeque` and are
+/// re-claimed by later keys, so steady state allocates nothing. A last-hit
+/// index serves the common ping-pong fast path (the next lookup almost
+/// always matches the key the previous one did).
+///
+/// Keys are unique by construction: `push` matches an existing slot (even
+/// an empty one — key reuse) before claiming a drained slot or appending.
+/// `pop` order within a key is FIFO, and no executor path iterates the
+/// mailbox, so slot order never influences simulation results.
+#[derive(Debug, Default)]
+pub(super) struct Mailbox {
+    slots: Vec<Slot>,
+    /// Index of the last slot a lookup matched (fast path; may be stale).
+    hint: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    src: Rank,
+    tag: Tag,
+    vals: VecDeque<f64>,
+}
+
+impl Mailbox {
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `v` to the `(src, tag)` queue.
+    pub(super) fn push(&mut self, src: Rank, tag: Tag, v: f64) {
+        let n = self.slots.len();
+        if let Some(s) = self.slots.get_mut(self.hint) {
+            if s.src == src && s.tag == tag {
+                s.vals.push_back(v);
+                return;
+            }
+        }
+        let mut empty = usize::MAX;
+        for i in 0..n {
+            let s = &self.slots[i];
+            if s.src == src && s.tag == tag {
+                self.hint = i;
+                self.slots[i].vals.push_back(v);
+                return;
+            }
+            if empty == usize::MAX && s.vals.is_empty() {
+                empty = i;
+            }
+        }
+        if empty != usize::MAX {
+            let s = &mut self.slots[empty];
+            s.src = src;
+            s.tag = tag;
+            s.vals.push_back(v);
+            self.hint = empty;
+        } else {
+            self.hint = n;
+            let mut vals = VecDeque::new();
+            vals.push_back(v);
+            self.slots.push(Slot { src, tag, vals });
+        }
+    }
+
+    /// Pop the oldest message matching `(src, tag)`, if any.
+    pub(super) fn pop(&mut self, src: Rank, tag: Tag) -> Option<f64> {
+        if let Some(s) = self.slots.get_mut(self.hint) {
+            if s.src == src && s.tag == tag {
+                return s.vals.pop_front();
+            }
+        }
+        for i in 0..self.slots.len() {
+            let s = &mut self.slots[i];
+            if s.src == src && s.tag == tag {
+                self.hint = i;
+                return s.vals.pop_front();
+            }
+        }
+        None
+    }
+}
 
 /// Classify a message by its tag for observation purposes.
 #[inline]
@@ -71,18 +159,32 @@ pub(super) fn lower_primitive(call: &MpiCall) -> PrimOp {
     }
 }
 
-/// Pop the oldest message matching `(src, tag)`, pruning empty queues so
-/// the mailbox map stays small.
-#[inline]
-pub(super) fn mailbox_pop(
-    mailbox: &mut HashMap<(Rank, Tag), VecDeque<f64>>,
-    src: Rank,
-    tag: Tag,
-) -> Option<f64> {
-    let q = mailbox.get_mut(&(src, tag))?;
-    let v = q.pop_front();
-    if q.is_empty() {
-        mailbox.remove(&(src, tag));
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_is_fifo_per_key_and_reuses_slots() {
+        let mut m = Mailbox::new();
+        m.push(1, 7, 1.0);
+        m.push(1, 7, 2.0);
+        m.push(2, 7, 9.0);
+        assert_eq!(m.pop(1, 7), Some(1.0));
+        assert_eq!(m.pop(1, 7), Some(2.0));
+        assert_eq!(m.pop(1, 7), None);
+        assert_eq!(m.pop(3, 3), None, "unknown key misses");
+        // The (1, 7) slot is drained; a new key claims it instead of
+        // growing the slot vector.
+        m.push(4, 4, 5.0);
+        assert_eq!(m.slots.len(), 2);
+        assert_eq!(m.pop(4, 4), Some(5.0));
+        assert_eq!(m.pop(2, 7), Some(9.0));
+        // A drained key that is pushed again matches its old slot: no
+        // duplicate keys ever exist.
+        m.push(4, 4, 6.0);
+        m.push(4, 4, 7.0);
+        assert_eq!(m.slots.len(), 2);
+        assert_eq!(m.pop(4, 4), Some(6.0));
+        assert_eq!(m.pop(4, 4), Some(7.0));
     }
-    v
 }

@@ -1,0 +1,313 @@
+//! Conservative parallel execution with a deterministic replay merge.
+//!
+//! ## Algorithm
+//!
+//! Classic conservative parallel DES: the LogGP cost model guarantees that
+//! an event processed at time `t` cannot cause an event on *another* rank
+//! before `t + o + L` (send overhead, then at least the wire latency; noise
+//! and retransmission only push arrivals later; self-deliveries are
+//! same-rank). So all events in the window `[W, W + o + L)` — where `W` is
+//! the earliest pending time — are causally independent *across* rank
+//! partitions and can be processed concurrently:
+//!
+//! 1. **Drain**: pop every event before `W_end` from the main queue (in
+//!    deterministic `(time, seq)` order) and route each to the worker
+//!    owning its target rank (fixed contiguous partitions).
+//! 2. **Execute**: each worker processes its sub-batch with the ordinary
+//!    sequential drivers over its own rank partition. Children scheduled
+//!    inside the window are provably same-rank, so the worker processes
+//!    them locally, ordered by `(time, batch-before-children, creation
+//!    order)` — exactly the order the sequential `(time, seq)` queue would
+//!    have used. Children at or beyond `W_end` are recorded for the merge.
+//! 3. **Replay**: the coordinator deterministically re-enacts the
+//!    sequential pop order of the whole window from the workers' child
+//!    records (a tiny heap over `(time, virtual seq)`, no model code), which
+//!    yields the exact sequential push order of every beyond-window child —
+//!    those are pushed back into the main queue in that order — plus exact
+//!    event and peak-occupancy statistics.
+//!
+//! The result is **byte-identical** to sequential execution — same
+//! `RunResult`, including engine event counts — which the cross-backend
+//! golden tests and `tests/parallel_des.rs` enforce. The recorder streams
+//! (spans/waits/messages) are the one thing parallel execution cannot
+//! reproduce in order, so [`Machine::run_with`] only takes this path when
+//! the recorder reports that it does not consume them
+//! ([`ghost_obs::record::Recorder::observes_events`]).
+//!
+//! Workers are spawned once per run (scoped threads) and fed windows over
+//! channels; with ~µs-scale lookahead a run executes thousands of windows,
+//! so per-window thread spawning would dominate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+
+use ghost_engine::des::DesQueue;
+use ghost_engine::time::Time;
+use ghost_obs::record::{EngineStats, NullRecorder, Recorder};
+
+use super::events::{Event, EventSink};
+use super::machine::{Machine, RunError, RunResult};
+use super::rank::RankPart;
+use crate::program::Program;
+
+/// A child event produced while processing a window.
+enum Child {
+    /// Scheduled inside the window: provably same-rank, processed by the
+    /// same worker; identified by its worker-local id.
+    Local { time: Time, id: usize },
+    /// Scheduled at or beyond the window end: handed back to the main
+    /// queue by the replay merge.
+    Future { time: Time, ev: Event },
+}
+
+/// What a worker reports for one window.
+struct WindowOut {
+    /// Children of each locally processed event, indexed by local id:
+    /// ids `0..batch_len` are the batch events in drain order, higher ids
+    /// are in-window children in creation order.
+    records: Vec<Vec<Child>>,
+    /// Messages injected by this worker during the window.
+    messages: u64,
+}
+
+impl WindowOut {
+    fn empty() -> Self {
+        Self {
+            records: Vec::new(),
+            messages: 0,
+        }
+    }
+}
+
+/// One lookahead window of work for a worker: batch events with their
+/// global drain order, all strictly before `w_end`.
+struct Window {
+    w_end: Time,
+    batch: Vec<(u64, Time, Event)>,
+}
+
+/// Buffer the drivers schedule into inside a worker.
+struct WorkerSink {
+    out: Vec<(Time, Event)>,
+}
+
+impl EventSink for WorkerSink {
+    #[inline]
+    fn schedule(&mut self, time: Time, ev: Event) {
+        self.out.push((time, ev));
+    }
+}
+
+/// Worker loop: receive windows until the channel closes, process each
+/// over this worker's rank partition, and report the child records.
+fn worker_main(
+    m: &Machine<'_>,
+    mut part: RankPart<'_>,
+    size: usize,
+    rx: mpsc::Receiver<Window>,
+    tx: mpsc::Sender<(usize, WindowOut)>,
+    me: usize,
+) {
+    let mut sink = WorkerSink { out: Vec::new() };
+    let mut rec = NullRecorder;
+    // Pending events, ordered by (time, batch-before-children, order):
+    // batch events carry their global drain order, in-window children a
+    // local creation counter — the sequential (time, seq) order restricted
+    // to this partition.
+    let mut pending: BinaryHeap<Reverse<(Time, u8, u64, usize)>> = BinaryHeap::new();
+    // Local event store + child records, indexed by local id.
+    let mut store: Vec<Option<(Time, Event)>> = Vec::new();
+    let mut records: Vec<Vec<Child>> = Vec::new();
+    while let Ok(Window { w_end, batch }) = rx.recv() {
+        store.clear();
+        let mut messages = 0u64;
+        let mut child_seq = 0u64;
+        for (ord, t, ev) in batch {
+            let id = store.len();
+            store.push(Some((t, ev)));
+            records.push(Vec::new());
+            pending.push(Reverse((t, 0, ord, id)));
+        }
+        while let Some(Reverse((_, _, _, id))) = pending.pop() {
+            let Some((t, ev)) = store[id].take() else {
+                debug_assert!(false, "worker pending id without stored event");
+                continue;
+            };
+            m.process_event(&mut part, size, t, ev, &mut sink, &mut messages, &mut rec);
+            for (ct, cev) in sink.out.drain(..) {
+                debug_assert!(ct >= t, "child scheduled before its parent");
+                if ct < w_end {
+                    // In-window children are same-rank by the lookahead
+                    // bound, hence always inside this partition.
+                    debug_assert!(
+                        part.contains(cev.target()),
+                        "in-window child crossed rank partitions"
+                    );
+                    let cid = store.len();
+                    store.push(Some((ct, cev)));
+                    records.push(Vec::new());
+                    records[id].push(Child::Local { time: ct, id: cid });
+                    pending.push(Reverse((ct, 1, child_seq, cid)));
+                    child_seq += 1;
+                } else {
+                    records[id].push(Child::Future { time: ct, ev: cev });
+                }
+            }
+        }
+        let out = WindowOut {
+            records: std::mem::take(&mut records),
+            messages,
+        };
+        if tx.send((me, out)).is_err() {
+            return; // coordinator gone (error path): shut down quietly
+        }
+    }
+}
+
+impl Machine<'_> {
+    /// Conservative-parallel counterpart of the sequential event loop.
+    /// Caller guarantees `threads >= 2` and `lookahead() > 0`.
+    pub(super) fn run_parallel<Q: DesQueue<Event>, R: Recorder>(
+        &self,
+        programs: Vec<Box<dyn Program>>,
+        rec: &mut R,
+        threads: usize,
+    ) -> Result<RunResult, RunError> {
+        let size = programs.len();
+        let lookahead = self.lookahead();
+        let mut ranks = self.setup(programs);
+        let mut q = Q::with_capacity_hint(size * 4);
+        for rank in 0..size {
+            q.push(0, Event::Resume { rank, value: None });
+        }
+
+        let chunk = size.div_ceil(threads);
+        let workers = size.div_ceil(chunk);
+        let mut messages: u64 = 0;
+        // Events that lived only inside windows (pushed and popped by
+        // workers, never reaching the main queue).
+        let mut local_events: u64 = 0;
+        let mut peak: usize = 0;
+        let mut windows: u64 = 0;
+        let mut window_ns: u64 = 0;
+        let watchdog_start = std::time::Instant::now();
+
+        let run: Result<(), RunError> = std::thread::scope(|s| {
+            let (out_tx, out_rx) = mpsc::channel::<(usize, WindowOut)>();
+            let mut txs = Vec::with_capacity(workers);
+            for (w, part) in ranks.split(chunk).into_iter().enumerate() {
+                let (tx, rx) = mpsc::channel::<Window>();
+                txs.push(tx);
+                let out = out_tx.clone();
+                s.spawn(move || worker_main(self, part, size, rx, out, w));
+            }
+            drop(out_tx);
+
+            let mut batches: Vec<Vec<(u64, Time, Event)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            // Replay seeds: (time, global drain order, worker, local id).
+            let mut seeds: Vec<(Time, u64, usize, usize)> = Vec::new();
+            let mut replay: BinaryHeap<Reverse<(Time, u64, usize, usize)>> = BinaryHeap::new();
+
+            loop {
+                if !self.limits.is_none() {
+                    if let Some(max) = self.limits.max_events {
+                        if q.total_popped() + local_events > max {
+                            return Err(RunError::EventLimit { limit: max });
+                        }
+                    }
+                    if let Some(deadline) = self.limits.wall_clock {
+                        if watchdog_start.elapsed() > deadline {
+                            return Err(RunError::TimeLimit { limit: deadline });
+                        }
+                    }
+                }
+                let Some(w_start) = q.peek_time() else { break };
+                let w_end = w_start.saturating_add(lookahead);
+
+                // 1. Drain the window in deterministic pop order.
+                seeds.clear();
+                let mut ord: u64 = 0;
+                while q.peek_time().is_some_and(|t| t < w_end) {
+                    let Some((t, ev)) = q.pop() else { break };
+                    let wk = ev.target() / chunk;
+                    batches[wk].push((ord, t, ev));
+                    seeds.push((t, ord, wk, batches[wk].len() - 1));
+                    ord += 1;
+                }
+                windows += 1;
+                window_ns = window_ns.saturating_add(w_end - w_start);
+
+                // 2. Dispatch to the owning workers and collect results.
+                let mut nsent = 0usize;
+                for (wk, b) in batches.iter_mut().enumerate() {
+                    if b.is_empty() {
+                        continue;
+                    }
+                    let batch = std::mem::take(b);
+                    txs[wk]
+                        .send(Window { w_end, batch })
+                        .expect("parallel DES worker died");
+                    nsent += 1;
+                }
+                let mut outs: Vec<WindowOut> = (0..workers).map(|_| WindowOut::empty()).collect();
+                for _ in 0..nsent {
+                    let (wk, out) = out_rx.recv().expect("parallel DES worker died");
+                    messages += out.messages;
+                    outs[wk] = out;
+                }
+
+                // 3. Replay the window's sequential pop order from the
+                // child records, assigning virtual sequence numbers, to
+                // recover the exact push order of beyond-window children
+                // and exact queue statistics.
+                for &(t, o, wk, id) in &seeds {
+                    replay.push(Reverse((t, o, wk, id)));
+                }
+                let mut next_ord = ord;
+                let mut live = seeds.len() as u64;
+                let mut replayed: u64 = 0;
+                let mut future: Vec<(Time, Event)> = Vec::new();
+                while let Some(Reverse((_, _, wk, id))) = replay.pop() {
+                    replayed += 1;
+                    live -= 1;
+                    for child in std::mem::take(&mut outs[wk].records[id]) {
+                        match child {
+                            Child::Local { time, id: cid } => {
+                                replay.push(Reverse((time, next_ord, wk, cid)));
+                            }
+                            Child::Future { time, ev } => {
+                                // `future` accumulates in virtual-seq order
+                                // because replay visits parents in pop
+                                // order and children in creation order.
+                                future.push((time, ev));
+                            }
+                        }
+                        next_ord += 1;
+                        live += 1;
+                    }
+                    peak = peak.max(q.len() + live as usize);
+                }
+                debug_assert_eq!(live as usize, future.len());
+                local_events += replayed - seeds.len() as u64;
+                for (t, ev) in future {
+                    // All beyond-window times are >= w_end > the last
+                    // drained time, so no clamping can occur here.
+                    q.push(t, ev);
+                }
+            }
+            Ok(())
+        });
+        run?;
+
+        let stats = EngineStats {
+            pushed: q.total_pushed() + local_events,
+            popped: q.total_popped() + local_events,
+            peak_pending: q.peak_len().max(peak) as u64,
+            windows,
+            window_ns,
+        };
+        self.assemble(ranks, messages, stats, rec)
+    }
+}

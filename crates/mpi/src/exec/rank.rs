@@ -1,12 +1,26 @@
-//! Per-rank execution state: [`RankCtx`] and the rank state machine.
-
-use std::collections::{HashMap, VecDeque};
+//! Per-rank execution state in struct-of-arrays layout.
+//!
+//! The executor keeps rank state in two parallel vectors instead of one
+//! `Vec<RankCtx>` of mixed scalars and boxes:
+//!
+//! * [`RankHot`] — the `Copy` scalars the event loop touches on *every*
+//!   event (state machine, clocks, counters). Packed contiguously so the
+//!   hot loop's rank lookups are a single cache line, not a pointer chase
+//!   through per-rank heap allocations.
+//! * [`RankCold`] — the boxed behaviors (program, collective, noise) plus
+//!   the flat [`Mailbox`] and the posted-receive list, touched only when a
+//!   rank actually executes.
+//!
+//! [`Ranks`] owns both vectors; [`RankPart`] is a contiguous mutable window
+//! over them ([`Ranks::part`] for the whole machine, [`Ranks::split`] for
+//! disjoint per-worker partitions in conservative-parallel mode); and
+//! [`Rk`] is the single-rank view the drivers operate on.
 
 use ghost_engine::rng::Xoshiro256;
 use ghost_engine::time::{Time, Work};
 use ghost_noise::model::NodeNoise;
 
-use super::p2p::mailbox_pop;
+use super::p2p::Mailbox;
 use crate::coll::Collective;
 use crate::program::Program;
 use crate::types::{Rank, Tag};
@@ -34,13 +48,10 @@ pub(super) enum RState {
     Failed,
 }
 
-/// All mutable per-rank state the executor threads through the event loop.
-pub(super) struct RankCtx {
-    pub(super) program: Box<dyn Program>,
-    pub(super) coll: Option<Box<dyn Collective>>,
+/// The `Copy` scalars of one rank, packed for the hot event loop.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct RankHot {
     pub(super) state: RState,
-    pub(super) mailbox: HashMap<(Rank, Tag), VecDeque<f64>>,
-    pub(super) noise: Box<dyn NodeNoise>,
     pub(super) coll_seq: u64,
     pub(super) finish: Option<Time>,
     pub(super) last_value: Option<f64>,
@@ -49,9 +60,6 @@ pub(super) struct RankCtx {
     pub(super) blocked: Time,
     /// Instant the current blocked period began.
     pub(super) block_start: Time,
-    /// Outstanding nonblocking receives, in posting order (consumed
-    /// in-order at `WaitAll` for determinism).
-    pub(super) posted: Vec<(Rank, Tag)>,
     /// Next posted receive to consume during an active `WaitAll`.
     pub(super) wait_cursor: usize,
     /// Sum of values received by the active `WaitAll`.
@@ -62,36 +70,152 @@ pub(super) struct RankCtx {
     pub(super) crash_at: Option<Time>,
     /// Fault injection: straggler factor in thousandths (1000 = none).
     pub(super) straggle_x1000: u64,
+    /// Extra transmission attempts this rank paid for (drops + duplicates).
+    pub(super) retransmits: u64,
+    /// Cached [`NodeNoise::is_free`]: when true, [`Rk::advance`] computes
+    /// `t + work` inline instead of chasing the boxed noise process — the
+    /// noiseless baseline (half of every compare) pays no virtual call per
+    /// event.
+    pub(super) noise_free: bool,
+}
+
+/// The boxed behaviors and buffers of one rank, touched only when the rank
+/// executes.
+pub(super) struct RankCold {
+    pub(super) program: Box<dyn Program>,
+    pub(super) coll: Option<Box<dyn Collective>>,
+    pub(super) noise: Box<dyn NodeNoise>,
+    pub(super) mailbox: Mailbox,
+    /// Outstanding nonblocking receives, in posting order (consumed
+    /// in-order at `WaitAll` for determinism). Cleared — capacity retained,
+    /// arena-style — at each `WaitAll` completion, so steady state makes no
+    /// allocations.
+    pub(super) posted: Vec<(Rank, Tag)>,
     /// Dedicated RNG for link-fault draws (present only when this rank
     /// can drop/duplicate messages, so fault-free runs make no draws).
     pub(super) fault_rng: Option<Xoshiro256>,
-    /// Extra transmission attempts this rank paid for (drops + duplicates).
-    pub(super) retransmits: u64,
 }
 
-impl RankCtx {
-    /// Fresh rank state at t=0, about to run `program` under `noise`.
-    pub(super) fn new(program: Box<dyn Program>, noise: Box<dyn NodeNoise>) -> Self {
+/// All per-rank state, struct-of-arrays.
+pub(super) struct Ranks {
+    pub(super) hot: Vec<RankHot>,
+    pub(super) cold: Vec<RankCold>,
+}
+
+impl Ranks {
+    pub(super) fn with_capacity(n: usize) -> Self {
         Self {
-            program,
-            coll: None,
+            hot: Vec::with_capacity(n),
+            cold: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append a fresh rank at t=0, about to run `program` under `noise`.
+    pub(super) fn push_rank(&mut self, program: Box<dyn Program>, noise: Box<dyn NodeNoise>) {
+        let noise_free = noise.is_free();
+        self.hot.push(RankHot {
             state: RState::WaitResume,
-            mailbox: HashMap::new(),
-            noise,
             coll_seq: 0,
             finish: None,
             last_value: None,
             compute_work: 0,
             blocked: 0,
             block_start: 0,
-            posted: Vec::new(),
             wait_cursor: 0,
             wait_accum: 0.0,
             wait_t: 0,
             crash_at: None,
             straggle_x1000: 1000,
-            fault_rng: None,
             retransmits: 0,
+            noise_free,
+        });
+        self.cold.push(RankCold {
+            program,
+            coll: None,
+            noise,
+            mailbox: Mailbox::new(),
+            posted: Vec::new(),
+            fault_rng: None,
+        });
+    }
+
+    /// One partition covering every rank (the sequential executor's view).
+    pub(super) fn part(&mut self) -> RankPart<'_> {
+        RankPart {
+            base: 0,
+            hot: &mut self.hot,
+            cold: &mut self.cold,
+        }
+    }
+
+    /// Split into contiguous disjoint partitions of `chunk` ranks each
+    /// (the last may be shorter), for conservative-parallel workers.
+    pub(super) fn split(&mut self, chunk: usize) -> Vec<RankPart<'_>> {
+        debug_assert!(chunk > 0);
+        let mut parts = Vec::new();
+        let mut base = 0;
+        let mut hot: &mut [RankHot] = &mut self.hot;
+        let mut cold: &mut [RankCold] = &mut self.cold;
+        while !hot.is_empty() {
+            let take = chunk.min(hot.len());
+            let (h, hrest) = hot.split_at_mut(take);
+            let (c, crest) = cold.split_at_mut(take);
+            parts.push(RankPart {
+                base,
+                hot: h,
+                cold: c,
+            });
+            base += take;
+            hot = hrest;
+            cold = crest;
+        }
+        parts
+    }
+}
+
+/// A contiguous mutable window of ranks `[base, base + len)`.
+pub(super) struct RankPart<'a> {
+    pub(super) base: Rank,
+    pub(super) hot: &'a mut [RankHot],
+    pub(super) cold: &'a mut [RankCold],
+}
+
+impl RankPart<'_> {
+    /// Whether global rank `r` falls inside this partition.
+    #[inline]
+    pub(super) fn contains(&self, r: Rank) -> bool {
+        r >= self.base && r < self.base + self.hot.len()
+    }
+
+    /// Single-rank view of global rank `r` (must be inside the partition).
+    #[inline]
+    pub(super) fn rk(&mut self, r: Rank) -> Rk<'_> {
+        let i = r - self.base;
+        Rk {
+            hot: &mut self.hot[i],
+            cold: &mut self.cold[i],
+        }
+    }
+}
+
+/// Mutable view of one rank: its hot scalars and cold behaviors.
+pub(super) struct Rk<'a> {
+    pub(super) hot: &'a mut RankHot,
+    pub(super) cold: &'a mut RankCold,
+}
+
+impl Rk<'_> {
+    /// Completion time of `work` started at `t` on this rank's CPU.
+    ///
+    /// The hot-path form of [`NodeNoise::advance`]: a noise-free rank
+    /// (cached at setup) resolves to `t + work` without dereferencing the
+    /// boxed noise process.
+    #[inline]
+    pub(super) fn advance(&mut self, t: Time, work: Work) -> Time {
+        if self.hot.noise_free {
+            t + work
+        } else {
+            self.cold.noise.advance(t, work)
         }
     }
 
@@ -101,13 +225,13 @@ impl RankCtx {
     /// or after its scheduled instant; the recorded finish time is the
     /// scheduled crash instant itself.
     pub(super) fn check_crash(&mut self, t: Time) -> bool {
-        if self.state == RState::Failed {
+        if self.hot.state == RState::Failed {
             return true;
         }
-        match self.crash_at {
-            Some(at) if t >= at && self.state != RState::Done => {
-                self.state = RState::Failed;
-                self.finish = Some(at);
+        match self.hot.crash_at {
+            Some(at) if t >= at && self.hot.state != RState::Done => {
+                self.hot.state = RState::Failed;
+                self.hot.finish = Some(at);
                 true
             }
             _ => false,
@@ -116,10 +240,10 @@ impl RankCtx {
 
     /// Stretch requested compute work by this rank's straggler factor.
     pub(super) fn straggled(&self, w: Work) -> Work {
-        if self.straggle_x1000 == 1000 {
+        if self.hot.straggle_x1000 == 1000 {
             w
         } else {
-            ((w as u128 * self.straggle_x1000 as u128) / 1000) as Work
+            ((w as u128 * self.hot.straggle_x1000 as u128) / 1000) as Work
         }
     }
 
@@ -130,33 +254,37 @@ impl RankCtx {
     /// by this call (so observers can credit the processing span with its
     /// requested work).
     pub(super) fn waitall_progress(&mut self, now: Time, recv_overhead: Time) -> (bool, u64) {
-        let mut t = self.wait_t.max(now);
+        let mut t = self.hot.wait_t.max(now);
         let mut consumed = 0u64;
         let done = loop {
-            if self.wait_cursor == self.posted.len() {
+            if self.hot.wait_cursor == self.cold.posted.len() {
                 break true;
             }
-            let (src, tag) = self.posted[self.wait_cursor];
-            match mailbox_pop(&mut self.mailbox, src, tag) {
+            let (src, tag) = self.cold.posted[self.hot.wait_cursor];
+            match self.cold.mailbox.pop(src, tag) {
                 Some(v) => {
-                    t = self.noise.advance(t, recv_overhead);
-                    self.wait_accum += v;
-                    self.wait_cursor += 1;
+                    t = if self.hot.noise_free {
+                        t + recv_overhead
+                    } else {
+                        self.cold.noise.advance(t, recv_overhead)
+                    };
+                    self.hot.wait_accum += v;
+                    self.hot.wait_cursor += 1;
                     consumed += 1;
                 }
                 None => break false,
             }
         };
-        self.wait_t = t;
+        self.hot.wait_t = t;
         (done, consumed)
     }
 
     /// Reset the `WaitAll` bookkeeping and return the accumulated value.
     pub(super) fn waitall_finish(&mut self) -> f64 {
-        let v = self.wait_accum;
-        self.posted.clear();
-        self.wait_cursor = 0;
-        self.wait_accum = 0.0;
+        let v = self.hot.wait_accum;
+        self.cold.posted.clear();
+        self.hot.wait_cursor = 0;
+        self.hot.wait_accum = 0.0;
         v
     }
 }

@@ -57,7 +57,10 @@ pub mod goal;
 pub mod program;
 pub mod types;
 
-pub use exec::{Machine, RecvMode, RunError, RunLimits, RunResult};
+pub use exec::{
+    default_parallel, set_default_parallel, EngineKind, Machine, RecvMode, RunError, RunLimits,
+    RunResult,
+};
 pub use goal::GoalWorkload;
 pub use program::{Program, ScriptProgram};
 pub use types::{

@@ -28,6 +28,16 @@ pub trait NodeNoise: Send {
     /// Useful CPU work available in the window `[t0, t1)`, i.e. the window
     /// length minus noise overlap. Must be called with monotone windows.
     fn work_in(&mut self, t0: Time, t1: Time) -> Work;
+
+    /// Whether this process provably never steals the CPU, i.e. `advance`
+    /// is exactly `t + work` forever. The executor caches this once per
+    /// rank and skips the virtual `advance` call on the hot path — at paper
+    /// scale (8k+ ranks) the per-event pointer chase into a boxed noise
+    /// process is measurable. Conservative default: `false` (wrappers that
+    /// *might* inject time, e.g. one-off delays, must not override this).
+    fn is_free(&self) -> bool {
+        false
+    }
 }
 
 /// An experiment-level noise configuration: instantiates one [`NodeNoise`]
@@ -119,6 +129,11 @@ impl NodeNoise for NoNoise {
     fn work_in(&mut self, t0: Time, t1: Time) -> Work {
         debug_assert!(t1 >= t0);
         t1 - t0
+    }
+
+    #[inline]
+    fn is_free(&self) -> bool {
+        true
     }
 }
 

@@ -368,6 +368,8 @@ impl Recorder for ProfileRecorder {
         self.engine.pushed += stats.pushed;
         self.engine.popped += stats.popped;
         self.engine.peak_pending = self.engine.peak_pending.max(stats.peak_pending);
+        self.engine.windows += stats.windows;
+        self.engine.window_ns += stats.window_ns;
     }
 }
 
@@ -470,11 +472,15 @@ mod tests {
             pushed: 10,
             popped: 10,
             peak_pending: 4,
+            windows: 3,
+            window_ns: 300,
         });
         p.engine(EngineStats {
             pushed: 5,
             popped: 5,
             peak_pending: 2,
+            windows: 1,
+            window_ns: 100,
         });
         assert_eq!(p.span_hist(SpanKind::Compute).count(), 2);
         assert_eq!(p.span_hist(SpanKind::SendOverhead).count(), 1);
@@ -483,6 +489,8 @@ mod tests {
         assert_eq!(p.messages, 1);
         assert_eq!(p.engine.pushed, 15);
         assert_eq!(p.engine.peak_pending, 4, "peak takes the max over runs");
+        assert_eq!(p.engine.windows, 4, "window counts accumulate");
+        assert_eq!(p.engine.window_ns, 400);
     }
 
     #[test]

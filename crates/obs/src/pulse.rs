@@ -214,6 +214,10 @@ enum Metric {
 #[derive(Debug)]
 struct Entry {
     name: String,
+    /// Rendered label body (`k="v",k="v"`), empty for an unlabeled metric.
+    /// Part of the metric's identity: one name can carry several label
+    /// sets, each with its own cell, sharing one `# HELP`/`# TYPE` header.
+    labels: String,
     help: String,
     metric: Metric,
 }
@@ -249,6 +253,42 @@ fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+/// Map a raw label name into the exposition label grammar
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`; offending characters become `_`).
+fn sanitize_label_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().max(1));
+    for (i, ch) in raw.chars().enumerate() {
+        let ok = ch.is_ascii_alphabetic() || ch == '_' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// A label body as a sample-key suffix: `{k="v"}`, or nothing when empty.
+fn suffix_labels(body: &str) -> String {
+    if body.is_empty() {
+        String::new()
+    } else {
+        format!("{{{body}}}")
+    }
+}
+
+/// Render a `k="v",k="v"` label body with escaped values.
+fn render_label_body(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(out, "{}=\"{v}\"", sanitize_label_name(k));
+    }
+    out
+}
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -258,25 +298,31 @@ impl Registry {
     fn register<T: Clone>(
         &self,
         name: &str,
+        labels: &[(&str, &str)],
         help: &str,
         existing: impl Fn(&Metric) -> Option<T>,
         fresh: impl FnOnce() -> (T, Metric),
     ) -> T {
         let mut entries = lock(&self.entries);
         let mut name = sanitize_name(name);
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        let labels = render_label_body(labels);
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
             if let Some(t) = existing(&e.metric) {
                 return t;
             }
-            // Same name, different kind: deconflict so exposition names
+            // Same identity, different kind: deconflict so exposition keys
             // stay unique (registration must be total).
-            while entries.iter().any(|e| e.name == name) {
+            while entries.iter().any(|e| e.name == name && e.labels == labels) {
                 name.push('_');
             }
         }
         let (t, metric) = fresh();
         entries.push(Entry {
             name,
+            labels,
             help: help.to_owned(),
             metric,
         });
@@ -285,8 +331,17 @@ impl Registry {
 
     /// Register (or fetch) a counter named `name`.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.labeled_counter(name, &[], help)
+    }
+
+    /// Register (or fetch) a counter named `name` carrying a fixed label
+    /// set. Each distinct `(name, labels)` pair is its own cell; all cells
+    /// of one name share a single `# HELP`/`# TYPE` header and render as
+    /// `name{k="v"} value` samples.
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
         self.register(
             name,
+            labels,
             help,
             |m| match m {
                 Metric::Counter(c) => Some(c.clone()),
@@ -303,6 +358,7 @@ impl Registry {
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
         self.register(
             name,
+            &[],
             help,
             |m| match m {
                 Metric::Gauge(g) => Some(g.clone()),
@@ -320,6 +376,7 @@ impl Registry {
     pub fn summary(&self, name: &str, help: &str) -> Histogram {
         self.register(
             name,
+            &[],
             help,
             |m| match m {
                 Metric::Summary(h) => Some(h.clone()),
@@ -347,29 +404,65 @@ impl Registry {
     pub fn render(&self) -> String {
         let entries = lock(&self.entries);
         let mut out = String::with_capacity(entries.len() * 96);
+        let mut announced: Vec<&str> = Vec::new();
         for e in entries.iter() {
-            let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+            // One HELP/TYPE header per metric name, even when several label
+            // sets share it (exposition requires headers not repeat).
+            let first = !announced.contains(&e.name.as_str());
+            if first {
+                announced.push(&e.name);
+                let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+            }
+            // Sample key: `name` or `name{k="v",...}`.
+            let key = if e.labels.is_empty() {
+                e.name.clone()
+            } else {
+                format!("{}{{{}}}", e.name, e.labels)
+            };
             match &e.metric {
                 Metric::Counter(c) => {
-                    let _ = writeln!(out, "# TYPE {} counter", e.name);
-                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                    if first {
+                        let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    }
+                    let _ = writeln!(out, "{key} {}", c.get());
                 }
                 Metric::Gauge(g) => {
-                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
-                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                    if first {
+                        let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    }
+                    let _ = writeln!(out, "{key} {}", g.get());
                 }
                 Metric::Summary(h) => {
-                    let _ = writeln!(out, "# TYPE {} summary", e.name);
+                    if first {
+                        let _ = writeln!(out, "# TYPE {} summary", e.name);
+                    }
+                    let lbl = if e.labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", e.labels)
+                    };
                     for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                         let _ = writeln!(
                             out,
-                            "{}{{quantile=\"{label}\"}} {}",
+                            "{}{{{lbl}quantile=\"{label}\"}} {}",
                             e.name,
                             h.quantile_upper(q)
                         );
                     }
-                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
-                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        suffix_labels(&e.labels),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        suffix_labels(&e.labels),
+                        h.count()
+                    );
                 }
             }
         }
@@ -679,6 +772,33 @@ mod tests {
         assert_eq!(expo.get("__bad_name_"), Some(1.0));
         assert_eq!(expo.get("__bad_name__"), Some(5.0));
         assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn labeled_counters_share_one_header_and_distinct_cells() {
+        let reg = Registry::new();
+        let a = reg.labeled_counter("events_total", &[("queue", "calendar")], "events");
+        let b = reg.labeled_counter("events_total", &[("queue", "heap")], "events");
+        let a2 = reg.labeled_counter("events_total", &[("queue", "calendar")], "events");
+        a.add(3);
+        b.add(5);
+        a2.inc();
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE events_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP events_total").count(), 1);
+        let expo = parse_exposition(&text).expect("labeled output must parse");
+        assert_eq!(expo.get("events_total{queue=\"calendar\"}"), Some(4.0));
+        assert_eq!(expo.get("events_total{queue=\"heap\"}"), Some(5.0));
+
+        // Hostile label names are sanitized and values escaped; the result
+        // must still satisfy the strict parser.
+        reg.labeled_counter("events_total", &[("bad key!", "va\"l\\ue")], "events")
+            .inc();
+        let expo = parse_exposition(&reg.render()).expect("sanitized labels must parse");
+        assert_eq!(
+            expo.get("events_total{bad_key_=\"va\\\"l\\\\ue\"}"),
+            Some(1.0)
+        );
     }
 
     #[test]

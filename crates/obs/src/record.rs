@@ -73,6 +73,24 @@ pub struct EngineStats {
     pub popped: u64,
     /// Peak number of simultaneously pending events.
     pub peak_pending: u64,
+    /// Conservative-parallel lookahead windows executed (0 for a run that
+    /// took the sequential path).
+    pub windows: u64,
+    /// Total simulated width of all executed lookahead windows, in ns
+    /// (0 for a sequential run).
+    pub window_ns: u64,
+}
+
+impl EngineStats {
+    /// Average simulated width of a parallel lookahead window in ns
+    /// (0.0 for a sequential run).
+    pub fn avg_window_ns(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.window_ns as f64 / self.windows as f64
+        }
+    }
 }
 
 /// One closed interval of a rank's timeline.
@@ -171,6 +189,20 @@ pub struct MsgRecord {
 /// (spans at their end time, waits at the unblocking arrival, messages at
 /// departure).
 pub trait Recorder {
+    /// Whether this recorder consumes the per-event streams
+    /// ([`Recorder::span`], [`Recorder::wait`], [`Recorder::message`]).
+    ///
+    /// The executor's conservative-parallel mode does not produce those
+    /// streams (workers process events out of global order), so it is only
+    /// eligible when the recorder reports `false` here. Defaults to `true`
+    /// — the safe direction: an unaware recorder forces the sequential
+    /// path and misses nothing. Summary-only recorders (engine statistics
+    /// via [`Recorder::engine`]) should override this to `false`.
+    #[inline]
+    fn observes_events(&self) -> bool {
+        true
+    }
+
     /// A CPU or blocked span closed.
     #[inline]
     fn span(&mut self, _span: OpSpan) {}
@@ -195,9 +227,18 @@ pub trait Recorder {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullRecorder;
 
-impl Recorder for NullRecorder {}
+impl Recorder for NullRecorder {
+    #[inline]
+    fn observes_events(&self) -> bool {
+        false
+    }
+}
 
 impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn observes_events(&self) -> bool {
+        (**self).observes_events()
+    }
     #[inline]
     fn span(&mut self, span: OpSpan) {
         (**self).span(span);
@@ -381,10 +422,27 @@ mod tests {
                 pushed: 3,
                 popped: 2,
                 peak_pending: 1,
+                windows: 4,
+                window_ns: 14,
             });
         }
         assert_eq!(s.0.pushed, 3);
         assert_eq!(s.0.popped, 2);
         assert_eq!(s.0.peak_pending, 1);
+        assert_eq!(s.0.windows, 4);
+        assert_eq!(s.0.avg_window_ns(), 3.5);
+        assert_eq!(EngineStats::default().avg_window_ns(), 0.0);
+    }
+
+    #[test]
+    fn observation_gate_defaults_are_safe() {
+        // Full-stream recorders force the sequential executor path...
+        assert!(VecRecorder::default().observes_events());
+        // ...while the disabled recorder allows parallel execution, and the
+        // &mut blanket forwards the gate rather than resetting it.
+        assert!(!NullRecorder.observes_events());
+        let mut n = NullRecorder;
+        let rr: &mut NullRecorder = &mut n;
+        assert!(!rr.observes_events());
     }
 }

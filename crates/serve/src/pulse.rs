@@ -34,7 +34,9 @@ pub(crate) struct ServePulse {
     pub store_errors: Counter,
     /// `GET /metrics` scrapes answered.
     pub scrapes: Counter,
-    /// Simulator events processed on behalf of fresh simulations.
+    /// Simulator events processed on behalf of fresh simulations. Labeled
+    /// with the process-default queue backend (`queue="calendar"` /
+    /// `queue="heap"`), resolved once at bind time.
     pub engine_events: Counter,
     /// Scenarios admitted and not yet finished (admission counter).
     pub queue_depth: Gauge,
@@ -99,8 +101,9 @@ impl ServePulse {
             "Store write failures and undecodable on-disk entries",
         );
         let scrapes = r.counter("ghost_serve_scrapes_total", "GET /metrics scrapes answered");
-        let engine_events = r.counter(
+        let engine_events = r.labeled_counter(
             "ghost_serve_engine_events_total",
+            &[("queue", ghost_mpi::EngineKind::default_global().label())],
             "Simulator events processed by fresh simulations",
         );
         let queue_depth = r.gauge(
@@ -192,6 +195,11 @@ mod tests {
         let text = p.render(Duration::from_secs(9));
         let expo = parse_exposition(&text).expect("server exposition must parse");
         assert_eq!(expo.get("ghost_serve_requests_total"), Some(1.0));
+        assert_eq!(
+            expo.get("ghost_serve_engine_events_total{queue=\"calendar\"}"),
+            Some(0.0),
+            "engine events must carry the default queue-backend label"
+        );
         assert_eq!(expo.get("ghost_serve_capacity"), Some(64.0));
         assert_eq!(expo.get("ghost_serve_uptime_seconds"), Some(9.0));
         assert_eq!(expo.get("ghost_serve_queue_depth"), Some(2.0));

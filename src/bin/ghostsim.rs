@@ -63,6 +63,8 @@ struct Args {
     topo: String,
     network: String,
     seed: u64,
+    engine: Option<EngineKind>,
+    parallel: Option<usize>,
     out: Option<String>,
     drop_ppm: u32,
     crashes: Vec<(usize, u64)>,
@@ -96,6 +98,8 @@ impl Default for Args {
             topo: "flat".into(),
             network: "mpp".into(),
             seed: 42,
+            engine: None,
+            parallel: None,
             out: None,
             drop_ppm: 0,
             crashes: Vec::new(),
@@ -145,6 +149,12 @@ OPTIONS:
     --topo <flat|torus|fattree>         topology              [default: flat]
     --network <mpp|commodity|ideal>     LogGP preset          [default: mpp]
     --seed <N>                          experiment seed       [default: 42]
+    --engine <calendar|heap>            simulator event-queue backend
+                                        [default: calendar]
+    --parallel <N>                      conservative-parallel DES workers
+                                        (1 = sequential, 0 = auto-detect;
+                                        results are byte-identical either way)
+                                        [default: 1]
     --out <file>                        (trace) write Chrome trace JSON here
     --drop-ppm <N>                      lossy links: drop N per million
                                         messages (with retransmission)
@@ -262,6 +272,15 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--topo" => args.topo = value,
             "--network" => args.network = value,
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--engine" => {
+                args.engine =
+                    Some(EngineKind::parse(&value).ok_or_else(|| {
+                        format!("--engine: expected calendar or heap, got '{value}'")
+                    })?)
+            }
+            "--parallel" => {
+                args.parallel = Some(value.parse().map_err(|e| format!("--parallel: {e}"))?)
+            }
             "--out" => args.out = Some(value),
             "--drop-ppm" => {
                 args.drop_ppm = value.parse().map_err(|e| format!("--drop-ppm: {e}"))?;
@@ -342,6 +361,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Engine knobs are process-global (they deliberately stay out of
+    // `ExperimentSpec`, since both backends and both execution modes are
+    // byte-identical): set them once, before any simulation runs.
+    if let Some(kind) = args.engine {
+        kind.set_default();
+    }
+    if let Some(threads) = args.parallel {
+        set_default_parallel(threads);
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(Failure::Usage(e)) => {

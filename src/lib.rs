@@ -76,8 +76,8 @@ pub mod prelude {
     };
     pub use ghost_engine::time::{MS, SEC, US};
     pub use ghost_mpi::{
-        Env, GoalWorkload, Machine, MpiCall, Program, RecvMode, ReduceOp, RunError, RunLimits,
-        RunResult, ScriptProgram,
+        default_parallel, set_default_parallel, EngineKind, Env, GoalWorkload, Machine, MpiCall,
+        Program, RecvMode, ReduceOp, RunError, RunLimits, RunResult, ScriptProgram,
     };
     pub use ghost_net::{Dragonfly, FatTree, Flat, LogGP, LossyLink, Network, RetryModel, Torus3D};
     pub use ghost_noise::burst::BurstNoise;

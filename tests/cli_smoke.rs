@@ -42,6 +42,36 @@ fn clean_compare_exits_zero_with_a_metrics_row() {
 }
 
 #[test]
+fn engine_and_parallel_knobs_produce_identical_tables() {
+    let base = ghostsim(&["--app", "bsp", "--nodes", "4", "--steps", "2"]);
+    assert_eq!(base.status.code(), Some(0));
+    for flags in [
+        &["--engine", "heap"][..],
+        &["--engine", "calendar", "--parallel", "2"][..],
+        &["--parallel", "0"][..],
+    ] {
+        let mut argv = vec!["--app", "bsp", "--nodes", "4", "--steps", "2"];
+        argv.extend_from_slice(flags);
+        let out = ghostsim(&argv);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{flags:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Backends and execution modes are byte-identical: same table.
+        assert_eq!(out.stdout, base.stdout, "{flags:?} changed the result");
+    }
+}
+
+#[test]
+fn bad_engine_is_a_usage_error() {
+    let out = ghostsim(&["--engine", "splay"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--engine"));
+}
+
+#[test]
 fn unknown_flag_is_a_usage_error() {
     let out = ghostsim(&["--bogus", "x"]);
     assert_eq!(out.status.code(), Some(2));

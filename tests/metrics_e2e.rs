@@ -53,8 +53,13 @@ fn scrape_counters_move_across_a_warm_repeat() {
     assert_eq!(warm.get("ghost_serve_inflight"), Some(0.0));
     // No store directory: the gauge reports the -1 sentinel.
     assert_eq!(warm.get("ghost_serve_store_entries"), Some(-1.0));
-    // A fresh simulation processed simulator events.
-    assert!(warm.get("ghost_serve_engine_events_total").unwrap() > 0.0);
+    // A fresh simulation processed simulator events, attributed to the
+    // default queue backend.
+    assert!(
+        warm.get("ghost_serve_engine_events_total{queue=\"calendar\"}")
+            .unwrap()
+            > 0.0
+    );
     // Per-stage latency summaries are present and populated.
     assert!(warm.get("ghost_serve_request_ns_count").unwrap() >= 2.0);
     assert!(warm

@@ -1,0 +1,266 @@
+//! Conservative-parallel determinism: parallel execution must produce a
+//! `RunResult` **byte-identical** to sequential execution — same makespan,
+//! same per-rank vectors, same message/event/retransmit counts — on every
+//! workload shape the paper's figures and tables exercise, and at scale.
+//!
+//! These tests are the contract that lets `ghostsim --parallel N` be a pure
+//! performance knob: if any of them fails, the replay merge in
+//! `crates/mpi/src/exec/parallel.rs` has diverged from the sequential
+//! `(time, seq)` event order.
+
+use ghostsim::apps::bsp::SyncKind;
+use ghostsim::prelude::*;
+
+/// Run `workload` on the machine `spec` describes, with an explicit queue
+/// backend and worker count (1 = sequential). Mirrors
+/// `ghost_core::experiment::try_run_workload`, which always runs with the
+/// process-global defaults.
+fn run(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    engine: EngineKind,
+    parallel: usize,
+) -> Result<RunResult, RunError> {
+    let net = spec.build_network();
+    let model = injection.build();
+    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
+    let mut m = Machine::new(net, model.as_ref(), spec.seed)
+        .with_config(spec.coll)
+        .with_recv_mode(spec.recv_mode)
+        .with_engine(engine)
+        .with_parallel(parallel);
+    if !injection.faults().is_empty() {
+        m = m.with_faults(injection.faults().clone());
+    }
+    if let Some(l) = injection.lossy() {
+        m = m.with_lossy(l);
+    }
+    m.run(programs)
+}
+
+/// One workload shape: a named (spec, workload, injection) triple.
+struct Shape {
+    name: &'static str,
+    spec: ExperimentSpec,
+    workload: Box<dyn Workload>,
+    injection: NoiseInjection,
+}
+
+fn shape(
+    name: &'static str,
+    spec: ExperimentSpec,
+    workload: impl Workload + 'static,
+    injection: NoiseInjection,
+) -> Shape {
+    Shape {
+        name,
+        spec,
+        workload: Box::new(workload),
+        injection,
+    }
+}
+
+/// The 16 figure/table artifacts (`crates/bench/benches/fig*.rs`,
+/// `table*.rs`) as concrete workload shapes, at test-sized node and step
+/// counts (fig4 contributes both a latency-bound and a bandwidth-bound
+/// collective, and the interrupt/commodity golden scenarios ride along, so
+/// 16 artifacts yield 17 configurations). Together they
+/// cover every executor path: blocking and nonblocking p2p, every
+/// collective family, polling and interrupt receive, all three network
+/// presets, torus routing, coordinated/uncoordinated noise, crash and
+/// straggler faults, and lossy links.
+fn figure_table_shapes() -> Vec<Shape> {
+    let sig_slow = Signature::new(10.0, 2500 * US);
+    let sig_fast = Signature::new(1000.0, 25 * US);
+    let mut shapes = vec![
+        // fig1: noiseless BSP floor.
+        shape(
+            "fig1 noise floor",
+            ExperimentSpec::flat(8, 42),
+            BspSynthetic::new(10, MS),
+            NoiseInjection::none(),
+        ),
+        // fig2: FTQ-style fixed-work quanta under injection.
+        shape(
+            "fig2 injection ftq",
+            ExperimentSpec::flat(8, 42),
+            BspSynthetic::new(10, MS),
+            NoiseInjection::uncoordinated(sig_slow),
+        ),
+        // fig3: back-to-back 8-byte allreduces (latency-bound collective).
+        shape(
+            "fig3 allreduce chain",
+            ExperimentSpec::flat(16, 42),
+            BspSynthetic::new(8, 0).with_sync(SyncKind::Allreduce { bytes: 8 }),
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        // fig4: barrier sensitivity.
+        shape(
+            "fig4 barrier",
+            ExperimentSpec::flat(16, 42),
+            BspSynthetic::new(6, 100 * US).with_sync(SyncKind::Barrier),
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        // fig4: bandwidth-bound large allreduce.
+        shape(
+            "fig4 allreduce 64KiB",
+            ExperimentSpec::flat(16, 42),
+            BspSynthetic::new(4, 100 * US).with_sync(SyncKind::Allreduce { bytes: 64 * 1024 }),
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        // fig5-7: the three application proxies under canonical injection.
+        shape(
+            "fig5 sage",
+            ExperimentSpec::flat(16, 42),
+            SageLike::with_steps(2),
+            NoiseInjection::uncoordinated(sig_slow),
+        ),
+        shape(
+            "fig6 cth",
+            ExperimentSpec::flat(8, 42),
+            CthLike::with_steps(2),
+            NoiseInjection::uncoordinated(sig_slow),
+        ),
+        shape(
+            "fig7 pop",
+            ExperimentSpec::flat(16, 7),
+            PopLike {
+                steps: 1,
+                cg_iters: 10,
+                ..Default::default()
+            },
+            NoiseInjection::uncoordinated(sig_slow),
+        ),
+        // fig8: absorption — nonblocking halo on a torus.
+        shape(
+            "fig8 waitall torus",
+            ExperimentSpec::torus(8, 42),
+            CthLike {
+                halo_nonblocking: true,
+                ..CthLike::with_steps(2)
+            },
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        // fig9: duration sweep granularity (POP-like synthetic).
+        shape(
+            "fig9 duration sweep",
+            ExperimentSpec::flat(16, 3),
+            BspSynthetic::new(20, 500 * US),
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        // fig10: 2-node netgauge-style microbenchmark.
+        shape(
+            "fig10 netgauge pair",
+            ExperimentSpec::flat(2, 42),
+            BspSynthetic::new(50, 10 * US).with_sync(SyncKind::Allreduce { bytes: 8 }),
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        // table1: coordinated (co-scheduled) injection phase policy.
+        shape(
+            "table1 coordinated",
+            ExperimentSpec::flat(16, 42),
+            BspSynthetic::new(10, 250 * US),
+            NoiseInjection::coordinated(sig_fast),
+        ),
+        // table2: application summary on the torus.
+        shape(
+            "table2 sage torus",
+            ExperimentSpec::torus(16, 42),
+            SageLike::with_steps(1),
+            NoiseInjection::uncoordinated(sig_slow),
+        ),
+        // table3: replicate seeds — same shape, different stream.
+        shape(
+            "table3 replicate seed",
+            ExperimentSpec::flat(16, 1337),
+            PopLike::with_steps(1),
+            NoiseInjection::uncoordinated(sig_slow),
+        ),
+        // table4: faults (crash + straggler) and a lossy fabric. The crash
+        // strands the collective's peers, so this shape deterministically
+        // produces a `RunError::RankFailed` — parallel execution must report
+        // the *same* typed error, stranded list and all.
+        shape(
+            "table4 faults lossy",
+            ExperimentSpec::flat(8, 42),
+            PopLike::with_steps(1),
+            NoiseInjection::none()
+                .with_faults(
+                    FaultPlan::new()
+                        .with_crash(3, 40 * MS)
+                        .with_straggler(5, 1500),
+                )
+                .with_lossy(LossyLink {
+                    drop_ppm: 50_000,
+                    dup_ppm: 20_000,
+                    retry: RetryModel::default(),
+                }),
+        ),
+    ];
+    // Interrupt receive mode: every arrival pays a kernel wakeup.
+    let mut interrupt_spec = ExperimentSpec::flat(8, 42);
+    interrupt_spec.recv_mode = RecvMode::Interrupt { wakeup: 3 * US };
+    shapes.push(shape(
+        "cth interrupt",
+        interrupt_spec,
+        CthLike::with_steps(2),
+        NoiseInjection::none(),
+    ));
+    // Commodity network: alltoall is bandwidth-bound and multi-hop.
+    let mut commodity_spec = ExperimentSpec::flat(8, 42);
+    commodity_spec.net = NetPreset::Commodity;
+    shapes.push(shape(
+        "spectral commodity",
+        commodity_spec,
+        SpectralLike::with_steps(1),
+        NoiseInjection::none(),
+    ));
+    shapes
+}
+
+/// Parallel execution (2 and 3 workers, both queue backends) is
+/// byte-identical to sequential execution on all 16 figure/table shapes.
+#[test]
+fn parallel_matches_sequential_on_every_figure_table_shape() {
+    let shapes = figure_table_shapes();
+    assert_eq!(shapes.len(), 17, "16 artifacts -> 17 configurations");
+    for s in &shapes {
+        let seq = run(&s.spec, &*s.workload, &s.injection, EngineKind::Calendar, 1);
+        let seq_heap = run(&s.spec, &*s.workload, &s.injection, EngineKind::Heap, 1);
+        assert_eq!(seq, seq_heap, "[{}] heap vs calendar (sequential)", s.name);
+        for (engine, threads) in [
+            (EngineKind::Calendar, 2),
+            (EngineKind::Calendar, 3),
+            (EngineKind::Heap, 2),
+        ] {
+            let par = run(&s.spec, &*s.workload, &s.injection, engine, threads);
+            assert_eq!(
+                par, seq,
+                "[{}] parallel({threads}, {engine:?}) diverged from sequential",
+                s.name
+            );
+        }
+    }
+}
+
+/// Golden makespans at paper scale: the fig3 allreduce microbenchmark at
+/// 1024 and 4096 ranks, run sequentially and in parallel, both pinned to
+/// exact values. A replay-merge bug that happens to cancel out at 8 ranks
+/// cannot hide at 4096.
+#[test]
+fn golden_makespans_at_scale_parallel_and_sequential() {
+    const GOLDEN: [(usize, u64); 2] = [(1024, 362_240), (4096, 394_688)];
+    for (nodes, golden) in GOLDEN {
+        let spec = ExperimentSpec::flat(nodes, 42);
+        let w = BspSynthetic::new(4, 50 * US).with_sync(SyncKind::Allreduce { bytes: 8 });
+        let inj = NoiseInjection::none();
+        let seq = run(&spec, &w, &inj, EngineKind::Calendar, 1).expect("sequential deadlocked");
+        let par = run(&spec, &w, &inj, EngineKind::Calendar, 4).expect("parallel deadlocked");
+        assert_eq!(par, seq, "parallel diverged at {nodes} ranks");
+        assert_eq!(
+            seq.makespan, golden,
+            "golden makespan changed at {nodes} ranks"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Differential property tests: [`CalendarQueue`] must be observationally
+//! identical to the reference [`EventQueue`] binary heap through the
+//! [`DesQueue`] trait — same pop sequence, same `peek_time`/`now`, same
+//! counters — under the workload patterns that stress a calendar queue's
+//! weak spots:
+//!
+//! * **dense ties** — thousands of events at one instant (FIFO seq order),
+//! * **huge gaps** — sparse far-future events forcing the jump-to-min path,
+//! * **interleaved push/pop** — steady-state churn around the cursor,
+//! * **occupancy drift** — growth that triggers bucket-doubling resizes
+//!   mid-stream, which must not reorder anything.
+
+use ghostsim::engine::{CalendarQueue, DesQueue, EventQueue};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Drain both queues completely, asserting identical pop sequences and
+/// identical final counters.
+fn drain_and_compare(
+    cal: &mut CalendarQueue<usize>,
+    heap: &mut EventQueue<usize>,
+) -> Result<(), TestCaseError> {
+    loop {
+        prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        let (a, b) = (cal.pop(), heap.pop());
+        prop_assert_eq!(&a, &b);
+        if a.is_none() {
+            break;
+        }
+        prop_assert_eq!(cal.now(), heap.now());
+    }
+    prop_assert_eq!(cal.len(), 0);
+    prop_assert_eq!(cal.total_pushed(), heap.total_pushed());
+    prop_assert_eq!(cal.total_popped(), heap.total_popped());
+    prop_assert_eq!(cal.peak_len(), heap.peak_len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense ties: clusters of events sharing an instant must come back in
+    /// push (FIFO) order from both backends, across arbitrary calendar
+    /// geometry.
+    #[test]
+    fn dense_ties_preserve_fifo_order(
+        cluster_times in proptest::collection::vec(0u64..1_000, 1..8),
+        per_cluster in 1usize..200,
+        width in 1u64..10_000,
+        buckets in 1usize..32,
+    ) {
+        let mut cal = CalendarQueue::with_params(width, buckets);
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        let mut payload = 0usize;
+        for &t in &cluster_times {
+            for _ in 0..per_cluster {
+                cal.push(t, payload);
+                heap.push(t, payload);
+                payload += 1;
+            }
+        }
+        drain_and_compare(&mut cal, &mut heap)?;
+    }
+
+    /// Huge gaps: a handful of events scattered across ten orders of
+    /// magnitude of simulated time. The calendar must take its
+    /// jump-to-minimum path rather than scanning empty years.
+    #[test]
+    fn huge_gaps_hit_the_jump_path(
+        exponents in proptest::collection::vec((0u32..40, 0u64..1_000), 1..40),
+        width in 1u64..100_000,
+        buckets in 1usize..64,
+    ) {
+        let mut cal = CalendarQueue::with_params(width, buckets);
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        for (i, &(exp, jitter)) in exponents.iter().enumerate() {
+            // Times like 2^exp + jitter: adjacent events can be nanoseconds
+            // or ~ 10^12 ns apart.
+            let t = (1u64 << exp) + jitter;
+            cal.push(t, i);
+            heap.push(t, i);
+        }
+        drain_and_compare(&mut cal, &mut heap)?;
+    }
+
+    /// Interleaved push/pop around the cursor: pops advance `now`, pushes
+    /// land at `now + dt` (dt = 0 re-exercises ties at the cursor).
+    #[test]
+    fn interleaved_push_pop_is_equivalent(
+        ops in proptest::collection::vec((0u64..50_000, 0u8..4), 1..400),
+        width in 1u64..5_000,
+        buckets in 1usize..16,
+    ) {
+        let mut cal = CalendarQueue::with_params(width, buckets);
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        let mut payload = 0usize;
+        for &(dt, kind) in &ops {
+            // kind: 0 = pop, 1-3 = push (pushes outnumber pops so the
+            // queue tends to grow into resize territory).
+            if kind == 0 {
+                prop_assert_eq!(cal.pop(), heap.pop());
+                prop_assert_eq!(cal.now(), heap.now());
+            } else {
+                let t = heap.now() + dt;
+                cal.push(t, payload);
+                heap.push(t, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        drain_and_compare(&mut cal, &mut heap)?;
+    }
+
+    /// Occupancy drift: start from a deliberately tiny calendar (1 bucket)
+    /// and push far past the resize threshold in waves whose time ranges
+    /// drift upward, forcing repeated redistributions while earlier waves
+    /// are partially drained.
+    #[test]
+    fn resize_under_occupancy_drift_preserves_order(
+        waves in proptest::collection::vec((1usize..300, 0u64..100_000), 1..6),
+        pops_between in 0usize..50,
+    ) {
+        let mut cal = CalendarQueue::with_params(100, 1);
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        let mut payload = 0usize;
+        let mut base = 0u64;
+        for &(count, spread) in &waves {
+            for k in 0..count {
+                // LCG scatter inside the wave's [base, base+spread] range.
+                let r = (payload as u64)
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let t = base + if spread == 0 { 0 } else { r % spread };
+                let t = t.max(heap.now());
+                cal.push(t, payload);
+                heap.push(t, payload);
+                payload += k & 1; // duplicate every other payload id: ties
+                payload += 1;
+            }
+            for _ in 0..pops_between {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            }
+            base += spread / 2; // drift the live window upward
+        }
+        drain_and_compare(&mut cal, &mut heap)?;
+    }
+
+    /// The `DesQueue` trait itself is the interchange surface the executor
+    /// compiles against: drive both backends through trait objects' worth
+    /// of generic code (capacity hints included) and compare.
+    #[test]
+    fn trait_level_equivalence_with_capacity_hints(
+        deltas in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+        hint in 0usize..10_000,
+    ) {
+        fn scenario<Q: DesQueue<usize>>(hint: usize, deltas: &[u64]) -> Vec<(u64, usize)> {
+            let mut q = Q::with_capacity_hint(hint);
+            let mut out = Vec::new();
+            for (i, &dt) in deltas.iter().enumerate() {
+                // Offsets from `now`: pops below advance the clock, and
+                // past-time pushes are a contract violation (debug panic).
+                q.push(q.now() + dt, i);
+                // Half-drain periodically so pushes interleave with pops.
+                if i % 7 == 0 {
+                    if let Some(e) = q.pop() {
+                        out.push(e);
+                    }
+                }
+            }
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        }
+        let a = scenario::<CalendarQueue<usize>>(hint, &deltas);
+        let b = scenario::<EventQueue<usize>>(hint, &deltas);
+        prop_assert_eq!(a, b);
+    }
+}
