@@ -42,7 +42,7 @@ cargo bench --workspace --no-run
 # result landed on disk.
 echo "==> ghostsim serve smoke test"
 SMOKE_DIR="$(mktemp -d)"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill "${SERVE_PID:-}" "${FLEET1_PID:-}" "${FLEET2_PID:-}" "${FLEET3_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "${FLEET_DIR:-}"' EXIT
 ./target/release/ghostsim serve --addr 127.0.0.1:0 \
     --store "$SMOKE_DIR/store" --port-file "$SMOKE_DIR/port" &
 SERVE_PID=$!
@@ -77,6 +77,77 @@ wait "$SERVE_PID"
 ls "$SMOKE_DIR/store"/gs-*.res > /dev/null \
     || { echo "serve smoke: no result file persisted"; exit 1; }
 echo "serve smoke: ok"
+
+# Fleet smoke: three daemons as separate OS processes forming one
+# ghost-fleet. Submit the same scenario through every peer (the non-owners
+# forward; every answer must be byte-identical), then SIGKILL one daemon,
+# wait for the survivors to suspect it, and check a survivor still serves
+# the warm answer byte-identically. --sync-ms 5000 keeps anti-entropy out
+# of the window so the warmth provably comes from forward read-through.
+echo "==> ghostsim fleet smoke test"
+FLEET_DIR="$(mktemp -d)"
+fleet_wait_port() {
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "fleet smoke: $1 was never written"; return 1
+}
+./target/release/ghostsim serve --addr 127.0.0.1:0 --store "$FLEET_DIR/store1" \
+    --port-file "$FLEET_DIR/port1" --peers "" --heartbeat-ms 100 --sync-ms 5000 &
+FLEET1_PID=$!
+fleet_wait_port "$FLEET_DIR/port1"
+FLEET_A1="$(cat "$FLEET_DIR/port1")"
+./target/release/ghostsim serve --addr 127.0.0.1:0 --store "$FLEET_DIR/store2" \
+    --port-file "$FLEET_DIR/port2" --peers "$FLEET_A1" --heartbeat-ms 100 --sync-ms 5000 &
+FLEET2_PID=$!
+fleet_wait_port "$FLEET_DIR/port2"
+FLEET_A2="$(cat "$FLEET_DIR/port2")"
+./target/release/ghostsim serve --addr 127.0.0.1:0 --store "$FLEET_DIR/store3" \
+    --port-file "$FLEET_DIR/port3" --peers "$FLEET_A1,$FLEET_A2" --heartbeat-ms 100 --sync-ms 5000 &
+FLEET3_PID=$!
+fleet_wait_port "$FLEET_DIR/port3"
+FLEET_A3="$(cat "$FLEET_DIR/port3")"
+sleep 1 # a few heartbeats: let gossip complete the mesh
+N=1
+for A in "$FLEET_A1" "$FLEET_A2" "$FLEET_A3"; do
+    ./target/release/ghostsim submit --server "$A" --app pop --nodes 8 --steps 1 \
+        > "$FLEET_DIR/warm$N.txt"
+    N=$((N + 1))
+done
+cmp "$FLEET_DIR/warm1.txt" "$FLEET_DIR/warm2.txt" \
+    || { echo "fleet smoke: peers 1 and 2 answered differently"; exit 1; }
+cmp "$FLEET_DIR/warm1.txt" "$FLEET_DIR/warm3.txt" \
+    || { echo "fleet smoke: peers 1 and 3 answered differently"; exit 1; }
+FORWARDED=0
+for A in "$FLEET_A1" "$FLEET_A2" "$FLEET_A3"; do
+    ./target/release/ghostsim submit --server "$A" --scrape > "$FLEET_DIR/m.txt"
+    if grep -Eq '^ghost_fleet_forward_total [1-9]' "$FLEET_DIR/m.txt"; then
+        FORWARDED=1
+    fi
+done
+[ "$FORWARDED" = 1 ] \
+    || { echo "fleet smoke: no peer forwarded a request"; exit 1; }
+kill -9 "$FLEET3_PID"
+sleep 2 # > 3 heartbeats: the survivors must suspect the corpse
+./target/release/ghostsim submit --server "$FLEET_A1" --scrape > "$FLEET_DIR/m1.txt"
+grep -Eq '^ghost_fleet_suspect_total [1-9]' "$FLEET_DIR/m1.txt" \
+    || { echo "fleet smoke: the killed peer was never suspected"; exit 1; }
+./target/release/ghostsim submit --server "$FLEET_A1" --app pop --nodes 8 --steps 1 \
+    > "$FLEET_DIR/survivor.txt"
+cmp "$FLEET_DIR/warm1.txt" "$FLEET_DIR/survivor.txt" \
+    || { echo "fleet smoke: survivor's warm answer changed after the kill"; exit 1; }
+./target/release/ghostsim submit --server "$FLEET_A1" --shutdown
+./target/release/ghostsim submit --server "$FLEET_A2" --shutdown
+wait "$FLEET1_PID" "$FLEET2_PID"
+echo "fleet smoke: ok"
+
+# Cluster chaos harness: the in-process version of the same story, with a
+# kill, a kill+restart, and a partition window on a schedule; exits
+# non-zero if any answer was wrong or warmth failed to replicate.
+echo "==> ghostsim cluster chaos harness"
+./target/release/ghostsim cluster --peers 3 --nodes 8 --steps 1 --settle-ms 8000 \
+    || { echo "cluster harness: fleet invariants violated"; exit 1; }
 
 # Telemetry bench: a small measurement window is enough to prove the
 # BENCH_serve.json emitter works end to end (warm-hit latency with tracing

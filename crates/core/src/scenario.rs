@@ -31,6 +31,36 @@ use crate::experiment::{try_run_workload_limited, ExperimentSpec};
 use crate::injection::NoiseInjection;
 use crate::metrics::Metrics;
 
+/// SplitMix64 finalizer: a fixed, process-independent bijective mixer.
+///
+/// The fleet layer hashes scenario cache keys with FNV-64, whose low bits
+/// correlate for near-identical specs; this finalizer spreads them before
+/// any modulo or ring-position use. Every peer must compute the same
+/// placement for the same key, so this function is deliberately constant
+/// across platforms and releases (pinned by golden tests) — do not swap it
+/// for `std::hash`, whose output is not a stable contract.
+pub fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Map a 64-bit scenario key hash onto one of `shards` shards.
+///
+/// This is the canonical key→shard mapping shared by the ghost-fleet hash
+/// ring (peer routing) and the anti-entropy digest exchange (key-range
+/// bucketing): two peers that agree on the key bytes agree on the shard.
+/// `shards == 0` is treated as one shard so the mapping is total.
+pub fn shard_of(key_hash: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (mix64(key_hash) % shards as u64) as usize
+}
+
 /// A named application skeleton plus its size parameters — everything
 /// needed to rebuild the `dyn Workload` on the other side of a wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -345,6 +375,30 @@ mod tests {
             machine: ExperimentSpec::flat(4, 7),
             injection: InjectionSpec::uncoordinated(100.0, 0.025),
         }
+    }
+
+    #[test]
+    fn mix64_is_a_pinned_contract() {
+        // Fleet peers compute ring placement independently; these goldens
+        // pin the mixer so a refactor cannot silently re-home every key.
+        assert_eq!(mix64(0), 0);
+        assert_eq!(mix64(1), 0x5692_161d_100b_05e5);
+        assert_eq!(mix64(0xdead_beef), 0x4e06_2702_ec92_9eea);
+        assert_eq!(mix64(u64::MAX), 0xb4d0_55fc_f2cb_bd7b);
+    }
+
+    #[test]
+    fn shard_of_is_total_and_spread() {
+        assert_eq!(shard_of(42, 0), 0);
+        assert_eq!(shard_of(42, 1), 0);
+        // Sequential FNV-ish hashes should not all land on one shard.
+        let mut seen = [0usize; 16];
+        for k in 0..4096u64 {
+            let s = shard_of(k, 16);
+            assert!(s < 16);
+            seen[s] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "empty shard: {seen:?}");
     }
 
     #[test]

@@ -1,0 +1,573 @@
+//! Chaos harness for ghost-fleet: boot N real daemons in-process, then
+//! kill, restart, and partition them on a deterministic schedule while
+//! checking the fleet's two invariants:
+//!
+//! 1. **No wrong answers under churn.** Every submission that completes —
+//!    through any peer, with any subset of the fleet dead or partitioned —
+//!    returns bytes identical to an in-process [`run_scenario`] of the
+//!    same spec. Losing the key's owner degrades to local simulation, not
+//!    to an error and never to a different answer.
+//! 2. **Warm anywhere is warm everywhere.** After the churn ends and
+//!    anti-entropy converges, every peer holds every warm key in its own
+//!    store (byte-identical to the expected reply) and a full warm pass
+//!    through every peer re-simulates nothing.
+//!
+//! The fault schedule reuses the simulator's own [`FaultPlan`] vocabulary,
+//! reinterpreted at fleet scale: `Crash` kills a daemon for good, `Delay`
+//! kills and later restarts it (same port, same store), and `Drop`
+//! partitions it for a window (inbound connections accepted then dropped,
+//! outbound gossip stopped). `at`/`from` times are simulated-time
+//! nanoseconds in a [`FaultPlan`]; here they are wall-clock nanoseconds
+//! since the churn started.
+//!
+//! The harness runs real TCP daemons with real stores — only the process
+//! boundary is elided, which is what makes `kill` cheap enough to script.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ghost_core::scenario::{run_scenario, ScenarioSpec};
+use ghost_mpi::RunLimits;
+use ghost_noise::fault::{FaultKind, FaultPlan};
+
+use crate::client::{call_with_retry, Client, ClientError, RetryPolicy};
+use crate::fleet::FleetConfig;
+use crate::server::{ServeConfig, Server, ServerHandle};
+use crate::wire::{content_hash, scenario_key_bytes, RawEntry, ScenarioReply, ServerStats};
+
+/// How a [`ClusterHarness`] is shaped: peer count, store location, and the
+/// fleet timing knobs every peer shares.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of daemons to boot.
+    pub peers: usize,
+    /// Root directory for the per-peer stores (`<root>/peer-<i>`).
+    pub store_root: PathBuf,
+    /// Gossip interval (ms).
+    pub heartbeat_ms: u64,
+    /// Anti-entropy interval (ms).
+    pub sync_ms: u64,
+    /// Consecutive failures before a peer is suspected.
+    pub suspect_after: u32,
+    /// Peer-to-peer socket timeout (ms).
+    pub rpc_timeout_ms: u64,
+    /// Admission cap per daemon.
+    pub capacity: usize,
+}
+
+impl ClusterConfig {
+    /// Test-speed timings: tight heartbeats and sync so suspicion and
+    /// convergence happen in tens of milliseconds, not seconds.
+    pub fn quick(store_root: PathBuf, peers: usize) -> Self {
+        Self {
+            peers,
+            store_root,
+            heartbeat_ms: 25,
+            sync_ms: 100,
+            suspect_after: 3,
+            rpc_timeout_ms: 1_000,
+            capacity: 64,
+        }
+    }
+}
+
+/// One member of the cluster: its fixed address, its store directory, and
+/// the live handle (`None` while killed).
+struct Peer {
+    addr: SocketAddr,
+    store_dir: PathBuf,
+    handle: Option<ServerHandle>,
+}
+
+/// N in-process ghost-serve daemons under lifecycle control.
+pub struct ClusterHarness {
+    config: ClusterConfig,
+    peers: Vec<Peer>,
+}
+
+/// What one churn run observed; [`ChurnReport::ok`] is the invariant.
+#[derive(Debug, Default)]
+pub struct ChurnReport {
+    /// Submissions attempted against live, unpartitioned peers.
+    pub submissions: usize,
+    /// Submissions that completed with a reply.
+    pub served: usize,
+    /// Completed replies whose bytes differed from the in-process run
+    /// (must stay empty).
+    pub mismatches: Vec<String>,
+    /// Submissions that errored even with retries, despite targeting a
+    /// live peer (must stay empty).
+    pub failures: Vec<String>,
+    /// Whether every peer held every warm key byte-identically after the
+    /// settle window.
+    pub converged: bool,
+    /// Whether the post-churn warm pass matched everywhere.
+    pub warm_everywhere: bool,
+    /// Simulations performed during the warm pass (must be 0: everything
+    /// was warm).
+    pub resimulated_when_warm: u64,
+    /// Human-readable event log (kills, restarts, partitions, checks).
+    pub log: Vec<String>,
+}
+
+impl ChurnReport {
+    /// Both fleet invariants held: nothing wrong, nothing lost.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+            && self.failures.is_empty()
+            && self.converged
+            && self.warm_everywhere
+            && self.resimulated_when_warm == 0
+    }
+}
+
+/// A scheduled chaos action, derived from one [`FaultKind`].
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Kill(usize),
+    Restart(usize),
+    Partition(usize, bool),
+}
+
+impl ClusterHarness {
+    /// Boot `config.peers` daemons. Each peer seeds from the peers booted
+    /// before it; gossip completes the mesh (later peers introduce
+    /// themselves to earlier ones on the first heartbeat).
+    pub fn boot(config: ClusterConfig) -> std::io::Result<Self> {
+        let mut peers: Vec<Peer> = Vec::with_capacity(config.peers);
+        for i in 0..config.peers {
+            let store_dir = config.store_root.join(format!("peer-{i}"));
+            std::fs::create_dir_all(&store_dir)?;
+            let seeds = peers.iter().map(|p| p.addr.to_string()).collect();
+            let serve = peer_config(&config, &store_dir, String::new(), seeds);
+            let handle = Server::bind("127.0.0.1:0", serve)?.spawn()?;
+            peers.push(Peer {
+                addr: handle.addr(),
+                store_dir,
+                handle: Some(handle),
+            });
+        }
+        Ok(Self { config, peers })
+    }
+
+    /// Number of peers (dead or alive).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the cluster has no peers (a zero-peer config).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Peer `i`'s fixed address (stable across kill/restart).
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.peers[i].addr
+    }
+
+    /// Whether peer `i` is currently running.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.peers[i]
+            .handle
+            .as_ref()
+            .is_some_and(|h| !h.is_finished())
+    }
+
+    /// Whether peer `i` is up but partitioned.
+    pub fn is_partitioned(&self, i: usize) -> bool {
+        self.peers[i]
+            .handle
+            .as_ref()
+            .is_some_and(|h| h.is_partitioned())
+    }
+
+    /// Hard-kill peer `i`: no drain, in-flight connections die. The port
+    /// and store survive for a later [`ClusterHarness::restart`].
+    pub fn kill(&mut self, i: usize) {
+        // ServerHandle::drop is the hard kill.
+        drop(self.peers[i].handle.take());
+    }
+
+    /// Restart a killed peer on its original port with its original
+    /// store, seeded with every other peer. Binding retries briefly: the
+    /// OS can hold the port for a moment after a kill.
+    pub fn restart(&mut self, i: usize) -> std::io::Result<()> {
+        if self.is_up(i) {
+            return Ok(());
+        }
+        let addr = self.peers[i].addr;
+        let seeds: Vec<String> = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, p)| p.addr.to_string())
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let server = loop {
+            let serve = peer_config(
+                &self.config,
+                &self.peers[i].store_dir,
+                addr.to_string(),
+                seeds.clone(),
+            );
+            match Server::bind(addr, serve) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        self.peers[i].handle = Some(server.spawn()?);
+        Ok(())
+    }
+
+    /// Raise or drop peer `i`'s partition (no-op while killed).
+    pub fn partition(&self, i: usize, on: bool) {
+        if let Some(h) = self.peers[i].handle.as_ref() {
+            h.partition(on);
+        }
+    }
+
+    /// Counter snapshot for peer `i` (works while partitioned; `None`
+    /// while killed).
+    pub fn stats(&self, i: usize) -> Option<ServerStats> {
+        self.peers[i].handle.as_ref().map(|h| h.stats())
+    }
+
+    /// Scenarios simulated so far, summed over live peers.
+    pub fn total_simulated(&self) -> u64 {
+        (0..self.peers.len())
+            .filter_map(|i| self.stats(i))
+            .map(|s| s.simulated)
+            .sum()
+    }
+
+    /// The retry policy churn submissions use: generous attempts under a
+    /// bounded deadline, so a mid-failover submission succeeds on retry
+    /// instead of reporting a spurious failure.
+    pub fn client_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            timeout_ms: self.config.rpc_timeout_ms.max(500),
+            ..RetryPolicy::standard(5, 15_000)
+        }
+    }
+
+    /// Submit one scenario through peer `i`, with retries.
+    pub fn submit_via(&self, i: usize, spec: &ScenarioSpec) -> Result<ScenarioReply, ClientError> {
+        let addr = self.peers[i].addr;
+        call_with_retry(&addr, self.client_policy(), |c: &mut Client| c.submit(spec))
+    }
+
+    /// Fetch a raw store entry from peer `i` over the wire (v2 `Fetch`).
+    pub fn fetch_from(&self, i: usize, key_hash: u64) -> Result<RawEntry, ClientError> {
+        let addr = self.peers[i].addr;
+        call_with_retry(&addr, self.client_policy(), |c: &mut Client| {
+            c.fetch(key_hash)
+        })
+    }
+
+    /// Restart every killed peer and drop every partition.
+    pub fn restore_all(&mut self) -> std::io::Result<()> {
+        for i in 0..self.peers.len() {
+            self.restart(i)?;
+            self.partition(i, false);
+        }
+        Ok(())
+    }
+
+    /// Gracefully stop every live peer.
+    pub fn stop_all(&mut self) {
+        for peer in &mut self.peers {
+            if let Some(mut h) = peer.handle.take() {
+                h.stop();
+            }
+        }
+    }
+
+    /// Wait until every peer holds every key in `expected`, byte-identical
+    /// to the recorded value, and all store digests agree. Returns whether
+    /// that happened before the timeout.
+    pub fn await_convergence(&self, expected: &[(u64, Vec<u8>)], timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.converged_now(expected) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(self.config.sync_ms.max(20) / 2));
+        }
+    }
+
+    /// One convergence probe: exact digest agreement plus per-key byte
+    /// identity on every live peer.
+    fn converged_now(&self, expected: &[(u64, Vec<u8>)]) -> bool {
+        let mut digests = Vec::new();
+        for i in 0..self.peers.len() {
+            if !self.is_up(i) {
+                return false;
+            }
+            let addr = self.peers[i].addr;
+            let Ok(d) = call_with_retry(&addr, self.client_policy(), |c: &mut Client| {
+                c.sync_digest()
+            }) else {
+                return false;
+            };
+            digests.push(d);
+            for (hash, value) in expected {
+                match self.fetch_from(i, *hash) {
+                    Ok(Some((_key, v))) if &v == value => {}
+                    _ => return false,
+                }
+            }
+        }
+        digests.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Run the full churn experiment: submit `specs` round-robin through
+    /// live peers while `plan` kills/restarts/partitions daemons, then
+    /// restore everything, wait for anti-entropy, and do a warm pass.
+    ///
+    /// Fails fast (with `Err`) only if a spec cannot be simulated
+    /// in-process — the expected bytes are the ground truth everything
+    /// else is compared against. Invariant violations are reported in the
+    /// returned [`ChurnReport`], not as errors.
+    pub fn run_churn(
+        &mut self,
+        specs: &[ScenarioSpec],
+        plan: &FaultPlan,
+        settle: Duration,
+    ) -> Result<ChurnReport, String> {
+        let mut report = ChurnReport::default();
+        // Ground truth: the deterministic in-process answer per spec.
+        let mut expected = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let outcome = run_scenario(spec, RunLimits::none(), None)
+                .map_err(|e| format!("{}: {e}", spec.label()))?;
+            let bytes = ScenarioReply::from_outcome(spec, &outcome).to_bytes();
+            let hash = content_hash(&scenario_key_bytes(spec));
+            expected.push((hash, bytes));
+        }
+
+        let mut schedule = build_schedule(plan, self.peers.len(), &mut report.log);
+        schedule.sort_by_key(|&(at, _)| at);
+        let tail = Duration::from_millis(300);
+        let end = schedule.last().map_or(tail, |&(at, _)| at + tail);
+
+        let start = Instant::now();
+        let mut next_event = 0;
+        let mut round = 0usize;
+        while start.elapsed() < end || next_event < schedule.len() {
+            let now = start.elapsed();
+            while next_event < schedule.len() && schedule[next_event].0 <= now {
+                let (at, action) = schedule[next_event];
+                next_event += 1;
+                self.apply(action, at, &mut report.log)?;
+            }
+            // One submission per tick, rotating over (spec, peer) pairs;
+            // only live, unpartitioned peers are targeted — everyone else
+            // is unreachable by design, not a failed request.
+            let peer = round % self.peers.len();
+            let spec = &specs[round % specs.len()];
+            let exp = &expected[round % specs.len()];
+            round += 1;
+            if self.is_up(peer) && !self.is_partitioned(peer) {
+                report.submissions += 1;
+                match self.submit_via(peer, spec) {
+                    Ok(reply) => {
+                        report.served += 1;
+                        if reply.to_bytes() != exp.1 {
+                            report.mismatches.push(format!(
+                                "{:?} via peer {peer}: reply differs from in-process run",
+                                spec.label()
+                            ));
+                        }
+                    }
+                    Err(e) => report
+                        .failures
+                        .push(format!("{:?} via peer {peer}: {e}", spec.label())),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        self.restore_all().map_err(|e| format!("restore: {e}"))?;
+        report.log.push(format!(
+            "{}ms all peers restored",
+            start.elapsed().as_millis()
+        ));
+        report.converged = self.await_convergence(&expected, settle);
+        report.log.push(format!(
+            "{}ms convergence: {}",
+            start.elapsed().as_millis(),
+            if report.converged {
+                "reached"
+            } else {
+                "TIMED OUT"
+            }
+        ));
+
+        // Warm pass: every spec through every peer, nothing re-simulates.
+        let simulated_before = self.total_simulated();
+        let mut all_matched = true;
+        for (si, spec) in specs.iter().enumerate() {
+            for peer in 0..self.peers.len() {
+                match self.submit_via(peer, spec) {
+                    Ok(reply) if reply.to_bytes() == expected[si].1 => {}
+                    Ok(_) => {
+                        all_matched = false;
+                        report.mismatches.push(format!(
+                            "warm pass: {:?} via peer {peer} differs",
+                            spec.label()
+                        ));
+                    }
+                    Err(e) => {
+                        all_matched = false;
+                        report.failures.push(format!(
+                            "warm pass: {:?} via peer {peer}: {e}",
+                            spec.label()
+                        ));
+                    }
+                }
+            }
+        }
+        report.resimulated_when_warm = self.total_simulated().saturating_sub(simulated_before);
+        report.warm_everywhere = all_matched;
+        report.log.push(format!(
+            "{}ms warm pass: {} submissions, {} re-simulated",
+            start.elapsed().as_millis(),
+            specs.len() * self.peers.len(),
+            report.resimulated_when_warm,
+        ));
+        Ok(report)
+    }
+
+    /// Apply one chaos action, logging what happened.
+    fn apply(&mut self, action: Action, at: Duration, log: &mut Vec<String>) -> Result<(), String> {
+        let ms = at.as_millis();
+        match action {
+            Action::Kill(i) => {
+                self.kill(i);
+                log.push(format!("{ms}ms kill peer {i} ({})", self.peers[i].addr));
+            }
+            Action::Restart(i) => {
+                self.restart(i)
+                    .map_err(|e| format!("restart peer {i}: {e}"))?;
+                log.push(format!("{ms}ms restart peer {i} ({})", self.peers[i].addr));
+            }
+            Action::Partition(i, on) => {
+                self.partition(i, on);
+                log.push(format!(
+                    "{ms}ms {} peer {i} ({})",
+                    if on { "partition" } else { "heal" },
+                    self.peers[i].addr
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared per-peer daemon configuration.
+fn peer_config(
+    config: &ClusterConfig,
+    store_dir: &Path,
+    advertise: String,
+    seeds: Vec<String>,
+) -> ServeConfig {
+    ServeConfig {
+        store_dir: Some(store_dir.to_path_buf()),
+        capacity: config.capacity,
+        limits: RunLimits::none(),
+        trace_capacity: 0,
+        idle_timeout_ms: 10_000,
+        fleet: Some(FleetConfig {
+            advertise,
+            seeds,
+            heartbeat_ms: config.heartbeat_ms,
+            sync_ms: config.sync_ms,
+            suspect_after: config.suspect_after,
+            rpc_timeout_ms: config.rpc_timeout_ms,
+            rpc_retries: 1,
+        }),
+    }
+}
+
+/// Reinterpret a simulator [`FaultPlan`] as a fleet chaos schedule. Ranks
+/// index peers modulo the cluster size; times are wall-clock nanoseconds
+/// from churn start. `Straggler`/`Duplicate` events have no fleet analogue
+/// and are logged as skipped.
+fn build_schedule(
+    plan: &FaultPlan,
+    peers: usize,
+    log: &mut Vec<String>,
+) -> Vec<(Duration, Action)> {
+    let mut schedule = Vec::new();
+    for event in plan.events() {
+        let peer = event.rank % peers.max(1);
+        match event.kind {
+            FaultKind::Crash { at } => {
+                schedule.push((Duration::from_nanos(at), Action::Kill(peer)));
+            }
+            FaultKind::Delay { at, duration } => {
+                schedule.push((Duration::from_nanos(at), Action::Kill(peer)));
+                schedule.push((Duration::from_nanos(at + duration), Action::Restart(peer)));
+            }
+            FaultKind::Drop { from, until, .. } => {
+                schedule.push((Duration::from_nanos(from), Action::Partition(peer, true)));
+                schedule.push((Duration::from_nanos(until), Action::Partition(peer, false)));
+            }
+            _ => log.push(format!(
+                "skipping fault with no fleet analogue on rank {}",
+                event.rank
+            )),
+        }
+    }
+    schedule
+}
+
+impl Drop for ClusterHarness {
+    fn drop(&mut self) {
+        for peer in &mut self.peers {
+            drop(peer.handle.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_engine::time::MS;
+
+    #[test]
+    fn fault_plans_map_onto_cluster_actions() {
+        let plan = FaultPlan::new()
+            .with_crash(0, 10 * MS)
+            .with_delay(1, 20 * MS, 5 * MS)
+            .with_drop_window(2, 30 * MS, 40 * MS, 1_000_000)
+            .with_straggler(1, 1500);
+        let mut log = Vec::new();
+        let mut schedule = build_schedule(&plan, 3, &mut log);
+        schedule.sort_by_key(|&(at, _)| at);
+        assert_eq!(
+            schedule.len(),
+            5,
+            "crash + kill/restart + 2 partition edges"
+        );
+        assert_eq!(log.len(), 1, "straggler is skipped, loudly");
+        assert!(matches!(schedule[0], (_, Action::Kill(0))));
+        assert!(matches!(schedule[1], (_, Action::Kill(1))));
+        assert!(matches!(schedule[2], (_, Action::Restart(1))));
+        assert!(matches!(schedule[3], (_, Action::Partition(2, true))));
+        assert!(matches!(schedule[4], (_, Action::Partition(2, false))));
+        // Ranks wrap around small clusters instead of panicking.
+        let mut wrapped = Vec::new();
+        let s = build_schedule(&plan.clone().with_crash(7, MS), 2, &mut wrapped);
+        assert!(s.iter().any(|&(_, a)| matches!(a, Action::Kill(1))));
+    }
+}

@@ -4,15 +4,23 @@
 //! the server's typed responses onto [`ClientError`], so callers see
 //! `Busy`/`Server`/`Wire` distinctly — the CLI turns these into its
 //! 0/1/2 exit-code contract.
+//!
+//! Transient failures (a busy server, a refused or dropped connection, a
+//! socket timeout) are *expected* in a fleet, so the module also provides
+//! [`RetryPolicy`] — exponential backoff with jitter under an overall
+//! deadline — and [`call_with_retry`], which reconnects per attempt and
+//! reports exhaustion as the distinct [`ClientError::Exhausted`] so
+//! callers can tell "kept failing transiently" from "hard error".
 
 use std::io::{Read as _, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-use ghost_core::scenario::ScenarioSpec;
+use ghost_core::scenario::{mix64, ScenarioSpec};
 
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, ScenarioReply,
-    ServerStats, WireError,
+    decode_response, encode_request, read_frame, write_frame_v, RawEntry, Request, Response,
+    ScenarioReply, ServerStats, SyncBucket, WireError,
 };
 
 /// Why a client call failed.
@@ -33,6 +41,15 @@ pub enum ClientError {
     Server(String),
     /// The server answered with a response of the wrong kind.
     Unexpected(String),
+    /// A retry policy ran out of attempts or deadline; `last` is the final
+    /// transient failure. Distinct from a hard error: the request never
+    /// got a definitive answer, so trying again later is reasonable.
+    Exhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last transient error observed.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -45,20 +62,136 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Unexpected(kind) => write!(f, "unexpected response kind: {kind}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClientError {}
 
+impl ClientError {
+    /// Whether retrying the same request later could plausibly succeed:
+    /// admission-control rejections and socket-level failures (refused,
+    /// reset, timed out) are transient; protocol and server-side errors
+    /// are deterministic and retrying would only repeat them.
+    pub fn transient(&self) -> bool {
+        matches!(self, ClientError::Busy { .. } | ClientError::Io(_))
+    }
+}
+
 impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
         match e {
             WireError::Io(msg) => ClientError::Io(msg),
             WireError::Closed => ClientError::Io("connection closed".into()),
+            WireError::TimedOut => ClientError::Io("socket timed out".into()),
             other => ClientError::Wire(other),
         }
     }
+}
+
+/// Exponential backoff with half-jitter under an overall deadline.
+///
+/// Attempt `n` (1-based) sleeps `base_ms << (n-1)` capped at `cap_ms`,
+/// then halved with the other half drawn pseudo-randomly — jitter keeps a
+/// fleet of clients that failed together from retrying in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = single shot).
+    pub retries: u32,
+    /// First backoff step in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub cap_ms: u64,
+    /// Overall budget across all attempts and sleeps; 0 = unlimited.
+    pub deadline_ms: u64,
+    /// Per-attempt socket timeout (connect, read, write); 0 = none.
+    pub timeout_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Single attempt, no timeouts — the pre-fleet behavior.
+    pub fn none() -> Self {
+        Self {
+            retries: 0,
+            base_ms: 0,
+            cap_ms: 0,
+            deadline_ms: 0,
+            timeout_ms: 0,
+        }
+    }
+
+    /// A sensible interactive default: `retries` extra attempts starting
+    /// at 50 ms backoff, capped at 2 s, under `deadline_ms`.
+    pub fn standard(retries: u32, deadline_ms: u64) -> Self {
+        Self {
+            retries,
+            base_ms: 50,
+            cap_ms: 2_000,
+            deadline_ms,
+            timeout_ms: 5_000,
+        }
+    }
+
+    /// The jittered sleep before retry number `attempt` (1-based), in ms.
+    fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.cap_ms.max(self.base_ms));
+        if exp == 0 {
+            return 0;
+        }
+        let half = exp / 2;
+        half + mix64(salt ^ u64::from(attempt)) % (exp - half + 1)
+    }
+}
+
+/// Run `op` over a fresh connection per attempt, retrying transient
+/// failures per `policy`. A non-transient error returns immediately;
+/// running out of attempts or deadline returns
+/// [`ClientError::Exhausted`] wrapping the last transient failure.
+pub fn call_with_retry<A, T, F>(addr: &A, policy: RetryPolicy, mut op: F) -> Result<T, ClientError>
+where
+    A: ToSocketAddrs + ?Sized,
+    F: FnMut(&mut Client) -> Result<T, ClientError>,
+{
+    static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let start = Instant::now();
+    let salt = mix64(
+        u64::from(std::process::id())
+            ^ NONCE
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                .rotate_left(32),
+    );
+    let mut attempts = 0u32;
+    let mut last;
+    loop {
+        attempts += 1;
+        let result =
+            Client::connect_with_timeout(addr, policy.timeout_ms).and_then(|mut c| op(&mut c));
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) if !e.transient() => return Err(e),
+            Err(e) => last = e,
+        }
+        if attempts > policy.retries {
+            break;
+        }
+        let sleep_ms = policy.backoff_ms(attempts, salt);
+        if policy.deadline_ms > 0
+            && (start.elapsed().as_millis() as u64).saturating_add(sleep_ms) >= policy.deadline_ms
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+    }
+    Err(ClientError::Exhausted {
+        attempts,
+        last: Box::new(last),
+    })
 }
 
 /// A connected ghost-serve client.
@@ -75,8 +208,46 @@ impl Client {
         Ok(Self { stream })
     }
 
+    /// Connect with a bound on connect *and* per-read/write socket time —
+    /// what every fleet peer-to-peer call uses, so a stalled peer costs a
+    /// timeout, never a wedged thread. `timeout_ms == 0` means unbounded.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout_ms: u64,
+    ) -> Result<Self, ClientError> {
+        if timeout_ms == 0 {
+            return Self::connect(addr);
+        }
+        let timeout = Duration::from_millis(timeout_ms);
+        let mut last = None;
+        let addrs = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        for sock in addrs {
+            match TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(timeout));
+                    let _ = stream.set_write_timeout(Some(timeout));
+                    return Ok(Self { stream });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(match last {
+            Some(e) => e.to_string(),
+            None => "address resolved to nothing".into(),
+        }))
+    }
+
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &encode_request(req))?;
+        // Fleet requests travel in v2 frames; the legacy set stays at v1
+        // so a pre-fleet server keeps answering this client.
+        write_frame_v(
+            &mut self.stream,
+            req.required_version(),
+            &encode_request(req),
+        )?;
         let payload = read_frame(&mut self.stream)?;
         Ok(decode_response(&payload)?)
     }
@@ -131,6 +302,54 @@ impl Client {
         match self.call(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             other => Err(Self::reject(other, "ShutdownAck")),
+        }
+    }
+
+    // -- Fleet peer-to-peer calls (v2 frames) -------------------------------
+
+    /// Hand a scenario to the peer that owns its key; the receiver runs it
+    /// locally (never re-forwards) and answers like a `Submit`.
+    pub fn forward(&mut self, spec: &ScenarioSpec) -> Result<ScenarioReply, ClientError> {
+        match self.call(&Request::Forward(spec.clone()))? {
+            Response::Scenario(reply) => Ok(*reply),
+            other => Err(Self::reject(other, "Scenario")),
+        }
+    }
+
+    /// One heartbeat: announce ourselves and our peer view, receive the
+    /// receiver's merged view back.
+    pub fn gossip(&mut self, from: &str, peers: &[String]) -> Result<Vec<String>, ClientError> {
+        let req = Request::Gossip {
+            from: from.to_owned(),
+            peers: peers.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Gossip { peers } => Ok(peers),
+            other => Err(Self::reject(other, "Gossip")),
+        }
+    }
+
+    /// Fetch the peer's per-bucket anti-entropy store digest.
+    pub fn sync_digest(&mut self) -> Result<Vec<SyncBucket>, ClientError> {
+        match self.call(&Request::SyncDigest)? {
+            Response::SyncDigest { buckets } => Ok(buckets),
+            other => Err(Self::reject(other, "SyncDigest")),
+        }
+    }
+
+    /// List every key hash the peer holds in one digest bucket.
+    pub fn sync_list(&mut self, bucket: u8) -> Result<Vec<u64>, ClientError> {
+        match self.call(&Request::SyncList { bucket })? {
+            Response::SyncList { hashes } => Ok(hashes),
+            other => Err(Self::reject(other, "SyncList")),
+        }
+    }
+
+    /// Pull one raw store entry (key + value bytes) by key hash.
+    pub fn fetch(&mut self, key_hash: u64) -> Result<RawEntry, ClientError> {
+        match self.call(&Request::Fetch { key_hash })? {
+            Response::Entry(entry) => Ok(entry),
+            other => Err(Self::reject(other, "Entry")),
         }
     }
 }

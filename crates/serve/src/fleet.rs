@@ -1,0 +1,326 @@
+//! ghost-fleet: the peer registry and key-ownership layer of a sharded
+//! ghost-serve cluster.
+//!
+//! ## Ownership
+//!
+//! Cache keys are mapped to peers with rendezvous (highest-random-weight)
+//! hashing: every peer scores `mix64(key_hash ^ mix64(fnv64(addr)))` and
+//! the highest score owns the key. This is the consistent-hashing
+//! property the fleet needs — when a peer joins or leaves, *only the keys
+//! it owns* change hands; everyone else's placement is untouched — without
+//! maintaining an explicit ring structure. All peers compute ownership
+//! independently from the same membership view, so agreement follows from
+//! the gossip layer converging.
+//!
+//! ## Failure model
+//!
+//! A peer accumulates a failure count on every failed call (heartbeat or
+//! forward). At `suspect_after` consecutive failures it becomes *suspect*:
+//! routing skips it (its keys fall back to the survivors' ownership
+//! order, and requests it would have served degrade to local simulation —
+//! correct, just slower). Heartbeats keep probing suspects, so one
+//! successful call fully rehabilitates a peer. Suspicion is local state:
+//! peers may briefly disagree during churn, which is safe because every
+//! peer can serve or simulate every key.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use ghost_core::scenario::mix64;
+
+use crate::client::RetryPolicy;
+use crate::wire::content_hash;
+
+/// Fleet membership and failure-handling knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The address *other peers* use to reach this daemon (also this
+    /// peer's identity on the ring).
+    pub advertise: String,
+    /// Bootstrap peer addresses; the gossip mesh completes membership.
+    pub seeds: Vec<String>,
+    /// Heartbeat/gossip interval in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Anti-entropy digest-exchange interval in milliseconds (0 disables
+    /// replication sync; forwarding still replicates read-through).
+    pub sync_ms: u64,
+    /// Consecutive call failures before a peer is suspected.
+    pub suspect_after: u32,
+    /// Socket timeout for every peer-to-peer call, in milliseconds.
+    pub rpc_timeout_ms: u64,
+    /// Extra attempts for every peer-to-peer call (bounded retry).
+    pub rpc_retries: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            advertise: String::new(),
+            seeds: Vec::new(),
+            heartbeat_ms: 500,
+            sync_ms: 2_000,
+            suspect_after: 3,
+            rpc_timeout_ms: 2_000,
+            rpc_retries: 1,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct PeerState {
+    /// Consecutive failed calls; resets on any success.
+    failures: u32,
+    suspect: bool,
+}
+
+/// Live membership view: every known peer plus its suspicion state.
+///
+/// All methods take `&self`; the registry is internally locked and every
+/// operation is short (no I/O under the lock).
+pub struct Fleet {
+    config: FleetConfig,
+    peers: Mutex<BTreeMap<String, PeerState>>,
+}
+
+impl Fleet {
+    /// A fleet seeded from `config` (the advertise address is implicit
+    /// and never appears in the peer registry).
+    pub fn new(config: FleetConfig) -> Self {
+        let mut peers = BTreeMap::new();
+        for seed in &config.seeds {
+            if !seed.is_empty() && *seed != config.advertise {
+                peers.insert(seed.clone(), PeerState::default());
+            }
+        }
+        Self {
+            config,
+            peers: Mutex::new(peers),
+        }
+    }
+
+    /// This peer's own ring identity.
+    pub fn advertise(&self) -> &str {
+        &self.config.advertise
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The retry policy every peer-to-peer call runs under: bounded
+    /// attempts, per-attempt socket timeout, small jittered backoff.
+    pub fn rpc_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            retries: self.config.rpc_retries,
+            base_ms: 25,
+            cap_ms: 250,
+            deadline_ms: self
+                .config
+                .rpc_timeout_ms
+                .saturating_mul(u64::from(self.config.rpc_retries) + 2),
+            timeout_ms: self.config.rpc_timeout_ms,
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, PeerState>> {
+        self.peers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Every known peer address (including suspects, excluding self).
+    pub fn known_peers(&self) -> Vec<String> {
+        self.locked().keys().cloned().collect()
+    }
+
+    /// Every non-suspect peer address (excluding self).
+    pub fn live_peers(&self) -> Vec<String> {
+        self.locked()
+            .iter()
+            .filter(|(_, s)| !s.suspect)
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// Suspected peer addresses.
+    pub fn suspects(&self) -> Vec<String> {
+        self.locked()
+            .iter()
+            .filter(|(_, s)| s.suspect)
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// The membership view to gossip out: self plus every known peer.
+    pub fn view(&self) -> Vec<String> {
+        let mut v = vec![self.config.advertise.clone()];
+        v.extend(self.known_peers());
+        v
+    }
+
+    /// Merge addresses learned from gossip; returns how many were new.
+    /// Never inserts self or empty addresses.
+    pub fn merge(&self, addrs: &[String]) -> usize {
+        let mut peers = self.locked();
+        let mut added = 0;
+        for a in addrs {
+            if a.is_empty() || *a == self.config.advertise {
+                continue;
+            }
+            if !peers.contains_key(a) {
+                peers.insert(a.clone(), PeerState::default());
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Record a successful call to `addr` (also registers an unknown
+    /// sender, e.g. the first inbound gossip from a peer that seeded on
+    /// us). Returns `true` if this rehabilitated a suspect.
+    pub fn on_success(&self, addr: &str) -> bool {
+        if addr.is_empty() || addr == self.config.advertise {
+            return false;
+        }
+        let mut peers = self.locked();
+        let state = peers.entry(addr.to_owned()).or_default();
+        let was = state.suspect;
+        state.failures = 0;
+        state.suspect = false;
+        was
+    }
+
+    /// Record a failed call to `addr`; returns `true` exactly when this
+    /// failure crossed the suspicion threshold (so callers can count
+    /// *transitions*, not every failure).
+    pub fn on_failure(&self, addr: &str) -> bool {
+        let mut peers = self.locked();
+        let Some(state) = peers.get_mut(addr) else {
+            return false;
+        };
+        state.failures = state.failures.saturating_add(1);
+        if !state.suspect && state.failures >= self.config.suspect_after {
+            state.suspect = true;
+            return true;
+        }
+        false
+    }
+
+    /// The address that owns `key_hash` under the current live view
+    /// (rendezvous hashing over self + non-suspect peers). Always returns
+    /// an owner: with no live peers, self owns everything.
+    pub fn owner_of(&self, key_hash: u64) -> String {
+        let mut best = (
+            rendezvous_score(key_hash, &self.config.advertise),
+            self.config.advertise.clone(),
+        );
+        for peer in self.live_peers() {
+            let score = rendezvous_score(key_hash, &peer);
+            // Tie-break on address so every peer agrees even on collisions.
+            if score > best.0 || (score == best.0 && peer > best.1) {
+                best = (score, peer);
+            }
+        }
+        best.1
+    }
+
+    /// Whether this peer owns `key_hash` under the current live view.
+    pub fn owns(&self, key_hash: u64) -> bool {
+        self.owner_of(key_hash) == self.config.advertise
+    }
+}
+
+/// A peer's rendezvous score for a key: deterministic, uniform, and
+/// independent across peers — the whole consistency argument.
+fn rendezvous_score(key_hash: u64, addr: &str) -> u64 {
+    mix64(key_hash ^ mix64(content_hash(addr.as_bytes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(advertise: &str, seeds: &[&str]) -> Fleet {
+        Fleet::new(FleetConfig {
+            advertise: advertise.into(),
+            seeds: seeds.iter().map(|s| s.to_string()).collect(),
+            ..FleetConfig::default()
+        })
+    }
+
+    #[test]
+    fn ownership_is_agreed_and_balanced() {
+        let addrs = ["10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000"];
+        let fleets: Vec<Fleet> = addrs.iter().map(|a| fleet(a, &addrs)).collect();
+        let mut counts = BTreeMap::new();
+        for key in 0..3000u64 {
+            let owner = fleets[0].owner_of(key);
+            for f in &fleets {
+                assert_eq!(f.owner_of(key), owner, "peers must agree on key {key}");
+            }
+            *counts.entry(owner).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3, "all peers own something: {counts:?}");
+        for (addr, n) in &counts {
+            assert!(*n > 500, "{addr} owns too little: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn suspicion_only_remaps_the_lost_peers_keys() {
+        let addrs = ["10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000"];
+        let f = fleet(addrs[0], &addrs);
+        let before: Vec<String> = (0..2000).map(|k| f.owner_of(k)).collect();
+        // Drive one peer to suspicion.
+        for _ in 0..f.config().suspect_after {
+            f.on_failure(addrs[2]);
+        }
+        assert_eq!(f.suspects(), vec![addrs[2].to_string()]);
+        for (k, owner_before) in before.iter().enumerate() {
+            let owner_after = f.owner_of(k as u64);
+            if owner_before != addrs[2] {
+                assert_eq!(
+                    &owner_after, owner_before,
+                    "key {k} moved although its owner never left"
+                );
+            } else {
+                assert_ne!(&owner_after, addrs[2]);
+            }
+        }
+        // Recovery restores the original placement exactly.
+        assert!(f.on_success(addrs[2]));
+        let after: Vec<String> = (0..2000).map(|k| f.owner_of(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn suspicion_counts_transitions_not_failures() {
+        let f = fleet("a:1", &["b:1"]);
+        assert!(!f.on_failure("b:1"));
+        assert!(!f.on_failure("b:1"));
+        assert!(f.on_failure("b:1"), "third consecutive failure suspects");
+        assert!(!f.on_failure("b:1"), "already suspect: no new transition");
+        assert!(f.on_success("b:1"), "success rehabilitates");
+        assert!(!f.on_failure("b:1"), "counter was reset");
+    }
+
+    #[test]
+    fn merge_excludes_self_and_duplicates() {
+        let f = fleet("a:1", &["b:1"]);
+        assert_eq!(
+            f.merge(&["a:1".into(), "b:1".into(), "c:1".into(), String::new()]),
+            1
+        );
+        assert_eq!(f.known_peers(), vec!["b:1".to_string(), "c:1".to_string()]);
+        assert_eq!(f.view()[0], "a:1", "view leads with self");
+    }
+
+    #[test]
+    fn unknown_peer_failures_are_ignored() {
+        let f = fleet("a:1", &[]);
+        assert!(
+            !f.on_failure("ghost:9"),
+            "never-seen peers cannot be suspected"
+        );
+        assert!(f.suspects().is_empty());
+    }
+}

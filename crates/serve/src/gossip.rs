@@ -1,0 +1,230 @@
+//! The fleet's background loop: gossip heartbeats (membership + failure
+//! detection) and anti-entropy store synchronization.
+//!
+//! ## Heartbeats
+//!
+//! Every `heartbeat_ms` the daemon gossips its membership view to every
+//! *known* peer — including suspects, which is how a recovered peer is
+//! rehabilitated without any explicit rejoin step. The first round fires
+//! immediately so a freshly-booted peer discovers the mesh through its
+//! seeds right away. Each failed round advances the peer's consecutive
+//! failure count; crossing `suspect_after` marks it suspect and routing
+//! starts skipping it.
+//!
+//! ## Anti-entropy
+//!
+//! Every `sync_ms` the daemon exchanges store digests with each live
+//! peer. Results are byte-identical by construction (the store is content
+//! addressed and replies carry no provenance), so digest comparison is
+//! exact: equal buckets prove equal contents, and an unequal bucket means
+//! someone is missing entries — never that entries "conflict". The
+//! repair path is pull-only: list the divergent bucket, fetch each entry
+//! we lack, verify it end-to-end (key hash, canonical re-encode, reply
+//! decode), and store it. A peer that sends corrupt bytes loses nothing
+//! but the transfer — verification failures are counted and dropped.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::client::call_with_retry;
+use crate::fleet::Fleet;
+use crate::server::Shared;
+use crate::wire::{
+    content_hash, dec_scenario, scenario_key_bytes, Dec, ScenarioReply, SYNC_BUCKETS,
+};
+
+/// Run heartbeats and anti-entropy until the daemon stops. Spawned by
+/// `Server::run` when a fleet is configured.
+pub(crate) fn fleet_loop(shared: &Shared) {
+    let Some(fleet) = shared.fleet.clone() else {
+        return;
+    };
+    let cfg = fleet.config().clone();
+    let heartbeat = Duration::from_millis(cfg.heartbeat_ms.max(10));
+    let sync = (cfg.sync_ms > 0).then(|| Duration::from_millis(cfg.sync_ms.max(10)));
+    // Discovery cannot wait (a booting peer knows only its seeds), but the
+    // first anti-entropy round can: forwarding already replicates warm
+    // keys read-through, so the full exchange starts one interval in.
+    let mut next_heartbeat = Instant::now();
+    let mut next_sync = sync.map(|d| Instant::now() + d);
+    while !shared.stopping() {
+        let now = Instant::now();
+        if now >= next_heartbeat {
+            next_heartbeat = now + heartbeat;
+            if !shared.partitioned() {
+                gossip_round(shared, &fleet);
+            }
+        }
+        if let (Some(interval), Some(at)) = (sync, next_sync) {
+            if now >= at {
+                next_sync = Some(now + interval);
+                if !shared.partitioned() {
+                    sync_round(shared, &fleet);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One gossip round: exchange membership views with every known peer.
+fn gossip_round(shared: &Shared, fleet: &Fleet) {
+    let view = fleet.view();
+    for peer in fleet.known_peers() {
+        if shared.stopping() || shared.partitioned() {
+            return;
+        }
+        let result = call_with_retry(peer.as_str(), fleet.rpc_policy(), |c| {
+            c.gossip(fleet.advertise(), &view)
+        });
+        match result {
+            Ok(theirs) => {
+                shared.peer_outcome(&peer, true);
+                fleet.merge(&theirs);
+            }
+            Err(_) => shared.peer_outcome(&peer, false),
+        }
+    }
+    shared.pulse.gossip_rounds.inc();
+    shared.refresh_fleet_gauges();
+}
+
+/// One anti-entropy round: digest exchange + pull repair with every live
+/// peer.
+fn sync_round(shared: &Shared, fleet: &Fleet) {
+    let Some(store) = &shared.store else {
+        return;
+    };
+    let policy = fleet.rpc_policy();
+    for peer in fleet.live_peers() {
+        if shared.stopping() || shared.partitioned() {
+            return;
+        }
+        let theirs = match call_with_retry(peer.as_str(), policy, |c| c.sync_digest()) {
+            Ok(d) => d,
+            Err(_) => {
+                shared.peer_outcome(&peer, false);
+                continue;
+            }
+        };
+        shared.peer_outcome(&peer, true);
+        if theirs.len() != SYNC_BUCKETS {
+            continue;
+        }
+        // Digest *after* the RPC: anything we wrote meanwhile only makes
+        // a bucket look divergent, and the repair path tolerates that.
+        let mine = store.digest();
+        for bucket in 0..SYNC_BUCKETS {
+            if mine[bucket] == theirs[bucket] {
+                continue;
+            }
+            let listed = match call_with_retry(peer.as_str(), policy, |c| c.sync_list(bucket as u8))
+            {
+                Ok(l) => l,
+                Err(_) => {
+                    shared.peer_outcome(&peer, false);
+                    break;
+                }
+            };
+            let have: HashSet<u64> = store.hashes_in_bucket(bucket).into_iter().collect();
+            for hash in listed.into_iter().filter(|h| !have.contains(h)) {
+                if shared.stopping() || shared.partitioned() {
+                    return;
+                }
+                match call_with_retry(peer.as_str(), policy, |c| c.fetch(hash)) {
+                    Ok(Some((key, value))) => {
+                        if verify_entry(&key, &value, hash) {
+                            if store.put(&key, &value).is_ok() {
+                                shared.pulse.sync_pulls.inc();
+                                shared
+                                    .pulse
+                                    .per_peer(
+                                        "ghost_fleet_sync_pull_total",
+                                        &peer,
+                                        "Store entries pulled from peers by anti-entropy",
+                                    )
+                                    .inc();
+                            } else {
+                                shared.pulse.store_errors.inc();
+                            }
+                        } else {
+                            shared.pulse.sync_rejects.inc();
+                        }
+                    }
+                    // The peer no longer has (or no longer trusts) the
+                    // entry; a later round will reconcile.
+                    Ok(None) => {}
+                    Err(_) => {
+                        shared.peer_outcome(&peer, false);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Trust nothing a peer sends: the key must hash to the advertised name,
+/// decode as a valid scenario whose canonical re-encoding is byte-equal
+/// (so a non-canonical key can never alias a real one), and the value
+/// must decode as a complete reply. Anything less is rejected, not
+/// stored.
+fn verify_entry(key: &[u8], value: &[u8], hash: u64) -> bool {
+    if content_hash(key) != hash {
+        return false;
+    }
+    let mut d = Dec::new(key);
+    let Ok(spec) = dec_scenario(&mut d) else {
+        return false;
+    };
+    if d.finish().is_err() || spec.validate().is_err() || scenario_key_bytes(&spec) != key {
+        return false;
+    }
+    ScenarioReply::from_bytes(value).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_core::scenario::{InjectionSpec, ScenarioSpec, WorkloadSpec};
+    use ghost_core::ExperimentSpec;
+    use ghost_engine::time::MS;
+
+    #[test]
+    fn verify_entry_rejects_everything_but_the_real_thing() {
+        let spec = ScenarioSpec {
+            workload: WorkloadSpec::Bsp {
+                steps: 2,
+                compute: MS,
+            },
+            machine: ExperimentSpec::flat(4, 7),
+            injection: InjectionSpec::uncoordinated(100.0, 0.01),
+        };
+        let key = scenario_key_bytes(&spec);
+        let hash = content_hash(&key);
+        let outcome =
+            ghost_core::scenario::run_scenario(&spec, ghost_mpi::RunLimits::none(), None).unwrap();
+        let value = ScenarioReply::from_outcome(&spec, &outcome).to_bytes();
+
+        assert!(verify_entry(&key, &value, hash));
+        assert!(!verify_entry(&key, &value, hash ^ 1), "wrong hash");
+        assert!(
+            !verify_entry(&key[..key.len() - 1], &value, hash),
+            "truncated key"
+        );
+        assert!(
+            !verify_entry(&key, &value[..value.len() - 1], hash),
+            "truncated value"
+        );
+        let mut padded = key.clone();
+        padded.push(0);
+        assert!(
+            !verify_entry(&padded, &value, content_hash(&padded)),
+            "non-canonical key"
+        );
+        let mut flipped = value.clone();
+        // Corrupt the label-length prefix: decode must fail, not misread.
+        flipped[0] ^= 0xff;
+        assert!(!verify_entry(&key, &flipped, hash));
+    }
+}

@@ -22,7 +22,16 @@
 //!   latency histograms behind a `Stats` request.
 //! * [`client`] — the blocking client the CLI (`ghostsim serve` /
 //!   `ghostsim submit` / `--server`) is built on, plus
-//!   [`client::scrape_metrics`] for the HTTP side.
+//!   [`client::scrape_metrics`] for the HTTP side and
+//!   [`client::RetryPolicy`]/[`client::call_with_retry`] for transient-
+//!   failure handling (backoff + jitter under a deadline).
+//! * [`fleet`] — ghost-fleet: rendezvous-hash key ownership across N
+//!   daemons, peer registry, and heartbeat-driven suspicion. Requests for
+//!   keys owned elsewhere are forwarded (v2 frames, version-gated) and
+//!   the reply is cached read-through; an unreachable owner degrades to
+//!   local simulation instead of an error.
+//! * [`gossip`] — the background loop: membership gossip and pull-only
+//!   anti-entropy store sync (byte-identity makes digests exact).
 //!
 //! The same listener also answers plain HTTP: `GET /metrics` returns a
 //! Prometheus-style text exposition (request/hit/coalesce counters, queue
@@ -52,13 +61,18 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod chaos;
 pub mod client;
+pub mod fleet;
+pub(crate) mod gossip;
 pub(crate) mod pulse;
 pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{scrape_metrics, Client, ClientError};
-pub use server::{ServeConfig, Server};
+pub use chaos::{ChurnReport, ClusterConfig, ClusterHarness};
+pub use client::{call_with_retry, scrape_metrics, Client, ClientError, RetryPolicy};
+pub use fleet::{Fleet, FleetConfig};
+pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::ResultStore;
 pub use wire::{Request, Response, ScenarioReply, ServerStats, WireError};

@@ -7,13 +7,14 @@
 //! `_total` and durations are nanosecond summaries rendered with
 //! p50/p95/p99 quantile upper bounds.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use ghost_obs::pulse::{Counter, Gauge, Histogram, Registry};
 
 /// Pre-registered handles for the server's metrics.
 pub(crate) struct ServePulse {
-    registry: Registry,
+    registry: Arc<Registry>,
     /// Frames decoded on any connection (every request kind).
     pub requests: Counter,
     /// Scenario cells received (submits plus sweep cells).
@@ -60,6 +61,30 @@ pub(crate) struct ServePulse {
     pub coalesce_ns: Histogram,
     /// Response encode + write stage.
     pub encode_ns: Histogram,
+    /// Connections reaped after stalling past the idle timeout.
+    pub idle_reaped: Counter,
+    /// Submissions forwarded to the owning peer (aggregate; per-peer
+    /// cells share the name with a `peer` label).
+    pub forward: Counter,
+    /// Forwards that failed after bounded retry and degraded to local
+    /// simulation.
+    pub forward_fail: Counter,
+    /// Peer suspicion *transitions* (aggregate; per-peer cells labeled).
+    pub suspects_marked: Counter,
+    /// Store entries pulled from peers by anti-entropy (aggregate;
+    /// per-peer cells labeled).
+    pub sync_pulls: Counter,
+    /// Fetched entries rejected by verification (corrupt or inconsistent
+    /// peer bytes that were *not* stored).
+    pub sync_rejects: Counter,
+    /// Gossip rounds completed.
+    pub gossip_rounds: Counter,
+    /// Known fleet peers (excluding self).
+    pub fleet_peers: Gauge,
+    /// Currently suspected peers.
+    pub fleet_suspects: Gauge,
+    /// Peer-forward stage (connect + remote service + reply decode).
+    pub forward_ns: Histogram,
 }
 
 impl ServePulse {
@@ -146,8 +171,45 @@ impl ServePulse {
             "ghost_serve_encode_ns",
             "Response encode and write stage (ns)",
         );
+        let idle_reaped = r.counter(
+            "ghost_serve_idle_reaped_total",
+            "Connections reaped after stalling past the idle timeout",
+        );
+        let forward = r.counter(
+            "ghost_fleet_forward_total",
+            "Submissions forwarded to the owning peer",
+        );
+        let forward_fail = r.counter(
+            "ghost_fleet_forward_fail_total",
+            "Forwards that exhausted retries and degraded to local simulation",
+        );
+        let suspects_marked = r.counter(
+            "ghost_fleet_suspect_total",
+            "Peer suspicion transitions (consecutive-failure threshold crossed)",
+        );
+        let sync_pulls = r.counter(
+            "ghost_fleet_sync_pull_total",
+            "Store entries pulled from peers by anti-entropy",
+        );
+        let sync_rejects = r.counter(
+            "ghost_fleet_sync_reject_total",
+            "Fetched entries rejected by verification and not stored",
+        );
+        let gossip_rounds = r.counter(
+            "ghost_fleet_gossip_rounds_total",
+            "Gossip heartbeat rounds completed",
+        );
+        let fleet_peers = r.gauge(
+            "ghost_fleet_peers",
+            "Known fleet peers, excluding this daemon",
+        );
+        let fleet_suspects = r.gauge("ghost_fleet_suspects", "Currently suspected peers");
+        let forward_ns = r.summary(
+            "ghost_fleet_forward_ns",
+            "Peer-forward stage: connect, remote service, reply decode (ns)",
+        );
         Self {
-            registry: r,
+            registry: Arc::new(r),
             requests,
             scenarios,
             memory_hits,
@@ -170,7 +232,24 @@ impl ServePulse {
             simulate_ns,
             coalesce_ns,
             encode_ns,
+            idle_reaped,
+            forward,
+            forward_fail,
+            suspects_marked,
+            sync_pulls,
+            sync_rejects,
+            gossip_rounds,
+            fleet_peers,
+            fleet_suspects,
+            forward_ns,
         }
+    }
+
+    /// A per-peer counter cell sharing `name` with the aggregate counter
+    /// (same HELP/TYPE header, `peer="addr"` label). Registration is
+    /// idempotent, so calling this per event is just a registry lookup.
+    pub fn per_peer(&self, name: &str, peer: &str, help: &str) -> Counter {
+        self.registry.labeled_counter(name, &[("peer", peer)], help)
     }
 
     /// Render the exposition text (refreshes the uptime gauge first).

@@ -50,11 +50,13 @@ use ghost_core::ExperimentSpec;
 use ghost_mpi::{RunLimits, RunResult};
 use ghost_obs::pulse::{Histogram, StageSpan, TraceRing};
 
+use crate::client::call_with_retry;
+use crate::fleet::{Fleet, FleetConfig};
 use crate::pulse::ServePulse;
 use crate::store::ResultStore;
 use crate::wire::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response, ScenarioReply,
-    ServerStats, WireError,
+    content_hash, decode_request, encode_response, read_frame_versioned, write_frame,
+    write_frame_v, Request, Response, ScenarioReply, ServerStats, WireError, SYNC_BUCKETS,
 };
 
 /// How the daemon is configured.
@@ -70,6 +72,12 @@ pub struct ServeConfig {
     /// Request-stage spans retained for the `Trace` request; 0 disables
     /// tracing (stage *summaries* stay on — they are near-free).
     pub trace_capacity: usize,
+    /// Read/write timeout on accepted sockets, in milliseconds: a stalled
+    /// or half-open client is reaped after this long instead of pinning
+    /// its handler thread forever. 0 disables the timeout.
+    pub idle_timeout_ms: u64,
+    /// Fleet membership; `None` runs the classic single-daemon mode.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +87,8 @@ impl Default for ServeConfig {
             capacity: 64,
             limits: RunLimits::none(),
             trace_capacity: 1024,
+            idle_timeout_ms: 30_000,
+            fleet: None,
         }
     }
 }
@@ -96,19 +106,45 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
 }
 
 /// State shared by the accept loop and all connection handlers.
-struct Shared {
-    config: ServeConfig,
-    store: Option<ResultStore>,
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) store: Option<ResultStore>,
     memory: Mutex<HashMap<ScenarioSpec, Arc<ScenarioReply>>>,
     baselines: Mutex<HashMap<(WorkloadSpec, ExperimentSpec), Arc<RunResult>>>,
     inflight: Mutex<HashMap<ScenarioSpec, Arc<Inflight>>>,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
+    /// Hard-kill flag (chaos harness): exit without draining, stop
+    /// answering mid-stream — as close to `kill -9` as in-process gets.
+    pub(crate) abort: AtomicBool,
+    /// Partition flag (chaos harness): accepted connections are dropped
+    /// unanswered and outbound fleet traffic stops, isolating this peer
+    /// without killing it.
+    pub(crate) partition: AtomicBool,
     started: Instant,
-    pulse: ServePulse,
+    pub(crate) pulse: ServePulse,
     trace: TraceRing,
+    pub(crate) fleet: Option<Arc<Fleet>>,
 }
 
 impl Shared {
+    /// Whether the chaos partition flag is up.
+    pub(crate) fn partitioned(&self) -> bool {
+        self.partition.load(Ordering::Relaxed)
+    }
+
+    /// Whether the daemon was hard-killed or asked to shut down.
+    pub(crate) fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Refresh the fleet membership gauges from the registry state.
+    pub(crate) fn refresh_fleet_gauges(&self) {
+        if let Some(fleet) = &self.fleet {
+            self.pulse.fleet_peers.set(fleet.known_peers().len() as i64);
+            self.pulse.fleet_suspects.set(fleet.suspects().len() as i64);
+        }
+    }
+
     /// Nanoseconds since the server bound (the trace clock).
     fn now_ns(&self) -> u64 {
         self.started.elapsed().as_nanos() as u64
@@ -225,8 +261,82 @@ impl Shared {
         Ok(reply)
     }
 
-    /// Full submit path: cache → coalesce → admission control → simulate.
-    fn submit(&self, spec: &ScenarioSpec, track: u64) -> Response {
+    /// Record a peer call outcome: reset or advance its failure counter
+    /// and keep the suspicion metrics in step.
+    pub(crate) fn peer_outcome(&self, addr: &str, ok: bool) {
+        let Some(fleet) = &self.fleet else { return };
+        if ok {
+            fleet.on_success(addr);
+        } else if fleet.on_failure(addr) {
+            self.pulse.suspects_marked.inc();
+            self.pulse
+                .per_peer(
+                    "ghost_fleet_suspect_total",
+                    addr,
+                    "Peer suspicion transitions (consecutive-failure threshold crossed)",
+                )
+                .inc();
+        }
+        self.refresh_fleet_gauges();
+    }
+
+    /// If the fleet routes `key` to another live peer, forward the
+    /// submission there and cache the owner's reply locally (read-through
+    /// replication — this is what makes a key warmed *anywhere* warm
+    /// *here* after one request). Returns `None` when this peer owns the
+    /// key, the fleet is off or partitioned, or the owner is unreachable
+    /// after bounded retry — the caller then simulates locally, trading
+    /// latency for availability instead of failing the request.
+    fn try_forward(
+        &self,
+        spec: &ScenarioSpec,
+        key: &[u8],
+        track: u64,
+    ) -> Option<Arc<ScenarioReply>> {
+        let fleet = self.fleet.as_ref()?;
+        if self.partitioned() {
+            return None;
+        }
+        let owner = fleet.owner_of(content_hash(key));
+        if owner == fleet.advertise() {
+            return None;
+        }
+        let t0 = self.now_ns();
+        let result = call_with_retry(owner.as_str(), fleet.rpc_policy(), |c| c.forward(spec));
+        self.stage(track, "forward", t0, &self.pulse.forward_ns);
+        match result {
+            Ok(reply) => {
+                self.peer_outcome(&owner, true);
+                self.pulse.forward.inc();
+                self.pulse
+                    .per_peer(
+                        "ghost_fleet_forward_total",
+                        &owner,
+                        "Submissions forwarded to the owning peer",
+                    )
+                    .inc();
+                let reply = Arc::new(reply);
+                lock(&self.memory).insert(spec.clone(), reply.clone());
+                if let Some(store) = &self.store {
+                    if store.put(key, &reply.to_bytes()).is_err() {
+                        self.pulse.store_errors.inc();
+                    }
+                }
+                Some(reply)
+            }
+            Err(_) => {
+                self.pulse.forward_fail.inc();
+                self.peer_outcome(&owner, false);
+                None
+            }
+        }
+    }
+
+    /// Full submit path: cache → forward-to-owner → coalesce → admission
+    /// control → simulate. `allow_forward` is false for peer-forwarded
+    /// requests: the receiver always serves locally, so routing cannot
+    /// loop no matter how peers' membership views disagree.
+    fn submit(&self, spec: &ScenarioSpec, track: u64, allow_forward: bool) -> Response {
         self.pulse.scenarios.inc();
         if let Err(e) = spec.validate() {
             return Response::Error(e);
@@ -237,6 +347,11 @@ impl Shared {
         self.stage(track, "cache", t_cache, &self.pulse.cache_ns);
         if let Some(hit) = hit {
             return Response::Scenario(Box::new((*hit).clone()));
+        }
+        if allow_forward {
+            if let Some(reply) = self.try_forward(spec, &key, track) {
+                return Response::Scenario(Box::new((*reply).clone()));
+            }
         }
 
         // Join an identical in-flight simulation, or register ourselves.
@@ -299,6 +414,21 @@ impl Shared {
         match result {
             Ok(reply) => Response::Scenario(Box::new((*reply).clone())),
             Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Answer one inbound gossip: learn the sender and its view, reply
+    /// with ours. An inbound heartbeat is direct evidence of life, so it
+    /// also clears any suspicion of the sender.
+    fn gossip(&self, from: &str, peers: &[String]) -> Response {
+        let Some(fleet) = &self.fleet else {
+            return Response::Error("fleet mode is not enabled on this server".into());
+        };
+        fleet.on_success(from);
+        fleet.merge(peers);
+        self.refresh_fleet_gauges();
+        Response::Gossip {
+            peers: fleet.view(),
         }
     }
 
@@ -372,11 +502,22 @@ pub struct Server {
 
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port) and open the
-    /// store if one is configured.
+    /// store if one is configured. When a fleet is configured, an empty
+    /// advertise address is filled in from the bound socket.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let store = match &config.store_dir {
             Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        let mut config = config;
+        let fleet = match config.fleet.take() {
+            Some(mut fc) => {
+                if fc.advertise.is_empty() {
+                    fc.advertise = listener.local_addr()?.to_string();
+                }
+                Some(Arc::new(Fleet::new(fc)))
+            }
             None => None,
         };
         let pulse = ServePulse::new(config.capacity);
@@ -388,10 +529,14 @@ impl Server {
             baselines: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            partition: AtomicBool::new(false),
             started: Instant::now(),
             pulse,
             trace,
+            fleet,
         });
+        shared.refresh_fleet_gauges();
         Ok(Self { listener, shared })
     }
 
@@ -401,16 +546,37 @@ impl Server {
     }
 
     /// Serve until a `Shutdown` request arrives, then drain in-flight work
-    /// and return. Each connection gets its own handler thread.
+    /// and return. Each connection gets its own handler thread; a fleet
+    /// configuration additionally starts the gossip/anti-entropy loop.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let fleet_loop = if self.shared.fleet.is_some() {
+            let shared = self.shared.clone();
+            Some(std::thread::spawn(move || {
+                crate::gossip::fleet_loop(&shared)
+            }))
+        } else {
+            None
+        };
+        let idle = self.shared.config.idle_timeout_ms;
         loop {
-            if self.shared.shutdown.load(Ordering::Relaxed) {
+            if self.shared.stopping() {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    if self.shared.partitioned() {
+                        // Chaos partition: reachable at TCP, silent above it
+                        // (connection accepted, then dropped unanswered).
+                        drop(stream);
+                        continue;
+                    }
                     let _ = stream.set_nodelay(true);
+                    if idle > 0 {
+                        let t = Some(Duration::from_millis(idle));
+                        let _ = stream.set_read_timeout(t);
+                        let _ = stream.set_write_timeout(t);
+                    }
                     let shared = self.shared.clone();
                     // Detached: the handler dies with its connection.
                     std::thread::spawn(move || handle_connection(stream, &shared));
@@ -422,11 +588,92 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        // Graceful drain: wait for admitted work to finish.
-        while self.shared.pulse.queue_depth.get() > 0 {
-            std::thread::sleep(Duration::from_millis(10));
+        if !self.shared.abort.load(Ordering::Relaxed) {
+            // Graceful drain: wait for admitted work to finish. A hard
+            // kill (chaos harness) skips this on purpose.
+            while self.shared.pulse.queue_depth.get() > 0 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        if let Some(h) = fleet_loop {
+            let _ = h.join();
         }
         Ok(())
+    }
+
+    /// Run on a background thread and return a handle for lifecycle
+    /// control — the chaos harness's kill/partition/restart lever, and a
+    /// convenient way to embed a daemon in tests.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = self.shared.clone();
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shared,
+            join: Some(join),
+        })
+    }
+}
+
+/// Lifecycle control over a spawned [`Server`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    join: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Raise or drop the chaos partition: while up, inbound connections
+    /// are accepted and silently dropped and outbound fleet traffic
+    /// stops. The daemon itself keeps running.
+    pub fn partition(&self, on: bool) {
+        self.shared.partition.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the partition flag is currently up.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned()
+    }
+
+    /// A point-in-time counter snapshot (works even while partitioned —
+    /// no socket involved).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Hard kill: stop accepting, skip the drain, return as soon as the
+    /// accept loop notices (≤ one poll interval). In-flight handler
+    /// threads die with their connections.
+    pub fn kill(&mut self) {
+        self.shared.abort.store(true, Ordering::Relaxed);
+        if let Some(h) = self.join.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful stop: drain admitted work, then return.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.join.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether the serving thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.join.as_ref().is_none_or(|h| h.is_finished())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.kill();
     }
 }
 
@@ -435,7 +682,9 @@ impl Server {
 /// off to the matching handler.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     // Wait until two bytes are peekable; a one-byte non-'G' prefix can go
-    // straight to the frame reader, which will answer BadMagic.
+    // straight to the frame reader, which will answer BadMagic. A client
+    // that connects and then never speaks is reaped by the socket read
+    // timeout instead of pinning this thread forever.
     let mut sniff = [0u8; 2];
     loop {
         match stream.peek(&mut sniff) {
@@ -444,6 +693,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(1) => break,
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                shared.pulse.idle_reaped.inc();
+                return;
+            }
             Err(_) => return,
         }
     }
@@ -463,9 +719,14 @@ fn serve_frames(stream: TcpStream, shared: &Shared) {
     };
     let mut writer = stream;
     loop {
-        let payload = match read_frame(&mut reader) {
+        let (frame_version, payload) = match read_frame_versioned(&mut reader) {
             Ok(p) => p,
             Err(WireError::Closed) => return,
+            Err(WireError::TimedOut) => {
+                // A stalled or half-open client: reap quietly.
+                shared.pulse.idle_reaped.inc();
+                return;
+            }
             Err(e) => {
                 shared.pulse.decode_errors.inc();
                 // Header-level: the stream is desynchronized. Best-effort
@@ -477,6 +738,10 @@ fn serve_frames(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        if shared.partitioned() || shared.abort.load(Ordering::Relaxed) {
+            // Chaos: a partitioned or killed peer goes silent mid-stream.
+            return;
+        }
         // The request sequence number doubles as the trace track.
         let track = shared.pulse.requests.inc();
         let t0 = shared.now_ns();
@@ -488,7 +753,19 @@ fn serve_frames(stream: TcpStream, shared: &Shared) {
                 shared.pulse.decode_errors.inc();
                 (Response::Error(format!("bad request: {e}")), false)
             }
-            Ok(Request::Submit(spec)) => (shared.submit(&spec, track), false),
+            // Version gate: a fleet request smuggled into a too-old frame
+            // is refused before any peer machinery can act on it.
+            Ok(req) if req.required_version() > frame_version => {
+                shared.pulse.decode_errors.inc();
+                (
+                    Response::Error(format!(
+                        "request requires protocol v{}, frame is v{frame_version}",
+                        req.required_version()
+                    )),
+                    false,
+                )
+            }
+            Ok(Request::Submit(spec)) => (shared.submit(&spec, track, true), false),
             Ok(Request::Sweep(specs)) => (shared.sweep(&specs, track), false),
             Ok(Request::Stats) => (Response::Stats(Box::new(shared.stats())), false),
             Ok(Request::Trace) => {
@@ -502,6 +779,35 @@ fn serve_frames(stream: TcpStream, shared: &Shared) {
                 shared.shutdown.store(true, Ordering::Relaxed);
                 (Response::ShutdownAck, true)
             }
+            // The sender already routed this to us: serve locally, never
+            // re-forward (loop freedom).
+            Ok(Request::Forward(spec)) => (shared.submit(&spec, track, false), false),
+            Ok(Request::Gossip { from, peers }) => (shared.gossip(&from, &peers), false),
+            Ok(Request::SyncDigest) => {
+                let buckets = match &shared.store {
+                    Some(store) => store.digest(),
+                    None => vec![(0, 0); SYNC_BUCKETS],
+                };
+                (Response::SyncDigest { buckets }, false)
+            }
+            Ok(Request::SyncList { bucket }) => {
+                if usize::from(bucket) >= SYNC_BUCKETS {
+                    (
+                        Response::Error(format!("bucket {bucket} out of range")),
+                        false,
+                    )
+                } else {
+                    let hashes = match &shared.store {
+                        Some(store) => store.hashes_in_bucket(usize::from(bucket)),
+                        None => Vec::new(),
+                    };
+                    (Response::SyncList { hashes }, false)
+                }
+            }
+            Ok(Request::Fetch { key_hash }) => {
+                let entry = shared.store.as_ref().and_then(|s| s.get_raw(key_hash));
+                (Response::Entry(entry), false)
+            }
         };
         // Service time is closed before the response is written, so a
         // Stats reply never includes its own request in the histogram.
@@ -510,7 +816,10 @@ fn serve_frames(stream: TcpStream, shared: &Shared) {
             .request_ns
             .record(shared.now_ns().saturating_sub(t0));
         let t_enc = shared.now_ns();
-        let write_ok = write_frame(&mut writer, &encode_response(&response)).is_ok();
+        // Answer in the version the request arrived with: a v1 client
+        // sees only v1 frames, whatever this server also speaks.
+        let write_ok =
+            write_frame_v(&mut writer, frame_version, &encode_response(&response)).is_ok();
         shared.stage(track, "encode", t_enc, &shared.pulse.encode_ns);
         if !write_ok {
             return;
@@ -569,6 +878,7 @@ fn serve_http(mut stream: TcpStream, shared: &Shared) {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::wire::read_frame;
     use ghost_core::scenario::InjectionSpec;
     use ghost_engine::time::MS;
 

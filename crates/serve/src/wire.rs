@@ -26,8 +26,16 @@ use ghost_noise::fault::{FaultKind, FaultPlan};
 
 /// Frame magic: `"GSRV"` little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"GSRV");
-/// Protocol version carried in every frame header.
+/// Baseline protocol version: the original client-facing request set.
 pub const VERSION: u16 = 1;
+/// Fleet protocol version: adds the peer-to-peer request set
+/// (`Forward`/`Gossip`/`SyncDigest`/`SyncList`/`Fetch`). Version-gated so a
+/// v1 client never sees a frame it cannot parse: servers answer in the
+/// version the request arrived with, and fleet tags inside a v1 frame are
+/// rejected with a typed error instead of being acted on.
+pub const FLEET_VERSION: u16 = 2;
+/// Highest frame version this build understands.
+pub const MAX_VERSION: u16 = FLEET_VERSION;
 /// Upper bound on a frame payload (16 MiB) — a corrupt length field must
 /// not become an allocation.
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
@@ -55,6 +63,8 @@ pub enum WireError {
     BadLength(u64),
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A socket read or write timed out (the peer stalled mid-frame).
+    TimedOut,
 }
 
 impl std::fmt::Display for WireError {
@@ -70,6 +80,7 @@ impl std::fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             WireError::BadLength(n) => write!(f, "implausible length field {n}"),
             WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::TimedOut => write!(f, "socket timed out mid-frame"),
         }
     }
 }
@@ -94,8 +105,25 @@ impl WireError {
 // ---------------------------------------------------------------------------
 // Frames
 
-/// Write one frame (header + payload) to `w`.
+/// Map an I/O error onto the wire taxonomy: socket timeouts (surfaced as
+/// `WouldBlock` on Unix, `TimedOut` on Windows) become [`WireError::TimedOut`]
+/// so callers can distinguish a stalled peer from a torn connection.
+fn io_err(e: &std::io::Error) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Io(e.to_string()),
+    }
+}
+
+/// Write one frame (header + payload) to `w` at the baseline [`VERSION`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    write_frame_v(w, VERSION, payload)
+}
+
+/// Write one frame at an explicit protocol `version`. Fleet requests must
+/// travel in [`FLEET_VERSION`] frames; everything else stays at
+/// [`VERSION`] so pre-fleet servers keep answering.
+pub fn write_frame_v(w: &mut impl Write, version: u16, payload: &[u8]) -> Result<(), WireError> {
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize(u32::MAX))?;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversize(len));
@@ -104,17 +132,24 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
     // would interact badly with Nagle + delayed ACK on real sockets.
     let mut frame = Vec::with_capacity(10 + payload.len());
     frame.extend_from_slice(&MAGIC.to_le_bytes());
-    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&version.to_le_bytes());
     frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(payload);
     w.write_all(&frame)
         .and_then(|()| w.flush())
-        .map_err(|e| WireError::Io(e.to_string()))
+        .map_err(|e| io_err(&e))
 }
 
-/// Read one frame payload from `r`. EOF *before the first header byte* is
-/// a clean [`WireError::Closed`]; EOF mid-frame is an I/O error.
+/// Read one frame payload from `r`, accepting any supported version.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    read_frame_versioned(r).map(|(_, payload)| payload)
+}
+
+/// Read one frame from `r`, returning the header version alongside the
+/// payload so the server can version-gate the fleet request set. EOF
+/// *before the first header byte* is a clean [`WireError::Closed`]; EOF
+/// mid-frame is an I/O error.
+pub fn read_frame_versioned(r: &mut impl Read) -> Result<(u16, Vec<u8>), WireError> {
     let mut header = [0u8; 10];
     let mut got = 0usize;
     while got < header.len() {
@@ -123,7 +158,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
             Ok(0) => return Err(WireError::Io("eof mid-header".into())),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(WireError::Io(e.to_string())),
+            Err(e) => return Err(io_err(&e)),
         }
     }
     let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
@@ -131,7 +166,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
+    if !(VERSION..=MAX_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
@@ -139,9 +174,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
         return Err(WireError::Oversize(len));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
-        .map_err(|e| WireError::Io(e.to_string()))?;
-    Ok(payload)
+    r.read_exact(&mut payload).map_err(|e| io_err(&e))?;
+    Ok((version, payload))
 }
 
 // ---------------------------------------------------------------------------
@@ -174,6 +208,11 @@ impl Enc {
     fn str(&mut self, s: &str) {
         self.u32(s.len().min(u32::MAX as usize) as u32);
         self.0.extend_from_slice(&s.as_bytes()[..s.len()]);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len().min(u32::MAX as usize) as u32);
+        self.0
+            .extend_from_slice(&b[..b.len().min(u32::MAX as usize)]);
     }
 }
 
@@ -234,6 +273,10 @@ impl<'a> Dec<'a> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
     /// Require the buffer to be fully consumed.
     pub fn finish(self) -> Result<(), WireError> {
@@ -820,7 +863,22 @@ fn dec_stats(d: &mut Dec) -> Result<ServerStats, WireError> {
 // ---------------------------------------------------------------------------
 // Requests and responses
 
+/// Number of key-range buckets in an anti-entropy digest exchange. Both
+/// sides of a `SyncDigest` round must agree on this; keys map to buckets
+/// via `ghost_core::scenario::shard_of(key_hash, SYNC_BUCKETS)`.
+pub const SYNC_BUCKETS: usize = 16;
+
+/// One anti-entropy digest bucket: `(entry count, xor of mixed per-entry
+/// hash/checksum pairs)`. Byte-identity of results makes this exact: two
+/// stores holding the same keys produce the same digest, and any
+/// difference is a provable divergence, not a heuristic.
+pub type SyncBucket = (u64, u64);
+
 /// What a client can ask of the server.
+///
+/// Tags 0–4 are the baseline v1 request set; tags 5–9 are the fleet
+/// peer-to-peer set and must arrive in a [`FLEET_VERSION`] frame (see
+/// [`Request::required_version`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run (or serve from cache) one scenario.
@@ -835,7 +893,56 @@ pub enum Request {
     /// Export the server's recent request-stage spans as Chrome
     /// trace-event JSON.
     Trace,
+    /// Peer-to-peer: run this scenario *locally* — the sender already
+    /// decided the receiver owns the key, so the receiver must never
+    /// re-forward (that property is what makes routing loop-free).
+    Forward(ScenarioSpec),
+    /// Peer-to-peer heartbeat + membership exchange: `from` is the
+    /// sender's advertised address, `peers` everyone it knows.
+    Gossip {
+        /// The sender's advertised listen address.
+        from: String,
+        /// Every peer address the sender currently knows (including
+        /// itself).
+        peers: Vec<String>,
+    },
+    /// Ask a peer for its per-bucket store digest.
+    SyncDigest,
+    /// Ask a peer for every key hash it holds in one digest bucket.
+    SyncList {
+        /// Bucket index in `0..SYNC_BUCKETS`.
+        bucket: u8,
+    },
+    /// Pull one store entry (canonical key + value bytes) by key hash.
+    Fetch {
+        /// `content_hash` of the canonical scenario key bytes.
+        key_hash: u64,
+    },
 }
+
+impl Request {
+    /// The minimum frame version a request may legally travel in. The
+    /// fleet set is gated behind [`FLEET_VERSION`] so that a v1 client
+    /// can never trip peer-only code paths by accident.
+    pub fn required_version(&self) -> u16 {
+        match self {
+            Request::Submit(_)
+            | Request::Sweep(_)
+            | Request::Stats
+            | Request::Shutdown
+            | Request::Trace => VERSION,
+            Request::Forward(_)
+            | Request::Gossip { .. }
+            | Request::SyncDigest
+            | Request::SyncList { .. }
+            | Request::Fetch { .. } => FLEET_VERSION,
+        }
+    }
+}
+
+/// A raw store entry as it travels over the wire: `(key bytes, value
+/// bytes)`, or `None` when the peer does not hold the key.
+pub type RawEntry = Option<(Vec<u8>, Vec<u8>)>;
 
 /// What the server answers.
 #[derive(Debug, Clone, PartialEq)]
@@ -860,6 +967,25 @@ pub enum Response {
     Error(String),
     /// Chrome trace-event JSON of the server's recent request stages.
     Trace(String),
+    /// Answer to a gossip round: the receiver's current peer view, so
+    /// membership spreads transitively through the mesh.
+    Gossip {
+        /// Every peer address the receiver knows after the merge.
+        peers: Vec<String>,
+    },
+    /// Answer to a digest request: exactly [`SYNC_BUCKETS`] buckets.
+    SyncDigest {
+        /// Per-bucket `(count, xor)` digests.
+        buckets: Vec<SyncBucket>,
+    },
+    /// Answer to a bucket listing: every key hash in the bucket.
+    SyncList {
+        /// Store key hashes (file-name hashes) in the requested bucket.
+        hashes: Vec<u64>,
+    },
+    /// Answer to a fetch: the raw store entry, or `None` if the key is
+    /// absent (or its file failed verification and read as a miss).
+    Entry(RawEntry),
 }
 
 /// Encode a request into a frame payload.
@@ -880,6 +1006,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => e.u8(2),
         Request::Shutdown => e.u8(3),
         Request::Trace => e.u8(4),
+        Request::Forward(s) => {
+            e.u8(5);
+            enc_scenario(&mut e, s);
+        }
+        Request::Gossip { from, peers } => {
+            e.u8(6);
+            e.str(from);
+            e.usize(peers.len());
+            for p in peers {
+                e.str(p);
+            }
+        }
+        Request::SyncDigest => e.u8(7),
+        Request::SyncList { bucket } => {
+            e.u8(8);
+            e.u8(*bucket);
+        }
+        Request::Fetch { key_hash } => {
+            e.u8(9);
+            e.u64(*key_hash);
+        }
     }
     e.0
 }
@@ -899,6 +1046,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         2 => Request::Stats,
         3 => Request::Shutdown,
         4 => Request::Trace,
+        5 => Request::Forward(dec_scenario(&mut d)?),
+        6 => {
+            let from = d.str()?;
+            let n = d.count()?;
+            let peers = (0..n).map(|_| d.str()).collect::<Result<Vec<_>, _>>()?;
+            Request::Gossip { from, peers }
+        }
+        7 => Request::SyncDigest,
+        8 => Request::SyncList { bucket: d.u8()? },
+        9 => Request::Fetch { key_hash: d.u64()? },
         t => return Err(WireError::UnknownTag(t)),
     };
     d.finish()?;
@@ -947,6 +1104,39 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u8(6);
             e.str(json);
         }
+        Response::Gossip { peers } => {
+            e.u8(7);
+            e.usize(peers.len());
+            for p in peers {
+                e.str(p);
+            }
+        }
+        Response::SyncDigest { buckets } => {
+            e.u8(8);
+            e.usize(buckets.len());
+            for &(count, xor) in buckets {
+                e.u64(count);
+                e.u64(xor);
+            }
+        }
+        Response::SyncList { hashes } => {
+            e.u8(9);
+            e.usize(hashes.len());
+            for &h in hashes {
+                e.u64(h);
+            }
+        }
+        Response::Entry(entry) => {
+            e.u8(10);
+            match entry {
+                None => e.u8(0),
+                Some((key, value)) => {
+                    e.u8(1);
+                    e.bytes(key);
+                    e.bytes(value);
+                }
+            }
+        }
     }
     e.0
 }
@@ -977,6 +1167,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         4 => Response::ShutdownAck,
         5 => Response::Error(d.str()?),
         6 => Response::Trace(d.str()?),
+        7 => {
+            let n = d.count()?;
+            let peers = (0..n).map(|_| d.str()).collect::<Result<Vec<_>, _>>()?;
+            Response::Gossip { peers }
+        }
+        8 => {
+            let n = d.count()?;
+            let buckets = (0..n)
+                .map(|_| Ok((d.u64()?, d.u64()?)))
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Response::SyncDigest { buckets }
+        }
+        9 => {
+            let n = d.count()?;
+            let hashes = (0..n).map(|_| d.u64()).collect::<Result<Vec<_>, _>>()?;
+            Response::SyncList { hashes }
+        }
+        10 => Response::Entry(match d.u8()? {
+            0 => None,
+            1 => Some((d.bytes()?, d.bytes()?)),
+            t => return Err(WireError::UnknownTag(t)),
+        }),
         t => return Err(WireError::UnknownTag(t)),
     };
     d.finish()?;
@@ -1021,9 +1233,38 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Trace,
+            Request::Forward(spec()),
+            Request::Gossip {
+                from: "127.0.0.1:9001".into(),
+                peers: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+            },
+            Request::SyncDigest,
+            Request::SyncList { bucket: 13 },
+            Request::Fetch {
+                key_hash: 0xdead_beef_cafe_f00d,
+            },
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn fleet_requests_are_version_gated() {
+        // Tags 0-4 travel at v1; the peer-to-peer set demands v2 frames.
+        assert_eq!(Request::Stats.required_version(), VERSION);
+        assert_eq!(Request::Submit(spec()).required_version(), VERSION);
+        for req in [
+            Request::Forward(spec()),
+            Request::Gossip {
+                from: String::new(),
+                peers: vec![],
+            },
+            Request::SyncDigest,
+            Request::SyncList { bucket: 0 },
+            Request::Fetch { key_hash: 0 },
+        ] {
+            assert_eq!(req.required_version(), FLEET_VERSION);
         }
     }
 
@@ -1070,6 +1311,17 @@ mod tests {
             Response::ShutdownAck,
             Response::Error("nope".into()),
             Response::Trace("{\"traceEvents\":[]}".into()),
+            Response::Gossip {
+                peers: vec!["127.0.0.1:9001".into()],
+            },
+            Response::SyncDigest {
+                buckets: vec![(0, 0); SYNC_BUCKETS],
+            },
+            Response::SyncList {
+                hashes: vec![1, 2, u64::MAX],
+            },
+            Response::Entry(None),
+            Response::Entry(Some((vec![1, 2, 3], vec![4, 5]))),
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);
@@ -1085,6 +1337,44 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), b"hello");
         assert_eq!(read_frame(&mut r).unwrap(), b"");
         assert_eq!(read_frame(&mut r).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn versioned_frames_carry_their_version() {
+        let mut buf = Vec::new();
+        write_frame_v(&mut buf, VERSION, b"old").unwrap();
+        write_frame_v(&mut buf, FLEET_VERSION, b"new").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame_versioned(&mut r).unwrap(),
+            (VERSION, b"old".to_vec())
+        );
+        assert_eq!(
+            read_frame_versioned(&mut r).unwrap(),
+            (FLEET_VERSION, b"new".to_vec())
+        );
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame_v(&mut buf, MAX_VERSION + 1, b"x").unwrap();
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err(),
+            WireError::BadVersion(MAX_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn socket_timeouts_map_to_timed_out() {
+        struct Stall;
+        impl std::io::Read for Stall {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        assert_eq!(read_frame(&mut Stall).unwrap_err(), WireError::TimedOut);
+        assert!(!WireError::TimedOut.recoverable());
     }
 
     #[test]

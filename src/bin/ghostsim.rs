@@ -13,6 +13,8 @@
 //! ghostsim submit --server 127.0.0.1:7777 --scrape
 //! ghostsim submit --server 127.0.0.1:7777 --server-trace spans.json
 //! ghostsim sweep --server 127.0.0.1:7777 --app pop --scales 16,64,256
+//! ghostsim serve --addr 127.0.0.1:7777 --store results/ --peers 127.0.0.1:7778
+//! ghostsim cluster --peers 3
 //! ghostsim --help
 //! ```
 //!
@@ -34,8 +36,16 @@
 //! the printed tables are identical either way, because served results are
 //! byte-identical to local ones.
 //!
+//! `serve --peers` joins a ghost-fleet: requests for keys owned by another
+//! peer are forwarded, stores replicate by anti-entropy, and a dead owner
+//! degrades to local simulation. `cluster` boots a local fleet and runs
+//! the chaos harness against it (kill / restart / partition on a schedule)
+//! to check the fleet invariants end to end.
+//!
 //! Exit codes: 0 success, 1 runtime failure (deadlock, injected fault,
-//! invalid trace), 2 usage error (bad flag or value).
+//! invalid trace, transient server failure after `--retries` attempts),
+//! 2 usage or protocol error (bad flag or value, undecodable response) —
+//! exit 1 means retrying later is reasonable, exit 2 means it is not.
 
 use std::process::ExitCode;
 
@@ -48,6 +58,7 @@ enum Command {
     Trace,
     Serve,
     Submit,
+    Cluster,
 }
 
 struct Args {
@@ -81,6 +92,15 @@ struct Args {
     scrape: bool,
     server_trace: Option<String>,
     shutdown: bool,
+    retries: u32,
+    deadline_ms: u64,
+    peers: Option<String>,
+    advertise: Option<String>,
+    heartbeat_ms: Option<u64>,
+    sync_ms: Option<u64>,
+    suspect_after: Option<u32>,
+    idle_timeout_ms: Option<u64>,
+    settle_ms: u64,
 }
 
 impl Default for Args {
@@ -116,6 +136,15 @@ impl Default for Args {
             scrape: false,
             server_trace: None,
             shutdown: false,
+            retries: 2,
+            deadline_ms: 30_000,
+            peers: None,
+            advertise: None,
+            heartbeat_ms: None,
+            sync_ms: None,
+            suspect_after: None,
+            idle_timeout_ms: None,
+            settle_ms: 5_000,
         }
     }
 }
@@ -134,6 +163,10 @@ USAGE:
                                  result, answers repeats without re-simulating
     ghostsim submit [OPTIONS]    send one scenario (or --stats/--shutdown) to
                                  a running server (--server required)
+    ghostsim cluster [OPTIONS]   boot a local ghost-fleet and run the chaos
+                                 harness against it: kill/partition/restart
+                                 daemons while checking that every answer
+                                 stays byte-identical and warmth replicates
 
 OPTIONS:
     --app <sage|cth|pop|spectral|bsp>   workload              [default: pop]
@@ -180,6 +213,18 @@ SERVE OPTIONS:
     --trace-capacity <N>                keep the last N request-stage spans for
                                         the Trace request (0 disables)
                                         [default: 1024]
+    --idle-timeout-ms <N>               reap connections idle this long
+                                        (0 disables) [default: 30000]
+    --peers <A:P,A:P,...>               fleet seed peers; joining a fleet turns
+                                        on request forwarding and store
+                                        replication (ghost-fleet)
+    --advertise <HOST:PORT>             address other peers use to reach this
+                                        daemon [default: the bound address]
+    --heartbeat-ms <N>                  fleet gossip interval [default: 500]
+    --sync-ms <N>                       anti-entropy store-sync interval
+                                        (0 disables) [default: 2000]
+    --suspect-after <N>                 consecutive failures before a peer is
+                                        suspected [default: 3]
 
 SUBMIT OPTIONS:
     --stats                             print server statistics instead of
@@ -190,6 +235,23 @@ SUBMIT OPTIONS:
     --server-trace <file>               fetch the server's recent request-stage
                                         spans as Chrome trace JSON
     --shutdown                          drain and stop the server
+    --retries <N>                       extra attempts for transient failures
+                                        (busy server, connection errors);
+                                        0 disables [default: 2]
+    --deadline-ms <N>                   overall deadline across all retry
+                                        attempts [default: 30000]
+
+CLUSTER OPTIONS:
+    --peers <N>                         daemons to boot [default: 3]
+    --store <dir>                       root for the per-peer stores
+                                        [default: a temp directory]
+    --crash <P@MS>                      kill peer P at MS ms (wall clock;
+                                        repeatable; stays down until restore)
+    --delay <P@MS:DURMS>                kill peer P at MS, restart DURMS later
+    --heartbeat-ms / --sync-ms / --suspect-after   fleet timing knobs
+                                        [cluster defaults: 50 / 250 / 3]
+    --settle-ms <N>                     convergence window after the churn
+                                        [default: 5000]
 ";
 
 /// Parse `R@MS` (rank at milliseconds).
@@ -220,6 +282,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
         Some("submit") => {
             args.command = Command::Submit;
+            it.next();
+        }
+        Some("cluster") => {
+            args.command = Command::Cluster;
             it.next();
         }
         _ => {}
@@ -310,6 +376,32 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .map_err(|e| format!("--trace-capacity: {e}"))?
             }
             "--server-trace" => args.server_trace = Some(value),
+            "--retries" => args.retries = value.parse().map_err(|e| format!("--retries: {e}"))?,
+            "--deadline-ms" => {
+                args.deadline_ms = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--peers" => args.peers = Some(value),
+            "--advertise" => args.advertise = Some(value),
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = Some(value.parse().map_err(|e| format!("--heartbeat-ms: {e}"))?)
+            }
+            "--sync-ms" => {
+                args.sync_ms = Some(value.parse().map_err(|e| format!("--sync-ms: {e}"))?)
+            }
+            "--suspect-after" => {
+                args.suspect_after =
+                    Some(value.parse().map_err(|e| format!("--suspect-after: {e}"))?)
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--idle-timeout-ms: {e}"))?,
+                )
+            }
+            "--settle-ms" => {
+                args.settle_ms = value.parse().map_err(|e| format!("--settle-ms: {e}"))?
+            }
             "--straggle" => {
                 let (r, f) = value
                     .split_once(':')
@@ -464,6 +556,7 @@ fn run(args: &Args) -> Result<(), Failure> {
     match args.command {
         Command::Serve => return run_serve(args),
         Command::Submit => return run_submit(args),
+        Command::Cluster => return run_cluster(args),
         Command::Trace if args.server.is_some() => {
             return Err(Failure::Usage(
                 "trace records a local run and cannot be routed through --server".into(),
@@ -548,17 +641,40 @@ fn run(args: &Args) -> Result<(), Failure> {
             run_compare(&spec, workload.as_ref(), &injection, &sig)
         }
         // Dispatched before workload construction.
-        Command::Serve | Command::Submit => unreachable!(),
+        Command::Serve | Command::Submit | Command::Cluster => unreachable!(),
     }
 }
 
 /// The `serve` subcommand: bind, announce, and serve until shutdown.
 fn run_serve(args: &Args) -> Result<(), Failure> {
+    let fleet = if args.peers.is_some() || args.advertise.is_some() {
+        let defaults = FleetConfig::default();
+        Some(FleetConfig {
+            advertise: args.advertise.clone().unwrap_or_default(),
+            seeds: args
+                .peers
+                .as_deref()
+                .unwrap_or_default()
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(Into::into)
+                .collect(),
+            heartbeat_ms: args.heartbeat_ms.unwrap_or(defaults.heartbeat_ms),
+            sync_ms: args.sync_ms.unwrap_or(defaults.sync_ms),
+            suspect_after: args.suspect_after.unwrap_or(defaults.suspect_after),
+            ..defaults
+        })
+    } else {
+        None
+    };
     let config = ServeConfig {
         store_dir: args.store.as_ref().map(Into::into),
         capacity: args.capacity,
         limits: RunLimits::none(),
         trace_capacity: args.trace_capacity,
+        idle_timeout_ms: args.idle_timeout_ms.unwrap_or(30_000),
+        fleet: fleet.clone(),
     };
     let server = Server::bind(args.addr.as_str(), config)
         .map_err(|e| Failure::Usage(format!("cannot bind {}: {e}", args.addr)))?;
@@ -570,17 +686,157 @@ fn run_serve(args: &Args) -> Result<(), Failure> {
             .map_err(|e| Failure::Usage(format!("cannot write {path}: {e}")))?;
     }
     eprintln!(
-        "ghost-serve listening on {addr} (store: {}, capacity: {})",
+        "ghost-serve listening on {addr} (store: {}, capacity: {}{})",
         args.store.as_deref().unwrap_or("in-memory only"),
         args.capacity,
+        match &fleet {
+            Some(f) if f.seeds.is_empty() => ", fleet: seed peer".into(),
+            Some(f) => format!(", fleet: {} seed(s)", f.seeds.len()),
+            None => String::new(),
+        },
     );
     server.run().map_err(|e| Failure::Runtime(e.to_string()))
 }
 
-/// Turn a client error into the CLI's exit-code contract: protocol and
-/// server-side failures are runtime errors (exit 1).
+/// The `cluster` subcommand: boot a local ghost-fleet and run the chaos
+/// harness against it. Exit 0 means both fleet invariants held under the
+/// churn schedule: every completed request byte-identical to an
+/// in-process run, and — after restore plus anti-entropy — every peer
+/// warm for every key with nothing re-simulated.
+fn run_cluster(args: &Args) -> Result<(), Failure> {
+    let peers: usize = match args.peers.as_deref() {
+        None => 3,
+        Some(v) => v
+            .parse()
+            .map_err(|e| Failure::Usage(format!("--peers: {e}")))?,
+    };
+    if !(2..=16).contains(&peers) {
+        return Err(Failure::Usage(format!(
+            "--peers must be between 2 and 16, got {peers}"
+        )));
+    }
+    let store_root = match &args.store {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let nonce = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            std::env::temp_dir().join(format!("ghost-cluster-{}-{nonce}", std::process::id()))
+        }
+    };
+
+    // Three scenarios, differing only in seed, so ownership spreads over
+    // the fleet while every answer stays small and deterministic.
+    let mut specs = Vec::new();
+    for k in 0..3 {
+        let mut spec = scenario_from_args(args, args.nodes)?;
+        spec.machine.seed = args.seed.wrapping_add(k);
+        specs.push(spec);
+    }
+
+    // The chaos schedule, in wall-clock milliseconds: either the --crash
+    // and --delay flags, or a default that exercises a permanent kill, a
+    // kill+restart, and a partition window.
+    let plan = if args.crashes.is_empty() && args.delays.is_empty() {
+        FaultPlan::new()
+            .with_crash(1 % peers, 600 * MS)
+            .with_delay(2 % peers, 1_200 * MS, 600 * MS)
+            .with_drop_window(0, 2_400 * MS, 3_000 * MS, 1_000_000)
+    } else {
+        let mut plan = FaultPlan::new();
+        for &(peer, at_ms) in &args.crashes {
+            plan = plan.with_crash(peer, at_ms * MS);
+        }
+        for &(peer, at_ms, dur_ms) in &args.delays {
+            plan = plan.with_delay(peer, at_ms * MS, dur_ms * MS);
+        }
+        plan
+    };
+
+    let config = ClusterConfig {
+        peers,
+        store_root: store_root.clone(),
+        heartbeat_ms: args.heartbeat_ms.unwrap_or(50),
+        sync_ms: args.sync_ms.unwrap_or(250),
+        suspect_after: args.suspect_after.unwrap_or(3),
+        rpc_timeout_ms: 1_000,
+        capacity: args.capacity,
+    };
+    eprintln!(
+        "booting a {peers}-peer ghost-fleet (stores under {}, heartbeat {}ms, sync {}ms)...",
+        store_root.display(),
+        config.heartbeat_ms,
+        config.sync_ms,
+    );
+    let mut cluster = ClusterHarness::boot(config)
+        .map_err(|e| Failure::Runtime(format!("cannot boot cluster: {e}")))?;
+    for i in 0..cluster.len() {
+        eprintln!("  peer {i}: {}", cluster.addr(i));
+    }
+
+    let settle = std::time::Duration::from_millis(args.settle_ms);
+    let report = cluster
+        .run_churn(&specs, &plan, settle)
+        .map_err(Failure::Runtime)?;
+    for line in &report.log {
+        eprintln!("  {line}");
+    }
+
+    let mut tab = Table::new("cluster churn report", &["check", "value"]);
+    for (name, value) in [
+        ("submissions under churn", report.submissions.to_string()),
+        ("served", report.served.to_string()),
+        ("byte mismatches", report.mismatches.len().to_string()),
+        ("failed requests", report.failures.len().to_string()),
+        ("replication converged", report.converged.to_string()),
+        ("warm everywhere", report.warm_everywhere.to_string()),
+        (
+            "re-simulated when warm",
+            report.resimulated_when_warm.to_string(),
+        ),
+    ] {
+        tab.row(&[name.to_string(), value]);
+    }
+    println!("{}", tab.render());
+    cluster.stop_all();
+
+    if report.ok() {
+        eprintln!("fleet invariants held: no wrong answers, warmth replicated everywhere");
+        Ok(())
+    } else {
+        for problem in report.mismatches.iter().chain(&report.failures) {
+            eprintln!("  problem: {problem}");
+        }
+        Err(Failure::Runtime(
+            "fleet invariants violated under churn".into(),
+        ))
+    }
+}
+
+/// Turn a client error into the CLI's exit-code contract. Transient
+/// failures — a busy server, a dropped connection, retries exhausted —
+/// exit 1: the request was fine, trying again later is reasonable. So do
+/// server-reported simulation failures, matching the local path's exit
+/// for the same scenario. Protocol violations (undecodable bytes, a
+/// response of the wrong kind) exit 2: retrying cannot help.
 fn client_failure(e: ClientError) -> Failure {
-    Failure::Runtime(e.to_string())
+    match e {
+        ClientError::Wire(_) | ClientError::Unexpected(_) => {
+            Failure::Usage(format!("protocol error: {e}"))
+        }
+        _ => Failure::Runtime(e.to_string()),
+    }
+}
+
+/// The retry policy `--retries`/`--deadline-ms` ask for; `--retries 0`
+/// keeps the old single-attempt behaviour.
+fn retry_policy(args: &Args) -> RetryPolicy {
+    if args.retries == 0 {
+        RetryPolicy::none()
+    } else {
+        RetryPolicy::standard(args.retries, args.deadline_ms)
+    }
 }
 
 /// Render server statistics as a single JSON object (hand-rolled; every
@@ -653,6 +909,16 @@ fn run_submit(args: &Args) -> Result<(), Failure> {
         print!("{text}");
         return Ok(());
     }
+    if !args.stats && args.server_trace.is_none() && !args.shutdown {
+        // The scenario path: one submission under the retry policy. Each
+        // attempt reconnects, so a restarted server still answers.
+        let spec = scenario_from_args(args, args.nodes)?;
+        eprintln!("submitting {} to {server}...", spec.label());
+        let reply = call_with_retry(server, retry_policy(args), |c| c.submit(&spec))
+            .map_err(client_failure)?;
+        print_replies(std::iter::once(&reply));
+        return Ok(());
+    }
     let mut client = Client::connect(server).map_err(client_failure)?;
     if args.stats {
         let s = client.stats().map_err(client_failure)?;
@@ -708,15 +974,8 @@ fn run_submit(args: &Args) -> Result<(), Failure> {
         );
         return Ok(());
     }
-    if args.shutdown {
-        client.shutdown().map_err(client_failure)?;
-        eprintln!("server {server} draining and shutting down");
-        return Ok(());
-    }
-    let spec = scenario_from_args(args, args.nodes)?;
-    eprintln!("submitting {} to {server}...", spec.label());
-    let reply = client.submit(&spec).map_err(client_failure)?;
-    print_replies(std::iter::once(&reply));
+    client.shutdown().map_err(client_failure)?;
+    eprintln!("server {server} draining and shutting down");
     Ok(())
 }
 
@@ -768,8 +1027,8 @@ fn run_remote(args: &Args) -> Result<(), Failure> {
             .collect::<Vec<_>>()
             .join(","),
     );
-    let mut client = Client::connect(server).map_err(client_failure)?;
-    let slots = client.sweep(&specs).map_err(client_failure)?;
+    let slots =
+        call_with_retry(server, retry_policy(args), |c| c.sweep(&specs)).map_err(client_failure)?;
 
     let mut failures = Vec::new();
     let mut replies = Vec::new();

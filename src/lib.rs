@@ -93,8 +93,9 @@ pub mod prelude {
         TraceRing, VecRecorder,
     };
     pub use ghost_serve::{
-        scrape_metrics, Client, ClientError, Request, Response, ResultStore, ScenarioReply,
-        ServeConfig, Server, ServerStats, WireError,
+        call_with_retry, scrape_metrics, ChurnReport, Client, ClientError, ClusterConfig,
+        ClusterHarness, Fleet, FleetConfig, Request, Response, ResultStore, RetryPolicy,
+        ScenarioReply, ServeConfig, Server, ServerHandle, ServerStats, WireError,
     };
 }
 

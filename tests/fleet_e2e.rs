@@ -1,0 +1,241 @@
+//! End-to-end tests for ghost-fleet: the chaos-churn invariant (no wrong
+//! answers while daemons die, restart, and partition; warm anywhere is
+//! warm everywhere after anti-entropy), forwarding read-through, and
+//! graceful degradation when a key's owner is unreachable.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ghostsim::prelude::*;
+use ghostsim::serve::wire;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ghost-fleet-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A small, fast scenario; `seed` varies the key (and so its owner).
+fn spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        workload: WorkloadSpec::Bsp {
+            steps: 2,
+            compute: MS,
+        },
+        machine: ExperimentSpec::flat(4, seed),
+        injection: InjectionSpec::uncoordinated(10.0, 0.025),
+    }
+}
+
+fn expected_bytes(s: &ScenarioSpec) -> Vec<u8> {
+    let outcome = run_scenario(s, RunLimits::none(), None).unwrap();
+    ScenarioReply::from_outcome(s, &outcome).to_bytes()
+}
+
+/// Poll the /metrics exposition of `addr` until `pred` holds or the
+/// timeout passes; returns the final text either way.
+fn await_metrics(addr: std::net::SocketAddr, pred: impl Fn(&str) -> bool, ms: u64) -> String {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    loop {
+        let text = scrape_metrics(addr).unwrap_or_default();
+        if pred(&text) || Instant::now() >= deadline {
+            return text;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The unlabeled cell of a counter or gauge (`name value`); per-peer
+/// labeled cells (`name{peer="..."} value`) are siblings, not the total.
+fn counter_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .filter_map(|l| l.strip_prefix(name)?.strip_prefix(' '))
+        .filter_map(|v| v.trim().parse::<u64>().ok())
+        .sum()
+}
+
+/// Wait until peer `i` has gossiped its way to `n` known peers — fresh
+/// clusters need a heartbeat or two before forwarding can happen.
+fn await_mesh(cluster: &ClusterHarness, i: usize, n: u64) {
+    let text = await_metrics(
+        cluster.addr(i),
+        |t| counter_value(t, "ghost_fleet_peers") >= n,
+        5_000,
+    );
+    assert!(
+        counter_value(&text, "ghost_fleet_peers") >= n,
+        "peer {i} never met {n} peer(s); metrics were:\n{text}"
+    );
+}
+
+/// The acceptance invariant: three peers under churn (a permanent kill, a
+/// kill+restart, a partition window) serve only byte-identical answers,
+/// and after the churn plus anti-entropy every peer holds every warm key
+/// and a full warm pass re-simulates nothing.
+#[test]
+fn chaos_churn_preserves_byte_identity_and_convergence() {
+    let dir = tmpdir("churn");
+    let mut cluster = ClusterHarness::boot(ClusterConfig::quick(dir.clone(), 3)).unwrap();
+    let specs = vec![spec(1), spec(2), spec(3)];
+    let plan = FaultPlan::new()
+        .with_crash(1, 300 * MS)
+        .with_delay(2, 600 * MS, 300 * MS)
+        .with_drop_window(0, 1_000 * MS, 1_300 * MS, 1_000_000);
+    let report = cluster
+        .run_churn(&specs, &plan, Duration::from_secs(10))
+        .unwrap();
+    assert!(
+        report.ok(),
+        "fleet invariants violated:\n  mismatches: {:?}\n  failures: {:?}\n  converged: {} \
+         warm_everywhere: {} resimulated: {}\n  log: {:#?}",
+        report.mismatches,
+        report.failures,
+        report.converged,
+        report.warm_everywhere,
+        report.resimulated_when_warm,
+        report.log,
+    );
+    assert!(report.served > 0, "churn must actually exercise the fleet");
+    cluster.stop_all();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Forwarding replicates read-through: with anti-entropy effectively off,
+/// submitting the same key through both peers simulates exactly once —
+/// the non-owner forwards, caches the reply, and both answers are
+/// byte-identical to the in-process run.
+#[test]
+fn forwarding_caches_read_through() {
+    let dir = tmpdir("forward");
+    let mut config = ClusterConfig::quick(dir.clone(), 2);
+    config.sync_ms = 600_000; // warmth must come from forwarding alone
+    let cluster = ClusterHarness::boot(config).unwrap();
+    await_mesh(&cluster, 0, 1);
+    await_mesh(&cluster, 1, 1);
+    let s = spec(7);
+    let want = expected_bytes(&s);
+
+    let via0 = cluster.submit_via(0, &s).unwrap();
+    let via1 = cluster.submit_via(1, &s).unwrap();
+    assert_eq!(via0.to_bytes(), want);
+    assert_eq!(via1.to_bytes(), want);
+    assert_eq!(
+        cluster.total_simulated(),
+        1,
+        "one submission simulates, the other is forwarded or served warm"
+    );
+
+    // Exactly one of the two submissions crossed the fleet.
+    let forwards: u64 = (0..2)
+        .map(|i| {
+            counter_value(
+                &scrape_metrics(cluster.addr(i)).unwrap(),
+                "ghost_fleet_forward_total",
+            )
+        })
+        .sum();
+    assert_eq!(forwards, 1, "the non-owner forwards to the owner");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Losing a key's owner is not an error: the surviving peer falls back to
+/// local simulation, still answers byte-identically, and eventually marks
+/// the dead peer suspect (visible on /metrics).
+#[test]
+fn dead_owner_degrades_to_local_simulation() {
+    let dir = tmpdir("degrade");
+    let mut config = ClusterConfig::quick(dir.clone(), 2);
+    config.sync_ms = 600_000;
+    let mut cluster = ClusterHarness::boot(config).unwrap();
+    await_mesh(&cluster, 0, 1);
+
+    // Find a key peer 1 owns, from peer 0's point of view.
+    let fleet = Fleet::new(FleetConfig {
+        advertise: cluster.addr(0).to_string(),
+        seeds: vec![cluster.addr(1).to_string()],
+        ..FleetConfig::default()
+    });
+    let owned_by_1 = (0..100)
+        .map(spec)
+        .find(|s| {
+            let hash = wire::content_hash(&wire::scenario_key_bytes(s));
+            fleet.owner_of(hash) == cluster.addr(1).to_string()
+        })
+        .expect("some seed in 0..100 must hash to the other peer");
+    let want = expected_bytes(&owned_by_1);
+
+    cluster.kill(1);
+    let reply = cluster.submit_via(0, &owned_by_1).unwrap();
+    assert_eq!(
+        reply.to_bytes(),
+        want,
+        "owner loss degrades to local simulation, not to a wrong answer"
+    );
+    assert_eq!(cluster.stats(0).unwrap().simulated, 1);
+
+    // Heartbeats keep probing the corpse; suspicion shows up on /metrics.
+    let text = await_metrics(
+        cluster.addr(0),
+        |t| counter_value(t, "ghost_fleet_suspect_total") >= 1,
+        5_000,
+    );
+    assert!(
+        counter_value(&text, "ghost_fleet_suspect_total") >= 1,
+        "dead peer must be suspected; metrics were:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A restarted peer converges by anti-entropy alone: warm one peer, boot
+/// the second's replacement... here simply wait — the harness's
+/// convergence probe checks byte identity in *both* stores over the wire.
+#[test]
+fn anti_entropy_replicates_without_requests() {
+    let dir = tmpdir("sync");
+    let cluster = ClusterHarness::boot(ClusterConfig::quick(dir.clone(), 2)).unwrap();
+    await_mesh(&cluster, 0, 1);
+    await_mesh(&cluster, 1, 1);
+
+    // A key peer 0 owns, so serving it leaves peer 1's store cold: the
+    // only way it can warm up is the anti-entropy pull.
+    let fleet = Fleet::new(FleetConfig {
+        advertise: cluster.addr(0).to_string(),
+        seeds: vec![cluster.addr(1).to_string()],
+        ..FleetConfig::default()
+    });
+    let s = (0..100)
+        .map(spec)
+        .find(|s| {
+            let hash = wire::content_hash(&wire::scenario_key_bytes(s));
+            fleet.owner_of(hash) == cluster.addr(0).to_string()
+        })
+        .expect("some seed in 0..100 must hash to peer 0");
+    let want = expected_bytes(&s);
+    let hash = wire::content_hash(&wire::scenario_key_bytes(&s));
+
+    // Warm via peer 0 only; peer 1 never sees a request.
+    let reply = cluster.submit_via(0, &s).unwrap();
+    assert_eq!(reply.to_bytes(), want);
+
+    let expected = vec![(hash, want)];
+    assert!(
+        cluster.await_convergence(&expected, Duration::from_secs(10)),
+        "anti-entropy must replicate the entry to the idle peer"
+    );
+    // The pull is visible on the puller's metrics (whichever peer lacked
+    // the entry after the forward).
+    let pulls: u64 = (0..2)
+        .map(|i| {
+            counter_value(
+                &scrape_metrics(cluster.addr(i)).unwrap(),
+                "ghost_fleet_sync_pull_total",
+            )
+        })
+        .sum();
+    assert!(
+        pulls >= 1,
+        "at least one anti-entropy pull must have happened"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

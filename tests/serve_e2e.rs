@@ -164,6 +164,179 @@ fn malformed_traffic_never_kills_the_server() {
     handle.join().unwrap();
 }
 
+/// A client that connects and never speaks (a half-open connection) is
+/// reaped by the idle timeout instead of pinning a handler thread, the
+/// reap is counted, and the server keeps serving.
+#[test]
+fn half_open_connections_are_reaped_not_leaked() {
+    let config = ServeConfig {
+        idle_timeout_ms: 100,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Three silent connections: connect, say nothing, hold them open.
+    let silent: Vec<_> = (0..3)
+        .map(|_| std::net::TcpStream::connect(addr).unwrap())
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let reaped = loop {
+        let text = scrape_metrics(addr).unwrap_or_default();
+        let n: u64 = text
+            .lines()
+            .filter_map(|l| {
+                l.strip_prefix("ghost_serve_idle_reaped_total ")?
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+            .sum();
+        if n >= 3 || std::time::Instant::now() >= deadline {
+            break n;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    assert!(
+        reaped >= 3,
+        "all silent connections must be reaped, got {reaped}"
+    );
+    drop(silent);
+
+    // The server is still fully functional afterwards.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.stats().is_ok());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Corrupting stored "GSST" files — any byte flipped, any truncation —
+/// never produces a wrong answer or a panic: every read is byte-identical
+/// to what was written or a clean miss. This also holds while another
+/// handle is writing to the same store.
+mod store_corruption_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn flipped_byte_reads_identical_or_miss(
+            key in proptest::collection::vec(0u8..=255, 1..64),
+            value in proptest::collection::vec(0u8..=255, 0..256),
+            offset in 0usize..1_000_000,
+            xor in 1u8..=255u8,
+        ) {
+            let dir = tmpdir("flip-prop");
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(&key, &value).unwrap();
+            let path = store.path_for(&key);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let at = offset % bytes.len();
+            bytes[at] ^= xor;
+            std::fs::write(&path, &bytes).unwrap();
+            let got = store.get(&key);
+            prop_assert!(
+                got.is_none() || got.as_deref() == Some(&value[..]),
+                "a flipped byte must read back identical or miss, never wrong"
+            );
+            // The maintenance paths must stay total over the same damage.
+            let _ = store.scan();
+            let _ = store.get_raw(wire::content_hash(&key));
+            let _ = store.digest();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn truncation_reads_identical_or_miss(
+            key in proptest::collection::vec(0u8..=255, 1..64),
+            value in proptest::collection::vec(0u8..=255, 0..256),
+            keep in 0usize..1_000_000,
+        ) {
+            let dir = tmpdir("truncate-prop");
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(&key, &value).unwrap();
+            let path = store.path_for(&key);
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..keep % (bytes.len() + 1)]).unwrap();
+            let got = store.get(&key);
+            prop_assert!(
+                got.is_none() || got.as_deref() == Some(&value[..]),
+                "a truncated file must read back identical or miss"
+            );
+            let _ = store.scan();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The corruption invariant holds under concurrency: one handle keeps
+/// writing fresh entries while another corrupts and re-reads a target
+/// entry. No read on either side is ever wrong — identical bytes or a
+/// miss — and completed writes always read back.
+#[test]
+fn corruption_under_concurrent_writes_never_serves_garbage() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dir = tmpdir("concurrent-corruption");
+    let store = ResultStore::open(&dir).unwrap();
+    let target_key = b"target-key".to_vec();
+    let target_value: Vec<u8> = (0..512).map(|i| (i * 7 % 251) as u8).collect();
+    store.put(&target_key, &target_value).unwrap();
+    let path = store.path_for(&target_key);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = stop.clone();
+        let store = ResultStore::open(&dir).unwrap();
+        std::thread::spawn(move || -> u64 {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = format!("writer-key-{i}").into_bytes();
+                store.put(&key, &i.to_le_bytes()).unwrap();
+                // Read-back of a completed write is exact even while the
+                // other thread vandalizes its own entry.
+                assert_eq!(store.get(&key).as_deref(), Some(&i.to_le_bytes()[..]));
+                i += 1;
+            }
+            i
+        })
+    };
+
+    for round in 0..200usize {
+        let bytes = std::fs::read(&path).unwrap();
+        let mut mutated = bytes.clone();
+        let at = round % mutated.len();
+        mutated[at] ^= 0x5a;
+        std::fs::write(&path, &mutated).unwrap();
+        let got = store.get(&target_key);
+        assert!(
+            got.is_none() || got.as_deref() == Some(&target_value[..]),
+            "round {round}: corrupt read must be identical or a miss"
+        );
+        // scan() walks every file, including the writer's in-flight ones
+        // and our vandalized one: it must stay total mid-churn.
+        let _ = store.scan();
+        store.put(&target_key, &target_value).unwrap();
+        assert_eq!(store.get(&target_key).as_deref(), Some(&target_value[..]));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let written = writer.join().unwrap();
+    assert!(written > 0, "the writer must actually have run");
+    for i in 0..written {
+        let key = format!("writer-key-{i}").into_bytes();
+        assert_eq!(
+            store.get(&key).as_deref(),
+            Some(&i.to_le_bytes()[..]),
+            "completed writes survive the churn byte-identically"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 mod decoder_props {
     use super::*;
     use proptest::prelude::*;
