@@ -42,7 +42,7 @@ cargo bench --workspace --no-run
 # result landed on disk.
 echo "==> ghostsim serve smoke test"
 SMOKE_DIR="$(mktemp -d)"
-trap 'kill "${SERVE_PID:-}" "${FLEET1_PID:-}" "${FLEET2_PID:-}" "${FLEET3_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "${FLEET_DIR:-}"' EXIT
+trap 'kill "${SERVE_PID:-}" "${FLOOD_PID:-}" "${SWEEP_PID:-}" "${FLEET1_PID:-}" "${FLEET2_PID:-}" "${FLEET3_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "${FLEET_DIR:-}"' EXIT
 ./target/release/ghostsim serve --addr 127.0.0.1:0 \
     --store "$SMOKE_DIR/store" --port-file "$SMOKE_DIR/port" &
 SERVE_PID=$!
@@ -77,6 +77,59 @@ wait "$SERVE_PID"
 ls "$SMOKE_DIR/store"/gs-*.res > /dev/null \
     || { echo "serve smoke: no result file persisted"; exit 1; }
 echo "serve smoke: ok"
+
+# High-concurrency smoke: the event loop must hold thousands of idle
+# connections on one thread while answering warm probes byte-identically
+# (exit 2 = a probe reply diverged). 2000 keeps CI inside the default fd
+# budget; the full 10k run lives in the perf_serve bench.
+echo "==> ghostsim flood smoke test (2000 connections)"
+./target/release/ghostsim serve --addr 127.0.0.1:0 \
+    --store "$SMOKE_DIR/flood-store" --port-file "$SMOKE_DIR/flood-port" &
+FLOOD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/flood-port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/flood-port" ] || { echo "flood smoke: server never wrote its port file"; exit 1; }
+FLOOD_ADDR="$(cat "$SMOKE_DIR/flood-port")"
+./target/release/ghostsim flood --server "$FLOOD_ADDR" --conns 2000 \
+    > "$SMOKE_DIR/flood.json" \
+    || { echo "flood smoke: flood run failed"; exit 1; }
+grep -q '"connections_held":2000' "$SMOKE_DIR/flood.json" \
+    || { echo "flood smoke: not all 2000 connections were held"; exit 1; }
+grep -q '"mismatches":0' "$SMOKE_DIR/flood.json" \
+    || { echo "flood smoke: probe replies diverged under flood"; exit 1; }
+./target/release/ghostsim submit --server "$FLOOD_ADDR" --shutdown
+wait "$FLOOD_PID"
+echo "flood smoke: ok"
+
+# Pipelined sweep smoke: a batched sweep over the wire must agree with the
+# serial path (the sweep itself re-reads the 6 warm cells; the store just
+# simulated them, so every probe is a memory hit).
+echo "==> ghostsim pipelined sweep smoke test"
+./target/release/ghostsim serve --addr 127.0.0.1:0 \
+    --store "$SMOKE_DIR/sweep-store" --port-file "$SMOKE_DIR/sweep-port" &
+SWEEP_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/sweep-port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/sweep-port" ] || { echo "sweep smoke: server never wrote its port file"; exit 1; }
+SWEEP_ADDR="$(cat "$SMOKE_DIR/sweep-port")"
+./target/release/ghostsim sweep --server "$SWEEP_ADDR" --app pop --steps 1 \
+    --scales 2,4,8 --batch 2 > "$SMOKE_DIR/sweep-batched.txt" \
+    || { echo "sweep smoke: batched sweep failed"; exit 1; }
+./target/release/ghostsim sweep --server "$SWEEP_ADDR" --app pop --steps 1 \
+    --scales 2,4,8 --batch 0 > "$SMOKE_DIR/sweep-serial.txt" \
+    || { echo "sweep smoke: serial sweep failed"; exit 1; }
+cmp "$SMOKE_DIR/sweep-batched.txt" "$SMOKE_DIR/sweep-serial.txt" \
+    || { echo "sweep smoke: batched and serial sweeps disagreed"; exit 1; }
+./target/release/ghostsim submit --server "$SWEEP_ADDR" --scrape > "$SMOKE_DIR/sweep-metrics.txt"
+grep -Eq '^ghost_serve_batches_total [1-9]' "$SMOKE_DIR/sweep-metrics.txt" \
+    || { echo "sweep smoke: the batched sweep never sent a SubmitBatch"; exit 1; }
+./target/release/ghostsim submit --server "$SWEEP_ADDR" --shutdown
+wait "$SWEEP_PID"
+echo "pipelined sweep smoke: ok"
 
 # Fleet smoke: three daemons as separate OS processes forming one
 # ghost-fleet. Submit the same scenario through every peer (the non-owners
@@ -151,10 +204,12 @@ echo "==> ghostsim cluster chaos harness"
 
 # Telemetry bench: a small measurement window is enough to prove the
 # BENCH_serve.json emitter works end to end (warm-hit latency with tracing
-# on/off, scrape + exposition-render cost, engine event throughput).
+# on/off, scrape + exposition-render cost, engine event throughput, and the
+# event-loop flood). GHOST_BENCH_CONNS=2000 bounds the flood for CI; the
+# headline 10k figure comes from an untimed `cargo bench` run.
 echo "==> cargo bench --bench perf_serve (BENCH_serve.json)"
 rm -f BENCH_serve.json
-CRITERION_MEASURE_MS=80 CRITERION_WARMUP_MS=20 \
+CRITERION_MEASURE_MS=80 CRITERION_WARMUP_MS=20 GHOST_BENCH_CONNS=2000 \
     cargo bench -p ghost-bench --bench perf_serve -q > /dev/null
 [ -s BENCH_serve.json ] \
     || { echo "telemetry bench: BENCH_serve.json was not written"; exit 1; }
@@ -162,6 +217,12 @@ grep -q '"warm_hit_traced_ns"' BENCH_serve.json \
     || { echo "telemetry bench: BENCH_serve.json is missing warm-hit latency"; exit 1; }
 grep -q '"engine_events_per_sec"' BENCH_serve.json \
     || { echo "telemetry bench: BENCH_serve.json is missing engine throughput"; exit 1; }
+grep -q '"concurrent_connections": 2000' BENCH_serve.json \
+    || { echo "telemetry bench: the flood did not hold its connections"; exit 1; }
+grep -q '"warm_hits_per_sec"' BENCH_serve.json \
+    || { echo "telemetry bench: BENCH_serve.json is missing flood warm-hit throughput"; exit 1; }
+grep -q '"batch_sweep_speedup"' BENCH_serve.json \
+    || { echo "telemetry bench: BENCH_serve.json is missing the pipelined-sweep speedup"; exit 1; }
 echo "telemetry bench: ok"
 
 # Engine bench: whole-machine event throughput for the heap backend, the

@@ -486,6 +486,8 @@ fn peer_config(
         limits: RunLimits::none(),
         trace_capacity: 0,
         idle_timeout_ms: 10_000,
+        store_capacity_bytes: 0,
+        workers: 0,
         fleet: Some(FleetConfig {
             advertise,
             seeds,

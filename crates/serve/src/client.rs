@@ -19,8 +19,8 @@ use std::time::{Duration, Instant};
 use ghost_core::scenario::{mix64, ScenarioSpec};
 
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame_v, RawEntry, Request, Response,
-    ScenarioReply, ServerStats, SyncBucket, WireError,
+    decode_response, encode_request, read_frame, write_frame_v, BatchSlots, RawEntry, Request,
+    Response, ScenarioReply, ServerStats, SyncBucket, WireError,
 };
 
 /// Why a client call failed.
@@ -351,6 +351,82 @@ impl Client {
             Response::Entry(entry) => Ok(entry),
             other => Err(Self::reject(other, "Entry")),
         }
+    }
+
+    // -- Pipelined sweeps (v2 frames) ----------------------------------------
+
+    /// Fire one `SubmitBatch` chunk without waiting for its reply. Pair
+    /// with [`Client::read_batch`]; replies correlate by `id` and may
+    /// arrive out of order relative to other in-flight chunks.
+    pub fn send_batch(&mut self, id: u64, specs: &[ScenarioSpec]) -> Result<(), ClientError> {
+        let req = Request::SubmitBatch {
+            id,
+            specs: specs.to_vec(),
+        };
+        write_frame_v(
+            &mut self.stream,
+            req.required_version(),
+            &encode_request(&req),
+        )?;
+        Ok(())
+    }
+
+    /// Read the next batch reply off the connection. Returns `(id, slots)`;
+    /// the id says which in-flight chunk this answers.
+    pub fn read_batch(&mut self) -> Result<(u64, BatchSlots), ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        match decode_response(&payload)? {
+            Response::Batch { id, slots } => Ok((id, slots)),
+            other => Err(Self::reject(other, "Batch")),
+        }
+    }
+
+    /// Run a sweep with request pipelining: the cells are cut into chunks
+    /// of at most `batch` and *all* chunks are written before any reply is
+    /// read, so the whole sweep costs one round-trip of latency instead of
+    /// one per chunk. Results come back in spec order regardless of the
+    /// order the server finishes chunks. Any chunk-level busy rejection
+    /// fails the sweep with [`ClientError::Busy`] (after draining the
+    /// remaining replies so the connection stays usable).
+    pub fn sweep_pipelined(
+        &mut self,
+        specs: &[ScenarioSpec],
+        batch: usize,
+    ) -> Result<Vec<Result<ScenarioReply, String>>, ClientError> {
+        let batch = batch.max(1);
+        let chunks: Vec<&[ScenarioSpec]> = specs.chunks(batch).collect();
+        for (id, chunk) in chunks.iter().enumerate() {
+            self.send_batch(id as u64, chunk)?;
+        }
+        let mut slots: Vec<Option<Vec<Result<ScenarioReply, String>>>> = vec![None; chunks.len()];
+        let mut busy = None;
+        for _ in 0..chunks.len() {
+            let (id, reply) = self.read_batch()?;
+            let slot = slots
+                .get_mut(id as usize)
+                .ok_or_else(|| ClientError::Unexpected(format!("unknown batch id {id}")))?;
+            match reply {
+                Ok(cells) => *slot = Some(cells),
+                Err((active, capacity)) => busy = Some(ClientError::Busy { active, capacity }),
+            }
+        }
+        if let Some(e) = busy {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(specs.len());
+        for (id, slot) in slots.into_iter().enumerate() {
+            let cells = slot
+                .ok_or_else(|| ClientError::Unexpected(format!("missing reply for batch {id}")))?;
+            let want = chunks.get(id).map_or(0, |c| c.len());
+            if cells.len() != want {
+                return Err(ClientError::Unexpected(format!(
+                    "batch {id} answered {} cells for {want} specs",
+                    cells.len()
+                )));
+            }
+            out.extend(cells);
+        }
+        Ok(out)
     }
 }
 

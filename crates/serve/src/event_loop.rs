@@ -1,0 +1,1155 @@
+//! The readiness-based serving core: one event-loop thread drives every
+//! connection through a per-connection state machine, and a small worker
+//! pool runs the simulation-bearing requests.
+//!
+//! ## Why not thread-per-connection
+//!
+//! The previous accept loop spawned a kernel thread per connection, so at
+//! fleet scale every idle client cost scheduler state — precisely the
+//! kernel interference the source paper measures. Here the loop holds
+//! *all* connections on one thread behind a level-triggered readiness
+//! poller ([`crate::sys::Poller`]: epoll on Linux, `poll(2)` elsewhere);
+//! 10k idle connections cost file descriptors and a few hundred bytes of
+//! buffer each, not 10k schedulable threads.
+//!
+//! ## Division of labor
+//!
+//! The loop thread does everything that is cheap and non-blocking:
+//! accept, sniffing (binary frames vs. HTTP), incremental frame parsing,
+//! in-memory cache hits, `Stats`/`Trace`/`Gossip`/`Shutdown`, and the
+//! `/metrics` exposition — a scrape never waits on anything. Requests
+//! that may block (disk lookups, simulations, sweeps, fleet forwards,
+//! anti-entropy scans) are enqueued to the worker pool; workers call the
+//! same coalescing scheduler as before ([`Shared::submit`] /
+//! [`Shared::sweep`], condvar-join machinery intact) and push encoded
+//! reply frames to a completion queue, waking the loop through a
+//! self-pipe.
+//!
+//! ## Ordering contract
+//!
+//! Replies to non-batch requests are strictly FIFO per connection: each
+//! request takes a sequence number at decode time and completed replies
+//! are held until every earlier reply has been emitted. `SubmitBatch`
+//! replies are exempt — they complete out of order and carry the
+//! client-chosen batch id instead, which is what makes pipelining pay.
+
+#![cfg(unix)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ghost_core::scenario::ScenarioSpec;
+
+use crate::server::{lock, Shared};
+use crate::sys::{self, Interest, Poller};
+use crate::wire::{
+    decode_request, encode_response, write_frame_v, Request, Response, WireError, MAGIC,
+    MAX_PAYLOAD, MAX_VERSION, SYNC_BUCKETS, VERSION,
+};
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Per-connection cap on decoded-but-unanswered requests; past it the
+/// loop stops reading from that connection until completions drain.
+const MAX_CONN_INFLIGHT: u32 = 1024;
+/// Cap on buffered HTTP header bytes.
+const HTTP_HEADER_LIMIT: usize = 8 * 1024;
+/// Base poll timeout: how fast the loop notices flag-only changes
+/// (shutdown/kill/partition) with no socket activity.
+const POLL_TIMEOUT_MS: i32 = 25;
+
+// ---------------------------------------------------------------------------
+// Worker pool
+
+/// A unit of work a connection handed to the pool.
+enum Work {
+    Submit {
+        spec: Box<ScenarioSpec>,
+        allow_forward: bool,
+    },
+    Sweep {
+        specs: Vec<ScenarioSpec>,
+    },
+    Batch {
+        id: u64,
+        specs: Vec<ScenarioSpec>,
+    },
+    SyncDigest,
+    SyncList {
+        bucket: u8,
+    },
+    Fetch {
+        key_hash: u64,
+    },
+}
+
+struct Job {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    ordered: bool,
+    version: u16,
+    track: u64,
+    t0: u64,
+    work: Work,
+}
+
+/// A completed job: the fully framed reply bytes, ready to route back to
+/// the connection that asked (generation-checked, so a reply for a dead
+/// connection is dropped instead of corrupting a reused slot).
+struct Done {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    ordered: bool,
+    bytes: Vec<u8>,
+}
+
+struct QueueState {
+    q: VecDeque<Job>,
+    closed: bool,
+}
+
+struct PoolInner {
+    jobs: Mutex<QueueState>,
+    cv: Condvar,
+    done: Mutex<Vec<Done>>,
+    /// Jobs enqueued or running (completion not yet pushed).
+    pending: AtomicI64,
+    /// Write end of the loop's self-pipe.
+    wake: UnixStream,
+    shared: Arc<Shared>,
+}
+
+struct Pool {
+    inner: Arc<PoolInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn start(shared: Arc<Shared>, wake: UnixStream) -> Self {
+        let workers = match shared.config.workers {
+            0 => std::thread::available_parallelism().map_or(8, |n| n.get().max(8)),
+            n => n,
+        };
+        let inner = Arc::new(PoolInner {
+            jobs: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            pending: AtomicI64::new(0),
+            wake,
+            shared,
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Self { inner, threads }
+    }
+
+    fn enqueue(&self, job: Job) {
+        self.inner.pending.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut g = lock(&self.inner.jobs);
+            g.q.push_back(job);
+        }
+        self.inner.cv.notify_one();
+    }
+
+    fn pending(&self) -> i64 {
+        self.inner.pending.load(Ordering::Relaxed)
+    }
+
+    fn take_done(&self) -> Vec<Done> {
+        std::mem::take(&mut *lock(&self.inner.done))
+    }
+
+    fn done_empty(&self) -> bool {
+        lock(&self.inner.done).is_empty()
+    }
+
+    fn close(&self) {
+        lock(&self.inner.jobs).closed = true;
+        self.inner.cv.notify_all();
+    }
+
+    fn join(&mut self) {
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut g = lock(&inner.jobs);
+            loop {
+                if let Some(j) = g.q.pop_front() {
+                    break j;
+                }
+                if g.closed {
+                    return;
+                }
+                g = inner.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let shared = &inner.shared;
+        let resp = perform(shared, job.work, job.track);
+        // Service time closes before the reply is encoded, mirroring the
+        // pre-event-loop semantics (a Stats reply never times itself).
+        shared
+            .pulse
+            .request_ns
+            .record(shared.now_ns().saturating_sub(job.t0));
+        let t_enc = shared.now_ns();
+        let bytes = frame_bytes(job.version, &resp);
+        shared.stage(job.track, "encode", t_enc, &shared.pulse.encode_ns);
+        lock(&inner.done).push(Done {
+            conn: job.conn,
+            gen: job.gen,
+            seq: job.seq,
+            ordered: job.ordered,
+            bytes,
+        });
+        inner.pending.fetch_sub(1, Ordering::Relaxed);
+        // Ignore a full pipe: a wake byte is already queued.
+        let _ = (&inner.wake).write(&[1]);
+    }
+}
+
+/// Run one unit of blocking-capable work against the shared scheduler.
+fn perform(shared: &Shared, work: Work, track: u64) -> Response {
+    match work {
+        Work::Submit {
+            spec,
+            allow_forward,
+        } => shared.submit(&spec, track, allow_forward),
+        Work::Sweep { specs } => shared.sweep(&specs, track),
+        Work::Batch { id, specs } => match shared.sweep(&specs, track) {
+            Response::Sweep(slots) => Response::Batch {
+                id,
+                slots: Ok(slots),
+            },
+            Response::Busy { active, capacity } => Response::Batch {
+                id,
+                slots: Err((active, capacity)),
+            },
+            other => other,
+        },
+        Work::SyncDigest => {
+            let buckets = match &shared.store {
+                Some(store) => store.digest(),
+                None => vec![(0, 0); SYNC_BUCKETS],
+            };
+            Response::SyncDigest { buckets }
+        }
+        Work::SyncList { bucket } => {
+            if usize::from(bucket) >= SYNC_BUCKETS {
+                Response::Error(format!("bucket {bucket} out of range"))
+            } else {
+                let hashes = match &shared.store {
+                    Some(store) => store.hashes_in_bucket(usize::from(bucket)),
+                    None => Vec::new(),
+                };
+                Response::SyncList { hashes }
+            }
+        }
+        Work::Fetch { key_hash } => {
+            Response::Entry(shared.store.as_ref().and_then(|s| s.get_raw(key_hash)))
+        }
+    }
+}
+
+/// Encode `resp` into a complete frame. A reply that exceeds the payload
+/// cap degrades to a typed error frame instead of tearing the stream.
+fn frame_bytes(version: u16, resp: &Response) -> Vec<u8> {
+    let payload = encode_response(resp);
+    let mut buf = Vec::with_capacity(payload.len() + 10);
+    if write_frame_v(&mut buf, version, &payload).is_ok() {
+        return buf;
+    }
+    let fallback = encode_response(&Response::Error("reply exceeds frame size cap".into()));
+    let mut buf = Vec::new();
+    let _ = write_frame_v(&mut buf, version, &fallback);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection state machine
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Waiting for the first bytes to tell frames (`"GS…"`) from HTTP
+    /// (`"GE…"` of `GET`).
+    Sniff,
+    Frames,
+    Http,
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    kind: Kind,
+    /// Unparsed inbound bytes.
+    rbuf: Vec<u8>,
+    /// Outbound bytes; `opos` marks how much has been written.
+    out: Vec<u8>,
+    opos: usize,
+    /// Next sequence number to assign to an ordered request.
+    next_seq: u64,
+    /// Next ordered sequence number to emit.
+    next_send: u64,
+    /// Completed ordered replies waiting for an earlier reply to finish.
+    held: BTreeMap<u64, Vec<u8>>,
+    /// Requests decoded but not yet emitted into `out`.
+    inflight: u32,
+    last_active: Instant,
+    /// Flush what is queued, then close (shutdown ack, HTTP, desync).
+    closing: bool,
+    /// Peer half-closed its write side; serve what's pending, then close.
+    read_closed: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Self {
+        Self {
+            stream,
+            gen,
+            kind: Kind::Sniff,
+            rbuf: Vec::new(),
+            out: Vec::new(),
+            opos: 0,
+            next_seq: 0,
+            next_send: 0,
+            held: BTreeMap::new(),
+            inflight: 0,
+            last_active: Instant::now(),
+            closing: false,
+            read_closed: false,
+            interest: Interest {
+                read: true,
+                write: false,
+            },
+        }
+    }
+
+    fn out_drained(&self) -> bool {
+        self.opos == self.out.len()
+    }
+
+    /// Emit an ordered reply: held until every earlier sequence number has
+    /// been emitted, then flushed into `out` in order.
+    fn deliver_ordered(&mut self, seq: u64, bytes: Vec<u8>) {
+        self.held.insert(seq, bytes);
+        while let Some(bytes) = self.held.remove(&self.next_send) {
+            self.out.extend_from_slice(&bytes);
+            self.next_send += 1;
+            self.inflight = self.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Emit an out-of-order (batch) reply immediately.
+    fn deliver_unordered(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            read: !self.closing && !self.read_closed && self.inflight < MAX_CONN_INFLIGHT,
+            write: !self.out_drained(),
+        }
+    }
+}
+
+/// Why a connection is being closed (metrics only).
+enum Close {
+    Normal,
+    IdleReaped,
+}
+
+// ---------------------------------------------------------------------------
+// The loop
+
+struct Loop<'a> {
+    shared: &'a Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    gen: u64,
+    pool: Pool,
+    wake_rx: UnixStream,
+    accept_registered: bool,
+    accept_resume: Option<Instant>,
+    accept_backoff_ms: u64,
+}
+
+/// Serve on `listener` until shutdown (drain first) or abort (immediate).
+pub(crate) fn run(listener: TcpListener, shared: &Arc<Shared>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut poller = Poller::new()?;
+    shared.pulse.set_poll_backend(poller.backend_name());
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    poller.register(
+        listener.as_raw_fd(),
+        TOKEN_LISTENER,
+        Interest {
+            read: true,
+            write: false,
+        },
+    )?;
+    poller.register(
+        wake_rx.as_raw_fd(),
+        TOKEN_WAKE,
+        Interest {
+            read: true,
+            write: false,
+        },
+    )?;
+    let pool = Pool::start(shared.clone(), wake_tx);
+    let mut lp = Loop {
+        shared,
+        poller,
+        listener,
+        conns: Vec::new(),
+        free: Vec::new(),
+        gen: 0,
+        pool,
+        wake_rx,
+        accept_registered: true,
+        accept_resume: None,
+        accept_backoff_ms: 10,
+    };
+    let result = lp.serve();
+    // Wake parked workers; on graceful shutdown every job has already
+    // completed so the join is immediate. A hard kill skips the join —
+    // workers exit on their own once any in-progress simulation returns.
+    lp.pool.close();
+    if !lp.shared.abort.load(Ordering::Relaxed) {
+        lp.pool.join();
+    }
+    result
+}
+
+impl Loop<'_> {
+    fn serve(&mut self) -> std::io::Result<()> {
+        let idle_ms = self.shared.config.idle_timeout_ms;
+        let sweep_every = Duration::from_millis((idle_ms / 4).clamp(5, 1_000));
+        let mut last_sweep = Instant::now();
+        let mut events: Vec<sys::PollEvent> = Vec::new();
+        loop {
+            if self.shared.abort.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            let stopping = self.shared.shutdown.load(Ordering::Relaxed);
+            if stopping {
+                if self.accept_registered {
+                    let _ = self.poller.deregister(self.listener.as_raw_fd());
+                    self.accept_registered = false;
+                }
+                if self.drained() {
+                    return Ok(());
+                }
+            } else if let Some(at) = self.accept_resume {
+                // fd-exhaustion backoff elapsed: start accepting again.
+                if Instant::now() >= at {
+                    self.accept_resume = None;
+                    if !self.accept_registered {
+                        self.poller.register(
+                            self.listener.as_raw_fd(),
+                            TOKEN_LISTENER,
+                            Interest {
+                                read: true,
+                                write: false,
+                            },
+                        )?;
+                        self.accept_registered = true;
+                    }
+                }
+            }
+
+            events.clear();
+            events.extend_from_slice(self.poller.wait(POLL_TIMEOUT_MS)?);
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_burst(stopping)?,
+                    TOKEN_WAKE => self.drain_wake(),
+                    token => {
+                        let idx = token as usize;
+                        if ev.writable {
+                            self.flush(idx);
+                        }
+                        if ev.readable {
+                            self.read(idx);
+                        }
+                    }
+                }
+            }
+
+            self.route_completions();
+
+            if idle_ms > 0 && last_sweep.elapsed() >= sweep_every {
+                last_sweep = Instant::now();
+                self.reap_idle(Duration::from_millis(idle_ms));
+            }
+        }
+    }
+
+    /// Graceful-drain condition: no queued or running jobs, no undelivered
+    /// completions, and every connection's reply bytes flushed.
+    fn drained(&self) -> bool {
+        self.pool.pending() == 0
+            && self.pool.done_empty()
+            && self
+                .conns
+                .iter()
+                .flatten()
+                .all(|c| c.inflight == 0 && c.out_drained())
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_burst(&mut self, stopping: bool) -> std::io::Result<()> {
+        loop {
+            if stopping || self.accept_resume.is_some() {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff_ms = 10;
+                    if self.shared.partitioned() {
+                        // Chaos partition: reachable at TCP, silent above
+                        // it (connection accepted, then dropped).
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.insert_conn(stream)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if sys::is_fd_exhaustion(&e) => {
+                    // EMFILE/ENFILE: count, unhook the listener, and back
+                    // off exponentially instead of spinning on accept —
+                    // the pending connection stays in the backlog and is
+                    // picked up when descriptors free up.
+                    self.shared.pulse.accept_errors.inc();
+                    self.accept_resume =
+                        Some(Instant::now() + Duration::from_millis(self.accept_backoff_ms));
+                    self.accept_backoff_ms = (self.accept_backoff_ms * 2).min(1_000);
+                    if self.accept_registered {
+                        let _ = self.poller.deregister(self.listener.as_raw_fd());
+                        self.accept_registered = false;
+                    }
+                    return Ok(());
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    // The peer gave up between SYN and accept: not ours.
+                    self.shared.pulse.accept_errors.inc();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: TcpStream) -> std::io::Result<()> {
+        self.gen += 1;
+        let conn = Conn::new(stream, self.gen);
+        let fd = conn.stream.as_raw_fd();
+        let interest = conn.interest;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                if let Some(slot) = self.conns.get_mut(i) {
+                    *slot = Some(conn);
+                }
+                i
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        if self.poller.register(fd, idx as u64, interest).is_err() {
+            if let Some(slot) = self.conns.get_mut(idx) {
+                *slot = None;
+            }
+            self.free.push(idx);
+            return Ok(());
+        }
+        self.shared.pulse.open_conns.add(1);
+        Ok(())
+    }
+
+    fn close_conn(&mut self, idx: usize, why: Close) {
+        let Some(slot) = self.conns.get_mut(idx) else {
+            return;
+        };
+        let Some(c) = slot.take() else { return };
+        // Deregister before the stream drops and the fd closes.
+        let _ = self.poller.deregister(c.stream.as_raw_fd());
+        self.free.push(idx);
+        self.shared.pulse.open_conns.add(-1);
+        if matches!(why, Close::IdleReaped) {
+            self.shared.pulse.idle_reaped.inc();
+        }
+    }
+
+    fn reap_idle(&mut self, idle: Duration) {
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let c = slot.as_ref()?;
+                (c.inflight == 0 && c.last_active.elapsed() >= idle).then_some(i)
+            })
+            .collect();
+        for idx in stale {
+            self.close_conn(idx, Close::IdleReaped);
+        }
+    }
+
+    /// Read everything available, then run the state machine and flush.
+    fn read(&mut self, idx: usize) {
+        let mut dead = false;
+        {
+            let Some(Some(c)) = self.conns.get_mut(idx) else {
+                return;
+            };
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match c.stream.read(&mut buf) {
+                    Ok(0) => {
+                        c.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.rbuf.extend_from_slice(&buf[..n]);
+                        c.last_active = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(idx, Close::Normal);
+            return;
+        }
+        self.service(idx);
+    }
+
+    /// Run the connection's state machine over whatever is buffered, then
+    /// flush and re-arm interest. Safe to call any time.
+    fn service(&mut self, idx: usize) {
+        let keep = {
+            let Self {
+                conns,
+                shared,
+                pool,
+                ..
+            } = self;
+            let Some(Some(c)) = conns.get_mut(idx) else {
+                return;
+            };
+            process(c, idx, shared, pool)
+        };
+        if !keep {
+            self.close_conn(idx, Close::Normal);
+            return;
+        }
+        self.flush(idx);
+    }
+
+    /// Write as much of `out` as the socket accepts; close on completion
+    /// when the connection is finished, and keep interest in sync.
+    fn flush(&mut self, idx: usize) {
+        let mut dead = false;
+        {
+            let Self { conns, poller, .. } = self;
+            let Some(Some(c)) = conns.get_mut(idx) else {
+                return;
+            };
+            loop {
+                if c.out_drained() {
+                    break;
+                }
+                match c.stream.write(&c.out[c.opos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.opos += n;
+                        c.last_active = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                if c.out_drained() {
+                    c.out.clear();
+                    c.opos = 0;
+                    if c.inflight == 0 && (c.closing || c.read_closed) {
+                        dead = true;
+                    }
+                } else if c.opos > 64 * 1024 {
+                    // Reclaim the already-written prefix of a large reply.
+                    c.out.drain(..c.opos);
+                    c.opos = 0;
+                }
+            }
+            if !dead {
+                let want = c.desired_interest();
+                if want != c.interest
+                    && poller
+                        .modify(c.stream.as_raw_fd(), idx as u64, want)
+                        .is_ok()
+                {
+                    c.interest = want;
+                }
+            }
+        }
+        if dead {
+            self.close_conn(idx, Close::Normal);
+        }
+    }
+
+    /// Route completed worker jobs back to their connections.
+    fn route_completions(&mut self) {
+        let done = self.pool.take_done();
+        if done.is_empty() {
+            return;
+        }
+        let mut touched: Vec<usize> = Vec::with_capacity(done.len());
+        for d in done {
+            let Some(Some(c)) = self.conns.get_mut(d.conn) else {
+                continue;
+            };
+            if c.gen != d.gen {
+                continue; // reply for a connection that died; slot reused
+            }
+            if d.ordered {
+                c.deliver_ordered(d.seq, d.bytes);
+            } else {
+                c.deliver_unordered(&d.bytes);
+            }
+            if !touched.contains(&d.conn) {
+                touched.push(d.conn);
+            }
+        }
+        for idx in touched {
+            // A paused connection (inflight cap) may hold complete frames
+            // in rbuf that nothing else will parse: service, not just
+            // flush.
+            self.service(idx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame/HTTP processing (pure functions over one connection)
+
+/// Parse one frame header from `buf`: `Ok(Some((version, payload_start,
+/// total_len)))` when a whole frame is buffered, `Ok(None)` when more
+/// bytes are needed, `Err` on a header-level defect (desync).
+fn parse_frame(buf: &[u8]) -> Result<Option<(u16, usize, usize)>, WireError> {
+    if buf.len() < 10 {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if !(VERSION..=MAX_VERSION).contains(&version) {
+        return Err(WireError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let total = 10 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((version, 10, total)))
+}
+
+/// Advance the state machine over the connection's read buffer. Returns
+/// `false` when the connection must be closed now (silently).
+fn process(c: &mut Conn, idx: usize, shared: &Arc<Shared>, pool: &Pool) -> bool {
+    loop {
+        match c.kind {
+            Kind::Sniff => {
+                if c.rbuf.is_empty() {
+                    return true;
+                }
+                if c.rbuf[0] != b'G' {
+                    // Not ours; the frame parser will answer BadMagic.
+                    c.kind = Kind::Frames;
+                    continue;
+                }
+                if c.rbuf.len() < 2 {
+                    return true;
+                }
+                c.kind = if c.rbuf[1] == b'E' {
+                    Kind::Http
+                } else {
+                    Kind::Frames
+                };
+            }
+            Kind::Http => {
+                let Some(head_end) = c.rbuf.windows(4).position(|w| w == b"\r\n\r\n") else {
+                    // Cap runaway headers.
+                    return c.rbuf.len() <= HTTP_HEADER_LIMIT;
+                };
+                let head = String::from_utf8_lossy(&c.rbuf[..head_end]).into_owned();
+                c.rbuf.clear();
+                let body = http_respond(&head, shared);
+                c.out.extend_from_slice(&body);
+                c.closing = true;
+                return true;
+            }
+            Kind::Frames => {
+                if c.closing || c.inflight >= MAX_CONN_INFLIGHT {
+                    return true;
+                }
+                match parse_frame(&c.rbuf) {
+                    Ok(None) => return true,
+                    Ok(Some((version, start, total))) => {
+                        let payload = c.rbuf[start..total].to_vec();
+                        c.rbuf.drain(..total);
+                        if !handle_frame(c, idx, version, &payload, shared, pool) {
+                            return false;
+                        }
+                    }
+                    Err(e) => {
+                        // Header-level: the stream is desynchronized.
+                        // Best-effort typed error after any pending
+                        // replies, then close.
+                        shared.pulse.decode_errors.inc();
+                        let seq = c.next_seq;
+                        c.next_seq += 1;
+                        c.inflight += 1;
+                        c.deliver_ordered(
+                            seq,
+                            frame_bytes(VERSION, &Response::Error(e.to_string())),
+                        );
+                        c.rbuf.clear();
+                        c.closing = true;
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decode and dispatch one frame. Returns `false` to close silently
+/// (chaos partition/abort).
+fn handle_frame(
+    c: &mut Conn,
+    idx: usize,
+    version: u16,
+    payload: &[u8],
+    shared: &Arc<Shared>,
+    pool: &Pool,
+) -> bool {
+    if shared.partitioned() || shared.abort.load(Ordering::Relaxed) {
+        // Chaos: a partitioned or killed peer goes silent mid-stream.
+        return false;
+    }
+    // The request sequence number doubles as the trace track.
+    let track = shared.pulse.requests.inc();
+    let t0 = shared.now_ns();
+    let decoded = decode_request(payload);
+    shared.stage(track, "decode", t0, &shared.pulse.decode_ns);
+
+    let seq = c.next_seq;
+    c.next_seq += 1;
+    c.inflight += 1;
+
+    let capacity = shared.config.capacity as i64;
+    let inline = |c: &mut Conn, resp: Response| {
+        shared
+            .pulse
+            .request_ns
+            .record(shared.now_ns().saturating_sub(t0));
+        let t_enc = shared.now_ns();
+        let bytes = frame_bytes(version, &resp);
+        shared.stage(track, "encode", t_enc, &shared.pulse.encode_ns);
+        c.deliver_ordered(seq, bytes);
+    };
+
+    match decoded {
+        Err(e) => {
+            // Payload-level: typed error, connection survives.
+            shared.pulse.decode_errors.inc();
+            inline(c, Response::Error(format!("bad request: {e}")));
+        }
+        // Version gate: a v2-only request smuggled into a too-old frame
+        // is refused before any machinery can act on it.
+        Ok(req) if req.required_version() > version => {
+            shared.pulse.decode_errors.inc();
+            inline(
+                c,
+                Response::Error(format!(
+                    "request requires protocol v{}, frame is v{version}",
+                    req.required_version()
+                )),
+            );
+        }
+        Ok(Request::Submit(spec)) => {
+            if let Some(resp) = shared.fast_submit(&spec, track) {
+                inline(c, resp);
+            } else if pool.pending() >= capacity {
+                shared.pulse.scenarios.inc();
+                shared.pulse.busy_rejections.inc();
+                let active = pool.pending().max(0) as u32;
+                inline(
+                    c,
+                    Response::Busy {
+                        active,
+                        capacity: capacity.max(0) as u32,
+                    },
+                );
+            } else {
+                pool.enqueue(Job {
+                    conn: idx,
+                    gen: c.gen,
+                    seq,
+                    ordered: true,
+                    version,
+                    track,
+                    t0,
+                    work: Work::Submit {
+                        spec: Box::new(spec),
+                        allow_forward: true,
+                    },
+                });
+            }
+        }
+        // The sender already routed this to us: serve locally, never
+        // re-forward (loop freedom).
+        Ok(Request::Forward(spec)) => {
+            if let Some(resp) = shared.fast_submit(&spec, track) {
+                inline(c, resp);
+            } else if pool.pending() >= capacity {
+                shared.pulse.scenarios.inc();
+                shared.pulse.busy_rejections.inc();
+                let active = pool.pending().max(0) as u32;
+                inline(
+                    c,
+                    Response::Busy {
+                        active,
+                        capacity: capacity.max(0) as u32,
+                    },
+                );
+            } else {
+                pool.enqueue(Job {
+                    conn: idx,
+                    gen: c.gen,
+                    seq,
+                    ordered: true,
+                    version,
+                    track,
+                    t0,
+                    work: Work::Submit {
+                        spec: Box::new(spec),
+                        allow_forward: false,
+                    },
+                });
+            }
+        }
+        Ok(Request::Sweep(specs)) => {
+            if pool.pending() >= capacity {
+                shared.pulse.scenarios.add(specs.len() as u64);
+                shared.pulse.busy_rejections.inc();
+                let active = pool.pending().max(0) as u32;
+                inline(
+                    c,
+                    Response::Busy {
+                        active,
+                        capacity: capacity.max(0) as u32,
+                    },
+                );
+            } else {
+                pool.enqueue(Job {
+                    conn: idx,
+                    gen: c.gen,
+                    seq,
+                    ordered: true,
+                    version,
+                    track,
+                    t0,
+                    work: Work::Sweep { specs },
+                });
+            }
+        }
+        Ok(Request::SubmitBatch { id, specs }) => {
+            // Batch replies are unordered: release the sequence number so
+            // the ordered stream never waits on a batch.
+            c.next_seq -= 1;
+            shared.pulse.batches.inc();
+            if let Some(resp) = shared.fast_batch(id, &specs, track) {
+                // Every cell was a warm memory hit: answer inline, exactly
+                // like `fast_submit`, without a worker-pool round-trip.
+                shared
+                    .pulse
+                    .request_ns
+                    .record(shared.now_ns().saturating_sub(t0));
+                let bytes = frame_bytes(version, &resp);
+                c.deliver_unordered(&bytes);
+            } else if pool.pending() >= capacity {
+                shared.pulse.scenarios.add(specs.len() as u64);
+                shared.pulse.busy_rejections.inc();
+                let active = pool.pending().max(0) as u32;
+                shared
+                    .pulse
+                    .request_ns
+                    .record(shared.now_ns().saturating_sub(t0));
+                let bytes = frame_bytes(
+                    version,
+                    &Response::Batch {
+                        id,
+                        slots: Err((active, capacity.max(0) as u32)),
+                    },
+                );
+                c.deliver_unordered(&bytes);
+            } else {
+                pool.enqueue(Job {
+                    conn: idx,
+                    gen: c.gen,
+                    seq: 0,
+                    ordered: false,
+                    version,
+                    track,
+                    t0,
+                    work: Work::Batch { id, specs },
+                });
+            }
+        }
+        Ok(Request::Stats) => {
+            let stats = shared.stats();
+            inline(c, Response::Stats(Box::new(stats)));
+        }
+        Ok(Request::Trace) => {
+            let spans = shared.trace.snapshot();
+            inline(
+                c,
+                Response::Trace(ghost_obs::chrome::stage_trace_json(&spans)),
+            );
+        }
+        Ok(Request::Shutdown) => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            inline(c, Response::ShutdownAck);
+            c.closing = true;
+        }
+        Ok(Request::Gossip { from, peers }) => {
+            let resp = shared.gossip(&from, &peers);
+            inline(c, resp);
+        }
+        Ok(Request::SyncDigest) => pool.enqueue(Job {
+            conn: idx,
+            gen: c.gen,
+            seq,
+            ordered: true,
+            version,
+            track,
+            t0,
+            work: Work::SyncDigest,
+        }),
+        Ok(Request::SyncList { bucket }) => pool.enqueue(Job {
+            conn: idx,
+            gen: c.gen,
+            seq,
+            ordered: true,
+            version,
+            track,
+            t0,
+            work: Work::SyncList { bucket },
+        }),
+        Ok(Request::Fetch { key_hash }) => pool.enqueue(Job {
+            conn: idx,
+            gen: c.gen,
+            seq,
+            ordered: true,
+            version,
+            track,
+            t0,
+            work: Work::Fetch { key_hash },
+        }),
+    }
+    true
+}
+
+/// Answer one parsed HTTP request head: `GET /metrics` gets the pulse
+/// exposition, anything else a 404. Runs entirely on the loop thread —
+/// this is what makes a scrape cost microseconds instead of an accept-
+/// loop poll interval.
+fn http_respond(head: &str, shared: &Shared) -> Vec<u8> {
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        shared.pulse.scrapes.inc();
+        ("200 OK", shared.metrics_text())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let mut out = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}

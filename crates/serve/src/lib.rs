@@ -13,13 +13,19 @@
 //! * [`store`] — a content-addressed on-disk result cache keyed by the
 //!   canonical scenario encoding. Atomic tmp+rename writes; truncation,
 //!   corruption, and filename collisions are verified on read and treated
-//!   as misses. A warm restart answers repeats without re-simulating —
-//!   byte-identically, since the simulator is seed-deterministic.
-//! * [`server`] — the daemon: a coalescing scheduler (identical in-flight
-//!   scenarios simulate once), batch sweeps on the campaign engine's
-//!   work-stealing pool, bounded admission control with a typed `Busy`
-//!   response, graceful drain on shutdown, and `ghost-obs` counters plus
-//!   latency histograms behind a `Stats` request.
+//!   as misses. Optionally size-bounded: LRU-by-access eviction keeps the
+//!   cache under a byte budget, and startup compaction sweeps orphaned
+//!   tmp files from crashed writers. A warm restart answers repeats
+//!   without re-simulating — byte-identically, since the simulator is
+//!   seed-deterministic.
+//! * [`server`] — the daemon: a readiness-based event loop (epoll on
+//!   Linux, `poll(2)` elsewhere) holding thousands of connections on one
+//!   thread, per-connection state machines that pipeline many in-flight
+//!   requests, a worker pool for simulation with a coalescing scheduler
+//!   (identical in-flight scenarios simulate once), batch sweeps on the
+//!   campaign engine's work-stealing pool, bounded admission control with
+//!   a typed `Busy` response, graceful drain on shutdown, and `ghost-obs`
+//!   counters plus latency histograms behind a `Stats` request.
 //! * [`client`] — the blocking client the CLI (`ghostsim serve` /
 //!   `ghostsim submit` / `--server`) is built on, plus
 //!   [`client::scrape_metrics`] for the HTTP side and
@@ -63,11 +69,13 @@
 
 pub mod chaos;
 pub mod client;
+pub(crate) mod event_loop;
 pub mod fleet;
 pub(crate) mod gossip;
 pub(crate) mod pulse;
 pub mod server;
 pub mod store;
+pub(crate) mod sys;
 pub mod wire;
 
 pub use chaos::{ChurnReport, ClusterConfig, ClusterHarness};
@@ -75,4 +83,4 @@ pub use client::{call_with_retry, scrape_metrics, Client, ClientError, RetryPoli
 pub use fleet::{Fleet, FleetConfig};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::ResultStore;
-pub use wire::{Request, Response, ScenarioReply, ServerStats, WireError};
+pub use wire::{BatchSlots, Request, Response, ScenarioReply, ServerStats, WireError};

@@ -45,6 +45,18 @@ pub(crate) struct ServePulse {
     pub inflight: Gauge,
     /// Entries in the persistent result store.
     pub store_entries: Gauge,
+    /// Bytes resident in the persistent result store.
+    pub store_bytes: Gauge,
+    /// Configured store capacity in bytes (0 unbounded, -1 store off).
+    pub store_capacity: Gauge,
+    /// Entries evicted from the bounded store since open.
+    pub store_evictions: Gauge,
+    /// Connections currently registered with the event loop.
+    pub open_conns: Gauge,
+    /// Accept failures (fd exhaustion, peer aborts before accept).
+    pub accept_errors: Counter,
+    /// `SubmitBatch` frames received (pipelined sweeps).
+    pub batches: Counter,
     /// Wall-clock uptime gauge (set at render time).
     uptime: Gauge,
     /// Whole-request service time, decode through dispatch.
@@ -148,6 +160,30 @@ impl ServePulse {
             "ghost_serve_store_entries",
             "Entries in the persistent result store (-1 when persistence is off)",
         );
+        let store_bytes = r.gauge(
+            "ghost_serve_store_bytes",
+            "Bytes resident in the persistent result store (-1 when persistence is off)",
+        );
+        let store_capacity = r.gauge(
+            "ghost_serve_store_capacity_bytes",
+            "Configured store capacity in bytes (0 unbounded, -1 when persistence is off)",
+        );
+        let store_evictions = r.gauge(
+            "ghost_serve_store_evictions",
+            "Entries evicted from the bounded store since open (-1 when persistence is off)",
+        );
+        let open_conns = r.gauge(
+            "ghost_serve_connections",
+            "Connections currently registered with the event loop",
+        );
+        let accept_errors = r.counter(
+            "ghost_serve_accept_errors_total",
+            "Accept failures (fd exhaustion backoffs, peer aborts before accept)",
+        );
+        let batches = r.counter(
+            "ghost_serve_batches_total",
+            "SubmitBatch frames received (pipelined sweeps)",
+        );
         let uptime = r.gauge(
             "ghost_serve_uptime_seconds",
             "Seconds since the server bound",
@@ -224,6 +260,12 @@ impl ServePulse {
             queue_depth,
             inflight,
             store_entries,
+            store_bytes,
+            store_capacity,
+            store_evictions,
+            open_conns,
+            accept_errors,
+            batches,
             uptime,
             request_ns,
             decode_ns,
@@ -243,6 +285,19 @@ impl ServePulse {
             fleet_suspects,
             forward_ns,
         }
+    }
+
+    /// Register the poll-backend info metric — a constant-1 cell whose
+    /// `backend` label names the readiness backend driving the event
+    /// loop. Called once at event-loop startup.
+    pub fn set_poll_backend(&self, backend: &'static str) {
+        self.registry
+            .labeled_counter(
+                "ghost_serve_poll_backend_info",
+                &[("backend", backend)],
+                "Readiness backend driving the event loop (constant 1)",
+            )
+            .inc();
     }
 
     /// A per-peer counter cell sharing `name` with the aggregate counter

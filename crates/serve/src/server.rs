@@ -1,6 +1,7 @@
-//! The ghost-serve daemon: TCP accept loop, coalescing scheduler,
-//! admission control, the two-level (memory + disk) result cache, and
-//! the ghost-pulse telemetry layer.
+//! The ghost-serve daemon: the request scheduler behind the event loop —
+//! coalescing, admission control, the two-level (memory + disk) result
+//! cache, and the ghost-pulse telemetry layer. Connection I/O lives in
+//! [`crate::event_loop`]; this module owns what requests *mean*.
 //!
 //! ## Request lifecycle
 //!
@@ -38,8 +39,7 @@
 //! gate) — mutex poison is absorbed with `into_inner`.
 
 use std::collections::HashMap;
-use std::io::{Read as _, Write as _};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -54,10 +54,7 @@ use crate::client::call_with_retry;
 use crate::fleet::{Fleet, FleetConfig};
 use crate::pulse::ServePulse;
 use crate::store::ResultStore;
-use crate::wire::{
-    content_hash, decode_request, encode_response, read_frame_versioned, write_frame,
-    write_frame_v, Request, Response, ScenarioReply, ServerStats, WireError, SYNC_BUCKETS,
-};
+use crate::wire::{content_hash, Response, ScenarioReply, ServerStats};
 
 /// How the daemon is configured.
 #[derive(Debug, Clone)]
@@ -72,10 +69,18 @@ pub struct ServeConfig {
     /// Request-stage spans retained for the `Trace` request; 0 disables
     /// tracing (stage *summaries* stay on — they are near-free).
     pub trace_capacity: usize,
-    /// Read/write timeout on accepted sockets, in milliseconds: a stalled
-    /// or half-open client is reaped after this long instead of pinning
-    /// its handler thread forever. 0 disables the timeout.
+    /// Idle timeout on accepted connections, in milliseconds: a stalled
+    /// or half-open client with no in-flight work is reaped by the event
+    /// loop after this long. 0 disables the timeout.
     pub idle_timeout_ms: u64,
+    /// Size cap in bytes for the persistent store; 0 means unbounded.
+    /// When bounded, least-recently-touched entries are evicted — results
+    /// are a pure cache, so eviction is always safe (a later request is a
+    /// clean miss that re-simulates deterministically).
+    pub store_capacity_bytes: u64,
+    /// Worker threads that run simulation-bearing requests off the event
+    /// loop; 0 picks `max(8, available_parallelism)`.
+    pub workers: usize,
     /// Fleet membership; `None` runs the classic single-daemon mode.
     pub fleet: Option<FleetConfig>,
 }
@@ -88,6 +93,8 @@ impl Default for ServeConfig {
             limits: RunLimits::none(),
             trace_capacity: 1024,
             idle_timeout_ms: 30_000,
+            store_capacity_bytes: 0,
+            workers: 0,
             fleet: None,
         }
     }
@@ -101,11 +108,11 @@ struct Inflight {
 
 /// Lock a mutex, absorbing poison (a panicking simulation thread must not
 /// wedge the server).
-fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// State shared by the accept loop and all connection handlers.
+/// State shared by the event loop, its workers, and the fleet loop.
 pub(crate) struct Shared {
     pub(crate) config: ServeConfig,
     pub(crate) store: Option<ResultStore>,
@@ -122,8 +129,20 @@ pub(crate) struct Shared {
     pub(crate) partition: AtomicBool,
     started: Instant,
     pub(crate) pulse: ServePulse,
-    trace: TraceRing,
+    pub(crate) trace: TraceRing,
     pub(crate) fleet: Option<Arc<Fleet>>,
+}
+
+/// The process file-descriptor limit, for `--stats` observability.
+fn process_fd_limit() -> u64 {
+    #[cfg(unix)]
+    {
+        crate::sys::fd_limit()
+    }
+    #[cfg(not(unix))]
+    {
+        0
+    }
 }
 
 impl Shared {
@@ -146,13 +165,13 @@ impl Shared {
     }
 
     /// Nanoseconds since the server bound (the trace clock).
-    fn now_ns(&self) -> u64 {
+    pub(crate) fn now_ns(&self) -> u64 {
         self.started.elapsed().as_nanos() as u64
     }
 
     /// Close a stage that began at `start`: record its duration summary
     /// and, when tracing is enabled, push the span onto the trace ring.
-    fn stage(&self, track: u64, name: &'static str, start: u64, hist: &Histogram) {
+    pub(crate) fn stage(&self, track: u64, name: &'static str, start: u64, hist: &Histogram) {
         let end = self.now_ns();
         hist.record(end.saturating_sub(start));
         self.trace.push(StageSpan {
@@ -163,7 +182,7 @@ impl Shared {
         });
     }
 
-    fn stats(&self) -> ServerStats {
+    pub(crate) fn stats(&self) -> ServerStats {
         let p = &self.pulse;
         let latency_buckets = p.request_ns.nonzero_buckets();
         // Count from the same bucket snapshot, so count and buckets agree
@@ -187,17 +206,85 @@ impl Shared {
             latency_count,
             latency_min: p.request_ns.min(),
             latency_max: p.request_ns.max(),
+            fd_limit: process_fd_limit(),
+            accept_errors: p.accept_errors.get(),
         }
     }
 
     /// Render the `/metrics` exposition (refreshing the point-in-time
-    /// gauges that are cheaper to poll than to maintain).
-    fn metrics_text(&self) -> String {
+    /// gauges that are cheaper to poll than to maintain). Runs on the
+    /// event-loop thread, so everything here must be O(1)-ish: the store
+    /// gauges read the in-memory index, never the directory.
+    pub(crate) fn metrics_text(&self) -> String {
         match &self.store {
-            Some(store) => self.pulse.store_entries.set(store.len() as i64),
-            None => self.pulse.store_entries.set(-1),
+            Some(store) => {
+                self.pulse.store_entries.set(store.len() as i64);
+                self.pulse.store_bytes.set(store.bytes() as i64);
+                self.pulse.store_evictions.set(store.evictions() as i64);
+            }
+            None => {
+                self.pulse.store_entries.set(-1);
+                self.pulse.store_bytes.set(-1);
+                self.pulse.store_evictions.set(-1);
+            }
         }
         self.pulse.render(self.started.elapsed())
+    }
+
+    /// Loop-thread fast path for a `Submit`/`Forward`: validation and the
+    /// in-memory reply cache only — no disk, no simulation, nothing that
+    /// can block the event loop. `None` means the request needs a worker
+    /// (and nothing has been counted yet — the worker's full
+    /// [`Shared::submit`] does the counting exactly once).
+    pub(crate) fn fast_submit(&self, spec: &ScenarioSpec, track: u64) -> Option<Response> {
+        // Validation is cheap and pure; doing it here keeps a malformed
+        // spec from ever occupying a worker slot.
+        if let Err(e) = spec.validate() {
+            self.pulse.scenarios.inc();
+            return Some(Response::Error(e));
+        }
+        let t_cache = self.now_ns();
+        let hit = lock(&self.memory).get(spec).cloned()?;
+        self.pulse.scenarios.inc();
+        self.pulse.memory_hits.inc();
+        self.stage(track, "cache", t_cache, &self.pulse.cache_ns);
+        Some(Response::Scenario(Box::new((*hit).clone())))
+    }
+
+    /// Loop-thread fast path for a `SubmitBatch`: answers inline only when
+    /// *every* cell is a warm memory-cache hit, peeked under a single lock
+    /// acquisition. Any validation failure or miss returns `None` with
+    /// nothing counted — the worker-pool sweep then does all the counting
+    /// (and simulation) exactly once.
+    pub(crate) fn fast_batch(
+        &self,
+        id: u64,
+        specs: &[ScenarioSpec],
+        track: u64,
+    ) -> Option<Response> {
+        let t_cache = self.now_ns();
+        let mut slots = Vec::with_capacity(specs.len());
+        {
+            let mem = lock(&self.memory);
+            for s in specs {
+                if s.validate().is_err() {
+                    return None;
+                }
+                match mem.get(s) {
+                    Some(r) => slots.push(Ok((**r).clone())),
+                    None => return None,
+                }
+            }
+        }
+        for _ in specs {
+            self.pulse.scenarios.inc();
+            self.pulse.memory_hits.inc();
+        }
+        self.stage(track, "cache", t_cache, &self.pulse.cache_ns);
+        Some(Response::Batch {
+            id,
+            slots: Ok(slots),
+        })
     }
 
     /// Memory → disk lookup; counts hits. Does not consult in-flight work.
@@ -336,7 +423,7 @@ impl Shared {
     /// control → simulate. `allow_forward` is false for peer-forwarded
     /// requests: the receiver always serves locally, so routing cannot
     /// loop no matter how peers' membership views disagree.
-    fn submit(&self, spec: &ScenarioSpec, track: u64, allow_forward: bool) -> Response {
+    pub(crate) fn submit(&self, spec: &ScenarioSpec, track: u64, allow_forward: bool) -> Response {
         self.pulse.scenarios.inc();
         if let Err(e) = spec.validate() {
             return Response::Error(e);
@@ -420,7 +507,7 @@ impl Shared {
     /// Answer one inbound gossip: learn the sender and its view, reply
     /// with ours. An inbound heartbeat is direct evidence of life, so it
     /// also clears any suspicion of the sender.
-    fn gossip(&self, from: &str, peers: &[String]) -> Response {
+    pub(crate) fn gossip(&self, from: &str, peers: &[String]) -> Response {
         let Some(fleet) = &self.fleet else {
             return Response::Error("fleet mode is not enabled on this server".into());
         };
@@ -434,7 +521,7 @@ impl Shared {
 
     /// Sweep path: dedup identical cells, batch distinct misses onto the
     /// work-stealing pool, answer in request order.
-    fn sweep(&self, specs: &[ScenarioSpec], track: u64) -> Response {
+    pub(crate) fn sweep(&self, specs: &[ScenarioSpec], track: u64) -> Response {
         self.pulse.scenarios.add(specs.len() as u64);
 
         // Dedup: identical cells share one slot in `work`.
@@ -507,7 +594,7 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let store = match &config.store_dir {
-            Some(dir) => Some(ResultStore::open(dir)?),
+            Some(dir) => Some(ResultStore::open_bounded(dir, config.store_capacity_bytes)?),
             None => None,
         };
         let mut config = config;
@@ -537,6 +624,14 @@ impl Server {
             fleet,
         });
         shared.refresh_fleet_gauges();
+        match &shared.store {
+            Some(store) if store.capacity_bytes() > 0 => shared
+                .pulse
+                .store_capacity
+                .set(store.capacity_bytes() as i64),
+            Some(_) => shared.pulse.store_capacity.set(0),
+            None => shared.pulse.store_capacity.set(-1),
+        }
         Ok(Self { listener, shared })
     }
 
@@ -546,10 +641,11 @@ impl Server {
     }
 
     /// Serve until a `Shutdown` request arrives, then drain in-flight work
-    /// and return. Each connection gets its own handler thread; a fleet
-    /// configuration additionally starts the gossip/anti-entropy loop.
+    /// and return. All connections are driven by one readiness event loop
+    /// (see [`crate::event_loop`]); a fleet configuration additionally
+    /// starts the gossip/anti-entropy loop.
+    #[cfg(unix)]
     pub fn run(self) -> std::io::Result<()> {
-        self.listener.set_nonblocking(true)?;
         let fleet_loop = if self.shared.fleet.is_some() {
             let shared = self.shared.clone();
             Some(std::thread::spawn(move || {
@@ -558,47 +654,20 @@ impl Server {
         } else {
             None
         };
-        let idle = self.shared.config.idle_timeout_ms;
-        loop {
-            if self.shared.stopping() {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if self.shared.partitioned() {
-                        // Chaos partition: reachable at TCP, silent above it
-                        // (connection accepted, then dropped unanswered).
-                        drop(stream);
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
-                    if idle > 0 {
-                        let t = Some(Duration::from_millis(idle));
-                        let _ = stream.set_read_timeout(t);
-                        let _ = stream.set_write_timeout(t);
-                    }
-                    let shared = self.shared.clone();
-                    // Detached: the handler dies with its connection.
-                    std::thread::spawn(move || handle_connection(stream, &shared));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        if !self.shared.abort.load(Ordering::Relaxed) {
-            // Graceful drain: wait for admitted work to finish. A hard
-            // kill (chaos harness) skips this on purpose.
-            while self.shared.pulse.queue_depth.get() > 0 {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
+        let result = crate::event_loop::run(self.listener, &self.shared);
         if let Some(h) = fleet_loop {
             let _ = h.join();
         }
-        Ok(())
+        result
+    }
+
+    /// The serving core is built on Unix readiness APIs (`epoll`/`poll`).
+    #[cfg(not(unix))]
+    pub fn run(self) -> std::io::Result<()> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "ghost-serve requires a Unix readiness API (epoll/poll)",
+        ))
     }
 
     /// Run on a background thread and return a handle for lifecycle
@@ -677,210 +746,15 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Dispatch one connection: peek at the first bytes to tell the binary
-/// protocol (frames start `"GS"`) from HTTP (`"GE"` of `GET`), then hand
-/// off to the matching handler.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    // Wait until two bytes are peekable; a one-byte non-'G' prefix can go
-    // straight to the frame reader, which will answer BadMagic. A client
-    // that connects and then never speaks is reaped by the socket read
-    // timeout instead of pinning this thread forever.
-    let mut sniff = [0u8; 2];
-    loop {
-        match stream.peek(&mut sniff) {
-            Ok(0) => return,
-            Ok(1) if sniff[0] == b'G' => std::thread::sleep(Duration::from_millis(1)),
-            Ok(1) => break,
-            Ok(_) => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                shared.pulse.idle_reaped.inc();
-                return;
-            }
-            Err(_) => return,
-        }
-    }
-    if sniff[0] == b'G' && sniff[1] == b'E' {
-        serve_http(stream, shared);
-        return;
-    }
-    serve_frames(stream, shared);
-}
-
-/// Serve binary frames until the connection closes, a header-level error
-/// occurs, or shutdown is acknowledged.
-fn serve_frames(stream: TcpStream, shared: &Shared) {
-    let mut reader = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    loop {
-        let (frame_version, payload) = match read_frame_versioned(&mut reader) {
-            Ok(p) => p,
-            Err(WireError::Closed) => return,
-            Err(WireError::TimedOut) => {
-                // A stalled or half-open client: reap quietly.
-                shared.pulse.idle_reaped.inc();
-                return;
-            }
-            Err(e) => {
-                shared.pulse.decode_errors.inc();
-                // Header-level: the stream is desynchronized. Best-effort
-                // error reply, then drop the connection.
-                let _ = write_frame(
-                    &mut writer,
-                    &encode_response(&Response::Error(e.to_string())),
-                );
-                return;
-            }
-        };
-        if shared.partitioned() || shared.abort.load(Ordering::Relaxed) {
-            // Chaos: a partitioned or killed peer goes silent mid-stream.
-            return;
-        }
-        // The request sequence number doubles as the trace track.
-        let track = shared.pulse.requests.inc();
-        let t0 = shared.now_ns();
-        let decoded = decode_request(&payload);
-        shared.stage(track, "decode", t0, &shared.pulse.decode_ns);
-        let (response, stop) = match decoded {
-            Err(e) => {
-                // Payload-level: typed error, connection survives.
-                shared.pulse.decode_errors.inc();
-                (Response::Error(format!("bad request: {e}")), false)
-            }
-            // Version gate: a fleet request smuggled into a too-old frame
-            // is refused before any peer machinery can act on it.
-            Ok(req) if req.required_version() > frame_version => {
-                shared.pulse.decode_errors.inc();
-                (
-                    Response::Error(format!(
-                        "request requires protocol v{}, frame is v{frame_version}",
-                        req.required_version()
-                    )),
-                    false,
-                )
-            }
-            Ok(Request::Submit(spec)) => (shared.submit(&spec, track, true), false),
-            Ok(Request::Sweep(specs)) => (shared.sweep(&specs, track), false),
-            Ok(Request::Stats) => (Response::Stats(Box::new(shared.stats())), false),
-            Ok(Request::Trace) => {
-                let spans = shared.trace.snapshot();
-                (
-                    Response::Trace(ghost_obs::chrome::stage_trace_json(&spans)),
-                    false,
-                )
-            }
-            Ok(Request::Shutdown) => {
-                shared.shutdown.store(true, Ordering::Relaxed);
-                (Response::ShutdownAck, true)
-            }
-            // The sender already routed this to us: serve locally, never
-            // re-forward (loop freedom).
-            Ok(Request::Forward(spec)) => (shared.submit(&spec, track, false), false),
-            Ok(Request::Gossip { from, peers }) => (shared.gossip(&from, &peers), false),
-            Ok(Request::SyncDigest) => {
-                let buckets = match &shared.store {
-                    Some(store) => store.digest(),
-                    None => vec![(0, 0); SYNC_BUCKETS],
-                };
-                (Response::SyncDigest { buckets }, false)
-            }
-            Ok(Request::SyncList { bucket }) => {
-                if usize::from(bucket) >= SYNC_BUCKETS {
-                    (
-                        Response::Error(format!("bucket {bucket} out of range")),
-                        false,
-                    )
-                } else {
-                    let hashes = match &shared.store {
-                        Some(store) => store.hashes_in_bucket(usize::from(bucket)),
-                        None => Vec::new(),
-                    };
-                    (Response::SyncList { hashes }, false)
-                }
-            }
-            Ok(Request::Fetch { key_hash }) => {
-                let entry = shared.store.as_ref().and_then(|s| s.get_raw(key_hash));
-                (Response::Entry(entry), false)
-            }
-        };
-        // Service time is closed before the response is written, so a
-        // Stats reply never includes its own request in the histogram.
-        shared
-            .pulse
-            .request_ns
-            .record(shared.now_ns().saturating_sub(t0));
-        let t_enc = shared.now_ns();
-        // Answer in the version the request arrived with: a v1 client
-        // sees only v1 frames, whatever this server also speaks.
-        let write_ok =
-            write_frame_v(&mut writer, frame_version, &encode_response(&response)).is_ok();
-        shared.stage(track, "encode", t_enc, &shared.pulse.encode_ns);
-        if !write_ok {
-            return;
-        }
-        if stop {
-            let _ = writer.flush();
-            return;
-        }
-    }
-}
-
-/// Answer one plain-HTTP request on the shared listener: `GET /metrics`
-/// returns the ghost-pulse exposition; everything else is 404. The
-/// response always closes the connection.
-fn serve_http(mut stream: TcpStream, shared: &Shared) {
-    const HEADER_LIMIT: usize = 8 * 1024;
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        if buf.len() >= 4 && buf.windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-        if buf.len() > HEADER_LIMIT {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
-        shared.pulse.scrapes.inc();
-        ("200 OK", shared.metrics_text())
-    } else {
-        ("404 Not Found", String::from("not found\n"))
-    };
-    let header = format!(
-        "HTTP/1.1 {status}\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\n\
-         Connection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(header.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::Client;
-    use crate::wire::read_frame;
+    use crate::wire::{read_frame, write_frame, Request};
     use ghost_core::scenario::InjectionSpec;
     use ghost_engine::time::MS;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
 
     fn spec(seed: u64) -> ScenarioSpec {
         ScenarioSpec {

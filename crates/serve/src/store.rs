@@ -1,4 +1,4 @@
-//! Persistent content-addressed result store.
+//! Persistent content-addressed result store with an optional size bound.
 //!
 //! One file per scenario, named by the FNV-64 of the spec's canonical key
 //! bytes: `gs-{hash:016x}.res`. Each file embeds the *full* key and a
@@ -6,7 +6,18 @@
 //! detected on read and treated as a miss — the store never panics and
 //! never serves wrong bytes. Writes go through a temp file plus an atomic
 //! rename so a crash mid-write leaves either the old file or no file,
-//! never a torn one.
+//! never a torn one; orphaned temp files from a crashed process are
+//! compacted away the next time the store opens.
+//!
+//! ## The store is a cache
+//!
+//! Results are deterministic recomputations, so the store owes nobody
+//! durability: when opened with a byte capacity ([`ResultStore::open_bounded`]),
+//! it evicts least-recently-*touched* entries (LRU by access, not write)
+//! to stay under the cap. An evicted key is a clean miss — the server
+//! re-simulates and gets byte-identical bytes back. The in-memory index
+//! (sizes, recency ticks, occupancy) makes `len()`/`bytes()` O(1), which
+//! is what lets the `/metrics` scrape run on the event-loop thread.
 //!
 //! File layout (all little-endian):
 //!
@@ -20,9 +31,12 @@
 //! check   u64                fnv64(key ++ value)
 //! ```
 
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use ghost_core::scenario::{mix64, shard_of};
 
@@ -35,18 +49,148 @@ pub const STORE_VERSION: u16 = 1;
 /// Cap on either section of a store file (matches the wire payload cap).
 const MAX_SECTION: u32 = 16 * 1024 * 1024;
 
-/// An on-disk result cache rooted at one directory.
-#[derive(Debug, Clone)]
+/// One indexed entry: its on-disk size and its recency tick.
+struct Entry {
+    bytes: u64,
+    tick: u64,
+}
+
+/// The in-memory picture of the directory: what exists, how big it is,
+/// and in what recency order. `by_tick` inverts `entries` for O(log n)
+/// victim selection.
+struct Index {
+    entries: HashMap<u64, Entry>,
+    by_tick: BTreeMap<u64, u64>,
+    total: u64,
+    clock: u64,
+    evictions: u64,
+    compacted: u64,
+}
+
+impl Index {
+    fn touch(&mut self, hash: u64) {
+        self.clock += 1;
+        let tick = self.clock;
+        if let Some(e) = self.entries.get_mut(&hash) {
+            self.by_tick.remove(&e.tick);
+            e.tick = tick;
+            self.by_tick.insert(tick, hash);
+        }
+    }
+
+    /// Insert or replace `hash`, returning it freshest. Accounts bytes.
+    fn upsert(&mut self, hash: u64, bytes: u64) {
+        if let Some(old) = self.entries.remove(&hash) {
+            self.by_tick.remove(&old.tick);
+            self.total = self.total.saturating_sub(old.bytes);
+        }
+        self.clock += 1;
+        let tick = self.clock;
+        self.entries.insert(hash, Entry { bytes, tick });
+        self.by_tick.insert(tick, hash);
+        self.total += bytes;
+    }
+
+    fn remove(&mut self, hash: u64) {
+        if let Some(old) = self.entries.remove(&hash) {
+            self.by_tick.remove(&old.tick);
+            self.total = self.total.saturating_sub(old.bytes);
+        }
+    }
+
+    /// Pop the least-recently-touched entry, if any.
+    fn pop_lru(&mut self) -> Option<u64> {
+        let (&tick, &hash) = self.by_tick.iter().next()?;
+        self.by_tick.remove(&tick);
+        if let Some(old) = self.entries.remove(&hash) {
+            self.total = self.total.saturating_sub(old.bytes);
+        }
+        Some(hash)
+    }
+}
+
+/// An on-disk result cache rooted at one directory. Clones share one
+/// index (and therefore one eviction clock).
+#[derive(Clone)]
 pub struct ResultStore {
     dir: PathBuf,
+    capacity: u64,
+    state: Arc<Mutex<Index>>,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock(m: &Mutex<Index>) -> std::sync::MutexGuard<'_, Index> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parse the key hash out of a `gs-{16 hex}.res` filename.
+fn hash_from_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("gs-")?.strip_suffix(".res")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
 }
 
 impl ResultStore {
-    /// Open (creating if needed) a store rooted at `dir`.
+    /// Open (creating if needed) an unbounded store rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_bounded(dir, 0)
+    }
+
+    /// Open a store with a byte capacity (`0` = unbounded). Startup walks
+    /// the directory once: orphaned temp files from a crashed writer are
+    /// deleted (compaction), result files are indexed by size and
+    /// modification time (oldest = coldest), and if the directory already
+    /// exceeds the capacity it is evicted down before serving.
+    pub fn open_bounded(dir: impl Into<PathBuf>, capacity: u64) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let mut index = Index {
+            entries: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            total: 0,
+            clock: 0,
+            evictions: 0,
+            compacted: 0,
+        };
+        let mut found: Vec<(u64, u64, SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&dir)?.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("gs-") && name.contains(".tmp.") {
+                // A crashed writer's leftovers: never referenced again.
+                if fs::remove_file(entry.path()).is_ok() {
+                    index.compacted += 1;
+                }
+                continue;
+            }
+            let Some(hash) = hash_from_name(name) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            found.push((hash, meta.len(), mtime));
+        }
+        found.sort_by_key(|&(_, _, mtime)| mtime);
+        for (hash, bytes, _) in found {
+            index.upsert(hash, bytes);
+        }
+        let store = Self {
+            dir,
+            capacity,
+            state: Arc::new(Mutex::new(index)),
+        };
+        store.evict_over_capacity();
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -54,21 +198,52 @@ impl ResultStore {
         &self.dir
     }
 
+    /// The configured capacity in bytes (0 = unbounded).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
     /// The file that would hold `key`'s result.
     pub fn path_for(&self, key: &[u8]) -> PathBuf {
         self.dir.join(format!("gs-{:016x}.res", content_hash(key)))
     }
 
+    fn path_for_hash(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("gs-{hash:016x}.res"))
+    }
+
     /// Look up `key`. Any verification failure — missing file, bad magic or
     /// version, implausible lengths, checksum mismatch, or a different key
     /// hashed to the same filename — is a miss (`None`), never an error.
+    /// A hit refreshes the entry's LRU tick.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let bytes = fs::read(self.path_for(key)).ok()?;
-        decode_store_file(&bytes, key)
+        let hash = content_hash(key);
+        let bytes = match fs::read(self.path_for(key)) {
+            Ok(b) => b,
+            Err(_) => {
+                // Evicted, never written, or lost: make the index agree.
+                lock(&self.state).remove(hash);
+                return None;
+            }
+        };
+        let value = decode_store_file(&bytes, key)?;
+        let mut idx = lock(&self.state);
+        if idx.entries.contains_key(&hash) {
+            idx.touch(hash);
+        } else {
+            // A file another handle wrote (or a raced eviction re-read):
+            // adopt it so occupancy stays truthful.
+            idx.upsert(hash, bytes.len() as u64);
+        }
+        drop(idx);
+        self.evict_over_capacity();
+        Some(value)
     }
 
-    /// Persist `value` under `key`, atomically. A failed write is reported
-    /// but leaves no partial file behind.
+    /// Persist `value` under `key`, atomically, then evict down to the
+    /// capacity. The just-written entry is the freshest, so it is evicted
+    /// only if it alone exceeds the whole capacity. A failed write is
+    /// reported but leaves no partial file behind.
     pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
         if key.len() as u64 > MAX_SECTION as u64 || value.len() as u64 > MAX_SECTION as u64 {
             return Err(std::io::Error::new(
@@ -88,17 +263,20 @@ impl ResultStore {
         checked.extend_from_slice(value);
         bytes.extend_from_slice(&content_hash(&checked).to_le_bytes());
 
+        let hash = content_hash(key);
         let final_path = self.path_for(key);
-        let tmp_path = self.dir.join(format!(
-            "gs-{:016x}.tmp.{}",
-            content_hash(key),
-            std::process::id()
-        ));
+        let tmp_path = self
+            .dir
+            .join(format!("gs-{hash:016x}.tmp.{}", std::process::id()));
         let mut f = fs::File::create(&tmp_path)?;
         let written = f.write_all(&bytes).and_then(|()| f.sync_all());
         drop(f);
         match written.and_then(|()| fs::rename(&tmp_path, &final_path)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                lock(&self.state).upsert(hash, bytes.len() as u64);
+                self.evict_over_capacity();
+                Ok(())
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp_path);
                 Err(e)
@@ -106,24 +284,55 @@ impl ResultStore {
         }
     }
 
-    /// How many result files the store currently holds.
+    /// Evict least-recently-touched entries until occupancy fits the
+    /// capacity. Victims leave the index under the lock (so concurrent
+    /// accounting never double-counts); their files are deleted after.
+    fn evict_over_capacity(&self) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut victims: Vec<u64> = Vec::new();
+        {
+            let mut idx = lock(&self.state);
+            while idx.total > self.capacity {
+                match idx.pop_lru() {
+                    Some(hash) => {
+                        idx.evictions += 1;
+                        victims.push(hash);
+                    }
+                    None => break,
+                }
+            }
+        }
+        for hash in victims {
+            let _ = fs::remove_file(self.path_for_hash(hash));
+        }
+    }
+
+    /// How many result files the store currently holds (O(1): the index).
     pub fn len(&self) -> usize {
-        fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(|e| e.ok())
-                    .filter(|e| {
-                        e.file_name()
-                            .to_str()
-                            .is_some_and(|n| n.starts_with("gs-") && n.ends_with(".res"))
-                    })
-                    .count()
-            })
-            .unwrap_or(0)
+        lock(&self.state).entries.len()
     }
 
     /// Whether the store holds no results.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Bytes currently resident (O(1): the index).
+    pub fn bytes(&self) -> u64 {
+        lock(&self.state).total
+    }
+
+    /// Entries evicted since this store (or a clone sharing its index)
+    /// was opened.
+    pub fn evictions(&self) -> u64 {
+        lock(&self.state).evictions
+    }
+
+    /// Orphaned temp files removed by startup compaction.
+    pub fn compacted(&self) -> u64 {
+        lock(&self.state).compacted
     }
 
     /// Enumerate every *verified* entry as `(key_hash, check)` pairs.
@@ -157,7 +366,7 @@ impl ResultStore {
     /// bytes)`. Any defect — missing file, corruption, or a file whose
     /// embedded key does not hash to `key_hash` — is a clean `None`.
     pub fn get_raw(&self, key_hash: u64) -> Option<(Vec<u8>, Vec<u8>)> {
-        let bytes = fs::read(self.dir.join(format!("gs-{key_hash:016x}.res"))).ok()?;
+        let bytes = fs::read(self.path_for_hash(key_hash)).ok()?;
         let (key, value, _check) = parse_store_file(&bytes)?;
         if content_hash(key) != key_hash {
             return None;
@@ -372,6 +581,98 @@ mod tests {
         let stored = fs::read(store.path_for(b"key-a")).unwrap();
         fs::write(store.path_for(b"imposter"), &stored).unwrap();
         assert_eq!(store.get(b"imposter"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// On-disk size of one entry with a 1-byte key and `val` value bytes.
+    fn entry_size(val: usize) -> u64 {
+        (14 + 1 + val + 8) as u64
+    }
+
+    #[test]
+    fn bounded_store_never_exceeds_capacity() {
+        let dir = tmpdir("bounded");
+        // Room for exactly three 100-byte-value entries.
+        let cap = 3 * entry_size(100);
+        let store = ResultStore::open_bounded(&dir, cap).unwrap();
+        for i in 0..10u8 {
+            store.put(&[i], &[i; 100]).unwrap();
+            assert!(
+                store.bytes() <= cap,
+                "after put {i}: {} > {cap}",
+                store.bytes()
+            );
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.evictions(), 7);
+        // The three newest survive; the oldest seven are clean misses.
+        for i in 0..7u8 {
+            assert_eq!(store.get(&[i]), None);
+        }
+        for i in 7..10u8 {
+            assert_eq!(store.get(&[i]).unwrap(), vec![i; 100]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_lru_by_access_not_write_order() {
+        let dir = tmpdir("lru");
+        let cap = 2 * entry_size(10);
+        let store = ResultStore::open_bounded(&dir, cap).unwrap();
+        store.put(&[1], &[9; 10]).unwrap();
+        store.put(&[2], &[9; 10]).unwrap();
+        // Touch the older entry, making entry 2 the coldest.
+        assert!(store.get(&[1]).is_some());
+        store.put(&[3], &[9; 10]).unwrap();
+        assert!(store.get(&[2]).is_none(), "coldest entry evicted");
+        assert!(store.get(&[1]).is_some(), "touched entry survives");
+        assert!(store.get(&[3]).is_some(), "fresh entry survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_compacts_orphaned_tmp_files_and_enforces_capacity() {
+        let dir = tmpdir("compact");
+        let store = ResultStore::open(&dir).unwrap();
+        for i in 0..4u8 {
+            store.put(&[i], &[7; 50]).unwrap();
+        }
+        // A crashed writer's leftover.
+        fs::write(dir.join("gs-00000000000000aa.tmp.999"), b"torn").unwrap();
+        drop(store);
+
+        let cap = 2 * entry_size(50);
+        let reopened = ResultStore::open_bounded(&dir, cap).unwrap();
+        assert_eq!(reopened.compacted(), 1, "orphan removed at open");
+        assert!(!dir.join("gs-00000000000000aa.tmp.999").exists());
+        assert!(reopened.bytes() <= cap, "pre-existing excess evicted");
+        assert_eq!(reopened.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_write_is_adopted_on_read() {
+        let dir = tmpdir("adopt");
+        let a = ResultStore::open(&dir).unwrap();
+        let b = ResultStore::open(&dir).unwrap();
+        a.put(b"k", b"v").unwrap();
+        // b's index predates the write; the read itself repairs it.
+        assert_eq!(b.get(b"k").unwrap(), b"v");
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.bytes(), a.bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_drops_out_of_the_index() {
+        let dir = tmpdir("drop");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(b"k", b"v").unwrap();
+        fs::remove_file(store.path_for(b"k")).unwrap();
+        assert_eq!(store.get(b"k"), None);
+        assert_eq!(store.len(), 0, "index agrees with the directory");
+        assert_eq!(store.bytes(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

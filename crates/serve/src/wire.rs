@@ -781,6 +781,11 @@ pub struct ServerStats {
     pub latency_min: u64,
     /// Slowest request (ns).
     pub latency_max: u64,
+    /// Process file-descriptor soft limit (0 when unknown on this
+    /// platform); bounds how many connections the daemon can hold.
+    pub fd_limit: u64,
+    /// Accept failures (fd-exhaustion backoffs, peer aborts).
+    pub accept_errors: u64,
 }
 
 impl ServerStats {
@@ -819,6 +824,8 @@ fn enc_stats(e: &mut Enc, s: &ServerStats) {
     e.u64(s.latency_count);
     e.u64(s.latency_min);
     e.u64(s.latency_max);
+    e.u64(s.fd_limit);
+    e.u64(s.accept_errors);
 }
 
 fn dec_stats(d: &mut Dec) -> Result<ServerStats, WireError> {
@@ -857,6 +864,8 @@ fn dec_stats(d: &mut Dec) -> Result<ServerStats, WireError> {
         latency_count: d.u64()?,
         latency_min: d.u64()?,
         latency_max: d.u64()?,
+        fd_limit: d.u64()?,
+        accept_errors: d.u64()?,
     })
 }
 
@@ -918,6 +927,17 @@ pub enum Request {
         /// `content_hash` of the canonical scenario key bytes.
         key_hash: u64,
     },
+    /// Pipelined sweep chunk: like [`Request::Sweep`] but tagged with a
+    /// client-chosen id and answered by a [`Response::Batch`] that may
+    /// arrive *out of order* relative to other replies on the same
+    /// connection. This is what lets a client keep many chunks in flight
+    /// on one connection and pay one round-trip for the whole sweep.
+    SubmitBatch {
+        /// Client-chosen correlation id, echoed in the reply.
+        id: u64,
+        /// The cells of this chunk.
+        specs: Vec<ScenarioSpec>,
+    },
 }
 
 impl Request {
@@ -935,7 +955,8 @@ impl Request {
             | Request::Gossip { .. }
             | Request::SyncDigest
             | Request::SyncList { .. }
-            | Request::Fetch { .. } => FLEET_VERSION,
+            | Request::Fetch { .. }
+            | Request::SubmitBatch { .. } => FLEET_VERSION,
         }
     }
 }
@@ -943,6 +964,12 @@ impl Request {
 /// A raw store entry as it travels over the wire: `(key bytes, value
 /// bytes)`, or `None` when the peer does not hold the key.
 pub type RawEntry = Option<(Vec<u8>, Vec<u8>)>;
+
+/// The payload of a [`Response::Batch`]: per-cell results in chunk order,
+/// or `Err((active, capacity))` when admission control rejected the whole
+/// chunk (the batch analogue of [`Response::Busy`], carried inside the
+/// batch reply so the id correlation survives).
+pub type BatchSlots = Result<Vec<Result<ScenarioReply, String>>, (u32, u32)>;
 
 /// What the server answers.
 #[derive(Debug, Clone, PartialEq)]
@@ -986,6 +1013,15 @@ pub enum Response {
     /// Answer to a fetch: the raw store entry, or `None` if the key is
     /// absent (or its file failed verification and read as a miss).
     Entry(RawEntry),
+    /// Answer to a [`Request::SubmitBatch`], correlated by id rather than
+    /// reply order — the one response kind that may overtake others on
+    /// the same connection.
+    Batch {
+        /// The id the client chose for this chunk.
+        id: u64,
+        /// Per-cell results, or a busy rejection for the whole chunk.
+        slots: BatchSlots,
+    },
 }
 
 /// Encode a request into a frame payload.
@@ -1027,6 +1063,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.u8(9);
             e.u64(*key_hash);
         }
+        Request::SubmitBatch { id, specs } => {
+            e.u8(10);
+            e.u64(*id);
+            e.usize(specs.len());
+            for s in specs {
+                enc_scenario(&mut e, s);
+            }
+        }
     }
     e.0
 }
@@ -1056,6 +1100,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         7 => Request::SyncDigest,
         8 => Request::SyncList { bucket: d.u8()? },
         9 => Request::Fetch { key_hash: d.u64()? },
+        10 => {
+            let id = d.u64()?;
+            let n = d.count()?;
+            let specs = (0..n)
+                .map(|_| dec_scenario(&mut d))
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::SubmitBatch { id, specs }
+        }
         t => return Err(WireError::UnknownTag(t)),
     };
     d.finish()?;
@@ -1137,6 +1189,33 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
             }
         }
+        Response::Batch { id, slots } => {
+            e.u8(11);
+            e.u64(*id);
+            match slots {
+                Err((active, capacity)) => {
+                    e.u8(0);
+                    e.u32(*active);
+                    e.u32(*capacity);
+                }
+                Ok(cells) => {
+                    e.u8(1);
+                    e.usize(cells.len());
+                    for cell in cells {
+                        match cell {
+                            Ok(r) => {
+                                e.u8(1);
+                                enc_reply(&mut e, r);
+                            }
+                            Err(msg) => {
+                                e.u8(0);
+                                e.str(msg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     e.0
 }
@@ -1189,6 +1268,27 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             1 => Some((d.bytes()?, d.bytes()?)),
             t => return Err(WireError::UnknownTag(t)),
         }),
+        11 => {
+            let id = d.u64()?;
+            let slots = match d.u8()? {
+                0 => Err((d.u32()?, d.u32()?)),
+                1 => {
+                    let n = d.count()?;
+                    let cells = (0..n)
+                        .map(|_| {
+                            Ok(match d.u8()? {
+                                1 => Ok(dec_reply(&mut d)?),
+                                0 => Err(d.str()?),
+                                t => return Err(WireError::UnknownTag(t)),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, WireError>>()?;
+                    Ok(cells)
+                }
+                t => return Err(WireError::UnknownTag(t)),
+            };
+            Response::Batch { id, slots }
+        }
         t => return Err(WireError::UnknownTag(t)),
     };
     d.finish()?;
@@ -1243,6 +1343,10 @@ mod tests {
             Request::Fetch {
                 key_hash: 0xdead_beef_cafe_f00d,
             },
+            Request::SubmitBatch {
+                id: 42,
+                specs: vec![spec(), spec()],
+            },
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req);
@@ -1263,6 +1367,10 @@ mod tests {
             Request::SyncDigest,
             Request::SyncList { bucket: 0 },
             Request::Fetch { key_hash: 0 },
+            Request::SubmitBatch {
+                id: 0,
+                specs: vec![],
+            },
         ] {
             assert_eq!(req.required_version(), FLEET_VERSION);
         }
@@ -1322,6 +1430,14 @@ mod tests {
             },
             Response::Entry(None),
             Response::Entry(Some((vec![1, 2, 3], vec![4, 5]))),
+            Response::Batch {
+                id: 42,
+                slots: Ok(vec![Ok(reply.clone()), Err("deadlock".into())]),
+            },
+            Response::Batch {
+                id: 7,
+                slots: Err((9, 16)),
+            },
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);

@@ -59,6 +59,7 @@ enum Command {
     Serve,
     Submit,
     Cluster,
+    Flood,
 }
 
 struct Args {
@@ -101,6 +102,10 @@ struct Args {
     suspect_after: Option<u32>,
     idle_timeout_ms: Option<u64>,
     settle_ms: u64,
+    store_capacity_bytes: u64,
+    workers: usize,
+    batch: usize,
+    conns: usize,
 }
 
 impl Default for Args {
@@ -145,6 +150,10 @@ impl Default for Args {
             suspect_after: None,
             idle_timeout_ms: None,
             settle_ms: 5_000,
+            store_capacity_bytes: 0,
+            workers: 0,
+            batch: 8,
+            conns: 2_000,
         }
     }
 }
@@ -167,6 +176,10 @@ USAGE:
                                  harness against it: kill/partition/restart
                                  daemons while checking that every answer
                                  stays byte-identical and warmth replicates
+    ghostsim flood [OPTIONS]     hold --conns idle connections against a
+                                 running server (--server required) while
+                                 probing that warm traffic still answers
+                                 byte-identically; prints a JSON summary
 
 OPTIONS:
     --app <sage|cth|pop|spectral|bsp>   workload              [default: pop]
@@ -215,6 +228,11 @@ SERVE OPTIONS:
                                         [default: 1024]
     --idle-timeout-ms <N>               reap connections idle this long
                                         (0 disables) [default: 30000]
+    --store-capacity-bytes <N>          byte budget for the persistent store;
+                                        least-recently-used entries are evicted
+                                        past it (0 = unbounded) [default: 0]
+    --workers <N>                       simulation worker threads (0 = auto:
+                                        max(8, cores)) [default: 0]
     --peers <A:P,A:P,...>               fleet seed peers; joining a fleet turns
                                         on request forwarding and store
                                         replication (ghost-fleet)
@@ -240,6 +258,14 @@ SUBMIT OPTIONS:
                                         0 disables [default: 2]
     --deadline-ms <N>                   overall deadline across all retry
                                         attempts [default: 30000]
+    --batch <N>                         (sweep --server) pipeline the sweep as
+                                        SubmitBatch chunks of N cells, all in
+                                        flight at once; 0 = one legacy Sweep
+                                        frame [default: 8]
+
+FLOOD OPTIONS:
+    --conns <N>                         idle connections to hold open
+                                        [default: 2000]
 
 CLUSTER OPTIONS:
     --peers <N>                         daemons to boot [default: 3]
@@ -286,6 +312,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
         Some("cluster") => {
             args.command = Command::Cluster;
+            it.next();
+        }
+        Some("flood") => {
+            args.command = Command::Flood;
             it.next();
         }
         _ => {}
@@ -402,6 +432,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--settle-ms" => {
                 args.settle_ms = value.parse().map_err(|e| format!("--settle-ms: {e}"))?
             }
+            "--store-capacity-bytes" => {
+                args.store_capacity_bytes = value
+                    .parse()
+                    .map_err(|e| format!("--store-capacity-bytes: {e}"))?
+            }
+            "--workers" => args.workers = value.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--batch" => args.batch = value.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--conns" => args.conns = value.parse().map_err(|e| format!("--conns: {e}"))?,
             "--straggle" => {
                 let (r, f) = value
                     .split_once(':')
@@ -557,6 +595,7 @@ fn run(args: &Args) -> Result<(), Failure> {
         Command::Serve => return run_serve(args),
         Command::Submit => return run_submit(args),
         Command::Cluster => return run_cluster(args),
+        Command::Flood => return run_flood(args),
         Command::Trace if args.server.is_some() => {
             return Err(Failure::Usage(
                 "trace records a local run and cannot be routed through --server".into(),
@@ -641,7 +680,7 @@ fn run(args: &Args) -> Result<(), Failure> {
             run_compare(&spec, workload.as_ref(), &injection, &sig)
         }
         // Dispatched before workload construction.
-        Command::Serve | Command::Submit | Command::Cluster => unreachable!(),
+        Command::Serve | Command::Submit | Command::Cluster | Command::Flood => unreachable!(),
     }
 }
 
@@ -674,6 +713,8 @@ fn run_serve(args: &Args) -> Result<(), Failure> {
         limits: RunLimits::none(),
         trace_capacity: args.trace_capacity,
         idle_timeout_ms: args.idle_timeout_ms.unwrap_or(30_000),
+        store_capacity_bytes: args.store_capacity_bytes,
+        workers: args.workers,
         fleet: fleet.clone(),
     };
     let server = Server::bind(args.addr.as_str(), config)
@@ -696,6 +737,79 @@ fn run_serve(args: &Args) -> Result<(), Failure> {
         },
     );
     server.run().map_err(|e| Failure::Runtime(e.to_string()))
+}
+
+/// The `flood` subcommand: hold `--conns` idle connections open against a
+/// running server while probing that warm traffic still answers — and
+/// answers *identically*. Exit 0 means the server held every connection
+/// we could open, kept `/metrics` scrapes answering, and every probe
+/// reply matched the reference; a reply mismatch exits 2 (the canonical
+/// codec makes value equality the same thing as byte identity).
+fn run_flood(args: &Args) -> Result<(), Failure> {
+    let server = args
+        .server
+        .as_deref()
+        .ok_or_else(|| Failure::Usage("flood requires --server HOST:PORT".into()))?;
+    let spec = scenario_from_args(args, args.nodes)?;
+
+    // Reference answer; also warms the server so probes are cache hits.
+    let reference =
+        call_with_retry(server, retry_policy(args), |c| c.submit(&spec)).map_err(client_failure)?;
+
+    eprintln!(
+        "opening {} idle connections against {server}...",
+        args.conns
+    );
+    let mut idle = Vec::with_capacity(args.conns);
+    let mut connect_failures = 0usize;
+    for _ in 0..args.conns {
+        match std::net::TcpStream::connect(server) {
+            Ok(s) => idle.push(s),
+            Err(_) => connect_failures += 1,
+        }
+    }
+    let held = idle.len();
+
+    // The connection gauge proves the server actually registered them
+    // (and that /metrics still answers under the flood).
+    let text = scrape_metrics(server).map_err(client_failure)?;
+    let server_connections: i64 = text
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("ghost_serve_connections ")?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(-1);
+
+    // Warm traffic through the flood: fresh connections, same scenario,
+    // byte-identical replies expected while every idle socket stays open.
+    let probes = 16.min(args.conns.max(1));
+    let mut mismatches = 0usize;
+    for _ in 0..probes {
+        let reply = call_with_retry(server, retry_policy(args), |c| c.submit(&spec))
+            .map_err(client_failure)?;
+        if reply != reference {
+            mismatches += 1;
+        }
+    }
+    drop(idle);
+
+    println!(
+        "{{\"connections_held\":{held},\"connect_failures\":{connect_failures},\
+         \"server_connections\":{server_connections},\"probes\":{probes},\
+         \"mismatches\":{mismatches}}}"
+    );
+    if mismatches > 0 {
+        return Err(Failure::Usage(format!(
+            "{mismatches} of {probes} probe replies differed from the reference under flood"
+        )));
+    }
+    if held == 0 {
+        return Err(Failure::Runtime("no connections could be opened".into()));
+    }
+    Ok(())
 }
 
 /// The `cluster` subcommand: boot a local ghost-fleet and run the chaos
@@ -857,7 +971,8 @@ fn stats_json(s: &ServerStats) -> String {
         "{{\"uptime_ms\":{},\"requests\":{},\"scenarios\":{},\"memory_hits\":{},\
          \"disk_hits\":{},\"simulated\":{},\"coalesced\":{},\"busy_rejections\":{},\
          \"decode_errors\":{},\"store_errors\":{},\"queue_depth\":{},\"inflight\":{},\
-         \"capacity\":{},\"latency_count\":{},\"latency_min_ns\":{},\"latency_max_ns\":{},\
+         \"capacity\":{},\"fd_limit\":{},\"accept_errors\":{},\
+         \"latency_count\":{},\"latency_min_ns\":{},\"latency_max_ns\":{},\
          \"latency_ns\":{{{quantiles}}}}}",
         s.uptime_ms,
         s.requests,
@@ -872,6 +987,8 @@ fn stats_json(s: &ServerStats) -> String {
         s.queue_depth,
         s.inflight,
         s.capacity,
+        s.fd_limit,
+        s.accept_errors,
         s.latency_count,
         if s.latency_count > 0 {
             s.latency_min
@@ -941,6 +1058,8 @@ fn run_submit(args: &Args) -> Result<(), Failure> {
             ("queue_depth", s.queue_depth as u64),
             ("inflight", s.inflight as u64),
             ("capacity", s.capacity as u64),
+            ("fd_limit", s.fd_limit),
+            ("accept_errors", s.accept_errors),
         ] {
             tab.row(&[name.to_string(), value.to_string()]);
         }
@@ -1027,8 +1146,18 @@ fn run_remote(args: &Args) -> Result<(), Failure> {
             .collect::<Vec<_>>()
             .join(","),
     );
-    let slots =
-        call_with_retry(server, retry_policy(args), |c| c.sweep(&specs)).map_err(client_failure)?;
+    // --batch > 0 pipelines the sweep: the cells go out as SubmitBatch
+    // chunks written back to back, so the whole sweep costs one round-trip
+    // of latency. --batch 0 keeps the legacy single-frame Sweep (and is
+    // what a pre-pipelining server understands).
+    let slots = call_with_retry(server, retry_policy(args), |c| {
+        if args.batch > 0 && specs.len() > 1 {
+            c.sweep_pipelined(&specs, args.batch)
+        } else {
+            c.sweep(&specs)
+        }
+    })
+    .map_err(client_failure)?;
 
     let mut failures = Vec::new();
     let mut replies = Vec::new();

@@ -337,6 +337,285 @@ fn corruption_under_concurrent_writes_never_serves_garbage() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A pipelined sweep — every chunk in flight at once, replies completing
+/// in whatever order the workers finish — produces exactly the bytes of
+/// the legacy single-frame sweep over the same cells.
+#[test]
+fn pipelined_sweep_matches_serial_byte_for_byte() {
+    let (addr, handle) = start_server(None);
+    let mut client = Client::connect(addr).unwrap();
+    let cells: Vec<_> = (0..6).map(|k| spec(4 + k)).collect();
+
+    // Cold pipelined pass: three 2-cell chunks race through the pool.
+    let pipelined = client.sweep_pipelined(&cells, 2).unwrap();
+    // Warm serial pass over the same connection.
+    let serial = client.sweep(&cells).unwrap();
+
+    assert_eq!(pipelined.len(), cells.len());
+    for (p, s) in pipelined.iter().zip(&serial) {
+        assert_eq!(
+            p.as_ref().unwrap().to_bytes(),
+            s.as_ref().unwrap().to_bytes(),
+            "pipelined and serial sweeps must answer identically"
+        );
+    }
+    let text = scrape_metrics(addr).unwrap();
+    let batches: u64 = text
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("ghost_serve_batches_total ")?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0);
+    assert_eq!(batches, 3, "6 cells at --batch 2 is 3 SubmitBatch frames");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Batch replies really do overtake: a heavy cold chunk sent first and a
+/// warm cache-hit chunk sent second answer warm-first, correlated by id.
+#[test]
+fn batch_replies_complete_out_of_order() {
+    let (addr, handle) = start_server(None);
+    let mut client = Client::connect(addr).unwrap();
+    let warm = spec(4);
+    client.submit(&warm).unwrap(); // pre-warm the cache
+
+    let heavy = ScenarioSpec {
+        workload: WorkloadSpec::Pop { steps: 3 },
+        machine: ExperimentSpec::flat(128, 42),
+        injection: InjectionSpec::uncoordinated(10.0, 0.025),
+    };
+    client.send_batch(7, std::slice::from_ref(&heavy)).unwrap();
+    client.send_batch(9, std::slice::from_ref(&warm)).unwrap();
+
+    let (first_id, first) = client.read_batch().unwrap();
+    let (second_id, second) = client.read_batch().unwrap();
+    assert_eq!(
+        first_id, 9,
+        "the warm chunk must finish before the heavy one"
+    );
+    assert_eq!(second_id, 7);
+    assert!(first.unwrap()[0].is_ok());
+    assert!(second.unwrap()[0].is_ok());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A legacy v1 client shares the listener with pipelining clients: its
+/// whole request set still works, and the one thing it must not do —
+/// smuggle a SubmitBatch inside a v1 frame — gets a typed error that
+/// leaves the connection usable.
+#[test]
+fn v1_clients_coexist_with_pipelining_on_one_listener() {
+    let (addr, handle) = start_server(None);
+
+    // A pipelining client keeps a chunk in flight...
+    let mut piper = Client::connect(addr).unwrap();
+    piper.send_batch(1, &[spec(6)]).unwrap();
+
+    // ...while a raw v1 connection submits and reads stats as always.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    wire::write_frame(
+        &mut stream,
+        &wire::encode_request(&Request::Submit(spec(4))),
+    )
+    .unwrap();
+    let resp = wire::decode_response(&wire::read_frame(&mut stream).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Scenario(_)));
+
+    // SubmitBatch demands a v2 frame; inside v1 it is rejected, typed.
+    let batch = Request::SubmitBatch {
+        id: 3,
+        specs: vec![spec(4)],
+    };
+    wire::write_frame(&mut stream, &wire::encode_request(&batch)).unwrap();
+    let resp = wire::decode_response(&wire::read_frame(&mut stream).unwrap()).unwrap();
+    assert!(
+        matches!(resp, Response::Error(_)),
+        "a v1-framed SubmitBatch must be version-gated, got {resp:?}"
+    );
+
+    // Both connections survive: the v1 one answers stats, the pipelined
+    // one still gets its batch reply.
+    wire::write_frame(&mut stream, &wire::encode_request(&Request::Stats)).unwrap();
+    assert!(matches!(
+        wire::decode_response(&wire::read_frame(&mut stream).unwrap()).unwrap(),
+        Response::Stats(_)
+    ));
+    let (id, slots) = piper.read_batch().unwrap();
+    assert_eq!(id, 1);
+    assert!(slots.unwrap()[0].is_ok());
+    drop(stream);
+    piper.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A size-bounded server store stays under its byte budget while evicting,
+/// and an evicted entry is a clean miss: a restart re-simulates it and
+/// reproduces the original reply byte-for-byte.
+#[test]
+fn bounded_server_store_evicts_and_reanswers_identically() {
+    let dir = tmpdir("bounded-serve");
+    // Measure the traffic's on-disk footprint with an unbounded store.
+    let (addr, handle) = start_server(Some(&dir));
+    let mut client = Client::connect(addr).unwrap();
+    let specs: Vec<_> = (0..4).map(|k| spec(4 + k)).collect();
+    let originals: Vec<_> = specs.iter().map(|s| client.submit(s).unwrap()).collect();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let total = ResultStore::open(&dir).unwrap().bytes();
+    let capacity = total * 5 / 8; // room for ~2 of the 4 entries
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let bounded = |dir: &PathBuf| {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                store_dir: Some(dir.clone()),
+                store_capacity_bytes: capacity,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        (addr, std::thread::spawn(move || server.run().unwrap()))
+    };
+
+    let (addr, handle) = bounded(&dir);
+    let mut client = Client::connect(addr).unwrap();
+    for s in &specs {
+        client.submit(s).unwrap();
+        let text = scrape_metrics(addr).unwrap();
+        let bytes: i64 = text
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix("ghost_serve_store_bytes ")?
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+            .unwrap();
+        assert!(
+            bytes as u64 <= capacity,
+            "store bytes {bytes} over the {capacity}-byte budget"
+        );
+    }
+    let text = scrape_metrics(addr).unwrap();
+    let evictions: i64 = text
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("ghost_serve_store_evictions ")?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap();
+    assert!(
+        evictions >= 1,
+        "4 entries into a ~2-entry budget must evict"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // The first spec is the LRU victim: a restarted server re-simulates
+    // it (clean miss) and the answer is byte-identical to the original.
+    let (addr, handle) = bounded(&dir);
+    let mut client = Client::connect(addr).unwrap();
+    let again = client.submit(&specs[0]).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.simulated, 1, "the evicted entry must re-simulate");
+    assert_eq!(again.to_bytes(), originals[0].to_bytes());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property: however small the budget and whatever the values, a bounded
+/// store never exceeds its capacity, never answers wrong bytes — eviction
+/// is a clean miss — and a re-put of an evicted key reads back exactly,
+/// all while a concurrent reader hammers every key.
+mod bounded_store_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn eviction_is_a_clean_miss_never_a_wrong_answer(
+            values in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 1..128),
+                4..16,
+            ),
+            denom in 2u64..5,
+        ) {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            use std::sync::Arc;
+
+            let keys: Vec<Vec<u8>> = (0..values.len())
+                .map(|i| format!("bounded-key-{i}").into_bytes())
+                .collect();
+
+            // Size the budget off the real on-disk footprint.
+            let scratch = tmpdir("bounded-prop-scratch");
+            let probe = ResultStore::open(&scratch).unwrap();
+            for (k, v) in keys.iter().zip(&values) {
+                probe.put(k, v).unwrap();
+            }
+            let capacity = (probe.bytes() / denom).max(1);
+            let _ = std::fs::remove_dir_all(&scratch);
+
+            let dir = tmpdir("bounded-prop");
+            let store = ResultStore::open_bounded(&dir, capacity).unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let reader = {
+                let stop = stop.clone();
+                let store = store.clone();
+                let keys = keys.clone();
+                let values = values.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for (k, v) in keys.iter().zip(&values) {
+                            if let Some(got) = store.get(k) {
+                                assert_eq!(&got[..], &v[..], "reader saw wrong bytes");
+                            }
+                        }
+                    }
+                })
+            };
+
+            for (k, v) in keys.iter().zip(&values) {
+                store.put(k, v).unwrap();
+                prop_assert!(
+                    store.bytes() <= capacity,
+                    "store {} bytes over the {capacity}-byte budget",
+                    store.bytes()
+                );
+            }
+            // Every key is now exact or a clean miss; a re-put of a missing
+            // key (the "re-simulate" of the serving path) reads back exact.
+            for (k, v) in keys.iter().zip(&values) {
+                match store.get(k) {
+                    Some(got) => prop_assert_eq!(&got[..], &v[..]),
+                    None => {
+                        store.put(k, v).unwrap();
+                        if let Some(got) = store.get(k) {
+                            prop_assert_eq!(&got[..], &v[..]);
+                        }
+                        prop_assert!(store.bytes() <= capacity);
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            reader.join().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 mod decoder_props {
     use super::*;
     use proptest::prelude::*;
