@@ -19,7 +19,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Panic-free core: the simulator's engine + mpi + net + serve lib trees deny
 # unwrap/panic at the crate level (`#![cfg_attr(not(test),
 # deny(clippy::unwrap_used, clippy::panic))]`); this scoped pass keeps that
-# gate visible in CI.
+# gate visible in CI. The ghost-net pass covers the contention layer
+# (`contend.rs` link charging + routing and the topology link graphs).
 echo "==> cargo clippy -p ghost-engine -p ghost-mpi -p ghost-net -p ghost-serve --lib (panic-free gate)"
 cargo clippy -p ghost-engine -p ghost-mpi -p ghost-net -p ghost-serve --lib -- -D warnings
 
@@ -239,6 +240,45 @@ grep -q '"calendar_eps"' BENCH_engine.json \
 grep -q '"ranks": 8192' BENCH_engine.json \
     || { echo "engine bench: BENCH_engine.json is missing the 8192-rank row"; exit 1; }
 echo "engine bench: ok"
+
+# Contention bench: the neighbor-job experiment (victim halo job next to a
+# bandwidth hog on one dragonfly global channel, minimal vs UGAL routing)
+# plus the contended-pair netgauge split. The emitter itself asserts that
+# adaptive routing strictly reduces the victim's worst-case slowdown; the
+# greps pin the BENCH_net.json fields EXPERIMENTS.md cites.
+echo "==> cargo bench --bench perf_net (BENCH_net.json)"
+rm -f BENCH_net.json
+CRITERION_MEASURE_MS=80 CRITERION_WARMUP_MS=20 \
+    cargo bench -p ghost-bench --bench perf_net -q > /dev/null
+[ -s BENCH_net.json ] \
+    || { echo "contention bench: BENCH_net.json was not written"; exit 1; }
+grep -q '"hog_slowdown_minimal"' BENCH_net.json \
+    || { echo "contention bench: BENCH_net.json is missing the minimal-routing slowdown"; exit 1; }
+grep -q '"hog_slowdown_ugal"' BENCH_net.json \
+    || { echo "contention bench: BENCH_net.json is missing the UGAL slowdown"; exit 1; }
+grep -q '"adaptive_wins": true' BENCH_net.json \
+    || { echo "contention bench: adaptive routing did not beat minimal on the hotspot"; exit 1; }
+awk -F': ' '
+    /"hog_slowdown_minimal"/ { minimal = $2 + 0 }
+    /"hog_slowdown_ugal"/ { ugal = $2 + 0 }
+    END {
+        if (!(minimal > ugal)) {
+            printf "contention bench: minimal x%.2f must exceed ugal x%.2f\n", minimal, ugal
+            exit 1
+        }
+    }' BENCH_net.json \
+    || { echo "contention bench: slowdown ordering violated"; exit 1; }
+grep -q '"netgauge_degradation"' BENCH_net.json \
+    || { echo "contention bench: BENCH_net.json is missing the netgauge pair split"; exit 1; }
+echo "contention bench: ok"
+
+# Netgauge CLI smoke: the contended-pair gauge through the real binary.
+echo "==> ghostsim netgauge smoke test"
+./target/release/ghostsim netgauge --nodes 4 --link-mbps 1000 > "$SMOKE_DIR/netgauge.txt" \
+    || { echo "netgauge smoke: run failed"; exit 1; }
+grep -q 'paired' "$SMOKE_DIR/netgauge.txt" \
+    || { echo "netgauge smoke: no paired-flow line in output"; exit 1; }
+echo "netgauge smoke: ok"
 
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --workspace

@@ -1,0 +1,219 @@
+//! Co-scheduled neighbor-interference workload.
+//!
+//! HPC schedulers routinely place two jobs on adjacent groups of the same
+//! machine. Without link-capacity contention the jobs are invisible to each
+//! other; with it, a bandwidth-hungry neighbor steals channel time from a
+//! latency-sensitive victim that shares its global links. [`NeighborHog`]
+//! reproduces that experiment: a *victim job* of latency-bound rank pairs
+//! exchanging small messages between topology groups 0 and 1, co-scheduled
+//! with a *hog job* of rank pairs blasting large messages across the same
+//! group boundary. Sweeping the hog intensity against the routing policy
+//! measures how much slowdown the victim absorbs — and how much adaptive
+//! routing gives back by detouring around the jammed channel.
+//!
+//! Rank layout for a group span of `s` ranks (the first two topology
+//! groups; any further ranks stay idle and only provide detour paths):
+//!
+//! ```text
+//! group 0: rank 0..s      even local index = victim, odd = hog
+//! group 1: rank s..2s     rank s+i mirrors rank i
+//! ```
+
+use ghost_mpi::types::MpiCall;
+use ghost_mpi::{Program, ScriptProgram};
+
+use crate::workload::Workload;
+
+/// Victim/hog co-schedule across the first two topology groups.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborHog {
+    /// Victim timesteps: each is compute + one small cross-group exchange.
+    pub steps: usize,
+    /// Ranks per topology group (the victim/hog region is `2 * span`).
+    pub span: usize,
+    /// Victim payload per exchange (bytes) — small, latency-bound.
+    pub victim_bytes: u64,
+    /// Hog payload per message (bytes) — large, bandwidth-bound.
+    pub hog_bytes: u64,
+    /// Hog messages per victim step; 0 leaves the neighbor job idle (the
+    /// interference-free baseline of the same shape).
+    pub hog_factor: usize,
+    /// Victim compute per step (ns).
+    pub compute: u64,
+}
+
+impl NeighborHog {
+    /// A victim job of `steps` small exchanges over `span`-rank groups,
+    /// with an idle neighbor. Raise [`Self::hog_factor`] to turn on the
+    /// interference.
+    pub fn new(steps: usize, span: usize) -> Self {
+        assert!(span >= 2, "span must fit at least one victim and one hog");
+        Self {
+            steps,
+            span,
+            victim_bytes: 8,
+            hog_bytes: 1 << 20,
+            hog_factor: 0,
+            compute: 50_000,
+        }
+    }
+
+    /// Replace the hog intensity (messages per victim step).
+    pub fn with_hog_factor(mut self, hog_factor: usize) -> Self {
+        self.hog_factor = hog_factor;
+        self
+    }
+
+    /// Ranks belonging to the victim job (both sides of every victim pair),
+    /// ascending.
+    pub fn victim_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.span).step_by(2).collect();
+        v.extend((0..self.span).step_by(2).map(|i| self.span + i));
+        v.sort_unstable();
+        v
+    }
+
+    /// Tag for victim exchange `step` (disjoint from hog tags).
+    fn victim_tag(step: usize) -> u64 {
+        (step as u64) << 1
+    }
+
+    /// Tag for hog message `k` of step `step`.
+    fn hog_tag(&self, step: usize, k: usize) -> u64 {
+        ((step * self.hog_factor.max(1) + k) as u64) << 1 | 1
+    }
+
+    /// The call script for `rank` in a `size`-rank run.
+    fn script(&self, rank: usize, size: usize) -> Vec<MpiCall> {
+        assert!(
+            size >= 2 * self.span,
+            "NeighborHog needs {} ranks (2 x span), got {size}",
+            2 * self.span
+        );
+        let local = rank % self.span;
+        let in_region = rank < 2 * self.span;
+        let victim = in_region && local.is_multiple_of(2);
+        let mut out = Vec::new();
+        if !in_region {
+            return out; // idle filler: exists only to widen the topology
+        }
+        let peer = if rank < self.span {
+            rank + self.span
+        } else {
+            rank - self.span
+        };
+        for step in 0..self.steps {
+            if victim {
+                // Both pair ends run the same compute+exchange loop, so the
+                // pair's finish time is set by the cross-group channel.
+                out.push(MpiCall::Compute(self.compute));
+                let tag = Self::victim_tag(step);
+                out.push(MpiCall::Sendrecv {
+                    dst: peer,
+                    stag: tag,
+                    sbytes: self.victim_bytes,
+                    svalue: rank as f64,
+                    src: peer,
+                    rtag: tag,
+                });
+            } else if rank < self.span {
+                // Group-0 hog: blast large messages at the group-1 partner.
+                for k in 0..self.hog_factor {
+                    out.push(MpiCall::Send {
+                        dst: peer,
+                        tag: self.hog_tag(step, k),
+                        bytes: self.hog_bytes,
+                        value: rank as f64,
+                    });
+                }
+            } else {
+                // Group-1 hog partner: sink the blast.
+                for k in 0..self.hog_factor {
+                    out.push(MpiCall::Recv {
+                        src: peer,
+                        tag: self.hog_tag(step, k),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Workload for NeighborHog {
+    fn name(&self) -> String {
+        format!(
+            "neighbor-hog(span={}, hog x{}, {} steps)",
+            self.span, self.hog_factor, self.steps
+        )
+    }
+
+    fn programs(&self, size: usize, _seed: u64) -> Vec<Box<dyn Program>> {
+        (0..size)
+            .map(|rank| ScriptProgram::new(self.script(rank, size)).boxed())
+            .collect()
+    }
+
+    fn nominal_compute_per_rank(&self) -> u64 {
+        self.steps as u64 * self.compute
+    }
+
+    fn collectives_per_rank(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghost_mpi::Machine;
+    use ghost_net::{Dragonfly, LogGP, Network};
+    use ghost_noise::NoNoise;
+
+    fn run(w: &NeighborHog, p: usize) -> ghost_mpi::RunResult {
+        let net = Network::new(LogGP::mpp(), Box::new(Dragonfly::new(4, 2, 2)));
+        assert_eq!(net.nodes(), p);
+        Machine::new(net, &NoNoise, 5)
+            .run(w.programs(p, 5))
+            .unwrap()
+    }
+
+    #[test]
+    fn idle_neighbor_moves_no_hog_bytes() {
+        let w = NeighborHog::new(3, 4);
+        let r = run(&w, 16);
+        // 2 victim pairs x 3 steps x 2 directions of the Sendrecv.
+        assert_eq!(r.messages, 12);
+    }
+
+    #[test]
+    fn hog_traffic_scales_with_factor() {
+        let r1 = run(&NeighborHog::new(3, 4).with_hog_factor(1), 16);
+        let r4 = run(&NeighborHog::new(3, 4).with_hog_factor(4), 16);
+        // +2 hog pairs x 3 steps x factor messages.
+        assert_eq!(r1.messages, 12 + 6);
+        assert_eq!(r4.messages, 12 + 24);
+    }
+
+    #[test]
+    fn victim_ranks_cover_both_groups() {
+        let w = NeighborHog::new(1, 4);
+        assert_eq!(w.victim_ranks(), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn deterministic_scripts() {
+        let w = NeighborHog::new(2, 4).with_hog_factor(2);
+        let a = run(&w, 16);
+        let b = run(&w, 16);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.finish_times, b.finish_times);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 8 ranks")]
+    fn undersized_machine_rejected() {
+        let w = NeighborHog::new(1, 4);
+        let _ = w.programs(6, 0);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod bsp;
 pub mod cth;
 pub mod halo;
+pub mod hog;
 pub mod imbalance;
 pub mod pop;
 pub mod sage;
@@ -34,6 +35,7 @@ pub mod workload;
 
 pub use bsp::BspSynthetic;
 pub use cth::CthLike;
+pub use hog::NeighborHog;
 pub use imbalance::LoadImbalance;
 pub use pop::PopLike;
 pub use sage::SageLike;

@@ -1,0 +1,127 @@
+//! Criterion: link-contention hot path — `ContendState::transmit` routing
+//! and charging throughput — plus the `BENCH_net.json` emitter: victim-job
+//! slowdown under a co-scheduled bandwidth-hog neighbor on a dragonfly,
+//! minimal vs UGAL routing, and the contended-pair netgauge bandwidth
+//! split. CI runs the emitter and asserts that adaptive routing strictly
+//! reduces the victim's worst-case slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ghost_apps::NeighborHog;
+use ghost_core::contention::{neighbor_summary, neighbor_sweep, neighbor_table};
+use ghost_core::experiment::{ExperimentSpec, TopoPreset};
+use ghost_core::netgauge::try_contended_pair;
+use ghost_net::{ContendCfg, ContendState, Dragonfly, Routing, Topology, Torus3D};
+
+fn bench_transmit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contend_transmit");
+    let n_msgs = 10_000u64;
+    g.throughput(Throughput::Elements(n_msgs));
+    for (label, topo, routing) in [
+        (
+            "dragonfly_minimal",
+            Box::new(Dragonfly::new(8, 4, 4)) as Box<dyn Topology>,
+            Routing::Minimal,
+        ),
+        (
+            "dragonfly_ugal",
+            Box::new(Dragonfly::new(8, 4, 4)),
+            Routing::Ugal,
+        ),
+        ("torus_ugal", Box::new(Torus3D::new(4, 4, 4)), Routing::Ugal),
+    ] {
+        let nodes = topo.nodes();
+        g.bench_function(format!("{label}_10k_msgs"), |b| {
+            b.iter(|| {
+                let cfg = ContendCfg {
+                    link_mbps: 1000,
+                    routing,
+                };
+                let mut s = ContendState::new(topo.as_ref(), cfg, 50, 7);
+                let mut acc = 0u64;
+                for i in 0..n_msgs {
+                    let src = (i as usize * 17) % nodes;
+                    let dst = (i as usize * 31 + 1) % nodes;
+                    acc = acc.wrapping_add(s.transmit(topo.as_ref(), src, dst, 65_536, i * 200));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The hotspot shape of the neighbor experiment: 4 dragonfly groups (so
+/// UGAL has detour capacity), victim and hog pairs straddling the single
+/// group-0 <-> group-1 global channel.
+fn hotspot() -> (ExperimentSpec, NeighborHog) {
+    let mut spec = ExperimentSpec::flat(32, 11).with_contention(1000, Routing::Minimal);
+    spec.topo = TopoPreset::Dragonfly {
+        groups: 4,
+        routers: 2,
+        hosts: 4,
+    };
+    (spec, NeighborHog::new(4, 8))
+}
+
+/// Emit `BENCH_net.json` at the workspace root: the victim-slowdown curve
+/// over hog intensity for both routing policies, the per-routing worst
+/// case, and the contended-pair bandwidth split.
+fn emit_bench_json(_c: &mut Criterion) {
+    let (spec, hog) = hotspot();
+    let factors = [1usize, 2, 4, 8];
+    let recs = neighbor_sweep(&spec, &hog, &factors, &[Routing::Minimal, Routing::Ugal])
+        .expect("neighbor sweep failed");
+    eprintln!("{}", neighbor_table(&recs));
+    let summary = neighbor_summary(&recs);
+    assert!(
+        summary.adaptive_wins(),
+        "UGAL must beat minimal on the hotspot: ugal {} vs minimal {}",
+        summary.hog_slowdown_ugal,
+        summary.hog_slowdown_minimal
+    );
+
+    let gauge_spec = ExperimentSpec::flat(4, 2).with_contention(1000, Routing::Minimal);
+    let gauge = try_contended_pair(&gauge_spec, 1 << 20, 16).expect("netgauge deadlocked");
+
+    let rows: Vec<String> = recs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"routing\": \"{}\", \"hog_factor\": {}, \"victim_finish_ns\": {}, \
+                 \"slowdown\": {:.4}, \"queued_ns\": {}, \"nonminimal\": {}}}",
+                r.routing.name(),
+                r.hog_factor,
+                r.victim_finish,
+                r.slowdown,
+                r.queued_ns,
+                r.nonminimal
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"shape\": \"dragonfly 4g x 2r x 4h, 1000 MB/s links, victim+hog over g0<->g1\",\n  \
+         \"hog_slowdown_minimal\": {:.4},\n  \"hog_slowdown_ugal\": {:.4},\n  \
+         \"adaptive_wins\": {},\n  \
+         \"netgauge_solo_mbps\": {:.1},\n  \"netgauge_paired_mbps\": {:.1},\n  \
+         \"netgauge_degradation\": {:.4},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        summary.hog_slowdown_minimal,
+        summary.hog_slowdown_ugal,
+        summary.adaptive_wins(),
+        gauge.solo_mbps(),
+        gauge.paired_mbps(),
+        gauge.degradation(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!(
+        "neighbor bench: minimal x{:.2}, ugal x{:.2}, netgauge pair x{:.2}",
+        summary.hog_slowdown_minimal,
+        summary.hog_slowdown_ugal,
+        gauge.degradation()
+    );
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(benches, bench_transmit, emit_bench_json);
+criterion_main!(benches);

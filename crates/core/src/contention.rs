@@ -1,0 +1,270 @@
+//! Neighbor-interference experiments: victim slowdown under a co-scheduled
+//! bandwidth hog, swept over hog intensity and routing policy.
+//!
+//! The paper measures how *kernel* activity steals time from an
+//! application; this family measures the network-side analogue — how a
+//! bandwidth-hungry neighbor job steals channel time from a latency-bound
+//! victim sharing its global links. A [`NeighborHog`] workload places the
+//! victim pairs and the hog pairs across the first two topology groups;
+//! [`neighbor_sweep`] runs it at each hog intensity under each routing
+//! policy and reports the victim job's finish-time inflation over the
+//! idle-neighbor baseline of the same shape, plus the link statistics
+//! ([`ghost_obs::record::NetStats`]) behind it.
+//!
+//! On a dragonfly, minimal routing funnels all victim and hog traffic over
+//! the single group-0↔group-1 global channel, so the victim pays the hog's
+//! whole queue; UGAL detours around the jam, so the victim's slowdown curve
+//! stays flat — [`NeighborSummary::adaptive_wins`] asserts exactly that.
+
+use ghost_apps::{NeighborHog, Workload};
+use ghost_engine::time::Time;
+use ghost_mpi::{RunLimits, RunResult};
+use ghost_net::Routing;
+use ghost_obs::record::{NetStats, Recorder};
+
+use crate::campaign::CampaignError;
+use crate::experiment::{try_run_workload_observed, ExperimentSpec};
+use crate::injection::NoiseInjection;
+
+/// Captures the one [`Recorder::network`] callback of a contended run.
+#[derive(Default)]
+struct NetTap(Option<NetStats>);
+
+impl Recorder for NetTap {
+    fn observes_events(&self) -> bool {
+        false
+    }
+    fn network(&mut self, stats: NetStats) {
+        self.0 = Some(stats);
+    }
+}
+
+/// One cell of a neighbor-interference sweep.
+#[derive(Debug, Clone)]
+pub struct NeighborRecord {
+    /// Hog messages per victim step (0 = the idle-neighbor baseline).
+    pub hog_factor: usize,
+    /// Routing policy of this run.
+    pub routing: Routing,
+    /// Victim-job finish time: the latest finish over all victim ranks (ns).
+    pub victim_finish: Time,
+    /// `victim_finish / baseline victim_finish` for the same routing.
+    pub slowdown: f64,
+    /// Total queuing delay charged across all links (ns).
+    pub queued_ns: u64,
+    /// Messages that took a non-minimal route.
+    pub nonminimal: u64,
+}
+
+/// The latest finish time over the victim job's ranks.
+pub fn victim_finish(run: &RunResult, hog: &NeighborHog) -> Time {
+    hog.victim_ranks()
+        .iter()
+        .map(|&r| run.finish_times[r])
+        .max()
+        .unwrap_or(run.makespan)
+}
+
+fn run_cell(
+    spec: &ExperimentSpec,
+    hog: &NeighborHog,
+    label: &str,
+) -> Result<(RunResult, NetStats), CampaignError> {
+    let mut tap = NetTap::default();
+    let run = try_run_workload_observed(
+        spec,
+        hog,
+        &NoiseInjection::none(),
+        RunLimits::none(),
+        &mut tap,
+    )
+    .map_err(|e| CampaignError::ScenarioFailed {
+        label: label.to_owned(),
+        reason: e.to_string(),
+    })?;
+    let stats = tap.0.ok_or_else(|| CampaignError::ScenarioFailed {
+        label: label.to_owned(),
+        reason: "contended run reported no network statistics".into(),
+    })?;
+    Ok((run, stats))
+}
+
+/// Sweep `hog` over `hog_factors` × `routings` on the contended machine
+/// `spec` and report each cell's victim slowdown against the idle-neighbor
+/// baseline of the same routing. Rows come back grouped by routing, in
+/// `hog_factors` order, baseline (factor 0) first.
+///
+/// `spec` must have contention enabled ([`ExperimentSpec::with_contention`])
+/// — on an infinite-capacity fabric the neighbor is invisible by
+/// construction and the sweep would measure nothing.
+pub fn neighbor_sweep(
+    spec: &ExperimentSpec,
+    hog: &NeighborHog,
+    hog_factors: &[usize],
+    routings: &[Routing],
+) -> Result<Vec<NeighborRecord>, CampaignError> {
+    if !spec.contend.enabled() {
+        return Err(CampaignError::ScenarioFailed {
+            label: "neighbor-sweep".into(),
+            reason: "contention disabled: set ExperimentSpec::with_contention".into(),
+        });
+    }
+    let mut out = Vec::new();
+    for &routing in routings {
+        let rspec = spec.with_contention(spec.contend.link_mbps, routing);
+        let base_hog = hog.with_hog_factor(0);
+        let label = format!("{}/{}", base_hog.name(), routing.name());
+        let (base_run, base_stats) = run_cell(&rspec, &base_hog, &label)?;
+        let base_finish = victim_finish(&base_run, &base_hog).max(1);
+        out.push(NeighborRecord {
+            hog_factor: 0,
+            routing,
+            victim_finish: base_finish,
+            slowdown: 1.0,
+            queued_ns: base_stats.queued_ns,
+            nonminimal: base_stats.nonminimal,
+        });
+        for &factor in hog_factors {
+            if factor == 0 {
+                continue; // the baseline row above already covers it
+            }
+            let cell = hog.with_hog_factor(factor);
+            let label = format!("{}/{}", cell.name(), routing.name());
+            let (run, stats) = run_cell(&rspec, &cell, &label)?;
+            let finish = victim_finish(&run, &cell);
+            out.push(NeighborRecord {
+                hog_factor: factor,
+                routing,
+                victim_finish: finish,
+                slowdown: finish as f64 / base_finish as f64,
+                queued_ns: stats.queued_ns,
+                nonminimal: stats.nonminimal,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Render a neighbor sweep as an aligned text table.
+pub fn neighbor_table(records: &[NeighborRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("routing  hog   victim-finish  slowdown  queued       nonminimal\n");
+    for r in records {
+        out.push_str(&format!(
+            "{:<8} {:<5} {:<14} {:<9.3} {:<12} {}\n",
+            r.routing.name(),
+            r.hog_factor,
+            ghost_engine::time::format_time(r.victim_finish),
+            r.slowdown,
+            ghost_engine::time::format_time(r.queued_ns),
+            r.nonminimal,
+        ));
+    }
+    out
+}
+
+/// Headline numbers of a neighbor sweep: the worst victim slowdown under
+/// each routing policy, and whether adapting actually helped.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborSummary {
+    /// Worst victim slowdown over the sweep under minimal routing.
+    pub hog_slowdown_minimal: f64,
+    /// Worst victim slowdown over the sweep under UGAL routing.
+    pub hog_slowdown_ugal: f64,
+}
+
+impl NeighborSummary {
+    /// Whether adaptive routing strictly reduced the worst-case victim
+    /// slowdown.
+    pub fn adaptive_wins(&self) -> bool {
+        self.hog_slowdown_ugal < self.hog_slowdown_minimal
+    }
+}
+
+/// Reduce sweep rows to the per-routing worst slowdowns.
+pub fn neighbor_summary(records: &[NeighborRecord]) -> NeighborSummary {
+    let worst = |routing: Routing| {
+        records
+            .iter()
+            .filter(|r| r.routing == routing)
+            .map(|r| r.slowdown)
+            .fold(1.0f64, f64::max)
+    };
+    NeighborSummary {
+        hog_slowdown_minimal: worst(Routing::Minimal),
+        hog_slowdown_ugal: worst(Routing::Ugal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TopoPreset;
+
+    /// The hotspot shape: 4 dragonfly groups so UGAL has spare groups to
+    /// detour through, hog pairs saturating the single g0->g1 channel.
+    fn hotspot() -> (ExperimentSpec, NeighborHog) {
+        let mut spec = ExperimentSpec::flat(32, 11).with_contention(1000, Routing::Minimal);
+        spec.topo = TopoPreset::Dragonfly {
+            groups: 4,
+            routers: 2,
+            hosts: 4,
+        };
+        (spec, NeighborHog::new(4, 8))
+    }
+
+    #[test]
+    fn hog_slows_victim_and_ugal_recovers() {
+        let (spec, hog) = hotspot();
+        let recs = neighbor_sweep(&spec, &hog, &[4], &[Routing::Minimal, Routing::Ugal]).unwrap();
+        assert_eq!(recs.len(), 4, "baseline + one cell per routing");
+        let s = neighbor_summary(&recs);
+        assert!(
+            s.hog_slowdown_minimal > 1.05,
+            "hog must visibly slow the victim under minimal routing: {}",
+            s.hog_slowdown_minimal
+        );
+        assert!(
+            s.adaptive_wins(),
+            "UGAL must beat minimal on the hotspot: ugal {} vs minimal {}",
+            s.hog_slowdown_ugal,
+            s.hog_slowdown_minimal
+        );
+        let ugal_jam = recs
+            .iter()
+            .find(|r| r.routing == Routing::Ugal && r.hog_factor == 4)
+            .unwrap();
+        assert!(ugal_jam.nonminimal > 0, "UGAL never detoured");
+        let table = neighbor_table(&recs);
+        assert!(table.contains("ugal") && table.contains("minimal"));
+    }
+
+    #[test]
+    fn slowdown_grows_with_hog_intensity() {
+        let (spec, hog) = hotspot();
+        let recs = neighbor_sweep(&spec, &hog, &[1, 6], &[Routing::Minimal]).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(recs[1].slowdown <= recs[2].slowdown);
+        assert!(recs[2].queued_ns > recs[1].queued_ns);
+    }
+
+    #[test]
+    fn sweep_requires_contention() {
+        let (mut spec, hog) = hotspot();
+        spec = spec.with_contention(0, Routing::Minimal);
+        let err = neighbor_sweep(&spec, &hog, &[1], &[Routing::Minimal]).unwrap_err();
+        assert!(err.to_string().contains("contention disabled"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let (spec, hog) = hotspot();
+        let a = neighbor_sweep(&spec, &hog, &[3], &[Routing::Ugal]).unwrap();
+        let b = neighbor_sweep(&spec, &hog, &[3], &[Routing::Ugal]).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.victim_finish, y.victim_finish);
+            assert_eq!(x.queued_ns, y.queued_ns);
+            assert_eq!(x.nonminimal, y.nonminimal);
+        }
+    }
+}

@@ -2,7 +2,8 @@
 
 use ghost_apps::Workload;
 use ghost_mpi::{CollectiveConfig, Machine, Program, RecvMode, RunError, RunLimits, RunResult};
-use ghost_net::{FatTree, Flat, LogGP, Network, Torus3D};
+use ghost_net::{ContendCfg, Dragonfly, FatTree, Flat, LogGP, Network, Routing, Torus3D};
+use ghost_obs::record::Recorder;
 
 use crate::campaign::{Campaign, CampaignError};
 use crate::injection::NoiseInjection;
@@ -31,6 +32,16 @@ pub enum TopoPreset {
         /// Ports per leaf switch.
         arity: usize,
     },
+    /// Dragonfly: `groups` all-to-all-connected groups of `routers`
+    /// routers, each hosting `hosts` nodes.
+    Dragonfly {
+        /// Number of groups.
+        groups: usize,
+        /// Routers per group.
+        routers: usize,
+        /// Hosts per router.
+        hosts: usize,
+    },
 }
 
 /// A machine + methodology configuration, independent of workload and noise.
@@ -52,6 +63,9 @@ pub struct ExperimentSpec {
     pub coll: CollectiveConfig,
     /// How ranks notice message arrivals (polling LWK vs interrupt kernel).
     pub recv_mode: RecvMode,
+    /// Link-contention model (`ContendCfg::off()` reproduces the
+    /// infinite-capacity LogGP fabric byte for byte).
+    pub contend: ContendCfg,
 }
 
 impl ExperimentSpec {
@@ -65,6 +79,7 @@ impl ExperimentSpec {
             seed,
             coll: CollectiveConfig::default(),
             recv_mode: RecvMode::Polling,
+            contend: ContendCfg::off(),
         }
     }
 
@@ -82,6 +97,53 @@ impl ExperimentSpec {
         self
     }
 
+    /// Turn on the link-contention model: `link_mbps` of capacity per
+    /// channel, routed by `routing`. `link_mbps == 0` keeps it off.
+    pub fn with_contention(mut self, link_mbps: u32, routing: Routing) -> Self {
+        self.contend = ContendCfg { link_mbps, routing };
+        self
+    }
+
+    /// Check shape parameters that the topology constructors would
+    /// otherwise assert (or divide by zero) on, so specs arriving from a
+    /// wire or CLI yield typed errors instead of panics.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.topo {
+            TopoPreset::Flat | TopoPreset::Torus3D => Ok(()),
+            TopoPreset::FatTree { arity } => {
+                if arity == 0 {
+                    return Err("fat tree needs a switch arity of at least 1".into());
+                }
+                Ok(())
+            }
+            TopoPreset::Dragonfly {
+                groups,
+                routers,
+                hosts,
+            } => {
+                if groups == 0 || routers == 0 || hosts == 0 {
+                    return Err(format!(
+                        "dragonfly shape {groups}x{routers}x{hosts} has an empty dimension"
+                    ));
+                }
+                let capacity = groups
+                    .checked_mul(routers)
+                    .and_then(|gr| gr.checked_mul(hosts))
+                    .ok_or_else(|| {
+                        format!("dragonfly shape {groups}x{routers}x{hosts} overflows")
+                    })?;
+                if capacity < self.nodes {
+                    return Err(format!(
+                        "dragonfly {groups}x{routers}x{hosts} holds {capacity} hosts, \
+                         fewer than the {} ranks requested",
+                        self.nodes
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Build the network for this spec.
     pub fn build_network(&self) -> Network {
         let params = match self.net {
@@ -93,6 +155,11 @@ impl ExperimentSpec {
             TopoPreset::Flat => Box::new(Flat::new(self.nodes)),
             TopoPreset::Torus3D => Box::new(Torus3D::at_least(self.nodes)),
             TopoPreset::FatTree { arity } => Box::new(FatTree::new(self.nodes, arity)),
+            TopoPreset::Dragonfly {
+                groups,
+                routers,
+                hosts,
+            } => Box::new(Dragonfly::new(groups, routers, hosts)),
         };
         Network::new(params, topo)
     }
@@ -118,20 +185,46 @@ pub fn try_run_workload_limited(
     injection: &NoiseInjection,
     limits: RunLimits,
 ) -> Result<RunResult, RunError> {
-    let net = spec.build_network();
     let model = injection.build();
     let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
-    let mut m = Machine::new(net, model.as_ref(), spec.seed)
+    build_machine(spec, model.as_ref(), injection, limits).run(programs)
+}
+
+/// [`try_run_workload_limited`] with a streaming [`Recorder`] attached —
+/// the entry point that surfaces network-contention statistics (the
+/// executor calls [`Recorder::network`] once per contended run).
+pub fn try_run_workload_observed<R: Recorder>(
+    spec: &ExperimentSpec,
+    workload: &dyn Workload,
+    injection: &NoiseInjection,
+    limits: RunLimits,
+    rec: &mut R,
+) -> Result<RunResult, RunError> {
+    let model = injection.build();
+    let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
+    build_machine(spec, model.as_ref(), injection, limits).run_with(programs, rec)
+}
+
+/// Assemble the executor for one run of `spec` under `injection`.
+fn build_machine<'a>(
+    spec: &ExperimentSpec,
+    model: &'a dyn ghost_noise::model::NoiseModel,
+    injection: &NoiseInjection,
+    limits: RunLimits,
+) -> Machine<'a> {
+    let net = spec.build_network();
+    let mut m = Machine::new(net, model, spec.seed)
         .with_config(spec.coll)
         .with_recv_mode(spec.recv_mode)
-        .with_limits(limits);
+        .with_limits(limits)
+        .with_contention(spec.contend);
     if !injection.faults().is_empty() {
         m = m.with_faults(injection.faults().clone());
     }
     if let Some(l) = injection.lossy() {
         m = m.with_lossy(l);
     }
-    m.run(programs)
+    m
 }
 
 /// Run `workload` once under `injection`.
@@ -277,14 +370,82 @@ mod tests {
             TopoPreset::Flat,
             TopoPreset::Torus3D,
             TopoPreset::FatTree { arity: 4 },
+            TopoPreset::Dragonfly {
+                groups: 3,
+                routers: 2,
+                hosts: 3,
+            },
         ] {
             let spec = ExperimentSpec {
                 topo,
                 ..ExperimentSpec::flat(17, 1)
             };
+            spec.validate().unwrap();
             let net = spec.build_network();
             assert!(net.nodes() >= 17, "{topo:?}");
         }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_shapes() {
+        let mk = |topo| ExperimentSpec {
+            topo,
+            ..ExperimentSpec::flat(17, 1)
+        };
+        assert!(mk(TopoPreset::FatTree { arity: 0 }).validate().is_err());
+        for (groups, routers, hosts) in [(0, 2, 3), (3, 0, 3), (3, 2, 0), (2, 2, 2)] {
+            assert!(
+                mk(TopoPreset::Dragonfly {
+                    groups,
+                    routers,
+                    hosts
+                })
+                .validate()
+                .is_err(),
+                "{groups}x{routers}x{hosts} must not validate for 17 ranks"
+            );
+        }
+        assert!(mk(TopoPreset::Dragonfly {
+            groups: usize::MAX,
+            routers: 2,
+            hosts: 2
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn contended_spec_slows_a_hotspot_and_keys_separately() {
+        use ghost_apps::CthLike;
+        let base = ExperimentSpec {
+            net: NetPreset::Commodity,
+            ..ExperimentSpec::flat(8, 3)
+        };
+        let contended = base.with_contention(60, Routing::Minimal);
+        // Distinct cache keys: the campaign baseline memo must not conflate
+        // a contended machine with the free-fabric one.
+        assert_ne!(base, contended);
+        let heavy = CthLike {
+            steps: 2,
+            compute: MS,
+            halo_bytes: 1024 * 1024,
+            ..CthLike::with_steps(2)
+        };
+        let free = run_workload(&base, &heavy, &NoiseInjection::none());
+        let jam = run_workload(&contended, &heavy, &NoiseInjection::none());
+        assert!(
+            jam.makespan > free.makespan,
+            "halo exchange on a 60 MB/s fabric must queue: {} vs {}",
+            jam.makespan,
+            free.makespan
+        );
+        // Explicitly-off contention stays byte-identical.
+        let off = run_workload(
+            &base.with_contention(0, Routing::Ugal),
+            &heavy,
+            &NoiseInjection::none(),
+        );
+        assert_eq!(free, off);
     }
 
     #[test]

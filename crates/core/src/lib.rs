@@ -46,6 +46,7 @@
 
 pub mod analytic;
 pub mod campaign;
+pub mod contention;
 pub mod experiment;
 pub mod injection;
 pub mod metrics;

@@ -175,10 +175,116 @@ pub fn try_pingpong(
     Machine::new(net, model.as_ref(), spec.seed)
         .with_config(spec.coll)
         .with_recv_mode(spec.recv_mode)
+        .with_contention(spec.contend)
         .run(programs)?;
     Ok(NetgaugeRun {
         rtts: samples.into_iter().collect(),
         peer,
+    })
+}
+
+/// Effective bandwidth measured by the contended-pair gauge: one streaming
+/// flow alone, then two flows sharing the sink's ejection channel.
+///
+/// On an infinite-capacity fabric (contention off) the two flows barely see
+/// each other; on a contended fabric each measures roughly half the channel
+/// — [`Self::degradation`] is the ratio a real netgauge bandwidth benchmark
+/// would report when a rival job shares the link.
+#[derive(Debug, Clone, Copy)]
+pub struct ContendedGauge {
+    /// Bytes each flow streamed (`bytes * rounds`).
+    pub per_flow_bytes: u64,
+    /// Makespan of the solo run (one flow) in ns.
+    pub solo_makespan: Time,
+    /// Makespan of the paired run (two flows) in ns.
+    pub paired_makespan: Time,
+}
+
+impl ContendedGauge {
+    /// Effective bandwidth of the solo flow, MB/s (bytes/µs).
+    pub fn solo_mbps(&self) -> f64 {
+        self.per_flow_bytes as f64 * 1000.0 / self.solo_makespan.max(1) as f64
+    }
+
+    /// Effective per-flow bandwidth with the rival active, MB/s.
+    pub fn paired_mbps(&self) -> f64 {
+        self.per_flow_bytes as f64 * 1000.0 / self.paired_makespan.max(1) as f64
+    }
+
+    /// `paired / solo` bandwidth ratio: ~1.0 uncontended, ~0.5 when the
+    /// shared channel is the bottleneck.
+    pub fn degradation(&self) -> f64 {
+        self.paired_mbps() / self.solo_mbps().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Build the streaming scripts for a `flows`-flow gauge run into rank 0.
+fn gauge_programs(nodes: usize, flows: usize, bytes: u64, rounds: usize) -> Vec<Box<dyn Program>> {
+    let tag = |flow: usize, k: usize| ((k as u64) << 1) | (flow as u64 - 1);
+    (0..nodes)
+        .map(|rank| {
+            let calls: Vec<MpiCall> = if rank == 0 {
+                // Sink: post every receive up front so the flows race on
+                // the wire, not on receive ordering.
+                let mut c = Vec::with_capacity(flows * rounds + 1);
+                for k in 0..rounds {
+                    for f in 1..=flows {
+                        c.push(MpiCall::Irecv {
+                            src: f,
+                            tag: tag(f, k),
+                        });
+                    }
+                }
+                c.push(MpiCall::WaitAll);
+                c
+            } else if rank <= flows {
+                (0..rounds)
+                    .map(|k| MpiCall::Send {
+                        dst: 0,
+                        tag: tag(rank, k),
+                        bytes,
+                        value: rank as f64,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            ghost_mpi::ScriptProgram::new(calls).boxed()
+        })
+        .collect()
+}
+
+/// Run the contended-pair bandwidth gauge on `spec`: rank 1 streams
+/// `rounds` messages of `bytes` into rank 0, first alone, then with rank 2
+/// streaming the same load into the same sink. Honors the spec's
+/// contention model, so the paired flows halve only when the fabric has
+/// finite channel capacity.
+///
+/// # Panics
+///
+/// Panics if `spec.nodes < 3` or `rounds == 0`.
+pub fn try_contended_pair(
+    spec: &ExperimentSpec,
+    bytes: u64,
+    rounds: usize,
+) -> Result<ContendedGauge, RunError> {
+    assert!(spec.nodes >= 3, "contended pair needs ranks 0, 1 and 2");
+    assert!(rounds > 0, "zero-round gauge measures nothing");
+    let mut makespans = [0u64; 2];
+    for (i, flows) in [1usize, 2].into_iter().enumerate() {
+        let net = spec.build_network();
+        let model = NoiseInjection::none().build();
+        let r = Machine::new(net, model.as_ref(), spec.seed)
+            .with_config(spec.coll)
+            .with_recv_mode(spec.recv_mode)
+            .with_contention(spec.contend)
+            .run(gauge_programs(spec.nodes, flows, bytes, rounds))?;
+        makespans[i] = r.makespan;
+    }
+    Ok(ContendedGauge {
+        per_flow_bytes: bytes * rounds as u64,
+        solo_makespan: makespans[0],
+        paired_makespan: makespans[1],
     })
 }
 
@@ -296,5 +402,46 @@ mod tests {
     fn self_ping_rejected() {
         let spec = ExperimentSpec::flat(2, 1);
         pingpong(&spec, &NoiseInjection::none(), 0, 1);
+    }
+
+    #[test]
+    fn paired_flows_halve_on_a_contended_link() {
+        use ghost_net::Routing;
+        // 1 MB messages on a 1000 MB/s channel: ~1 ms serialization each,
+        // far above the LogGP per-message costs, so the ejection channel is
+        // the bottleneck and the rival flow steals half of it.
+        let spec = ExperimentSpec::flat(4, 2).with_contention(1000, Routing::Minimal);
+        let g = try_contended_pair(&spec, 1 << 20, 16).unwrap();
+        assert!(g.solo_mbps() > 0.0);
+        let d = g.degradation();
+        assert!(
+            (0.40..=0.60).contains(&d),
+            "each paired flow should measure ~half the channel: {d} \
+             (solo {:.0} MB/s, paired {:.0} MB/s)",
+            g.solo_mbps(),
+            g.paired_mbps()
+        );
+    }
+
+    #[test]
+    fn paired_flows_coexist_on_an_infinite_fabric() {
+        let spec = ExperimentSpec::flat(4, 2);
+        let g = try_contended_pair(&spec, 1 << 20, 16).unwrap();
+        assert!(
+            g.degradation() > 0.9,
+            "without contention the rival is nearly invisible: {}",
+            g.degradation()
+        );
+    }
+
+    #[test]
+    fn gauge_honors_spec_contention_in_pingpong() {
+        use ghost_net::Routing;
+        // The ping-pong path also routes through the contention model; a
+        // single 8-byte flow never queues, so RTTs stay constant.
+        let spec = ExperimentSpec::flat(4, 1).with_contention(1000, Routing::Ugal);
+        let run = pingpong(&spec, &NoiseInjection::none(), 2, 50);
+        let s = run.summary();
+        assert_eq!(s.min, s.max, "uncontended pings must not vary");
     }
 }

@@ -45,7 +45,8 @@ pub fn try_run_recorded<R: Recorder>(
     let programs: Vec<Box<dyn Program>> = workload.programs(spec.nodes, spec.seed);
     let mut m = Machine::new(net, model.as_ref(), spec.seed)
         .with_config(spec.coll)
-        .with_recv_mode(spec.recv_mode);
+        .with_recv_mode(spec.recv_mode)
+        .with_contention(spec.contend);
     if !injection.faults().is_empty() {
         m = m.with_faults(injection.faults().clone());
     }

@@ -26,8 +26,9 @@ use ghost_net::{LossyLink, RetryModel};
 use ghost_noise::fault::FaultPlan;
 use ghost_noise::model::PhasePolicy;
 use ghost_noise::Signature;
+use ghost_obs::record::{NetStats, Recorder};
 
-use crate::experiment::{try_run_workload_limited, ExperimentSpec};
+use crate::experiment::{try_run_workload_observed, ExperimentSpec};
 use crate::injection::NoiseInjection;
 use crate::metrics::Metrics;
 
@@ -298,6 +299,7 @@ impl ScenarioSpec {
         if self.machine.nodes == 0 {
             return Err("a scenario needs at least one node".into());
         }
+        self.machine.validate()?;
         self.injection.validate()
     }
 }
@@ -314,6 +316,24 @@ pub struct ScenarioOutcome {
     pub run: Arc<RunResult>,
     /// Slowdown/amplification metrics derived from the pair.
     pub metrics: Metrics,
+    /// Link-contention statistics of the run, when the machine enables the
+    /// contention model and the run was simulated here (a baseline served
+    /// from a cache carries none).
+    pub net: Option<NetStats>,
+}
+
+/// Recorder that keeps only the network-contention statistics (zero
+/// overhead otherwise: it declines the event stream).
+#[derive(Default)]
+struct NetTap(Option<NetStats>);
+
+impl Recorder for NetTap {
+    fn observes_events(&self) -> bool {
+        false
+    }
+    fn network(&mut self, stats: NetStats) {
+        self.0 = Some(stats);
+    }
 }
 
 /// Run one scenario: baseline plus injected run, under `limits`.
@@ -331,14 +351,16 @@ pub fn run_scenario(
     spec.validate()?;
     let workload = spec.workload.build();
     let injection = spec.injection.build(spec.machine.nodes);
+    let mut tap = NetTap::default();
     let baseline = match baseline {
         Some(b) => b,
         None => Arc::new(
-            try_run_workload_limited(
+            try_run_workload_observed(
                 &spec.machine,
                 workload.as_ref(),
                 &NoiseInjection::none(),
                 limits,
+                &mut tap,
             )
             .map_err(|e| e.to_string())?,
         ),
@@ -346,9 +368,17 @@ pub fn run_scenario(
     let run = if injection.is_pristine() {
         baseline.clone()
     } else {
+        // The injected run's network statistics supersede the baseline's.
+        tap = NetTap::default();
         Arc::new(
-            try_run_workload_limited(&spec.machine, workload.as_ref(), &injection, limits)
-                .map_err(|e| e.to_string())?,
+            try_run_workload_observed(
+                &spec.machine,
+                workload.as_ref(),
+                &injection,
+                limits,
+                &mut tap,
+            )
+            .map_err(|e| e.to_string())?,
         )
     };
     let metrics = Metrics::new(baseline.makespan, run.makespan, injection.net_fraction());
@@ -357,6 +387,7 @@ pub fn run_scenario(
         baseline,
         run,
         metrics,
+        net: tap.0,
     })
 }
 
@@ -464,6 +495,35 @@ mod tests {
         let reused = run_scenario(&s, RunLimits::none(), Some(full.baseline.clone())).unwrap();
         assert!(Arc::ptr_eq(&full.baseline, &reused.baseline));
         assert_eq!(full.metrics, reused.metrics);
+    }
+
+    #[test]
+    fn contended_scenarios_report_net_stats_and_validate_shapes() {
+        use crate::experiment::TopoPreset;
+        use ghost_net::Routing;
+        let mut s = spec();
+        s.machine.topo = TopoPreset::Dragonfly {
+            groups: 2,
+            routers: 2,
+            hosts: 1,
+        };
+        s.machine = s.machine.with_contention(1500, Routing::Ugal);
+        let outcome = run_scenario(&s, RunLimits::none(), None).unwrap();
+        let net = outcome.net.expect("contended run must report NetStats");
+        assert!(net.links > 0);
+
+        // Free-fabric scenarios stay silent.
+        let free = run_scenario(&spec(), RunLimits::none(), None).unwrap();
+        assert!(free.net.is_none());
+
+        // A dragonfly too small for the rank count is a typed error.
+        let mut bad = spec();
+        bad.machine.topo = TopoPreset::Dragonfly {
+            groups: 1,
+            routers: 1,
+            hosts: 1,
+        };
+        assert!(run_scenario(&bad, RunLimits::none(), None).is_err());
     }
 
     #[test]

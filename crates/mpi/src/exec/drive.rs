@@ -225,21 +225,38 @@ impl Machine<'_> {
                         sent: t1,
                         kind: msg_kind(tag),
                     });
-                    let arrive = t1
-                        .saturating_add(self.net.delivery(rank, peer, bytes))
-                        .saturating_add(retry);
                     *messages += 1;
-                    sink.schedule(
-                        arrive,
-                        Event::Deliver {
-                            dst: peer,
-                            src: rank,
-                            tag,
-                            value,
-                            sent: t1,
-                            retry,
-                        },
-                    );
+                    if self.contend.is_some() && peer != rank {
+                        // Contention: the message enters the network at t1;
+                        // the event loop charges its route and schedules
+                        // the delivery.
+                        sink.schedule(
+                            t1,
+                            Event::Xmit {
+                                dst: peer,
+                                src: rank,
+                                tag,
+                                value,
+                                retry,
+                                bytes,
+                            },
+                        );
+                    } else {
+                        let arrive = t1
+                            .saturating_add(self.net.delivery(rank, peer, bytes))
+                            .saturating_add(retry);
+                        sink.schedule(
+                            arrive,
+                            Event::Deliver {
+                                dst: peer,
+                                src: rank,
+                                tag,
+                                value,
+                                sent: t1,
+                                retry,
+                            },
+                        );
+                    }
                     if t1 == now {
                         continue;
                     }
@@ -306,21 +323,35 @@ impl Machine<'_> {
                         sent: t1,
                         kind: msg_kind(stag),
                     });
-                    let arrive = t1
-                        .saturating_add(self.net.delivery(rank, peer_send, sbytes))
-                        .saturating_add(retry);
                     *messages += 1;
-                    sink.schedule(
-                        arrive,
-                        Event::Deliver {
-                            dst: peer_send,
-                            src: rank,
-                            tag: stag,
-                            value: svalue,
-                            sent: t1,
-                            retry,
-                        },
-                    );
+                    if self.contend.is_some() && peer_send != rank {
+                        sink.schedule(
+                            t1,
+                            Event::Xmit {
+                                dst: peer_send,
+                                src: rank,
+                                tag: stag,
+                                value: svalue,
+                                retry,
+                                bytes: sbytes,
+                            },
+                        );
+                    } else {
+                        let arrive = t1
+                            .saturating_add(self.net.delivery(rank, peer_send, sbytes))
+                            .saturating_add(retry);
+                        sink.schedule(
+                            arrive,
+                            Event::Deliver {
+                                dst: peer_send,
+                                src: rank,
+                                tag: stag,
+                                value: svalue,
+                                sent: t1,
+                                retry,
+                            },
+                        );
+                    }
                     if t1 == now {
                         // Send overhead absorbed instantly; fall through to
                         // the receive half.

@@ -29,16 +29,35 @@ pub(super) enum Event {
         /// recovery rather than to the network.
         retry: Time,
     },
+    /// A message entering the network at its departure time — only emitted
+    /// when the link-contention model is enabled. The event loop (never a
+    /// parallel worker) charges the message's route through the shared
+    /// `ContendState` in deterministic pop order and schedules the
+    /// resulting [`Event::Deliver`] at the contention-adjusted arrival.
+    Xmit {
+        dst: Rank,
+        src: Rank,
+        tag: Tag,
+        value: f64,
+        /// Retransmission timeout delay (as on [`Event::Deliver`]).
+        retry: Time,
+        /// Payload size, needed to serialize the message on each link.
+        bytes: u64,
+    },
 }
 
 impl Event {
     /// The rank that processes this event (partitioning key for
-    /// conservative-parallel execution).
+    /// conservative-parallel execution). [`Event::Xmit`] is charged by the
+    /// coordinator, not a rank; its source rank stands in as the key (it is
+    /// intercepted before worker dispatch, so the value is never used to
+    /// route one to a worker).
     #[inline]
     pub(super) fn target(&self) -> Rank {
         match self {
             Event::Resume { rank, .. } => *rank,
             Event::Deliver { dst, .. } => *dst,
+            Event::Xmit { src, .. } => *src,
         }
     }
 }

@@ -6,7 +6,7 @@ use ghost_engine::des::DesQueue;
 use ghost_engine::queue::EventQueue;
 use ghost_engine::rng::NodeStream;
 use ghost_engine::time::{Time, Work};
-use ghost_net::{LossyLink, Network};
+use ghost_net::{ContendCfg, ContendState, LossyLink, Network};
 use ghost_noise::fault::FaultPlan;
 use ghost_noise::model::{streams, NoiseModel};
 
@@ -192,6 +192,7 @@ pub struct Machine<'a> {
     pub(super) recv_mode: RecvMode,
     pub(super) faults: FaultPlan,
     pub(super) lossy: Option<LossyLink>,
+    pub(super) contend: Option<ContendCfg>,
     pub(super) limits: RunLimits,
     pub(super) engine: EngineKind,
     /// Conservative-parallel worker count: `1` = sequential, `n >= 2` = that
@@ -213,6 +214,7 @@ impl<'a> Machine<'a> {
             recv_mode: RecvMode::Polling,
             faults: FaultPlan::new(),
             lossy: None,
+            contend: None,
             limits: RunLimits::none(),
             engine: EngineKind::default_global(),
             parallel: default_parallel(),
@@ -237,6 +239,15 @@ impl<'a> Machine<'a> {
     /// and duplication probabilities is byte-identical to a reliable one.
     pub fn with_lossy(mut self, lossy: LossyLink) -> Self {
         self.lossy = Some(lossy);
+        self
+    }
+
+    /// Enable link-capacity contention (default: off — every message owns
+    /// the wire, the plain LogGP model). A disabled configuration
+    /// (`link_mbps == 0`) is byte-identical to never calling this, so specs
+    /// can pass their contention field through unconditionally.
+    pub fn with_contention(mut self, cfg: ContendCfg) -> Self {
+        self.contend = cfg.enabled().then_some(cfg);
         self
     }
 
@@ -296,8 +307,65 @@ impl<'a> Machine<'a> {
     /// earliest delivery it can cause on *another* rank (self-deliveries
     /// are same-rank and need no lookahead). 0 on an ideal network, which
     /// disables parallel execution.
+    ///
+    /// With contention enabled the bound shrinks to `min(o, L)`: a rank
+    /// event at `t` can emit an [`Event::Xmit`] no earlier than `t + o`,
+    /// and a charged `Xmit` at `t` schedules its delivery no earlier than
+    /// `t + L` — both must land strictly beyond the window so the
+    /// coordinator charges every link in sequential pop order.
     pub(super) fn lookahead(&self) -> Time {
-        self.net.send_overhead() + self.net.params().l
+        if self.contend.is_some() {
+            self.net.send_overhead().min(self.net.params().l)
+        } else {
+            self.net.send_overhead() + self.net.params().l
+        }
+    }
+
+    /// Build the shared link-occupancy state if contention is enabled.
+    pub(super) fn contend_state(&self) -> Option<ContendState> {
+        self.contend.map(|cfg| {
+            ContendState::new(
+                self.net.topology(),
+                cfg,
+                self.net.params().per_hop,
+                self.seed,
+            )
+        })
+    }
+
+    /// Charge one popped [`Event::Xmit`] against the link state and return
+    /// the [`Event::Deliver`] it becomes, with its arrival time: the plain
+    /// LogGP arrival plus queuing wait and any adaptive-detour cost.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn charge_xmit(
+        &self,
+        contend: &mut Option<ContendState>,
+        t: Time,
+        dst: Rank,
+        src: Rank,
+        tag: Tag,
+        value: f64,
+        retry: Time,
+        bytes: u64,
+    ) -> (Time, Event) {
+        let extra = contend
+            .as_mut()
+            .map_or(0, |cs| cs.transmit(self.net.topology(), src, dst, bytes, t));
+        let arrive = t
+            .saturating_add(self.net.delivery(src, dst, bytes))
+            .saturating_add(retry)
+            .saturating_add(extra);
+        (
+            arrive,
+            Event::Deliver {
+                dst,
+                src,
+                tag,
+                value,
+                sent: t,
+                retry,
+            },
+        )
     }
 
     /// Resolve the parallel knob to an actual worker count for `size`
@@ -452,6 +520,11 @@ impl<'a> Machine<'a> {
             } => {
                 self.deliver(part, dst, src, tag, value, sent, retry, t, sink, rec);
             }
+            Event::Xmit { .. } => {
+                // Link charging is global state: the sequential loop and the
+                // parallel coordinator intercept these before dispatch.
+                unreachable!("Xmit reached a rank driver")
+            }
         }
     }
 
@@ -463,6 +536,7 @@ impl<'a> Machine<'a> {
     ) -> Result<RunResult, RunError> {
         let size = programs.len();
         let mut ranks = self.setup(programs);
+        let mut contend = self.contend_state();
         let mut q = Q::with_capacity_hint(size * 4);
         let mut messages: u64 = 0;
         for rank in 0..size {
@@ -487,6 +561,20 @@ impl<'a> Machine<'a> {
                         }
                     }
                 }
+                if let Event::Xmit {
+                    dst,
+                    src,
+                    tag,
+                    value,
+                    retry,
+                    bytes,
+                } = ev
+                {
+                    let (arrive, deliver) =
+                        self.charge_xmit(&mut contend, t, dst, src, tag, value, retry, bytes);
+                    q.push(arrive, deliver);
+                    continue;
+                }
                 self.process_event(&mut part, size, t, ev, &mut q, &mut messages, rec);
             }
         }
@@ -498,7 +586,7 @@ impl<'a> Machine<'a> {
             windows: 0,
             window_ns: 0,
         };
-        self.assemble(ranks, messages, stats, rec)
+        self.assemble(ranks, messages, stats, contend, rec)
     }
 
     /// Shared post-loop epilogue: crash fixups, deadlock/stranding
@@ -508,6 +596,7 @@ impl<'a> Machine<'a> {
         mut ranks: Ranks,
         messages: u64,
         stats: EngineStats,
+        contend: Option<ContendState>,
         rec: &mut R,
     ) -> Result<RunResult, RunError> {
         // Queue drained. A rank with a scheduled crash that is still blocked
@@ -562,6 +651,9 @@ impl<'a> Machine<'a> {
         let finish_times: Vec<Time> = ranks.hot.iter().map(|c| c.finish.unwrap_or(0)).collect();
         let makespan = finish_times.iter().copied().max().unwrap_or(0);
         rec.engine(stats);
+        if let Some(cs) = &contend {
+            rec.network(cs.stats(makespan));
+        }
         Ok(RunResult {
             makespan,
             finish_times,

@@ -48,6 +48,8 @@ mod parallel;
 mod rank;
 
 #[cfg(test)]
+mod tests_contend;
+#[cfg(test)]
 mod tests_core;
 #[cfg(test)]
 mod tests_waitall;

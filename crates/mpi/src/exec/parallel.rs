@@ -177,6 +177,7 @@ impl Machine<'_> {
         let size = programs.len();
         let lookahead = self.lookahead();
         let mut ranks = self.setup(programs);
+        let mut contend = self.contend_state();
         let mut q = Q::with_capacity_hint(size * 4);
         for rank in 0..size {
             q.push(0, Event::Resume { rank, value: None });
@@ -207,7 +208,11 @@ impl Machine<'_> {
             let mut batches: Vec<Vec<(u64, Time, Event)>> =
                 (0..workers).map(|_| Vec::new()).collect();
             // Replay seeds: (time, global drain order, worker, local id).
+            // Xmit events use the sentinel worker `usize::MAX` — they never
+            // reach a worker; the coordinator charges them during replay,
+            // in exact sequential pop order, against the shared link state.
             let mut seeds: Vec<(Time, u64, usize, usize)> = Vec::new();
+            let mut xmits: Vec<Option<Event>> = Vec::new();
             let mut replay: BinaryHeap<Reverse<(Time, u64, usize, usize)>> = BinaryHeap::new();
 
             loop {
@@ -228,12 +233,18 @@ impl Machine<'_> {
 
                 // 1. Drain the window in deterministic pop order.
                 seeds.clear();
+                xmits.clear();
                 let mut ord: u64 = 0;
                 while q.peek_time().is_some_and(|t| t < w_end) {
                     let Some((t, ev)) = q.pop() else { break };
-                    let wk = ev.target() / chunk;
-                    batches[wk].push((ord, t, ev));
-                    seeds.push((t, ord, wk, batches[wk].len() - 1));
+                    if matches!(ev, Event::Xmit { .. }) {
+                        seeds.push((t, ord, usize::MAX, xmits.len()));
+                        xmits.push(Some(ev));
+                    } else {
+                        let wk = ev.target() / chunk;
+                        batches[wk].push((ord, t, ev));
+                        seeds.push((t, ord, wk, batches[wk].len() - 1));
+                    }
                     ord += 1;
                 }
                 windows += 1;
@@ -269,9 +280,36 @@ impl Machine<'_> {
                 let mut live = seeds.len() as u64;
                 let mut replayed: u64 = 0;
                 let mut future: Vec<(Time, Event)> = Vec::new();
-                while let Some(Reverse((_, _, wk, id))) = replay.pop() {
+                while let Some(Reverse((t, _, wk, id))) = replay.pop() {
                     replayed += 1;
                     live -= 1;
+                    if wk == usize::MAX {
+                        // An intercepted Xmit: charge its route now — this
+                        // point in the replay IS its sequential pop order —
+                        // and emit the delivery as a beyond-window child
+                        // (arrival >= t + L >= w_end by the lookahead
+                        // bound).
+                        let Some(Event::Xmit {
+                            dst,
+                            src,
+                            tag,
+                            value,
+                            retry,
+                            bytes,
+                        }) = xmits[id].take()
+                        else {
+                            debug_assert!(false, "xmit seed without stored event");
+                            continue;
+                        };
+                        let (arrive, deliver) =
+                            self.charge_xmit(&mut contend, t, dst, src, tag, value, retry, bytes);
+                        debug_assert!(arrive >= w_end, "contended delivery inside window");
+                        future.push((arrive, deliver));
+                        next_ord += 1;
+                        live += 1;
+                        peak = peak.max(q.len() + live as usize);
+                        continue;
+                    }
                     for child in std::mem::take(&mut outs[wk].records[id]) {
                         match child {
                             Child::Local { time, id: cid } => {
@@ -308,6 +346,6 @@ impl Machine<'_> {
             windows,
             window_ns,
         };
-        self.assemble(ranks, messages, stats, rec)
+        self.assemble(ranks, messages, stats, contend, rec)
     }
 }

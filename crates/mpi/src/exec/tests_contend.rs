@@ -1,0 +1,180 @@
+//! Executor tests for the link-contention model: zero-contention
+//! byte-identity, queuing delay, cross-engine/parallel identity, and
+//! network-statistics reporting.
+
+use super::{EngineKind, Machine, RunResult};
+use crate::program::ScriptProgram;
+use crate::types::MpiCall;
+use ghost_net::{ContendCfg, Dragonfly, Flat, LogGP, Network, Routing};
+use ghost_noise::model::NoNoise;
+use ghost_obs::record::{NetStats, Recorder};
+
+fn flat_net(p: usize) -> Network {
+    Network::new(LogGP::mpp(), Box::new(Flat::new(p)))
+}
+
+fn cfg(mbps: u32, routing: Routing) -> ContendCfg {
+    ContendCfg {
+        link_mbps: mbps,
+        routing,
+    }
+}
+
+/// Two hogs blasting 1 MB messages at rank 0 while it receives both.
+fn hotspot_scripts() -> Vec<Vec<MpiCall>> {
+    let send = |tag| MpiCall::Send {
+        dst: 0,
+        tag,
+        bytes: 1 << 20,
+        value: 1.0,
+    };
+    vec![
+        vec![
+            MpiCall::Recv { src: 1, tag: 1 },
+            MpiCall::Recv { src: 2, tag: 2 },
+        ],
+        vec![send(1)],
+        vec![send(2)],
+    ]
+}
+
+fn run_hotspot(machine: Machine<'_>) -> RunResult {
+    machine
+        .run(
+            hotspot_scripts()
+                .into_iter()
+                .map(|s| ScriptProgram::new(s).boxed())
+                .collect(),
+        )
+        .expect("hotspot run deadlocked")
+}
+
+#[test]
+fn disabled_contention_is_byte_identical() {
+    let base = run_hotspot(Machine::new(flat_net(3), &NoNoise, 7));
+    let off =
+        run_hotspot(Machine::new(flat_net(3), &NoNoise, 7).with_contention(ContendCfg::off()));
+    assert_eq!(base, off);
+}
+
+#[test]
+fn shared_ejection_link_delays_second_flow() {
+    let free = run_hotspot(Machine::new(flat_net(3), &NoNoise, 7));
+    let congested = run_hotspot(
+        Machine::new(flat_net(3), &NoNoise, 7).with_contention(cfg(2000, Routing::Minimal)),
+    );
+    // Both 1 MB flows share the hub->0 ejection channel; at 2000 MB/s one
+    // of them queues behind ~0.5 ms of serialization.
+    let ser = (1u64 << 20) * 1000 / 2000;
+    assert!(
+        congested.makespan >= free.makespan + ser / 2,
+        "contention added too little: {} vs {}",
+        congested.makespan,
+        free.makespan
+    );
+}
+
+#[test]
+fn contended_runs_are_deterministic_across_engines_and_parallelism() {
+    let mk = |routing| {
+        let net = Network::new(LogGP::mpp(), Box::new(Dragonfly::new(3, 2, 2)));
+        let scripts: Vec<Vec<MpiCall>> = (0..12)
+            .map(|r| {
+                vec![
+                    MpiCall::Allreduce {
+                        bytes: 4096,
+                        value: r as f64,
+                        op: crate::types::ReduceOp::Sum,
+                    },
+                    MpiCall::Send {
+                        dst: (r + 5) % 12,
+                        tag: 9,
+                        bytes: 1 << 18,
+                        value: 0.0,
+                    },
+                    MpiCall::Recv {
+                        src: (r + 7) % 12,
+                        tag: 9,
+                    },
+                ]
+            })
+            .collect();
+        move |engine: EngineKind, threads: usize| {
+            Machine::new(
+                Network::new(*net.params(), net.topology().clone_box()),
+                &NoNoise,
+                11,
+            )
+            .with_contention(cfg(1500, routing))
+            .with_engine(engine)
+            .with_parallel(threads)
+            .run(
+                scripts
+                    .iter()
+                    .map(|s| ScriptProgram::new(s.clone()).boxed())
+                    .collect(),
+            )
+            .expect("contended run failed")
+        }
+    };
+    for routing in [Routing::Minimal, Routing::Ugal] {
+        let run = mk(routing);
+        let baseline = run(EngineKind::Heap, 1);
+        assert_eq!(
+            baseline,
+            run(EngineKind::Calendar, 1),
+            "{routing:?} calendar"
+        );
+        assert_eq!(baseline, run(EngineKind::Heap, 4), "{routing:?} parallel");
+        assert_eq!(
+            baseline,
+            run(EngineKind::Calendar, 3),
+            "{routing:?} calendar+parallel"
+        );
+    }
+}
+
+#[derive(Default)]
+struct NetSink(Option<NetStats>);
+
+impl Recorder for NetSink {
+    fn observes_events(&self) -> bool {
+        false
+    }
+    fn network(&mut self, stats: NetStats) {
+        self.0 = Some(stats);
+    }
+}
+
+#[test]
+fn network_stats_reported_once_when_enabled() {
+    let mut sink = NetSink::default();
+    Machine::new(flat_net(3), &NoNoise, 7)
+        .with_contention(cfg(2000, Routing::Minimal))
+        .run_with(
+            hotspot_scripts()
+                .into_iter()
+                .map(|s| ScriptProgram::new(s).boxed())
+                .collect(),
+            &mut sink,
+        )
+        .expect("run failed");
+    let stats = sink.0.expect("no NetStats reported");
+    assert_eq!(stats.links, 6, "flat(3) star graph has 2 links per host");
+    assert_eq!(stats.messages, 2);
+    assert!(stats.queued_ns > 0, "hotspot must queue");
+    assert_eq!(stats.util_hist.iter().sum::<u64>(), stats.links);
+
+    // Without contention the hook must stay silent.
+    let mut quiet = NetSink::default();
+    Machine::new(flat_net(3), &NoNoise, 7)
+        .run_with(
+            hotspot_scripts()
+                .into_iter()
+                .map(|s| ScriptProgram::new(s).boxed())
+                .collect(),
+            &mut quiet,
+        )
+        .expect("run failed");
+    assert!(quiet.0.is_none());
+}

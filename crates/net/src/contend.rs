@@ -1,0 +1,529 @@
+//! Link-capacity contention on top of the LogGP model.
+//!
+//! The base [`crate::Network`] charges every message the full LogGP cost as
+//! if it had the wire to itself. This module adds the missing piece: each
+//! topology exposes an explicit channel graph ([`LinkTable`]), every message
+//! is routed over a concrete sequence of links ([`Topology::path`]), and
+//! each link is a FIFO server with an integer capacity. When two messages
+//! want the same channel at the same time, the later one queues — the
+//! queuing delay (plus any non-minimal detour cost) is returned to the DES
+//! core and added to the message's arrival time.
+//!
+//! Routing is chosen per run by [`Routing`]:
+//!
+//! * [`Routing::Minimal`] always takes the shortest path.
+//! * [`Routing::Ugal`] compares, per message, the estimated queue-plus-
+//!   detour cost of the minimal path against a Valiant-style randomized
+//!   alternative ([`PathKind::Valiant`]) and takes the cheaper one, with
+//!   ties going to minimal. Under zero load both estimates are the detour
+//!   cost alone, so UGAL degenerates to minimal routing and charges nothing
+//!   — the zero-contention configuration stays byte-identical to the plain
+//!   LogGP model.
+//!
+//! All bookkeeping is integer arithmetic on nanoseconds, so runs remain
+//! exactly reproducible across engines and `--parallel` (the executor
+//! charges links in the deterministic sequential pop order).
+//!
+//! [`Topology::path`]: crate::topology::Topology::path
+
+use ghost_obs::record::NetStats;
+
+use crate::topology::Topology;
+
+/// Index of a directed channel in a [`LinkTable`].
+pub type LinkId = u32;
+
+/// Per-scenario routing policy (integer-only, `Eq + Hash` so it can sit in
+/// cache-key specs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Routing {
+    /// Always take the shortest path.
+    #[default]
+    Minimal,
+    /// UGAL-style adaptive routing: per message, take the Valiant detour
+    /// when its estimated queue+detour cost beats the minimal path.
+    Ugal,
+}
+
+impl Routing {
+    /// Short name for reports and CLI round-trips.
+    pub fn name(self) -> &'static str {
+        match self {
+            Routing::Minimal => "minimal",
+            Routing::Ugal => "ugal",
+        }
+    }
+}
+
+/// Which concrete path to materialize for a (src, dst) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// The shortest path (what [`Topology::hops`] counts).
+    ///
+    /// [`Topology::hops`]: crate::topology::Topology::hops
+    Minimal,
+    /// A Valiant-style randomized path through an intermediate picked from
+    /// `salt` (deterministic per message). Topologies without a useful
+    /// detour (e.g. a fat tree, where every up-down path is equivalent)
+    /// may return the minimal path.
+    Valiant {
+        /// Deterministic per-message randomness for intermediate choice.
+        salt: u64,
+    },
+}
+
+/// One directed channel of the link graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Source vertex (host id below `Topology::nodes()`, internal switch
+    /// vertex at or above it).
+    pub from: u32,
+    /// Destination vertex.
+    pub to: u32,
+    /// Capacity multiplier: a link of capacity `c` serializes bytes `c`
+    /// times faster than the base per-link bandwidth (fat upward tree
+    /// links, for example).
+    pub cap: u32,
+}
+
+/// The explicit channel graph of a topology: vertices are hosts plus any
+/// internal switch/router vertices, edges are directed channels with an
+/// integer capacity.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTable {
+    links: Vec<Link>,
+    index: std::collections::HashMap<(u32, u32), LinkId>,
+    vertices: u32,
+}
+
+impl LinkTable {
+    /// An empty table over `vertices` vertices.
+    pub fn new(vertices: u32) -> Self {
+        Self {
+            links: Vec::new(),
+            index: std::collections::HashMap::new(),
+            vertices,
+        }
+    }
+
+    /// Add a directed channel, returning its id. Adding an existing edge is
+    /// idempotent (the first capacity wins), so topologies with degenerate
+    /// extents need no special casing. Self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either vertex is out of range.
+    pub fn add(&mut self, from: u32, to: u32, cap: u32) -> LinkId {
+        assert!(from != to, "self-loop channel {from}->{to}");
+        assert!(
+            from < self.vertices && to < self.vertices,
+            "channel {from}->{to} beyond {} vertices",
+            self.vertices
+        );
+        assert!(cap > 0, "channel {from}->{to} with zero capacity");
+        if let Some(&id) = self.index.get(&(from, to)) {
+            return id;
+        }
+        let id = self.links.len() as LinkId;
+        self.links.push(Link { from, to, cap });
+        self.index.insert((from, to), id);
+        id
+    }
+
+    /// The id of the `from -> to` channel, if present.
+    pub fn id(&self, from: u32, to: u32) -> Option<LinkId> {
+        self.index.get(&(from, to)).copied()
+    }
+
+    /// The link behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link(&self, id: LinkId) -> Link {
+        self.links[id as usize]
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the table has no channels.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Number of vertices (hosts + internal).
+    pub fn vertices(&self) -> u32 {
+        self.vertices
+    }
+
+    /// Map a vertex path to its channel ids, appending to `out`.
+    ///
+    /// Returns `Err` with the offending vertex pair if any consecutive pair
+    /// is not an edge — topologies are required to emit paths made only of
+    /// their own [`Topology::link_graph`] edges, so a miss is a topology
+    /// bug, not a runtime condition.
+    ///
+    /// [`Topology::link_graph`]: crate::topology::Topology::link_graph
+    pub fn route(&self, path: &[u32], out: &mut Vec<LinkId>) -> Result<(), (u32, u32)> {
+        for w in path.windows(2) {
+            match self.id(w[0], w[1]) {
+                Some(id) => out.push(id),
+                None => return Err((w[0], w[1])),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Integer-only contention configuration: part of scenario cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContendCfg {
+    /// Per-link base bandwidth in MB/s (bytes/µs). `0` disables contention
+    /// entirely — no link state is built and no message charges anything.
+    pub link_mbps: u32,
+    /// Routing policy.
+    pub routing: Routing,
+}
+
+impl ContendCfg {
+    /// Contention disabled (the plain LogGP model).
+    pub fn off() -> Self {
+        Self {
+            link_mbps: 0,
+            routing: Routing::Minimal,
+        }
+    }
+
+    /// Whether this configuration actually charges link queuing.
+    pub fn enabled(&self) -> bool {
+        self.link_mbps > 0
+    }
+}
+
+impl Default for ContendCfg {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// splitmix64: deterministic per-message salt for Valiant intermediates.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mutable per-run link occupancy: one FIFO cursor (`free_at`) per channel.
+///
+/// The executor calls [`ContendState::transmit`] once per cross-rank
+/// message, in deterministic order; the returned extra delay (queuing wait
+/// plus detour cost) is added to the message's LogGP arrival time.
+#[derive(Debug, Clone)]
+pub struct ContendState {
+    cfg: ContendCfg,
+    table: LinkTable,
+    /// Virtual time at which each channel next becomes free.
+    free_at: Vec<u64>,
+    /// Total occupied time per channel (disjoint intervals by construction,
+    /// so `busy[l] <= max(free_at)` always — the conservation invariant).
+    busy: Vec<u64>,
+    /// Extra per-hop wire latency charged per non-minimal hop (the LogGP
+    /// per-hop cost, so a detour pays what the base model would charge it).
+    per_hop_ns: u64,
+    seed: u64,
+    messages: u64,
+    nonminimal: u64,
+    queued_ns: u64,
+    wait_hist: [u64; 16],
+    // Scratch buffers reused across messages.
+    path_min: Vec<u32>,
+    path_alt: Vec<u32>,
+    route_min: Vec<LinkId>,
+    route_alt: Vec<LinkId>,
+}
+
+impl ContendState {
+    /// Build link state for `topo` under `cfg`. `per_hop_ns` is the base
+    /// model's per-hop latency, charged per extra hop of a detour;
+    /// `seed` feeds the deterministic Valiant salt stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is disabled (`link_mbps == 0`).
+    pub fn new(topo: &dyn Topology, cfg: ContendCfg, per_hop_ns: u64, seed: u64) -> Self {
+        assert!(cfg.enabled(), "ContendState with contention disabled");
+        let table = topo.link_graph();
+        let n = table.len();
+        Self {
+            cfg,
+            table,
+            free_at: vec![0; n],
+            busy: vec![0; n],
+            per_hop_ns,
+            seed,
+            messages: 0,
+            nonminimal: 0,
+            queued_ns: 0,
+            wait_hist: [0; 16],
+            path_min: Vec::new(),
+            path_alt: Vec::new(),
+            route_min: Vec::new(),
+            route_alt: Vec::new(),
+        }
+    }
+
+    /// The channel graph being charged.
+    pub fn table(&self) -> &LinkTable {
+        &self.table
+    }
+
+    /// Serialization time of `bytes` on channel `l` in ns:
+    /// `bytes * 1000 / (link_mbps * cap)`, integer floor.
+    fn ser_ns(&self, bytes: u64, l: LinkId) -> u64 {
+        let cap = self.table.link(l).cap as u128;
+        (bytes as u128 * 1000 / (self.cfg.link_mbps as u128 * cap)) as u64
+    }
+
+    /// Base-capacity serialization time (used for detour-hop pricing).
+    fn ser_base_ns(&self, bytes: u64) -> u64 {
+        (bytes as u128 * 1000 / self.cfg.link_mbps as u128) as u64
+    }
+
+    /// Estimated cost of sending `bytes` over `route` departing at `now`:
+    /// queuing wait if transmitted immediately, plus detour price for hops
+    /// beyond `min_len`.
+    fn cost(&self, route: &[LinkId], bytes: u64, now: u64, min_len: usize) -> u64 {
+        let mut cursor = now;
+        let mut wait = 0u64;
+        for &l in route {
+            let start = cursor.max(self.free_at[l as usize]);
+            wait += start - cursor;
+            cursor = start + self.ser_ns(bytes, l);
+        }
+        let detour = route.len().saturating_sub(min_len) as u64;
+        wait + detour * (self.per_hop_ns + self.ser_base_ns(bytes))
+    }
+
+    /// Route and charge one message departing at `now`, returning the extra
+    /// delay (queuing wait on every link of the chosen route, plus per-hop
+    /// detour cost if the route is non-minimal) to add to its LogGP arrival
+    /// time. Must be called in deterministic message order.
+    pub fn transmit(
+        &mut self,
+        topo: &dyn Topology,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: u64,
+    ) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        self.messages += 1;
+        self.path_min.clear();
+        self.route_min.clear();
+        topo.path(src, dst, PathKind::Minimal, &mut self.path_min);
+        if let Err((a, b)) = self.table.route(&self.path_min, &mut self.route_min) {
+            unreachable!(
+                "{}: minimal path edge {a}->{b} not in link graph",
+                topo.name()
+            );
+        }
+        let min_len = self.route_min.len();
+        let use_alt = if self.cfg.routing == Routing::Ugal {
+            let salt = mix64(
+                self.messages
+                    ^ self.seed.rotate_left(17)
+                    ^ ((src as u64) << 32)
+                    ^ ((dst as u64) << 8),
+            );
+            self.path_alt.clear();
+            self.route_alt.clear();
+            topo.path(src, dst, PathKind::Valiant { salt }, &mut self.path_alt);
+            if let Err((a, b)) = self.table.route(&self.path_alt, &mut self.route_alt) {
+                unreachable!(
+                    "{}: valiant path edge {a}->{b} not in link graph",
+                    topo.name()
+                );
+            }
+            // Minimal wins ties, so zero load always routes minimally.
+            self.cost(&self.route_alt, bytes, now, min_len)
+                < self.cost(&self.route_min, bytes, now, min_len)
+        } else {
+            false
+        };
+        let route_len = if use_alt {
+            self.route_alt.len()
+        } else {
+            min_len
+        };
+        let mut cursor = now;
+        let mut wait = 0u64;
+        for i in 0..route_len {
+            let l = if use_alt {
+                self.route_alt[i]
+            } else {
+                self.route_min[i]
+            };
+            let ser = self.ser_ns(bytes, l);
+            let li = l as usize;
+            let start = cursor.max(self.free_at[li]);
+            wait += start - cursor;
+            self.free_at[li] = start + ser;
+            self.busy[li] += ser;
+            cursor = start + ser;
+        }
+        let detour_hops = route_len.saturating_sub(min_len) as u64;
+        if detour_hops > 0 {
+            self.nonminimal += 1;
+        }
+        self.queued_ns += wait;
+        let bucket = if wait == 0 {
+            0
+        } else {
+            ((64 - wait.leading_zeros()) as usize).min(15)
+        };
+        self.wait_hist[bucket] += 1;
+        wait + detour_hops * (self.per_hop_ns + self.ser_base_ns(bytes))
+    }
+
+    /// Snapshot counters as [`NetStats`]. `horizon` is the run makespan;
+    /// per-link utilization buckets are `busy / horizon` in 10 % bins.
+    pub fn stats(&self, horizon: u64) -> NetStats {
+        let mut util_hist = [0u64; 10];
+        let mut busy_peak_ns = 0u64;
+        for &b in &self.busy {
+            busy_peak_ns = busy_peak_ns.max(b);
+            let pct = if horizon == 0 {
+                0
+            } else {
+                (b as u128 * 100 / horizon as u128) as u64
+            };
+            util_hist[((pct / 10) as usize).min(9)] += 1;
+        }
+        NetStats {
+            links: self.table.len() as u64,
+            messages: self.messages,
+            nonminimal: self.nonminimal,
+            queued_ns: self.queued_ns,
+            busy_peak_ns,
+            util_hist,
+            wait_hist: self.wait_hist,
+        }
+    }
+
+    /// Per-link busy time (testing/conservation checks).
+    pub fn busy(&self) -> &[u64] {
+        &self.busy
+    }
+
+    /// The latest `free_at` over all links: the link-occupancy horizon.
+    pub fn horizon(&self) -> u64 {
+        self.free_at.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Dragonfly, Flat, Topology, Torus3D};
+
+    fn cfg(mbps: u32, routing: Routing) -> ContendCfg {
+        ContendCfg {
+            link_mbps: mbps,
+            routing,
+        }
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let t = Flat::new(4);
+        let mut s = ContendState::new(&t, cfg(1000, Routing::Minimal), 50, 1);
+        assert_eq!(s.transmit(&t, 2, 2, 1 << 20, 0), 0);
+        assert_eq!(s.stats(100).messages, 0);
+    }
+
+    #[test]
+    fn idle_links_charge_nothing() {
+        let t = Flat::new(8);
+        for routing in [Routing::Minimal, Routing::Ugal] {
+            let mut s = ContendState::new(&t, cfg(1000, routing), 50, 7);
+            // Distinct pairs at distinct times: no sharing, no wait.
+            assert_eq!(s.transmit(&t, 0, 1, 8, 0), 0);
+            assert_eq!(s.transmit(&t, 2, 3, 8, 1_000_000), 0);
+            assert_eq!(s.stats(2_000_000).queued_ns, 0);
+        }
+    }
+
+    #[test]
+    fn shared_link_queues_second_message() {
+        let t = Flat::new(4);
+        let mut s = ContendState::new(&t, cfg(1000, Routing::Minimal), 50, 1);
+        // 1 MB at 1000 MB/s = 1 ms serialization per link.
+        let ser = 1_000_000;
+        assert_eq!(s.transmit(&t, 0, 2, 1 << 20, 0), 0);
+        // Second flow into the same destination shares the hub->2 channel.
+        let extra = s.transmit(&t, 1, 2, 1 << 20, 0);
+        assert!(
+            extra >= ser,
+            "second flow should wait a full serialization: {extra}"
+        );
+        let st = s.stats(4 * ser);
+        assert_eq!(st.messages, 2);
+        assert!(st.queued_ns >= ser);
+    }
+
+    #[test]
+    fn conservation_busy_never_exceeds_horizon() {
+        let t = Torus3D::new(3, 3, 2);
+        let mut s = ContendState::new(&t, cfg(500, Routing::Ugal), 50, 99);
+        let n = t.nodes();
+        for i in 0..200usize {
+            let src = (i * 7) % n;
+            let dst = (i * 13 + 5) % n;
+            s.transmit(&t, src, dst, 4096, (i as u64) * 100);
+        }
+        let horizon = s.horizon();
+        for (l, &b) in s.busy().iter().enumerate() {
+            assert!(b <= horizon, "link {l}: busy {b} > horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn ugal_detours_under_load() {
+        // Hammer one global dragonfly channel; UGAL should start taking
+        // non-minimal routes while minimal keeps queuing.
+        let d = Dragonfly::new(4, 2, 4);
+        let mut min = ContendState::new(&d, cfg(1000, Routing::Minimal), 50, 3);
+        let mut ada = ContendState::new(&d, cfg(1000, Routing::Ugal), 50, 3);
+        let gsize = 8; // routers_per_group * nodes_per_router
+        let mut min_total = 0u64;
+        let mut ada_total = 0u64;
+        for i in 0..64u64 {
+            let src = (i % gsize) as usize;
+            let dst = src + gsize as usize; // group 0 -> group 1
+            min_total += min.transmit(&d, src, dst, 1 << 20, 0);
+            ada_total += ada.transmit(&d, src, dst, 1 << 20, 0);
+        }
+        assert!(ada.stats(1).nonminimal > 0, "UGAL never detoured");
+        assert!(
+            ada_total < min_total,
+            "adaptive {ada_total} should beat minimal {min_total}"
+        );
+    }
+
+    #[test]
+    fn link_table_rejects_garbage() {
+        let mut t = LinkTable::new(3);
+        let a = t.add(0, 1, 1);
+        assert_eq!(t.add(0, 1, 9), a, "re-add must be idempotent");
+        assert_eq!(t.link(a).cap, 1, "first capacity wins");
+        assert_eq!(t.id(1, 0), None);
+        let mut out = Vec::new();
+        assert_eq!(t.route(&[0, 1, 2], &mut out), Err((1, 2)));
+    }
+}

@@ -14,10 +14,14 @@
 //! shape (3-D torus vs. fat tree vs. idealized flat network) affects
 //! collective timing the way it does on real machines.
 //!
-//! Messages traverse the network contention-free: the paper's effects are
-//! CPU-interference effects, and its experiments were run on a network
-//! provisioned well below saturation, so contention modeling is deliberately
-//! out of scope (documented in DESIGN.md).
+//! By default messages traverse the network contention-free — the paper's
+//! effects are CPU-interference effects, measured on a network provisioned
+//! well below saturation. The [`contend`] module lifts that restriction:
+//! every topology exposes an explicit channel graph, each channel is a
+//! FIFO server with an integer capacity, and messages charge queuing delay
+//! on every link of their route, with minimal or UGAL-style adaptive
+//! routing chosen per scenario. Zero-contention runs stay byte-identical
+//! to the plain LogGP model.
 
 #![warn(missing_docs)]
 // Simulator code must degrade through typed errors, never abort: panicking
@@ -25,10 +29,12 @@
 // enforces this with a scoped clippy pass.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod contend;
 pub mod loggp;
 pub mod lossy;
 pub mod topology;
 
+pub use contend::{ContendCfg, ContendState, LinkId, LinkTable, PathKind, Routing};
 pub use loggp::{LogGP, Network};
 pub use lossy::{LossyLink, RetryModel};
-pub use topology::{Dragonfly, FatTree, Flat, Topology, Torus3D};
+pub use topology::{Dragonfly, FatTree, Flat, Topology, TopologyError, Torus3D};

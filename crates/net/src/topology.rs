@@ -1,29 +1,106 @@
-//! Machine topologies: node layout and hop distances.
+//! Machine topologies: node layout, hop distances, and channel graphs.
 
-/// A network topology: how many nodes exist and how many switch/router hops
-/// separate any pair.
+use crate::contend::{LinkTable, PathKind};
+
+/// A node id was outside a topology's `0..nodes()` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyError {
+    /// The offending node id.
+    pub node: usize,
+    /// The topology's node count.
+    pub nodes: usize,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node id {} out of range for topology of {} nodes",
+            self.node, self.nodes
+        )
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A network topology: how many nodes exist, how many switch/router hops
+/// separate any pair, and (for the contention model) the explicit channel
+/// graph connecting them.
 pub trait Topology: std::fmt::Debug + Send + Sync {
     /// Total node count.
     fn nodes(&self) -> usize;
+
+    /// Hop count between two nodes (0 for `a == b`), or an error if either
+    /// id is out of range. This is the executor-facing form: untrusted node
+    /// ids surface as a typed error instead of a panic.
+    fn try_hops(&self, a: usize, b: usize) -> Result<u32, TopologyError>;
 
     /// Hop count between two nodes (0 for `a == b`).
     ///
     /// # Panics
     ///
-    /// Implementations may panic if a node id is out of range.
-    fn hops(&self, a: usize, b: usize) -> u32;
+    /// Panics if a node id is out of range; [`Topology::try_hops`] is the
+    /// non-panicking form.
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        self.try_hops(a, b).expect("node id out of range")
+    }
 
     /// Clone into a box (object-safe clone).
     fn clone_box(&self) -> Box<dyn Topology>;
 
     /// Short name for reports.
     fn name(&self) -> String;
+
+    /// The explicit channel graph used by the contention model
+    /// ([`crate::contend`]). Vertices `0..nodes()` are the hosts;
+    /// implementations may add internal switch/router vertices above that
+    /// range. The default is a star: one central crossbar vertex with an
+    /// injection and an ejection channel per host — every pair of flows
+    /// sharing an endpoint shares a channel, nothing else does.
+    fn link_graph(&self) -> LinkTable {
+        let n = self.nodes() as u32;
+        let mut t = LinkTable::new(n + 1);
+        for i in 0..n {
+            t.add(i, n, 1);
+            t.add(n, i, 1);
+        }
+        t
+    }
+
+    /// Append the vertex path from `src` to `dst` under `kind` to `out`
+    /// (starting with `src`, ending with `dst`; just `[src]` when equal).
+    /// Every consecutive pair of emitted vertices must be an edge of
+    /// [`Topology::link_graph`]. The default routes through the star hub;
+    /// the star has no distinct alternative path, so both kinds coincide.
+    ///
+    /// # Panics
+    ///
+    /// May panic if a node id is out of range.
+    fn path(&self, src: usize, dst: usize, _kind: PathKind, out: &mut Vec<u32>) {
+        let n = self.nodes();
+        assert!(src < n && dst < n, "node id out of range");
+        out.push(src as u32);
+        if src != dst {
+            out.push(n as u32);
+            out.push(dst as u32);
+        }
+    }
 }
 
 impl Clone for Box<dyn Topology> {
     fn clone(&self) -> Self {
         self.clone_box()
     }
+}
+
+/// Validate both endpoints against a node count.
+fn check_ids(nodes: usize, a: usize, b: usize) -> Result<(), TopologyError> {
+    for node in [a, b] {
+        if node >= nodes {
+            return Err(TopologyError { node, nodes });
+        }
+    }
+    Ok(())
 }
 
 /// Idealized flat topology: every distinct pair is exactly one hop apart
@@ -46,9 +123,9 @@ impl Topology for Flat {
         self.nodes
     }
 
-    fn hops(&self, a: usize, b: usize) -> u32 {
-        assert!(a < self.nodes && b < self.nodes, "node id out of range");
-        u32::from(a != b)
+    fn try_hops(&self, a: usize, b: usize) -> Result<u32, TopologyError> {
+        check_ids(self.nodes, a, b)?;
+        Ok(u32::from(a != b))
     }
 
     fn clone_box(&self) -> Box<dyn Topology> {
@@ -137,6 +214,26 @@ impl Torus3D {
             self.index((cx, cy, (cz + 1) % self.z)),
         ]
     }
+
+    /// Dimension-ordered wrap-aware walk from `from` to `to`, pushing every
+    /// intermediate node (and the destination, but not the start) onto
+    /// `out`. Ties around an even extent break toward +.
+    fn walk(&self, from: (usize, usize, usize), to: (usize, usize, usize), out: &mut Vec<u32>) {
+        let mut c = [from.0, from.1, from.2];
+        let to = [to.0, to.1, to.2];
+        let ext = [self.x, self.y, self.z];
+        for d in 0..3 {
+            while c[d] != to[d] {
+                let fwd = (to[d] + ext[d] - c[d]) % ext[d];
+                c[d] = if fwd <= ext[d] - fwd {
+                    (c[d] + 1) % ext[d]
+                } else {
+                    (c[d] + ext[d] - 1) % ext[d]
+                };
+                out.push(self.index((c[0], c[1], c[2])) as u32);
+            }
+        }
+    }
 }
 
 impl Topology for Torus3D {
@@ -144,12 +241,13 @@ impl Topology for Torus3D {
         self.x * self.y * self.z
     }
 
-    fn hops(&self, a: usize, b: usize) -> u32 {
+    fn try_hops(&self, a: usize, b: usize) -> Result<u32, TopologyError> {
+        check_ids(self.nodes(), a, b)?;
         let ca = self.coords(a);
         let cb = self.coords(b);
-        Self::dim_dist(ca.0, cb.0, self.x)
+        Ok(Self::dim_dist(ca.0, cb.0, self.x)
             + Self::dim_dist(ca.1, cb.1, self.y)
-            + Self::dim_dist(ca.2, cb.2, self.z)
+            + Self::dim_dist(ca.2, cb.2, self.z))
     }
 
     fn clone_box(&self) -> Box<dyn Topology> {
@@ -158,6 +256,36 @@ impl Topology for Torus3D {
 
     fn name(&self) -> String {
         format!("torus3d({}x{}x{})", self.x, self.y, self.z)
+    }
+
+    fn link_graph(&self) -> LinkTable {
+        let n = self.nodes();
+        let mut t = LinkTable::new(n as u32);
+        for i in 0..n {
+            for nb in self.neighbors(i) {
+                if nb != i {
+                    t.add(i as u32, nb as u32, 1);
+                }
+            }
+        }
+        t
+    }
+
+    fn path(&self, src: usize, dst: usize, kind: PathKind, out: &mut Vec<u32>) {
+        let n = self.nodes();
+        assert!(src < n && dst < n, "node id out of range");
+        out.push(src as u32);
+        if src == dst {
+            return;
+        }
+        match kind {
+            PathKind::Minimal => self.walk(self.coords(src), self.coords(dst), out),
+            PathKind::Valiant { salt } => {
+                let mid = (salt % n as u64) as usize;
+                self.walk(self.coords(src), self.coords(mid), out);
+                self.walk(self.coords(mid), self.coords(dst), out);
+            }
+        }
     }
 }
 
@@ -188,6 +316,31 @@ impl FatTree {
     fn pod(&self, i: usize) -> usize {
         self.leaf(i) / self.arity
     }
+
+    /// Number of leaf switches.
+    fn leaves(&self) -> usize {
+        self.nodes.div_ceil(self.arity).max(1)
+    }
+
+    /// Number of pod switches.
+    fn pods(&self) -> usize {
+        self.leaves().div_ceil(self.arity).max(1)
+    }
+
+    /// Vertex id of leaf switch `l` (hosts occupy `0..nodes`).
+    fn leaf_vertex(&self, l: usize) -> u32 {
+        (self.nodes + l) as u32
+    }
+
+    /// Vertex id of pod switch `p`.
+    fn pod_vertex(&self, p: usize) -> u32 {
+        (self.nodes + self.leaves() + p) as u32
+    }
+
+    /// Vertex id of the single core switch.
+    fn core_vertex(&self) -> u32 {
+        (self.nodes + self.leaves() + self.pods()) as u32
+    }
 }
 
 impl Topology for FatTree {
@@ -195,9 +348,9 @@ impl Topology for FatTree {
         self.nodes
     }
 
-    fn hops(&self, a: usize, b: usize) -> u32 {
-        assert!(a < self.nodes && b < self.nodes, "node id out of range");
-        if a == b {
+    fn try_hops(&self, a: usize, b: usize) -> Result<u32, TopologyError> {
+        check_ids(self.nodes, a, b)?;
+        Ok(if a == b {
             0
         } else if self.leaf(a) == self.leaf(b) {
             2
@@ -205,7 +358,7 @@ impl Topology for FatTree {
             4
         } else {
             6
-        }
+        })
     }
 
     fn clone_box(&self) -> Box<dyn Topology> {
@@ -214,6 +367,51 @@ impl Topology for FatTree {
 
     fn name(&self) -> String {
         format!("fattree({}, arity {})", self.nodes, self.arity)
+    }
+
+    fn link_graph(&self) -> LinkTable {
+        // Hosts, then leaf switches, then pod switches, then one core
+        // vertex; upward links fatten by one arity factor per level, the
+        // classic fat-tree bandwidth taper compensation.
+        let mut t = LinkTable::new(self.core_vertex() + 1);
+        let fat = self.arity as u32;
+        for h in 0..self.nodes {
+            let leaf = self.leaf_vertex(self.leaf(h));
+            t.add(h as u32, leaf, 1);
+            t.add(leaf, h as u32, 1);
+        }
+        for l in 0..self.leaves() {
+            let pod = self.pod_vertex(l / self.arity);
+            t.add(self.leaf_vertex(l), pod, fat);
+            t.add(pod, self.leaf_vertex(l), fat);
+        }
+        for p in 0..self.pods() {
+            t.add(self.pod_vertex(p), self.core_vertex(), fat * fat);
+            t.add(self.core_vertex(), self.pod_vertex(p), fat * fat);
+        }
+        t
+    }
+
+    fn path(&self, src: usize, dst: usize, _kind: PathKind, out: &mut Vec<u32>) {
+        // Every up-down path through a (collapsed) core is equivalent, so
+        // Valiant coincides with minimal.
+        assert!(src < self.nodes && dst < self.nodes, "node id out of range");
+        out.push(src as u32);
+        if src == dst {
+            return;
+        }
+        out.push(self.leaf_vertex(self.leaf(src)));
+        if self.leaf(src) != self.leaf(dst) {
+            if self.pod(src) == self.pod(dst) {
+                out.push(self.pod_vertex(self.pod(src)));
+            } else {
+                out.push(self.pod_vertex(self.pod(src)));
+                out.push(self.core_vertex());
+                out.push(self.pod_vertex(self.pod(dst)));
+            }
+            out.push(self.leaf_vertex(self.leaf(dst)));
+        }
+        out.push(dst as u32);
     }
 }
 
@@ -269,6 +467,47 @@ impl Dragonfly {
     fn group(&self, node: usize) -> usize {
         self.router(node) / self.routers_per_group
     }
+
+    /// Local index (within group `ga`) of the router hosting the global
+    /// channel toward group `gb`: channels to the other `groups - 1` groups
+    /// are dealt round-robin over the group's routers.
+    fn gateway(&self, ga: usize, gb: usize) -> usize {
+        debug_assert_ne!(ga, gb);
+        (gb - usize::from(gb > ga)) % self.routers_per_group
+    }
+
+    /// Global router index of local router `l` in group `g`.
+    fn router_of(&self, g: usize, l: usize) -> usize {
+        g * self.routers_per_group + l
+    }
+
+    /// Vertex id of global router `r` (hosts occupy `0..nodes()`).
+    fn router_vertex(&self, r: usize) -> u32 {
+        (self.nodes() + r) as u32
+    }
+
+    /// Push the router-level walk from router `ra` to router `rb` onto
+    /// `out`, excluding `ra` itself: local hop to the egress gateway if
+    /// needed, the global channel, then a local hop to `rb` if needed.
+    fn router_walk(&self, ra: usize, rb: usize, out: &mut Vec<u32>) {
+        if ra == rb {
+            return;
+        }
+        let (ga, gb) = (ra / self.routers_per_group, rb / self.routers_per_group);
+        if ga == gb {
+            out.push(self.router_vertex(rb));
+            return;
+        }
+        let a_out = self.router_of(ga, self.gateway(ga, gb));
+        let b_in = self.router_of(gb, self.gateway(gb, ga));
+        if a_out != ra {
+            out.push(self.router_vertex(a_out));
+        }
+        out.push(self.router_vertex(b_in));
+        if rb != b_in {
+            out.push(self.router_vertex(rb));
+        }
+    }
 }
 
 impl Topology for Dragonfly {
@@ -276,9 +515,9 @@ impl Topology for Dragonfly {
         self.groups * self.routers_per_group * self.nodes_per_router
     }
 
-    fn hops(&self, a: usize, b: usize) -> u32 {
-        assert!(a < self.nodes() && b < self.nodes(), "node id out of range");
-        if a == b {
+    fn try_hops(&self, a: usize, b: usize) -> Result<u32, TopologyError> {
+        check_ids(self.nodes(), a, b)?;
+        Ok(if a == b {
             0
         } else if self.router(a) == self.router(b) {
             1
@@ -286,7 +525,7 @@ impl Topology for Dragonfly {
             2
         } else {
             4
-        }
+        })
     }
 
     fn clone_box(&self) -> Box<dyn Topology> {
@@ -298,6 +537,73 @@ impl Topology for Dragonfly {
             "dragonfly({}g x {}r x {}n)",
             self.groups, self.routers_per_group, self.nodes_per_router
         )
+    }
+
+    fn link_graph(&self) -> LinkTable {
+        let n = self.nodes();
+        let routers = self.groups * self.routers_per_group;
+        let mut t = LinkTable::new((n + routers) as u32);
+        // Injection/ejection channels host <-> its router.
+        for h in 0..n {
+            let r = self.router_vertex(self.router(h));
+            t.add(h as u32, r, 1);
+            t.add(r, h as u32, 1);
+        }
+        // Local channels: all-to-all within a group.
+        for g in 0..self.groups {
+            for la in 0..self.routers_per_group {
+                for lb in 0..self.routers_per_group {
+                    if la != lb {
+                        t.add(
+                            self.router_vertex(self.router_of(g, la)),
+                            self.router_vertex(self.router_of(g, lb)),
+                            1,
+                        );
+                    }
+                }
+            }
+        }
+        // Global channels: one per ordered group pair, hosted by the
+        // round-robin gateway router on each side.
+        for ga in 0..self.groups {
+            for gb in 0..self.groups {
+                if ga != gb {
+                    t.add(
+                        self.router_vertex(self.router_of(ga, self.gateway(ga, gb))),
+                        self.router_vertex(self.router_of(gb, self.gateway(gb, ga))),
+                        1,
+                    );
+                }
+            }
+        }
+        t
+    }
+
+    fn path(&self, src: usize, dst: usize, kind: PathKind, out: &mut Vec<u32>) {
+        let n = self.nodes();
+        assert!(src < n && dst < n, "node id out of range");
+        out.push(src as u32);
+        if src == dst {
+            return;
+        }
+        let (rs, rd) = (self.router(src), self.router(dst));
+        out.push(self.router_vertex(rs));
+        match kind {
+            PathKind::Minimal => self.router_walk(rs, rd, out),
+            PathKind::Valiant { salt } => {
+                let gi = (salt % self.groups as u64) as usize;
+                if gi == rs / self.routers_per_group || gi == rd / self.routers_per_group {
+                    // Detouring through an endpoint group is no detour.
+                    self.router_walk(rs, rd, out);
+                } else {
+                    let rpg = self.routers_per_group as u64;
+                    let rm = self.router_of(gi, ((salt / self.groups as u64) % rpg) as usize);
+                    self.router_walk(rs, rm, out);
+                    self.router_walk(rm, rd, out);
+                }
+            }
+        }
+        out.push(dst as u32);
     }
 }
 
@@ -393,6 +699,71 @@ mod tests {
                 assert_eq!(d.hops(a, b), d.hops(b, a));
             }
         }
+    }
+
+    /// Every emitted path must start at src, end at dst, and traverse only
+    /// link-graph edges.
+    fn assert_paths_valid(t: &dyn Topology, kind: PathKind) {
+        let table = t.link_graph();
+        let n = t.nodes();
+        let mut path = Vec::new();
+        let mut route = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                path.clear();
+                route.clear();
+                t.path(src, dst, kind, &mut path);
+                assert_eq!(path.first(), Some(&(src as u32)), "{}", t.name());
+                assert_eq!(path.last(), Some(&(dst as u32)), "{}", t.name());
+                if src == dst {
+                    assert_eq!(path.len(), 1);
+                }
+                table
+                    .route(&path, &mut route)
+                    .unwrap_or_else(|(a, b)| panic!("{}: {a}->{b} not an edge", t.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn all_topologies_emit_valid_paths() {
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Flat::new(6)),
+            Box::new(Torus3D::new(3, 2, 2)),
+            Box::new(FatTree::new(18, 3)),
+            Box::new(Dragonfly::new(3, 2, 2)),
+        ];
+        for t in &topos {
+            assert_paths_valid(t.as_ref(), PathKind::Minimal);
+            for salt in [0, 1, 7, 0xdead_beef] {
+                assert_paths_valid(t.as_ref(), PathKind::Valiant { salt });
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_path_matches_hop_scale() {
+        // On the torus the minimal vertex path has exactly `hops` edges.
+        let t = Torus3D::new(4, 4, 2);
+        let mut path = Vec::new();
+        for (a, b) in [(0, 5), (3, 12), (0, 31)] {
+            path.clear();
+            t.path(a, b, PathKind::Minimal, &mut path);
+            assert_eq!(path.len() as u32 - 1, t.hops(a, b), "{a}->{b}");
+        }
+    }
+
+    #[test]
+    fn try_hops_reports_out_of_range() {
+        let t = Flat::new(4);
+        assert_eq!(t.try_hops(0, 3), Ok(1));
+        let err = t.try_hops(0, 9).expect_err("out of range accepted");
+        assert_eq!(err.node, 9);
+        assert_eq!(err.nodes, 4);
+        assert!(err.to_string().contains("out of range"));
+        assert!(Torus3D::new(2, 2, 2).try_hops(8, 0).is_err());
+        assert!(FatTree::new(8, 2).try_hops(0, 8).is_err());
+        assert!(Dragonfly::new(2, 2, 2).try_hops(0, 8).is_err());
     }
 
     #[test]

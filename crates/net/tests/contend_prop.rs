@@ -1,0 +1,146 @@
+//! Property tests for the contention layer.
+//!
+//! * **Route validity** — every path any routing policy can materialize,
+//!   on any generated topology shape, is a connected `src -> dst` walk made
+//!   only of that topology's own link-graph edges (and a minimal path has
+//!   exactly `hops` edges).
+//! * **Conservation** — after an arbitrary transmit history, no channel is
+//!   ever busy for longer than the link-occupancy horizon (a link cannot
+//!   transmit for more time than has passed), and on minimal routes the
+//!   extra delay charged to messages equals the queuing total in the stats.
+
+use ghost_net::{
+    ContendCfg, ContendState, Dragonfly, FatTree, Flat, PathKind, Routing, Topology, Torus3D,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Build one of the four topology families from plain integer draws
+/// (`family` selects, `a`/`b`/`c` shape it at property-test scale).
+fn build_topology(family: usize, a: usize, b: usize, c: usize) -> Box<dyn Topology> {
+    match family % 4 {
+        0 => Box::new(Flat::new(1 + a % 19)),
+        1 => Box::new(Torus3D::new(1 + a % 3, 1 + b % 3, 1 + c % 3)),
+        2 => Box::new(FatTree::new(1 + a % 23, 2 + b % 3)),
+        _ => Box::new(Dragonfly::new(1 + a % 4, 1 + b % 3, 1 + c % 3)),
+    }
+}
+
+/// Check one `(src, dst, kind)` path for shape and edge validity.
+/// `hops_are_channels` is true only for the torus, where the latency hop
+/// count and the channel count coincide (the other families route through
+/// internal switch vertices that latency hops abstract away).
+fn check_path(
+    t: &dyn Topology,
+    src: usize,
+    dst: usize,
+    kind: PathKind,
+    hops_are_channels: bool,
+) -> Result<(), TestCaseError> {
+    let table = t.link_graph();
+    let mut path = Vec::new();
+    let mut route = Vec::new();
+    t.path(src, dst, kind, &mut path);
+    prop_assert_eq!(path.first().copied(), Some(src as u32), "{}", t.name());
+    prop_assert_eq!(path.last().copied(), Some(dst as u32), "{}", t.name());
+    if src == dst {
+        prop_assert_eq!(path.len(), 1);
+    }
+    // Minimal routes are simple walks — no vertex repeats. (Valiant routes
+    // may legitimately pass through a vertex twice en route to the salted
+    // intermediate and back.)
+    if kind == PathKind::Minimal {
+        let mut seen: Vec<u32> = path.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), path.len(), "{}: cycle in {:?}", t.name(), &path);
+    }
+    if let Err((x, y)) = table.route(&path, &mut route) {
+        return Err(TestCaseError::fail(format!(
+            "{}: path edge {x}->{y} not in link graph",
+            t.name()
+        )));
+    }
+    if kind == PathKind::Minimal && hops_are_channels {
+        prop_assert_eq!(
+            route.len() as u32,
+            t.hops(src, dst),
+            "{}: minimal path length != hops({src},{dst})",
+            t.name()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every route from every policy on every generated topology is a valid
+    /// connected src->dst path over the topology's own channels.
+    #[test]
+    fn every_route_is_a_valid_connected_path(
+        family in 0usize..4,
+        a in 0usize..64, b in 0usize..64, c in 0usize..64,
+        pair_seed in 0u64..1_000_000,
+        salts in proptest::collection::vec(0u64..u64::MAX, 1..4),
+    ) {
+        let topo = build_topology(family, a, b, c);
+        let n = topo.nodes();
+        let hops_are_channels = family % 4 == 1; // torus only
+        // A deterministic scatter of (src, dst) pairs, including src == dst.
+        for i in 0..8u64 {
+            let src = ((pair_seed.wrapping_mul(31).wrapping_add(i * 7)) % n as u64) as usize;
+            let dst = ((pair_seed.wrapping_mul(17).wrapping_add(i * 13)) % n as u64) as usize;
+            check_path(topo.as_ref(), src, dst, PathKind::Minimal, hops_are_channels)?;
+            for &salt in &salts {
+                check_path(topo.as_ref(), src, dst, PathKind::Valiant { salt }, false)?;
+            }
+        }
+    }
+
+    /// Conservation: a channel can never be busy for longer than the
+    /// link-occupancy horizon, and on minimal routes the extra delay
+    /// charged to messages is exactly the queuing total in the stats.
+    #[test]
+    fn busy_time_never_exceeds_the_horizon(
+        family in 0usize..4,
+        a in 0usize..64, b in 0usize..64, c in 0usize..64,
+        link_mbps in 1u32..5_000,
+        adaptive in proptest::bool::ANY,
+        msgs in proptest::collection::vec(
+            (0u64..u64::MAX, 1u64..2_000_000, 0u64..10_000_000),
+            1..120
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let topo = build_topology(family, a, b, c);
+        let n = topo.nodes();
+        let routing = if adaptive { Routing::Ugal } else { Routing::Minimal };
+        let cfg = ContendCfg { link_mbps, routing };
+        let mut s = ContendState::new(topo.as_ref(), cfg, 50, seed);
+        let mut now = 0u64;
+        let mut minimal_extra = 0u64;
+        for &(pair, bytes, dt) in &msgs {
+            now += dt; // departures in nondecreasing time order
+            let src = (pair % n as u64) as usize;
+            let dst = ((pair >> 32) % n as u64) as usize;
+            let extra = s.transmit(topo.as_ref(), src, dst, bytes, now);
+            if routing == Routing::Minimal {
+                minimal_extra += extra;
+            }
+        }
+        let horizon = s.horizon();
+        for (l, &busy) in s.busy().iter().enumerate() {
+            prop_assert!(busy <= horizon, "link {l}: busy {busy} > horizon {horizon}");
+        }
+        let stats = s.stats(horizon.max(1));
+        prop_assert!(stats.messages <= msgs.len() as u64);
+        if routing == Routing::Minimal {
+            // Minimal routes pay no detour price: all extra delay is wait.
+            prop_assert_eq!(stats.queued_ns, minimal_extra);
+            prop_assert_eq!(stats.nonminimal, 0);
+        }
+        // The wait histogram partitions the charged messages.
+        prop_assert_eq!(stats.wait_hist.iter().sum::<u64>(), stats.messages);
+    }
+}

@@ -43,6 +43,6 @@ pub use pulse::{
     parse_exposition, Counter, Exposition, Gauge, Histogram, Registry, StageSpan, TraceRing,
 };
 pub use record::{
-    EngineStats, MsgKind, MsgRecord, NullRecorder, OpSpan, Rank, Recorder, SpanKind, Timeline,
-    VecRecorder, WaitRecord,
+    EngineStats, MsgKind, MsgRecord, NetStats, NullRecorder, OpSpan, Rank, Recorder, SpanKind,
+    Timeline, VecRecorder, WaitRecord,
 };

@@ -165,6 +165,31 @@ pub enum MsgKind {
     },
 }
 
+/// Network-contention summary, reported once per run when the link-capacity
+/// contention model (`ghost_net::contend`) is enabled: channel-graph size,
+/// routing decisions, and queuing-delay shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Channels in the topology's link graph.
+    pub links: u64,
+    /// Cross-rank messages routed through the contention model.
+    pub messages: u64,
+    /// Messages that took a non-minimal (adaptive detour) route.
+    pub nonminimal: u64,
+    /// Total queuing delay charged across all messages, in ns.
+    pub queued_ns: u64,
+    /// Busiest single channel's total occupied time, in ns.
+    pub busy_peak_ns: u64,
+    /// Per-link utilization histogram: bucket `i` counts channels whose
+    /// busy-time fraction of the run makespan fell in `[10i %, 10(i+1) %)`
+    /// (the last bucket absorbs 90 %+).
+    pub util_hist: [u64; 10],
+    /// Per-message queuing-wait histogram: bucket 0 is zero wait, bucket
+    /// `i >= 1` counts waits with `floor(log2(wait_ns)) == i - 1`, with the
+    /// last bucket absorbing the tail.
+    pub wait_hist: [u64; 16],
+}
+
 /// One message departure, recorded on the sender at injection time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgRecord {
@@ -219,6 +244,12 @@ pub trait Recorder {
     /// finishes (not reported when the run aborts early on an error).
     #[inline]
     fn engine(&mut self, _stats: EngineStats) {}
+
+    /// The run's network-contention statistics, reported once as the event
+    /// loop finishes — only when the contention model is enabled (and, like
+    /// [`Recorder::engine`], not when the run aborts early on an error).
+    #[inline]
+    fn network(&mut self, _stats: NetStats) {}
 }
 
 /// The disabled observer: every method is an empty inlined body, so a run
@@ -254,6 +285,10 @@ impl<R: Recorder + ?Sized> Recorder for &mut R {
     #[inline]
     fn engine(&mut self, stats: EngineStats) {
         (**self).engine(stats);
+    }
+    #[inline]
+    fn network(&mut self, stats: NetStats) {
+        (**self).network(stats);
     }
 }
 

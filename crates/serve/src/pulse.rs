@@ -97,6 +97,13 @@ pub(crate) struct ServePulse {
     pub fleet_suspects: Gauge,
     /// Peer-forward stage (connect + remote service + reply decode).
     pub forward_ns: Histogram,
+    /// Messages charged by the link-contention model across fresh
+    /// simulations (contended scenarios only).
+    pub net_messages: Counter,
+    /// Messages the adaptive policy detoured onto non-minimal routes.
+    pub net_nonminimal: Counter,
+    /// Total simulated nanoseconds messages spent queued behind busy links.
+    pub net_queued_ns: Counter,
 }
 
 impl ServePulse {
@@ -244,6 +251,18 @@ impl ServePulse {
             "ghost_fleet_forward_ns",
             "Peer-forward stage: connect, remote service, reply decode (ns)",
         );
+        let net_messages = r.counter(
+            "ghost_sim_net_messages_total",
+            "Messages charged by the link-contention model in fresh simulations",
+        );
+        let net_nonminimal = r.counter(
+            "ghost_sim_net_nonminimal_total",
+            "Messages detoured onto non-minimal routes by adaptive routing",
+        );
+        let net_queued_ns = r.counter(
+            "ghost_sim_net_queued_ns_total",
+            "Simulated nanoseconds messages spent queued behind busy links",
+        );
         Self {
             registry: Arc::new(r),
             requests,
@@ -284,6 +303,43 @@ impl ServePulse {
             fleet_peers,
             fleet_suspects,
             forward_ns,
+            net_messages,
+            net_nonminimal,
+            net_queued_ns,
+        }
+    }
+
+    /// Fold one contended run's network statistics into the exposition:
+    /// scalar counters plus the per-link utilization and queue-wait
+    /// histograms (labeled counter cells, registered idempotently like the
+    /// per-peer fleet cells).
+    pub fn record_net(&self, stats: &ghost_obs::record::NetStats) {
+        self.net_messages.add(stats.messages);
+        self.net_nonminimal.add(stats.nonminimal);
+        self.net_queued_ns.add(stats.queued_ns);
+        for (i, &count) in stats.util_hist.iter().enumerate() {
+            if count > 0 {
+                let lo = (i * 10).to_string();
+                self.registry
+                    .labeled_counter(
+                        "ghost_sim_link_util_bucket",
+                        &[("pct_ge", lo.as_str())],
+                        "Links by busy-time share of makespan (10% buckets)",
+                    )
+                    .add(count);
+            }
+        }
+        for (i, &count) in stats.wait_hist.iter().enumerate() {
+            if count > 0 {
+                let lo = (if i == 0 { 0 } else { 1u64 << (i - 1) }).to_string();
+                self.registry
+                    .labeled_counter(
+                        "ghost_sim_link_wait_bucket",
+                        &[("ns_ge", lo.as_str())],
+                        "Messages by per-message queuing delay (log2 ns buckets)",
+                    )
+                    .add(count);
+            }
         }
     }
 
@@ -342,5 +398,41 @@ mod tests {
         assert!(expo
             .get("ghost_serve_request_ns{quantile=\"0.99\"}")
             .is_some());
+    }
+
+    #[test]
+    fn net_stats_render_as_labeled_histograms() {
+        let p = ServePulse::new(4);
+        let mut stats = ghost_obs::record::NetStats {
+            links: 6,
+            messages: 10,
+            nonminimal: 3,
+            queued_ns: 12_500,
+            busy_peak_ns: 900,
+            ..ghost_obs::record::NetStats::default()
+        };
+        stats.util_hist[0] = 4;
+        stats.util_hist[9] = 2;
+        stats.wait_hist[0] = 7;
+        stats.wait_hist[11] = 3;
+        p.record_net(&stats);
+        p.record_net(&stats); // counters accumulate across runs
+        let text = p.render(Duration::from_secs(1));
+        let expo = parse_exposition(&text).expect("net exposition must parse");
+        assert_eq!(expo.get("ghost_sim_net_messages_total"), Some(20.0));
+        assert_eq!(expo.get("ghost_sim_net_nonminimal_total"), Some(6.0));
+        assert_eq!(expo.get("ghost_sim_net_queued_ns_total"), Some(25_000.0));
+        assert_eq!(
+            expo.get("ghost_sim_link_util_bucket{pct_ge=\"90\"}"),
+            Some(4.0)
+        );
+        assert_eq!(
+            expo.get("ghost_sim_link_wait_bucket{ns_ge=\"1024\"}"),
+            Some(6.0)
+        );
+        assert_eq!(
+            expo.get("ghost_sim_link_wait_bucket{ns_ge=\"0\"}"),
+            Some(14.0)
+        );
     }
 }

@@ -333,6 +333,9 @@ impl Shared {
                 0
             };
         self.pulse.engine_events.add(engine_events);
+        if let Some(net) = &outcome.net {
+            self.pulse.record_net(net);
+        }
         lock(&self.baselines)
             .entry(spec.baseline_key())
             .or_insert_with(|| outcome.baseline.clone());

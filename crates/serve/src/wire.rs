@@ -21,7 +21,7 @@ use ghost_core::experiment::{ExperimentSpec, NetPreset, TopoPreset};
 use ghost_core::metrics::Metrics;
 use ghost_core::scenario::{InjectionSpec, PhaseSpec, ScenarioOutcome, ScenarioSpec, WorkloadSpec};
 use ghost_mpi::{AllgatherAlgo, AllreduceAlgo, BcastAlgo, CollectiveConfig, RecvMode, RunResult};
-use ghost_net::RetryModel;
+use ghost_net::{ContendCfg, RetryModel, Routing};
 use ghost_noise::fault::{FaultKind, FaultPlan};
 
 /// Frame magic: `"GSRV"` little-endian.
@@ -344,6 +344,16 @@ fn enc_machine(e: &mut Enc, m: &ExperimentSpec) {
             e.u8(2);
             e.usize(arity);
         }
+        TopoPreset::Dragonfly {
+            groups,
+            routers,
+            hosts,
+        } => {
+            e.u8(3);
+            e.usize(groups);
+            e.usize(routers);
+            e.usize(hosts);
+        }
     }
     e.u64(m.seed);
     match m.coll.allreduce {
@@ -374,6 +384,11 @@ fn enc_machine(e: &mut Enc, m: &ExperimentSpec) {
             e.u64(wakeup);
         }
     }
+    e.u32(m.contend.link_mbps);
+    e.u8(match m.contend.routing {
+        Routing::Minimal => 0,
+        Routing::Ugal => 1,
+    });
 }
 
 fn dec_machine(d: &mut Dec) -> Result<ExperimentSpec, WireError> {
@@ -388,6 +403,11 @@ fn dec_machine(d: &mut Dec) -> Result<ExperimentSpec, WireError> {
         0 => TopoPreset::Flat,
         1 => TopoPreset::Torus3D,
         2 => TopoPreset::FatTree { arity: d.usize()? },
+        3 => TopoPreset::Dragonfly {
+            groups: d.usize()?,
+            routers: d.usize()?,
+            hosts: d.usize()?,
+        },
         t => return Err(WireError::UnknownTag(t)),
     };
     let seed = d.u64()?;
@@ -418,6 +438,12 @@ fn dec_machine(d: &mut Dec) -> Result<ExperimentSpec, WireError> {
         1 => RecvMode::Interrupt { wakeup: d.u64()? },
         t => return Err(WireError::UnknownTag(t)),
     };
+    let link_mbps = d.u32()?;
+    let routing = match d.u8()? {
+        0 => Routing::Minimal,
+        1 => Routing::Ugal,
+        t => return Err(WireError::UnknownTag(t)),
+    };
     Ok(ExperimentSpec {
         nodes,
         net,
@@ -430,6 +456,7 @@ fn dec_machine(d: &mut Dec) -> Result<ExperimentSpec, WireError> {
             reduce_cost_ps_per_byte,
         },
         recv_mode,
+        contend: ContendCfg { link_mbps, routing },
     })
 }
 
@@ -1323,6 +1350,40 @@ mod tests {
         let back = dec_scenario(&mut d).unwrap();
         d.finish().unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn contended_dragonfly_machines_roundtrip() {
+        let mut s = spec();
+        s.machine.topo = TopoPreset::Dragonfly {
+            groups: 9,
+            routers: 4,
+            hosts: 2,
+        };
+        s.machine = s.machine.with_contention(1500, Routing::Ugal);
+        let bytes = scenario_key_bytes(&s);
+        let mut d = Dec::new(&bytes);
+        let back = dec_scenario(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(s, back);
+        // Contention participates in the content address.
+        assert_ne!(bytes, scenario_key_bytes(&spec()));
+    }
+
+    #[test]
+    fn unknown_routing_tags_are_rejected() {
+        let s = spec();
+        let mut bytes = scenario_key_bytes(&s);
+        // The routing tag is the final machine byte; corrupt it. Locate it
+        // by re-encoding just the machine half.
+        let mut m = Enc::default();
+        enc_machine(&mut m, &s.machine);
+        let mut w = Enc::default();
+        enc_workload(&mut w, &s.workload);
+        let routing_at = w.0.len() + m.0.len() - 1;
+        bytes[routing_at] = 9;
+        let mut d = Dec::new(&bytes);
+        assert_eq!(dec_scenario(&mut d).unwrap_err(), WireError::UnknownTag(9));
     }
 
     #[test]

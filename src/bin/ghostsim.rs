@@ -60,6 +60,7 @@ enum Command {
     Submit,
     Cluster,
     Flood,
+    Netgauge,
 }
 
 struct Args {
@@ -74,6 +75,9 @@ struct Args {
     phase: String,
     topo: String,
     network: String,
+    routing: String,
+    link_mbps: u32,
+    neighbor_hog: usize,
     seed: u64,
     engine: Option<EngineKind>,
     parallel: Option<usize>,
@@ -122,6 +126,9 @@ impl Default for Args {
             phase: "random".into(),
             topo: "flat".into(),
             network: "mpp".into(),
+            routing: "minimal".into(),
+            link_mbps: 0,
+            neighbor_hog: 0,
             seed: 42,
             engine: None,
             parallel: None,
@@ -180,6 +187,11 @@ USAGE:
                                  running server (--server required) while
                                  probing that warm traffic still answers
                                  byte-identically; prints a JSON summary
+    ghostsim netgauge [OPTIONS]  measure effective bandwidth under
+                                 contention: one flow streaming into a sink,
+                                 then two flows sharing its ejection channel
+                                 (set --link-mbps; each flow reports ~half
+                                 the channel on a contended fabric)
 
 OPTIONS:
     --app <sage|cth|pop|spectral|bsp>   workload              [default: pop]
@@ -192,8 +204,22 @@ OPTIONS:
     --steps <N>                         timesteps             [default: 3]
     --phase <random|aligned|staggered>  phase policy          [default: random]
                                         (staggered phases use --nodes)
-    --topo <flat|torus|fattree>         topology              [default: flat]
+    --topo <flat|torus|fattree|dragonfly:G,R,H>
+                                        topology              [default: flat]
+                                        (dragonfly: G groups x R routers x
+                                        H hosts per router)
     --network <mpp|commodity|ideal>     LogGP preset          [default: mpp]
+    --link-mbps <N>                     per-channel link capacity in MB/s;
+                                        turns on the contention model
+                                        (0 = infinite-capacity fabric)
+                                        [default: 0]
+    --routing <minimal|ugal>            route policy under contention
+                                        [default: minimal]
+    --neighbor-hog <N>                  co-schedule a bandwidth-hog neighbor
+                                        job sending N 1-MB messages per
+                                        victim step (replaces --app with the
+                                        neighbor-hog workload; local runs
+                                        only) [default: 0 = off]
     --seed <N>                          experiment seed       [default: 42]
     --engine <calendar|heap>            simulator event-queue backend
                                         [default: calendar]
@@ -280,6 +306,48 @@ CLUSTER OPTIONS:
                                         [default: 5000]
 ";
 
+/// Parse a `--topo` value: `flat`, `torus`, `fattree`, or
+/// `dragonfly:G,R,H` (groups, routers per group, hosts per router).
+fn parse_topo(value: &str) -> Result<TopoPreset, String> {
+    if let Some(shape) = value.strip_prefix("dragonfly:") {
+        let dims: Vec<usize> = shape
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|e| format!("--topo dragonfly '{s}': {e}"))
+            })
+            .collect::<Result<_, String>>()?;
+        let [groups, routers, hosts] = dims[..] else {
+            return Err(format!(
+                "--topo dragonfly expects G,R,H (groups,routers,hosts), got '{shape}'"
+            ));
+        };
+        return Ok(TopoPreset::Dragonfly {
+            groups,
+            routers,
+            hosts,
+        });
+    }
+    match value {
+        "flat" => Ok(TopoPreset::Flat),
+        "torus" => Ok(TopoPreset::Torus3D),
+        "fattree" => Ok(TopoPreset::FatTree { arity: 16 }),
+        other => Err(format!("unknown topology '{other}'")),
+    }
+}
+
+/// Parse a `--routing` value.
+fn parse_routing(value: &str) -> Result<Routing, String> {
+    match value {
+        "minimal" => Ok(Routing::Minimal),
+        "ugal" => Ok(Routing::Ugal),
+        other => Err(format!(
+            "--routing: expected minimal or ugal, got '{other}'"
+        )),
+    }
+}
+
 /// Parse `R@MS` (rank at milliseconds).
 fn parse_rank_at(value: &str, flag: &str) -> Result<(usize, u64), String> {
     let (r, at) = value
@@ -316,6 +384,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         }
         Some("flood") => {
             args.command = Command::Flood;
+            it.next();
+        }
+        Some("netgauge") => {
+            args.command = Command::Netgauge;
             it.next();
         }
         _ => {}
@@ -367,6 +439,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--phase" => args.phase = value,
             "--topo" => args.topo = value,
             "--network" => args.network = value,
+            "--routing" => args.routing = value,
+            "--link-mbps" => {
+                args.link_mbps = value.parse().map_err(|e| format!("--link-mbps: {e}"))?
+            }
+            "--neighbor-hog" => {
+                args.neighbor_hog = value.parse().map_err(|e| format!("--neighbor-hog: {e}"))?
+            }
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--engine" => {
                 args.engine =
@@ -530,6 +609,13 @@ fn scenario_from_args(args: &Args, nodes: usize) -> Result<ScenarioSpec, Failure
                 .into(),
         ));
     }
+    if args.neighbor_hog > 0 {
+        return Err(Failure::Usage(
+            "--neighbor-hog runs locally (the wire protocol carries only \
+             named app specs); run without --server"
+                .into(),
+        ));
+    }
     let workload = match args.app.as_str() {
         "sage" => WorkloadSpec::Sage {
             steps: args.steps as u32,
@@ -550,12 +636,11 @@ fn scenario_from_args(args: &Args, nodes: usize) -> Result<ScenarioSpec, Failure
         other => return Err(Failure::Usage(format!("unknown app '{other}'\n{USAGE}"))),
     };
     let mut machine = ExperimentSpec::flat(nodes, args.seed);
-    machine.topo = match args.topo.as_str() {
-        "flat" => TopoPreset::Flat,
-        "torus" => TopoPreset::Torus3D,
-        "fattree" => TopoPreset::FatTree { arity: 16 },
-        other => return Err(Failure::Usage(format!("unknown topology '{other}'"))),
-    };
+    machine.topo = parse_topo(&args.topo).map_err(Failure::Usage)?;
+    machine = machine.with_contention(
+        args.link_mbps,
+        parse_routing(&args.routing).map_err(Failure::Usage)?,
+    );
     machine.net = match args.network.as_str() {
         "mpp" => NetPreset::Mpp,
         "commodity" => NetPreset::Commodity,
@@ -596,6 +681,7 @@ fn run(args: &Args) -> Result<(), Failure> {
         Command::Submit => return run_submit(args),
         Command::Cluster => return run_cluster(args),
         Command::Flood => return run_flood(args),
+        Command::Netgauge => return run_netgauge(args),
         Command::Trace if args.server.is_some() => {
             return Err(Failure::Usage(
                 "trace records a local run and cannot be routed through --server".into(),
@@ -608,7 +694,24 @@ fn run(args: &Args) -> Result<(), Failure> {
     }
 
     let mut nodes = args.nodes;
-    let workload: Box<dyn Workload> = if let Some(path) = &args.goal {
+    let workload: Box<dyn Workload> = if args.neighbor_hog > 0 {
+        if args.goal.is_some() {
+            return Err(Failure::Usage(
+                "--neighbor-hog and --goal both pick the workload; use one".into(),
+            ));
+        }
+        // The victim/hog region is the first two topology groups.
+        let span = match parse_topo(&args.topo).map_err(Failure::Usage)? {
+            TopoPreset::Dragonfly { routers, hosts, .. } => routers * hosts,
+            _ => nodes / 2,
+        };
+        if span < 2 || nodes < 2 * span {
+            return Err(Failure::Usage(format!(
+                "--neighbor-hog needs two {span}-rank groups, got {nodes} nodes"
+            )));
+        }
+        Box::new(NeighborHog::new(args.steps.max(1), span).with_hog_factor(args.neighbor_hog))
+    } else if let Some(path) = &args.goal {
         let text = std::fs::read_to_string(path)
             .map_err(|e| Failure::Usage(format!("cannot read {path}: {e}")))?;
         let goal =
@@ -627,12 +730,12 @@ fn run(args: &Args) -> Result<(), Failure> {
     };
 
     let mut spec = ExperimentSpec::flat(nodes, args.seed);
-    spec.topo = match args.topo.as_str() {
-        "flat" => TopoPreset::Flat,
-        "torus" => TopoPreset::Torus3D,
-        "fattree" => TopoPreset::FatTree { arity: 16 },
-        other => return Err(Failure::Usage(format!("unknown topology '{other}'"))),
-    };
+    spec.topo = parse_topo(&args.topo).map_err(Failure::Usage)?;
+    spec = spec.with_contention(
+        args.link_mbps,
+        parse_routing(&args.routing).map_err(Failure::Usage)?,
+    );
+    spec.validate().map_err(Failure::Usage)?;
     spec.net = match args.network.as_str() {
         "mpp" => NetPreset::Mpp,
         "commodity" => NetPreset::Commodity,
@@ -680,8 +783,62 @@ fn run(args: &Args) -> Result<(), Failure> {
             run_compare(&spec, workload.as_ref(), &injection, &sig)
         }
         // Dispatched before workload construction.
-        Command::Serve | Command::Submit | Command::Cluster | Command::Flood => unreachable!(),
+        Command::Serve
+        | Command::Submit
+        | Command::Cluster
+        | Command::Flood
+        | Command::Netgauge => unreachable!(),
     }
+}
+
+/// The `netgauge` subcommand: effective bandwidth under contention — one
+/// streaming flow into a sink, then two flows sharing its ejection channel.
+fn run_netgauge(args: &Args) -> Result<(), Failure> {
+    if args.server.is_some() {
+        return Err(Failure::Usage(
+            "netgauge measures a local fabric and cannot be routed through --server".into(),
+        ));
+    }
+    let mut spec = ExperimentSpec::flat(args.nodes, args.seed);
+    spec.topo = parse_topo(&args.topo).map_err(Failure::Usage)?;
+    spec = spec.with_contention(
+        args.link_mbps,
+        parse_routing(&args.routing).map_err(Failure::Usage)?,
+    );
+    spec.net = match args.network.as_str() {
+        "mpp" => NetPreset::Mpp,
+        "commodity" => NetPreset::Commodity,
+        "ideal" => NetPreset::Ideal,
+        other => return Err(Failure::Usage(format!("unknown network '{other}'"))),
+    };
+    spec.validate().map_err(Failure::Usage)?;
+    if spec.nodes < 3 {
+        return Err(Failure::Usage(
+            "netgauge needs at least 3 nodes (a sink and two flows)".into(),
+        ));
+    }
+    let (bytes, rounds) = (1u64 << 20, 16usize);
+    eprintln!(
+        "netgauge: {rounds} x 1 MB per flow into rank 0 on {} ({}, link {} MB/s, {} routing)...",
+        args.topo, args.network, args.link_mbps, args.routing,
+    );
+    let g =
+        try_contended_pair(&spec, bytes, rounds).map_err(|e| Failure::Runtime(e.to_string()))?;
+    println!(
+        "solo    {:9.1} MB/s  ({})",
+        g.solo_mbps(),
+        ghostsim::engine::time::format_time(g.solo_makespan)
+    );
+    println!(
+        "paired  {:9.1} MB/s  ({})  x{:.2} of solo",
+        g.paired_mbps(),
+        ghostsim::engine::time::format_time(g.paired_makespan),
+        g.degradation()
+    );
+    if !spec.contend.enabled() {
+        eprintln!("note: contention model off (--link-mbps 0) — flows cannot collide");
+    }
+    Ok(())
 }
 
 /// The `serve` subcommand: bind, announce, and serve until shutdown.

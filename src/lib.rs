@@ -48,20 +48,28 @@ pub use ghost_serve as serve;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use ghost_apps::{
-        bsp::SyncKind, BspSynthetic, CthLike, LoadImbalance, PopLike, SageLike, SpectralLike,
-        Workload,
+        bsp::SyncKind, BspSynthetic, CthLike, LoadImbalance, NeighborHog, PopLike, SageLike,
+        SpectralLike, Workload,
     };
     pub use ghost_core::analytic;
     pub use ghost_core::campaign::{
         run_indexed, run_indexed_partial, Campaign, CampaignConfig, CampaignError, CampaignRun,
         CampaignStats, PartialCampaignRun, Scenario, ScenarioResult, WorkloadId,
     };
+    pub use ghost_core::contention::{
+        neighbor_summary, neighbor_sweep, neighbor_table, victim_finish, NeighborRecord,
+        NeighborSummary,
+    };
     pub use ghost_core::experiment::{
         compare, run_workload, scaling_sweep, try_run_workload, try_run_workload_limited,
-        try_scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord, TopoPreset,
+        try_run_workload_observed, try_scaling_sweep, ExperimentSpec, NetPreset, ScalingRecord,
+        TopoPreset,
     };
     pub use ghost_core::injection::{NoiseInjection, Placement};
     pub use ghost_core::metrics::Metrics;
+    pub use ghost_core::netgauge::{
+        pingpong, rtt_sweep, try_contended_pair, try_pingpong, ContendedGauge, NetgaugeRun,
+    };
     pub use ghost_core::observe::{
         blame_summary, blame_table, observe_workload, run_recorded, try_run_recorded, Observation,
     };
@@ -79,7 +87,10 @@ pub mod prelude {
         default_parallel, set_default_parallel, EngineKind, Env, GoalWorkload, Machine, MpiCall,
         Program, RecvMode, ReduceOp, RunError, RunLimits, RunResult, ScriptProgram,
     };
-    pub use ghost_net::{Dragonfly, FatTree, Flat, LogGP, LossyLink, Network, RetryModel, Torus3D};
+    pub use ghost_net::{
+        ContendCfg, Dragonfly, FatTree, Flat, LogGP, LossyLink, Network, RetryModel, Routing,
+        Torus3D,
+    };
     pub use ghost_noise::burst::BurstNoise;
     pub use ghost_noise::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use ghost_noise::jitter::JitteredPeriodic;

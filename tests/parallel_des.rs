@@ -28,6 +28,7 @@ fn run(
     let mut m = Machine::new(net, model.as_ref(), spec.seed)
         .with_config(spec.coll)
         .with_recv_mode(spec.recv_mode)
+        .with_contention(spec.contend)
         .with_engine(engine)
         .with_parallel(parallel);
     if !injection.faults().is_empty() {
@@ -229,6 +230,84 @@ fn parallel_matches_sequential_on_every_figure_table_shape() {
         let seq = run(&s.spec, &*s.workload, &s.injection, EngineKind::Calendar, 1);
         let seq_heap = run(&s.spec, &*s.workload, &s.injection, EngineKind::Heap, 1);
         assert_eq!(seq, seq_heap, "[{}] heap vs calendar (sequential)", s.name);
+        for (engine, threads) in [
+            (EngineKind::Calendar, 2),
+            (EngineKind::Calendar, 3),
+            (EngineKind::Heap, 2),
+        ] {
+            let par = run(&s.spec, &*s.workload, &s.injection, engine, threads);
+            assert_eq!(
+                par, seq,
+                "[{}] parallel({threads}, {engine:?}) diverged from sequential",
+                s.name
+            );
+        }
+    }
+}
+
+/// Link-contention shapes: the Xmit interception path (departure-ordered
+/// link charging) must replay identically under conservative-parallel
+/// execution. These shapes exercise queuing on a saturated dragonfly
+/// global channel, UGAL detours, contention composed with noise and
+/// stragglers, and a contended torus halo.
+fn contended_shapes() -> Vec<Shape> {
+    let sig_fast = Signature::new(1000.0, 25 * US);
+    let dragonfly = |seed| {
+        let mut s = ExperimentSpec::flat(32, seed);
+        s.topo = ghostsim::core::experiment::TopoPreset::Dragonfly {
+            groups: 4,
+            routers: 2,
+            hosts: 4,
+        };
+        s
+    };
+    vec![
+        shape(
+            "hog dragonfly minimal",
+            dragonfly(42).with_contention(1000, Routing::Minimal),
+            NeighborHog::new(3, 8).with_hog_factor(4),
+            NoiseInjection::none(),
+        ),
+        shape(
+            "hog dragonfly ugal noisy",
+            dragonfly(7).with_contention(1000, Routing::Ugal),
+            NeighborHog::new(3, 8).with_hog_factor(4),
+            NoiseInjection::uncoordinated(sig_fast),
+        ),
+        shape(
+            "cth contended commodity",
+            {
+                let mut s = ExperimentSpec::flat(8, 42).with_contention(60, Routing::Minimal);
+                s.net = NetPreset::Commodity;
+                s
+            },
+            CthLike {
+                steps: 2,
+                halo_bytes: 1024 * 1024,
+                ..CthLike::with_steps(2)
+            },
+            NoiseInjection::none(),
+        ),
+        shape(
+            "spectral contended torus straggler",
+            ExperimentSpec::torus(8, 42).with_contention(500, Routing::Ugal),
+            SpectralLike::with_steps(1),
+            NoiseInjection::none().with_faults(FaultPlan::new().with_straggler(2, 1400)),
+        ),
+    ]
+}
+
+/// Contended runs are byte-identical across engines and worker counts —
+/// the contention charges replay in the sequential pop order regardless of
+/// how the drain is parallelized.
+#[test]
+fn parallel_matches_sequential_on_contended_shapes() {
+    for s in &contended_shapes() {
+        let seq = run(&s.spec, &*s.workload, &s.injection, EngineKind::Calendar, 1);
+        let seq_heap = run(&s.spec, &*s.workload, &s.injection, EngineKind::Heap, 1);
+        assert_eq!(seq, seq_heap, "[{}] heap vs calendar (sequential)", s.name);
+        let r = seq.as_ref().expect("contended shapes must complete");
+        assert!(r.makespan > 0);
         for (engine, threads) in [
             (EngineKind::Calendar, 2),
             (EngineKind::Calendar, 3),

@@ -146,6 +146,43 @@ proptest! {
         drain_and_compare(&mut cal, &mut heap)?;
     }
 
+    /// Whole-machine equivalence under link contention: a randomized
+    /// victim/hog shape on a contended dragonfly must produce identical
+    /// `RunResult`s from both queue backends. Contention routes extra
+    /// `Xmit` events through the queues at send time, so this catches any
+    /// backend divergence in the departure ordering the link charges
+    /// replay in.
+    #[test]
+    fn contended_runs_are_backend_equivalent(
+        seed in 0u64..1_000,
+        hog_factor in 0usize..4,
+        link_mbps in 100u32..2_000,
+        adaptive in proptest::bool::ANY,
+    ) {
+        use ghostsim::prelude::*;
+        let routing = if adaptive { Routing::Minimal } else { Routing::Ugal };
+        let mut spec = ExperimentSpec::flat(16, seed).with_contention(link_mbps, routing);
+        spec.topo = ghostsim::core::experiment::TopoPreset::Dragonfly {
+            groups: 4,
+            routers: 2,
+            hosts: 2,
+        };
+        let w = NeighborHog::new(2, 4).with_hog_factor(hog_factor);
+        let run = |engine: EngineKind| {
+            let net = spec.build_network();
+            let inj = NoiseInjection::none();
+            let model = inj.build();
+            Machine::new(net, model.as_ref(), spec.seed)
+                .with_contention(spec.contend)
+                .with_engine(engine)
+                .run(w.programs(spec.nodes, spec.seed))
+                .expect("contended run deadlocked")
+        };
+        let cal = run(EngineKind::Calendar);
+        let heap = run(EngineKind::Heap);
+        prop_assert_eq!(cal, heap);
+    }
+
     /// The `DesQueue` trait itself is the interchange surface the executor
     /// compiles against: drive both backends through trait objects' worth
     /// of generic code (capacity hints included) and compare.
